@@ -1,0 +1,128 @@
+// Ablation: end-to-end DSE utility. The paper's motivation is that a
+// cheap-to-adapt surrogate lets a designer find better configurations with
+// fewer simulations. This bench compares, at an equal *simulation* budget:
+//   (a) MetaDSE flow: K sims -> adapt -> screen thousands of candidates with
+//       the predictor -> validate only the predicted Pareto set,
+//   (b) TrEnDSE flow: same, with the transfer-ensemble surrogate,
+//   (c) random sampling: spend the whole budget on random simulations.
+// Quality is measured against an oracle reference front (simulator-driven
+// evolutionary search) via ADRS (lower = closer) and hypervolume.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "explore/explorer.hpp"
+
+using namespace metadse;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::parse(argc, argv);
+  const size_t k_support = 10;
+  const size_t validate_budget = 40;
+  const size_t total_budget = k_support + validate_budget;
+  const size_t screen_candidates = scale.paper ? 8000 : 3000;
+
+  std::printf("== Ablation: DSE utility at a %zu-simulation budget ==\n\n",
+              total_budget);
+
+  auto fw_opts = bench::framework_options(scale, data::TargetMetric::kIpc, 5);
+  core::MetaDseFramework fw(fw_opts);
+  bench::pretrain_or_load(fw, "bench_metadse_ipc_s5.ckpt");
+  const auto sources =
+      fw.datasets(fw.suite().names(workload::SplitRole::kTrain));
+
+  data::DatasetGenerator gen(fw.space());
+  eval::TextTable t({"workload", "ADRS rand", "ADRS TrEnDSE", "ADRS MetaDSE",
+                     "HV rand", "HV TrEnDSE", "HV MetaDSE"});
+
+  std::vector<double> adrs_rand_all, adrs_tren_all, adrs_meta_all;
+  for (const auto& wl_name : bench::test_workloads()) {
+    const auto& wl = fw.suite().by_name(wl_name);
+    auto oracle = [&](const arch::Config& c) {
+      const auto [ipc, power] = gen.evaluate(c, wl);
+      return explore::Objective{ipc, power};
+    };
+
+    // Reference front: simulator-driven evolutionary search (large budget).
+    explore::EvolutionaryExplorer ref_explorer(
+        {.initial_samples = 400, .iterations = 1100, .seed = 501});
+    const auto reference = ref_explorer.explore(fw.space(), oracle);
+
+    // Support set: the K simulations every surrogate flow gets.
+    tensor::Rng rng(502);
+    data::Dataset support = gen.generate(wl, k_support, rng);
+    support.workload = wl_name;
+
+    // Surrogate screening flow, shared by MetaDSE and TrEnDSE: screen with
+    // the model (predicted IPC + analytical power, both simulation-free at
+    // screening time in this harness), then validate the predicted front.
+    auto surrogate_flow =
+        [&](const std::function<float(const std::vector<float>&)>& predict) {
+          explore::EvolutionaryExplorer screener(
+              {.initial_samples = screen_candidates / 4,
+               .iterations = screen_candidates * 3 / 4,
+               .seed = 503});
+          sim::PowerModel pm;
+          sim::CpuModel cm;
+          auto predicted = screener.explore(
+              fw.space(), [&](const arch::Config& c) {
+                const float ipc = predict(fw.space().normalize(c));
+                const auto cfg = arch::to_cpu_config(fw.space(), c);
+                const auto st = cm.simulate(cfg, wl.base());
+                return explore::Objective{static_cast<double>(ipc),
+                                          pm.evaluate(cfg, st).total};
+              });
+          // Validate the most promising predicted points in the simulator.
+          explore::ParetoArchive measured;
+          for (const auto& s : support.samples) {
+            measured.insert(s.config,
+                            {s.ipc, s.power});  // the K support sims count
+          }
+          size_t used = 0;
+          for (const auto& e : predicted.entries()) {
+            if (used++ >= validate_budget) break;
+            measured.insert(e.config, oracle(e.config));
+          }
+          return measured;
+        };
+
+    // (a) MetaDSE.
+    const auto adapted = fw.adapt_to(support);
+    const auto meta_front = surrogate_flow(
+        [&](const std::vector<float>& f) { return adapted.predict(f); });
+
+    // (b) TrEnDSE.
+    baselines::TrEnDse trendse;
+    trendse.fit(sources, support, data::TargetMetric::kIpc);
+    const auto tren_front = surrogate_flow(
+        [&](const std::vector<float>& f) { return trendse.predict(f); });
+
+    // (c) Random sampling with the full budget.
+    tensor::Rng rrng(504);
+    const auto rand_front =
+        explore::random_search(fw.space(), oracle, total_budget, rrng);
+
+    const auto ref_objs = reference.objectives();
+    const double a_rand = explore::adrs(ref_objs, rand_front.objectives());
+    const double a_tren = explore::adrs(ref_objs, tren_front.objectives());
+    const double a_meta = explore::adrs(ref_objs, meta_front.objectives());
+    const explore::Objective hv_ref{0.0, 40.0};
+    t.add_row({wl_name, eval::fmt(a_rand, 3), eval::fmt(a_tren, 3),
+               eval::fmt(a_meta, 3),
+               eval::fmt(rand_front.hypervolume(hv_ref), 1),
+               eval::fmt(tren_front.hypervolume(hv_ref), 1),
+               eval::fmt(meta_front.hypervolume(hv_ref), 1)});
+    adrs_rand_all.push_back(a_rand);
+    adrs_tren_all.push_back(a_tren);
+    adrs_meta_all.push_back(a_meta);
+    std::printf("  %-18s ADRS rand %.3f / TrEnDSE %.3f / MetaDSE %.3f\n",
+                wl_name.c_str(), a_rand, a_tren, a_meta);
+  }
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf("mean ADRS: random %.3f, TrEnDSE %.3f, MetaDSE %.3f "
+              "(lower = closer to the oracle front)\n",
+              eval::mean_ci(adrs_rand_all).mean,
+              eval::mean_ci(adrs_tren_all).mean,
+              eval::mean_ci(adrs_meta_all).mean);
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Ablation: meta-learning algorithm choice. Compares the paper's FOMAML
+// pre-training against Reptile, ANIL, joint supervised pre-training
+// (pool all source workloads, then fine-tune), and no pre-training at all —
+// isolating how much of MetaDSE's gain comes from the *meta* objective
+// rather than from pre-training per se.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+using namespace metadse;
+
+namespace {
+
+/// Joint supervised pre-training on pooled source data (the classic
+/// transfer-learning upstream stage the paper argues against).
+std::unique_ptr<nn::TransformerRegressor> joint_pretrain(
+    const std::vector<data::Dataset>& sources, const data::Scaler& scaler,
+    const nn::TransformerConfig& cfg, size_t epochs, tensor::Rng& rng) {
+  auto model = std::make_unique<nn::TransformerRegressor>(cfg, rng);
+  std::vector<const data::Sample*> pool;
+  for (const auto& ds : sources) {
+    for (const auto& s : ds.samples) pool.push_back(&s);
+  }
+  nn::Adam opt(model->parameters(), 1e-3F);
+  const size_t batch = 32;
+  std::vector<size_t> order(pool.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t e = 0; e < epochs; ++e) {
+    rng.shuffle(order);
+    for (size_t start = 0; start + batch <= pool.size(); start += batch) {
+      std::vector<float> bx;
+      std::vector<float> by;
+      for (size_t i = start; i < start + batch; ++i) {
+        const auto* s = pool[order[i]];
+        bx.insert(bx.end(), s->features.begin(), s->features.end());
+        by.push_back(scaler.transform({s->ipc}).front());
+      }
+      auto x = tensor::Tensor::from_vector({batch, cfg.n_tokens},
+                                           std::move(bx));
+      auto y = tensor::Tensor::from_vector({batch, 1}, std::move(by));
+      opt.zero_grad();
+      tensor::mse_loss(model->forward(x, rng, true), y).backward();
+      opt.step();
+    }
+  }
+  return model;
+}
+
+/// Adapted-query RMSE (raw IPC units) of an initialization over test tasks.
+double eval_init(const nn::TransformerRegressor& model,
+                 const data::Scaler& scaler,
+                 std::vector<data::Dataset>& targets, size_t n_tasks) {
+  std::vector<double> rmse;
+  for (auto& target : targets) {
+    data::TaskSampler sampler(target, 10, 45, data::TargetMetric::kIpc);
+    tensor::Rng rng(881);
+    for (size_t k = 0; k < n_tasks; ++k) {
+      auto task = sampler.sample(rng);
+      auto sup_y = scaler.transform(task.support_y);
+      auto adapted = meta::MamlTrainer::adapt_clone(model, task.support_x,
+                                                    sup_y, 10, 1e-2F);
+      tensor::Rng fwd(0);
+      auto pred = scaler.inverse(adapted->forward(task.query_x, fwd));
+      rmse.push_back(eval::rmse(task.query_y.data(), pred.data()));
+    }
+  }
+  return eval::mean_ci(rmse).mean;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto scale = bench::Scale::parse(argc, argv);
+  if (!scale.paper) {
+    scale.epochs = std::min<size_t>(scale.epochs, 3);
+    scale.tasks_per_workload = std::min<size_t>(scale.tasks_per_workload, 16);
+    scale.eval_tasks = std::min<size_t>(scale.eval_tasks, 10);
+  }
+  std::printf("== Ablation: upstream algorithm (FOMAML vs Reptile vs ANIL vs "
+              "joint vs none) ==\n");
+  std::printf("(%zu epochs x %zu tasks/wl; K=10 adaptation; %zu eval "
+              "tasks/wl)\n\n",
+              scale.epochs, scale.tasks_per_workload, scale.eval_tasks);
+
+  // Shared datasets + label scaler.
+  core::FrameworkOptions fo =
+      bench::framework_options(scale, data::TargetMetric::kIpc, 5);
+  core::MetaDseFramework fw(fo);
+  auto train_sets = fw.datasets(fw.suite().names(workload::SplitRole::kTrain));
+  auto val_sets =
+      fw.datasets(fw.suite().names(workload::SplitRole::kValidation));
+  std::vector<data::Dataset> targets;
+  for (const auto& wl : bench::test_workloads()) {
+    targets.push_back(fw.dataset(wl));
+  }
+  data::Scaler scaler;
+  scaler.fit(train_sets, data::TargetMetric::kIpc);
+
+  eval::TextTable t({"upstream", "IPC RMSE (K=10)"});
+
+  auto run_meta = [&](const char* name, meta::MetaAlgorithm alg) {
+    meta::MamlOptions mo = fo.maml;
+    mo.algorithm = alg;
+    meta::MamlTrainer trainer(fo.predictor, mo);
+    trainer.train(train_sets, val_sets);
+    const double r =
+        eval_init(trainer.model(), trainer.scaler(), targets, scale.eval_tasks);
+    t.add_row({name, eval::fmt(r)});
+    std::printf("  %-22s rmse %.4f\n", name, r);
+  };
+  run_meta("FOMAML (paper)", meta::MetaAlgorithm::kFomaml);
+  run_meta("Reptile", meta::MetaAlgorithm::kReptile);
+  run_meta("ANIL", meta::MetaAlgorithm::kAnil);
+
+  {
+    tensor::Rng rng(7);
+    auto joint = joint_pretrain(train_sets, scaler, fo.predictor,
+                                scale.epochs * 2, rng);
+    const double r = eval_init(*joint, scaler, targets, scale.eval_tasks);
+    t.add_row({"joint supervised", eval::fmt(r)});
+    std::printf("  %-22s rmse %.4f\n", "joint supervised", r);
+  }
+  {
+    tensor::Rng rng(8);
+    nn::TransformerRegressor random_init(fo.predictor, rng);
+    const double r =
+        eval_init(random_init, scaler, targets, scale.eval_tasks);
+    t.add_row({"none (random init)", eval::fmt(r)});
+    std::printf("  %-22s rmse %.4f\n", "none (random init)", r);
+  }
+
+  std::printf("\n%s\n", t.render().c_str());
+  return 0;
+}

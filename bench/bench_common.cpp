@@ -1,0 +1,48 @@
+#include "bench_common.hpp"
+
+#include <chrono>
+
+namespace metadse::bench {
+
+double pretrain_or_load(core::MetaDseFramework& fw, const std::string& path) {
+  if (fw.load_checkpoint(path)) {
+    std::printf("[checkpoint] loaded %s\n", path.c_str());
+    return 0.0;
+  }
+  std::printf("[checkpoint] %s absent: pre-training (this is the slow part; "
+              "later benches reuse it)...\n",
+              path.c_str());
+  const auto t0 = std::chrono::steady_clock::now();
+  fw.pretrain();
+  const auto t1 = std::chrono::steady_clock::now();
+  fw.save_checkpoint(path);
+  const double secs = std::chrono::duration<double>(t1 - t0).count();
+  std::printf("[checkpoint] pre-trained in %.1fs, saved %s\n", secs,
+              path.c_str());
+  return secs;
+}
+
+void pooled_training_set(const std::vector<data::Dataset>& sources,
+                         const data::Dataset& support,
+                         data::TargetMetric metric, size_t per_source,
+                         size_t support_replication, uint64_t seed,
+                         baselines::FeatureMatrix& x, std::vector<float>& y) {
+  tensor::Rng rng(seed);
+  x.clear();
+  y.clear();
+  for (const auto& src : sources) {
+    for (size_t j = 0; j < per_source && j < src.size(); ++j) {
+      const auto& s = src.samples[rng.uniform_index(src.size())];
+      x.push_back(s.features);
+      y.push_back(data::target_of(s, metric).front());
+    }
+  }
+  for (size_t r = 0; r < support_replication; ++r) {
+    for (const auto& s : support.samples) {
+      x.push_back(s.features);
+      y.push_back(data::target_of(s, metric).front());
+    }
+  }
+}
+
+}  // namespace metadse::bench

@@ -1,0 +1,140 @@
+// Shared infrastructure for the reproduction benches: scale flags, shared
+// pre-training checkpoints (so the bench suite does not re-train the same
+// model), and the per-task evaluation protocol used across tables/figures.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/ensembles.hpp"
+#include "baselines/trendse.hpp"
+#include "core/metadse.hpp"
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+
+namespace metadse::bench {
+
+/// Replication scale. The default keeps every bench in tens of seconds on a
+/// single core while preserving the orderings; --paper-scale restores the
+/// paper's counts (15 epochs x 200 tasks, 1000 eval tasks).
+struct Scale {
+  size_t epochs = 6;
+  size_t tasks_per_workload = 40;
+  size_t val_tasks = 6;
+  size_t eval_tasks = 15;           ///< per test workload, cheap models
+  size_t eval_tasks_expensive = 4;  ///< per test workload, transformer refits
+  size_t samples_per_workload = 1200;
+  bool paper = false;
+
+  static Scale parse(int argc, char** argv) {
+    // Benches are typically piped into tee; line-buffer stdout so progress
+    // is visible as it happens.
+    std::setvbuf(stdout, nullptr, _IOLBF, 0);
+    Scale s;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--paper-scale") == 0) {
+        s = Scale{.epochs = 15,
+                  .tasks_per_workload = 200,
+                  .val_tasks = 20,
+                  .eval_tasks = 1000,
+                  .eval_tasks_expensive = 50,
+                  .samples_per_workload = 2000,
+                  .paper = true};
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        s = Scale{.epochs = 2,
+                  .tasks_per_workload = 10,
+                  .val_tasks = 3,
+                  .eval_tasks = 6,
+                  .eval_tasks_expensive = 2,
+                  .samples_per_workload = 400};
+      }
+    }
+    return s;
+  }
+};
+
+/// Framework options for a given target metric and upstream support size.
+inline core::FrameworkOptions framework_options(const Scale& s,
+                                                data::TargetMetric target,
+                                                size_t upstream_support) {
+  core::FrameworkOptions o;
+  o.samples_per_workload = s.samples_per_workload;
+  o.maml.target = target;
+  o.maml.epochs = s.epochs;
+  o.maml.tasks_per_workload = s.tasks_per_workload;
+  o.maml.val_tasks_per_workload = s.val_tasks;
+  o.maml.support = upstream_support;
+  o.maml.query = 45;
+  return o;
+}
+
+/// Loads the checkpoint at @p path or pretrains and saves it. Returns the
+/// wall-clock seconds spent pre-training (0 when loaded).
+double pretrain_or_load(core::MetaDseFramework& fw, const std::string& path);
+
+/// The five evaluation workloads (Table II caption).
+inline std::vector<std::string> test_workloads() {
+  return {"600.perlbench_s", "605.mcf_s", "620.omnetpp_s", "623.xalancbmk_s",
+          "627.cam4_s"};
+}
+
+/// Per-task evaluation of a classical model: fit on (sources + support),
+/// score on the query set. Returns metrics per task.
+struct ClassicEval {
+  std::vector<double> rmse, mape, ev;
+};
+
+/// Protocol shared by RF/GBRT/TrEnDSE rows: for each sampled task, assemble
+/// the model's training set and score the query points.
+template <typename FitPredict>
+ClassicEval evaluate_classic(const data::Dataset& target, size_t n_tasks,
+                             size_t support, size_t query,
+                             data::TargetMetric metric, uint64_t seed,
+                             FitPredict&& fit_predict) {
+  data::TaskSampler sampler(target, support, query, metric);
+  tensor::Rng rng(seed);
+  ClassicEval out;
+  for (size_t k = 0; k < n_tasks; ++k) {
+    auto task = sampler.sample(rng);
+    // Rebuild a Dataset view of the support set for the baseline API.
+    data::Dataset sup;
+    sup.workload = target.workload;
+    const size_t n_feat = task.support_x.dim(1);
+    for (size_t i = 0; i < task.support_x.dim(0); ++i) {
+      data::Sample s;
+      s.features.assign(
+          task.support_x.data().begin() + i * n_feat,
+          task.support_x.data().begin() + (i + 1) * n_feat);
+      const float label = task.support_y.data()[i];
+      if (metric == data::TargetMetric::kPower) {
+        s.power = label;
+      } else {
+        s.ipc = label;
+      }
+      sup.samples.push_back(std::move(s));
+    }
+    // Query features as a matrix.
+    baselines::FeatureMatrix qx;
+    for (size_t i = 0; i < task.query_x.dim(0); ++i) {
+      qx.emplace_back(task.query_x.data().begin() + i * n_feat,
+                      task.query_x.data().begin() + (i + 1) * n_feat);
+    }
+    const std::vector<float> pred = fit_predict(sup, qx);
+    out.rmse.push_back(eval::rmse(task.query_y.data(), pred));
+    out.mape.push_back(eval::mape(task.query_y.data(), pred));
+    out.ev.push_back(eval::explained_variance(task.query_y.data(), pred));
+  }
+  return out;
+}
+
+/// Pools random samples from every source dataset plus the (replicated)
+/// support rows — the naive-transfer training set for the RF/GBRT rows.
+void pooled_training_set(const std::vector<data::Dataset>& sources,
+                         const data::Dataset& support,
+                         data::TargetMetric metric, size_t per_source,
+                         size_t support_replication, uint64_t seed,
+                         baselines::FeatureMatrix& x, std::vector<float>& y);
+
+}  // namespace metadse::bench

@@ -1,0 +1,75 @@
+// Reproduces paper Fig. 2: pairwise Wasserstein distances among the SPEC CPU
+// 2017 workloads' IPC distributions over a shared set of design points. The
+// paper's point: similarity is inconsistent across workloads — many pairs are
+// far apart, undermining similarity-based transfer.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace metadse;
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::parse(argc, argv);
+  std::printf("== Fig. 2: Wasserstein distances among SPEC CPU 2017 "
+              "workloads ==\n");
+  std::printf("(darker shading = larger distance = less similar; distances "
+              "in IPC units)\n\n");
+
+  workload::SpecSuite suite;
+  const auto& space = arch::DesignSpace::table1();
+  data::DatasetGenerator gen(space);
+
+  // Shared design points: all workloads are evaluated on the same sample so
+  // the label distributions are directly comparable (as in the paper).
+  const size_t n = scale.paper ? 2000 : 400;
+  tensor::Rng rng(12);
+  const auto configs = space.sample_latin_hypercube(n, rng);
+
+  std::vector<std::string> names;
+  std::vector<std::vector<float>> labels;
+  for (const auto& wl : suite.workloads()) {
+    std::vector<float> y;
+    y.reserve(n);
+    for (const auto& c : configs) {
+      y.push_back(static_cast<float>(gen.evaluate(c, wl).first));
+    }
+    names.push_back(wl.name());
+    labels.push_back(std::move(y));
+  }
+
+  const size_t W = names.size();
+  std::vector<std::vector<double>> dist(W, std::vector<double>(W, 0.0));
+  double max_d = 0.0;
+  double min_d = 1e300;
+  for (size_t i = 0; i < W; ++i) {
+    for (size_t j = 0; j < W; ++j) {
+      dist[i][j] = eval::wasserstein1(labels[i], labels[j]);
+      if (i != j) {
+        max_d = std::max(max_d, dist[i][j]);
+        min_d = std::min(min_d, dist[i][j]);
+      }
+    }
+  }
+
+  std::printf("%s\n", eval::render_heatmap(names, dist, 3).c_str());
+  std::printf("off-diagonal distance range: [%.3f, %.3f]  (ratio %.1fx)\n",
+              min_d, max_d, max_d / std::max(1e-9, min_d));
+
+  // The paper's observation: similarity structure is inconsistent — report
+  // each workload's nearest and farthest peer.
+  std::printf("\nnearest / farthest peer per workload:\n");
+  for (size_t i = 0; i < W; ++i) {
+    size_t near = i == 0 ? 1 : 0;
+    size_t far = near;
+    for (size_t j = 0; j < W; ++j) {
+      if (j == i) continue;
+      if (dist[i][j] < dist[i][near]) near = j;
+      if (dist[i][j] > dist[i][far]) far = j;
+    }
+    std::printf("  %-18s  nearest %-18s %.3f   farthest %-18s %.3f\n",
+                names[i].c_str(), names[near].c_str(), dist[i][near],
+                names[far].c_str(), dist[i][far]);
+  }
+  return 0;
+}

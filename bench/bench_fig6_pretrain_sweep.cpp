@@ -1,0 +1,59 @@
+// Reproduces paper Fig. 6: sensitivity to the *upstream* support-set size.
+// The downstream adaptation support is fixed at 10 while the pre-training
+// support size sweeps 5..40. Expected shape: EV peaks / RMSE bottoms when
+// the upstream size matches the downstream size (around 10), because the
+// meta-learned initialization is tuned to the adaptation regime it will see.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace metadse;
+
+int main(int argc, char** argv) {
+  auto scale = bench::Scale::parse(argc, argv);
+  // Five full pre-trainings: use a reduced schedule unless --paper-scale.
+  if (!scale.paper) {
+    scale.epochs = std::min<size_t>(scale.epochs, 2);
+    scale.tasks_per_workload = std::min<size_t>(scale.tasks_per_workload, 12);
+    scale.eval_tasks = std::min<size_t>(scale.eval_tasks, 10);
+  }
+  std::printf("== Fig. 6: explained variance and RMSE vs upstream (source) "
+              "support size ==\n");
+  std::printf("(downstream support fixed at 10; %zu epochs x %zu tasks/wl "
+              "per point)\n\n",
+              scale.epochs, scale.tasks_per_workload);
+
+  eval::TextTable t({"upstream support", "RMSE ↓", "EV ↑"});
+  const size_t K_down = 10;
+  double best_rmse = 1e9;
+  size_t best_s = 0;
+  for (const size_t s_up : {5, 10, 20, 30, 40}) {
+    auto fw_opts =
+        bench::framework_options(scale, data::TargetMetric::kIpc, s_up);
+    core::MetaDseFramework fw(fw_opts);
+    fw.pretrain();
+    std::vector<double> rmse;
+    std::vector<double> evs;
+    for (const auto& wl : bench::test_workloads()) {
+      tensor::Rng rng(301);
+      for (const auto& e :
+           fw.evaluate(wl, scale.eval_tasks, K_down, 45, true, rng)) {
+        rmse.push_back(e.rmse);
+        evs.push_back(e.ev);
+      }
+    }
+    const double r = eval::mean_ci(rmse).mean;
+    const double v = eval::mean_ci(evs).mean;
+    if (r < best_rmse) {
+      best_rmse = r;
+      best_s = s_up;
+    }
+    t.add_row({std::to_string(s_up), eval::fmt(r), eval::fmt(v)});
+    std::printf("  upstream s=%-2zu done (rmse %.4f, ev %.4f)\n", s_up, r, v);
+  }
+  std::printf("\n%s\n", t.render().c_str());
+  std::printf("best upstream support: %zu (paper: best when upstream matches "
+              "the downstream size of 10)\n",
+              best_s);
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Engine microbenchmarks (google-benchmark): throughput of the substrates
+// the reproduction is built on — tensor ops, attention, the transformer
+// predictor, the analytical simulator, and tree fitting. Not a paper
+// artifact; used to track performance regressions of the library itself.
+#include <benchmark/benchmark.h>
+
+#include "baselines/ensembles.hpp"
+#include "data/dataset.hpp"
+#include "meta/wam.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/ops.hpp"
+#include "workload/spec_suite.hpp"
+
+using namespace metadse;
+
+namespace {
+
+void BM_MatmulSquare(benchmark::State& state) {
+  const size_t n = state.range(0);
+  tensor::Rng rng(1);
+  auto a = tensor::Tensor::randn({n, n}, rng);
+  auto b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulSquare)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AttentionForward(benchmark::State& state) {
+  tensor::Rng rng(2);
+  nn::MultiHeadSelfAttention attn(32, 4, rng);
+  auto x = tensor::Tensor::randn({16, 24, 32}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(attn.forward(x).data().data());
+  }
+}
+BENCHMARK(BM_AttentionForward);
+
+void BM_TransformerForwardBackward(benchmark::State& state) {
+  tensor::Rng rng(3);
+  nn::TransformerConfig cfg{.n_tokens = 24, .d_model = 32, .n_heads = 4,
+                            .n_layers = 2, .d_ff = 64, .n_outputs = 1};
+  nn::TransformerRegressor model(cfg, rng);
+  const size_t batch = state.range(0);
+  auto x = tensor::Tensor::randn({batch, 24}, rng);
+  auto y = tensor::Tensor::randn({batch, 1}, rng);
+  tensor::Rng fwd(0);
+  for (auto _ : state) {
+    model.zero_grad();
+    auto loss = tensor::mse_loss(model.forward(x, fwd, true), y);
+    loss.backward();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TransformerForwardBackward)->Arg(5)->Arg(45);
+
+void BM_CpuModelSimulate(benchmark::State& state) {
+  workload::SpecSuite suite;
+  const auto& wl = suite.by_name("605.mcf_s").base();
+  sim::CpuModel model;
+  arch::CpuConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.simulate(cfg, wl).ipc);
+  }
+}
+BENCHMARK(BM_CpuModelSimulate);
+
+void BM_DatasetPointPhaseWeighted(benchmark::State& state) {
+  workload::SpecSuite suite;
+  const auto& space = arch::DesignSpace::table1();
+  data::DatasetGenerator gen(space);
+  const auto& wl = suite.by_name("605.mcf_s");
+  tensor::Rng rng(5);
+  const auto c = space.random_config(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.evaluate(c, wl).first);
+  }
+}
+BENCHMARK(BM_DatasetPointPhaseWeighted);
+
+void BM_GbrtFit(benchmark::State& state) {
+  tensor::Rng rng(6);
+  baselines::FeatureMatrix x;
+  std::vector<float> y;
+  for (int i = 0; i < 400; ++i) {
+    std::vector<float> row(24);
+    for (auto& v : row) v = rng.uniform();
+    y.push_back(row[0] * 2.0F + row[5] - row[9]);
+    x.push_back(std::move(row));
+  }
+  baselines::GbrtOptions opts;
+  opts.n_rounds = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    baselines::Gbrt model(opts);
+    model.fit(x, y);
+    benchmark::DoNotOptimize(model.predict(x[0]));
+  }
+}
+BENCHMARK(BM_GbrtFit)->Arg(30)->Arg(120);
+
+void BM_WamAdaptTenSteps(benchmark::State& state) {
+  tensor::Rng rng(7);
+  nn::TransformerConfig cfg{.n_tokens = 24, .d_model = 32, .n_heads = 4,
+                            .n_layers = 2, .d_ff = 64, .n_outputs = 1};
+  nn::TransformerRegressor model(cfg, rng);
+  auto x = tensor::Tensor::uniform({10, 24}, rng, 0.0F, 1.0F);
+  auto y = tensor::Tensor::randn({10, 1}, rng);
+  auto mask = tensor::Tensor::full({24, 24}, 1.0F);
+  meta::AdaptOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meta::wam_adapt(model, mask, x, y, opts));
+  }
+}
+BENCHMARK(BM_WamAdaptTenSteps);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Reproduces paper Table II: overall RMSE / MAPE / EV for IPC and Power,
+// averaged (mean ± 95% CI) across the five test datasets, for RF, GBRT,
+// TrEnDSE, and MetaDSE. Expected shape: MetaDSE best on IPC everywhere;
+// RF worst; Power differences smaller (power is a smoother target).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace metadse;
+
+namespace {
+
+struct Row {
+  std::vector<double> rmse, mape, ev;
+  void absorb(const bench::ClassicEval& e) {
+    rmse.insert(rmse.end(), e.rmse.begin(), e.rmse.end());
+    mape.insert(mape.end(), e.mape.begin(), e.mape.end());
+    ev.insert(ev.end(), e.ev.begin(), e.ev.end());
+  }
+};
+
+std::string cell(const std::vector<double>& v) {
+  return eval::format_mean_ci(eval::mean_ci(v), 4);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto scale = bench::Scale::parse(argc, argv);
+  std::printf("== Table II: overall results across the five test datasets "
+              "(mean ± 95%% CI) ==\n");
+  std::printf("(K=10 downstream support; %zu tasks per workload per metric)\n\n",
+              scale.eval_tasks);
+
+  const size_t K = 10;
+  const size_t Q = 45;
+
+  for (const auto metric :
+       {data::TargetMetric::kIpc, data::TargetMetric::kPower}) {
+    const char* metric_name =
+        metric == data::TargetMetric::kIpc ? "IPC" : "Power";
+    const std::string ckpt = metric == data::TargetMetric::kIpc
+                                 ? "bench_metadse_ipc_s5.ckpt"
+                                 : "bench_metadse_power_s5.ckpt";
+
+    auto fw_opts = bench::framework_options(scale, metric, 5);
+    core::MetaDseFramework fw(fw_opts);
+    bench::pretrain_or_load(fw, ckpt);
+    const auto sources =
+        fw.datasets(fw.suite().names(workload::SplitRole::kTrain));
+
+    Row rf_row, gbrt_row, trendse_row, meta_row;
+    for (const auto& wl : bench::test_workloads()) {
+      const auto& target = fw.dataset(wl);
+
+      // RF / GBRT: naive transfer — pooled source samples + support.
+      auto fit_trees = [&](auto make_model) {
+        return bench::evaluate_classic(
+            target, scale.eval_tasks, K, Q, metric, 201,
+            [&](const data::Dataset& sup,
+                const baselines::FeatureMatrix& qx) {
+              baselines::FeatureMatrix x;
+              std::vector<float> y;
+              bench::pooled_training_set(sources, sup, metric, 60, 6, 7, x,
+                                         y);
+              auto model = make_model();
+              model.fit(x, y);
+              return model.predict_batch(qx);
+            });
+      };
+      rf_row.absorb(fit_trees([] {
+        return baselines::RandomForest(
+            baselines::ForestOptions{.n_trees = 40});
+      }));
+      gbrt_row.absorb(fit_trees([] { return baselines::Gbrt(); }));
+
+      trendse_row.absorb(bench::evaluate_classic(
+          target, scale.eval_tasks, K, Q, metric, 202,
+          [&](const data::Dataset& sup, const baselines::FeatureMatrix& qx) {
+            baselines::TrEnDse model;
+            model.fit(sources, sup, metric);
+            return model.predict_batch(qx);
+          }));
+
+      tensor::Rng rng(203);
+      for (const auto& e : fw.evaluate(wl, scale.eval_tasks, K, Q, true, rng)) {
+        meta_row.rmse.push_back(e.rmse);
+        meta_row.mape.push_back(e.mape);
+        meta_row.ev.push_back(e.ev);
+      }
+    }
+
+    std::printf("-- %s --\n", metric_name);
+    eval::TextTable t({"model", "RMSE ↓", "MAPE ↓", "EV ↑"});
+    t.add_row({"RF", cell(rf_row.rmse), cell(rf_row.mape), cell(rf_row.ev)});
+    t.add_row({"GBRT", cell(gbrt_row.rmse), cell(gbrt_row.mape),
+               cell(gbrt_row.ev)});
+    t.add_row({"TrEnDSE", cell(trendse_row.rmse), cell(trendse_row.mape),
+               cell(trendse_row.ev)});
+    t.add_row({"MetaDSE", cell(meta_row.rmse), cell(meta_row.mape),
+               cell(meta_row.ev)});
+    std::printf("%s\n", t.render().c_str());
+  }
+  return 0;
+}

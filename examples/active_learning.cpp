@@ -1,0 +1,69 @@
+// Uncertainty-aware adaptation (extension beyond the paper): spend the
+// K-simulation budget on the design points the adapted ensemble is least
+// sure about, instead of random ones, and compare the resulting predictors
+// at the same budget.
+#include <cstdio>
+
+#include "core/metadse.hpp"
+#include "eval/metrics.hpp"
+#include "meta/ensemble_adapt.hpp"
+
+using namespace metadse;
+
+int main() {
+  const char* target = "620.omnetpp_s";
+  const size_t budget = 12;  // simulations we may spend on the new workload
+
+  core::FrameworkOptions opts;
+  opts.samples_per_workload = 800;
+  opts.maml.epochs = 3;
+  opts.maml.tasks_per_workload = 20;
+  core::MetaDseFramework fw(opts);
+  if (!fw.load_checkpoint("bench_metadse_ipc_s5.ckpt") &&
+      !fw.load_checkpoint("example_metadse.ckpt")) {
+    std::printf("pre-training surrogate (no checkpoint found)...\n");
+    fw.pretrain();
+  }
+
+  const auto& wl = fw.suite().by_name(target);
+  data::DatasetGenerator gen(fw.space());
+  tensor::Rng rng(11);
+  const auto pool = fw.space().sample_latin_hypercube(200, rng);
+  auto oracle = [&](const arch::Config& c) { return gen.evaluate(c, wl); };
+
+  // (a) Active selection: ensemble disagreement picks the support set.
+  meta::EnsembleAdaptOptions ens_opts;
+  ens_opts.n_members = 4;
+  ens_opts.adapt = fw.options().adapt;
+  const auto active_support = meta::select_support_actively(
+      fw.model(), fw.wam_mask(), fw.scaler(), fw.space(), pool, oracle,
+      budget, ens_opts);
+  auto active_pred = fw.adapt_to(active_support);
+
+  // (b) Random selection at the same budget.
+  data::Dataset random_support = gen.generate(wl, budget, rng);
+  random_support.workload = target;
+  auto random_pred = fw.adapt_to(random_support);
+
+  // Evaluate both on a held-out query sample.
+  const auto query = gen.generate(wl, 150, rng);
+  std::vector<float> actual;
+  std::vector<float> pa;
+  std::vector<float> pr;
+  for (const auto& s : query.samples) {
+    actual.push_back(s.ipc);
+    pa.push_back(active_pred.predict(s.features));
+    pr.push_back(random_pred.predict(s.features));
+  }
+  const double rmse_active = eval::rmse(actual, pa);
+  const double rmse_random = eval::rmse(actual, pr);
+  std::printf("target %s, %zu-simulation budget, 150 query points:\n",
+              target, budget);
+  std::printf("  random support  RMSE %.4f\n", rmse_random);
+  std::printf("  active support  RMSE %.4f (%+.1f%%)\n", rmse_active,
+              100.0 * (rmse_active / rmse_random - 1.0));
+  std::printf("\n(active selection spends simulations where the adapted "
+              "ensemble disagrees most —\n typically at the design-space "
+              "extremes the random support never covers)\n");
+  return 0;
+}

@@ -1,0 +1,251 @@
+#include "arch/design_space.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace metadse::arch {
+
+namespace {
+
+std::vector<double> range_values(double start, double end, double stride) {
+  std::vector<double> v;
+  for (double x = start; x <= end + 1e-9; x += stride) v.push_back(x);
+  return v;
+}
+
+}  // namespace
+
+DesignSpace::DesignSpace(std::vector<ParamSpec> specs)
+    : specs_(std::move(specs)) {
+  if (specs_.empty()) {
+    throw std::invalid_argument("DesignSpace: no parameters");
+  }
+  for (const auto& s : specs_) {
+    if (s.values.empty()) {
+      throw std::invalid_argument("DesignSpace: parameter '" + s.name +
+                                  "' has no candidate values");
+    }
+    if (!std::is_sorted(s.values.begin(), s.values.end())) {
+      throw std::invalid_argument("DesignSpace: parameter '" + s.name +
+                                  "' values must be increasing");
+    }
+  }
+}
+
+const DesignSpace& DesignSpace::table1() {
+  static const DesignSpace space{std::vector<ParamSpec>{
+      {"core_freq_ghz", "CPU core frequency in GHz", {1.0, 1.5, 2.0, 2.5, 3.0}},
+      {"pipeline_width",
+       "fetch/decode/rename/dispatch/issue/writeback/commit width",
+       range_values(1, 12, 1)},
+      {"fetch_buffer_bytes", "fetch buffer size in bytes", {16, 32, 64}},
+      {"fetch_queue_uops", "fetch queue size in micro-ops",
+       range_values(8, 48, 4)},
+      {"branch_predictor", "predictor type (0=BiModeBP, 1=TournamentBP)",
+       {0, 1}},
+      {"ras_size", "return address stack entries", range_values(16, 40, 2)},
+      {"btb_size", "branch target buffer entries", {1024, 2048, 4096}},
+      {"rob_size", "reorder buffer entries", range_values(32, 256, 16)},
+      {"int_rf", "physical integer registers", range_values(64, 256, 8)},
+      {"fp_rf", "physical floating-point registers", range_values(64, 256, 8)},
+      {"iq_size", "instruction queue entries", range_values(16, 80, 8)},
+      {"lq_size", "load queue entries", range_values(20, 48, 4)},
+      {"sq_size", "store queue entries", range_values(20, 48, 4)},
+      {"int_alu", "integer ALUs", range_values(3, 8, 1)},
+      {"int_multdiv", "integer multipliers/dividers", range_values(1, 4, 1)},
+      {"fp_alu", "floating-point ALUs", range_values(1, 4, 1)},
+      {"fp_multdiv", "floating-point multipliers/dividers",
+       range_values(1, 4, 1)},
+      {"cacheline_bytes", "cache line size in bytes", {32, 64}},
+      {"l1i_kb", "L1 instruction cache size in KB", {16, 32, 64}},
+      {"l1i_assoc", "L1 instruction cache associativity", {2, 4}},
+      {"l1d_kb", "L1 data cache size in KB", {16, 32, 64}},
+      {"l1d_assoc", "L1 data cache associativity", {2, 4}},
+      {"l2_kb", "L2 cache size in KB", {128, 256}},
+      {"l2_assoc", "L2 cache associativity", {2, 4}},
+  }};
+  return space;
+}
+
+size_t DesignSpace::param_index(std::string_view name) const {
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].name == name) return i;
+  }
+  throw std::out_of_range("DesignSpace: no parameter named '" +
+                          std::string(name) + "'");
+}
+
+double DesignSpace::total_points() const {
+  double p = 1.0;
+  for (const auto& s : specs_) p *= static_cast<double>(s.cardinality());
+  return p;
+}
+
+bool DesignSpace::valid(const Config& c) const {
+  if (c.size() != specs_.size()) return false;
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (c[i] >= specs_[i].cardinality()) return false;
+  }
+  return true;
+}
+
+void DesignSpace::validate(const Config& c) const {
+  if (c.size() != specs_.size()) {
+    throw std::invalid_argument(
+        "Config: expected " + std::to_string(specs_.size()) +
+        " parameters, got " + std::to_string(c.size()));
+  }
+  for (size_t i = 0; i < c.size(); ++i) {
+    if (c[i] >= specs_[i].cardinality()) {
+      throw std::invalid_argument("Config: parameter '" + specs_[i].name +
+                                  "' index " + std::to_string(c[i]) +
+                                  " out of range [0, " +
+                                  std::to_string(specs_[i].cardinality()) +
+                                  ")");
+    }
+  }
+}
+
+std::vector<double> DesignSpace::values_of(const Config& c) const {
+  validate(c);
+  std::vector<double> out(c.size());
+  for (size_t i = 0; i < c.size(); ++i) out[i] = specs_[i].values[c[i]];
+  return out;
+}
+
+std::vector<float> DesignSpace::normalize(const Config& c) const {
+  validate(c);
+  std::vector<float> out(c.size());
+  for (size_t i = 0; i < c.size(); ++i) {
+    const auto& vals = specs_[i].values;
+    const double lo = vals.front();
+    const double hi = vals.back();
+    out[i] = hi > lo ? static_cast<float>((vals[c[i]] - lo) / (hi - lo)) : 0.0F;
+  }
+  return out;
+}
+
+uint64_t DesignSpace::encode(const Config& c) const {
+  validate(c);
+  uint64_t id = 0;
+  for (size_t i = 0; i < c.size(); ++i) {
+    id = id * specs_[i].cardinality() + c[i];
+  }
+  return id;
+}
+
+Config DesignSpace::decode(uint64_t id) const {
+  Config c(specs_.size());
+  for (size_t i = specs_.size(); i-- > 0;) {
+    const uint64_t card = specs_[i].cardinality();
+    c[i] = static_cast<size_t>(id % card);
+    id /= card;
+  }
+  if (id != 0) {
+    throw std::out_of_range("DesignSpace::decode: id beyond space size");
+  }
+  return c;
+}
+
+Config DesignSpace::random_config(Rng& rng) const {
+  Config c(specs_.size());
+  for (size_t i = 0; i < specs_.size(); ++i) {
+    c[i] = rng.uniform_index(specs_[i].cardinality());
+  }
+  return c;
+}
+
+std::vector<Config> DesignSpace::sample_uniform(size_t n, Rng& rng) const {
+  std::vector<Config> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(random_config(rng));
+  return out;
+}
+
+std::vector<Config> DesignSpace::sample_latin_hypercube(size_t n,
+                                                        Rng& rng) const {
+  std::vector<Config> out(n, Config(specs_.size()));
+  for (size_t p = 0; p < specs_.size(); ++p) {
+    const size_t card = specs_[p].cardinality();
+    // Stratify [0, n) into n slots mapped onto the candidate range, then
+    // shuffle the slot order so parameters are independent.
+    std::vector<size_t> slots(n);
+    for (size_t i = 0; i < n; ++i) {
+      // slot i covers fraction [i/n, (i+1)/n): pick the middle.
+      const double frac =
+          (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+      slots[i] = std::min(card - 1,
+                          static_cast<size_t>(frac * static_cast<double>(card)));
+    }
+    rng.shuffle(slots);
+    for (size_t i = 0; i < n; ++i) out[i][p] = slots[i];
+  }
+  return out;
+}
+
+std::vector<Config> DesignSpace::sample_oa_foldover(size_t n, Rng& rng) const {
+  std::vector<Config> out;
+  out.reserve(n);
+  const size_t P = specs_.size();
+  size_t row = 0;
+  while (out.size() < n) {
+    // Two-level sign row from a pseudo-Hadamard pattern (bit-parity of
+    // row&column), randomized by a per-row XOR mask.
+    const uint64_t mask = rng.engine()();
+    Config base(P);
+    Config folded(P);
+    for (size_t p = 0; p < P; ++p) {
+      const size_t card = specs_[p].cardinality();
+      const bool high =
+          (std::popcount((row + 1) & (p + 1)) & 1U) ^ ((mask >> (p % 64)) & 1U);
+      const size_t half = std::max<size_t>(1, card / 2);
+      const size_t lo_pick = rng.uniform_index(half);
+      const size_t hi_pick = card - 1 - rng.uniform_index(half);
+      base[p] = high ? hi_pick : lo_pick;
+      folded[p] = high ? lo_pick : hi_pick;  // the foldover mirror
+    }
+    out.push_back(std::move(base));
+    if (out.size() < n) out.push_back(std::move(folded));
+    ++row;
+  }
+  return out;
+}
+
+CpuConfig to_cpu_config(const DesignSpace& space, const Config& c) {
+  const auto v = space.values_of(c);
+  auto at = [&](const char* name) {
+    return v[space.param_index(name)];
+  };
+  CpuConfig cfg;
+  cfg.freq_ghz = at("core_freq_ghz");
+  cfg.width = static_cast<int>(at("pipeline_width"));
+  cfg.fetch_buffer_bytes = static_cast<int>(at("fetch_buffer_bytes"));
+  cfg.fetch_queue_uops = static_cast<int>(at("fetch_queue_uops"));
+  cfg.branch_predictor = at("branch_predictor") < 0.5
+                             ? BranchPredictorType::kBiMode
+                             : BranchPredictorType::kTournament;
+  cfg.ras_size = static_cast<int>(at("ras_size"));
+  cfg.btb_size = static_cast<int>(at("btb_size"));
+  cfg.rob_size = static_cast<int>(at("rob_size"));
+  cfg.int_rf = static_cast<int>(at("int_rf"));
+  cfg.fp_rf = static_cast<int>(at("fp_rf"));
+  cfg.iq_size = static_cast<int>(at("iq_size"));
+  cfg.lq_size = static_cast<int>(at("lq_size"));
+  cfg.sq_size = static_cast<int>(at("sq_size"));
+  cfg.int_alu = static_cast<int>(at("int_alu"));
+  cfg.int_multdiv = static_cast<int>(at("int_multdiv"));
+  cfg.fp_alu = static_cast<int>(at("fp_alu"));
+  cfg.fp_multdiv = static_cast<int>(at("fp_multdiv"));
+  cfg.cacheline_bytes = static_cast<int>(at("cacheline_bytes"));
+  cfg.l1i_kb = static_cast<int>(at("l1i_kb"));
+  cfg.l1i_assoc = static_cast<int>(at("l1i_assoc"));
+  cfg.l1d_kb = static_cast<int>(at("l1d_kb"));
+  cfg.l1d_assoc = static_cast<int>(at("l1d_assoc"));
+  cfg.l2_kb = static_cast<int>(at("l2_kb"));
+  cfg.l2_assoc = static_cast<int>(at("l2_assoc"));
+  return cfg;
+}
+
+}  // namespace metadse::arch

@@ -1,0 +1,127 @@
+// The explored microarchitecture design space (paper Table I): parameter
+// specifications, configuration codecs, normalization for the surrogate
+// model, and the samplers used by dataset generation and the OA-based
+// baselines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace metadse::arch {
+
+using tensor::Rng;
+
+/// Branch predictor candidates from Table I.
+enum class BranchPredictorType { kBiMode = 0, kTournament = 1 };
+
+/// One architectural parameter: a name and its ordered candidate values.
+struct ParamSpec {
+  std::string name;
+  std::string description;
+  std::vector<double> values;  ///< candidates in increasing order
+
+  /// Number of candidate values.
+  size_t cardinality() const { return values.size(); }
+};
+
+/// A design point: one candidate-value *index* per parameter, in the order of
+/// DesignSpace::specs().
+using Config = std::vector<size_t>;
+
+/// The cartesian design space of the out-of-order core (paper Table I).
+/// Ranges written "start:end:stride" in the paper are expanded inclusively.
+class DesignSpace {
+ public:
+  /// Constructs a design space from explicit specs (each must have at least
+  /// one candidate value).
+  explicit DesignSpace(std::vector<ParamSpec> specs);
+
+  /// The 24-parameter MetaDSE space of Table I (split load/store queues and
+  /// mirrored L1I/L1D, matching the gem5 configuration the paper extends).
+  static const DesignSpace& table1();
+
+  size_t num_params() const { return specs_.size(); }
+  const std::vector<ParamSpec>& specs() const { return specs_; }
+  const ParamSpec& spec(size_t i) const { return specs_.at(i); }
+
+  /// Index of the parameter named @p name; throws std::out_of_range if absent.
+  size_t param_index(std::string_view name) const;
+
+  /// |space| as a double (the exact count may exceed 2^53 only for much
+  /// larger spaces; Table I fits in 64 bits — see encode()).
+  double total_points() const;
+
+  // -- configuration handling ------------------------------------------------
+
+  /// True iff @p c has one in-range index per parameter.
+  bool valid(const Config& c) const;
+  /// Throws std::invalid_argument with a precise message when invalid.
+  void validate(const Config& c) const;
+
+  /// Candidate values selected by @p c.
+  std::vector<double> values_of(const Config& c) const;
+
+  /// Min-max normalized feature vector in [0,1]^num_params — the surrogate
+  /// model input encoding. Parameters with a single candidate map to 0.
+  std::vector<float> normalize(const Config& c) const;
+
+  /// Mixed-radix linearization of @p c (unique per design point).
+  uint64_t encode(const Config& c) const;
+  /// Inverse of encode(); throws std::out_of_range for ids beyond the space.
+  Config decode(uint64_t id) const;
+
+  // -- samplers ---------------------------------------------------------------
+
+  /// One uniform random design point.
+  Config random_config(Rng& rng) const;
+  /// @p n i.i.d. uniform design points.
+  std::vector<Config> sample_uniform(size_t n, Rng& rng) const;
+  /// Latin-hypercube-style sampling: per-parameter stratified value indices
+  /// with independent random permutations (better marginal coverage).
+  std::vector<Config> sample_latin_hypercube(size_t n, Rng& rng) const;
+  /// Orthogonal-array-inspired two-level sampling with foldover (the design
+  /// TrEE [14] uses): base rows pick low/high halves per parameter via a
+  /// Hadamard-like sign pattern; each row is mirrored (folded) to cancel
+  /// main-effect aliasing; values are drawn from the selected half.
+  std::vector<Config> sample_oa_foldover(size_t n, Rng& rng) const;
+
+ private:
+  std::vector<ParamSpec> specs_;
+};
+
+/// Strongly typed view of a Table I design point, consumed by the simulator.
+struct CpuConfig {
+  double freq_ghz = 2.0;
+  int width = 4;              ///< fetch/decode/rename/dispatch/issue/commit
+  int fetch_buffer_bytes = 32;
+  int fetch_queue_uops = 16;
+  BranchPredictorType branch_predictor = BranchPredictorType::kBiMode;
+  int ras_size = 16;
+  int btb_size = 2048;
+  int rob_size = 128;
+  int int_rf = 128;
+  int fp_rf = 128;
+  int iq_size = 32;
+  int lq_size = 32;
+  int sq_size = 32;
+  int int_alu = 4;
+  int int_multdiv = 1;
+  int fp_alu = 2;
+  int fp_multdiv = 1;
+  int cacheline_bytes = 64;
+  int l1i_kb = 32;
+  int l1i_assoc = 2;
+  int l1d_kb = 32;
+  int l1d_assoc = 2;
+  int l2_kb = 256;
+  int l2_assoc = 4;
+};
+
+/// Decodes a Table I Config into the typed CpuConfig (validates first).
+CpuConfig to_cpu_config(const DesignSpace& space, const Config& c);
+
+}  // namespace metadse::arch

@@ -1,0 +1,134 @@
+#include "baselines/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace metadse::baselines {
+
+size_t check_training_set(const FeatureMatrix& x, const std::vector<float>& y) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument(
+        "fit: empty training set or feature/label count mismatch");
+  }
+  const size_t w = x.front().size();
+  if (w == 0) throw std::invalid_argument("fit: zero-width features");
+  for (const auto& row : x) {
+    if (row.size() != w) throw std::invalid_argument("fit: ragged features");
+  }
+  return w;
+}
+
+DecisionTree::DecisionTree(TreeOptions options) : options_(options) {
+  if (options_.min_samples_leaf == 0 || options_.max_depth == 0) {
+    throw std::invalid_argument("DecisionTree: zero-sized growth limits");
+  }
+}
+
+void DecisionTree::fit(const FeatureMatrix& x, const std::vector<float>& y) {
+  n_features_ = check_training_set(x, y);
+  nodes_.clear();
+  depth_ = 0;
+  std::vector<size_t> idx(x.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  tensor::Rng rng(options_.seed);
+  build(x, y, idx, 0, idx.size(), 0, rng);
+}
+
+size_t DecisionTree::build(const FeatureMatrix& x, const std::vector<float>& y,
+                           std::vector<size_t>& idx, size_t begin, size_t end,
+                           size_t depth, tensor::Rng& rng) {
+  depth_ = std::max(depth_, depth);
+  const size_t n = end - begin;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    sum += y[idx[i]];
+    sum2 += static_cast<double>(y[idx[i]]) * y[idx[i]];
+  }
+  const float mean = static_cast<float>(sum / static_cast<double>(n));
+  const double var = sum2 - sum * sum / static_cast<double>(n);
+
+  const size_t me = nodes_.size();
+  nodes_.push_back(Node{});
+  nodes_[me].value = mean;
+  if (depth >= options_.max_depth || n < options_.min_samples_split ||
+      var < 1e-12) {
+    return me;
+  }
+
+  // Candidate features (optionally a random subset, as in random forests).
+  std::vector<size_t> feats(n_features_);
+  std::iota(feats.begin(), feats.end(), 0);
+  if (options_.feature_subsample > 0 &&
+      options_.feature_subsample < n_features_) {
+    rng.shuffle(feats);
+    feats.resize(options_.feature_subsample);
+  }
+
+  // Best split: maximize variance reduction = sum2 - (L^2/nl + R^2/nr) drop.
+  double best_score = -std::numeric_limits<double>::infinity();
+  int best_feat = -1;
+  float best_thr = 0.0F;
+  std::vector<size_t> order(idx.begin() + begin, idx.begin() + end);
+  for (size_t f : feats) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_sum = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      left_sum += y[order[i]];
+      const size_t nl = i + 1;
+      const size_t nr = n - nl;
+      if (nl < options_.min_samples_leaf || nr < options_.min_samples_leaf) {
+        continue;
+      }
+      if (x[order[i]][f] == x[order[i + 1]][f]) continue;  // no valid cut
+      const double right_sum = sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(nl) +
+          right_sum * right_sum / static_cast<double>(nr);
+      if (score > best_score) {
+        best_score = score;
+        best_feat = static_cast<int>(f);
+        best_thr = 0.5F * (x[order[i]][f] + x[order[i + 1]][f]);
+      }
+    }
+  }
+  if (best_feat < 0) return me;  // no split improves
+
+  // Partition idx[begin, end) by the chosen split.
+  const auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end,
+      [&](size_t i) { return x[i][best_feat] <= best_thr; });
+  const size_t mid = static_cast<size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) return me;  // degenerate (ties)
+
+  nodes_[me].feature = best_feat;
+  nodes_[me].threshold = best_thr;
+  const size_t l = build(x, y, idx, begin, mid, depth + 1, rng);
+  nodes_[me].left = static_cast<int>(l);
+  const size_t r = build(x, y, idx, mid, end, depth + 1, rng);
+  nodes_[me].right = static_cast<int>(r);
+  return me;
+}
+
+float DecisionTree::predict(const std::vector<float>& x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree: not fitted");
+  if (x.size() != n_features_) {
+    throw std::invalid_argument("DecisionTree::predict: feature width " +
+                                std::to_string(x.size()) + " != " +
+                                std::to_string(n_features_));
+  }
+  size_t cur = 0;
+  while (nodes_[cur].feature >= 0) {
+    cur = x[nodes_[cur].feature] <= nodes_[cur].threshold
+              ? static_cast<size_t>(nodes_[cur].left)
+              : static_cast<size_t>(nodes_[cur].right);
+  }
+  return nodes_[cur].value;
+}
+
+}  // namespace metadse::baselines

@@ -1,0 +1,54 @@
+// CART regression tree (variance-reduction splits) — the building block of
+// the Random Forest and GBRT baselines.
+#pragma once
+
+#include <cstdint>
+
+#include "baselines/regressor.hpp"
+#include "tensor/rng.hpp"
+
+namespace metadse::baselines {
+
+/// Tree growth controls.
+struct TreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_leaf = 2;
+  size_t min_samples_split = 4;
+  /// Features considered per split; 0 means all features.
+  size_t feature_subsample = 0;
+  /// Seed for feature subsampling (only used when feature_subsample > 0).
+  uint64_t seed = 1;
+};
+
+/// Binary regression tree; nodes are stored in a flat array.
+class DecisionTree : public Regressor {
+ public:
+  explicit DecisionTree(TreeOptions options = {});
+
+  void fit(const FeatureMatrix& x, const std::vector<float>& y) override;
+  float predict(const std::vector<float>& x) const override;
+
+  /// Node count after fit (diagnostics / tests).
+  size_t node_count() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+
+ private:
+  struct Node {
+    int feature = -1;       ///< -1 marks a leaf
+    float threshold = 0.0F; ///< go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    float value = 0.0F;     ///< leaf prediction
+  };
+
+  size_t build(const FeatureMatrix& x, const std::vector<float>& y,
+               std::vector<size_t>& idx, size_t begin, size_t end,
+               size_t depth, tensor::Rng& rng);
+
+  TreeOptions options_;
+  std::vector<Node> nodes_;
+  size_t n_features_ = 0;
+  size_t depth_ = 0;
+};
+
+}  // namespace metadse::baselines

@@ -1,0 +1,103 @@
+#include "baselines/ensembles.hpp"
+
+#include <stdexcept>
+
+namespace metadse::baselines {
+
+RandomForest::RandomForest(ForestOptions options) : options_(options) {
+  if (options_.n_trees == 0) {
+    throw std::invalid_argument("RandomForest: n_trees must be > 0");
+  }
+}
+
+void RandomForest::fit(const FeatureMatrix& x, const std::vector<float>& y) {
+  check_training_set(x, y);
+  trees_.clear();
+  trees_.reserve(options_.n_trees);
+  tensor::Rng rng(options_.seed);
+  const size_t n = x.size();
+  for (size_t t = 0; t < options_.n_trees; ++t) {
+    // Bootstrap rows.
+    FeatureMatrix bx;
+    std::vector<float> by;
+    bx.reserve(n);
+    by.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t j = rng.uniform_index(n);
+      bx.push_back(x[j]);
+      by.push_back(y[j]);
+    }
+    TreeOptions to = options_.tree;
+    to.seed = rng.engine()();
+    DecisionTree tree(to);
+    tree.fit(bx, by);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float RandomForest::predict(const std::vector<float>& x) const {
+  if (trees_.empty()) throw std::logic_error("RandomForest: not fitted");
+  double s = 0.0;
+  for (const auto& t : trees_) s += t.predict(x);
+  return static_cast<float>(s / static_cast<double>(trees_.size()));
+}
+
+Gbrt::Gbrt(GbrtOptions options) : options_(options) {
+  if (options_.n_rounds == 0 || options_.learning_rate <= 0.0F ||
+      options_.subsample <= 0.0F || options_.subsample > 1.0F) {
+    throw std::invalid_argument("Gbrt: invalid options");
+  }
+}
+
+void Gbrt::fit(const FeatureMatrix& x, const std::vector<float>& y) {
+  check_training_set(x, y);
+  trees_.clear();
+  trees_.reserve(options_.n_rounds);
+  tensor::Rng rng(options_.seed);
+  const size_t n = x.size();
+  double mean = 0.0;
+  for (float v : y) mean += v;
+  base_ = static_cast<float>(mean / static_cast<double>(n));
+  std::vector<float> residual(n);
+  std::vector<float> current(n, base_);
+  for (size_t r = 0; r < options_.n_rounds; ++r) {
+    for (size_t i = 0; i < n; ++i) residual[i] = y[i] - current[i];
+    // Row subsampling.
+    FeatureMatrix sx;
+    std::vector<float> sy;
+    if (options_.subsample < 1.0F) {
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.uniform() < options_.subsample) {
+          sx.push_back(x[i]);
+          sy.push_back(residual[i]);
+        }
+      }
+      if (sx.size() < 2) {
+        sx = x;
+        sy = residual;
+      }
+    } else {
+      sx = x;
+      sy = residual;
+    }
+    TreeOptions to = options_.tree;
+    to.seed = rng.engine()();
+    DecisionTree tree(to);
+    tree.fit(sx, sy);
+    for (size_t i = 0; i < n; ++i) {
+      current[i] += options_.learning_rate * tree.predict(x[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+float Gbrt::predict(const std::vector<float>& x) const {
+  if (trees_.empty()) throw std::logic_error("Gbrt: not fitted");
+  double s = base_;
+  for (const auto& t : trees_) {
+    s += options_.learning_rate * t.predict(x);
+  }
+  return static_cast<float>(s);
+}
+
+}  // namespace metadse::baselines

@@ -1,0 +1,66 @@
+// Tree ensembles: bagged Random Forest and Gradient-Boosted Regression
+// Trees — the RF/GBRT baselines of Tables II and III.
+#pragma once
+
+#include <memory>
+
+#include "baselines/decision_tree.hpp"
+
+namespace metadse::baselines {
+
+/// Random forest options.
+struct ForestOptions {
+  size_t n_trees = 60;
+  TreeOptions tree{.max_depth = 12,
+                   .min_samples_leaf = 2,
+                   .min_samples_split = 4,
+                   .feature_subsample = 8};
+  uint64_t seed = 7;
+};
+
+/// Bagged random forest regressor (bootstrap rows + per-split feature
+/// subsampling; prediction is the tree mean).
+class RandomForest : public Regressor {
+ public:
+  explicit RandomForest(ForestOptions options = {});
+
+  void fit(const FeatureMatrix& x, const std::vector<float>& y) override;
+  float predict(const std::vector<float>& x) const override;
+
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  ForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+/// GBRT options.
+struct GbrtOptions {
+  size_t n_rounds = 120;
+  float learning_rate = 0.08F;
+  /// Row subsampling per round (stochastic gradient boosting).
+  float subsample = 0.9F;
+  TreeOptions tree{.max_depth = 3,
+                   .min_samples_leaf = 2,
+                   .min_samples_split = 4,
+                   .feature_subsample = 0};
+  uint64_t seed = 11;
+};
+
+/// Gradient-boosted regression trees with squared-error loss.
+class Gbrt : public Regressor {
+ public:
+  explicit Gbrt(GbrtOptions options = {});
+
+  void fit(const FeatureMatrix& x, const std::vector<float>& y) override;
+  float predict(const std::vector<float>& x) const override;
+
+  size_t round_count() const { return trees_.size(); }
+
+ private:
+  GbrtOptions options_;
+  float base_ = 0.0F;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace metadse::baselines

@@ -1,0 +1,53 @@
+// The "linear fitting" transfer strategy (Dubach et al., IEEE TC'10): one
+// fixed predictor per source workload is trained offline; a target workload
+// is served by a linear map from the source models' predictions to the
+// target label space, fitted on the few labelled target samples.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/ensembles.hpp"
+#include "data/dataset.hpp"
+
+namespace metadse::baselines {
+
+/// Solves min ||A w - b||_2 for small dense systems via the normal equations
+/// with ridge damping @p lambda (guards rank deficiency with few samples).
+std::vector<double> least_squares(const std::vector<std::vector<double>>& a,
+                                  const std::vector<double>& b,
+                                  double lambda = 1e-6);
+
+/// Options for the linear-fitting baseline.
+struct LinearFitOptions {
+  GbrtOptions source_model{};  ///< per-source predictor
+  double ridge = 1e-4;         ///< damping for the target-space map
+};
+
+/// Cross-workload predictor by linear recombination of source models.
+class LinearFit {
+ public:
+  explicit LinearFit(LinearFitOptions options = {});
+
+  /// Trains one model per source dataset (offline phase).
+  void fit_sources(const std::vector<data::Dataset>& sources,
+                   data::TargetMetric target);
+
+  /// Fits the linear map on the target support set (online phase).
+  /// fit_sources must have been called.
+  void adapt(const data::Dataset& target_support, data::TargetMetric target);
+
+  float predict(const std::vector<float>& features) const;
+  std::vector<float> predict_batch(const FeatureMatrix& x) const;
+
+  /// Linear coefficients (one per source model, plus intercept last).
+  const std::vector<double>& coefficients() const { return coef_; }
+
+ private:
+  LinearFitOptions options_;
+  std::vector<Gbrt> source_models_;
+  std::vector<std::string> source_names_;
+  std::vector<double> coef_;
+};
+
+}  // namespace metadse::baselines

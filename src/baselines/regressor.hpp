@@ -1,0 +1,37 @@
+// Common interface for the classical surrogate models MetaDSE is compared
+// against (RF, GBRT, TrEnDSE, linear fitting).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace metadse::baselines {
+
+/// Feature matrix: one row per sample.
+using FeatureMatrix = std::vector<std::vector<float>>;
+
+/// Abstract single-output regressor.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Trains on @p x (n rows) and @p y (n labels). Throws
+  /// std::invalid_argument on empty or ragged input.
+  virtual void fit(const FeatureMatrix& x, const std::vector<float>& y) = 0;
+
+  /// Predicts one sample; only valid after fit().
+  virtual float predict(const std::vector<float>& x) const = 0;
+
+  /// Predicts a batch (default: loops over predict).
+  std::vector<float> predict_batch(const FeatureMatrix& x) const {
+    std::vector<float> out;
+    out.reserve(x.size());
+    for (const auto& row : x) out.push_back(predict(row));
+    return out;
+  }
+};
+
+/// Validates a training set; returns the feature width.
+size_t check_training_set(const FeatureMatrix& x, const std::vector<float>& y);
+
+}  // namespace metadse::baselines

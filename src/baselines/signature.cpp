@@ -1,0 +1,117 @@
+#include "baselines/signature.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "baselines/linear_fit.hpp"
+
+namespace metadse::baselines {
+
+std::vector<double> signature_of(const sim::WorkloadCharacteristics& w) {
+  // Capacities are log-scaled so "10x the working set" is one unit, not a
+  // thousand; unit-interval knobs pass through.
+  auto lg = [](double v) { return std::log2(std::max(1.0, v)); };
+  return {
+      w.f_int_alu,         w.f_int_mul,        w.f_fp_alu,
+      w.f_fp_mul,          w.f_load,           w.f_store,
+      w.f_branch,          w.branch_entropy,   w.indirect_frac,
+      lg(w.call_depth) / 6.0,  lg(w.btb_footprint) / 13.0,
+      lg(w.dcache_ws_kb) / 9.0, lg(w.dcache_ws2_kb) / 13.0,
+      w.streaming,         lg(w.icache_ws_kb) / 7.0,
+      w.ilp / 8.0,         w.mlp / 10.0,       w.dep_chain,
+  };
+}
+
+double signature_distance(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  if (a.empty() || a.size() != b.size()) {
+    throw std::invalid_argument("signature_distance: length mismatch");
+  }
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]) * (a[i] - b[i]);
+  return std::sqrt(s);
+}
+
+SignatureTransfer::SignatureTransfer(SignatureTransferOptions options)
+    : options_(options) {}
+
+void SignatureTransfer::fit_sources(
+    const std::vector<data::Dataset>& sources,
+    const std::vector<std::vector<double>>& signatures,
+    data::TargetMetric target) {
+  if (sources.empty() || sources.size() != signatures.size()) {
+    throw std::invalid_argument(
+        "SignatureTransfer: sources/signatures size mismatch");
+  }
+  if (target == data::TargetMetric::kBoth) {
+    throw std::invalid_argument("SignatureTransfer: single-metric only");
+  }
+  models_.clear();
+  names_.clear();
+  signatures_ = signatures;
+  for (const auto& src : sources) {
+    FeatureMatrix x;
+    std::vector<float> y;
+    for (const auto& s : src.samples) {
+      x.push_back(s.features);
+      y.push_back(data::target_of(s, target).front());
+    }
+    Gbrt model(options_.source_model);
+    model.fit(x, y);
+    models_.push_back(std::move(model));
+    names_.push_back(src.workload);
+  }
+  adapted_ = false;
+}
+
+void SignatureTransfer::adapt(const data::Dataset& target_support,
+                              const std::vector<double>& target_signature,
+                              data::TargetMetric target) {
+  if (models_.empty()) {
+    throw std::logic_error("SignatureTransfer: fit_sources first");
+  }
+  if (target_support.empty()) {
+    throw std::invalid_argument("SignatureTransfer: empty support");
+  }
+  selected_ = 0;
+  double best = signature_distance(signatures_[0], target_signature);
+  for (size_t i = 1; i < signatures_.size(); ++i) {
+    const double d = signature_distance(signatures_[i], target_signature);
+    if (d < best) {
+      best = d;
+      selected_ = i;
+    }
+  }
+  // Affine calibration on the support: y_target ~ a * f_src(x) + b.
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (const auto& s : target_support.samples) {
+    a.push_back({models_[selected_].predict(s.features), 1.0});
+    b.push_back(data::target_of(s, target).front());
+  }
+  const auto w = least_squares(a, b, options_.ridge);
+  scale_ = w[0];
+  offset_ = w[1];
+  adapted_ = true;
+}
+
+float SignatureTransfer::predict(const std::vector<float>& features) const {
+  if (!adapted_) throw std::logic_error("SignatureTransfer: adapt first");
+  return static_cast<float>(scale_ * models_[selected_].predict(features) +
+                            offset_);
+}
+
+std::vector<float> SignatureTransfer::predict_batch(
+    const FeatureMatrix& x) const {
+  std::vector<float> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+const std::string& SignatureTransfer::selected_source() const {
+  if (!adapted_) throw std::logic_error("SignatureTransfer: adapt first");
+  return names_[selected_];
+}
+
+}  // namespace metadse::baselines

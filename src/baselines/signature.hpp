@@ -1,0 +1,65 @@
+// Workload-signature transfer (Khan et al. PACT'07 / Guo et al. — the third
+// strategy in the paper's related-work taxonomy): each source workload is
+// represented by a behaviour signature during pre-training; a new workload
+// is served by the model of the most similar signature, with a light affine
+// calibration fitted on the few labelled target samples.
+#pragma once
+
+#include <string>
+
+#include "baselines/ensembles.hpp"
+#include "data/dataset.hpp"
+#include "sim/workload_characteristics.hpp"
+
+namespace metadse::baselines {
+
+/// Normalized behaviour-signature vector of a workload (instruction mix,
+/// control behaviour, locality, parallelism — the knobs of the substrate's
+/// WorkloadCharacteristics).
+std::vector<double> signature_of(const sim::WorkloadCharacteristics& w);
+
+/// Euclidean distance between two signatures (must be equal length).
+double signature_distance(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Options for the signature-transfer baseline.
+struct SignatureTransferOptions {
+  GbrtOptions source_model{};
+  double ridge = 1e-6;  ///< damping of the affine calibration fit
+};
+
+/// Signature-based cross-workload predictor.
+class SignatureTransfer {
+ public:
+  explicit SignatureTransfer(SignatureTransferOptions options = {});
+
+  /// Trains one model per source dataset and records its signature.
+  /// @p signatures must parallel @p sources.
+  void fit_sources(const std::vector<data::Dataset>& sources,
+                   const std::vector<std::vector<double>>& signatures,
+                   data::TargetMetric target);
+
+  /// Picks the source whose signature is nearest to @p target_signature and
+  /// fits the affine output calibration y = a * f_src(x) + b on the support.
+  void adapt(const data::Dataset& target_support,
+             const std::vector<double>& target_signature,
+             data::TargetMetric target);
+
+  float predict(const std::vector<float>& features) const;
+  std::vector<float> predict_batch(const FeatureMatrix& x) const;
+
+  /// Name of the source selected by the last adapt().
+  const std::string& selected_source() const;
+
+ private:
+  SignatureTransferOptions options_;
+  std::vector<Gbrt> models_;
+  std::vector<std::vector<double>> signatures_;
+  std::vector<std::string> names_;
+  size_t selected_ = 0;
+  double scale_ = 1.0;
+  double offset_ = 0.0;
+  bool adapted_ = false;
+};
+
+}  // namespace metadse::baselines

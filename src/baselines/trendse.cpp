@@ -1,0 +1,198 @@
+#include "baselines/trendse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "eval/metrics.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace metadse::baselines {
+
+namespace {
+
+std::vector<float> labels_of(const data::Dataset& ds,
+                             data::TargetMetric target) {
+  std::vector<float> out;
+  out.reserve(ds.size());
+  for (const auto& s : ds.samples) {
+    out.push_back(data::target_of(s, target).front());
+  }
+  return out;
+}
+
+}  // namespace
+
+TransferSet build_transfer_set(const std::vector<data::Dataset>& sources,
+                               const data::Dataset& target_support,
+                               data::TargetMetric target,
+                               const TrEnDseOptions& options) {
+  if (sources.empty()) {
+    throw std::invalid_argument("build_transfer_set: no source datasets");
+  }
+  if (target_support.empty()) {
+    throw std::invalid_argument("build_transfer_set: empty target support");
+  }
+  if (target == data::TargetMetric::kBoth) {
+    throw std::invalid_argument(
+        "build_transfer_set: similarity needs a single metric column");
+  }
+  const auto target_labels = labels_of(target_support, target);
+
+  TransferSet ts;
+  for (const auto& src : sources) {
+    const auto src_labels = labels_of(src, target);
+    ts.similarities.push_back(
+        {src.workload, eval::wasserstein1(src_labels, target_labels)});
+  }
+  std::sort(ts.similarities.begin(), ts.similarities.end(),
+            [](const SourceSimilarity& a, const SourceSimilarity& b) {
+              return a.wasserstein < b.wasserstein;
+            });
+
+  // Target support label statistics, for source label-space alignment (the
+  // "mapping to the target label space" all similarity-based frameworks do).
+  double t_mean = 0.0;
+  double t_sd = 0.0;
+  for (float v : target_labels) t_mean += v;
+  t_mean /= static_cast<double>(target_labels.size());
+  for (float v : target_labels) t_sd += (v - t_mean) * (v - t_mean);
+  t_sd = std::sqrt(t_sd / static_cast<double>(target_labels.size()));
+  if (t_sd < 1e-6) t_sd = 1.0;
+
+  tensor::Rng rng(options.seed);
+  const size_t k = std::min(options.top_k_sources, ts.similarities.size());
+  for (size_t i = 0; i < k; ++i) {
+    const auto& name = ts.similarities[i].workload;
+    const auto it =
+        std::find_if(sources.begin(), sources.end(),
+                     [&](const data::Dataset& d) { return d.workload == name; });
+    // Source label statistics (affine alignment to the target support).
+    const auto src_labels = labels_of(*it, target);
+    double s_mean = 0.0;
+    double s_sd = 0.0;
+    for (float v : src_labels) s_mean += v;
+    s_mean /= static_cast<double>(src_labels.size());
+    for (float v : src_labels) s_sd += (v - s_mean) * (v - s_mean);
+    s_sd = std::sqrt(s_sd / static_cast<double>(src_labels.size()));
+    if (s_sd < 1e-6) s_sd = 1.0;
+
+    const size_t take = std::min(options.samples_per_source, it->size());
+    // Random subset without replacement.
+    std::vector<size_t> idx(it->size());
+    for (size_t j = 0; j < idx.size(); ++j) idx[j] = j;
+    rng.shuffle(idx);
+    for (size_t j = 0; j < take; ++j) {
+      const auto& s = it->samples[idx[j]];
+      ts.x.push_back(s.features);
+      const double raw = data::target_of(s, target).front();
+      ts.y.push_back(static_cast<float>(
+          t_mean + (raw - s_mean) / s_sd * t_sd));
+    }
+  }
+  // Replicate target support rows so the scarce target data carries weight.
+  for (size_t r = 0; r < std::max<size_t>(1, options.target_replication); ++r) {
+    for (const auto& s : target_support.samples) {
+      ts.x.push_back(s.features);
+      ts.y.push_back(data::target_of(s, target).front());
+    }
+  }
+  return ts;
+}
+
+TrEnDse::TrEnDse(TrEnDseOptions options)
+    : options_(options), model_(options.model) {}
+
+void TrEnDse::fit(const std::vector<data::Dataset>& sources,
+                  const data::Dataset& target_support,
+                  data::TargetMetric target) {
+  auto ts = build_transfer_set(sources, target_support, target, options_);
+  similarities_ = std::move(ts.similarities);
+  model_ = Gbrt(options_.model);
+  model_.fit(ts.x, ts.y);
+  fitted_ = true;
+}
+
+float TrEnDse::predict(const std::vector<float>& features) const {
+  if (!fitted_) throw std::logic_error("TrEnDse: not fitted");
+  return model_.predict(features);
+}
+
+std::vector<float> TrEnDse::predict_batch(const FeatureMatrix& x) const {
+  std::vector<float> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+TrEnDseTransformer::TrEnDseTransformer(TrEnDseTransformerOptions options)
+    : options_(std::move(options)) {}
+
+void TrEnDseTransformer::fit(const std::vector<data::Dataset>& sources,
+                             const data::Dataset& target_support,
+                             data::TargetMetric target) {
+  auto ts = build_transfer_set(sources, target_support, target,
+                               options_.selection);
+  similarities_ = std::move(ts.similarities);
+
+  // Standardize labels on the transfer set (no test-set leakage).
+  std::vector<std::vector<float>> rows;
+  rows.reserve(ts.y.size());
+  for (float v : ts.y) rows.push_back({v});
+  label_scaler_ = data::Scaler();
+  label_scaler_.fit(rows);
+
+  tensor::Rng rng(options_.seed);
+  nn::TransformerConfig cfg = options_.predictor;
+  cfg.n_outputs = 1;
+  model_ = std::make_unique<nn::TransformerRegressor>(cfg, rng);
+
+  const size_t n = ts.x.size();
+  const size_t n_feat = ts.x.front().size();
+  if (n_feat != cfg.n_tokens) {
+    throw std::invalid_argument(
+        "TrEnDseTransformer: feature width != predictor n_tokens");
+  }
+  nn::Adam opt(model_->parameters(), options_.lr);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (size_t start = 0; start < n; start += options_.batch) {
+      const size_t stop = std::min(n, start + options_.batch);
+      const size_t bs = stop - start;
+      std::vector<float> bx;
+      std::vector<float> by;
+      bx.reserve(bs * n_feat);
+      by.reserve(bs);
+      for (size_t i = start; i < stop; ++i) {
+        const auto& row = ts.x[order[i]];
+        bx.insert(bx.end(), row.begin(), row.end());
+        by.push_back(label_scaler_.transform({ts.y[order[i]]}).front());
+      }
+      auto x = tensor::Tensor::from_vector({bs, n_feat}, std::move(bx));
+      auto y = tensor::Tensor::from_vector({bs, 1}, std::move(by));
+      opt.zero_grad();
+      auto loss = tensor::mse_loss(model_->forward(x, rng, /*train=*/true), y);
+      loss.backward();
+      opt.step();
+    }
+  }
+}
+
+float TrEnDseTransformer::predict(const std::vector<float>& features) const {
+  if (!model_) throw std::logic_error("TrEnDseTransformer: not fitted");
+  const auto scaled = model_->predict_one(features);
+  return label_scaler_.inverse({scaled.front()}).front();
+}
+
+std::vector<float> TrEnDseTransformer::predict_batch(
+    const FeatureMatrix& x) const {
+  std::vector<float> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace metadse::baselines

@@ -1,0 +1,105 @@
+// TrEnDSE (Wang et al., ICCAD'23) re-implementation: the state-of-the-art
+// cross-workload DSE baseline the paper compares against. Workload
+// similarity is measured with the 1-D Wasserstein distance between metric
+// distributions; samples from the most similar source workloads are
+// transferred into the target training set; the predictor is a
+// gradient-boosted ensemble. TrEnDseTransformer swaps the ensemble for the
+// same transformer predictor MetaDSE uses (the paper's second baseline).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "baselines/ensembles.hpp"
+#include "data/dataset.hpp"
+#include "nn/transformer.hpp"
+
+namespace metadse::baselines {
+
+/// Source-workload similarity score (smaller distance = more similar).
+struct SourceSimilarity {
+  std::string workload;
+  double wasserstein = 0.0;
+};
+
+/// Options shared by the TrEnDSE variants.
+struct TrEnDseOptions {
+  size_t top_k_sources = 3;         ///< most-similar source workloads used
+  size_t samples_per_source = 150;  ///< transferred samples per source
+  size_t target_replication = 8;    ///< oversampling of target support rows
+  GbrtOptions model{};              ///< ensemble predictor settings
+  uint64_t seed = 31;
+};
+
+/// TrEnDSE with the original ensemble predictor.
+class TrEnDse {
+ public:
+  explicit TrEnDse(TrEnDseOptions options = {});
+
+  /// Fits from @p sources plus a labelled target support set.
+  /// @p target selects which metric column drives similarity + training.
+  void fit(const std::vector<data::Dataset>& sources,
+           const data::Dataset& target_support, data::TargetMetric target);
+
+  float predict(const std::vector<float>& features) const;
+  std::vector<float> predict_batch(const FeatureMatrix& x) const;
+
+  /// Similarities computed during the last fit, most similar first.
+  const std::vector<SourceSimilarity>& similarities() const {
+    return similarities_;
+  }
+
+ private:
+  TrEnDseOptions options_;
+  Gbrt model_;
+  std::vector<SourceSimilarity> similarities_;
+  bool fitted_ = false;
+};
+
+/// Training schedule for the transformer variant.
+struct TrEnDseTransformerOptions {
+  TrEnDseOptions selection{};        ///< same data-transfer policy
+  nn::TransformerConfig predictor{}; ///< transformer architecture
+  size_t epochs = 60;
+  size_t batch = 32;
+  float lr = 1e-3F;
+  uint64_t seed = 33;
+};
+
+/// TrEnDSE with the ensemble replaced by a transformer predictor.
+class TrEnDseTransformer {
+ public:
+  explicit TrEnDseTransformer(TrEnDseTransformerOptions options);
+
+  void fit(const std::vector<data::Dataset>& sources,
+           const data::Dataset& target_support, data::TargetMetric target);
+
+  float predict(const std::vector<float>& features) const;
+  std::vector<float> predict_batch(const FeatureMatrix& x) const;
+
+  const std::vector<SourceSimilarity>& similarities() const {
+    return similarities_;
+  }
+
+ private:
+  TrEnDseTransformerOptions options_;
+  std::unique_ptr<nn::TransformerRegressor> model_;
+  data::Scaler label_scaler_;
+  std::vector<SourceSimilarity> similarities_;
+};
+
+/// Shared selection logic: ranks sources by Wasserstein distance between
+/// their label distribution and the target support labels, then assembles
+/// the transfer training set (selected source samples + replicated target
+/// support rows).
+struct TransferSet {
+  FeatureMatrix x;
+  std::vector<float> y;
+  std::vector<SourceSimilarity> similarities;
+};
+TransferSet build_transfer_set(const std::vector<data::Dataset>& sources,
+                               const data::Dataset& target_support,
+                               data::TargetMetric target,
+                               const TrEnDseOptions& options);
+
+}  // namespace metadse::baselines

@@ -1,0 +1,252 @@
+#include "core/metadse.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+#include "eval/metrics.hpp"
+#include "nn/serialize.hpp"
+#include "tensor/ops.hpp"
+
+namespace metadse::core {
+
+float AdaptedPredictor::predict(const std::vector<float>& features) const {
+  const auto scaled = model->predict_one(features);
+  return scaler.inverse({scaled.front()}).front();
+}
+
+MetaDseFramework::MetaDseFramework(FrameworkOptions options)
+    : options_(options),
+      space_(&arch::DesignSpace::table1()),
+      generator_(*space_) {
+  if (options_.predictor.n_tokens != space_->num_params()) {
+    throw std::invalid_argument(
+        "FrameworkOptions: predictor.n_tokens must equal the design-space "
+        "parameter count (" + std::to_string(space_->num_params()) + ")");
+  }
+}
+
+const data::Dataset& MetaDseFramework::dataset(const std::string& workload) {
+  auto it = cache_.find(workload);
+  if (it != cache_.end()) return it->second;
+  const auto& wl = suite_.by_name(workload);
+  // Per-workload deterministic seed so dataset identity is independent of
+  // generation order.
+  tensor::Rng rng(options_.seed ^ std::hash<std::string>{}(workload));
+  auto ds = generator_.generate(wl, options_.samples_per_workload, rng);
+  return cache_.emplace(workload, std::move(ds)).first->second;
+}
+
+std::vector<data::Dataset> MetaDseFramework::datasets(
+    const std::vector<std::string>& names) {
+  std::vector<data::Dataset> out;
+  out.reserve(names.size());
+  for (const auto& n : names) out.push_back(dataset(n));
+  return out;
+}
+
+void MetaDseFramework::pretrain() {
+  const auto train_names = suite_.names(workload::SplitRole::kTrain);
+  const auto val_names = suite_.names(workload::SplitRole::kValidation);
+  auto train_sets = datasets(train_names);
+  auto val_sets = datasets(val_names);
+  trainer_ = std::make_unique<meta::MamlTrainer>(options_.predictor,
+                                                 options_.maml);
+  trainer_->train(train_sets, val_sets);
+  mean_attention_ = trainer_->mean_attention();
+  wam_mask_ =
+      meta::WamGenerator::from_mean_attention(mean_attention_, options_.wam);
+  loaded_model_.reset();
+  loaded_scaler_.reset();
+}
+
+const nn::TransformerRegressor& MetaDseFramework::model() const {
+  if (trainer_) return trainer_->model();
+  if (loaded_model_) return *loaded_model_;
+  throw std::logic_error("MetaDseFramework: pretrain() or load_checkpoint() first");
+}
+
+const data::Scaler& MetaDseFramework::scaler() const {
+  if (trainer_) return trainer_->scaler();
+  if (loaded_scaler_) return *loaded_scaler_;
+  throw std::logic_error("MetaDseFramework: pretrain() or load_checkpoint() first");
+}
+
+const tensor::Tensor& MetaDseFramework::wam_mask() const {
+  if (!wam_mask_.defined()) {
+    throw std::logic_error("MetaDseFramework: no WAM (pretrain first)");
+  }
+  return wam_mask_;
+}
+
+const tensor::Tensor& MetaDseFramework::mean_attention() const {
+  if (!mean_attention_.defined()) {
+    throw std::logic_error(
+        "MetaDseFramework: no attention statistic (pretrain or load first)");
+  }
+  return mean_attention_;
+}
+
+void MetaDseFramework::regenerate_wam(const meta::WamOptions& options) {
+  wam_mask_ =
+      meta::WamGenerator::from_mean_attention(mean_attention(), options);
+  options_.wam = options;
+}
+
+const std::vector<meta::EpochTrace>& MetaDseFramework::trace() const {
+  if (trainer_) return trainer_->trace();
+  return loaded_trace_;
+}
+
+namespace {
+constexpr uint32_t kCkptMagic = 0x4D44'4B32;  // "MDK2"
+
+template <typename T>
+void wr(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+T rd(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("checkpoint: truncated file");
+  return v;
+}
+void wr_vec(std::ofstream& os, const std::vector<float>& v) {
+  wr(os, static_cast<uint64_t>(v.size()));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+std::vector<float> rd_vec(std::ifstream& is) {
+  const auto n = rd<uint64_t>(is);
+  std::vector<float> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is) throw std::runtime_error("checkpoint: truncated vector");
+  return v;
+}
+}  // namespace
+
+void MetaDseFramework::save_checkpoint(const std::string& path) const {
+  const auto& m = model();
+  const auto& sc = scaler();
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
+  wr(os, kCkptMagic);
+  wr(os, static_cast<uint64_t>(options_.predictor.n_tokens));
+  wr(os, static_cast<uint64_t>(options_.predictor.d_model));
+  wr(os, static_cast<uint64_t>(options_.predictor.n_layers));
+  wr_vec(os, sc.mean());
+  wr_vec(os, sc.stddev());
+  wr_vec(os, mean_attention().data());
+  wr_vec(os, m.flatten_parameters());
+  if (!os) throw std::runtime_error("save_checkpoint: write failed");
+}
+
+bool MetaDseFramework::load_checkpoint(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  if (rd<uint32_t>(is) != kCkptMagic) {
+    throw std::runtime_error("load_checkpoint: bad magic in " + path);
+  }
+  if (rd<uint64_t>(is) != options_.predictor.n_tokens ||
+      rd<uint64_t>(is) != options_.predictor.d_model ||
+      rd<uint64_t>(is) != options_.predictor.n_layers) {
+    throw std::runtime_error("load_checkpoint: architecture mismatch in " +
+                             path);
+  }
+  const auto mean = rd_vec(is);
+  const auto stddev = rd_vec(is);
+  const auto attn = rd_vec(is);
+  const auto flat = rd_vec(is);
+
+  data::Scaler sc;
+  std::vector<std::vector<float>> rows{mean, mean};  // placeholder fit
+  sc.fit(rows);
+  // Overwrite with the stored statistics via transform identity trick:
+  // Scaler has no setters by design; rebuild from two synthetic rows whose
+  // mean/std match the stored values.
+  {
+    std::vector<std::vector<float>> synth(2, std::vector<float>(mean.size()));
+    for (size_t j = 0; j < mean.size(); ++j) {
+      synth[0][j] = mean[j] - stddev[j];
+      synth[1][j] = mean[j] + stddev[j];
+    }
+    sc = data::Scaler();
+    sc.fit(synth);
+  }
+  loaded_scaler_ = sc;
+
+  nn::TransformerConfig cfg = options_.predictor;
+  cfg.n_outputs = data::target_width(options_.maml.target);
+  tensor::Rng rng(0);
+  loaded_model_ = std::make_unique<nn::TransformerRegressor>(cfg, rng);
+  loaded_model_->unflatten_parameters(flat);
+  const size_t n = options_.predictor.n_tokens;
+  mean_attention_ = tensor::Tensor::from_vector({n, n}, attn);
+  // The WAM is always derived from the stored statistic with the *current*
+  // options, so WamOptions changes apply without retraining.
+  wam_mask_ =
+      meta::WamGenerator::from_mean_attention(mean_attention_, options_.wam);
+  trainer_.reset();
+  return true;
+}
+
+std::unique_ptr<nn::TransformerRegressor> MetaDseFramework::adapt_task(
+    const tensor::Tensor& support_x, const tensor::Tensor& support_y_scaled,
+    bool use_wam) const {
+  meta::AdaptOptions opts = options_.adapt;
+  opts.use_wam = use_wam;
+  return meta::wam_adapt(model(), use_wam ? wam_mask() : tensor::Tensor(),
+                         support_x, support_y_scaled, opts);
+}
+
+AdaptedPredictor MetaDseFramework::adapt_to(
+    const data::Dataset& target_support) const {
+  if (target_support.empty()) {
+    throw std::invalid_argument("adapt_to: empty support dataset");
+  }
+  const size_t n = target_support.size();
+  const size_t n_feat = target_support.samples.front().features.size();
+  std::vector<float> xs;
+  std::vector<float> ys;
+  for (const auto& s : target_support.samples) {
+    xs.insert(xs.end(), s.features.begin(), s.features.end());
+    ys.push_back(data::target_of(s, options_.maml.target).front());
+  }
+  auto x = tensor::Tensor::from_vector({n, n_feat}, std::move(xs));
+  auto y_raw = tensor::Tensor::from_vector({n, 1}, std::move(ys));
+  auto y = scaler().transform(y_raw);
+
+  AdaptedPredictor out;
+  out.model = adapt_task(x, y, options_.adapt.use_wam);
+  out.scaler = scaler();
+  return out;
+}
+
+std::vector<TaskEval> MetaDseFramework::evaluate(const std::string& workload,
+                                                 size_t n_tasks,
+                                                 size_t support, size_t query,
+                                                 bool use_wam,
+                                                 tensor::Rng& rng) {
+  const auto& ds = dataset(workload);
+  data::TaskSampler sampler(ds, support, query, options_.maml.target);
+  std::vector<TaskEval> out;
+  out.reserve(n_tasks);
+  tensor::Rng fwd(0);
+  for (size_t k = 0; k < n_tasks; ++k) {
+    auto task = sampler.sample(rng);
+    auto sup_y = scaler().transform(task.support_y);
+    auto adapted = adapt_task(task.support_x, sup_y, use_wam);
+    auto pred_scaled = adapted->forward(task.query_x, fwd);
+    auto pred = scaler().inverse(pred_scaled);
+    TaskEval ev;
+    ev.rmse = eval::rmse(task.query_y.data(), pred.data());
+    ev.mape = eval::mape(task.query_y.data(), pred.data());
+    ev.ev = eval::explained_variance(task.query_y.data(), pred.data());
+    out.push_back(ev);
+  }
+  return out;
+}
+
+}  // namespace metadse::core

@@ -1,0 +1,126 @@
+// MetaDseFramework: the public end-to-end API of the library. It owns the
+// design space, the workload suite, dataset generation, MAML pre-training,
+// WAM generation, per-task adaptation, and evaluation — the full pipeline of
+// paper Fig. 3. All benches and examples sit on top of this facade.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+#include "meta/maml.hpp"
+#include "meta/wam.hpp"
+
+namespace metadse::core {
+
+/// Everything configurable about a MetaDSE run.
+struct FrameworkOptions {
+  nn::TransformerConfig predictor{.n_tokens = 24,
+                                  .d_model = 32,
+                                  .n_heads = 4,
+                                  .n_layers = 2,
+                                  .d_ff = 64,
+                                  .n_outputs = 1,
+                                  .dropout = 0.0F};
+  meta::MamlOptions maml{};
+  meta::WamOptions wam{};
+  meta::AdaptOptions adapt{};
+  /// Labelled design points simulated per workload.
+  size_t samples_per_workload = 1200;
+  uint64_t seed = 2025;
+};
+
+/// Prediction-quality metrics of one adapted task, in raw label units.
+struct TaskEval {
+  double rmse = 0.0;
+  double mape = 0.0;
+  double ev = 0.0;
+};
+
+/// A predictor adapted to a target workload, ready for DSE queries.
+struct AdaptedPredictor {
+  std::unique_ptr<nn::TransformerRegressor> model;
+  data::Scaler scaler;
+
+  /// Predicts the target metric (raw units) for a normalized feature vector.
+  float predict(const std::vector<float>& features) const;
+};
+
+/// The MetaDSE pipeline facade.
+class MetaDseFramework {
+ public:
+  explicit MetaDseFramework(FrameworkOptions options = {});
+
+  // -- substrate access ---------------------------------------------------------
+  const arch::DesignSpace& space() const { return *space_; }
+  const workload::SpecSuite& suite() const { return suite_; }
+  const FrameworkOptions& options() const { return options_; }
+
+  // -- dataset generation (lazy, cached per workload) -----------------------------
+  const data::Dataset& dataset(const std::string& workload);
+  std::vector<data::Dataset> datasets(const std::vector<std::string>& names);
+
+  // -- pre-training (Algorithm 1) ---------------------------------------------------
+  /// Meta-trains on the suite's train split with meta-validation on the
+  /// validation split, then generates the WAM from the accumulated
+  /// attention. Idempotent: re-running re-trains from scratch.
+  void pretrain();
+
+  bool pretrained() const { return trainer_ != nullptr; }
+  const nn::TransformerRegressor& model() const;
+  const data::Scaler& scaler() const;
+  /// The generated workload-adaptive architectural mask [n_params, n_params].
+  const tensor::Tensor& wam_mask() const;
+  /// Mean last-layer attention accumulated during pre-training (the WAM's
+  /// input statistic); available after pretrain() or load_checkpoint().
+  const tensor::Tensor& mean_attention() const;
+  /// Rebuilds the WAM from the stored attention statistic with new options
+  /// (no retraining needed) and makes it the active mask.
+  void regenerate_wam(const meta::WamOptions& options);
+  /// Replaces the adaptation hyper-parameters used by adapt_to()/evaluate().
+  void set_adapt_options(const meta::AdaptOptions& options) {
+    options_.adapt = options;
+  }
+  /// Per-epoch meta-training trace.
+  const std::vector<meta::EpochTrace>& trace() const;
+
+  // -- checkpointing --------------------------------------------------------------
+  /// Saves model parameters + scaler + WAM. Throws on I/O error.
+  void save_checkpoint(const std::string& path) const;
+  /// Returns false when @p path does not exist; throws on malformed files.
+  bool load_checkpoint(const std::string& path);
+
+  // -- adaptation & evaluation (Algorithm 2) -------------------------------------------
+  /// Adapts the pre-trained model to a target support set (raw labels);
+  /// uses the WAM unless options().adapt.use_wam is false.
+  AdaptedPredictor adapt_to(const data::Dataset& target_support) const;
+
+  /// Samples @p n_tasks (support+query) tasks from @p workload, adapts on
+  /// each support set and scores on the query set. @p use_wam toggles the
+  /// WAM (for the MetaDSE-w/o-WAM ablation).
+  std::vector<TaskEval> evaluate(const std::string& workload, size_t n_tasks,
+                                 size_t support, size_t query, bool use_wam,
+                                 tensor::Rng& rng);
+
+ private:
+  std::unique_ptr<nn::TransformerRegressor> adapt_task(
+      const tensor::Tensor& support_x, const tensor::Tensor& support_y_scaled,
+      bool use_wam) const;
+
+  FrameworkOptions options_;
+  const arch::DesignSpace* space_;
+  workload::SpecSuite suite_;
+  data::DatasetGenerator generator_;
+  std::map<std::string, data::Dataset> cache_;
+  std::unique_ptr<meta::MamlTrainer> trainer_;
+  tensor::Tensor wam_mask_;
+  tensor::Tensor mean_attention_;
+  // Set when state came from a checkpoint instead of a live trainer.
+  std::unique_ptr<nn::TransformerRegressor> loaded_model_;
+  std::optional<data::Scaler> loaded_scaler_;
+  std::vector<meta::EpochTrace> loaded_trace_;
+};
+
+}  // namespace metadse::core

@@ -1,0 +1,257 @@
+#include "data/dataset.hpp"
+
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <numeric>
+#include <stdexcept>
+
+namespace metadse::data {
+
+size_t target_width(TargetMetric t) {
+  return t == TargetMetric::kBoth ? 2 : 1;
+}
+
+std::vector<float> target_of(const Sample& s, TargetMetric t) {
+  switch (t) {
+    case TargetMetric::kIpc:
+      return {s.ipc};
+    case TargetMetric::kPower:
+      return {s.power};
+    case TargetMetric::kBoth:
+      return {s.ipc, s.power};
+  }
+  throw std::logic_error("target_of: unreachable");
+}
+
+DatasetGenerator::DatasetGenerator(const arch::DesignSpace& space,
+                                   sim::CpuModel cpu, sim::PowerModel power)
+    : space_(&space), cpu_(cpu), power_(power) {}
+
+void DatasetGenerator::set_backend(SimBackend backend,
+                                   TraceBackendOptions options) {
+  if (options.instructions == 0 || options.max_phases == 0) {
+    throw std::invalid_argument("TraceBackendOptions: zero-sized knob");
+  }
+  backend_ = backend;
+  trace_options_ = options;
+}
+
+std::pair<double, double> DatasetGenerator::evaluate(
+    const Config& c, const workload::Workload& wl) const {
+  const auto cfg = arch::to_cpu_config(*space_, c);
+  double ipc = 0.0;
+  double pw = 0.0;
+  if (backend_ == SimBackend::kAnalytical) {
+    for (const auto& phase : wl.phases()) {
+      const auto st = cpu_.simulate(cfg, phase.behavior);
+      ipc += phase.weight * st.ipc;
+      pw += phase.weight * power_.evaluate(cfg, st).total;
+    }
+    return {ipc, pw};
+  }
+  // Trace-driven backend: simulate the top-weight phases, renormalized.
+  std::vector<const workload::Phase*> phases;
+  for (const auto& p : wl.phases()) phases.push_back(&p);
+  std::sort(phases.begin(), phases.end(),
+            [](const workload::Phase* a, const workload::Phase* b) {
+              return a->weight > b->weight;
+            });
+  if (phases.size() > trace_options_.max_phases) {
+    phases.resize(trace_options_.max_phases);
+  }
+  double total_weight = 0.0;
+  for (const auto* p : phases) total_weight += p->weight;
+  for (const auto* p : phases) {
+    const auto st = sim::simulate_trace(cfg, p->behavior,
+                                        trace_options_.instructions,
+                                        trace_options_.seed);
+    // Map the measured rates into the power model's activity inputs.
+    sim::SimStats activity;
+    activity.ipc = st.ipc;
+    activity.branch_mpki = st.branch_mpki;
+    activity.l1d_mpki = st.l1d_mpki;
+    activity.l2_mpki = st.l2_mpki;
+    activity.l1i_mpki = st.l1i_mpki;
+    const double w = p->weight / total_weight;
+    ipc += w * st.ipc;
+    pw += w * power_.evaluate(cfg, activity).total;
+  }
+  return {ipc, pw};
+}
+
+Dataset DatasetGenerator::generate(const workload::Workload& wl, size_t n,
+                                   Rng& rng, bool latin_hypercube) const {
+  Dataset ds;
+  ds.workload = wl.name();
+  ds.samples.reserve(n);
+  const auto configs = latin_hypercube ? space_->sample_latin_hypercube(n, rng)
+                                       : space_->sample_uniform(n, rng);
+  for (const auto& c : configs) {
+    Sample s;
+    s.config = c;
+    s.features = space_->normalize(c);
+    const auto [ipc, pw] = evaluate(c, wl);
+    s.ipc = static_cast<float>(ipc);
+    s.power = static_cast<float>(pw);
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+Task make_task(const Dataset& dataset, const std::vector<size_t>& support_idx,
+               const std::vector<size_t>& query_idx, TargetMetric target) {
+  if (dataset.empty()) throw std::invalid_argument("make_task: empty dataset");
+  const size_t n_feat = dataset.samples.front().features.size();
+  const size_t width = target_width(target);
+  auto build = [&](const std::vector<size_t>& idx) {
+    std::vector<float> xs;
+    std::vector<float> ys;
+    xs.reserve(idx.size() * n_feat);
+    ys.reserve(idx.size() * width);
+    for (size_t i : idx) {
+      const Sample& s = dataset.samples.at(i);
+      xs.insert(xs.end(), s.features.begin(), s.features.end());
+      const auto y = target_of(s, target);
+      ys.insert(ys.end(), y.begin(), y.end());
+    }
+    return std::pair{tensor::Tensor::from_vector({idx.size(), n_feat},
+                                                 std::move(xs)),
+                     tensor::Tensor::from_vector({idx.size(), width},
+                                                 std::move(ys))};
+  };
+  Task t;
+  std::tie(t.support_x, t.support_y) = build(support_idx);
+  std::tie(t.query_x, t.query_y) = build(query_idx);
+  return t;
+}
+
+TaskSampler::TaskSampler(const Dataset& dataset, size_t support, size_t query,
+                         TargetMetric target)
+    : dataset_(&dataset), support_(support), query_(query), target_(target) {
+  if (support == 0 || query == 0) {
+    throw std::invalid_argument("TaskSampler: support and query must be > 0");
+  }
+  if (support + query > dataset.size()) {
+    throw std::invalid_argument(
+        "TaskSampler: support+query (" + std::to_string(support + query) +
+        ") exceeds dataset size (" + std::to_string(dataset.size()) + ")");
+  }
+}
+
+Task TaskSampler::sample(Rng& rng) const {
+  std::vector<size_t> idx(dataset_->size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  std::vector<size_t> sup(idx.begin(), idx.begin() + support_);
+  std::vector<size_t> qry(idx.begin() + support_,
+                          idx.begin() + support_ + query_);
+  return make_task(*dataset_, sup, qry, target_);
+}
+
+Task TaskSampler::split_all(Rng& rng) const {
+  std::vector<size_t> idx(dataset_->size());
+  std::iota(idx.begin(), idx.end(), 0);
+  rng.shuffle(idx);
+  std::vector<size_t> sup(idx.begin(), idx.begin() + support_);
+  std::vector<size_t> qry(idx.begin() + support_, idx.end());
+  return make_task(*dataset_, sup, qry, target_);
+}
+
+void Scaler::fit(const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) throw std::invalid_argument("Scaler::fit: no rows");
+  const size_t w = rows.front().size();
+  mean_.assign(w, 0.0F);
+  std_.assign(w, 0.0F);
+  for (const auto& r : rows) {
+    if (r.size() != w) throw std::invalid_argument("Scaler::fit: ragged rows");
+    for (size_t j = 0; j < w; ++j) mean_[j] += r[j];
+  }
+  for (auto& m : mean_) m /= static_cast<float>(rows.size());
+  for (const auto& r : rows) {
+    for (size_t j = 0; j < w; ++j) {
+      const float d = r[j] - mean_[j];
+      std_[j] += d * d;
+    }
+  }
+  for (auto& s : std_) {
+    s = std::sqrt(s / static_cast<float>(rows.size()));
+    if (s < 1e-8F) s = 1.0F;  // constant column: identity scale
+  }
+}
+
+void Scaler::fit(const std::vector<Dataset>& datasets, TargetMetric target) {
+  std::vector<std::vector<float>> rows;
+  for (const auto& ds : datasets) {
+    for (const auto& s : ds.samples) rows.push_back(target_of(s, target));
+  }
+  fit(rows);
+}
+
+std::vector<float> Scaler::transform(const std::vector<float>& row) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("Scaler::transform: width mismatch");
+  }
+  std::vector<float> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = (row[j] - mean_[j]) / std_[j];
+  }
+  return out;
+}
+
+std::vector<float> Scaler::inverse(const std::vector<float>& row) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("Scaler::inverse: width mismatch");
+  }
+  std::vector<float> out(row.size());
+  for (size_t j = 0; j < row.size(); ++j) {
+    out[j] = row[j] * std_[j] + mean_[j];
+  }
+  return out;
+}
+
+tensor::Tensor Scaler::transform(const tensor::Tensor& y) const {
+  if (y.rank() != 2 || y.dim(1) != mean_.size()) {
+    throw std::invalid_argument("Scaler::transform: expected [n, width]");
+  }
+  std::vector<float> out = y.data();
+  const size_t w = mean_.size();
+  for (size_t i = 0; i < y.dim(0); ++i) {
+    for (size_t j = 0; j < w; ++j) {
+      out[i * w + j] = (out[i * w + j] - mean_[j]) / std_[j];
+    }
+  }
+  return tensor::Tensor::from_vector(y.shape(), std::move(out));
+}
+
+tensor::Tensor Scaler::inverse(const tensor::Tensor& y) const {
+  if (y.rank() != 2 || y.dim(1) != mean_.size()) {
+    throw std::invalid_argument("Scaler::inverse: expected [n, width]");
+  }
+  std::vector<float> out = y.data();
+  const size_t w = mean_.size();
+  for (size_t i = 0; i < y.dim(0); ++i) {
+    for (size_t j = 0; j < w; ++j) {
+      out[i * w + j] = out[i * w + j] * std_[j] + mean_[j];
+    }
+  }
+  return tensor::Tensor::from_vector(y.shape(), std::move(out));
+}
+
+void write_csv(const Dataset& dataset, const arch::DesignSpace& space,
+               const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("write_csv: cannot open " + path);
+  for (const auto& spec : space.specs()) os << spec.name << ",";
+  os << "ipc,power\n";
+  for (const auto& s : dataset.samples) {
+    const auto vals = space.values_of(s.config);
+    for (double v : vals) os << v << ",";
+    os << s.ipc << "," << s.power << "\n";
+  }
+  if (!os) throw std::runtime_error("write_csv: write failed: " + path);
+}
+
+}  // namespace metadse::data

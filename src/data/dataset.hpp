@@ -1,0 +1,161 @@
+// Dataset substrate: labelled design points per workload (the product of the
+// gem5+McPAT substitute, aggregated over SimPoint phases), few-shot Task
+// construction (support/query splits), and label scaling.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/design_space.hpp"
+#include "tensor/tensor.hpp"
+#include "sim/cpu_model.hpp"
+#include "sim/power_model.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace metadse::data {
+
+using arch::Config;
+using tensor::Rng;
+
+/// One labelled design point.
+struct Sample {
+  Config config;                ///< candidate-value indices (Table I order)
+  std::vector<float> features;  ///< normalized to [0,1] per parameter
+  float ipc = 0.0F;             ///< phase-weighted IPC
+  float power = 0.0F;           ///< phase-weighted total power (watts)
+};
+
+/// All labelled samples of one workload.
+struct Dataset {
+  std::string workload;
+  std::vector<Sample> samples;
+
+  size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+};
+
+/// Which regression target(s) a model predicts.
+enum class TargetMetric { kIpc, kPower, kBoth };
+
+/// Number of outputs for a target selection (1 or 2).
+size_t target_width(TargetMetric t);
+
+/// Label vector for one sample under a target selection.
+std::vector<float> target_of(const Sample& s, TargetMetric t);
+
+/// Which gem5 substitute produces the labels.
+enum class SimBackend {
+  kAnalytical,   ///< interval-analysis CpuModel (fast; the default)
+  kTraceDriven,  ///< trace-driven PipelineSimulator (structural; ~10^3x slower)
+};
+
+/// Trace-driven backend knobs.
+struct TraceBackendOptions {
+  size_t instructions = 50000;  ///< trace length per phase
+  size_t max_phases = 5;        ///< top-weight phases simulated (renormalized)
+  uint64_t seed = 99;           ///< trace-generation seed
+};
+
+/// Generates labelled datasets by running the CPU + power models over the
+/// phases of a workload and aggregating by phase weight — the simulation
+/// pipeline of the paper's "Datasets Generation" section.
+class DatasetGenerator {
+ public:
+  explicit DatasetGenerator(const arch::DesignSpace& space,
+                            sim::CpuModel cpu = sim::CpuModel(),
+                            sim::PowerModel power = sim::PowerModel());
+
+  /// Selects the labelling backend (default analytical). The trace-driven
+  /// backend simulates the top-weight phases only (see TraceBackendOptions);
+  /// use it for small datasets or validation runs.
+  void set_backend(SimBackend backend, TraceBackendOptions options = {});
+  SimBackend backend() const { return backend_; }
+
+  /// Phase-weighted (IPC, power) of one design point on one workload.
+  std::pair<double, double> evaluate(const Config& c,
+                                     const workload::Workload& wl) const;
+
+  /// @p n design points sampled by Latin hypercube (default) or uniformly.
+  Dataset generate(const workload::Workload& wl, size_t n, Rng& rng,
+                   bool latin_hypercube = true) const;
+
+  const arch::DesignSpace& space() const { return *space_; }
+
+ private:
+  const arch::DesignSpace* space_;
+  sim::CpuModel cpu_;
+  sim::PowerModel power_;
+  SimBackend backend_ = SimBackend::kAnalytical;
+  TraceBackendOptions trace_options_{};
+};
+
+/// A few-shot task: K-shot support set and a query set, as tensors ready for
+/// the surrogate model ([n, n_params] features, [n, width] labels).
+struct Task {
+  tensor::Tensor support_x;
+  tensor::Tensor support_y;
+  tensor::Tensor query_x;
+  tensor::Tensor query_y;
+};
+
+/// Draws support/query tasks from one workload's dataset without
+/// replacement inside a task (the Split(t, s, q) of Algorithms 1-2).
+class TaskSampler {
+ public:
+  /// @p support + @p query must not exceed the dataset size.
+  TaskSampler(const Dataset& dataset, size_t support, size_t query,
+              TargetMetric target);
+
+  /// One random task.
+  Task sample(Rng& rng) const;
+
+  /// The full dataset as a single "task" with the first @p support samples
+  /// (shuffled by @p rng) as support and the rest as query — used by
+  /// baselines that train once per workload.
+  Task split_all(Rng& rng) const;
+
+  size_t support_size() const { return support_; }
+  size_t query_size() const { return query_; }
+  TargetMetric target() const { return target_; }
+
+ private:
+  const Dataset* dataset_;
+  size_t support_;
+  size_t query_;
+  TargetMetric target_;
+};
+
+/// Standardizer for labels (fit on source-workload data only, then reused
+/// downstream — no target-workload leakage).
+class Scaler {
+ public:
+  /// Fits mean/std per dimension on @p rows (each of equal width).
+  void fit(const std::vector<std::vector<float>>& rows);
+  /// Fits on a stack of datasets for the given target selection.
+  void fit(const std::vector<Dataset>& datasets, TargetMetric target);
+
+  bool fitted() const { return !mean_.empty(); }
+  std::vector<float> transform(const std::vector<float>& row) const;
+  std::vector<float> inverse(const std::vector<float>& row) const;
+  /// Transforms a [n, width] label tensor in place (returns a new tensor).
+  tensor::Tensor transform(const tensor::Tensor& y) const;
+  tensor::Tensor inverse(const tensor::Tensor& y) const;
+
+  const std::vector<float>& mean() const { return mean_; }
+  const std::vector<float>& stddev() const { return std_; }
+
+ private:
+  std::vector<float> mean_;
+  std::vector<float> std_;
+};
+
+/// Writes a dataset as CSV (header: param names, ipc, power).
+void write_csv(const Dataset& dataset, const arch::DesignSpace& space,
+               const std::string& path);
+
+/// Builds feature/label tensors from a list of sample indices.
+Task make_task(const Dataset& dataset, const std::vector<size_t>& support_idx,
+               const std::vector<size_t>& query_idx, TargetMetric target);
+
+}  // namespace metadse::data

@@ -1,0 +1,116 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace metadse::eval {
+
+namespace {
+void check_pair(std::span<const float> a, std::span<const float> b,
+                const char* fn) {
+  if (a.empty() || a.size() != b.size()) {
+    throw std::invalid_argument(std::string(fn) +
+                                ": size mismatch or empty input");
+  }
+}
+}  // namespace
+
+double rmse(std::span<const float> actual, std::span<const float> predicted) {
+  check_pair(actual, predicted, "rmse");
+  double s = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double d = static_cast<double>(actual[i]) - predicted[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(actual.size()));
+}
+
+double mape(std::span<const float> actual, std::span<const float> predicted) {
+  check_pair(actual, predicted, "mape");
+  double s = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double denom = std::max(1e-6, std::fabs(static_cast<double>(actual[i])));
+    s += std::fabs(static_cast<double>(actual[i]) - predicted[i]) / denom;
+  }
+  return s / static_cast<double>(actual.size());
+}
+
+double explained_variance(std::span<const float> actual,
+                          std::span<const float> predicted) {
+  check_pair(actual, predicted, "explained_variance");
+  double mean = 0.0;
+  for (float v : actual) mean += v;
+  mean /= static_cast<double>(actual.size());
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (size_t i = 0; i < actual.size(); ++i) {
+    const double r = static_cast<double>(actual[i]) - predicted[i];
+    const double t = static_cast<double>(actual[i]) - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot < 1e-12) return ss_res < 1e-12 ? 1.0 : -1e9;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double geomean(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("geomean: empty input");
+  double log_sum = 0.0;
+  for (double v : values) {
+    if (v <= 0.0) throw std::invalid_argument("geomean: non-positive value");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+MeanCi mean_ci(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("mean_ci: empty input");
+  MeanCi mc;
+  mc.n = values.size();
+  for (double v : values) mc.mean += v;
+  mc.mean /= static_cast<double>(mc.n);
+  if (mc.n == 1) return mc;
+  double var = 0.0;
+  for (double v : values) var += (v - mc.mean) * (v - mc.mean);
+  var /= static_cast<double>(mc.n - 1);
+  mc.ci95 = 1.96 * std::sqrt(var / static_cast<double>(mc.n));
+  return mc;
+}
+
+double wasserstein1(std::span<const float> a, std::span<const float> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("wasserstein1: empty input");
+  }
+  std::vector<float> sa(a.begin(), a.end());
+  std::vector<float> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+  // Integrate |F_a^{-1}(q) - F_b^{-1}(q)| over quantiles on a common grid.
+  const size_t grid = std::max(sa.size(), sb.size());
+  auto quantile = [](const std::vector<float>& v, double q) {
+    const double pos = q * static_cast<double>(v.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, v.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return (1.0 - frac) * v[lo] + frac * v[hi];
+  };
+  double s = 0.0;
+  for (size_t i = 0; i < grid; ++i) {
+    const double q =
+        (static_cast<double>(i) + 0.5) / static_cast<double>(grid);
+    s += std::fabs(quantile(sa, q) - quantile(sb, q));
+  }
+  return s / static_cast<double>(grid);
+}
+
+std::string format_mean_ci(const MeanCi& mc, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << mc.mean << "±" << mc.ci95;
+  return os.str();
+}
+
+}  // namespace metadse::eval

@@ -1,0 +1,46 @@
+// Evaluation metrics from the paper (§V, Eq. 1-3): RMSE, MAPE, Explained
+// Variance — plus aggregation helpers (geometric mean, mean ± 95% CI) and
+// the 1-D Wasserstein distance used for workload similarity (Fig. 2 and
+// the TrEnDSE baseline).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace metadse::eval {
+
+/// Root mean squared error (Eq. 1). Sizes must match and be non-empty.
+double rmse(std::span<const float> actual, std::span<const float> predicted);
+
+/// Mean absolute percentage error (Eq. 2), reported as a fraction (the paper
+/// scales by 100; Table II values are fractions of that form). Entries of
+/// @p actual equal to zero are guarded with a small epsilon.
+double mape(std::span<const float> actual, std::span<const float> predicted);
+
+/// Explained variance (Eq. 3): 1 - SS_res / SS_tot. Returns 1 when actuals
+/// are constant and predictions are exact; -inf is clamped to a large
+/// negative value for constant actuals with wrong predictions.
+double explained_variance(std::span<const float> actual,
+                          std::span<const float> predicted);
+
+/// Geometric mean of positive values.
+double geomean(std::span<const double> values);
+
+/// Sample mean and half-width of the normal-approximation 95% confidence
+/// interval (1.96 * sd / sqrt(n)).
+struct MeanCi {
+  double mean = 0.0;
+  double ci95 = 0.0;
+  size_t n = 0;
+};
+MeanCi mean_ci(std::span<const double> values);
+
+/// 1-D Wasserstein-1 distance between two empirical distributions (equal
+/// weights): the L1 distance between sorted samples / quantile functions.
+double wasserstein1(std::span<const float> a, std::span<const float> b);
+
+/// Formats "m±c" with the given precision (Table II style).
+std::string format_mean_ci(const MeanCi& mc, int precision = 4);
+
+}  // namespace metadse::eval

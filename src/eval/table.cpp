@@ -1,0 +1,96 @@
+#include "eval/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace metadse::eval {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  if (header.empty()) throw std::invalid_argument("TextTable: empty header");
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != rows_.front().size()) {
+    throw std::invalid_argument("TextTable: column count mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  const size_t cols = rows_.front().size();
+  std::vector<size_t> width(cols, 0);
+  for (const auto& r : rows_) {
+    for (size_t c = 0; c < cols; ++c) width[c] = std::max(width[c], r[c].size());
+  }
+  std::ostringstream os;
+  for (size_t ri = 0; ri < rows_.size(); ++ri) {
+    for (size_t c = 0; c < cols; ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << rows_[ri][c];
+      os << std::string(width[c] - rows_[ri][c].size(), ' ');
+    }
+    os << " |\n";
+    if (ri == 0) {
+      for (size_t c = 0; c < cols; ++c) {
+        os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+      }
+      os << "-|\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_heatmap(const std::vector<std::string>& labels,
+                           const std::vector<std::vector<double>>& matrix,
+                           int precision) {
+  if (labels.size() != matrix.size()) {
+    throw std::invalid_argument("render_heatmap: label/matrix size mismatch");
+  }
+  double lo = 1e300;
+  double hi = -1e300;
+  for (const auto& row : matrix) {
+    if (row.size() != labels.size()) {
+      throw std::invalid_argument("render_heatmap: matrix must be square");
+    }
+    for (double v : row) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  const std::string ramp = " .:-=+*#%@";  // light -> dark
+  auto shade = [&](double v) {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    const size_t i = std::min(ramp.size() - 1,
+                              static_cast<size_t>(t * static_cast<double>(
+                                                          ramp.size())));
+    return ramp[i];
+  };
+  size_t lw = 0;
+  for (const auto& l : labels) lw = std::max(lw, l.size());
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  for (size_t r = 0; r < matrix.size(); ++r) {
+    os << labels[r] << std::string(lw - labels[r].size(), ' ') << " |";
+    for (size_t c = 0; c < matrix.size(); ++c) {
+      os << ' ' << shade(matrix[r][c]) << shade(matrix[r][c]);
+    }
+    os << " |";
+    for (size_t c = 0; c < matrix.size(); ++c) os << ' ' << matrix[r][c];
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace metadse::eval

@@ -1,0 +1,35 @@
+// ASCII rendering of benchmark results: aligned tables (paper Tables II/III)
+// and shaded heatmaps (paper Fig. 2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace metadse::eval {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row (fixes the column count).
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends one row; must match the header's column count.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with column alignment and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Renders a labelled matrix as an ASCII heatmap: each cell is shaded by a
+/// character ramp (darker = larger), plus the numeric value.
+std::string render_heatmap(const std::vector<std::string>& labels,
+                           const std::vector<std::vector<double>>& matrix,
+                           int precision = 2);
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 4);
+
+}  // namespace metadse::eval

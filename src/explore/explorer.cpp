@@ -1,0 +1,64 @@
+#include "explore/explorer.hpp"
+
+#include <stdexcept>
+
+namespace metadse::explore {
+
+EvolutionaryExplorer::EvolutionaryExplorer(ExplorerOptions options)
+    : options_(options) {
+  if (options_.initial_samples == 0 || options_.mutations_per_step == 0) {
+    throw std::invalid_argument("ExplorerOptions: zero-sized knob");
+  }
+}
+
+ParetoArchive EvolutionaryExplorer::explore(const arch::DesignSpace& space,
+                                            const Evaluator& evaluate) const {
+  tensor::Rng rng(options_.seed);
+  ParetoArchive archive;
+
+  for (auto& c : space.sample_latin_hypercube(options_.initial_samples, rng)) {
+    Objective o = evaluate(c);
+    archive.insert(std::move(c), o);
+  }
+
+  for (size_t it = 0; it < options_.iterations; ++it) {
+    if (archive.empty()) break;
+    // Mutate a random archive member.
+    const auto& parent =
+        archive.entries()[rng.uniform_index(archive.size())].config;
+    arch::Config child = parent;
+    for (size_t m = 0; m < options_.mutations_per_step; ++m) {
+      const size_t p = rng.uniform_index(space.num_params());
+      const size_t card = space.spec(p).cardinality();
+      if (card == 1) continue;
+      // ±1 or ±2 candidate steps (clamped), occasionally a random jump.
+      if (rng.uniform() < 0.15) {
+        child[p] = rng.uniform_index(card);
+      } else {
+        const int step = rng.uniform() < 0.5 ? -1 : 1;
+        const int mag = rng.uniform() < 0.3 ? 2 : 1;
+        const long idx = static_cast<long>(child[p]) + step * mag;
+        child[p] = static_cast<size_t>(
+            std::clamp<long>(idx, 0, static_cast<long>(card) - 1));
+      }
+    }
+    Objective o = evaluate(child);
+    archive.insert(std::move(child), o);
+  }
+  return archive;
+}
+
+ParetoArchive random_search(const arch::DesignSpace& space,
+                            const Evaluator& evaluate, size_t budget,
+                            tensor::Rng& rng) {
+  if (budget == 0) throw std::invalid_argument("random_search: zero budget");
+  ParetoArchive archive;
+  for (size_t i = 0; i < budget; ++i) {
+    auto c = space.random_config(rng);
+    Objective o = evaluate(c);
+    archive.insert(std::move(c), o);
+  }
+  return archive;
+}
+
+}  // namespace metadse::explore

@@ -1,0 +1,51 @@
+// Design-space explorers: a random-screening baseline and an evolutionary
+// (archive-driven mutation) multi-objective explorer, both driven by an
+// arbitrary objective evaluator — either the simulator (oracle) or an
+// adapted MetaDSE predictor (the few-shot DSE loop the paper motivates).
+#pragma once
+
+#include <functional>
+
+#include "explore/pareto.hpp"
+#include "tensor/rng.hpp"
+
+namespace metadse::explore {
+
+/// Evaluates one configuration's objectives.
+using Evaluator = std::function<Objective(const arch::Config&)>;
+
+/// Budget/strategy knobs for the evolutionary explorer.
+struct ExplorerOptions {
+  size_t initial_samples = 128;  ///< LHS seeding of the archive
+  size_t iterations = 512;       ///< mutation/evaluation steps after seeding
+  size_t mutations_per_step = 2; ///< parameters perturbed per mutation
+  uint64_t seed = 71;
+};
+
+/// Evolutionary Pareto search: seed with Latin-hypercube samples, then
+/// repeatedly mutate archive members (±1..2 candidate steps on a few
+/// parameters) and keep non-dominated results.
+class EvolutionaryExplorer {
+ public:
+  explicit EvolutionaryExplorer(ExplorerOptions options = {});
+
+  /// Runs the search; @p evaluate is called once per examined point.
+  ParetoArchive explore(const arch::DesignSpace& space,
+                        const Evaluator& evaluate) const;
+
+  /// Number of evaluator calls an explore() run makes.
+  size_t budget() const {
+    return options_.initial_samples + options_.iterations;
+  }
+
+ private:
+  ExplorerOptions options_;
+};
+
+/// Baseline: evaluate @p budget uniform random points and keep the Pareto
+/// set (what a designer does without a surrogate).
+ParetoArchive random_search(const arch::DesignSpace& space,
+                            const Evaluator& evaluate, size_t budget,
+                            tensor::Rng& rng);
+
+}  // namespace metadse::explore

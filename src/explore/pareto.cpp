@@ -1,0 +1,87 @@
+#include "explore/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metadse::explore {
+
+bool dominates(const Objective& a, const Objective& b) {
+  const bool no_worse = a.ipc >= b.ipc && a.power <= b.power;
+  const bool better = a.ipc > b.ipc || a.power < b.power;
+  return no_worse && better;
+}
+
+bool ParetoArchive::insert(arch::Config config, Objective objective) {
+  for (const auto& e : entries_) {
+    if (dominates(e.objective, objective)) return false;
+    if (e.objective.ipc == objective.ipc &&
+        e.objective.power == objective.power) {
+      return false;  // exact duplicate
+    }
+  }
+  std::erase_if(entries_, [&](const Entry& e) {
+    return dominates(objective, e.objective);
+  });
+  entries_.push_back({std::move(config), objective});
+  return true;
+}
+
+double ParetoArchive::hypervolume(const Objective& ref) const {
+  if (entries_.empty()) return 0.0;
+  // Sort by IPC descending; walk down in power.
+  std::vector<Objective> pts = objectives();
+  std::sort(pts.begin(), pts.end(), [](const Objective& a, const Objective& b) {
+    return a.ipc > b.ipc;
+  });
+  double hv = 0.0;
+  double prev_power = ref.power;
+  for (const auto& p : pts) {
+    const double ipc = std::max(p.ipc, ref.ipc);
+    const double power = std::max(p.power, 0.0);
+    if (ipc <= ref.ipc || power >= prev_power) continue;
+    hv += (ipc - ref.ipc) * (prev_power - std::max(power, 0.0));
+    prev_power = power;
+  }
+  return hv;
+}
+
+std::vector<Objective> ParetoArchive::objectives() const {
+  std::vector<Objective> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.objective);
+  return out;
+}
+
+double adrs(const std::vector<Objective>& reference,
+            const std::vector<Objective>& approximation) {
+  if (reference.empty() || approximation.empty()) {
+    throw std::invalid_argument("adrs: empty input set");
+  }
+  // Normalize by the reference set's objective ranges.
+  double ipc_lo = 1e300;
+  double ipc_hi = -1e300;
+  double pw_lo = 1e300;
+  double pw_hi = -1e300;
+  for (const auto& r : reference) {
+    ipc_lo = std::min(ipc_lo, r.ipc);
+    ipc_hi = std::max(ipc_hi, r.ipc);
+    pw_lo = std::min(pw_lo, r.power);
+    pw_hi = std::max(pw_hi, r.power);
+  }
+  const double ipc_rng = std::max(1e-9, ipc_hi - ipc_lo);
+  const double pw_rng = std::max(1e-9, pw_hi - pw_lo);
+  double total = 0.0;
+  for (const auto& r : reference) {
+    double best = 1e300;
+    for (const auto& a : approximation) {
+      const double di = (r.ipc - a.ipc) / ipc_rng;
+      const double dp = (r.power - a.power) / pw_rng;
+      best = std::min(best, std::sqrt(di * di + dp * dp));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(reference.size());
+}
+
+}  // namespace metadse::explore

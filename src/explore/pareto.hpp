@@ -1,0 +1,59 @@
+// Multi-objective DSE support: Pareto dominance over (IPC up, power down),
+// a non-dominated archive, the 2-D hypervolume indicator, and ADRS (average
+// distance to reference set) — the standard metrics CPU-DSE papers (incl.
+// the AttentionDSE line this paper builds on) report.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "arch/design_space.hpp"
+
+namespace metadse::explore {
+
+/// One design point's objectives: IPC is maximized, power minimized.
+struct Objective {
+  double ipc = 0.0;
+  double power = 0.0;
+};
+
+/// True iff @p a dominates @p b (no worse in both, strictly better in one).
+bool dominates(const Objective& a, const Objective& b);
+
+/// A Pareto-optimal archive of (configuration, objectives) pairs.
+class ParetoArchive {
+ public:
+  struct Entry {
+    arch::Config config;
+    Objective objective;
+  };
+
+  /// Inserts a candidate; returns true when it is non-dominated (dominated
+  /// incumbents are evicted). Duplicate objectives are kept once.
+  bool insert(arch::Config config, Objective objective);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// 2-D hypervolume dominated by the archive with respect to a reference
+  /// point (ref.ipc below every point, ref.power above every point).
+  /// Points outside the reference box contribute their clipped area.
+  double hypervolume(const Objective& ref) const;
+
+  /// Objectives only (for ADRS computations).
+  std::vector<Objective> objectives() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Average Distance to Reference Set: mean over reference points of the
+/// minimum normalized Euclidean distance to the approximation set. Lower is
+/// better; 0 means the reference front is fully covered.
+double adrs(const std::vector<Objective>& reference,
+            const std::vector<Objective>& approximation);
+
+}  // namespace metadse::explore

@@ -1,0 +1,133 @@
+#include "meta/ensemble_adapt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace metadse::meta {
+
+AdaptedEnsemble AdaptedEnsemble::create(
+    const nn::TransformerRegressor& pretrained, const tensor::Tensor& mask,
+    const tensor::Tensor& support_x, const tensor::Tensor& support_y,
+    const EnsembleAdaptOptions& options) {
+  if (options.n_members == 0 || options.bootstrap_fraction <= 0.0 ||
+      options.bootstrap_fraction > 1.0) {
+    throw std::invalid_argument("EnsembleAdaptOptions: invalid knob");
+  }
+  const size_t n = support_x.dim(0);
+  const size_t n_feat = support_x.dim(1);
+  const size_t width = support_y.dim(1);
+  const size_t take = std::max<size_t>(
+      2, static_cast<size_t>(options.bootstrap_fraction *
+                             static_cast<double>(n)));
+
+  tensor::Rng rng(options.seed);
+  AdaptedEnsemble ens;
+  ens.members_.reserve(options.n_members);
+  for (size_t m = 0; m < options.n_members; ++m) {
+    std::vector<size_t> idx(n);
+    std::iota(idx.begin(), idx.end(), 0);
+    rng.shuffle(idx);
+    idx.resize(std::min(take, n));
+    std::vector<float> xs;
+    std::vector<float> ys;
+    for (size_t i : idx) {
+      xs.insert(xs.end(), support_x.data().begin() + i * n_feat,
+                support_x.data().begin() + (i + 1) * n_feat);
+      ys.insert(ys.end(), support_y.data().begin() + i * width,
+                support_y.data().begin() + (i + 1) * width);
+    }
+    auto bx = tensor::Tensor::from_vector({idx.size(), n_feat}, std::move(xs));
+    auto by = tensor::Tensor::from_vector({idx.size(), width}, std::move(ys));
+    ens.members_.push_back(
+        wam_adapt(pretrained, mask, bx, by, options.adapt));
+  }
+  return ens;
+}
+
+AdaptedEnsemble::Prediction AdaptedEnsemble::predict(
+    const std::vector<float>& features) const {
+  if (members_.empty()) throw std::logic_error("AdaptedEnsemble: empty");
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (const auto& m : members_) {
+    const double y = m->predict_one(features).front();
+    sum += y;
+    sum2 += y * y;
+  }
+  const double n = static_cast<double>(members_.size());
+  Prediction p;
+  p.mean = static_cast<float>(sum / n);
+  const double var = std::max(0.0, sum2 / n - (sum / n) * (sum / n));
+  p.stddev = static_cast<float>(std::sqrt(var));
+  return p;
+}
+
+data::Dataset select_support_actively(
+    const nn::TransformerRegressor& pretrained, const tensor::Tensor& mask,
+    const data::Scaler& scaler, const arch::DesignSpace& space,
+    const std::vector<arch::Config>& pool, const LabelOracle& oracle,
+    size_t budget, const EnsembleAdaptOptions& options) {
+  if (budget < 3) {
+    throw std::invalid_argument("select_support_actively: budget must be >= 3");
+  }
+  if (pool.size() < budget) {
+    throw std::invalid_argument("select_support_actively: pool too small");
+  }
+
+  data::Dataset support;
+  support.workload = "active-selection";
+  std::vector<bool> used(pool.size(), false);
+  tensor::Rng rng(options.seed + 1);
+
+  auto label = [&](size_t pool_idx) {
+    used[pool_idx] = true;
+    data::Sample s;
+    s.config = pool[pool_idx];
+    s.features = space.normalize(pool[pool_idx]);
+    const auto [ipc, power] = oracle(pool[pool_idx]);
+    s.ipc = static_cast<float>(ipc);
+    s.power = static_cast<float>(power);
+    support.samples.push_back(std::move(s));
+  };
+
+  // Seed: three random picks (an ensemble needs something to disagree on).
+  for (int k = 0; k < 3; ++k) {
+    size_t i = rng.uniform_index(pool.size());
+    while (used[i]) i = rng.uniform_index(pool.size());
+    label(i);
+  }
+
+  while (support.size() < budget) {
+    // Re-adapt the ensemble on everything labelled so far.
+    const size_t n = support.size();
+    const size_t n_feat = support.samples.front().features.size();
+    std::vector<float> xs;
+    std::vector<float> ys;
+    for (const auto& s : support.samples) {
+      xs.insert(xs.end(), s.features.begin(), s.features.end());
+      ys.push_back(scaler.transform({s.ipc}).front());
+    }
+    auto sx = tensor::Tensor::from_vector({n, n_feat}, std::move(xs));
+    auto sy = tensor::Tensor::from_vector({n, 1}, std::move(ys));
+    const auto ens =
+        AdaptedEnsemble::create(pretrained, mask, sx, sy, options);
+
+    // Acquire the unlabelled candidate with maximal disagreement.
+    double best_std = -1.0;
+    size_t best_i = 0;
+    for (size_t i = 0; i < pool.size(); ++i) {
+      if (used[i]) continue;
+      const auto p = ens.predict(space.normalize(pool[i]));
+      if (p.stddev > best_std) {
+        best_std = p.stddev;
+        best_i = i;
+      }
+    }
+    label(best_i);
+  }
+  return support;
+}
+
+}  // namespace metadse::meta

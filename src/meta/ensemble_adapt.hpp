@@ -1,0 +1,69 @@
+// Extension beyond the paper: uncertainty-aware adaptation. An ensemble of
+// independently adapted predictors (bootstrap resamples of the support set)
+// yields epistemic uncertainty from member disagreement, which in turn
+// enables *active* support selection — spending the K-simulation budget on
+// the design points the current predictor is least sure about, instead of
+// random ones. (The paper lists sample-efficient adaptation as the goal;
+// this is the natural next step its framework enables.)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "data/dataset.hpp"
+#include "meta/wam.hpp"
+
+namespace metadse::meta {
+
+/// Knobs for the adapted ensemble.
+struct EnsembleAdaptOptions {
+  size_t n_members = 5;
+  /// Fraction of the support set each member sees (sampled w/o replacement).
+  double bootstrap_fraction = 0.8;
+  AdaptOptions adapt{};
+  uint64_t seed = 131;
+};
+
+/// An ensemble of predictors adapted from the same meta-initialization on
+/// bootstrap resamples of one support set.
+class AdaptedEnsemble {
+ public:
+  /// Prediction with epistemic uncertainty (member disagreement).
+  struct Prediction {
+    float mean = 0.0F;
+    float stddev = 0.0F;
+  };
+
+  /// Adapts options.n_members clones. @p mask may be undefined when
+  /// options.adapt.use_wam is false. Labels must already be standardized.
+  static AdaptedEnsemble create(const nn::TransformerRegressor& pretrained,
+                                const tensor::Tensor& mask,
+                                const tensor::Tensor& support_x,
+                                const tensor::Tensor& support_y,
+                                const EnsembleAdaptOptions& options);
+
+  /// Mean and stddev of the members' predictions (standardized space).
+  Prediction predict(const std::vector<float>& features) const;
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<nn::TransformerRegressor>> members_;
+};
+
+/// Labels one design point: (ipc, power), e.g. DatasetGenerator::evaluate.
+using LabelOracle =
+    std::function<std::pair<double, double>(const arch::Config&)>;
+
+/// Greedy max-uncertainty support selection: seed with a few random picks,
+/// then repeatedly label the pool candidate where the ensemble (re-adapted
+/// on everything labelled so far) disagrees most, until @p budget points are
+/// labelled. Returns the labelled support dataset (in labelling order).
+data::Dataset select_support_actively(
+    const nn::TransformerRegressor& pretrained, const tensor::Tensor& mask,
+    const data::Scaler& scaler, const arch::DesignSpace& space,
+    const std::vector<arch::Config>& pool, const LabelOracle& oracle,
+    size_t budget, const EnsembleAdaptOptions& options);
+
+}  // namespace metadse::meta

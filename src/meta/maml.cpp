@@ -1,0 +1,229 @@
+#include "meta/maml.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace metadse::meta {
+
+namespace t = metadse::tensor;
+
+MamlTrainer::MamlTrainer(nn::TransformerConfig predictor, MamlOptions options)
+    : cfg_(predictor), options_(options) {
+  if (options_.support == 0 || options_.query == 0 ||
+      options_.inner_steps == 0 || options_.meta_batch == 0) {
+    throw std::invalid_argument("MamlOptions: zero-sized training knob");
+  }
+  cfg_.n_outputs = data::target_width(options_.target);
+  tensor::Rng rng(options_.seed);
+  model_ = std::make_unique<nn::TransformerRegressor>(cfg_, rng);
+}
+
+void MamlTrainer::train(const std::vector<data::Dataset>& train_sets,
+                        const std::vector<data::Dataset>& val_sets) {
+  if (train_sets.empty()) {
+    throw std::invalid_argument("MamlTrainer::train: no source datasets");
+  }
+  scaler_ = data::Scaler();
+  scaler_.fit(train_sets, options_.target);
+  attention_sum_.assign(cfg_.n_tokens * cfg_.n_tokens, 0.0);
+  attention_count_ = 0;
+  trace_.clear();
+
+  outer_opt_ = std::make_unique<nn::Adam>(model_->parameters(),
+                                          options_.outer_lr);
+  tensor::Rng rng(options_.seed + 1);
+  double best_val = 1e300;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    EpochTrace tr;
+    tr.train_meta_loss = run_epoch(train_sets, rng);
+    tr.val_loss = val_sets.empty() ? tr.train_meta_loss
+                                   : meta_validate(val_sets, rng);
+    trace_.push_back(tr);
+    if (tr.val_loss <= best_val) {
+      best_val = tr.val_loss;
+      best_model_ = model_->clone();
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr,
+                   "[maml] epoch %zu/%zu meta-loss %.4f val-loss %.4f\n",
+                   epoch + 1, options_.epochs, tr.train_meta_loss,
+                   tr.val_loss);
+    }
+  }
+  if (best_model_) model_->copy_parameters_from(*best_model_);
+}
+
+double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
+                              tensor::Rng& rng) {
+  // Pre-build task samplers (one per workload).
+  std::vector<data::TaskSampler> samplers;
+  samplers.reserve(train_sets.size());
+  for (const auto& ds : train_sets) {
+    samplers.emplace_back(ds, options_.support, options_.query,
+                          options_.target);
+  }
+  const size_t total_tasks =
+      options_.tasks_per_workload * train_sets.size();
+  const auto params = model_->parameters();
+
+  double loss_sum = 0.0;
+  size_t tasks_done = 0;
+  while (tasks_done < total_tasks) {
+    const size_t batch =
+        std::min(options_.meta_batch, total_tasks - tasks_done);
+    // Meta-gradient accumulator, aligned with the parameter list.
+    std::vector<std::vector<float>> meta_grad(params.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      meta_grad[i].assign(params[i].size(), 0.0F);
+    }
+    std::vector<float> reptile_delta;  // flat, for Reptile
+    if (options_.algorithm == MetaAlgorithm::kReptile) {
+      reptile_delta.assign(model_->parameter_count(), 0.0F);
+    }
+
+    for (size_t b = 0; b < batch; ++b) {
+      // Sample a task from a random source workload (T_i ~ P(T)).
+      const size_t w = rng.uniform_index(samplers.size());
+      data::Task task = samplers[w].sample(rng);
+      auto sup_y = scaler_.transform(task.support_y);
+      auto qry_y = scaler_.transform(task.query_y);
+
+      // Inner loop on a clone (theta-hat). ANIL restricts the inner loop
+      // to the regression head.
+      auto clone = model_->clone();
+      clone->set_capture_attention(true);
+      nn::Sgd inner(options_.algorithm == MetaAlgorithm::kAnil
+                        ? clone->head_parameters()
+                        : clone->parameters(),
+                    options_.inner_lr);
+      tensor::Rng fwd(0);
+      for (size_t step = 0; step < options_.inner_steps; ++step) {
+        inner.zero_grad();
+        auto loss = t::mse_loss(
+            clone->forward(task.support_x, fwd, /*train=*/true), sup_y);
+        loss.backward();
+        inner.step();
+      }
+      // Accumulate the attention map observed on the adapted model (the
+      // "mask candidates" of the WAM algorithm).
+      {
+        const auto& attn = clone->last_attention_layer().last_attention();
+        const auto& av = attn.data();
+        for (size_t i = 0; i < av.size(); ++i) attention_sum_[i] += av[i];
+        ++attention_count_;
+      }
+
+      // Outer objective: query loss at the adapted parameters.
+      clone->zero_grad();
+      auto query_loss =
+          t::mse_loss(clone->forward(task.query_x, fwd, /*train=*/true),
+                      qry_y);
+      loss_sum += query_loss.item();
+      if (options_.algorithm != MetaAlgorithm::kReptile) {
+        query_loss.backward();
+        auto cparams = clone->parameters();
+        for (size_t i = 0; i < cparams.size(); ++i) {
+          const auto& g = cparams[i].grad();
+          for (size_t j = 0; j < g.size(); ++j) meta_grad[i][j] += g[j];
+        }
+      } else {
+        // Reptile: one more inner step on the query set, then move toward
+        // the adapted parameters.
+        nn::Sgd extra(clone->parameters(), options_.inner_lr);
+        extra.zero_grad();
+        query_loss.backward();
+        extra.step();
+        const auto adapted = clone->flatten_parameters();
+        const auto init = model_->flatten_parameters();
+        for (size_t i = 0; i < adapted.size(); ++i) {
+          reptile_delta[i] += adapted[i] - init[i];
+        }
+      }
+      ++tasks_done;
+    }
+
+    // Outer update from the averaged task gradients.
+    if (options_.algorithm != MetaAlgorithm::kReptile) {
+      const float inv = 1.0F / static_cast<float>(batch);
+      auto mparams = model_->parameters();
+      for (size_t i = 0; i < mparams.size(); ++i) {
+        auto& g = mparams[i].grad();
+        for (size_t j = 0; j < g.size(); ++j) g[j] = meta_grad[i][j] * inv;
+      }
+      outer_opt_->step();
+      outer_opt_->zero_grad();
+    } else {
+      auto flat = model_->flatten_parameters();
+      const float step =
+          options_.reptile_step / static_cast<float>(batch);
+      for (size_t i = 0; i < flat.size(); ++i) {
+        flat[i] += step * reptile_delta[i];
+      }
+      model_->unflatten_parameters(flat);
+    }
+  }
+  return loss_sum / static_cast<double>(total_tasks);
+}
+
+double MamlTrainer::meta_validate(const std::vector<data::Dataset>& val_sets,
+                                  tensor::Rng& rng) const {
+  double loss_sum = 0.0;
+  size_t count = 0;
+  for (const auto& ds : val_sets) {
+    data::TaskSampler sampler(ds, options_.support, options_.query,
+                              options_.target);
+    for (size_t k = 0; k < options_.val_tasks_per_workload; ++k) {
+      data::Task task = sampler.sample(rng);
+      auto sup_y = scaler_.transform(task.support_y);
+      auto qry_y = scaler_.transform(task.query_y);
+      auto adapted =
+          adapt_clone(*model_, task.support_x, sup_y, options_.inner_steps,
+                      options_.inner_lr,
+                      options_.algorithm == MetaAlgorithm::kAnil);
+      tensor::Rng fwd(0);
+      auto loss =
+          t::mse_loss(adapted->forward(task.query_x, fwd), qry_y);
+      loss_sum += loss.item();
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : loss_sum / static_cast<double>(count);
+}
+
+const nn::TransformerRegressor& MamlTrainer::model() const { return *model_; }
+nn::TransformerRegressor& MamlTrainer::model() { return *model_; }
+
+tensor::Tensor MamlTrainer::mean_attention() const {
+  if (attention_count_ == 0) {
+    throw std::logic_error("MamlTrainer: no attention accumulated (train first)");
+  }
+  std::vector<float> m(attention_sum_.size());
+  for (size_t i = 0; i < m.size(); ++i) {
+    m[i] = static_cast<float>(attention_sum_[i] /
+                              static_cast<double>(attention_count_));
+  }
+  return tensor::Tensor::from_vector({cfg_.n_tokens, cfg_.n_tokens},
+                                     std::move(m));
+}
+
+std::unique_ptr<nn::TransformerRegressor> MamlTrainer::adapt_clone(
+    const nn::TransformerRegressor& model, const tensor::Tensor& support_x,
+    const tensor::Tensor& support_y, size_t steps, float lr,
+    bool head_only) {
+  auto clone = model.clone();
+  nn::Sgd inner(head_only ? clone->head_parameters() : clone->parameters(),
+                lr);
+  tensor::Rng fwd(0);
+  for (size_t step = 0; step < steps; ++step) {
+    inner.zero_grad();
+    auto loss =
+        t::mse_loss(clone->forward(support_x, fwd, /*train=*/true), support_y);
+    loss.backward();
+    inner.step();
+  }
+  return clone;
+}
+
+}  // namespace metadse::meta

@@ -1,0 +1,105 @@
+// MAML-based pre-training (paper Algorithm 1). The inner loop adapts a clone
+// of the surrogate on each task's support set with SGD; the outer loop
+// updates the original parameters from the accumulated query-set gradients
+// with Adam. Gradients at the adapted parameters are applied directly to the
+// initialization (first-order MAML); Reptile is available as an ablation.
+// A meta-validation pass after every epoch keeps the best initialization,
+// and last-layer attention maps are accumulated for WAM generation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "nn/optim.hpp"
+#include "nn/transformer.hpp"
+
+namespace metadse::meta {
+
+/// Meta-training algorithm selection.
+enum class MetaAlgorithm {
+  kFomaml,   ///< first-order MAML (the paper's Algorithm 1, see DESIGN.md)
+  kReptile,  ///< Reptile: interpolate toward adapted parameters
+  kAnil,     ///< ANIL: inner loop adapts only the regression head
+};
+
+/// Pre-training hyper-parameters (§VI-A; counts are configurable so the
+/// benches can trade replication for wall-clock on small hosts).
+struct MamlOptions {
+  size_t epochs = 15;
+  size_t tasks_per_workload = 200;  ///< tasks sampled per workload per epoch
+  size_t support = 5;               ///< s: support samples per task
+  size_t query = 45;                ///< q: query samples per task
+  size_t inner_steps = 5;           ///< SGD steps in the inner loop
+  size_t meta_batch = 4;            ///< tasks per outer update
+  float inner_lr = 1e-2F;           ///< alpha (for standardized labels)
+  float outer_lr = 1e-3F;           ///< beta (Adam)
+  float reptile_step = 0.5F;        ///< Reptile interpolation factor
+  MetaAlgorithm algorithm = MetaAlgorithm::kFomaml;
+  data::TargetMetric target = data::TargetMetric::kIpc;
+  /// Meta-validation tasks per validation workload per epoch.
+  size_t val_tasks_per_workload = 10;
+  uint64_t seed = 97;
+  bool verbose = false;
+};
+
+/// Per-epoch training trace (for tests and ablation plots).
+struct EpochTrace {
+  double train_meta_loss = 0.0;  ///< mean query loss after inner adaptation
+  double val_loss = 0.0;         ///< meta-validation loss (post-adaptation)
+};
+
+/// Runs Algorithm 1 over the source workloads' datasets.
+class MamlTrainer {
+ public:
+  MamlTrainer(nn::TransformerConfig predictor, MamlOptions options);
+
+  /// Meta-trains on @p train_sets with meta-validation on @p val_sets
+  /// (may be empty: then the final epoch's parameters win). Labels are
+  /// standardized with a scaler fit on @p train_sets only.
+  void train(const std::vector<data::Dataset>& train_sets,
+             const std::vector<data::Dataset>& val_sets);
+
+  /// The meta-trained predictor (best meta-validation epoch).
+  const nn::TransformerRegressor& model() const;
+  nn::TransformerRegressor& model();
+
+  /// Label scaler fit on the source workloads.
+  const data::Scaler& scaler() const { return scaler_; }
+
+  /// Mean of the last-layer attention maps accumulated across all
+  /// inner-loop adaptations ([n_tokens, n_tokens]); input to WAM.
+  tensor::Tensor mean_attention() const;
+  /// Number of attention maps accumulated.
+  size_t attention_count() const { return attention_count_; }
+
+  const std::vector<EpochTrace>& trace() const { return trace_; }
+  const MamlOptions& options() const { return options_; }
+
+  /// Adapts a clone of @p model on a support set (plain fine-tuning with
+  /// @p steps of SGD at @p lr) and returns it — the shared inner-loop /
+  /// no-WAM adaptation primitive. @p head_only restricts the update to the
+  /// regression head (ANIL).
+  static std::unique_ptr<nn::TransformerRegressor> adapt_clone(
+      const nn::TransformerRegressor& model, const tensor::Tensor& support_x,
+      const tensor::Tensor& support_y, size_t steps, float lr,
+      bool head_only = false);
+
+ private:
+  double run_epoch(const std::vector<data::Dataset>& train_sets,
+                   tensor::Rng& rng);
+  double meta_validate(const std::vector<data::Dataset>& val_sets,
+                       tensor::Rng& rng) const;
+
+  nn::TransformerConfig cfg_;
+  MamlOptions options_;
+  std::unique_ptr<nn::TransformerRegressor> model_;
+  std::unique_ptr<nn::TransformerRegressor> best_model_;
+  std::unique_ptr<nn::Adam> outer_opt_;
+  data::Scaler scaler_;
+  std::vector<EpochTrace> trace_;
+  std::vector<double> attention_sum_;  ///< running sum of [S,S] maps
+  size_t attention_count_ = 0;
+};
+
+}  // namespace metadse::meta

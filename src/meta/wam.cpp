@@ -1,0 +1,161 @@
+#include "meta/wam.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace metadse::meta {
+
+namespace t = metadse::tensor;
+
+WamGenerator::WamGenerator(size_t n_tokens) : n_(n_tokens) {
+  if (n_tokens == 0) throw std::invalid_argument("WamGenerator: n_tokens == 0");
+  hits_.assign(n_ * n_, 0.0);
+}
+
+void WamGenerator::accumulate(const tensor::Tensor& attention) {
+  if (attention.shape() != tensor::Shape{n_, n_}) {
+    throw std::invalid_argument("WamGenerator: attention must be [n, n]");
+  }
+  const auto& a = attention.data();
+  for (size_t r = 0; r < n_; ++r) {
+    double row_mean = 0.0;
+    for (size_t c = 0; c < n_; ++c) row_mean += a[r * n_ + c];
+    row_mean /= static_cast<double>(n_);
+    for (size_t c = 0; c < n_; ++c) {
+      if (a[r * n_ + c] > row_mean) hits_[r * n_ + c] += 1.0;
+    }
+  }
+  ++count_;
+}
+
+namespace {
+
+tensor::Tensor threshold_mask(const std::vector<double>& score, size_t n,
+                              const WamOptions& options) {
+  if (options.keep_fraction <= 0.0 || options.keep_fraction > 1.0) {
+    throw std::invalid_argument("WamOptions: keep_fraction in (0, 1]");
+  }
+  if (options.suppressed_value < 0.0F || options.suppressed_value > 1.0F) {
+    throw std::invalid_argument("WamOptions: suppressed_value in [0, 1]");
+  }
+  std::vector<float> m(n * n, options.suppressed_value);
+  if (options.mode == WamMode::kBinary) {
+    // Rank off-diagonal scores; keep the top keep_fraction.
+    std::vector<double> off;
+    off.reserve(n * n - n);
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        if (r != c) off.push_back(score[r * n + c]);
+      }
+    }
+    std::sort(off.begin(), off.end());
+    const size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(options.keep_fraction *
+                               static_cast<double>(off.size())));
+    const double cut = off[off.size() - keep];
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < n; ++c) {
+        if (r == c || score[r * n + c] >= cut) m[r * n + c] = 1.0F;
+      }
+    }
+  } else {
+    // Continuous: per row, scale scores so the row maximum keeps weight 1
+    // and rarer interactions fall toward the suppressed floor.
+    for (size_t r = 0; r < n; ++r) {
+      double row_max = 0.0;
+      for (size_t c = 0; c < n; ++c) {
+        row_max = std::max(row_max, score[r * n + c]);
+      }
+      for (size_t c = 0; c < n; ++c) {
+        const double rel = row_max > 0.0 ? score[r * n + c] / row_max : 1.0;
+        m[r * n + c] = options.suppressed_value +
+                       (1.0F - options.suppressed_value) *
+                           static_cast<float>(rel);
+      }
+      m[r * n + r] = 1.0F;  // self-interaction always kept
+    }
+  }
+  return tensor::Tensor::from_vector({n, n}, std::move(m));
+}
+
+}  // namespace
+
+tensor::Tensor WamGenerator::generate(const WamOptions& options) const {
+  if (count_ == 0) {
+    throw std::logic_error("WamGenerator: no attention maps accumulated");
+  }
+  return threshold_mask(hits_, n_, options);
+}
+
+tensor::Tensor WamGenerator::from_mean_attention(
+    const tensor::Tensor& mean_attn, const WamOptions& options) {
+  if (mean_attn.rank() != 2 || mean_attn.dim(0) != mean_attn.dim(1)) {
+    throw std::invalid_argument("from_mean_attention: need square [n, n]");
+  }
+  const size_t n = mean_attn.dim(0);
+  std::vector<double> score(mean_attn.data().begin(), mean_attn.data().end());
+  return threshold_mask(score, n, options);
+}
+
+std::unique_ptr<nn::TransformerRegressor> wam_adapt(
+    const nn::TransformerRegressor& pretrained, const tensor::Tensor& mask,
+    const tensor::Tensor& support_x, const tensor::Tensor& support_y,
+    const AdaptOptions& options) {
+  if (options.steps == 0) {
+    throw std::invalid_argument("AdaptOptions: steps must be > 0");
+  }
+  auto model = pretrained.clone();
+
+  // Algorithm 2 lines 1-2: equip f with M; set M learnable. The mask gets
+  // its own (faster) optimizer: it starts from the WAM prior and must move
+  // within ten steps, while the backbone starts from the meta-trained
+  // initialization and only needs a nudge.
+  std::vector<tensor::Tensor> params = model->parameters();
+  std::optional<nn::Sgd> mask_opt;
+  if (options.use_wam) {
+    if (!mask.defined()) {
+      throw std::invalid_argument("wam_adapt: use_wam set but mask undefined");
+    }
+    std::vector<tensor::Tensor> masks;
+    if (options.mask_all_layers) {
+      model->install_mask_all_layers(mask);
+      for (size_t i = 0; i < model->layer_count(); ++i) {
+        masks.push_back(model->attention_layer(i).mask());
+      }
+    } else {
+      model->last_attention_layer().install_mask(mask.detach());
+      masks.push_back(model->last_attention_layer().mask());
+    }
+    if (options.learn_mask) {
+      for (auto& m : masks) m.set_requires_grad(true);
+      mask_opt.emplace(std::move(masks), options.lr * options.mask_lr_scale);
+    }
+  } else {
+    model->clear_masks();
+  }
+
+  // Ten gradient steps with cosine annealing (§VI-A).
+  nn::Sgd opt(params, options.lr);
+  nn::CosineAnnealing sched(options.lr, options.steps);
+  tensor::Rng fwd(0);
+  for (size_t step = 0; step < options.steps; ++step) {
+    opt.set_lr(sched.lr_at(step));
+    if (mask_opt) {
+      mask_opt->set_lr(sched.lr_at(step) * options.mask_lr_scale);
+    }
+    opt.zero_grad();
+    if (mask_opt) mask_opt->zero_grad();
+    auto loss = t::mse_loss(
+        model->forward(support_x, fwd, /*train=*/true), support_y);
+    loss.backward();
+    opt.step();
+    if (mask_opt) mask_opt->step();
+  }
+  return model;
+}
+
+}  // namespace metadse::meta

@@ -1,0 +1,84 @@
+// Workload-adaptive Architectural Mask (paper §IV-C, Fig. 4 and Algorithm 2).
+// The mask is distilled from the last-layer attention maps observed during
+// pre-training: parameter interactions that occur with high frequency across
+// diverse workloads are kept; low-frequency (noise) interactions are
+// suppressed. During adaptation the mask is installed in the predictor's
+// last self-attention operator and optionally trained together with the
+// model parameters.
+#pragma once
+
+#include <memory>
+
+#include "data/dataset.hpp"
+#include "nn/transformer.hpp"
+
+namespace metadse::meta {
+
+/// Mask shape: hard binary keep/suppress, or a continuous profile derived
+/// from the attention statistics (suppression proportional to how rarely an
+/// interaction occurs).
+enum class WamMode { kBinary, kContinuous };
+
+/// Mask construction knobs.
+struct WamOptions {
+  /// Fraction of off-diagonal interactions kept at full strength (binary
+  /// mode), or the sharpening exponent's pivot (continuous mode).
+  double keep_fraction = 0.35;
+  /// Multiplier applied to filtered (low-frequency) interactions; also the
+  /// floor of the continuous profile.
+  float suppressed_value = 0.7F;
+  WamMode mode = WamMode::kContinuous;
+};
+
+/// Accumulates attention maps ("mask candidates") and produces the WAM.
+class WamGenerator {
+ public:
+  explicit WamGenerator(size_t n_tokens);
+
+  /// Adds one [n_tokens, n_tokens] attention map observation. Within the
+  /// map, entries exceeding their row's mean are counted as an occurring
+  /// interaction (a "hit").
+  void accumulate(const tensor::Tensor& attention);
+
+  /// Number of maps accumulated.
+  size_t count() const { return count_; }
+
+  /// Builds the mask: interactions whose hit frequency is in the top
+  /// keep_fraction get weight 1, the rest suppressed_value; the diagonal
+  /// (a parameter attending to itself) is always kept.
+  tensor::Tensor generate(const WamOptions& options = {}) const;
+
+  /// Convenience: build a WAM from a single mean-attention map (hit counts
+  /// replaced by the mean weights themselves).
+  static tensor::Tensor from_mean_attention(const tensor::Tensor& mean_attn,
+                                            const WamOptions& options = {});
+
+ private:
+  size_t n_;
+  std::vector<double> hits_;
+  size_t count_ = 0;
+};
+
+/// Adaptation hyper-parameters (Algorithm 2; §VI-A: ten gradient steps with
+/// cosine annealing).
+struct AdaptOptions {
+  size_t steps = 10;
+  float lr = 1e-2F;          ///< gamma (for standardized labels)
+  bool use_wam = true;       ///< install the mask (false = plain fine-tuning)
+  bool learn_mask = true;    ///< M.required_grad = True (Algorithm 2 line 2)
+  float mask_lr_scale = 4.0F;  ///< mask learns faster than the backbone
+  /// Install the WAM in every encoder layer instead of only the last
+  /// self-attention operator (stronger regularization; the repo ablation
+  /// found this the best-performing placement).
+  bool mask_all_layers = true;
+};
+
+/// Runs Algorithm 2: clones the meta-trained predictor, equips it with the
+/// WAM, and fine-tunes on the (already standardized) support set.
+/// @p mask may be undefined when options.use_wam is false.
+std::unique_ptr<nn::TransformerRegressor> wam_adapt(
+    const nn::TransformerRegressor& pretrained, const tensor::Tensor& mask,
+    const tensor::Tensor& support_x, const tensor::Tensor& support_y,
+    const AdaptOptions& options);
+
+}  // namespace metadse::meta

@@ -1,0 +1,61 @@
+// Multi-head self-attention with two MetaDSE-specific hooks:
+//  * attention-map capture (feeds the WAM generator during pre-training), and
+//  * an optional multiplicative architectural mask applied to the attention
+//    weights (the WAM slot of Algorithm 2), which may itself be trainable.
+#pragma once
+
+#include <optional>
+
+#include "nn/layers.hpp"
+
+namespace metadse::nn {
+
+/// Multi-head scaled-dot-product self-attention over [batch, seq, d_model].
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// @p d_model must be divisible by @p n_heads.
+  MultiHeadSelfAttention(size_t d_model, size_t n_heads, Rng& rng);
+
+  /// Attention forward pass. When a mask is installed, attention weights are
+  /// multiplied elementwise by the mask (broadcast over batch and heads) and
+  /// re-normalized so each row still sums to one.
+  Tensor forward(const Tensor& x);
+
+  /// Enables/disables recording of attention maps during forward.
+  void set_capture_attention(bool on) { capture_ = on; }
+  bool capture_attention() const { return capture_; }
+
+  /// The attention map of the most recent forward with capture enabled:
+  /// [seq, seq], averaged over batch and heads, detached from the graph.
+  /// Throws std::logic_error if nothing has been captured yet.
+  const Tensor& last_attention() const;
+
+  /// Installs the workload-adaptive architectural mask ([seq, seq],
+  /// strictly positive entries). The mask is *not* part of parameters();
+  /// callers that want it trainable (Algorithm 2) set requires_grad on it
+  /// and include mask() in their optimizer's parameter list.
+  void install_mask(Tensor mask);
+  /// Removes the mask (attention reverts to plain softmax weights).
+  void clear_mask() { mask_.reset(); }
+  bool has_mask() const { return mask_.has_value(); }
+  /// The installed mask; throws std::logic_error when absent.
+  Tensor& mask();
+  const Tensor& mask() const;
+
+  size_t d_model() const { return d_model_; }
+  size_t n_heads() const { return n_heads_; }
+
+ private:
+  size_t d_model_;
+  size_t n_heads_;
+  size_t d_head_;
+  Linear wq_;
+  Linear wk_;
+  Linear wv_;
+  Linear wo_;
+  bool capture_ = false;
+  Tensor last_attention_;
+  std::optional<Tensor> mask_;
+};
+
+}  // namespace metadse::nn

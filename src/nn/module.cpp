@@ -1,0 +1,72 @@
+#include "nn/module.hpp"
+
+#include <stdexcept>
+
+namespace metadse::nn {
+
+std::vector<Tensor> Module::parameters() const {
+  std::vector<Tensor> out = params_;
+  for (const Module* c : children_) {
+    auto sub = c->parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+void Module::zero_grad() {
+  for (auto p : parameters()) p.zero_grad();
+}
+
+size_t Module::parameter_count() const {
+  size_t n = 0;
+  for (const auto& p : parameters()) n += p.size();
+  return n;
+}
+
+void Module::copy_parameters_from(const Module& other) {
+  auto dst = parameters();
+  auto src = other.parameters();
+  if (dst.size() != src.size()) {
+    throw std::invalid_argument("copy_parameters_from: parameter count " +
+                                std::to_string(src.size()) + " vs " +
+                                std::to_string(dst.size()));
+  }
+  for (size_t i = 0; i < dst.size(); ++i) {
+    if (dst[i].shape() != src[i].shape()) {
+      throw std::invalid_argument("copy_parameters_from: shape mismatch at " +
+                                  std::to_string(i));
+    }
+    dst[i].data() = src[i].data();
+  }
+}
+
+std::vector<float> Module::flatten_parameters() const {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (const auto& p : parameters()) {
+    flat.insert(flat.end(), p.data().begin(), p.data().end());
+  }
+  return flat;
+}
+
+void Module::unflatten_parameters(std::span<const float> flat) {
+  if (flat.size() != parameter_count()) {
+    throw std::invalid_argument("unflatten_parameters: size mismatch");
+  }
+  size_t off = 0;
+  for (auto p : parameters()) {
+    auto& d = p.data();
+    std::copy(flat.begin() + off, flat.begin() + off + d.size(), d.begin());
+    off += d.size();
+  }
+}
+
+Tensor Module::register_parameter(Tensor t) {
+  t.set_requires_grad(true);
+  params_.push_back(t);
+  return t;
+}
+
+void Module::register_child(Module& child) { children_.push_back(&child); }
+
+}  // namespace metadse::nn

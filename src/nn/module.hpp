@@ -1,0 +1,63 @@
+// Module base class: a named parameter registry with deterministic ordering,
+// supporting the clone/copy operations the MAML inner loop depends on.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace metadse::nn {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+/// Base class for trainable components. Parameters registered by a module and
+/// its children are exposed in registration order, which is identical across
+/// two instances constructed with the same configuration — the property that
+/// makes copy_parameters_from / optimizer state / serialization line up.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = delete;
+  Module& operator=(Module&&) = delete;
+  virtual ~Module() = default;
+
+  /// All trainable parameters: own parameters first, then each child's,
+  /// depth-first in registration order.
+  std::vector<Tensor> parameters() const;
+
+  /// Zeroes the gradient buffers of every parameter.
+  void zero_grad();
+
+  /// Total number of trainable scalars.
+  size_t parameter_count() const;
+
+  /// Copies parameter *values* from @p other (same architecture required;
+  /// throws std::invalid_argument on any shape mismatch).
+  void copy_parameters_from(const Module& other);
+
+  /// Concatenation of all parameter values (for Reptile-style arithmetic
+  /// and serialization).
+  std::vector<float> flatten_parameters() const;
+
+  /// Writes @p flat back into the parameters; size must match exactly.
+  void unflatten_parameters(std::span<const float> flat);
+
+ protected:
+  /// Registers @p t as a trainable parameter of this module.
+  Tensor register_parameter(Tensor t);
+  /// Registers @p child so its parameters are exposed through this module.
+  void register_child(Module& child);
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<Module*> children_;
+};
+
+}  // namespace metadse::nn

@@ -1,0 +1,80 @@
+#include "nn/optim.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace metadse::nn {
+
+Sgd::Sgd(std::vector<tensor::Tensor> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  if (params_.empty()) throw std::invalid_argument("Sgd: empty parameter list");
+}
+
+void Sgd::step() {
+  for (auto& p : params_) {
+    auto& v = p.data();
+    auto& g = p.grad();
+    for (size_t i = 0; i < v.size(); ++i) v[i] -= lr_ * g[i];
+  }
+}
+
+void Sgd::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+Adam::Adam(std::vector<tensor::Tensor> params, float lr, float beta1,
+           float beta2, float eps)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  if (params_.empty()) throw std::invalid_argument("Adam: empty parameter list");
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0F);
+    v_[i].assign(params_[i].size(), 0.0F);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& val = params_[i].data();
+    auto& g = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < val.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+void Adam::zero_grad() {
+  for (auto& p : params_) p.zero_grad();
+}
+
+CosineAnnealing::CosineAnnealing(float base_lr, size_t total_steps,
+                                 float min_lr)
+    : base_lr_(base_lr), min_lr_(min_lr), total_steps_(total_steps) {
+  if (total_steps == 0) {
+    throw std::invalid_argument("CosineAnnealing: total_steps must be > 0");
+  }
+}
+
+float CosineAnnealing::lr_at(size_t t) const {
+  const float progress =
+      std::min(1.0F, static_cast<float>(t) / static_cast<float>(total_steps_));
+  const float cosv = std::cos(std::numbers::pi_v<float> * progress);
+  return min_lr_ + 0.5F * (base_lr_ - min_lr_) * (1.0F + cosv);
+}
+
+}  // namespace metadse::nn

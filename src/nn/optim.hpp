@@ -1,0 +1,71 @@
+// Optimizers and learning-rate schedules used by the MAML inner loop (SGD),
+// the outer loop (Adam), and the WAM adaptation (SGD + cosine annealing),
+// matching the paper's training recipe (§VI-A).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace metadse::nn {
+
+/// Plain stochastic gradient descent: p <- p - lr * grad(p).
+class Sgd {
+ public:
+  explicit Sgd(std::vector<tensor::Tensor> params, float lr);
+
+  /// Applies one update from the currently accumulated gradients.
+  void step();
+  /// Zeroes gradients of the managed parameters.
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  float lr_;
+};
+
+/// Adam (Kingma & Ba) with bias correction; state is keyed by parameter
+/// position, so the parameter list must stay fixed for the optimizer's life.
+class Adam {
+ public:
+  explicit Adam(std::vector<tensor::Tensor> params, float lr,
+                float beta1 = 0.9F, float beta2 = 0.999F, float eps = 1e-8F);
+
+  /// Applies one update from the currently accumulated gradients.
+  void step();
+  /// Zeroes gradients of the managed parameters.
+  void zero_grad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+  size_t step_count() const { return t_; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  size_t t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+/// Cosine-annealing schedule: lr(t) = min + 0.5 (max - min)(1 + cos(pi t/T)).
+class CosineAnnealing {
+ public:
+  CosineAnnealing(float base_lr, size_t total_steps, float min_lr = 0.0F);
+
+  /// Learning rate for step @p t (clamped to [0, total_steps]).
+  float lr_at(size_t t) const;
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  size_t total_steps_;
+};
+
+}  // namespace metadse::nn

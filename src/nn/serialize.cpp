@@ -1,0 +1,73 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace metadse::nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x4D44'5345;  // "MDSE"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ofstream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("load_parameters: truncated file");
+  return v;
+}
+}  // namespace
+
+void save_parameters(const Module& m, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  const auto params = m.parameters();
+  write_pod(os, static_cast<uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const auto& shape = p.shape();
+    write_pod(os, static_cast<uint32_t>(shape.size()));
+    for (size_t d : shape) write_pod(os, static_cast<uint64_t>(d));
+    const auto& data = p.data();
+    os.write(reinterpret_cast<const char*>(data.data()),
+             static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!os) throw std::runtime_error("save_parameters: write failed: " + path);
+}
+
+void load_parameters(Module& m, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+  if (read_pod<uint32_t>(is) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  if (read_pod<uint32_t>(is) != kVersion) {
+    throw std::runtime_error("load_parameters: unsupported version in " + path);
+  }
+  auto params = m.parameters();
+  const auto count = read_pod<uint64_t>(is);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  for (auto& p : params) {
+    const auto rank = read_pod<uint32_t>(is);
+    tensor::Shape shape(rank);
+    for (auto& d : shape) d = static_cast<size_t>(read_pod<uint64_t>(is));
+    if (shape != p.shape()) {
+      throw std::runtime_error("load_parameters: shape mismatch");
+    }
+    auto& data = p.data();
+    is.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!is) throw std::runtime_error("load_parameters: truncated tensor data");
+  }
+}
+
+}  // namespace metadse::nn

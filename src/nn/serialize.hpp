@@ -1,0 +1,19 @@
+// Binary checkpointing of module parameters (shape-checked on load), so a
+// meta-trained predictor can be saved once and adapted many times.
+#pragma once
+
+#include <string>
+
+#include "nn/module.hpp"
+
+namespace metadse::nn {
+
+/// Writes all parameters of @p m (shapes + float32 values, little-endian as
+/// the host) to @p path. Throws std::runtime_error on I/O failure.
+void save_parameters(const Module& m, const std::string& path);
+
+/// Loads parameters saved by save_parameters into @p m; throws
+/// std::runtime_error on I/O failure or any shape/count mismatch.
+void load_parameters(Module& m, const std::string& path);
+
+}  // namespace metadse::nn

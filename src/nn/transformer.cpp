@@ -1,0 +1,131 @@
+#include "nn/transformer.hpp"
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace metadse::nn {
+
+namespace t = metadse::tensor;
+
+TransformerEncoderLayer::TransformerEncoderLayer(const TransformerConfig& cfg,
+                                                 Rng& rng)
+    : attn_(cfg.d_model, cfg.n_heads, rng),
+      ln1_(cfg.d_model),
+      ln2_(cfg.d_model),
+      ff1_(cfg.d_model, cfg.d_ff, rng),
+      ff2_(cfg.d_ff, cfg.d_model, rng),
+      dropout_(cfg.dropout) {
+  register_child(attn_);
+  register_child(ln1_);
+  register_child(ln2_);
+  register_child(ff1_);
+  register_child(ff2_);
+}
+
+Tensor TransformerEncoderLayer::forward(const Tensor& x, Rng& rng,
+                                        bool train) {
+  auto h = t::add(x, attn_.forward(ln1_.forward(x)));
+  auto ff = ff2_.forward(t::gelu(ff1_.forward(ln2_.forward(h))));
+  if (dropout_ > 0.0F) ff = t::dropout(ff, dropout_, rng, train);
+  return t::add(h, ff);
+}
+
+TransformerRegressor::TransformerRegressor(const TransformerConfig& cfg,
+                                           Rng& rng)
+    : cfg_(cfg),
+      final_ln_(cfg.d_model),
+      head1_(cfg.d_model, cfg.d_model, rng),
+      head2_(cfg.d_model, cfg.n_outputs, rng) {
+  if (cfg.n_tokens == 0 || cfg.n_outputs == 0 || cfg.n_layers == 0) {
+    throw std::invalid_argument("TransformerRegressor: zero-sized config");
+  }
+  value_embed_ = register_parameter(
+      Tensor::randn({cfg.n_tokens, cfg.d_model}, rng, 0.5F));
+  param_embed_ = register_parameter(
+      Tensor::randn({cfg.n_tokens, cfg.d_model}, rng, 0.1F));
+  layers_.reserve(cfg.n_layers);
+  for (size_t i = 0; i < cfg.n_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(cfg, rng));
+    register_child(*layers_.back());
+  }
+  register_child(final_ln_);
+  register_child(head1_);
+  register_child(head2_);
+}
+
+Tensor TransformerRegressor::forward(const Tensor& x, Rng& rng, bool train) {
+  if (x.rank() != 2 || x.dim(1) != cfg_.n_tokens) {
+    throw std::invalid_argument(
+        "TransformerRegressor::forward: expected [batch, n_tokens], got " +
+        t::shape_str(x.shape()));
+  }
+  const size_t B = x.dim(0);
+  // Token embedding: scalar feature scales a learned direction, plus a
+  // learned per-parameter identity embedding.
+  auto xs = t::reshape(x, {B, cfg_.n_tokens, 1});
+  auto tokens = t::add(t::mul(xs, value_embed_), param_embed_);
+  Tensor h = tokens;
+  for (auto& layer : layers_) h = layer->forward(h, rng, train);
+  h = final_ln_.forward(h);
+  auto pooled = t::mean_axis(h, 1);  // [B, d_model]
+  auto hidden = t::gelu(head1_.forward(pooled));
+  return head2_.forward(hidden);
+}
+
+std::vector<float> TransformerRegressor::predict_one(
+    const std::vector<float>& features) {
+  auto x = Tensor::from_vector({1, cfg_.n_tokens},
+                               std::vector<float>(features));
+  auto y = forward(x, eval_rng_, /*train=*/false);
+  return y.data();
+}
+
+MultiHeadSelfAttention& TransformerRegressor::last_attention_layer() {
+  return layers_.back()->attention();
+}
+
+const MultiHeadSelfAttention& TransformerRegressor::last_attention_layer()
+    const {
+  return layers_.back()->attention();
+}
+
+void TransformerRegressor::set_capture_attention(bool on) {
+  last_attention_layer().set_capture_attention(on);
+}
+
+MultiHeadSelfAttention& TransformerRegressor::attention_layer(size_t i) {
+  return layers_.at(i)->attention();
+}
+
+void TransformerRegressor::install_mask_all_layers(const Tensor& mask) {
+  for (auto& layer : layers_) {
+    layer->attention().install_mask(mask.detach());
+  }
+}
+
+void TransformerRegressor::clear_masks() {
+  for (auto& layer : layers_) layer->attention().clear_mask();
+}
+
+std::vector<Tensor> TransformerRegressor::head_parameters() const {
+  auto p1 = head1_.parameters();
+  auto p2 = head2_.parameters();
+  p1.insert(p1.end(), p2.begin(), p2.end());
+  return p1;
+}
+
+std::unique_ptr<TransformerRegressor> TransformerRegressor::clone() const {
+  Rng scratch(0);  // values are overwritten immediately
+  auto copy = std::make_unique<TransformerRegressor>(cfg_, scratch);
+  copy->copy_parameters_from(*this);
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    const auto& src_attn = layers_[i]->attention();
+    if (src_attn.has_mask()) {
+      copy->layers_[i]->attention().install_mask(src_attn.mask().detach());
+    }
+  }
+  return copy;
+}
+
+}  // namespace metadse::nn

@@ -1,0 +1,94 @@
+// The MetaDSE surrogate predictor: a transformer encoder over architectural-
+// parameter tokens (one token per design-space parameter), following the
+// AttentionDSE-style predictor the paper adopts. Exposes the last encoder
+// layer's attention for WAM generation and a mask slot for WAM adaptation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/attention.hpp"
+
+namespace metadse::nn {
+
+/// Hyper-parameters of the transformer predictor.
+struct TransformerConfig {
+  size_t n_tokens = 24;   ///< sequence length = number of architectural params
+  size_t d_model = 32;    ///< embedding width
+  size_t n_heads = 4;     ///< attention heads
+  size_t n_layers = 2;    ///< encoder layers
+  size_t d_ff = 64;       ///< feed-forward hidden width
+  size_t n_outputs = 1;   ///< regression targets (IPC, or IPC+power)
+  float dropout = 0.0F;   ///< dropout prob in FFN (0 disables)
+};
+
+/// One pre-LayerNorm transformer encoder block.
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(const TransformerConfig& cfg, Rng& rng);
+
+  /// x: [batch, seq, d_model] -> same shape.
+  Tensor forward(const Tensor& x, Rng& rng, bool train);
+
+  MultiHeadSelfAttention& attention() { return attn_; }
+  const MultiHeadSelfAttention& attention() const { return attn_; }
+
+ private:
+  MultiHeadSelfAttention attn_;
+  LayerNorm ln1_;
+  LayerNorm ln2_;
+  Linear ff1_;
+  Linear ff2_;
+  float dropout_;
+};
+
+/// Transformer regression model mapping a normalized design-point feature
+/// vector (one scalar per architectural parameter) to one or more metrics.
+class TransformerRegressor : public Module {
+ public:
+  TransformerRegressor(const TransformerConfig& cfg, Rng& rng);
+
+  /// x: [batch, n_tokens] normalized features -> [batch, n_outputs].
+  Tensor forward(const Tensor& x, Rng& rng, bool train = false);
+
+  /// Convenience single-design-point prediction (eval mode).
+  std::vector<float> predict_one(const std::vector<float>& features);
+
+  const TransformerConfig& config() const { return cfg_; }
+
+  /// The final encoder layer's attention module — the WAM attachment point.
+  MultiHeadSelfAttention& last_attention_layer();
+  const MultiHeadSelfAttention& last_attention_layer() const;
+
+  /// Attention module of encoder layer @p i (0-based).
+  MultiHeadSelfAttention& attention_layer(size_t i);
+  size_t layer_count() const { return layers_.size(); }
+
+  /// Installs (a copy of) @p mask in every encoder layer's attention.
+  void install_mask_all_layers(const Tensor& mask);
+  /// Removes masks from every layer.
+  void clear_masks();
+
+  /// Parameters of the regression head only (for ANIL-style inner loops
+  /// that freeze the encoder during task adaptation).
+  std::vector<Tensor> head_parameters() const;
+
+  /// Enables attention capture on the final encoder layer.
+  void set_capture_attention(bool on);
+
+  /// Deep copy: same architecture, copied parameter values; an installed
+  /// mask on the last layer is copied by value (as a plain constant).
+  std::unique_ptr<TransformerRegressor> clone() const;
+
+ private:
+  TransformerConfig cfg_;
+  Tensor value_embed_;  ///< [n_tokens, d_model]: per-parameter value direction
+  Tensor param_embed_;  ///< [n_tokens, d_model]: per-parameter identity embed
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNorm final_ln_;
+  Linear head1_;
+  Linear head2_;
+  Rng eval_rng_{0};  ///< inert rng for eval-mode forwards
+};
+
+}  // namespace metadse::nn

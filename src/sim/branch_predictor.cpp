@@ -1,0 +1,126 @@
+#include "sim/branch_predictor.hpp"
+
+#include <stdexcept>
+
+namespace metadse::sim {
+
+BiModePredictor::BiModePredictor(size_t table_bits, size_t history_bits) {
+  if (table_bits == 0 || table_bits > 24 || history_bits > 24) {
+    throw std::invalid_argument("BiModePredictor: bad table size");
+  }
+  const size_t n = size_t{1} << table_bits;
+  mask_ = n - 1;
+  hist_mask_ = (size_t{1} << history_bits) - 1;
+  choice_.assign(n, SaturatingCounter(1));
+  taken_pht_.assign(n, SaturatingCounter(2));      // taken-biased
+  not_taken_pht_.assign(n, SaturatingCounter(1));  // not-taken-biased
+}
+
+bool BiModePredictor::predict(uint64_t pc) {
+  const size_t ci = (pc >> 2) & mask_;
+  const size_t pi = ((pc >> 2) ^ (history_ & hist_mask_)) & mask_;
+  return choice_[ci].taken() ? taken_pht_[pi].taken()
+                             : not_taken_pht_[pi].taken();
+}
+
+void BiModePredictor::update(uint64_t pc, bool taken) {
+  const size_t ci = (pc >> 2) & mask_;
+  const size_t pi = ((pc >> 2) ^ (history_ & hist_mask_)) & mask_;
+  const bool use_taken_side = choice_[ci].taken();
+  auto& pht = use_taken_side ? taken_pht_ : not_taken_pht_;
+  const bool pht_prediction = pht[pi].taken();
+  pht[pi].update(taken);
+  // Bi-Mode choice update rule: train the choice except when the selected
+  // PHT was correct while disagreeing with the choice direction.
+  if (!(pht_prediction == taken && use_taken_side != taken)) {
+    choice_[ci].update(taken);
+  }
+  history_ = (history_ << 1) | (taken ? 1 : 0);
+}
+
+TournamentPredictor::TournamentPredictor(size_t table_bits,
+                                         size_t local_hist_bits) {
+  if (table_bits == 0 || table_bits > 24 || local_hist_bits == 0 ||
+      local_hist_bits > 16) {
+    throw std::invalid_argument("TournamentPredictor: bad table size");
+  }
+  const size_t n = size_t{1} << table_bits;
+  mask_ = n - 1;
+  local_mask_ = (size_t{1} << local_hist_bits) - 1;
+  local_history_.assign(n, 0);
+  local_pht_.assign(n, SaturatingCounter(1));
+  global_pht_.assign(n, SaturatingCounter(1));
+  chooser_.assign(n, SaturatingCounter(1));
+}
+
+bool TournamentPredictor::predict(uint64_t pc) {
+  const size_t li = (pc >> 2) & mask_;
+  const size_t lp = local_history_[li] & mask_;
+  const size_t gi = (global_history_ ^ (pc >> 2)) & mask_;
+  const bool local = local_pht_[lp].taken();
+  const bool global = global_pht_[gi].taken();
+  return chooser_[gi].taken() ? global : local;
+}
+
+void TournamentPredictor::update(uint64_t pc, bool taken) {
+  const size_t li = (pc >> 2) & mask_;
+  const size_t lp = local_history_[li] & mask_;
+  const size_t gi = (global_history_ ^ (pc >> 2)) & mask_;
+  const bool local = local_pht_[lp].taken();
+  const bool global = global_pht_[gi].taken();
+  if (local != global) {
+    chooser_[gi].update(global == taken);  // toward the correct component
+  }
+  local_pht_[lp].update(taken);
+  global_pht_[gi].update(taken);
+  local_history_[li] =
+      static_cast<uint16_t>(((local_history_[li] << 1) | (taken ? 1 : 0)) &
+                            local_mask_);
+  global_history_ = (global_history_ << 1) | (taken ? 1 : 0);
+}
+
+Btb::Btb(size_t entries) {
+  if (entries == 0) throw std::invalid_argument("Btb: zero entries");
+  entries_.resize(entries);
+}
+
+bool Btb::lookup(uint64_t pc, uint64_t& target) const {
+  const Entry& e = entries_[pc % entries_.size()];
+  if (e.valid && e.tag == pc) {
+    target = e.target;
+    return true;
+  }
+  return false;
+}
+
+void Btb::update(uint64_t pc, uint64_t target) {
+  Entry& e = entries_[pc % entries_.size()];
+  e.tag = pc;
+  e.target = target;
+  e.valid = true;
+}
+
+ReturnAddressStack::ReturnAddressStack(size_t depth) {
+  if (depth == 0) throw std::invalid_argument("ReturnAddressStack: depth 0");
+  stack_.resize(depth);
+}
+
+void ReturnAddressStack::push(uint64_t return_address) {
+  stack_[top_] = return_address;
+  top_ = (top_ + 1) % stack_.size();
+  if (live_ < stack_.size()) ++live_;
+}
+
+uint64_t ReturnAddressStack::pop() {
+  if (live_ == 0) return 0;
+  top_ = (top_ + stack_.size() - 1) % stack_.size();
+  --live_;
+  return stack_[top_];
+}
+
+std::unique_ptr<DirectionPredictor> make_predictor(bool tournament) {
+  if (tournament) return std::make_unique<TournamentPredictor>();
+  return std::make_unique<BiModePredictor>();
+}
+
+}  // namespace metadse::sim

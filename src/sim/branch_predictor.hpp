@@ -1,0 +1,115 @@
+// Branch prediction structures for the trace-driven pipeline simulator:
+// the two candidate predictors of Table I (BiModeBP, TournamentBP) plus the
+// BTB and the return address stack. These are real table-based predictors —
+// accuracy emerges from the branch stream rather than being assumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace metadse::sim {
+
+/// 2-bit saturating counter helper.
+class SaturatingCounter {
+ public:
+  explicit SaturatingCounter(uint8_t init = 1) : v_(init) {}
+  bool taken() const { return v_ >= 2; }
+  void update(bool taken) {
+    if (taken && v_ < 3) ++v_;
+    if (!taken && v_ > 0) --v_;
+  }
+
+ private:
+  uint8_t v_;
+};
+
+/// Direction predictor interface.
+class DirectionPredictor {
+ public:
+  virtual ~DirectionPredictor() = default;
+  /// Predicts the direction of the branch at @p pc.
+  virtual bool predict(uint64_t pc) = 0;
+  /// Trains with the resolved direction.
+  virtual void update(uint64_t pc, bool taken) = 0;
+};
+
+/// Bi-Mode predictor (Lee et al.): two pattern-history tables (taken-biased
+/// and not-taken-biased) selected by a per-PC choice table; both PHTs are
+/// indexed by PC xor global history.
+class BiModePredictor : public DirectionPredictor {
+ public:
+  explicit BiModePredictor(size_t table_bits = 12, size_t history_bits = 12);
+  bool predict(uint64_t pc) override;
+  void update(uint64_t pc, bool taken) override;
+
+ private:
+  size_t mask_;
+  size_t hist_mask_;
+  uint64_t history_ = 0;
+  std::vector<SaturatingCounter> choice_;
+  std::vector<SaturatingCounter> taken_pht_;
+  std::vector<SaturatingCounter> not_taken_pht_;
+};
+
+/// Tournament predictor (Alpha 21264 style): a local predictor (per-PC
+/// history into a local PHT), a global predictor (global history into a
+/// PHT), and a chooser trained toward whichever component was right.
+class TournamentPredictor : public DirectionPredictor {
+ public:
+  explicit TournamentPredictor(size_t table_bits = 12,
+                               size_t local_hist_bits = 10);
+  bool predict(uint64_t pc) override;
+  void update(uint64_t pc, bool taken) override;
+
+ private:
+  size_t mask_;
+  size_t local_mask_;
+  uint64_t global_history_ = 0;
+  std::vector<uint16_t> local_history_;
+  std::vector<SaturatingCounter> local_pht_;
+  std::vector<SaturatingCounter> global_pht_;
+  std::vector<SaturatingCounter> chooser_;
+};
+
+/// Branch target buffer: direct-mapped tag/target store. A taken branch
+/// whose target misses the BTB costs a fetch redirect.
+class Btb {
+ public:
+  explicit Btb(size_t entries);
+  /// Returns true and sets @p target on hit.
+  bool lookup(uint64_t pc, uint64_t& target) const;
+  void update(uint64_t pc, uint64_t target);
+  size_t entries() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t tag = 0;
+    uint64_t target = 0;
+    bool valid = false;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Return address stack with wrap-around overwrite (as in real cores: an
+/// overflowing call depth silently corrupts the oldest entries).
+class ReturnAddressStack {
+ public:
+  explicit ReturnAddressStack(size_t depth);
+  void push(uint64_t return_address);
+  /// Pops the predicted return address; returns 0 when empty/corrupted.
+  uint64_t pop();
+  size_t depth() const { return stack_.size(); }
+  size_t live() const { return live_; }
+
+ private:
+  std::vector<uint64_t> stack_;
+  size_t top_ = 0;
+  size_t live_ = 0;
+};
+
+/// Factory matching Table I's predictor candidates.
+std::unique_ptr<DirectionPredictor> make_predictor(bool tournament);
+
+}  // namespace metadse::sim

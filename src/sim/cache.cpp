@@ -1,0 +1,75 @@
+#include "sim/cache.hpp"
+
+#include <stdexcept>
+
+namespace metadse::sim {
+
+namespace {
+size_t floor_pow2(size_t v) {
+  size_t p = 1;
+  while (p * 2 <= v) p *= 2;
+  return p;
+}
+}  // namespace
+
+SetAssocCache::SetAssocCache(size_t size_bytes, size_t assoc,
+                             size_t line_bytes)
+    : assoc_(assoc), line_(line_bytes) {
+  if (size_bytes == 0 || assoc == 0 || line_bytes == 0 ||
+      size_bytes < assoc * line_bytes) {
+    throw std::invalid_argument("SetAssocCache: inconsistent geometry");
+  }
+  sets_ = floor_pow2(size_bytes / (assoc * line_bytes));
+  ways_.resize(sets_ * assoc_);
+}
+
+size_t SetAssocCache::set_index(uint64_t address) const {
+  return static_cast<size_t>((address / line_) % sets_);
+}
+
+uint64_t SetAssocCache::tag_of(uint64_t address) const {
+  return address / line_ / sets_;
+}
+
+bool SetAssocCache::access(uint64_t address) {
+  ++stamp_;
+  const size_t base = set_index(address) * assoc_;
+  const uint64_t tag = tag_of(address);
+  size_t victim = base;
+  for (size_t w = base; w < base + assoc_; ++w) {
+    if (ways_[w].valid && ways_[w].tag == tag) {
+      ways_[w].lru = stamp_;
+      ++hits_;
+      return true;
+    }
+    if (!ways_[w].valid ||
+        (ways_[victim].valid && ways_[w].lru < ways_[victim].lru)) {
+      victim = w;
+    }
+  }
+  ways_[victim].tag = tag;
+  ways_[victim].valid = true;
+  ways_[victim].lru = stamp_;
+  ++misses_;
+  return false;
+}
+
+bool SetAssocCache::probe(uint64_t address) const {
+  const size_t base = set_index(address) * assoc_;
+  const uint64_t tag = tag_of(address);
+  for (size_t w = base; w < base + assoc_; ++w) {
+    if (ways_[w].valid && ways_[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void SetAssocCache::flush() {
+  for (auto& w : ways_) w.valid = false;
+}
+
+double SetAssocCache::miss_rate() const {
+  const uint64_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(misses_) / total;
+}
+
+}  // namespace metadse::sim

@@ -1,0 +1,57 @@
+// Set-associative cache with true LRU replacement — the storage structure
+// used by the trace-driven pipeline simulator (L1I, L1D, L2). Unlike the
+// analytical miss-curve in cpu_model.cpp, this models an actual address
+// stream, so conflict and spatial effects emerge instead of being assumed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace metadse::sim {
+
+/// A single-level set-associative LRU cache (tags only; no data payload).
+class SetAssocCache {
+ public:
+  /// @p size_bytes and @p line_bytes must be powers-of-two-ish positive
+  /// values with size_bytes >= assoc * line_bytes.
+  SetAssocCache(size_t size_bytes, size_t assoc, size_t line_bytes);
+
+  /// Accesses @p address: returns true on hit. On miss the line is filled
+  /// (allocate-on-miss; writes behave like reads for tag purposes).
+  bool access(uint64_t address);
+
+  /// True iff @p address is currently resident (no LRU update).
+  bool probe(uint64_t address) const;
+
+  /// Invalidates all lines.
+  void flush();
+
+  size_t sets() const { return sets_; }
+  size_t assoc() const { return assoc_; }
+  size_t line_bytes() const { return line_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  /// Miss ratio over all accesses so far (0 when untouched).
+  double miss_rate() const;
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t lru = 0;  ///< last-access stamp
+    bool valid = false;
+  };
+
+  size_t set_index(uint64_t address) const;
+  uint64_t tag_of(uint64_t address) const;
+
+  size_t sets_;
+  size_t assoc_;
+  size_t line_;
+  uint64_t stamp_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  std::vector<Way> ways_;  ///< sets_ * assoc_, row-major by set
+};
+
+}  // namespace metadse::sim

@@ -1,0 +1,188 @@
+#include "sim/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace metadse::sim {
+
+void WorkloadCharacteristics::validate() const {
+  const double mix = f_int_alu + f_int_mul + f_fp_alu + f_fp_mul + f_load +
+                     f_store + f_branch;
+  if (std::fabs(mix - 1.0) > 1e-6) {
+    throw std::invalid_argument(
+        "WorkloadCharacteristics: instruction mix sums to " +
+        std::to_string(mix) + ", expected 1.0");
+  }
+  auto in01 = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!in01(branch_entropy) || !in01(indirect_frac) || !in01(streaming) ||
+      !in01(dep_chain)) {
+    throw std::invalid_argument(
+        "WorkloadCharacteristics: unit-interval parameter out of range");
+  }
+  if (call_depth <= 0 || btb_footprint <= 0 || dcache_ws_kb <= 0 ||
+      dcache_ws2_kb <= 0 || icache_ws_kb <= 0 || ilp <= 0 || mlp < 1.0) {
+    throw std::invalid_argument(
+        "WorkloadCharacteristics: non-positive capacity/parallelism value");
+  }
+}
+
+void validate_cpu_config(const arch::CpuConfig& cfg) {
+  if (cfg.freq_ghz <= 0 || cfg.width < 1 || cfg.fetch_buffer_bytes < 4 ||
+      cfg.fetch_queue_uops < 1 || cfg.ras_size < 1 || cfg.btb_size < 1 ||
+      cfg.rob_size < 1 || cfg.int_rf < 1 || cfg.fp_rf < 1 || cfg.iq_size < 1 ||
+      cfg.lq_size < 1 || cfg.sq_size < 1 || cfg.int_alu < 1 ||
+      cfg.int_multdiv < 1 || cfg.fp_alu < 1 || cfg.fp_multdiv < 1 ||
+      cfg.cacheline_bytes < 8 || cfg.l1i_kb < 1 || cfg.l1i_assoc < 1 ||
+      cfg.l1d_kb < 1 || cfg.l1d_assoc < 1 || cfg.l2_kb < 1 ||
+      cfg.l2_assoc < 1) {
+    throw std::invalid_argument("CpuConfig: non-physical parameter value");
+  }
+}
+
+namespace {
+
+/// Power-law capacity miss curve: fraction of accesses missing a cache of
+/// @p size_kb given working set @p ws_kb; associativity sharpens the knee
+/// (conflict misses shrink), streaming raises the asymptote.
+double cache_miss_rate(double ws_kb, double size_kb, int assoc,
+                       double streaming, double cacheline_bytes) {
+  const double alpha = 0.65 + 0.15 * std::log2(static_cast<double>(assoc));
+  const double base = 0.18 + 0.30 * streaming;
+  double miss = base * std::pow(ws_kb / (ws_kb + size_kb), alpha);
+  // Spatial locality: streaming code benefits from longer lines
+  // (miss ~ 1/line); irregular code loses effective capacity slightly.
+  const double line_ratio = cacheline_bytes / 64.0;
+  miss *= std::pow(line_ratio, -0.55 * streaming);
+  miss *= std::pow(line_ratio, 0.18 * (1.0 - streaming));
+  // Compulsory floor.
+  return std::clamp(miss + 0.002, 0.0, 1.0);
+}
+
+}  // namespace
+
+SimStats CpuModel::simulate(const arch::CpuConfig& cfg,
+                            const WorkloadCharacteristics& wl) const {
+  validate_cpu_config(cfg);
+  wl.validate();
+
+  SimStats st;
+  const double W = cfg.width;
+
+  // --- front-end bandwidth bound -------------------------------------------
+  // A fetch group is limited by the fetch buffer (bytes / ~4B per uop) and
+  // smoothed by the fetch queue decoupling the fetch and decode stages.
+  const double fetch_group =
+      std::min(W, cfg.fetch_buffer_bytes / 4.0);
+  const double queue_smoothing =
+      1.0 - 0.25 * std::exp(-cfg.fetch_queue_uops / (4.0 * W));
+  st.frontend_ipc = std::max(0.5, fetch_group * queue_smoothing);
+
+  // --- window-limited ILP bound ----------------------------------------------
+  // Effective window: the smallest of ROB, IQ reach, register headroom, and
+  // the LQ/SQ occupancy limits (Little's law on the memory slots).
+  const double arch_regs = 32.0;
+  const double rf_need = 0.75;  // fraction of uops writing a register
+  const double int_frac =
+      wl.f_int_alu + wl.f_int_mul + wl.f_load + wl.f_store + wl.f_branch;
+  const double fp_frac = wl.f_fp_alu + wl.f_fp_mul;
+  const double w_int_rf =
+      std::max(8.0, (cfg.int_rf - arch_regs) / std::max(0.05, rf_need * int_frac));
+  const double w_fp_rf =
+      fp_frac > 0.01
+          ? std::max(8.0, (cfg.fp_rf - arch_regs) / std::max(0.05, rf_need * fp_frac))
+          : 1e9;
+  const double w_iq = cfg.iq_size / 0.35;  // ~35% of window waits in the IQ
+  const double w_lq = wl.f_load > 0.01 ? cfg.lq_size / wl.f_load : 1e9;
+  const double w_sq = wl.f_store > 0.01 ? cfg.sq_size / wl.f_store : 1e9;
+  const double window = std::min({static_cast<double>(cfg.rob_size), w_iq,
+                                  w_int_rf, w_fp_rf, w_lq, w_sq});
+  st.effective_window = window;
+  // sqrt-law of window ILP, damped by the workload's serial dependence.
+  const double window_exp = 0.5 * (1.0 - 0.65 * wl.dep_chain);
+  st.window_ipc = wl.ilp * std::pow(window / 64.0, window_exp);
+
+  // --- functional-unit throughput bound -----------------------------------------
+  // Per-unit issue throughput (1/latency for unpipelined units).
+  const double thr_int_alu = 1.0;
+  const double thr_int_mul = 0.45;
+  const double thr_fp_alu = 0.6;
+  const double thr_fp_mul = 0.35;
+  const double agen_ports = cfg.int_alu;  // loads/stores borrow AGUs
+  double fu_bound = 1e9;
+  auto fu_limit = [&](double frac, double units, double thr) {
+    if (frac > 1e-3) fu_bound = std::min(fu_bound, units * thr / frac);
+  };
+  fu_limit(wl.f_int_alu + 0.35 * (wl.f_load + wl.f_store), cfg.int_alu,
+           thr_int_alu);
+  fu_limit(wl.f_int_mul, cfg.int_multdiv, thr_int_mul);
+  fu_limit(wl.f_fp_alu, cfg.fp_alu, thr_fp_alu);
+  fu_limit(wl.f_fp_mul, cfg.fp_multdiv, thr_fp_mul);
+  fu_limit(wl.f_load + wl.f_store, agen_ports, 0.9);
+  st.fu_ipc = fu_bound;
+
+  const double base_ipc =
+      std::min({st.frontend_ipc, st.window_ipc, st.fu_ipc});
+  st.base_cpi = 1.0 / base_ipc;
+
+  // --- branch mispredictions -------------------------------------------------------
+  const bool tournament =
+      cfg.branch_predictor == arch::BranchPredictorType::kTournament;
+  const double predictor_miss =
+      tournament ? 0.010 + 0.070 * wl.branch_entropy
+                 : 0.022 + 0.110 * wl.branch_entropy;
+  const double btb_miss =
+      0.5 * std::exp(-static_cast<double>(cfg.btb_size) / wl.btb_footprint);
+  const double ras_miss =
+      wl.indirect_frac * std::exp(-static_cast<double>(cfg.ras_size) /
+                                  (1.5 * wl.call_depth));
+  const double misp_per_branch =
+      std::clamp(predictor_miss + 0.5 * btb_miss + 0.4 * ras_miss, 0.0, 0.6);
+  const double misp_per_inst = wl.f_branch * misp_per_branch;
+  st.branch_mpki = misp_per_inst * 1000.0;
+  // Flush penalty grows with front-end depth (wider cores run deeper FEs,
+  // longer fetch queues hold more wrong-path work).
+  const double flush_penalty =
+      6.0 + 0.5 * W + cfg.fetch_queue_uops / std::max(2.0, W);
+  st.branch_cpi = misp_per_inst * flush_penalty;
+
+  // --- cache hierarchy ---------------------------------------------------------------
+  const double l2_cycles = timing_.l2_ns * cfg.freq_ghz;
+  const double dram_cycles = timing_.dram_ns * cfg.freq_ghz;
+
+  const double l1d_miss =
+      cache_miss_rate(wl.dcache_ws_kb, cfg.l1d_kb, cfg.l1d_assoc,
+                      wl.streaming, cfg.cacheline_bytes);
+  const double l2_miss =
+      cache_miss_rate(wl.dcache_ws2_kb, cfg.l2_kb, cfg.l2_assoc,
+                      0.5 * wl.streaming, cfg.cacheline_bytes);
+  const double mem_accesses = wl.f_load + 0.3 * wl.f_store;  // stores buffer
+  st.l1d_mpki = mem_accesses * l1d_miss * 1000.0;
+  st.l2_mpki = mem_accesses * l1d_miss * l2_miss * 1000.0;
+
+  // Miss latency overlapped by MLP, itself bounded by the LQ and the window.
+  const double mlp_eff = std::clamp(
+      std::min({wl.mlp, cfg.lq_size / 6.0, window / 24.0}), 1.0, 12.0);
+  const double miss_cost_l2 = l2_cycles;
+  const double miss_cost_mem = dram_cycles;
+  st.memory_cpi = mem_accesses * l1d_miss *
+                  (miss_cost_l2 + l2_miss * miss_cost_mem) / mlp_eff;
+
+  // --- instruction cache ---------------------------------------------------------------
+  const double l1i_miss =
+      cache_miss_rate(wl.icache_ws_kb, cfg.l1i_kb, cfg.l1i_assoc, 0.15,
+                      cfg.cacheline_bytes) *
+      0.5;  // fetch-group amortization
+  const double fetch_per_inst = 1.0 / std::max(1.0, fetch_group);
+  st.l1i_mpki = l1i_miss * 1000.0 * fetch_per_inst * 4.0;
+  st.icache_cpi =
+      l1i_miss * fetch_per_inst * 4.0 * (l2_cycles + 0.15 * l2_miss * dram_cycles);
+
+  // --- total -----------------------------------------------------------------------------
+  const double cpi =
+      st.base_cpi + st.branch_cpi + st.memory_cpi + st.icache_cpi;
+  st.ipc = 1.0 / cpi;
+  return st;
+}
+
+}  // namespace metadse::sim

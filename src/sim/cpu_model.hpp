@@ -1,0 +1,63 @@
+// The gem5 substitute: an interval-analysis analytical model of an
+// out-of-order core (in the style of Karkhanis & Smith / Eyerman et al.).
+// Deterministic map (CpuConfig, WorkloadCharacteristics) -> IPC + event rates.
+//
+// The model captures the mechanisms a cycle-level simulator exposes to DSE:
+//   * front-end bandwidth (width, fetch buffer/queue, I-cache misses),
+//   * window-limited ILP (ROB / IQ / physical RF / LQ-SQ occupancy),
+//   * functional-unit throughput ceilings per instruction class,
+//   * branch mispredictions (predictor type, entropy, BTB and RAS capacity),
+//   * the two-level cache hierarchy with MLP-overlapped miss stalls, and
+//   * frequency <-> memory-latency coupling.
+#pragma once
+
+#include "arch/design_space.hpp"
+#include "sim/workload_characteristics.hpp"
+
+namespace metadse::sim {
+
+/// Event rates and the performance outcome of one simulation, per
+/// 1000 instructions where applicable (the power model's activity inputs).
+struct SimStats {
+  double ipc = 0.0;            ///< retired instructions per cycle
+  double branch_mpki = 0.0;    ///< branch mispredictions / kilo-instruction
+  double l1d_mpki = 0.0;       ///< L1D misses / kilo-instruction
+  double l2_mpki = 0.0;        ///< L2 misses (to DRAM) / kilo-instruction
+  double l1i_mpki = 0.0;       ///< L1I misses / kilo-instruction
+  double effective_window = 0.0;  ///< instructions the window sustains
+  double frontend_ipc = 0.0;   ///< front-end bandwidth bound
+  double window_ipc = 0.0;     ///< window/ILP bound
+  double fu_ipc = 0.0;         ///< functional-unit throughput bound
+  double base_cpi = 0.0;       ///< 1 / min(bounds)
+  double branch_cpi = 0.0;     ///< misprediction stall component
+  double memory_cpi = 0.0;     ///< data-miss stall component
+  double icache_cpi = 0.0;     ///< instruction-miss stall component
+};
+
+/// Analytical out-of-order CPU performance model.
+class CpuModel {
+ public:
+  /// Memory timing assumptions (wall-clock; converted to cycles by freq).
+  struct MemoryTiming {
+    double l2_ns = 5.0;     ///< L2 hit latency
+    double dram_ns = 60.0;  ///< DRAM access latency
+  };
+
+  CpuModel() = default;
+  explicit CpuModel(MemoryTiming timing) : timing_(timing) {}
+
+  /// Runs the analytical model; validates both inputs.
+  SimStats simulate(const arch::CpuConfig& cfg,
+                    const WorkloadCharacteristics& wl) const;
+
+  const MemoryTiming& timing() const { return timing_; }
+
+ private:
+  MemoryTiming timing_{};
+};
+
+/// Validates @p cfg against physical constraints (positive sizes, etc.).
+/// Throws std::invalid_argument on violation.
+void validate_cpu_config(const arch::CpuConfig& cfg);
+
+}  // namespace metadse::sim

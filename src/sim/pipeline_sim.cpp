@@ -1,0 +1,326 @@
+#include "sim/pipeline_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace metadse::sim {
+
+PipelineSimulator::PipelineSimulator(const arch::CpuConfig& cfg)
+    : PipelineSimulator(cfg, Latencies{}) {}
+
+PipelineSimulator::PipelineSimulator(const arch::CpuConfig& cfg,
+                                     Latencies lat)
+    : cfg_(cfg), lat_(lat) {
+  validate_cpu_config(cfg);
+}
+
+PipelineStats PipelineSimulator::run(const std::vector<TraceInstr>& trace,
+                                     double warmup_fraction) {
+  if (trace.empty()) {
+    throw std::invalid_argument("PipelineSimulator: empty trace");
+  }
+  if (warmup_fraction < 0.0 || warmup_fraction >= 1.0) {
+    throw std::invalid_argument(
+        "PipelineSimulator: warmup_fraction must be in [0, 1)");
+  }
+  const size_t n = trace.size();
+  const int W = cfg_.width;
+  const int fetch_group = std::max(1, std::min(W, cfg_.fetch_buffer_bytes / 4));
+
+  // Structural models.
+  SetAssocCache l1i(static_cast<size_t>(cfg_.l1i_kb) * 1024, cfg_.l1i_assoc,
+                    cfg_.cacheline_bytes);
+  SetAssocCache l1d(static_cast<size_t>(cfg_.l1d_kb) * 1024, cfg_.l1d_assoc,
+                    cfg_.cacheline_bytes);
+  SetAssocCache l2(static_cast<size_t>(cfg_.l2_kb) * 1024, cfg_.l2_assoc,
+                   cfg_.cacheline_bytes);
+  auto predictor = make_predictor(cfg_.branch_predictor ==
+                                  arch::BranchPredictorType::kTournament);
+  Btb btb(cfg_.btb_size);
+  ReturnAddressStack ras(cfg_.ras_size);
+
+  const int l2_lat =
+      std::max(1, static_cast<int>(lat_.l2_ns * cfg_.freq_ghz));
+  const int dram_lat =
+      std::max(2, static_cast<int>(lat_.dram_ns * cfg_.freq_ghz));
+
+  // Per-instruction schedule (cycles).
+  std::vector<int64_t> dispatch(n), ready(n), issue(n), complete(n),
+      commit(n);
+
+  // Functional units: next-free cycle per unit, per class.
+  std::vector<int64_t> fu_int_alu(cfg_.int_alu, 0);
+  std::vector<int64_t> fu_int_mul(cfg_.int_multdiv, 0);
+  std::vector<int64_t> fu_fp_alu(cfg_.fp_alu, 0);
+  std::vector<int64_t> fu_fp_mul(cfg_.fp_multdiv, 0);
+
+  auto acquire = [](std::vector<int64_t>& units, int64_t ready_at,
+                    int64_t occupy) {
+    size_t best = 0;
+    for (size_t u = 1; u < units.size(); ++u) {
+      if (units[u] < units[best]) best = u;
+    }
+    const int64_t start = std::max(ready_at, units[best]);
+    units[best] = start + occupy;
+    return start;
+  };
+
+  // Occupancy tracking by "index distance": the k-th prior load/store/etc.
+  std::vector<size_t> load_idx;   // trace indices of loads, in order
+  std::vector<size_t> store_idx;  // trace indices of stores
+  std::vector<size_t> reg_idx;    // indices of register-writing uops
+  load_idx.reserve(n / 3);
+  store_idx.reserve(n / 8);
+  reg_idx.reserve(n);
+
+  // Front-end state.
+  int64_t fetch_cycle = 0;   // cycle of the current fetch group
+  int in_group = 0;          // instructions fetched in this group
+  int64_t redirect_at = 0;   // earliest cycle fetch may resume (mispredict)
+  uint64_t last_fetch_line = ~uint64_t{0};
+
+  // Register headroom: how many in-flight reg writers fit.
+  const int arch_regs = 32;
+  const size_t rf_headroom = std::max(
+      8, cfg_.int_rf - arch_regs + std::max(0, cfg_.fp_rf - arch_regs) / 2);
+
+  uint64_t mispredicts = 0;
+  uint64_t btb_misses_taken = 0;
+  uint64_t direction_correct = 0;
+  uint64_t branches = 0;
+
+  const size_t warmup =
+      std::min(n - 1, static_cast<size_t>(warmup_fraction *
+                                          static_cast<double>(n)));
+  struct Snapshot {
+    uint64_t l1d = 0, l2 = 0, l1i = 0, misp = 0, btb = 0, dir_ok = 0,
+             br = 0;
+  } snap;
+
+  const uint64_t line_mask = ~(static_cast<uint64_t>(cfg_.cacheline_bytes) - 1);
+
+  for (size_t i = 0; i < n; ++i) {
+    const TraceInstr& ins = trace[i];
+
+    // ---- fetch -------------------------------------------------------------
+    fetch_cycle = std::max(fetch_cycle, redirect_at);
+    if (in_group >= fetch_group) {
+      ++fetch_cycle;
+      in_group = 0;
+    }
+    const uint64_t line = ins.pc & line_mask;
+    if (line != last_fetch_line) {
+      last_fetch_line = line;
+      if (!l1i.access(ins.pc)) {
+        const int64_t miss_lat =
+            l2.access(ins.pc) ? l2_lat : l2_lat + dram_lat;
+        // The fetch queue decouples fetch from decode: a miss only stalls
+        // the pipe once the queued uops drain.
+        const int64_t buffered = cfg_.fetch_queue_uops / fetch_group;
+        fetch_cycle += std::max<int64_t>(1, miss_lat - buffered);
+        in_group = 0;
+        // Next-line instruction prefetch (sequential fetch-ahead).
+        const uint64_t next = ins.pc + cfg_.cacheline_bytes;
+        l1i.access(next);
+        l2.access(next);
+      }
+    }
+    ++in_group;
+
+    // ---- branch prediction (at fetch) ---------------------------------------
+    bool mispredicted = false;
+    if (ins.op == OpClass::kBranch) {
+      ++branches;
+      bool predicted_taken;
+      uint64_t predicted_target = 0;
+      if (ins.is_return) {
+        predicted_taken = true;
+        predicted_target = ras.pop();
+      } else if (ins.is_call) {
+        predicted_taken = true;
+        btb.lookup(ins.pc, predicted_target);
+        ras.push(ins.pc + 4);
+      } else {
+        predicted_taken = predictor->predict(ins.pc);
+        predictor->update(ins.pc, ins.taken);
+      }
+      if (!ins.is_return && !ins.is_call) {
+        direction_correct += predicted_taken == ins.taken;
+      } else {
+        direction_correct += 1;  // calls/returns always predicted taken
+      }
+
+      bool target_ok = true;
+      if (ins.taken) {
+        if (ins.is_return) {
+          target_ok = predicted_target == ins.branch_target;
+        } else {
+          uint64_t t = 0;
+          const bool hit = btb.lookup(ins.pc, t);
+          target_ok = hit && t == ins.branch_target;
+          if (!hit || t != ins.branch_target) ++btb_misses_taken;
+          btb.update(ins.pc, ins.branch_target);
+        }
+      }
+      const bool direction_wrong =
+          (!ins.is_return && !ins.is_call)
+              ? predicted_taken != ins.taken
+              : false;
+      mispredicted = direction_wrong || (ins.taken && !target_ok);
+      if (ins.taken && !mispredicted) {
+        // Correctly predicted taken branch: redirected fetch group.
+        ++fetch_cycle;
+        in_group = 0;
+        last_fetch_line = ~uint64_t{0};
+      }
+    }
+
+    // ---- dispatch (in order, width-limited, resource-limited) -----------------
+    int64_t d = fetch_cycle + lat_.frontend_depth;
+    if (i >= 1) d = std::max(d, dispatch[i - 1]);
+    if (i >= static_cast<size_t>(W)) d = std::max(d, dispatch[i - W] + 1);
+    // ROB: entry freed when the (i - rob)-th instruction commits.
+    if (i >= static_cast<size_t>(cfg_.rob_size)) {
+      d = std::max(d, commit[i - cfg_.rob_size] + 1);
+    }
+    // IQ: entry freed at issue of the (i - iq)-th instruction.
+    if (i >= static_cast<size_t>(cfg_.iq_size)) {
+      d = std::max(d, issue[i - cfg_.iq_size] + 1);
+    }
+    // LQ / SQ: freed at commit of the matching older memory op.
+    if (ins.op == OpClass::kLoad &&
+        load_idx.size() >= static_cast<size_t>(cfg_.lq_size)) {
+      d = std::max(d, commit[load_idx[load_idx.size() - cfg_.lq_size]] + 1);
+    }
+    if (ins.op == OpClass::kStore &&
+        store_idx.size() >= static_cast<size_t>(cfg_.sq_size)) {
+      d = std::max(d, commit[store_idx[store_idx.size() - cfg_.sq_size]] + 1);
+    }
+    // Physical registers: freed at commit of older writers.
+    const bool writes_reg =
+        ins.op != OpClass::kBranch && ins.op != OpClass::kStore;
+    if (writes_reg && reg_idx.size() >= rf_headroom) {
+      d = std::max(d, commit[reg_idx[reg_idx.size() - rf_headroom]] + 1);
+    }
+    dispatch[i] = d;
+    if (ins.op == OpClass::kLoad) load_idx.push_back(i);
+    if (ins.op == OpClass::kStore) store_idx.push_back(i);
+    if (writes_reg) reg_idx.push_back(i);
+
+    // ---- ready (dataflow) -----------------------------------------------------
+    int64_t r = d;
+    if (ins.dep1 > 0 && ins.dep1 <= i) {
+      r = std::max(r, complete[i - ins.dep1]);
+    }
+    if (ins.dep2 > 0 && ins.dep2 <= i) {
+      r = std::max(r, complete[i - ins.dep2]);
+    }
+    ready[i] = r;
+
+    // ---- issue + execute --------------------------------------------------------
+    int64_t is = r;
+    int64_t lat = lat_.int_alu;
+    switch (ins.op) {
+      case OpClass::kIntAlu:
+        is = acquire(fu_int_alu, r, 1);
+        lat = lat_.int_alu;
+        break;
+      case OpClass::kIntMul:
+        is = acquire(fu_int_mul, r, 2);  // partially pipelined
+        lat = lat_.int_mul;
+        break;
+      case OpClass::kFpAlu:
+        is = acquire(fu_fp_alu, r, 1);
+        lat = lat_.fp_alu;
+        break;
+      case OpClass::kFpMul:
+        is = acquire(fu_fp_mul, r, 2);
+        lat = lat_.fp_mul;
+        break;
+      case OpClass::kLoad: {
+        is = acquire(fu_int_alu, r, 1);  // AGU borrows an integer port
+        if (l1d.access(ins.mem_addr)) {
+          lat = lat_.l1_hit;
+        } else if (l2.access(ins.mem_addr)) {
+          lat = lat_.l1_hit + l2_lat;
+        } else {
+          lat = lat_.l1_hit + l2_lat + dram_lat;
+        }
+        if (lat > lat_.l1_hit) {
+          // Next-line prefetch on miss (every modern core ships at least a
+          // stream prefetcher; without it, streaming kernels would be
+          // DRAM-bound regardless of core size).
+          const uint64_t next = ins.mem_addr + cfg_.cacheline_bytes;
+          l1d.access(next);
+          l2.access(next);
+        }
+        break;
+      }
+      case OpClass::kStore: {
+        is = acquire(fu_int_alu, r, 1);
+        // Stores retire through the store buffer; fill the line lazily.
+        l1d.access(ins.mem_addr);
+        lat = 1;
+        break;
+      }
+      case OpClass::kBranch:
+        is = acquire(fu_int_alu, r, 1);
+        lat = 1;
+        break;
+    }
+    issue[i] = is;
+    complete[i] = is + lat;
+
+    // ---- commit (in order, width per cycle) ----------------------------------------
+    int64_t c = complete[i];
+    if (i >= 1) c = std::max(c, commit[i - 1]);
+    if (i >= static_cast<size_t>(W)) c = std::max(c, commit[i - W] + 1);
+    commit[i] = c;
+
+    // ---- misprediction redirect -----------------------------------------------------
+    if (mispredicted) {
+      ++mispredicts;
+      redirect_at = complete[i] + 1;
+      in_group = 0;
+      last_fetch_line = ~uint64_t{0};
+    }
+
+    if (i + 1 == warmup) {
+      snap = {l1d.misses(), l2.misses(), l1i.misses(), mispredicts,
+              btb_misses_taken, direction_correct, branches};
+    }
+  }
+
+  PipelineStats st;
+  const size_t measured = n - warmup;
+  st.instructions = measured;
+  const int64_t start_cycle = warmup == 0 ? -1 : commit[warmup - 1];
+  st.cycles = static_cast<uint64_t>(commit[n - 1] - start_cycle);
+  st.ipc = static_cast<double>(measured) / static_cast<double>(st.cycles);
+  const double kilo = static_cast<double>(measured) / 1000.0;
+  st.branch_mpki = static_cast<double>(mispredicts - snap.misp) / kilo;
+  st.l1d_mpki = static_cast<double>(l1d.misses() - snap.l1d) / kilo;
+  st.l2_mpki = static_cast<double>(l2.misses() - snap.l2) / kilo;
+  st.l1i_mpki = static_cast<double>(l1i.misses() - snap.l1i) / kilo;
+  st.btb_mpki = static_cast<double>(btb_misses_taken - snap.btb) / kilo;
+  const uint64_t br_measured = branches - snap.br;
+  st.predictor_accuracy =
+      br_measured == 0
+          ? 1.0
+          : static_cast<double>(direction_correct - snap.dir_ok) /
+                static_cast<double>(br_measured);
+  return st;
+}
+
+PipelineStats simulate_trace(const arch::CpuConfig& cfg,
+                             const WorkloadCharacteristics& wl,
+                             size_t n_instructions, uint64_t seed) {
+  TraceGenerator gen(wl);
+  tensor::Rng rng(seed);
+  const auto trace = gen.generate(n_instructions, rng);
+  PipelineSimulator sim(cfg);
+  return sim.run(trace);
+}
+
+}  // namespace metadse::sim

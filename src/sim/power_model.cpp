@@ -1,0 +1,92 @@
+#include "sim/power_model.hpp"
+
+#include <cmath>
+
+namespace metadse::sim {
+
+namespace {
+
+/// Supply voltage under the frequency/voltage curve (DVFS): higher clocks
+/// need higher voltage, superlinearly raising dynamic power.
+double voltage(double freq_ghz) { return 0.65 + 0.12 * freq_ghz; }
+
+}  // namespace
+
+double PowerModel::area(const arch::CpuConfig& cfg) const {
+  // Area in arbitrary units; CAM-style structures (IQ, LSQ) grow
+  // superlinearly, SRAM arrays linearly with capacity, ported structures
+  // with the port count (~width).
+  const double ports = 1.0 + 0.15 * cfg.width;
+  double a = 0.0;
+  a += 0.004 * cfg.rob_size * ports;
+  a += 0.003 * (cfg.int_rf + cfg.fp_rf) * ports;
+  a += 0.0025 * std::pow(static_cast<double>(cfg.iq_size), 1.3);
+  a += 0.002 * std::pow(static_cast<double>(cfg.lq_size + cfg.sq_size), 1.2);
+  a += 0.30 * cfg.int_alu + 0.80 * cfg.int_multdiv + 0.90 * cfg.fp_alu +
+       1.40 * cfg.fp_multdiv;
+  a += 0.0008 * cfg.btb_size + 0.01 * cfg.ras_size;
+  a += (cfg.branch_predictor == arch::BranchPredictorType::kTournament ? 0.9
+                                                                       : 0.4);
+  a += 0.07 * (cfg.l1i_kb * std::sqrt(static_cast<double>(cfg.l1i_assoc)));
+  a += 0.07 * (cfg.l1d_kb * std::sqrt(static_cast<double>(cfg.l1d_assoc)));
+  a += 0.03 * (cfg.l2_kb * std::sqrt(static_cast<double>(cfg.l2_assoc)));
+  a += 0.25 * cfg.width + 0.01 * cfg.fetch_queue_uops +
+       0.02 * cfg.fetch_buffer_bytes / 8.0;
+  return a;
+}
+
+PowerBreakdown PowerModel::evaluate(const arch::CpuConfig& cfg,
+                                    const SimStats& stats) const {
+  validate_cpu_config(cfg);
+  const double v = voltage(cfg.freq_ghz);
+  const double v2f = v * v * cfg.freq_ghz;  // C V^2 f scale
+  const double ipc = stats.ipc;
+  const double ports = 1.0 + 0.12 * cfg.width;
+
+  PowerBreakdown p;
+
+  // Core: accesses per cycle ~ IPC; CAM lookups scan the whole structure.
+  double core_c = 0.0;
+  core_c += 0.0020 * cfg.rob_size * ports;
+  core_c += 0.0018 * (cfg.int_rf + cfg.fp_rf) * ports;
+  core_c += 0.0016 * std::pow(static_cast<double>(cfg.iq_size), 1.25);
+  core_c += 0.0012 * std::pow(static_cast<double>(cfg.lq_size + cfg.sq_size), 1.15);
+  core_c += 0.16 * cfg.int_alu + 0.30 * cfg.int_multdiv + 0.34 * cfg.fp_alu +
+            0.55 * cfg.fp_multdiv;
+  p.core_dynamic = core_c * v2f * (0.35 + 0.65 * ipc / 4.0);
+
+  // Front-end: fetch activity tracks IPC; the predictor and BTB are touched
+  // every fetch group; mispredictions add wrong-path activity.
+  double fe_c = 0.0;
+  fe_c += 0.05 * cfg.width + 0.004 * cfg.fetch_queue_uops +
+          0.006 * cfg.fetch_buffer_bytes / 8.0;
+  fe_c += 0.00035 * cfg.btb_size + 0.004 * cfg.ras_size;
+  fe_c += (cfg.branch_predictor == arch::BranchPredictorType::kTournament
+               ? 0.40
+               : 0.18);
+  const double wrongpath = 1.0 + 0.04 * stats.branch_mpki;
+  p.frontend_dynamic = fe_c * v2f * (0.3 + 0.7 * ipc / 4.0) * wrongpath;
+
+  // Caches: energy per access grows with capacity^0.5 and associativity;
+  // L2 activity is driven by L1 miss rates.
+  const double l1i_acc = ipc / std::max(1, cfg.width) * 1.2;
+  const double l1d_acc = ipc * 0.35;
+  const double l2_acc = (stats.l1d_mpki + stats.l1i_mpki) / 1000.0 * ipc;
+  const double e_l1i = 0.05 * std::sqrt(static_cast<double>(cfg.l1i_kb)) *
+                       cfg.l1i_assoc;
+  const double e_l1d = 0.05 * std::sqrt(static_cast<double>(cfg.l1d_kb)) *
+                       cfg.l1d_assoc;
+  const double e_l2 = 0.10 * std::sqrt(static_cast<double>(cfg.l2_kb)) *
+                      cfg.l2_assoc;
+  p.cache_dynamic =
+      (l1i_acc * e_l1i + l1d_acc * e_l1d + l2_acc * e_l2) * v2f;
+
+  // Leakage: proportional to area, mildly super-linear in voltage.
+  p.leakage = 0.012 * area(cfg) * std::pow(v / 0.9, 1.6);
+
+  p.total =
+      p.core_dynamic + p.frontend_dynamic + p.cache_dynamic + p.leakage;
+  return p;
+}
+
+}  // namespace metadse::sim

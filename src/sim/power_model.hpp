@@ -1,0 +1,35 @@
+// The McPAT substitute: a structure-level analytical power model. Dynamic
+// energy per structure scales with its size/ports and the activity rates
+// reported by the performance model; leakage scales with estimated area.
+// Dynamic power follows C * V^2 * f with voltage coupled to frequency (DVFS).
+#pragma once
+
+#include "arch/design_space.hpp"
+#include "sim/cpu_model.hpp"
+
+namespace metadse::sim {
+
+/// Per-component power breakdown in watts (model units).
+struct PowerBreakdown {
+  double core_dynamic = 0.0;    ///< pipeline, FUs, RF, ROB, IQ, LSQ
+  double frontend_dynamic = 0.0;///< fetch, decode, branch predictor, BTB/RAS
+  double cache_dynamic = 0.0;   ///< L1I + L1D + L2
+  double leakage = 0.0;         ///< static power, proportional to area
+  double total = 0.0;           ///< sum of the above
+};
+
+/// Analytical power model of the Table I core.
+class PowerModel {
+ public:
+  PowerModel() = default;
+
+  /// Computes the power for a design point running a workload whose activity
+  /// is summarized by @p stats (from CpuModel::simulate).
+  PowerBreakdown evaluate(const arch::CpuConfig& cfg,
+                          const SimStats& stats) const;
+
+  /// Estimated area in model units (mm^2-like), used for leakage.
+  double area(const arch::CpuConfig& cfg) const;
+};
+
+}  // namespace metadse::sim

@@ -1,0 +1,183 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace metadse::sim {
+
+TraceGenerator::TraceGenerator(const WorkloadCharacteristics& wl) : wl_(wl) {
+  wl_.validate();
+}
+
+std::vector<TraceInstr> TraceGenerator::generate(size_t n,
+                                                 tensor::Rng& rng) const {
+  if (n == 0) throw std::invalid_argument("TraceGenerator: n must be > 0");
+  std::vector<TraceInstr> trace;
+  trace.reserve(n);
+
+  // --- code layout -----------------------------------------------------------
+  // Instructions live in a code region sized by the instruction footprint;
+  // control flow hops between basic blocks inside it.
+  const uint64_t code_bytes =
+      std::max<uint64_t>(1024, static_cast<uint64_t>(wl_.icache_ws_kb * 1024));
+  const uint64_t n_blocks = std::max<uint64_t>(4, code_bytes / 64);
+  uint64_t pc = 0x1000;
+  uint64_t block_base = 0x1000;
+
+  // --- data layout ---------------------------------------------------------------
+  const uint64_t heap_base = 0x1000'0000;
+  const uint64_t hot_bytes =
+      std::max<uint64_t>(512, static_cast<uint64_t>(wl_.dcache_ws_kb * 1024));
+  const uint64_t cold_bytes = std::max<uint64_t>(
+      hot_bytes * 2, static_cast<uint64_t>(wl_.dcache_ws2_kb * 1024));
+  uint64_t stream_ptr = heap_base + cold_bytes;  // streaming region
+
+  // --- branch population ---------------------------------------------------------
+  // A fixed population of branch sites; per-site taken bias realizes the
+  // workload's branch entropy (bias near 0/1 = predictable).
+  const size_t n_branch_sites = std::max<size_t>(
+      8, static_cast<size_t>(wl_.btb_footprint));
+  struct BranchSite {
+    bool looping;       ///< loop-exit branch (periodic pattern) vs biased
+    double bias;        ///< P(taken) for biased sites
+    uint32_t period;    ///< loop trip count for looping sites
+    uint32_t counter = 0;
+    uint64_t target;    ///< static taken-target block
+  };
+  std::unordered_map<uint64_t, BranchSite> sites;
+
+  // --- call stack (for call/return pairs) --------------------------------------------
+  std::vector<uint64_t> call_stack;
+
+  const double p_dep_serial = wl_.dep_chain;
+  const double mean_dep = std::max(1.5, 2.0 * wl_.ilp);
+
+  auto sample_dep = [&](size_t i) -> uint32_t {
+    if (i == 0) return 0;
+    // Geometric-ish distance with mean ~mean_dep; serial chains pin to 1.
+    if (rng.uniform() < p_dep_serial) return 1;
+    const double u = std::max(1e-6F, rng.uniform());
+    const uint32_t d =
+        1 + static_cast<uint32_t>(-std::log(u) * (mean_dep - 1.0));
+    return std::min<uint32_t>(d, static_cast<uint32_t>(i));
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    TraceInstr ins;
+    ins.pc = pc;
+    ins.dep1 = sample_dep(i);
+    ins.dep2 = rng.uniform() < 0.35 ? sample_dep(i) : 0;
+
+    // Sample the op class from the mix.
+    const double u = rng.uniform();
+    double acc = wl_.f_int_alu;
+    if (u < acc) {
+      ins.op = OpClass::kIntAlu;
+    } else if (u < (acc += wl_.f_int_mul)) {
+      ins.op = OpClass::kIntMul;
+    } else if (u < (acc += wl_.f_fp_alu)) {
+      ins.op = OpClass::kFpAlu;
+    } else if (u < (acc += wl_.f_fp_mul)) {
+      ins.op = OpClass::kFpMul;
+    } else if (u < (acc += wl_.f_load)) {
+      ins.op = OpClass::kLoad;
+    } else if (u < (acc += wl_.f_store)) {
+      ins.op = OpClass::kStore;
+    } else {
+      ins.op = OpClass::kBranch;
+    }
+
+    if (ins.op == OpClass::kLoad || ins.op == OpClass::kStore) {
+      if (rng.uniform() < wl_.streaming) {
+        // Streaming: sequential walk through the cold region.
+        stream_ptr += 8;
+        if (stream_ptr >= heap_base + 2 * cold_bytes) {
+          stream_ptr = heap_base + cold_bytes;
+        }
+        ins.mem_addr = stream_ptr;
+      } else if (rng.uniform() < 0.8) {
+        // Hot working set, with reuse skew: real programs touch a small
+        // fraction of the working set most of the time (r^3 concentrates
+        // accesses toward the base of the region).
+        const double r = rng.uniform();
+        ins.mem_addr =
+            heap_base +
+            static_cast<uint64_t>(r * r * r * static_cast<double>(hot_bytes)) /
+                8 * 8;
+      } else {
+        // Secondary working set (mildly skewed).
+        const double r = rng.uniform();
+        ins.mem_addr =
+            heap_base +
+            static_cast<uint64_t>(r * r * static_cast<double>(cold_bytes)) /
+                8 * 8;
+      }
+    }
+
+    if (ins.op == OpClass::kBranch) {
+      const bool is_ret = !call_stack.empty() &&
+                          rng.uniform() < wl_.indirect_frac * 0.5;
+      const bool is_call =
+          !is_ret && rng.uniform() < wl_.indirect_frac * 0.5 &&
+          call_stack.size() < 4 * static_cast<size_t>(wl_.call_depth);
+      if (is_ret) {
+        ins.is_return = true;
+        ins.taken = true;
+        ins.branch_target = call_stack.back();
+        call_stack.pop_back();
+      } else if (is_call) {
+        ins.is_call = true;
+        ins.taken = true;
+        // Call a random block; return address is the next pc.
+        const uint64_t callee =
+            0x1000 + (rng.engine()() % n_blocks) * 64;
+        ins.branch_target = callee;
+        call_stack.push_back(pc + 4);
+      } else {
+        // Conditional branch at a persistent site.
+        const uint64_t site_pc =
+            0x1000 + (rng.engine()() % n_branch_sites) * 16;
+        ins.pc = site_pc;
+        auto [it, inserted] = sites.try_emplace(site_pc);
+        if (inserted) {
+          // ~40% of sites are loop back-edges with a periodic pattern
+          // (history predictors learn these; plain counters cannot); the
+          // rest are data-dependent biased branches whose bias realizes the
+          // workload's entropy (entropy 0 -> deterministic, 1 -> coin).
+          it->second.looping = rng.uniform() < 0.4;
+          const double flip = 0.5 * wl_.branch_entropy;
+          it->second.bias = rng.uniform() < 0.5 ? flip : 1.0 - flip;
+          it->second.period = 2 + static_cast<uint32_t>(rng.uniform_index(7));
+          it->second.target = 0x1000 + (rng.engine()() % n_blocks) * 64;
+        }
+        if (it->second.looping) {
+          // Taken (period-1) times, then one not-taken (loop exit).
+          ins.taken = ++it->second.counter % it->second.period != 0;
+        } else {
+          ins.taken = rng.uniform() < it->second.bias;
+        }
+        ins.branch_target = it->second.target;
+      }
+      if (ins.taken) {
+        block_base = ins.branch_target;
+        pc = block_base;
+        trace.push_back(ins);
+        continue;
+      }
+    }
+
+    pc += 4;
+    // Fall off the end of a basic block occasionally even without branches
+    // (keeps the PC stream inside the code footprint).
+    if (pc >= block_base + 256) {
+      block_base = 0x1000 + (rng.engine()() % n_blocks) * 64;
+      pc = block_base;
+    }
+    trace.push_back(ins);
+  }
+  return trace;
+}
+
+}  // namespace metadse::sim

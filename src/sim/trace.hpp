@@ -1,0 +1,55 @@
+// Synthetic instruction-trace generation. The SimPoint substitute's phase
+// characteristics are turned into a concrete instruction stream — opcode mix,
+// register dependency distances, memory address stream with working-set
+// structure, and a branch stream with per-PC bias, calls, and returns — which
+// the trace-driven pipeline simulator executes against real cache/predictor
+// structures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/workload_characteristics.hpp"
+#include "tensor/rng.hpp"
+
+namespace metadse::sim {
+
+/// Micro-op class (drives functional-unit selection and latency).
+enum class OpClass : uint8_t {
+  kIntAlu,
+  kIntMul,
+  kFpAlu,
+  kFpMul,
+  kLoad,
+  kStore,
+  kBranch,
+};
+
+/// One trace record.
+struct TraceInstr {
+  OpClass op = OpClass::kIntAlu;
+  uint64_t pc = 0;
+  uint64_t mem_addr = 0;       ///< loads/stores only
+  uint64_t branch_target = 0;  ///< branches only
+  uint32_t dep1 = 0;  ///< distance (in instructions) to first producer; 0 = none
+  uint32_t dep2 = 0;  ///< distance to second producer; 0 = none
+  bool taken = false;
+  bool is_call = false;
+  bool is_return = false;
+};
+
+/// Generates a synthetic dynamic instruction stream realizing the given
+/// behaviour vector. Deterministic given the Rng.
+class TraceGenerator {
+ public:
+  explicit TraceGenerator(const WorkloadCharacteristics& wl);
+
+  /// Generates @p n instructions.
+  std::vector<TraceInstr> generate(size_t n, tensor::Rng& rng) const;
+
+ private:
+  WorkloadCharacteristics wl_;
+};
+
+}  // namespace metadse::sim

@@ -1,0 +1,45 @@
+// The characteristics vector that drives the analytical CPU model — the
+// contract between the workload library (which synthesizes SPEC-like
+// profiles/phases) and the performance/power models.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace metadse::sim {
+
+/// Program-intrinsic behaviour parameters for one execution phase
+/// (one SimPoint cluster). The instruction-mix fractions must sum to 1.
+struct WorkloadCharacteristics {
+  // -- instruction mix (fractions of the dynamic instruction stream) --------
+  double f_int_alu = 0.45;   ///< simple integer ops
+  double f_int_mul = 0.03;   ///< integer multiply/divide
+  double f_fp_alu = 0.05;    ///< floating-point add/compare
+  double f_fp_mul = 0.02;    ///< floating-point multiply/divide
+  double f_load = 0.25;      ///< loads
+  double f_store = 0.10;     ///< stores
+  double f_branch = 0.10;    ///< branches (conditional + indirect + returns)
+
+  // -- control behaviour ------------------------------------------------------
+  double branch_entropy = 0.3;  ///< 0 = perfectly biased, 1 = coin-flip
+  double indirect_frac = 0.1;   ///< fraction of branches that are calls/returns/indirect
+  double call_depth = 8.0;      ///< typical live call-stack depth (RAS pressure)
+  double btb_footprint = 512;   ///< distinct branch targets in flight (entries)
+
+  // -- memory behaviour ---------------------------------------------------------
+  double dcache_ws_kb = 24.0;    ///< primary (hot) data working set
+  double dcache_ws2_kb = 400.0;  ///< secondary working set contending for L2
+  double streaming = 0.3;        ///< 0 = reuse-dominated, 1 = streaming access
+  double icache_ws_kb = 20.0;    ///< instruction footprint
+
+  // -- parallelism -----------------------------------------------------------------
+  double ilp = 2.5;        ///< intrinsic instruction-level parallelism (~1..6)
+  double mlp = 2.0;        ///< memory-level parallelism (~1..8)
+  double dep_chain = 0.3;  ///< 0 = wide dataflow, 1 = one serial chain
+
+  /// Throws std::invalid_argument when fractions are inconsistent or any
+  /// parameter is outside its physical range.
+  void validate() const;
+};
+
+}  // namespace metadse::sim

@@ -1,0 +1,48 @@
+#include "tensor/gradcheck.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace metadse::tensor {
+
+GradCheckResult grad_check(const std::function<Tensor()>& loss_fn,
+                           const std::vector<Tensor>& params, float eps,
+                           double atol, double rtol) {
+  // Analytic pass.
+  for (auto p : params) {
+    if (!p.requires_grad()) {
+      throw std::invalid_argument("grad_check: param must require grad");
+    }
+    p.zero_grad();
+  }
+  Tensor loss = loss_fn();
+  loss.backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (auto p : params) analytic.push_back(p.grad());
+
+  GradCheckResult res;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor p = params[pi];
+    auto& v = p.data();
+    for (size_t i = 0; i < v.size(); ++i) {
+      const float keep = v[i];
+      v[i] = keep + eps;
+      const double lp = loss_fn().item();
+      v[i] = keep - eps;
+      const double lm = loss_fn().item();
+      v[i] = keep;
+      const double numeric = (lp - lm) / (2.0 * static_cast<double>(eps));
+      const double a = static_cast<double>(analytic[pi][i]);
+      const double abs_err = std::fabs(a - numeric);
+      const double allowed =
+          atol + rtol * std::max(std::fabs(a), std::fabs(numeric));
+      res.max_abs_err = std::max(res.max_abs_err, abs_err);
+      res.worst_score = std::max(res.worst_score, abs_err / allowed);
+      if (abs_err > allowed) ++res.violations;
+    }
+  }
+  return res;
+}
+
+}  // namespace metadse::tensor

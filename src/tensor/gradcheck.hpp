@@ -1,0 +1,33 @@
+// Finite-difference gradient verification used by the test suite to certify
+// every differentiable op and module against its backward implementation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace metadse::tensor {
+
+/// Result of a gradient check. An element passes when
+/// |analytic - numeric| <= atol + rtol * max(|analytic|, |numeric|);
+/// worst_score is the largest observed ratio of the left side to the right
+/// side (<= 1 means every element passed).
+struct GradCheckResult {
+  double max_abs_err = 0.0;
+  double worst_score = 0.0;
+  size_t violations = 0;
+  bool ok() const { return violations == 0; }
+};
+
+/// Verifies the analytic gradients of @p loss_fn with respect to @p params.
+/// @p loss_fn must rebuild its computation graph from the *current* values of
+/// the parameter tensors on every call and return a scalar loss.
+/// @p eps is the central-difference step; @p atol and @p rtol bound the
+/// accepted float32 finite-difference noise.
+GradCheckResult grad_check(const std::function<Tensor()>& loss_fn,
+                           const std::vector<Tensor>& params,
+                           float eps = 1e-3F, double atol = 5e-3,
+                           double rtol = 5e-2);
+
+}  // namespace metadse::tensor

@@ -1,0 +1,572 @@
+#include "tensor/ops.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace metadse::tensor {
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
+constexpr float kGeluA = 0.044715F;
+
+/// Iterates the linear indices of two inputs broadcast to a common output
+/// shape. Offsets are recomputed per element from the multi-index; shapes in
+/// this library are small enough that clarity wins over stride tricks.
+struct BcastIter {
+  Shape out;
+  std::vector<size_t> sa, sb, idx;
+  size_t n;
+
+  BcastIter(const Shape& a, const Shape& b)
+      : out(broadcast_shape(a, b)),
+        sa(broadcast_strides(a, out)),
+        sb(broadcast_strides(b, out)),
+        idx(out.size(), 0),
+        n(numel(out)) {}
+
+  size_t offset_a() const { return dot(sa); }
+  size_t offset_b() const { return dot(sb); }
+
+  void advance() {
+    for (size_t d = out.size(); d-- > 0;) {
+      if (++idx[d] < out[d]) return;
+      idx[d] = 0;
+    }
+  }
+
+ private:
+  size_t dot(const std::vector<size_t>& st) const {
+    size_t off = 0;
+    for (size_t d = 0; d < idx.size(); ++d) off += idx[d] * st[d];
+    return off;
+  }
+};
+
+void accumulate_into(const std::shared_ptr<Node>& p, size_t off, float g) {
+  p->grad[off] += g;
+}
+
+/// Generic broadcast binary op. fwd(x,y) computes the value; dfa/dfb compute
+/// d out/d a and d out/d b given (a_val, b_val, out_val).
+template <typename Fwd, typename Dfa, typename Dfb>
+Tensor binary_bcast(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa,
+                    Dfb dfb) {
+  auto an = a.node();
+  auto bn = b.node();
+  BcastIter it(an->shape, bn->shape);
+  std::vector<float> out(it.n);
+  {
+    BcastIter f(an->shape, bn->shape);
+    for (size_t i = 0; i < f.n; ++i, f.advance()) {
+      out[i] = fwd(an->value[f.offset_a()], bn->value[f.offset_b()]);
+    }
+  }
+  Shape out_shape = it.out;
+  return make_op_result(
+      out_shape, std::move(out), {an, bn},
+      [an, bn, dfa, dfb](Node& self) {
+        BcastIter g(an->shape, bn->shape);
+        const bool ga = an->requires_grad;
+        const bool gb = bn->requires_grad;
+        if (ga) an->ensure_grad();
+        if (gb) bn->ensure_grad();
+        for (size_t i = 0; i < g.n; ++i, g.advance()) {
+          const float av = an->value[g.offset_a()];
+          const float bv = bn->value[g.offset_b()];
+          const float go = self.grad[i];
+          if (ga) accumulate_into(an, g.offset_a(), go * dfa(av, bv, self.value[i]));
+          if (gb) accumulate_into(bn, g.offset_b(), go * dfb(av, bv, self.value[i]));
+        }
+      });
+}
+
+/// Generic elementwise unary op; dfn receives (x, y) and returns dy/dx.
+template <typename Fwd, typename Dfn>
+Tensor unary(const Tensor& a, Fwd fwd, Dfn dfn) {
+  auto an = a.node();
+  std::vector<float> out(an->value.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(an->value[i]);
+  return make_op_result(an->shape, std::move(out), {an},
+                        [an, dfn](Node& self) {
+                          if (!an->requires_grad) return;
+                          an->ensure_grad();
+                          for (size_t i = 0; i < self.value.size(); ++i) {
+                            an->grad[i] +=
+                                self.grad[i] * dfn(an->value[i], self.value[i]);
+                          }
+                        });
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_bcast(
+      a, b, [](float x, float y) { return x + y; },
+      [](float, float, float) { return 1.0F; },
+      [](float, float, float) { return 1.0F; });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_bcast(
+      a, b, [](float x, float y) { return x - y; },
+      [](float, float, float) { return 1.0F; },
+      [](float, float, float) { return -1.0F; });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_bcast(
+      a, b, [](float x, float y) { return x * y; },
+      [](float, float y, float) { return y; },
+      [](float x, float, float) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_bcast(
+      a, b, [](float x, float y) { return x / y; },
+      [](float, float y, float) { return 1.0F / y; },
+      [](float x, float y, float) { return -x / (y * y); });
+}
+
+Tensor add(const Tensor& a, float b) { return add(a, Tensor::scalar(b)); }
+Tensor sub(const Tensor& a, float b) { return sub(a, Tensor::scalar(b)); }
+Tensor mul(const Tensor& a, float b) { return mul(a, Tensor::scalar(b)); }
+Tensor div(const Tensor& a, float b) { return div(a, Tensor::scalar(b)); }
+
+Tensor neg(const Tensor& a) {
+  return unary(a, [](float x) { return -x; },
+               [](float, float) { return -1.0F; });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  if (an->shape.size() < 2 || bn->shape.size() < 2) {
+    throw std::invalid_argument("matmul: inputs must have rank >= 2");
+  }
+  const size_t M = an->shape[an->shape.size() - 2];
+  const size_t K = an->shape[an->shape.size() - 1];
+  const size_t Kb = bn->shape[bn->shape.size() - 2];
+  const size_t N = bn->shape[bn->shape.size() - 1];
+  if (K != Kb) {
+    throw std::invalid_argument("matmul: inner dims differ (" +
+                                shape_str(an->shape) + " x " +
+                                shape_str(bn->shape) + ")");
+  }
+  const Shape a_batch(an->shape.begin(), an->shape.end() - 2);
+  const Shape b_batch(bn->shape.begin(), bn->shape.end() - 2);
+  const Shape batch = broadcast_shape(a_batch, b_batch);
+  const auto sa = broadcast_strides(a_batch, batch);
+  const auto sb = broadcast_strides(b_batch, batch);
+  const size_t nb = numel(batch);
+  const size_t a_mat = M * K;
+  const size_t b_mat = K * N;
+  const size_t o_mat = M * N;
+
+  // Per-batch base offsets for a and b (matrix strides folded in).
+  std::vector<size_t> aoff(nb), boff(nb);
+  {
+    std::vector<size_t> idx(batch.size(), 0);
+    for (size_t i = 0; i < nb; ++i) {
+      size_t oa = 0;
+      size_t ob = 0;
+      for (size_t d = 0; d < batch.size(); ++d) {
+        oa += idx[d] * sa[d];
+        ob += idx[d] * sb[d];
+      }
+      aoff[i] = oa * a_mat;
+      boff[i] = ob * b_mat;
+      for (size_t d = batch.size(); d-- > 0;) {
+        if (++idx[d] < batch[d]) break;
+        idx[d] = 0;
+      }
+    }
+  }
+
+  Shape out_shape = batch;
+  out_shape.push_back(M);
+  out_shape.push_back(N);
+  std::vector<float> out(nb * o_mat, 0.0F);
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const float* pa = an->value.data() + aoff[bi];
+    const float* pb = bn->value.data() + boff[bi];
+    float* po = out.data() + bi * o_mat;
+    for (size_t m = 0; m < M; ++m) {
+      for (size_t k = 0; k < K; ++k) {
+        const float av = pa[m * K + k];
+        const float* pbk = pb + k * N;
+        float* pom = po + m * N;
+        for (size_t n = 0; n < N; ++n) pom[n] += av * pbk[n];
+      }
+    }
+  }
+
+  return make_op_result(
+      std::move(out_shape), std::move(out), {an, bn},
+      [an, bn, aoff, boff, M, K, N, o_mat](Node& self) {
+        const bool ga = an->requires_grad;
+        const bool gb = bn->requires_grad;
+        if (ga) an->ensure_grad();
+        if (gb) bn->ensure_grad();
+        const size_t nb2 = aoff.size();
+        for (size_t bi = 0; bi < nb2; ++bi) {
+          const float* go = self.grad.data() + bi * o_mat;
+          const float* pa = an->value.data() + aoff[bi];
+          const float* pb = bn->value.data() + boff[bi];
+          if (ga) {
+            float* da = an->grad.data() + aoff[bi];
+            // dA = dOut * B^T
+            for (size_t m = 0; m < M; ++m) {
+              for (size_t n = 0; n < N; ++n) {
+                const float g = go[m * N + n];
+                const float* pbn = pb + n;
+                float* dam = da + m * K;
+                for (size_t k = 0; k < K; ++k) dam[k] += g * pbn[k * N];
+              }
+            }
+          }
+          if (gb) {
+            float* db = bn->grad.data() + boff[bi];
+            // dB = A^T * dOut
+            for (size_t k = 0; k < K; ++k) {
+              for (size_t m = 0; m < M; ++m) {
+                const float av = pa[m * K + k];
+                const float* gom = go + m * N;
+                float* dbk = db + k * N;
+                for (size_t n = 0; n < N; ++n) dbk[n] += av * gom[n];
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary(a, [](float x) { return x > 0.0F ? x : 0.0F; },
+               [](float x, float) { return x > 0.0F ? 1.0F : 0.0F; });
+}
+
+Tensor gelu(const Tensor& a) {
+  return unary(
+      a,
+      [](float x) {
+        const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+        return 0.5F * x * (1.0F + t);
+      },
+      [](float x, float) {
+        const float u = kGeluC * (x + kGeluA * x * x * x);
+        const float t = std::tanh(u);
+        const float du = kGeluC * (1.0F + 3.0F * kGeluA * x * x);
+        return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
+      });
+}
+
+Tensor tanh(const Tensor& a) {
+  return unary(a, [](float x) { return std::tanh(x); },
+               [](float, float y) { return 1.0F - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unary(a, [](float x) { return 1.0F / (1.0F + std::exp(-x)); },
+               [](float, float y) { return y * (1.0F - y); });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary(a, [](float x) { return std::exp(x); },
+               [](float, float y) { return y; });
+}
+
+Tensor log(const Tensor& a) {
+  return unary(a, [](float x) { return std::log(x); },
+               [](float x, float) { return 1.0F / x; });
+}
+
+Tensor square(const Tensor& a) {
+  return unary(a, [](float x) { return x * x; },
+               [](float x, float) { return 2.0F * x; });
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  auto an = a.node();
+  if (an->shape.empty()) {
+    throw std::invalid_argument("softmax_lastdim: rank must be >= 1");
+  }
+  const size_t L = an->shape.back();
+  const size_t rows = an->value.size() / L;
+  std::vector<float> out(an->value.size());
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = an->value.data() + r * L;
+    float* y = out.data() + r * L;
+    float mx = x[0];
+    for (size_t i = 1; i < L; ++i) mx = std::max(mx, x[i]);
+    float denom = 0.0F;
+    for (size_t i = 0; i < L; ++i) {
+      y[i] = std::exp(x[i] - mx);
+      denom += y[i];
+    }
+    for (size_t i = 0; i < L; ++i) y[i] /= denom;
+  }
+  return make_op_result(
+      an->shape, std::move(out), {an}, [an, L, rows](Node& self) {
+        if (!an->requires_grad) return;
+        an->ensure_grad();
+        for (size_t r = 0; r < rows; ++r) {
+          const float* y = self.value.data() + r * L;
+          const float* g = self.grad.data() + r * L;
+          float* dx = an->grad.data() + r * L;
+          float dot = 0.0F;
+          for (size_t i = 0; i < L; ++i) dot += y[i] * g[i];
+          for (size_t i = 0; i < L; ++i) dx[i] += y[i] * (g[i] - dot);
+        }
+      });
+}
+
+Tensor layer_norm_lastdim(const Tensor& a, float eps) {
+  auto an = a.node();
+  if (an->shape.empty()) {
+    throw std::invalid_argument("layer_norm_lastdim: rank must be >= 1");
+  }
+  const size_t L = an->shape.back();
+  const size_t rows = an->value.size() / L;
+  std::vector<float> out(an->value.size());
+  std::vector<float> inv_std(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = an->value.data() + r * L;
+    float* y = out.data() + r * L;
+    float mu = 0.0F;
+    for (size_t i = 0; i < L; ++i) mu += x[i];
+    mu /= static_cast<float>(L);
+    float var = 0.0F;
+    for (size_t i = 0; i < L; ++i) var += (x[i] - mu) * (x[i] - mu);
+    var /= static_cast<float>(L);
+    const float is = 1.0F / std::sqrt(var + eps);
+    inv_std[r] = is;
+    for (size_t i = 0; i < L; ++i) y[i] = (x[i] - mu) * is;
+  }
+  return make_op_result(
+      an->shape, std::move(out), {an},
+      [an, L, rows, inv_std = std::move(inv_std)](Node& self) {
+        if (!an->requires_grad) return;
+        an->ensure_grad();
+        const float invL = 1.0F / static_cast<float>(L);
+        for (size_t r = 0; r < rows; ++r) {
+          const float* y = self.value.data() + r * L;
+          const float* g = self.grad.data() + r * L;
+          float* dx = an->grad.data() + r * L;
+          float gmean = 0.0F;
+          float gymean = 0.0F;
+          for (size_t i = 0; i < L; ++i) {
+            gmean += g[i];
+            gymean += g[i] * y[i];
+          }
+          gmean *= invL;
+          gymean *= invL;
+          for (size_t i = 0; i < L; ++i) {
+            dx[i] += inv_std[r] * (g[i] - gmean - y[i] * gymean);
+          }
+        }
+      });
+}
+
+Tensor sum(const Tensor& a) {
+  auto an = a.node();
+  float s = 0.0F;
+  for (float v : an->value) s += v;
+  return make_op_result({}, {s}, {an}, [an](Node& self) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    const float g = self.grad[0];
+    for (auto& dv : an->grad) dv += g;
+  });
+}
+
+Tensor mean(const Tensor& a) { return div(sum(a), static_cast<float>(a.size())); }
+
+Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim) {
+  auto an = a.node();
+  const Shape& s = an->shape;
+  if (axis >= s.size()) throw std::invalid_argument("sum_axis: bad axis");
+  size_t outer = 1;
+  size_t inner = 1;
+  for (size_t d = 0; d < axis; ++d) outer *= s[d];
+  for (size_t d = axis + 1; d < s.size(); ++d) inner *= s[d];
+  const size_t ax = s[axis];
+  Shape out_shape;
+  for (size_t d = 0; d < s.size(); ++d) {
+    if (d == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(s[d]);
+    }
+  }
+  std::vector<float> out(outer * inner, 0.0F);
+  for (size_t o = 0; o < outer; ++o) {
+    for (size_t x = 0; x < ax; ++x) {
+      const float* src = an->value.data() + (o * ax + x) * inner;
+      float* dst = out.data() + o * inner;
+      for (size_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  return make_op_result(std::move(out_shape), std::move(out), {an},
+                        [an, outer, inner, ax](Node& self) {
+                          if (!an->requires_grad) return;
+                          an->ensure_grad();
+                          for (size_t o = 0; o < outer; ++o) {
+                            const float* g = self.grad.data() + o * inner;
+                            for (size_t x = 0; x < ax; ++x) {
+                              float* dst =
+                                  an->grad.data() + (o * ax + x) * inner;
+                              for (size_t i = 0; i < inner; ++i) dst[i] += g[i];
+                            }
+                          }
+                        });
+}
+
+Tensor mean_axis(const Tensor& a, size_t axis, bool keepdim) {
+  const float n = static_cast<float>(a.shape().at(axis));
+  return div(sum_axis(a, axis, keepdim), n);
+}
+
+Tensor reshape(const Tensor& a, Shape shape) {
+  auto an = a.node();
+  if (numel(shape) != an->value.size()) {
+    throw std::invalid_argument("reshape: numel mismatch " +
+                                shape_str(an->shape) + " -> " +
+                                shape_str(shape));
+  }
+  std::vector<float> out = an->value;
+  return make_op_result(std::move(shape), std::move(out), {an},
+                        [an](Node& self) {
+                          if (!an->requires_grad) return;
+                          an->ensure_grad();
+                          for (size_t i = 0; i < self.grad.size(); ++i) {
+                            an->grad[i] += self.grad[i];
+                          }
+                        });
+}
+
+Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
+  auto an = a.node();
+  const Shape& s = an->shape;
+  if (perm.size() != s.size()) {
+    throw std::invalid_argument("permute: perm rank mismatch");
+  }
+  Shape out_shape(s.size());
+  for (size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] >= s.size()) throw std::invalid_argument("permute: bad index");
+    out_shape[i] = s[perm[i]];
+  }
+  const auto in_strides = row_major_strides(s);
+  const auto out_strides = row_major_strides(out_shape);
+  const size_t n = an->value.size();
+  // src linear offset for each out linear offset
+  std::vector<size_t> src_of(n);
+  std::vector<size_t> idx(out_shape.size(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    size_t off = 0;
+    for (size_t d = 0; d < idx.size(); ++d) off += idx[d] * in_strides[perm[d]];
+    src_of[i] = off;
+    for (size_t d = idx.size(); d-- > 0;) {
+      if (++idx[d] < out_shape[d]) break;
+      idx[d] = 0;
+    }
+  }
+  std::vector<float> out(n);
+  for (size_t i = 0; i < n; ++i) out[i] = an->value[src_of[i]];
+  return make_op_result(std::move(out_shape), std::move(out), {an},
+                        [an, src_of = std::move(src_of)](Node& self) {
+                          if (!an->requires_grad) return;
+                          an->ensure_grad();
+                          for (size_t i = 0; i < self.grad.size(); ++i) {
+                            an->grad[src_of[i]] += self.grad[i];
+                          }
+                        });
+}
+
+Tensor transpose_last(const Tensor& a) {
+  const size_t r = a.rank();
+  if (r < 2) throw std::invalid_argument("transpose_last: rank must be >= 2");
+  std::vector<size_t> perm(r);
+  for (size_t i = 0; i < r; ++i) perm[i] = i;
+  std::swap(perm[r - 1], perm[r - 2]);
+  return permute(a, perm);
+}
+
+Tensor concat_rows(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("concat_rows: empty input");
+  const Shape& first = parts[0].shape();
+  if (first.empty()) throw std::invalid_argument("concat_rows: rank >= 1");
+  Shape out_shape = first;
+  size_t rows = 0;
+  size_t row_elems = numel(first) / first[0];
+  std::vector<std::shared_ptr<Node>> parents;
+  for (const auto& p : parts) {
+    const Shape& s = p.shape();
+    if (s.size() != first.size() || numel(s) / s[0] != row_elems) {
+      throw std::invalid_argument("concat_rows: trailing shape mismatch");
+    }
+    rows += s[0];
+    parents.push_back(p.node());
+  }
+  out_shape[0] = rows;
+  std::vector<float> out;
+  out.reserve(rows * row_elems);
+  for (const auto& p : parents) {
+    out.insert(out.end(), p->value.begin(), p->value.end());
+  }
+  return make_op_result(std::move(out_shape), std::move(out), parents,
+                        [parents](Node& self) {
+                          size_t off = 0;
+                          for (const auto& p : parents) {
+                            if (p->requires_grad) {
+                              p->ensure_grad();
+                              for (size_t i = 0; i < p->value.size(); ++i) {
+                                p->grad[i] += self.grad[off + i];
+                              }
+                            }
+                            off += p->value.size();
+                          }
+                        });
+}
+
+Tensor mse_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("mse_loss: shape mismatch " +
+                                shape_str(pred.shape()) + " vs " +
+                                shape_str(target.shape()));
+  }
+  return mean(square(sub(pred, target)));
+}
+
+Tensor l1_loss(const Tensor& pred, const Tensor& target) {
+  if (pred.shape() != target.shape()) {
+    throw std::invalid_argument("l1_loss: shape mismatch");
+  }
+  Tensor d = sub(pred, target);
+  Tensor absd = unary(d, [](float x) { return std::fabs(x); },
+                      [](float x, float) { return x >= 0.0F ? 1.0F : -1.0F; });
+  return mean(absd);
+}
+
+Tensor dropout(const Tensor& a, float p, Rng& rng, bool train) {
+  if (p < 0.0F || p >= 1.0F) {
+    throw std::invalid_argument("dropout: p must be in [0, 1)");
+  }
+  if (!train || p == 0.0F) return a;
+  auto an = a.node();
+  const float scale = 1.0F / (1.0F - p);
+  std::vector<float> mask(an->value.size());
+  for (auto& m : mask) m = rng.uniform() < p ? 0.0F : scale;
+  std::vector<float> out(an->value.size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = an->value[i] * mask[i];
+  return make_op_result(an->shape, std::move(out), {an},
+                        [an, mask = std::move(mask)](Node& self) {
+                          if (!an->requires_grad) return;
+                          an->ensure_grad();
+                          for (size_t i = 0; i < self.grad.size(); ++i) {
+                            an->grad[i] += self.grad[i] * mask[i];
+                          }
+                        });
+}
+
+}  // namespace metadse::tensor

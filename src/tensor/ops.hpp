@@ -1,0 +1,91 @@
+// Differentiable tensor operations. Every function builds a graph node whose
+// backward closure accumulates into parents that require gradients, so any
+// composition is trainable end-to-end via Tensor::backward().
+//
+// Broadcasting follows NumPy rules (right-aligned; extents must match or be 1)
+// for the elementwise binary ops and for the batch dimensions of matmul.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace metadse::tensor {
+
+// -- elementwise binary (broadcasting) ---------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+/// Scalar conveniences (the scalar is a constant, not a graph leaf).
+Tensor add(const Tensor& a, float b);
+Tensor sub(const Tensor& a, float b);
+Tensor mul(const Tensor& a, float b);
+Tensor div(const Tensor& a, float b);
+
+/// Elementwise negation.
+Tensor neg(const Tensor& a);
+
+// -- matrix multiply ----------------------------------------------------------
+
+/// Batched matrix product: a is [..., M, K], b is [..., K, N]; the leading
+/// (batch) dimensions broadcast. Result is [batch..., M, N]. Rank-2 inputs are
+/// the plain matrix product.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+// -- activations / pointwise ---------------------------------------------------
+
+Tensor relu(const Tensor& a);
+/// GELU with the tanh approximation (as used by standard transformer stacks).
+Tensor gelu(const Tensor& a);
+Tensor tanh(const Tensor& a);
+Tensor sigmoid(const Tensor& a);
+Tensor exp(const Tensor& a);
+/// Natural log; inputs must be positive.
+Tensor log(const Tensor& a);
+/// Elementwise square.
+Tensor square(const Tensor& a);
+
+// -- normalization -------------------------------------------------------------
+
+/// Softmax over the last dimension.
+Tensor softmax_lastdim(const Tensor& a);
+
+/// Layer normalization over the last dimension (no affine; compose with
+/// mul/add for gamma/beta). @p eps stabilizes the variance.
+Tensor layer_norm_lastdim(const Tensor& a, float eps = 1e-5F);
+
+// -- reductions ----------------------------------------------------------------
+
+/// Sum of all elements (scalar result).
+Tensor sum(const Tensor& a);
+/// Mean of all elements (scalar result).
+Tensor mean(const Tensor& a);
+/// Sum over one axis; when @p keepdim the axis is retained with extent 1.
+Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim = false);
+/// Mean over one axis; when @p keepdim the axis is retained with extent 1.
+Tensor mean_axis(const Tensor& a, size_t axis, bool keepdim = false);
+
+// -- shape manipulation ----------------------------------------------------------
+
+/// Copying reshape; numel must be preserved.
+Tensor reshape(const Tensor& a, Shape shape);
+/// Generalized transpose: output dim i takes input dim perm[i].
+Tensor permute(const Tensor& a, const std::vector<size_t>& perm);
+/// Swap the last two dimensions (rank >= 2).
+Tensor transpose_last(const Tensor& a);
+/// Concatenate along the first dimension; all other extents must match.
+Tensor concat_rows(const std::vector<Tensor>& parts);
+
+// -- losses & regularization -----------------------------------------------------
+
+/// Mean squared error between same-shaped tensors (scalar result).
+Tensor mse_loss(const Tensor& pred, const Tensor& target);
+/// Mean absolute (L1) error between same-shaped tensors (scalar result).
+Tensor l1_loss(const Tensor& pred, const Tensor& target);
+
+/// Inverted dropout: zeroes entries w.p. @p p and rescales survivors by
+/// 1/(1-p) when @p train; identity otherwise.
+Tensor dropout(const Tensor& a, float p, Rng& rng, bool train);
+
+}  // namespace metadse::tensor

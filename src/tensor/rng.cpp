@@ -1,0 +1,25 @@
+#include "tensor/rng.hpp"
+
+#include <stdexcept>
+
+namespace metadse::tensor {
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> d(mean, stddev);
+  return d(engine_);
+}
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> d(lo, hi);
+  return d(engine_);
+}
+
+size_t Rng::uniform_index(size_t n) {
+  if (n == 0) throw std::invalid_argument("Rng::uniform_index: n must be > 0");
+  std::uniform_int_distribution<size_t> d(0, n - 1);
+  return d(engine_);
+}
+
+Rng Rng::fork() { return Rng(engine_()); }
+
+}  // namespace metadse::tensor

@@ -1,0 +1,45 @@
+// Deterministic random number generation shared by every stochastic component
+// (weight init, task sampling, workload phase synthesis, dropout).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace metadse::tensor {
+
+/// Seedable pseudo-random source. All randomness in the library flows through
+/// an explicitly passed Rng so experiments are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedULL) : engine_(seed) {}
+
+  /// Standard normal sample scaled by @p stddev around @p mean.
+  float normal(float mean = 0.0F, float stddev = 1.0F);
+
+  /// Uniform sample in [lo, hi).
+  float uniform(float lo = 0.0F, float hi = 1.0F);
+
+  /// Uniform integer in [0, n). @p n must be positive.
+  size_t uniform_index(size_t n);
+
+  /// Fisher-Yates shuffle of @p v.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[uniform_index(i)]);
+    }
+  }
+
+  /// A fresh Rng deterministically derived from this one (for forking
+  /// independent streams, e.g. one per workload).
+  Rng fork();
+
+  /// Underlying engine, for interop with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace metadse::tensor

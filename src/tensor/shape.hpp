@@ -1,0 +1,77 @@
+// Shape utilities: row-major strides, NumPy-style broadcasting, formatting.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace metadse::tensor {
+
+/// A tensor shape: extents per dimension, outermost first (row-major).
+using Shape = std::vector<size_t>;
+
+/// Total number of elements described by @p s (1 for a scalar / empty shape).
+inline size_t numel(const Shape& s) {
+  size_t n = 1;
+  for (size_t d : s) n *= d;
+  return n;
+}
+
+/// Row-major strides for @p s (stride of the last dim is 1).
+inline std::vector<size_t> row_major_strides(const Shape& s) {
+  std::vector<size_t> st(s.size(), 1);
+  for (size_t i = s.size(); i-- > 1;) st[i - 1] = st[i] * s[i];
+  return st;
+}
+
+/// Human-readable "[a, b, c]" rendering of a shape.
+inline std::string shape_str(const Shape& s) {
+  std::string out = "[";
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (i) out += ", ";
+    out += std::to_string(s[i]);
+  }
+  return out + "]";
+}
+
+/// NumPy-style broadcast of two shapes; throws std::invalid_argument when the
+/// shapes are incompatible (a dim must match or be 1 after right-alignment).
+inline Shape broadcast_shape(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  Shape out(rank, 1);
+  for (size_t i = 0; i < rank; ++i) {
+    const size_t da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const size_t db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    if (da != db && da != 1 && db != 1) {
+      throw std::invalid_argument("broadcast_shape: incompatible shapes " +
+                                  shape_str(a) + " vs " + shape_str(b));
+    }
+    out[rank - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+/// Strides for reading a tensor of shape @p in as if broadcast to @p out:
+/// broadcast dimensions get stride 0. @p in must be broadcastable to @p out.
+inline std::vector<size_t> broadcast_strides(const Shape& in, const Shape& out) {
+  const auto in_st = row_major_strides(in);
+  std::vector<size_t> st(out.size(), 0);
+  for (size_t i = 0; i < out.size(); ++i) {
+    const size_t ri = out.size() - 1 - i;  // aligned from the right
+    if (i < in.size()) {
+      const size_t din = in[in.size() - 1 - i];
+      if (din == out[ri]) {
+        st[ri] = in_st[in.size() - 1 - i];
+      } else if (din == 1) {
+        st[ri] = 0;
+      } else {
+        throw std::invalid_argument("broadcast_strides: cannot broadcast " +
+                                    shape_str(in) + " to " + shape_str(out));
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace metadse::tensor

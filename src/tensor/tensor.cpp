@@ -1,0 +1,171 @@
+#include "tensor/tensor.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace metadse::tensor {
+
+void Node::ensure_grad() {
+  if (grad.size() != value.size()) grad.assign(value.size(), 0.0F);
+}
+
+namespace {
+
+std::shared_ptr<Node> make_leaf(Shape shape, std::vector<float> value,
+                                bool requires_grad) {
+  if (value.size() != numel(shape)) {
+    throw std::invalid_argument("Tensor: data size " +
+                                std::to_string(value.size()) +
+                                " does not match shape " + shape_str(shape));
+  }
+  auto n = std::make_shared<Node>();
+  n->shape = std::move(shape);
+  n->value = std::move(value);
+  n->requires_grad = requires_grad;
+  return n;
+}
+
+}  // namespace
+
+Tensor Tensor::zeros(Shape shape, bool requires_grad) {
+  std::vector<float> v(numel(shape), 0.0F);
+  return Tensor(make_leaf(std::move(shape), std::move(v), requires_grad));
+}
+
+Tensor Tensor::full(Shape shape, float val, bool requires_grad) {
+  std::vector<float> v(numel(shape), val);
+  return Tensor(make_leaf(std::move(shape), std::move(v), requires_grad));
+}
+
+Tensor Tensor::from_vector(Shape shape, std::vector<float> data,
+                           bool requires_grad) {
+  return Tensor(make_leaf(std::move(shape), std::move(data), requires_grad));
+}
+
+Tensor Tensor::scalar(float v, bool requires_grad) {
+  return from_vector({}, {v}, requires_grad);
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, float stddev, bool requires_grad) {
+  std::vector<float> v(numel(shape));
+  for (auto& x : v) x = rng.normal(0.0F, stddev);
+  return Tensor(make_leaf(std::move(shape), std::move(v), requires_grad));
+}
+
+Tensor Tensor::uniform(Shape shape, Rng& rng, float lo, float hi,
+                       bool requires_grad) {
+  std::vector<float> v(numel(shape));
+  for (auto& x : v) x = rng.uniform(lo, hi);
+  return Tensor(make_leaf(std::move(shape), std::move(v), requires_grad));
+}
+
+const Shape& Tensor::shape() const {
+  if (!n_) throw std::logic_error("Tensor: undefined");
+  return n_->shape;
+}
+
+std::vector<float>& Tensor::data() {
+  if (!n_) throw std::logic_error("Tensor: undefined");
+  return n_->value;
+}
+
+const std::vector<float>& Tensor::data() const {
+  if (!n_) throw std::logic_error("Tensor: undefined");
+  return n_->value;
+}
+
+std::vector<float>& Tensor::grad() {
+  if (!n_) throw std::logic_error("Tensor: undefined");
+  n_->ensure_grad();
+  return n_->grad;
+}
+
+bool Tensor::requires_grad() const { return n_ && n_->requires_grad; }
+
+void Tensor::set_requires_grad(bool rg) {
+  if (!n_) throw std::logic_error("Tensor: undefined");
+  n_->requires_grad = rg;
+}
+
+float Tensor::item() const {
+  if (size() != 1) {
+    throw std::logic_error("Tensor::item: tensor has " +
+                           std::to_string(size()) + " elements");
+  }
+  return data()[0];
+}
+
+float Tensor::at(std::initializer_list<size_t> idx) const {
+  const Shape& s = shape();
+  if (idx.size() != s.size()) {
+    throw std::invalid_argument("Tensor::at: rank mismatch");
+  }
+  const auto strides = row_major_strides(s);
+  size_t off = 0;
+  size_t d = 0;
+  for (size_t i : idx) {
+    if (i >= s[d]) throw std::out_of_range("Tensor::at: index out of range");
+    off += i * strides[d];
+    ++d;
+  }
+  return data()[off];
+}
+
+void Tensor::backward() {
+  if (!n_) throw std::logic_error("Tensor::backward: undefined tensor");
+  if (size() != 1) {
+    throw std::logic_error("Tensor::backward: root must be scalar-sized");
+  }
+  // Iterative post-order topological sort (recursion-free: graphs from the
+  // MAML unrolled loops can be deep).
+  std::vector<Node*> topo;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(n_.get(), 0);
+  visited.insert(n_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child++].get();
+      if (visited.insert(child).second) stack.emplace_back(child, 0);
+    } else {
+      topo.push_back(node);
+      stack.pop_back();
+    }
+  }
+  n_->ensure_grad();
+  n_->grad[0] = 1.0F;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && node->requires_grad) {
+      node->ensure_grad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+void Tensor::zero_grad() {
+  if (!n_) return;
+  if (!n_->grad.empty()) n_->grad.assign(n_->value.size(), 0.0F);
+}
+
+Tensor Tensor::detach() const {
+  if (!n_) return {};
+  return from_vector(n_->shape, n_->value, false);
+}
+
+Tensor make_op_result(Shape shape, std::vector<float> value,
+                      std::vector<std::shared_ptr<Node>> parents,
+                      std::function<void(Node&)> backward_fn) {
+  auto n = std::make_shared<Node>();
+  n->shape = std::move(shape);
+  n->value = std::move(value);
+  bool rg = false;
+  for (const auto& p : parents) rg = rg || (p && p->requires_grad);
+  n->requires_grad = rg;
+  n->parents = std::move(parents);
+  if (rg) n->backward_fn = std::move(backward_fn);
+  return Tensor(std::move(n));
+}
+
+}  // namespace metadse::tensor

@@ -1,0 +1,109 @@
+// A small reverse-mode automatic-differentiation engine operating at tensor
+// granularity. Tensors are cheap handles to shared graph nodes; every op in
+// ops.hpp records a backward closure so Tensor::backward() can propagate
+// gradients through arbitrary compositions (the MAML inner/outer loops, the
+// masked-attention transformer, ...).
+#pragma once
+
+#include <functional>
+#include <initializer_list>
+#include <memory>
+#include <vector>
+
+#include "tensor/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace metadse::tensor {
+
+/// One vertex of the autodiff graph. Library users interact with Tensor;
+/// Node is exposed only for op implementations and tests.
+struct Node {
+  Shape shape;                ///< logical extents, row-major
+  std::vector<float> value;   ///< numel(shape) elements
+  std::vector<float> grad;    ///< same length as value once touched by backward
+  bool requires_grad = false; ///< participates in gradient propagation
+  std::vector<std::shared_ptr<Node>> parents;  ///< inputs of the producing op
+  /// Accumulates this node's grad into its parents' grads. Empty for leaves.
+  std::function<void(Node&)> backward_fn;
+
+  /// Allocate (zero-filled) grad storage if absent.
+  void ensure_grad();
+};
+
+/// Value-semantics handle to a graph node. Copying a Tensor aliases the node;
+/// use detach()/clone semantics via the factory functions for deep copies.
+class Tensor {
+ public:
+  /// An empty (undefined) tensor; defined() is false.
+  Tensor() = default;
+
+  /// Wrap an existing node (op-implementation constructor).
+  explicit Tensor(std::shared_ptr<Node> n) : n_(std::move(n)) {}
+
+  // -- factories ------------------------------------------------------------
+
+  /// All-zero tensor of @p shape.
+  static Tensor zeros(Shape shape, bool requires_grad = false);
+  /// Tensor of @p shape filled with @p v.
+  static Tensor full(Shape shape, float v, bool requires_grad = false);
+  /// Tensor adopting @p data (size must equal numel(shape)).
+  static Tensor from_vector(Shape shape, std::vector<float> data,
+                            bool requires_grad = false);
+  /// Rank-0 convenience: a scalar.
+  static Tensor scalar(float v, bool requires_grad = false);
+  /// I.i.d. normal entries with standard deviation @p stddev.
+  static Tensor randn(Shape shape, Rng& rng, float stddev = 1.0F,
+                      bool requires_grad = false);
+  /// I.i.d. uniform entries in [lo, hi).
+  static Tensor uniform(Shape shape, Rng& rng, float lo, float hi,
+                        bool requires_grad = false);
+
+  // -- inspection -----------------------------------------------------------
+
+  bool defined() const { return n_ != nullptr; }
+  const Shape& shape() const;
+  size_t rank() const { return shape().size(); }
+  size_t size() const { return numel(shape()); }
+  /// Extent of dimension @p i.
+  size_t dim(size_t i) const { return shape().at(i); }
+
+  std::vector<float>& data();
+  const std::vector<float>& data() const;
+  /// Gradient buffer; allocated on demand (zeros).
+  std::vector<float>& grad();
+
+  bool requires_grad() const;
+  /// Mark/unmark as a differentiable leaf.
+  void set_requires_grad(bool rg);
+
+  /// Value of a rank-0/size-1 tensor; throws otherwise.
+  float item() const;
+  /// Element access by multi-index (bounds-checked).
+  float at(std::initializer_list<size_t> idx) const;
+
+  // -- autograd -------------------------------------------------------------
+
+  /// Backpropagate from this scalar tensor: seeds d(self)/d(self)=1 and runs
+  /// the recorded closures in reverse topological order, accumulating into
+  /// every reachable requires_grad node. Throws if *this is not scalar-sized.
+  void backward();
+
+  /// Zero this node's grad buffer (if allocated).
+  void zero_grad();
+
+  /// A new leaf tensor holding a copy of the values, cut from the graph.
+  Tensor detach() const;
+
+  /// Underlying node (op implementations / tests).
+  const std::shared_ptr<Node>& node() const { return n_; }
+
+ private:
+  std::shared_ptr<Node> n_;
+};
+
+/// Build a node for an op result. Gradients flow iff any parent requires them.
+Tensor make_op_result(Shape shape, std::vector<float> value,
+                      std::vector<std::shared_ptr<Node>> parents,
+                      std::function<void(Node&)> backward_fn);
+
+}  // namespace metadse::tensor

@@ -1,0 +1,301 @@
+#include "workload/spec_suite.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+namespace metadse::workload {
+
+namespace {
+
+/// Normalizes the instruction-mix fields to sum exactly to 1.
+WorkloadCharacteristics normalize_mix(WorkloadCharacteristics w) {
+  const double s = w.f_int_alu + w.f_int_mul + w.f_fp_alu + w.f_fp_mul +
+                   w.f_load + w.f_store + w.f_branch;
+  w.f_int_alu /= s;
+  w.f_int_mul /= s;
+  w.f_fp_alu /= s;
+  w.f_fp_mul /= s;
+  w.f_load /= s;
+  w.f_store /= s;
+  w.f_branch /= s;
+  return w;
+}
+
+double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+/// Deterministic per-name seed (stable across platforms: FNV-1a).
+uint64_t name_seed(std::string_view name) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Perturbs a base profile into one phase (SimPoint cluster): capacities
+/// move multiplicatively, unit-interval knobs additively, and the mix is
+/// re-normalized. Perturbation scales reflect how much real program phases
+/// differ from the whole-program average.
+WorkloadCharacteristics perturb(const WorkloadCharacteristics& base,
+                                Rng& rng) {
+  WorkloadCharacteristics p = base;
+  auto logn = [&](double v, double sigma) {
+    return v * std::exp(rng.normal(0.0F, static_cast<float>(sigma)));
+  };
+  p.f_int_alu = logn(base.f_int_alu, 0.15);
+  p.f_int_mul = logn(base.f_int_mul, 0.25);
+  p.f_fp_alu = logn(base.f_fp_alu, 0.25);
+  p.f_fp_mul = logn(base.f_fp_mul, 0.25);
+  p.f_load = logn(base.f_load, 0.15);
+  p.f_store = logn(base.f_store, 0.20);
+  p.f_branch = logn(base.f_branch, 0.15);
+  p.branch_entropy = clamp01(base.branch_entropy + rng.normal(0.0F, 0.06F));
+  p.indirect_frac = clamp01(base.indirect_frac + rng.normal(0.0F, 0.04F));
+  p.call_depth = std::max(2.0, logn(base.call_depth, 0.20));
+  p.btb_footprint = std::max(32.0, logn(base.btb_footprint, 0.30));
+  p.dcache_ws_kb = std::max(2.0, logn(base.dcache_ws_kb, 0.35));
+  p.dcache_ws2_kb = std::max(32.0, logn(base.dcache_ws2_kb, 0.35));
+  p.streaming = clamp01(base.streaming + rng.normal(0.0F, 0.08F));
+  p.icache_ws_kb = std::max(2.0, logn(base.icache_ws_kb, 0.20));
+  p.ilp = std::clamp(logn(base.ilp, 0.15), 1.0, 8.0);
+  p.mlp = std::clamp(logn(base.mlp, 0.20), 1.0, 10.0);
+  p.dep_chain = clamp01(base.dep_chain + rng.normal(0.0F, 0.06F));
+  return normalize_mix(p);
+}
+
+}  // namespace
+
+Workload::Workload(std::string name, WorkloadCharacteristics base,
+                   size_t max_phases)
+    : name_(std::move(name)), base_(normalize_mix(base)) {
+  base_.validate();
+  Rng rng(name_seed(name_));
+  // "Each workload is divided into at most 30 clusters."
+  const size_t n_phases = 10 + rng.uniform_index(std::max<size_t>(1, max_phases - 9));
+  phases_.reserve(n_phases);
+  double total = 0.0;
+  std::vector<double> raw(n_phases);
+  for (auto& w : raw) {
+    w = std::exp(rng.normal(0.0F, 0.8F));
+    total += w;
+  }
+  for (size_t i = 0; i < n_phases; ++i) {
+    Phase ph;
+    ph.behavior = perturb(base_, rng);
+    ph.behavior.validate();
+    ph.weight = raw[i] / total;
+    phases_.push_back(std::move(ph));
+  }
+}
+
+SpecSuite::SpecSuite() {
+  auto add = [&](std::string name, SplitRole role,
+                 WorkloadCharacteristics w) {
+    workloads_.emplace_back(std::move(name), w);
+    roles_.push_back(role);
+  };
+  using R = SplitRole;
+  WorkloadCharacteristics w;
+
+  // ---- test workloads (the paper's five evaluation datasets) -----------------
+  // 600.perlbench_s: interpreter — branchy, indirect-call heavy, big code.
+  w = {};
+  w.f_int_alu = 0.44; w.f_int_mul = 0.02; w.f_fp_alu = 0.01; w.f_fp_mul = 0.01;
+  w.f_load = 0.24; w.f_store = 0.10; w.f_branch = 0.18;
+  w.branch_entropy = 0.42; w.indirect_frac = 0.30; w.call_depth = 22;
+  w.btb_footprint = 2200; w.dcache_ws_kb = 40; w.dcache_ws2_kb = 700;
+  w.streaming = 0.12; w.icache_ws_kb = 52; w.ilp = 2.2; w.mlp = 1.8;
+  w.dep_chain = 0.45;
+  add("600.perlbench_s", R::kTest, w);
+
+  // 605.mcf_s: pointer-chasing graph optimizer — memory-latency bound.
+  w = {};
+  w.f_int_alu = 0.38; w.f_int_mul = 0.01; w.f_fp_alu = 0.01; w.f_fp_mul = 0.01;
+  w.f_load = 0.35; w.f_store = 0.12; w.f_branch = 0.12;
+  w.branch_entropy = 0.38; w.indirect_frac = 0.05; w.call_depth = 6;
+  w.btb_footprint = 300; w.dcache_ws_kb = 140; w.dcache_ws2_kb = 4200;
+  w.streaming = 0.08; w.icache_ws_kb = 8; w.ilp = 1.5; w.mlp = 1.3;
+  w.dep_chain = 0.70;
+  add("605.mcf_s", R::kTest, w);
+
+  // 620.omnetpp_s: discrete-event simulator — pointer heavy, virtual calls.
+  w = {};
+  w.f_int_alu = 0.40; w.f_int_mul = 0.02; w.f_fp_alu = 0.02; w.f_fp_mul = 0.01;
+  w.f_load = 0.28; w.f_store = 0.12; w.f_branch = 0.15;
+  w.branch_entropy = 0.40; w.indirect_frac = 0.26; w.call_depth = 18;
+  w.btb_footprint = 1600; w.dcache_ws_kb = 90; w.dcache_ws2_kb = 2600;
+  w.streaming = 0.10; w.icache_ws_kb = 40; w.ilp = 1.9; w.mlp = 1.6;
+  w.dep_chain = 0.55;
+  add("620.omnetpp_s", R::kTest, w);
+
+  // 623.xalancbmk_s: XSLT processor — branchy, large code footprint.
+  w = {};
+  w.f_int_alu = 0.43; w.f_int_mul = 0.01; w.f_fp_alu = 0.01; w.f_fp_mul = 0.01;
+  w.f_load = 0.27; w.f_store = 0.09; w.f_branch = 0.18;
+  w.branch_entropy = 0.34; w.indirect_frac = 0.22; w.call_depth = 20;
+  w.btb_footprint = 1900; w.dcache_ws_kb = 60; w.dcache_ws2_kb = 1800;
+  w.streaming = 0.15; w.icache_ws_kb = 60; w.ilp = 2.1; w.mlp = 2.0;
+  w.dep_chain = 0.50;
+  add("623.xalancbmk_s", R::kTest, w);
+
+  // 627.cam4_s: community atmosphere model — FP, mixed locality.
+  w = {};
+  w.f_int_alu = 0.28; w.f_int_mul = 0.02; w.f_fp_alu = 0.22; w.f_fp_mul = 0.14;
+  w.f_load = 0.20; w.f_store = 0.08; w.f_branch = 0.06;
+  w.branch_entropy = 0.18; w.indirect_frac = 0.08; w.call_depth = 12;
+  w.btb_footprint = 900; w.dcache_ws_kb = 95; w.dcache_ws2_kb = 3200;
+  w.streaming = 0.50; w.icache_ws_kb = 44; w.ilp = 3.2; w.mlp = 3.5;
+  w.dep_chain = 0.30;
+  add("627.cam4_s", R::kTest, w);
+
+  // ---- training workloads -------------------------------------------------------
+  // 602.gcc_s: compiler — branchy integer, large code.
+  w = {};
+  w.f_int_alu = 0.45; w.f_int_mul = 0.02; w.f_fp_alu = 0.01; w.f_fp_mul = 0.01;
+  w.f_load = 0.25; w.f_store = 0.10; w.f_branch = 0.16;
+  w.branch_entropy = 0.38; w.indirect_frac = 0.18; w.call_depth = 16;
+  w.btb_footprint = 1800; w.dcache_ws_kb = 55; w.dcache_ws2_kb = 1500;
+  w.streaming = 0.15; w.icache_ws_kb = 64; w.ilp = 2.3; w.mlp = 2.0;
+  w.dep_chain = 0.45;
+  add("602.gcc_s", R::kTrain, w);
+
+  // 625.x264_s: video encoder — high ILP, data-parallel, predictable.
+  w = {};
+  w.f_int_alu = 0.50; w.f_int_mul = 0.06; w.f_fp_alu = 0.02; w.f_fp_mul = 0.01;
+  w.f_load = 0.24; w.f_store = 0.09; w.f_branch = 0.08;
+  w.branch_entropy = 0.18; w.indirect_frac = 0.06; w.call_depth = 8;
+  w.btb_footprint = 500; w.dcache_ws_kb = 34; w.dcache_ws2_kb = 900;
+  w.streaming = 0.55; w.icache_ws_kb = 24; w.ilp = 4.2; w.mlp = 3.0;
+  w.dep_chain = 0.20;
+  add("625.x264_s", R::kTrain, w);
+
+  // 631.deepsjeng_s: chess engine — hard-to-predict branches, small WS.
+  w = {};
+  w.f_int_alu = 0.48; w.f_int_mul = 0.03; w.f_fp_alu = 0.01; w.f_fp_mul = 0.01;
+  w.f_load = 0.23; w.f_store = 0.08; w.f_branch = 0.16;
+  w.branch_entropy = 0.52; w.indirect_frac = 0.10; w.call_depth = 24;
+  w.btb_footprint = 700; w.dcache_ws_kb = 28; w.dcache_ws2_kb = 700;
+  w.streaming = 0.10; w.icache_ws_kb = 20; w.ilp = 2.4; w.mlp = 1.8;
+  w.dep_chain = 0.40;
+  add("631.deepsjeng_s", R::kTrain, w);
+
+  // 641.leela_s: Go MCTS — branchy, pointer-based tree walks.
+  w = {};
+  w.f_int_alu = 0.46; w.f_int_mul = 0.03; w.f_fp_alu = 0.03; w.f_fp_mul = 0.02;
+  w.f_load = 0.25; w.f_store = 0.07; w.f_branch = 0.14;
+  w.branch_entropy = 0.50; w.indirect_frac = 0.12; w.call_depth = 18;
+  w.btb_footprint = 800; w.dcache_ws_kb = 38; w.dcache_ws2_kb = 1000;
+  w.streaming = 0.10; w.icache_ws_kb = 22; w.ilp = 2.2; w.mlp = 1.6;
+  w.dep_chain = 0.45;
+  add("641.leela_s", R::kTrain, w);
+
+  // 657.xz_s: compression — data-dependent branches, large dictionary.
+  w = {};
+  w.f_int_alu = 0.46; w.f_int_mul = 0.02; w.f_fp_alu = 0.01; w.f_fp_mul = 0.01;
+  w.f_load = 0.28; w.f_store = 0.09; w.f_branch = 0.13;
+  w.branch_entropy = 0.48; w.indirect_frac = 0.04; w.call_depth = 6;
+  w.btb_footprint = 350; w.dcache_ws_kb = 75; w.dcache_ws2_kb = 3000;
+  w.streaming = 0.25; w.icache_ws_kb = 12; w.ilp = 1.9; w.mlp = 2.2;
+  w.dep_chain = 0.55;
+  add("657.xz_s", R::kTrain, w);
+
+  // 619.lbm_s: lattice Boltzmann — pure streaming FP stencil.
+  w = {};
+  w.f_int_alu = 0.18; w.f_int_mul = 0.01; w.f_fp_alu = 0.28; w.f_fp_mul = 0.20;
+  w.f_load = 0.20; w.f_store = 0.10; w.f_branch = 0.03;
+  w.branch_entropy = 0.05; w.indirect_frac = 0.02; w.call_depth = 4;
+  w.btb_footprint = 80; w.dcache_ws_kb = 220; w.dcache_ws2_kb = 6000;
+  w.streaming = 0.90; w.icache_ws_kb = 6; w.ilp = 3.6; w.mlp = 6.0;
+  w.dep_chain = 0.18;
+  add("619.lbm_s", R::kTrain, w);
+
+  // 638.imagick_s: image processing — compute-bound FP kernels.
+  w = {};
+  w.f_int_alu = 0.26; w.f_int_mul = 0.03; w.f_fp_alu = 0.26; w.f_fp_mul = 0.16;
+  w.f_load = 0.18; w.f_store = 0.06; w.f_branch = 0.05;
+  w.branch_entropy = 0.10; w.indirect_frac = 0.04; w.call_depth = 8;
+  w.btb_footprint = 250; w.dcache_ws_kb = 26; w.dcache_ws2_kb = 600;
+  w.streaming = 0.55; w.icache_ws_kb = 14; w.ilp = 3.9; w.mlp = 3.2;
+  w.dep_chain = 0.22;
+  add("638.imagick_s", R::kTrain, w);
+
+  // ---- validation workloads -------------------------------------------------------
+  // 603.bwaves_s: blast-wave CFD — streaming FP with high MLP.
+  w = {};
+  w.f_int_alu = 0.20; w.f_int_mul = 0.01; w.f_fp_alu = 0.27; w.f_fp_mul = 0.18;
+  w.f_load = 0.23; w.f_store = 0.07; w.f_branch = 0.04;
+  w.branch_entropy = 0.08; w.indirect_frac = 0.02; w.call_depth = 5;
+  w.btb_footprint = 120; w.dcache_ws_kb = 160; w.dcache_ws2_kb = 6500;
+  w.streaming = 0.80; w.icache_ws_kb = 8; w.ilp = 3.4; w.mlp = 5.2;
+  w.dep_chain = 0.22;
+  add("603.bwaves_s", R::kValidation, w);
+
+  // 607.cactuBSSN_s: numerical relativity — FP stencil, big code.
+  w = {};
+  w.f_int_alu = 0.22; w.f_int_mul = 0.02; w.f_fp_alu = 0.26; w.f_fp_mul = 0.18;
+  w.f_load = 0.21; w.f_store = 0.06; w.f_branch = 0.05;
+  w.branch_entropy = 0.10; w.indirect_frac = 0.03; w.call_depth = 8;
+  w.btb_footprint = 400; w.dcache_ws_kb = 110; w.dcache_ws2_kb = 3800;
+  w.streaming = 0.60; w.icache_ws_kb = 56; w.ilp = 3.1; w.mlp = 3.8;
+  w.dep_chain = 0.28;
+  add("607.cactuBSSN_s", R::kValidation, w);
+
+  // 621.wrf_s: weather forecasting — mixed FP, moderate everything.
+  w = {};
+  w.f_int_alu = 0.27; w.f_int_mul = 0.02; w.f_fp_alu = 0.23; w.f_fp_mul = 0.13;
+  w.f_load = 0.21; w.f_store = 0.07; w.f_branch = 0.07;
+  w.branch_entropy = 0.20; w.indirect_frac = 0.07; w.call_depth = 12;
+  w.btb_footprint = 800; w.dcache_ws_kb = 85; w.dcache_ws2_kb = 2800;
+  w.streaming = 0.45; w.icache_ws_kb = 48; w.ilp = 2.9; w.mlp = 3.0;
+  w.dep_chain = 0.32;
+  add("621.wrf_s", R::kValidation, w);
+
+  // 644.nab_s: molecular dynamics — compute-bound FP, small WS.
+  w = {};
+  w.f_int_alu = 0.24; w.f_int_mul = 0.02; w.f_fp_alu = 0.28; w.f_fp_mul = 0.20;
+  w.f_load = 0.17; w.f_store = 0.05; w.f_branch = 0.04;
+  w.branch_entropy = 0.08; w.indirect_frac = 0.03; w.call_depth = 6;
+  w.btb_footprint = 150; w.dcache_ws_kb = 22; w.dcache_ws2_kb = 500;
+  w.streaming = 0.30; w.icache_ws_kb = 10; w.ilp = 3.3; w.mlp = 2.4;
+  w.dep_chain = 0.30;
+  add("644.nab_s", R::kValidation, w);
+
+  // 649.fotonik3d_s: photonics FDTD — streaming FP, very high MLP.
+  w = {};
+  w.f_int_alu = 0.19; w.f_int_mul = 0.01; w.f_fp_alu = 0.28; w.f_fp_mul = 0.19;
+  w.f_load = 0.22; w.f_store = 0.08; w.f_branch = 0.03;
+  w.branch_entropy = 0.05; w.indirect_frac = 0.02; w.call_depth = 4;
+  w.btb_footprint = 90; w.dcache_ws_kb = 190; w.dcache_ws2_kb = 7000;
+  w.streaming = 0.85; w.icache_ws_kb = 7; w.ilp = 3.5; w.mlp = 5.6;
+  w.dep_chain = 0.20;
+  add("649.fotonik3d_s", R::kValidation, w);
+}
+
+const Workload& SpecSuite::by_name(std::string_view name) const {
+  return workloads_.at(index_of(name));
+}
+
+size_t SpecSuite::index_of(std::string_view name) const {
+  for (size_t i = 0; i < workloads_.size(); ++i) {
+    if (workloads_[i].name() == name) return i;
+  }
+  throw std::out_of_range("SpecSuite: unknown workload '" + std::string(name) +
+                          "'");
+}
+
+std::vector<std::string> SpecSuite::names(SplitRole role) const {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < workloads_.size(); ++i) {
+    if (roles_[i] == role) out.push_back(workloads_[i].name());
+  }
+  return out;
+}
+
+SplitRole SpecSuite::role_of(std::string_view name) const {
+  return roles_.at(index_of(name));
+}
+
+}  // namespace metadse::workload

@@ -1,0 +1,74 @@
+// The SPEC CPU 2017 substitute: 17 named workload profiles whose
+// characteristic vectors mimic the published behaviour of the real programs
+// (memory-bound mcf, branchy perlbench/xalancbmk, streaming-FP lbm, ...),
+// plus SimPoint-style phase decomposition (<= 30 weighted clusters per
+// workload, each a deterministic perturbation of the base profile).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/workload_characteristics.hpp"
+#include "tensor/rng.hpp"
+
+namespace metadse::workload {
+
+using sim::WorkloadCharacteristics;
+using tensor::Rng;
+
+/// One SimPoint cluster: a behaviour vector and its execution weight.
+struct Phase {
+  WorkloadCharacteristics behavior;
+  double weight = 1.0;  ///< fraction of dynamic instructions in this phase
+};
+
+/// A named workload: base characteristics plus its phase decomposition.
+class Workload {
+ public:
+  /// Builds the workload's phases deterministically from its name
+  /// (the SimPoint substitute). @p max_phases caps the cluster count,
+  /// mirroring the paper's "at most 30 clusters".
+  Workload(std::string name, WorkloadCharacteristics base,
+           size_t max_phases = 30);
+
+  const std::string& name() const { return name_; }
+  const WorkloadCharacteristics& base() const { return base_; }
+  const std::vector<Phase>& phases() const { return phases_; }
+
+ private:
+  std::string name_;
+  WorkloadCharacteristics base_;
+  std::vector<Phase> phases_;
+};
+
+/// Role of a workload in the paper's dataset split.
+enum class SplitRole { kTrain, kValidation, kTest };
+
+/// The 17-workload suite with the paper's test set
+/// (600.perlbench_s, 605.mcf_s, 620.omnetpp_s, 623.xalancbmk_s, 627.cam4_s).
+class SpecSuite {
+ public:
+  /// Constructs all 17 profiles (deterministic).
+  SpecSuite();
+
+  const std::vector<Workload>& workloads() const { return workloads_; }
+  size_t size() const { return workloads_.size(); }
+
+  /// Lookup by SPEC name; throws std::out_of_range when absent.
+  const Workload& by_name(std::string_view name) const;
+  /// Index by SPEC name; throws std::out_of_range when absent.
+  size_t index_of(std::string_view name) const;
+
+  /// The paper's split: 7 train / 5 validation / 5 test.
+  std::vector<std::string> names(SplitRole role) const;
+
+  /// Role of a named workload.
+  SplitRole role_of(std::string_view name) const;
+
+ private:
+  std::vector<Workload> workloads_;
+  std::vector<SplitRole> roles_;
+};
+
+}  // namespace metadse::workload

@@ -1,0 +1,163 @@
+// Design-space tests: Table I fidelity, codecs, normalization, samplers.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "arch/design_space.hpp"
+
+namespace arch = metadse::arch;
+namespace mt = metadse::tensor;
+
+TEST(DesignSpace, Table1HasThePaperParameters) {
+  const auto& s = arch::DesignSpace::table1();
+  EXPECT_EQ(s.num_params(), 24U);
+  // Spot-check the ranges of Table I.
+  EXPECT_EQ(s.spec(s.param_index("core_freq_ghz")).cardinality(), 5U);
+  EXPECT_EQ(s.spec(s.param_index("pipeline_width")).cardinality(), 12U);
+  EXPECT_EQ(s.spec(s.param_index("fetch_queue_uops")).cardinality(), 11U);
+  EXPECT_EQ(s.spec(s.param_index("branch_predictor")).cardinality(), 2U);
+  EXPECT_EQ(s.spec(s.param_index("ras_size")).cardinality(), 13U);
+  EXPECT_EQ(s.spec(s.param_index("rob_size")).cardinality(), 15U);
+  EXPECT_EQ(s.spec(s.param_index("int_rf")).cardinality(), 25U);
+  EXPECT_EQ(s.spec(s.param_index("iq_size")).cardinality(), 9U);
+  EXPECT_EQ(s.spec(s.param_index("lq_size")).cardinality(), 8U);
+  EXPECT_EQ(s.spec(s.param_index("int_alu")).cardinality(), 6U);
+  EXPECT_EQ(s.spec(s.param_index("l2_kb")).cardinality(), 2U);
+  // Range endpoints.
+  const auto& rob = s.spec(s.param_index("rob_size")).values;
+  EXPECT_EQ(rob.front(), 32.0);
+  EXPECT_EQ(rob.back(), 256.0);
+  EXPECT_THROW(s.param_index("nonexistent"), std::out_of_range);
+  // The full space is large (> 10^14 points).
+  EXPECT_GT(s.total_points(), 1e14);
+}
+
+TEST(DesignSpace, ConstructorRejectsBadSpecs) {
+  EXPECT_THROW(arch::DesignSpace(std::vector<arch::ParamSpec>{}),
+               std::invalid_argument);
+  EXPECT_THROW(arch::DesignSpace(std::vector<arch::ParamSpec>{{"p", "d", {}}}),
+               std::invalid_argument);
+  EXPECT_THROW(arch::DesignSpace(
+                   std::vector<arch::ParamSpec>{{"p", "d", {3.0, 1.0}}}),
+               std::invalid_argument);
+}
+
+TEST(DesignSpace, ValidationAndValues) {
+  const auto& s = arch::DesignSpace::table1();
+  arch::Config c(s.num_params(), 0);
+  EXPECT_TRUE(s.valid(c));
+  const auto v = s.values_of(c);
+  EXPECT_EQ(v[s.param_index("core_freq_ghz")], 1.0);
+  EXPECT_EQ(v[s.param_index("rob_size")], 32.0);
+
+  arch::Config wrong_len(3, 0);
+  EXPECT_FALSE(s.valid(wrong_len));
+  EXPECT_THROW(s.validate(wrong_len), std::invalid_argument);
+  arch::Config out_of_range(s.num_params(), 0);
+  out_of_range[0] = 99;
+  EXPECT_FALSE(s.valid(out_of_range));
+  EXPECT_THROW(s.validate(out_of_range), std::invalid_argument);
+}
+
+TEST(DesignSpace, NormalizeBounds) {
+  const auto& s = arch::DesignSpace::table1();
+  mt::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto c = s.random_config(rng);
+    const auto f = s.normalize(c);
+    ASSERT_EQ(f.size(), s.num_params());
+    for (float v : f) {
+      EXPECT_GE(v, 0.0F);
+      EXPECT_LE(v, 1.0F);
+    }
+  }
+  // Min config maps to all zeros, max to all ones.
+  arch::Config lo(s.num_params(), 0);
+  for (float v : s.normalize(lo)) EXPECT_EQ(v, 0.0F);
+  arch::Config hi(s.num_params());
+  for (size_t i = 0; i < s.num_params(); ++i) {
+    hi[i] = s.spec(i).cardinality() - 1;
+  }
+  for (float v : s.normalize(hi)) EXPECT_EQ(v, 1.0F);
+}
+
+class EncodeDecodeRoundTrip : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EncodeDecodeRoundTrip, RandomConfigsSurvive) {
+  const auto& s = arch::DesignSpace::table1();
+  mt::Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const auto c = s.random_config(rng);
+    EXPECT_EQ(s.decode(s.encode(c)), c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodeDecodeRoundTrip,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(DesignSpace, EncodeIsInjectiveOnSample) {
+  const auto& s = arch::DesignSpace::table1();
+  mt::Rng rng(11);
+  std::set<uint64_t> ids;
+  const auto configs = s.sample_uniform(500, rng);
+  for (const auto& c : configs) ids.insert(s.encode(c));
+  // Uniform sampling over 10^14 points: collisions are absurdly unlikely.
+  EXPECT_EQ(ids.size(), configs.size());
+}
+
+TEST(DesignSpace, LatinHypercubeCoversMarginals) {
+  const auto& s = arch::DesignSpace::table1();
+  mt::Rng rng(13);
+  const size_t n = 200;
+  const auto configs = s.sample_latin_hypercube(n, rng);
+  ASSERT_EQ(configs.size(), n);
+  // Every parameter should see both halves of its range.
+  for (size_t p = 0; p < s.num_params(); ++p) {
+    const size_t card = s.spec(p).cardinality();
+    size_t lo = 0;
+    size_t hi = 0;
+    for (const auto& c : configs) {
+      EXPECT_LT(c[p], card);
+      (c[p] * 2 < card ? lo : hi) += 1;
+    }
+    if (card > 1) {
+      EXPECT_GT(lo, n / 5) << "param " << s.spec(p).name;
+      EXPECT_GT(hi, n / 5) << "param " << s.spec(p).name;
+    }
+  }
+}
+
+TEST(DesignSpace, OaFoldoverMirrorsHalves) {
+  const auto& s = arch::DesignSpace::table1();
+  mt::Rng rng(17);
+  const auto configs = s.sample_oa_foldover(20, rng);
+  ASSERT_EQ(configs.size(), 20U);
+  // Consecutive pairs are foldover mirrors: where one picks the low half,
+  // the other picks the high half (for parameters with > 1 candidate).
+  for (size_t i = 0; i + 1 < configs.size(); i += 2) {
+    for (size_t p = 0; p < s.num_params(); ++p) {
+      const size_t card = s.spec(p).cardinality();
+      if (card < 2) continue;
+      const bool a_high = configs[i][p] * 2 >= card;
+      const bool b_high = configs[i + 1][p] * 2 >= card;
+      EXPECT_NE(a_high, b_high) << "param " << s.spec(p).name;
+    }
+  }
+}
+
+TEST(CpuConfig, DecodesTypedView) {
+  const auto& s = arch::DesignSpace::table1();
+  arch::Config c(s.num_params(), 0);
+  c[s.param_index("core_freq_ghz")] = 4;        // 3 GHz
+  c[s.param_index("pipeline_width")] = 7;       // 8-wide
+  c[s.param_index("branch_predictor")] = 1;     // tournament
+  c[s.param_index("rob_size")] = 14;            // 256
+  const auto cfg = arch::to_cpu_config(s, c);
+  EXPECT_DOUBLE_EQ(cfg.freq_ghz, 3.0);
+  EXPECT_EQ(cfg.width, 8);
+  EXPECT_EQ(cfg.branch_predictor, arch::BranchPredictorType::kTournament);
+  EXPECT_EQ(cfg.rob_size, 256);
+  EXPECT_EQ(cfg.l1i_kb, 16);
+  EXPECT_EQ(cfg.l2_kb, 128);
+}

@@ -1,0 +1,201 @@
+// Data-layer tests: dataset generation, task sampling, label scaling, CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "data/dataset.hpp"
+
+namespace data = metadse::data;
+namespace arch = metadse::arch;
+namespace wl = metadse::workload;
+namespace mt = metadse::tensor;
+
+namespace {
+const wl::SpecSuite& suite() {
+  static wl::SpecSuite s;
+  return s;
+}
+data::Dataset small_dataset(size_t n = 120, uint64_t seed = 5) {
+  data::DatasetGenerator gen(arch::DesignSpace::table1());
+  mt::Rng rng(seed);
+  return gen.generate(suite().by_name("605.mcf_s"), n, rng);
+}
+}  // namespace
+
+TEST(TargetMetric, WidthAndSelection) {
+  data::Sample s;
+  s.ipc = 1.5F;
+  s.power = 8.0F;
+  EXPECT_EQ(data::target_width(data::TargetMetric::kIpc), 1U);
+  EXPECT_EQ(data::target_width(data::TargetMetric::kBoth), 2U);
+  EXPECT_EQ(data::target_of(s, data::TargetMetric::kIpc),
+            std::vector<float>{1.5F});
+  EXPECT_EQ(data::target_of(s, data::TargetMetric::kPower),
+            std::vector<float>{8.0F});
+  EXPECT_EQ(data::target_of(s, data::TargetMetric::kBoth),
+            (std::vector<float>{1.5F, 8.0F}));
+}
+
+TEST(DatasetGenerator, ProducesLabelledNormalizedSamples) {
+  auto ds = small_dataset();
+  EXPECT_EQ(ds.workload, "605.mcf_s");
+  EXPECT_EQ(ds.size(), 120U);
+  const auto& space = arch::DesignSpace::table1();
+  for (const auto& s : ds.samples) {
+    EXPECT_TRUE(space.valid(s.config));
+    EXPECT_EQ(s.features.size(), space.num_params());
+    for (float f : s.features) {
+      EXPECT_GE(f, 0.0F);
+      EXPECT_LE(f, 1.0F);
+    }
+    EXPECT_GT(s.ipc, 0.0F);
+    EXPECT_GT(s.power, 0.0F);
+  }
+}
+
+TEST(DatasetGenerator, EvaluateMatchesGenerateLabels) {
+  data::DatasetGenerator gen(arch::DesignSpace::table1());
+  auto ds = small_dataset(10, 9);
+  const auto& w = suite().by_name("605.mcf_s");
+  for (const auto& s : ds.samples) {
+    const auto [ipc, power] = gen.evaluate(s.config, w);
+    EXPECT_FLOAT_EQ(s.ipc, static_cast<float>(ipc));
+    EXPECT_FLOAT_EQ(s.power, static_cast<float>(power));
+  }
+}
+
+TEST(DatasetGenerator, DeterministicPerSeed) {
+  auto a = small_dataset(50, 42);
+  auto b = small_dataset(50, 42);
+  auto c = small_dataset(50, 43);
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.samples[7].ipc, b.samples[7].ipc);
+  EXPECT_EQ(a.samples[7].config, b.samples[7].config);
+  bool any_diff = false;
+  for (size_t i = 0; i < 50; ++i) {
+    any_diff = any_diff || a.samples[i].config != c.samples[i].config;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(TaskSampler, ShapesAndDisjointness) {
+  auto ds = small_dataset();
+  data::TaskSampler sampler(ds, 5, 45, data::TargetMetric::kIpc);
+  mt::Rng rng(3);
+  auto task = sampler.sample(rng);
+  EXPECT_EQ(task.support_x.shape(), (mt::Shape{5, 24}));
+  EXPECT_EQ(task.support_y.shape(), (mt::Shape{5, 1}));
+  EXPECT_EQ(task.query_x.shape(), (mt::Shape{45, 24}));
+  EXPECT_EQ(task.query_y.shape(), (mt::Shape{45, 1}));
+  // Support and query rows are disjoint: no feature row repeats.
+  std::set<std::vector<float>> rows;
+  for (size_t i = 0; i < 5; ++i) {
+    std::vector<float> r(task.support_x.data().begin() + i * 24,
+                         task.support_x.data().begin() + (i + 1) * 24);
+    rows.insert(std::move(r));
+  }
+  for (size_t i = 0; i < 45; ++i) {
+    std::vector<float> r(task.query_x.data().begin() + i * 24,
+                         task.query_x.data().begin() + (i + 1) * 24);
+    EXPECT_EQ(rows.count(r), 0U);
+  }
+}
+
+TEST(TaskSampler, ValidatesSizes) {
+  auto ds = small_dataset(20);
+  EXPECT_THROW(data::TaskSampler(ds, 0, 5, data::TargetMetric::kIpc),
+               std::invalid_argument);
+  EXPECT_THROW(data::TaskSampler(ds, 10, 15, data::TargetMetric::kIpc),
+               std::invalid_argument);
+}
+
+TEST(TaskSampler, SplitAllCoversDataset) {
+  auto ds = small_dataset(30);
+  data::TaskSampler sampler(ds, 10, 5, data::TargetMetric::kBoth);
+  mt::Rng rng(4);
+  auto task = sampler.split_all(rng);
+  EXPECT_EQ(task.support_x.dim(0), 10U);
+  EXPECT_EQ(task.query_x.dim(0), 20U);  // the rest, not just `query`
+  EXPECT_EQ(task.support_y.dim(1), 2U);
+}
+
+TEST(Scaler, RoundTripAndConstantColumns) {
+  data::Scaler sc;
+  sc.fit({{1.0F, 5.0F}, {3.0F, 5.0F}, {5.0F, 5.0F}});
+  EXPECT_TRUE(sc.fitted());
+  EXPECT_FLOAT_EQ(sc.mean()[0], 3.0F);
+  EXPECT_FLOAT_EQ(sc.mean()[1], 5.0F);
+  const auto t = sc.transform({3.0F, 5.0F});
+  EXPECT_FLOAT_EQ(t[0], 0.0F);
+  EXPECT_FLOAT_EQ(t[1], 0.0F);  // constant column: identity scale, no NaN
+  const auto back = sc.inverse(sc.transform({4.2F, 5.0F}));
+  EXPECT_NEAR(back[0], 4.2F, 1e-5);
+  EXPECT_THROW(sc.transform({1.0F}), std::invalid_argument);
+  EXPECT_THROW(data::Scaler().fit(std::vector<std::vector<float>>{}),
+               std::invalid_argument);
+}
+
+TEST(Scaler, TensorTransformMatchesRowTransform) {
+  auto ds = small_dataset(60);
+  data::Scaler sc;
+  sc.fit({ds}, data::TargetMetric::kIpc);
+  auto y = mt::Tensor::from_vector({3, 1},
+                                   {ds.samples[0].ipc, ds.samples[1].ipc,
+                                    ds.samples[2].ipc});
+  auto t = sc.transform(y);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_FLOAT_EQ(t.data()[i], sc.transform({ds.samples[i].ipc})[0]);
+  }
+  auto back = sc.inverse(t);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(back.data()[i], ds.samples[i].ipc, 1e-4);
+  }
+}
+
+TEST(WriteCsv, ProducesParseableFile) {
+  auto ds = small_dataset(10);
+  const std::string path = ::testing::TempDir() + "metadse_ds.csv";
+  data::write_csv(ds, arch::DesignSpace::table1(), path);
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string header;
+  std::getline(is, header);
+  EXPECT_NE(header.find("core_freq_ghz"), std::string::npos);
+  EXPECT_NE(header.find("ipc,power"), std::string::npos);
+  size_t lines = 0;
+  std::string line;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 10U);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetGenerator, TraceDrivenBackend) {
+  data::DatasetGenerator gen(arch::DesignSpace::table1());
+  data::TraceBackendOptions topt;
+  topt.instructions = 8000;
+  topt.max_phases = 2;
+  gen.set_backend(data::SimBackend::kTraceDriven, topt);
+  EXPECT_EQ(gen.backend(), data::SimBackend::kTraceDriven);
+  mt::Rng rng(31);
+  const auto ds = gen.generate(suite().by_name("605.mcf_s"), 4, rng);
+  for (const auto& s : ds.samples) {
+    EXPECT_GT(s.ipc, 0.0F);
+    EXPECT_LT(s.ipc, 12.0F);
+    EXPECT_GT(s.power, 0.0F);
+  }
+  // Deterministic.
+  mt::Rng rng2(31);
+  const auto ds2 = gen.generate(suite().by_name("605.mcf_s"), 4, rng2);
+  EXPECT_EQ(ds.samples[0].ipc, ds2.samples[0].ipc);
+  EXPECT_THROW(gen.set_backend(data::SimBackend::kTraceDriven,
+                               {.instructions = 0}),
+               std::invalid_argument);
+}
+
+TEST(MakeTask, RejectsEmptyDataset) {
+  data::Dataset empty;
+  EXPECT_THROW(data::make_task(empty, {0}, {1}, data::TargetMetric::kIpc),
+               std::invalid_argument);
+}

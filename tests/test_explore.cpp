@@ -1,0 +1,122 @@
+// Multi-objective exploration tests: dominance, the Pareto archive,
+// hypervolume, ADRS, and the explorers' behaviour on the real simulator.
+#include <gtest/gtest.h>
+
+#include "data/dataset.hpp"
+#include "explore/explorer.hpp"
+
+namespace ex = metadse::explore;
+namespace arch = metadse::arch;
+namespace mt = metadse::tensor;
+
+TEST(Dominance, Definition) {
+  ex::Objective a{2.0, 5.0};
+  ex::Objective b{1.0, 6.0};
+  EXPECT_TRUE(ex::dominates(a, b));   // more IPC, less power
+  EXPECT_FALSE(ex::dominates(b, a));
+  ex::Objective c{2.5, 7.0};          // more IPC but more power
+  EXPECT_FALSE(ex::dominates(a, c));
+  EXPECT_FALSE(ex::dominates(c, a));
+  EXPECT_FALSE(ex::dominates(a, a));  // not strictly better
+  ex::Objective d{2.0, 4.0};
+  EXPECT_TRUE(ex::dominates(d, a));   // equal IPC, strictly less power
+}
+
+TEST(ParetoArchive, InsertEvictsDominated) {
+  ex::ParetoArchive ar;
+  arch::Config dummy;
+  EXPECT_TRUE(ar.insert(dummy, {1.0, 10.0}));
+  EXPECT_TRUE(ar.insert(dummy, {2.0, 12.0}));   // tradeoff, both kept
+  EXPECT_EQ(ar.size(), 2U);
+  EXPECT_FALSE(ar.insert(dummy, {0.5, 11.0}));  // dominated by first
+  EXPECT_EQ(ar.size(), 2U);
+  EXPECT_TRUE(ar.insert(dummy, {2.5, 9.0}));    // dominates both
+  EXPECT_EQ(ar.size(), 1U);
+  EXPECT_FALSE(ar.insert(dummy, {2.5, 9.0}));   // duplicate
+}
+
+TEST(ParetoArchive, HypervolumeKnownValues) {
+  ex::ParetoArchive ar;
+  arch::Config dummy;
+  ar.insert(dummy, {2.0, 4.0});
+  ar.insert(dummy, {3.0, 6.0});
+  const ex::Objective ref{1.0, 8.0};
+  // Sorted by ipc desc: (3,6): (3-1)*(8-6)=4; (2,4): (2-1)*(6-4)=2. Total 6.
+  EXPECT_DOUBLE_EQ(ar.hypervolume(ref), 6.0);
+  // A better front strictly increases hypervolume.
+  ar.insert(dummy, {3.5, 3.5});
+  EXPECT_GT(ar.hypervolume(ref), 6.0);
+  EXPECT_DOUBLE_EQ(ex::ParetoArchive().hypervolume(ref), 0.0);
+}
+
+TEST(Adrs, ZeroWhenCoveredPositiveOtherwise) {
+  std::vector<ex::Objective> ref{{1.0, 5.0}, {2.0, 7.0}};
+  EXPECT_DOUBLE_EQ(ex::adrs(ref, ref), 0.0);
+  std::vector<ex::Objective> worse{{0.5, 6.0}};
+  EXPECT_GT(ex::adrs(ref, worse), 0.0);
+  EXPECT_THROW(ex::adrs({}, ref), std::invalid_argument);
+  EXPECT_THROW(ex::adrs(ref, {}), std::invalid_argument);
+}
+
+namespace {
+
+/// Oracle evaluator backed by the analytical simulator on one workload.
+ex::Evaluator oracle() {
+  static metadse::workload::SpecSuite suite;
+  static metadse::data::DatasetGenerator gen(arch::DesignSpace::table1());
+  return [](const arch::Config& c) {
+    const auto [ipc, power] =
+        gen.evaluate(c, suite.by_name("621.wrf_s"));
+    return ex::Objective{ipc, power};
+  };
+}
+
+}  // namespace
+
+TEST(RandomSearch, ProducesNonDominatedFront) {
+  mt::Rng rng(3);
+  const auto ar =
+      ex::random_search(arch::DesignSpace::table1(), oracle(), 100, rng);
+  ASSERT_GT(ar.size(), 1U);
+  // Pairwise non-domination.
+  const auto objs = ar.objectives();
+  for (size_t i = 0; i < objs.size(); ++i) {
+    for (size_t j = 0; j < objs.size(); ++j) {
+      if (i != j) {
+        EXPECT_FALSE(ex::dominates(objs[i], objs[j]));
+      }
+    }
+  }
+  EXPECT_THROW(ex::random_search(arch::DesignSpace::table1(), oracle(), 0,
+                                 rng),
+               std::invalid_argument);
+}
+
+TEST(EvolutionaryExplorer, BeatsRandomAtEqualBudget) {
+  ex::ExplorerOptions opts;
+  opts.initial_samples = 64;
+  opts.iterations = 192;
+  ex::EvolutionaryExplorer evo(opts);
+  const auto evo_front = evo.explore(arch::DesignSpace::table1(), oracle());
+
+  mt::Rng rng(5);
+  const auto rand_front = ex::random_search(arch::DesignSpace::table1(),
+                                            oracle(), evo.budget(), rng);
+  const ex::Objective ref{0.0, 30.0};
+  EXPECT_GE(evo_front.hypervolume(ref), rand_front.hypervolume(ref));
+  EXPECT_THROW(ex::EvolutionaryExplorer(
+                   ex::ExplorerOptions{.initial_samples = 0}),
+               std::invalid_argument);
+}
+
+TEST(EvolutionaryExplorer, DeterministicGivenSeed) {
+  ex::ExplorerOptions opts;
+  opts.initial_samples = 32;
+  opts.iterations = 64;
+  ex::EvolutionaryExplorer evo(opts);
+  const auto a = evo.explore(arch::DesignSpace::table1(), oracle());
+  const auto b = evo.explore(arch::DesignSpace::table1(), oracle());
+  ASSERT_EQ(a.size(), b.size());
+  const ex::Objective ref{0.0, 30.0};
+  EXPECT_DOUBLE_EQ(a.hypervolume(ref), b.hypervolume(ref));
+}

@@ -1,0 +1,160 @@
+// Finite-difference verification of every differentiable op's backward pass.
+// These are the load-bearing tests for the whole learning stack: if these
+// pass, MAML's unrolled gradients are trustworthy.
+#include <gtest/gtest.h>
+
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace mt = metadse::tensor;
+
+namespace {
+
+/// Checks d(reduce(f(params...)))/d(params) against finite differences.
+void expect_grad_ok(const std::function<mt::Tensor()>& loss,
+                    const std::vector<mt::Tensor>& params,
+                    double rtol = 5e-2) {
+  const auto res = mt::grad_check(loss, params, 1e-3F, 5e-3, rtol);
+  EXPECT_TRUE(res.ok()) << res.violations << " violations, worst score "
+                        << res.worst_score << ", max abs err "
+                        << res.max_abs_err;
+}
+
+}  // namespace
+
+class OpGradTest : public ::testing::Test {
+ protected:
+  mt::Rng rng{1234};
+  mt::Tensor a = mt::Tensor::randn({3, 4}, rng, 0.8F, true);
+  mt::Tensor b = mt::Tensor::randn({3, 4}, rng, 0.8F, true);
+  mt::Tensor bias = mt::Tensor::randn({4}, rng, 0.8F, true);
+};
+
+TEST_F(OpGradTest, AddSameShape) {
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::add(a, b))); }, {a, b});
+}
+
+TEST_F(OpGradTest, AddBroadcast) {
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::add(a, bias))); },
+                 {a, bias});
+}
+
+TEST_F(OpGradTest, SubMulDivBroadcast) {
+  // Offset the divisor away from zero.
+  mt::Tensor d = mt::Tensor::uniform({4}, rng, 1.0F, 2.0F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::sub(a, bias))); },
+                 {a, bias});
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::mul(a, bias))); },
+                 {a, bias});
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::div(a, d))); }, {a, d});
+}
+
+TEST_F(OpGradTest, Matmul2D) {
+  mt::Tensor w = mt::Tensor::randn({4, 2}, rng, 0.8F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(a, w))); },
+                 {a, w});
+}
+
+TEST_F(OpGradTest, MatmulBatchedBroadcast) {
+  mt::Tensor x = mt::Tensor::randn({2, 3, 4}, rng, 0.8F, true);
+  mt::Tensor w = mt::Tensor::randn({4, 3}, rng, 0.8F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(x, w))); },
+                 {x, w});
+  mt::Tensor y = mt::Tensor::randn({2, 4, 3}, rng, 0.8F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(x, y))); },
+                 {x, y});
+}
+
+TEST_F(OpGradTest, Activations) {
+  // Keep relu inputs away from the kink.
+  mt::Tensor x = mt::Tensor::uniform({3, 4}, rng, 0.2F, 1.5F, true);
+  mt::Tensor xn = mt::Tensor::uniform({3, 4}, rng, -1.5F, -0.2F, true);
+  expect_grad_ok([&] { return mt::sum(mt::relu(x)); }, {x});
+  expect_grad_ok([&] { return mt::sum(mt::relu(xn)); }, {xn});
+  expect_grad_ok([&] { return mt::sum(mt::gelu(x)); }, {x});
+  expect_grad_ok([&] { return mt::sum(mt::tanh(x)); }, {x});
+  expect_grad_ok([&] { return mt::sum(mt::sigmoid(x)); }, {x});
+  expect_grad_ok([&] { return mt::sum(mt::exp(x)); }, {x});
+  expect_grad_ok([&] { return mt::sum(mt::log(x)); }, {x});
+  expect_grad_ok([&] { return mt::sum(mt::square(x)); }, {x});
+}
+
+TEST_F(OpGradTest, SoftmaxComposedLoss) {
+  expect_grad_ok(
+      [&] {
+        auto s = mt::softmax_lastdim(a);
+        return mt::sum(mt::mul(s, b.detach()));
+      },
+      {a});
+}
+
+TEST_F(OpGradTest, LayerNorm) {
+  expect_grad_ok(
+      [&] {
+        auto y = mt::layer_norm_lastdim(a);
+        return mt::sum(mt::mul(y, b.detach()));
+      },
+      {a});
+}
+
+TEST_F(OpGradTest, Reductions) {
+  expect_grad_ok([&] { return mt::mean(mt::square(a)); }, {a});
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::sum_axis(a, 0))); }, {a});
+  expect_grad_ok(
+      [&] { return mt::sum(mt::square(mt::mean_axis(a, 1, true))); }, {a});
+}
+
+TEST_F(OpGradTest, ShapeOps) {
+  expect_grad_ok(
+      [&] { return mt::sum(mt::square(mt::reshape(a, {4, 3}))); }, {a});
+  expect_grad_ok(
+      [&] { return mt::sum(mt::square(mt::transpose_last(a))); }, {a});
+  mt::Tensor x = mt::Tensor::randn({2, 3, 4}, rng, 0.8F, true);
+  mt::Tensor w = mt::Tensor::randn({4, 2, 3}, rng, 0.8F);
+  expect_grad_ok(
+      [&] {
+        auto p = mt::permute(x, {2, 0, 1});
+        return mt::sum(mt::mul(p, w));
+      },
+      {x});
+}
+
+TEST_F(OpGradTest, ConcatRows) {
+  expect_grad_ok(
+      [&] {
+        auto c = mt::concat_rows({a, b});
+        return mt::sum(mt::square(c));
+      },
+      {a, b});
+}
+
+TEST_F(OpGradTest, Losses) {
+  expect_grad_ok([&] { return mt::mse_loss(a, b.detach()); }, {a});
+  // l1 away from zero-crossings: targets far from predictions.
+  mt::Tensor far = mt::Tensor::full({3, 4}, 10.0F);
+  expect_grad_ok([&] { return mt::l1_loss(a, far); }, {a});
+}
+
+TEST_F(OpGradTest, AttentionBlockEndToEnd) {
+  // A miniature single-head attention: the exact composite the predictor uses.
+  mt::Tensor x = mt::Tensor::randn({2, 5, 6}, rng, 0.5F, true);
+  mt::Tensor wq = mt::Tensor::randn({6, 6}, rng, 0.4F, true);
+  mt::Tensor wk = mt::Tensor::randn({6, 6}, rng, 0.4F, true);
+  mt::Tensor wv = mt::Tensor::randn({6, 6}, rng, 0.4F, true);
+  mt::Tensor mask = mt::Tensor::uniform({5, 5}, rng, 0.5F, 1.0F, true);
+  expect_grad_ok(
+      [&] {
+        auto q = mt::matmul(x, wq);
+        auto k = mt::matmul(x, wk);
+        auto v = mt::matmul(x, wv);
+        auto scores = mt::div(mt::matmul(q, mt::transpose_last(k)),
+                              std::sqrt(6.0F));
+        auto attn = mt::softmax_lastdim(scores);
+        auto masked = mt::mul(attn, mask);
+        auto renorm = mt::div(masked, mt::add(mt::sum_axis(masked, 2, true),
+                                              1e-6F));
+        auto out = mt::matmul(renorm, v);
+        return mt::mean(mt::square(out));
+      },
+      {x, wq, wk, wv, mask}, 1e-1);
+}

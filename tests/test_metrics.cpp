@@ -1,0 +1,117 @@
+// Metric tests: the paper's Eq. 1-3 plus aggregation and Wasserstein.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/metrics.hpp"
+#include "eval/table.hpp"
+
+namespace ev = metadse::eval;
+
+TEST(Rmse, KnownValuesAndErrors) {
+  std::vector<float> a{1, 2, 3, 4};
+  std::vector<float> p{1, 2, 3, 8};
+  EXPECT_DOUBLE_EQ(ev::rmse(a, p), 2.0);  // sqrt(16/4)
+  EXPECT_DOUBLE_EQ(ev::rmse(a, a), 0.0);
+  std::vector<float> bad{1, 2};
+  EXPECT_THROW(ev::rmse(a, bad), std::invalid_argument);
+  EXPECT_THROW(ev::rmse({}, {}), std::invalid_argument);
+}
+
+TEST(Mape, FractionOfActual) {
+  std::vector<float> a{2, 4};
+  std::vector<float> p{1, 5};
+  // |2-1|/2 = .5, |4-5|/4 = .25 -> mean .375
+  EXPECT_NEAR(ev::mape(a, p), 0.375, 1e-12);
+  // Zero actuals are guarded, not infinite.
+  std::vector<float> z{0.0F};
+  std::vector<float> pz{1.0F};
+  EXPECT_TRUE(std::isfinite(ev::mape(z, pz)));
+}
+
+TEST(ExplainedVariance, PerfectAndMeanPredictor) {
+  std::vector<float> a{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ev::explained_variance(a, a), 1.0);
+  std::vector<float> mean_pred(4, 2.5F);
+  EXPECT_NEAR(ev::explained_variance(a, mean_pred), 0.0, 1e-12);
+  // Worse than the mean predictor: negative EV (as in the paper's Table II).
+  std::vector<float> bad{4, 3, 2, 1};
+  EXPECT_LT(ev::explained_variance(a, bad), 0.0);
+  // Constant actuals.
+  std::vector<float> c{2, 2};
+  EXPECT_DOUBLE_EQ(ev::explained_variance(c, c), 1.0);
+  std::vector<float> cw{3, 3};
+  EXPECT_LT(ev::explained_variance(c, cw), -1e8);
+}
+
+TEST(Geomean, ValuesAndGuards) {
+  std::vector<double> v{1.0, 4.0, 16.0};
+  EXPECT_NEAR(ev::geomean(v), 4.0, 1e-12);
+  std::vector<double> bad{1.0, 0.0};
+  EXPECT_THROW(ev::geomean(bad), std::invalid_argument);
+  EXPECT_THROW(ev::geomean(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(MeanCi, NormalApproximation) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  const auto mc = ev::mean_ci(v);
+  EXPECT_DOUBLE_EQ(mc.mean, 3.0);
+  // sd = sqrt(2.5), ci = 1.96 * sd / sqrt(5)
+  EXPECT_NEAR(mc.ci95, 1.96 * std::sqrt(2.5 / 5.0), 1e-12);
+  const auto single = ev::mean_ci(std::vector<double>{7.0});
+  EXPECT_DOUBLE_EQ(single.mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.ci95, 0.0);
+}
+
+TEST(Wasserstein, MetricProperties) {
+  std::vector<float> a{0, 1, 2, 3};
+  std::vector<float> b{0, 1, 2, 3};
+  EXPECT_NEAR(ev::wasserstein1(a, b), 0.0, 1e-9);
+  // Translation by c moves W1 by exactly |c|.
+  std::vector<float> shifted{2, 3, 4, 5};
+  EXPECT_NEAR(ev::wasserstein1(a, shifted), 2.0, 1e-6);
+  // Symmetry.
+  std::vector<float> c{0, 0, 10, 10};
+  EXPECT_NEAR(ev::wasserstein1(a, c), ev::wasserstein1(c, a), 1e-9);
+  // Different sizes are supported (quantile interpolation). {0,1,2,3} and
+  // {0,3} both interpolate to Uniform[0,3] -> distance ~0.
+  std::vector<float> same_law{0, 3};
+  EXPECT_NEAR(ev::wasserstein1(a, same_law), 0.0, 0.05);
+  // Whereas {0,1} is Uniform[0,1]: E|3q - q| = 1.
+  std::vector<float> narrower{0, 1};
+  EXPECT_NEAR(ev::wasserstein1(a, narrower), 1.0, 0.05);
+  EXPECT_THROW(ev::wasserstein1({}, a), std::invalid_argument);
+}
+
+TEST(FormatMeanCi, RendersPlusMinus) {
+  ev::MeanCi mc;
+  mc.mean = 0.12345;
+  mc.ci95 = 0.005;
+  EXPECT_EQ(ev::format_mean_ci(mc, 3), "0.123±0.005");
+}
+
+TEST(TextTable, AlignsAndValidates) {
+  ev::TextTable t({"model", "rmse"});
+  t.add_row({"RF", "0.44"});
+  t.add_row({"MetaDSE", "0.22"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("| model "), std::string::npos);
+  EXPECT_NE(out.find("| MetaDSE | 0.22"), std::string::npos);
+  EXPECT_THROW(t.add_row({"too", "many", "cols"}), std::invalid_argument);
+  EXPECT_THROW(ev::TextTable({}), std::invalid_argument);
+}
+
+TEST(Heatmap, RendersSquareMatrix) {
+  std::vector<std::string> labels{"a", "b"};
+  std::vector<std::vector<double>> m{{0.0, 1.0}, {1.0, 0.0}};
+  const auto out = ev::render_heatmap(labels, m);
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find("1.00"), std::string::npos);
+  std::vector<std::vector<double>> ragged{{0.0}, {1.0, 2.0}};
+  EXPECT_THROW(ev::render_heatmap(labels, ragged), std::invalid_argument);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(ev::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(ev::fmt(2.0, 1), "2.0");
+}

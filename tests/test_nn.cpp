@@ -1,0 +1,265 @@
+// Unit tests for modules, layers, attention (capture + mask), transformer,
+// and parameter plumbing (clone/copy/flatten).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "nn/attention.hpp"
+#include "nn/layers.hpp"
+#include "nn/module.hpp"
+#include "nn/serialize.hpp"
+#include "nn/transformer.hpp"
+#include "tensor/gradcheck.hpp"
+#include "tensor/ops.hpp"
+
+namespace nn = metadse::nn;
+namespace mt = metadse::tensor;
+
+TEST(Linear, ShapesAndForward) {
+  mt::Rng rng(1);
+  nn::Linear lin(3, 2, rng);
+  EXPECT_EQ(lin.parameters().size(), 2U);
+  EXPECT_EQ(lin.parameter_count(), 8U);
+
+  auto x = mt::Tensor::from_vector({2, 3}, {1, 0, 0, 0, 1, 0});
+  auto y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (mt::Shape{2, 2}));
+  // Row 0 selects weight row 0 (+ bias which is zero-initialized).
+  EXPECT_FLOAT_EQ(y.at({0, 0}), lin.weight().at({0, 0}));
+  EXPECT_FLOAT_EQ(y.at({1, 1}), lin.weight().at({1, 1}));
+
+  auto bad = mt::Tensor::zeros({2, 4});
+  EXPECT_THROW(lin.forward(bad), std::invalid_argument);
+  EXPECT_THROW(nn::Linear(0, 2, rng), std::invalid_argument);
+}
+
+TEST(Linear, BatchedRank3Input) {
+  mt::Rng rng(2);
+  nn::Linear lin(4, 5, rng);
+  auto x = mt::Tensor::randn({2, 3, 4}, rng);
+  auto y = lin.forward(x);
+  EXPECT_EQ(y.shape(), (mt::Shape{2, 3, 5}));
+}
+
+TEST(LayerNormModule, NormalizesAndScales) {
+  mt::Rng rng(3);
+  nn::LayerNorm ln(4);
+  auto x = mt::Tensor::from_vector({1, 4}, {2, 4, 6, 8});
+  auto y = ln.forward(x);
+  float mu = 0.0F;
+  for (size_t c = 0; c < 4; ++c) mu += y.at({0, c});
+  EXPECT_NEAR(mu, 0.0F, 1e-5);
+  // Non-unit gamma rescales.
+  auto gamma = ln.gamma();  // Tensor handles alias the underlying node
+  gamma.data().assign(4, 2.0F);
+  auto y2 = ln.forward(x);
+  EXPECT_NEAR(y2.at({0, 3}), 2.0F * y.at({0, 3}), 1e-5);
+}
+
+TEST(Module, ParameterOrderingStableAcrossInstances) {
+  mt::Rng r1(1);
+  mt::Rng r2(2);
+  nn::TransformerConfig cfg{.n_tokens = 5, .d_model = 8, .n_heads = 2,
+                            .n_layers = 2, .d_ff = 16, .n_outputs = 1};
+  nn::TransformerRegressor a(cfg, r1);
+  nn::TransformerRegressor b(cfg, r2);
+  auto pa = a.parameters();
+  auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i].shape(), pb[i].shape());
+}
+
+TEST(Module, CopyFlattenRoundTrip) {
+  mt::Rng r1(1);
+  mt::Rng r2(2);
+  nn::Linear a(3, 4, r1);
+  nn::Linear b(3, 4, r2);
+  b.copy_parameters_from(a);
+  EXPECT_EQ(a.flatten_parameters(), b.flatten_parameters());
+
+  auto flat = a.flatten_parameters();
+  for (auto& v : flat) v += 1.0F;
+  a.unflatten_parameters(flat);
+  EXPECT_EQ(a.flatten_parameters(), flat);
+
+  std::vector<float> wrong(3);
+  EXPECT_THROW(a.unflatten_parameters(wrong), std::invalid_argument);
+
+  nn::Linear c(4, 3, r2);
+  EXPECT_THROW(c.copy_parameters_from(a), std::invalid_argument);
+}
+
+TEST(Attention, OutputShapeAndThrows) {
+  mt::Rng rng(5);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  auto x = mt::Tensor::randn({3, 5, 8}, rng);
+  auto y = attn.forward(x);
+  EXPECT_EQ(y.shape(), (mt::Shape{3, 5, 8}));
+  EXPECT_THROW(nn::MultiHeadSelfAttention(7, 2, rng), std::invalid_argument);
+  auto bad = mt::Tensor::randn({3, 5, 6}, rng);
+  EXPECT_THROW(attn.forward(bad), std::invalid_argument);
+}
+
+TEST(Attention, CaptureProducesRowStochasticMap) {
+  mt::Rng rng(6);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  EXPECT_THROW(attn.last_attention(), std::logic_error);
+  attn.set_capture_attention(true);
+  auto x = mt::Tensor::randn({4, 5, 8}, rng);
+  attn.forward(x);
+  const auto& m = attn.last_attention();
+  EXPECT_EQ(m.shape(), (mt::Shape{5, 5}));
+  for (size_t r = 0; r < 5; ++r) {
+    float s = 0.0F;
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_GE(m.at({r, c}), 0.0F);
+      s += m.at({r, c});
+    }
+    EXPECT_NEAR(s, 1.0F, 1e-4);
+  }
+}
+
+TEST(Attention, IdentityMaskIsNoOp) {
+  mt::Rng rng(7);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  auto x = mt::Tensor::randn({2, 4, 8}, rng);
+  auto y0 = attn.forward(x);
+  attn.install_mask(mt::Tensor::full({4, 4}, 1.0F));
+  ASSERT_TRUE(attn.has_mask());
+  auto y1 = attn.forward(x);
+  for (size_t i = 0; i < y0.size(); ++i) {
+    EXPECT_NEAR(y0.data()[i], y1.data()[i], 1e-4);
+  }
+  attn.clear_mask();
+  EXPECT_FALSE(attn.has_mask());
+  EXPECT_THROW(attn.mask(), std::logic_error);
+}
+
+TEST(Attention, MaskSuppressesInteraction) {
+  mt::Rng rng(8);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  attn.set_capture_attention(true);
+  auto x = mt::Tensor::randn({2, 4, 8}, rng);
+  // Mask that zeroes attention from token 0 to token 3.
+  auto mask = mt::Tensor::full({4, 4}, 1.0F);
+  mask.data()[0 * 4 + 3] = 0.0F;
+  attn.install_mask(mask);
+  attn.forward(x);
+  EXPECT_NEAR(attn.last_attention().at({0, 3}), 0.0F, 1e-6);
+  // Rows still (approximately) sum to one after renormalization.
+  float s = 0.0F;
+  for (size_t c = 0; c < 4; ++c) s += attn.last_attention().at({0, c});
+  EXPECT_NEAR(s, 1.0F, 1e-4);
+}
+
+TEST(Attention, WrongMaskShapeThrows) {
+  mt::Rng rng(9);
+  nn::MultiHeadSelfAttention attn(8, 2, rng);
+  EXPECT_THROW(attn.install_mask(mt::Tensor::zeros({3, 4})),
+               std::invalid_argument);
+  attn.install_mask(mt::Tensor::full({3, 3}, 1.0F));
+  auto x = mt::Tensor::randn({1, 4, 8}, rng);  // seq=4, mask=3x3
+  EXPECT_THROW(attn.forward(x), std::invalid_argument);
+}
+
+TEST(Transformer, ForwardShapeAndDeterminism) {
+  mt::Rng rng(10);
+  nn::TransformerConfig cfg{.n_tokens = 6, .d_model = 16, .n_heads = 4,
+                            .n_layers = 2, .d_ff = 32, .n_outputs = 2};
+  nn::TransformerRegressor model(cfg, rng);
+  auto x = mt::Tensor::randn({3, 6}, rng);
+  mt::Rng fwd(0);
+  auto y1 = model.forward(x, fwd);
+  EXPECT_EQ(y1.shape(), (mt::Shape{3, 2}));
+  auto y2 = model.forward(x, fwd);
+  EXPECT_EQ(y1.data(), y2.data());  // eval mode is deterministic
+
+  auto bad = mt::Tensor::zeros({3, 5});
+  EXPECT_THROW(model.forward(bad, fwd), std::invalid_argument);
+}
+
+TEST(Transformer, PredictOneMatchesBatchForward) {
+  mt::Rng rng(11);
+  nn::TransformerConfig cfg{.n_tokens = 4, .d_model = 8, .n_heads = 2,
+                            .n_layers = 1, .d_ff = 16, .n_outputs = 1};
+  nn::TransformerRegressor model(cfg, rng);
+  std::vector<float> feat{0.1F, 0.5F, 0.9F, 0.3F};
+  auto single = model.predict_one(feat);
+  auto x = mt::Tensor::from_vector({1, 4}, std::vector<float>(feat));
+  mt::Rng fwd(0);
+  auto batch = model.forward(x, fwd);
+  ASSERT_EQ(single.size(), 1U);
+  EXPECT_FLOAT_EQ(single[0], batch.data()[0]);
+}
+
+TEST(Transformer, CloneIsDeepAndIncludesMask) {
+  mt::Rng rng(12);
+  nn::TransformerConfig cfg{.n_tokens = 4, .d_model = 8, .n_heads = 2,
+                            .n_layers = 2, .d_ff = 16, .n_outputs = 1};
+  nn::TransformerRegressor model(cfg, rng);
+  model.last_attention_layer().install_mask(mt::Tensor::full({4, 4}, 0.7F));
+  auto copy = model.clone();
+  EXPECT_EQ(copy->flatten_parameters(), model.flatten_parameters());
+  EXPECT_TRUE(copy->last_attention_layer().has_mask());
+  // Mutating the clone leaves the original untouched.
+  auto flat = copy->flatten_parameters();
+  for (auto& v : flat) v = 0.0F;
+  copy->unflatten_parameters(flat);
+  EXPECT_NE(copy->flatten_parameters(), model.flatten_parameters());
+}
+
+TEST(Transformer, GradientsFlowToAllParameters) {
+  mt::Rng rng(13);
+  nn::TransformerConfig cfg{.n_tokens = 4, .d_model = 8, .n_heads = 2,
+                            .n_layers = 1, .d_ff = 16, .n_outputs = 1};
+  nn::TransformerRegressor model(cfg, rng);
+  auto x = mt::Tensor::randn({5, 4}, rng);
+  auto target = mt::Tensor::randn({5, 1}, rng);
+  mt::Rng fwd(0);
+  auto loss = mt::mse_loss(model.forward(x, fwd, true), target);
+  loss.backward();
+  size_t nonzero_params = 0;
+  for (auto p : model.parameters()) {
+    bool any = false;
+    for (float g : p.grad()) any = any || g != 0.0F;
+    nonzero_params += any;
+  }
+  // Every parameter tensor should receive some gradient.
+  EXPECT_EQ(nonzero_params, model.parameters().size());
+}
+
+TEST(Transformer, GradCheckEndToEnd) {
+  mt::Rng rng(14);
+  nn::TransformerConfig cfg{.n_tokens = 3, .d_model = 4, .n_heads = 2,
+                            .n_layers = 1, .d_ff = 8, .n_outputs = 1};
+  nn::TransformerRegressor model(cfg, rng);
+  auto x = mt::Tensor::randn({4, 3}, rng, 0.5F);
+  auto target = mt::Tensor::randn({4, 1}, rng, 0.5F);
+  mt::Rng fwd(0);
+  auto res = mt::grad_check(
+      [&] { return mt::mse_loss(model.forward(x, fwd), target); },
+      model.parameters(), 1e-3F, 2e-2, 1e-1);
+  EXPECT_TRUE(res.ok()) << res.violations << " violations, worst "
+                        << res.worst_score;
+}
+
+TEST(Serialize, RoundTripAndValidation) {
+  mt::Rng rng(15);
+  nn::TransformerConfig cfg{.n_tokens = 4, .d_model = 8, .n_heads = 2,
+                            .n_layers = 1, .d_ff = 16, .n_outputs = 1};
+  nn::TransformerRegressor a(cfg, rng);
+  nn::TransformerRegressor b(cfg, rng);
+  const std::string path = ::testing::TempDir() + "metadse_params.bin";
+  nn::save_parameters(a, path);
+  nn::load_parameters(b, path);
+  EXPECT_EQ(a.flatten_parameters(), b.flatten_parameters());
+
+  nn::TransformerConfig other = cfg;
+  other.d_model = 16;
+  mt::Rng r2(16);
+  nn::TransformerRegressor c(other, r2);
+  EXPECT_THROW(nn::load_parameters(c, path), std::runtime_error);
+  EXPECT_THROW(nn::load_parameters(b, path + ".missing"), std::runtime_error);
+  std::remove(path.c_str());
+}

@@ -1,0 +1,201 @@
+// Unit tests for forward semantics of the differentiable op library.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+
+namespace mt = metadse::tensor;
+
+namespace {
+mt::Tensor t2x3() {
+  return mt::Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+}
+}  // namespace
+
+TEST(Ops, AddBroadcastBias) {
+  auto x = t2x3();
+  auto b = mt::Tensor::from_vector({3}, {10, 20, 30});
+  auto y = mt::add(x, b);
+  EXPECT_EQ(y.shape(), (mt::Shape{2, 3}));
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 11.0F);
+  EXPECT_FLOAT_EQ(y.at({1, 2}), 36.0F);
+}
+
+TEST(Ops, AddIncompatibleThrows) {
+  auto x = t2x3();
+  auto b = mt::Tensor::from_vector({2}, {1, 2});
+  EXPECT_THROW(mt::add(x, b), std::invalid_argument);
+}
+
+TEST(Ops, MulScalarAndDiv) {
+  auto x = t2x3();
+  auto y = mt::mul(x, 2.0F);
+  EXPECT_FLOAT_EQ(y.at({1, 1}), 10.0F);
+  auto z = mt::div(y, 4.0F);
+  EXPECT_FLOAT_EQ(z.at({1, 1}), 2.5F);
+}
+
+TEST(Ops, SubNeg) {
+  auto x = t2x3();
+  auto y = mt::sub(x, 1.0F);
+  EXPECT_FLOAT_EQ(y.at({0, 0}), 0.0F);
+  auto n = mt::neg(x);
+  EXPECT_FLOAT_EQ(n.at({1, 2}), -6.0F);
+}
+
+TEST(Ops, Matmul2D) {
+  auto a = mt::Tensor::from_vector({2, 3}, {1, 2, 3, 4, 5, 6});
+  auto b = mt::Tensor::from_vector({3, 2}, {7, 8, 9, 10, 11, 12});
+  auto c = mt::matmul(a, b);
+  EXPECT_EQ(c.shape(), (mt::Shape{2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0}), 58.0F);
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 64.0F);
+  EXPECT_FLOAT_EQ(c.at({1, 0}), 139.0F);
+  EXPECT_FLOAT_EQ(c.at({1, 1}), 154.0F);
+}
+
+TEST(Ops, MatmulBatchedBroadcast) {
+  // a: [2, 2, 2] batch of two, b: [2, 2] broadcast over batch.
+  auto a = mt::Tensor::from_vector({2, 2, 2}, {1, 0, 0, 1, 2, 0, 0, 2});
+  auto b = mt::Tensor::from_vector({2, 2}, {5, 6, 7, 8});
+  auto c = mt::matmul(a, b);
+  EXPECT_EQ(c.shape(), (mt::Shape{2, 2, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 0, 0}), 5.0F);
+  EXPECT_FLOAT_EQ(c.at({0, 1, 1}), 8.0F);
+  EXPECT_FLOAT_EQ(c.at({1, 0, 0}), 10.0F);
+  EXPECT_FLOAT_EQ(c.at({1, 1, 1}), 16.0F);
+}
+
+TEST(Ops, MatmulInnerDimMismatchThrows) {
+  auto a = mt::Tensor::zeros({2, 3});
+  auto b = mt::Tensor::zeros({4, 2});
+  EXPECT_THROW(mt::matmul(a, b), std::invalid_argument);
+}
+
+TEST(Ops, ReluGeluTanhSigmoidValues) {
+  auto x = mt::Tensor::from_vector({3}, {-1.0F, 0.0F, 2.0F});
+  auto r = mt::relu(x);
+  EXPECT_FLOAT_EQ(r.at({0}), 0.0F);
+  EXPECT_FLOAT_EQ(r.at({2}), 2.0F);
+
+  auto g = mt::gelu(x);
+  EXPECT_NEAR(g.at({1}), 0.0F, 1e-6);
+  EXPECT_NEAR(g.at({2}), 1.9545977F, 1e-4);  // gelu(2) via tanh approx
+
+  auto t = mt::tanh(x);
+  EXPECT_NEAR(t.at({2}), std::tanh(2.0F), 1e-6);
+
+  auto s = mt::sigmoid(x);
+  EXPECT_NEAR(s.at({1}), 0.5F, 1e-6);
+}
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  auto x = mt::Tensor::from_vector({2, 4}, {1, 2, 3, 4, -1, 0, 1, 100});
+  auto y = mt::softmax_lastdim(x);
+  for (size_t r = 0; r < 2; ++r) {
+    float s = 0.0F;
+    for (size_t c = 0; c < 4; ++c) s += y.at({r, c});
+    EXPECT_NEAR(s, 1.0F, 1e-5);
+  }
+  // Large logit dominates without overflow.
+  EXPECT_NEAR(y.at({1, 3}), 1.0F, 1e-5);
+}
+
+TEST(Ops, LayerNormZeroMeanUnitVar) {
+  auto x = mt::Tensor::from_vector({2, 4}, {1, 2, 3, 4, 10, 20, 30, 40});
+  auto y = mt::layer_norm_lastdim(x);
+  for (size_t r = 0; r < 2; ++r) {
+    float mu = 0.0F;
+    float var = 0.0F;
+    for (size_t c = 0; c < 4; ++c) mu += y.at({r, c});
+    mu /= 4.0F;
+    for (size_t c = 0; c < 4; ++c) {
+      var += (y.at({r, c}) - mu) * (y.at({r, c}) - mu);
+    }
+    var /= 4.0F;
+    EXPECT_NEAR(mu, 0.0F, 1e-5);
+    EXPECT_NEAR(var, 1.0F, 1e-3);
+  }
+}
+
+TEST(Ops, Reductions) {
+  auto x = t2x3();
+  EXPECT_FLOAT_EQ(mt::sum(x).item(), 21.0F);
+  EXPECT_FLOAT_EQ(mt::mean(x).item(), 3.5F);
+
+  auto s0 = mt::sum_axis(x, 0);
+  EXPECT_EQ(s0.shape(), (mt::Shape{3}));
+  EXPECT_FLOAT_EQ(s0.at({0}), 5.0F);
+  EXPECT_FLOAT_EQ(s0.at({2}), 9.0F);
+
+  auto s1 = mt::sum_axis(x, 1, /*keepdim=*/true);
+  EXPECT_EQ(s1.shape(), (mt::Shape{2, 1}));
+  EXPECT_FLOAT_EQ(s1.at({0, 0}), 6.0F);
+  EXPECT_FLOAT_EQ(s1.at({1, 0}), 15.0F);
+
+  auto m1 = mt::mean_axis(x, 1);
+  EXPECT_FLOAT_EQ(m1.at({0}), 2.0F);
+  EXPECT_FLOAT_EQ(m1.at({1}), 5.0F);
+}
+
+TEST(Ops, ReshapePermuteTranspose) {
+  auto x = t2x3();
+  auto r = mt::reshape(x, {3, 2});
+  EXPECT_FLOAT_EQ(r.at({1, 1}), 4.0F);
+  EXPECT_THROW(mt::reshape(x, {4, 2}), std::invalid_argument);
+
+  auto t = mt::transpose_last(x);
+  EXPECT_EQ(t.shape(), (mt::Shape{3, 2}));
+  EXPECT_FLOAT_EQ(t.at({2, 1}), 6.0F);
+  EXPECT_FLOAT_EQ(t.at({0, 1}), 4.0F);
+
+  auto x3 = mt::Tensor::from_vector({2, 2, 2}, {0, 1, 2, 3, 4, 5, 6, 7});
+  auto p = mt::permute(x3, {1, 0, 2});
+  EXPECT_FLOAT_EQ(p.at({0, 1, 0}), 4.0F);
+  EXPECT_FLOAT_EQ(p.at({1, 0, 1}), 3.0F);
+}
+
+TEST(Ops, ConcatRows) {
+  auto a = mt::Tensor::from_vector({1, 2}, {1, 2});
+  auto b = mt::Tensor::from_vector({2, 2}, {3, 4, 5, 6});
+  auto c = mt::concat_rows({a, b});
+  EXPECT_EQ(c.shape(), (mt::Shape{3, 2}));
+  EXPECT_FLOAT_EQ(c.at({0, 1}), 2.0F);
+  EXPECT_FLOAT_EQ(c.at({2, 0}), 5.0F);
+  auto bad = mt::Tensor::from_vector({1, 3}, {1, 2, 3});
+  EXPECT_THROW(mt::concat_rows({a, bad}), std::invalid_argument);
+}
+
+TEST(Ops, Losses) {
+  auto p = mt::Tensor::from_vector({4}, {1, 2, 3, 4});
+  auto t = mt::Tensor::from_vector({4}, {1, 2, 3, 8});
+  EXPECT_FLOAT_EQ(mt::mse_loss(p, t).item(), 4.0F);   // 16/4
+  EXPECT_FLOAT_EQ(mt::l1_loss(p, t).item(), 1.0F);    // 4/4
+  auto bad = mt::Tensor::zeros({3});
+  EXPECT_THROW(mt::mse_loss(p, bad), std::invalid_argument);
+}
+
+TEST(Ops, DropoutTrainVsEval) {
+  mt::Rng rng(3);
+  auto x = mt::Tensor::full({1000}, 1.0F);
+  auto eval = mt::dropout(x, 0.5F, rng, /*train=*/false);
+  for (float v : eval.data()) EXPECT_EQ(v, 1.0F);
+
+  auto train = mt::dropout(x, 0.5F, rng, /*train=*/true);
+  size_t zeros = 0;
+  float sum = 0.0F;
+  for (float v : train.data()) {
+    if (v == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0F);  // inverted dropout rescale
+    }
+    sum += v;
+  }
+  EXPECT_GT(zeros, 350U);
+  EXPECT_LT(zeros, 650U);
+  EXPECT_NEAR(sum / 1000.0F, 1.0F, 0.15F);
+  EXPECT_THROW(mt::dropout(x, 1.0F, rng, true), std::invalid_argument);
+}

@@ -1,0 +1,99 @@
+// Optimizer and LR-schedule tests: convergence on convex problems and exact
+// update semantics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/layers.hpp"
+#include "nn/optim.hpp"
+#include "tensor/ops.hpp"
+
+namespace nn = metadse::nn;
+namespace mt = metadse::tensor;
+
+TEST(Sgd, ExactSingleStep) {
+  auto p = mt::Tensor::from_vector({2}, {1.0F, -2.0F}, true);
+  nn::Sgd opt({p}, 0.5F);
+  p.grad() = {2.0F, 4.0F};
+  opt.step();
+  EXPECT_FLOAT_EQ(p.data()[0], 0.0F);
+  EXPECT_FLOAT_EQ(p.data()[1], -4.0F);
+  opt.zero_grad();
+  EXPECT_FLOAT_EQ(p.grad()[0], 0.0F);
+  EXPECT_THROW(nn::Sgd({}, 0.1F), std::invalid_argument);
+}
+
+TEST(Sgd, MinimizesQuadratic) {
+  auto p = mt::Tensor::from_vector({1}, {5.0F}, true);
+  nn::Sgd opt({p}, 0.1F);
+  for (int i = 0; i < 100; ++i) {
+    opt.zero_grad();
+    auto loss = mt::square(p);
+    mt::sum(loss).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(p.data()[0], 0.0F, 1e-4);
+}
+
+TEST(Adam, MinimizesQuadraticWithOffset) {
+  auto p = mt::Tensor::from_vector({2}, {5.0F, -3.0F}, true);
+  auto target = mt::Tensor::from_vector({2}, {1.0F, 2.0F});
+  nn::Adam opt({p}, 0.1F);
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    mt::mse_loss(p, target).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(p.data()[0], 1.0F, 1e-2);
+  EXPECT_NEAR(p.data()[1], 2.0F, 1e-2);
+  EXPECT_EQ(opt.step_count(), 300U);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Bias correction makes the first update approximately lr * sign(grad).
+  for (float scale : {1e-3F, 1.0F, 1e3F}) {
+    auto p = mt::Tensor::from_vector({1}, {0.0F}, true);
+    nn::Adam opt({p}, 0.01F);
+    p.grad() = {scale};
+    opt.step();
+    EXPECT_NEAR(p.data()[0], -0.01F, 1e-4) << "scale=" << scale;
+  }
+}
+
+TEST(Adam, TrainsLinearRegressionToFit) {
+  mt::Rng rng(42);
+  nn::Linear lin(3, 1, rng);
+  // Ground truth: y = 2x0 - x1 + 0.5x2 + 1
+  const size_t n = 64;
+  std::vector<float> xs(n * 3);
+  std::vector<float> ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < 3; ++j) xs[i * 3 + j] = rng.uniform(-1.0F, 1.0F);
+    ys[i] = 2.0F * xs[i * 3] - xs[i * 3 + 1] + 0.5F * xs[i * 3 + 2] + 1.0F;
+  }
+  auto x = mt::Tensor::from_vector({n, 3}, std::move(xs));
+  auto y = mt::Tensor::from_vector({n, 1}, std::move(ys));
+  nn::Adam opt(lin.parameters(), 0.05F);
+  float final_loss = 0.0F;
+  for (int e = 0; e < 400; ++e) {
+    opt.zero_grad();
+    auto loss = mt::mse_loss(lin.forward(x), y);
+    loss.backward();
+    opt.step();
+    final_loss = loss.item();
+  }
+  EXPECT_LT(final_loss, 1e-3F);
+  EXPECT_NEAR(lin.weight().at({0, 0}), 2.0F, 0.05F);
+  EXPECT_NEAR(lin.bias().at({0}), 1.0F, 0.05F);
+}
+
+TEST(CosineAnnealing, EndpointsAndMonotonicity) {
+  nn::CosineAnnealing sched(1.0F, 10, 0.1F);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 1.0F);
+  EXPECT_NEAR(sched.lr_at(10), 0.1F, 1e-6);
+  EXPECT_NEAR(sched.lr_at(5), 0.55F, 1e-6);
+  for (size_t t = 1; t <= 10; ++t) EXPECT_LE(sched.lr_at(t), sched.lr_at(t - 1));
+  // Clamps beyond the horizon.
+  EXPECT_NEAR(sched.lr_at(100), 0.1F, 1e-6);
+  EXPECT_THROW(nn::CosineAnnealing(1.0F, 0), std::invalid_argument);
+}

@@ -1,0 +1,308 @@
+// Tests for the trace-driven pipeline simulator and its structural models
+// (caches, branch predictors, BTB, RAS, trace generation), plus the
+// cross-validation against the analytical model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/branch_predictor.hpp"
+#include "sim/cache.hpp"
+#include "sim/pipeline_sim.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace sim = metadse::sim;
+namespace arch = metadse::arch;
+namespace mt = metadse::tensor;
+
+// ---- SetAssocCache -----------------------------------------------------------
+
+TEST(SetAssocCache, GeometryAndValidation) {
+  sim::SetAssocCache c(32 * 1024, 4, 64);
+  EXPECT_EQ(c.sets(), 128U);
+  EXPECT_EQ(c.assoc(), 4U);
+  EXPECT_THROW(sim::SetAssocCache(0, 4, 64), std::invalid_argument);
+  EXPECT_THROW(sim::SetAssocCache(128, 4, 64), std::invalid_argument);
+}
+
+TEST(SetAssocCache, HitAfterFill) {
+  sim::SetAssocCache c(1024, 2, 64);
+  EXPECT_FALSE(c.access(0x1000));  // compulsory miss
+  EXPECT_TRUE(c.access(0x1000));   // now resident
+  EXPECT_TRUE(c.access(0x1004));   // same line
+  EXPECT_TRUE(c.probe(0x1000));
+  EXPECT_FALSE(c.probe(0x2000));
+  EXPECT_EQ(c.hits(), 2U);
+  EXPECT_EQ(c.misses(), 1U);
+  c.flush();
+  EXPECT_FALSE(c.probe(0x1000));
+}
+
+TEST(SetAssocCache, LruEviction) {
+  // 2-way, line 64, size 128 -> exactly 1 set of 2 ways.
+  sim::SetAssocCache c(128, 2, 64);
+  EXPECT_EQ(c.sets(), 1U);
+  c.access(0x000);          // A
+  c.access(0x100);          // B
+  c.access(0x000);          // touch A (B becomes LRU)
+  c.access(0x200);          // C evicts B
+  EXPECT_TRUE(c.probe(0x000));
+  EXPECT_FALSE(c.probe(0x100));
+  EXPECT_TRUE(c.probe(0x200));
+}
+
+TEST(SetAssocCache, WorkingSetLargerThanCacheMisses) {
+  sim::SetAssocCache small(4 * 1024, 2, 64);
+  sim::SetAssocCache big(64 * 1024, 2, 64);
+  mt::Rng rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t a = (rng.engine()() % (32 * 1024)) / 8 * 8;
+    small.access(a);
+    big.access(a);
+  }
+  EXPECT_GT(small.miss_rate(), big.miss_rate() * 2.0);
+  EXPECT_LT(big.miss_rate(), 0.15);
+}
+
+// ---- branch predictors ------------------------------------------------------------
+
+class PredictorAccuracy : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PredictorAccuracy, LearnsBiasedBranches) {
+  auto pred = sim::make_predictor(GetParam());
+  mt::Rng rng(7);
+  // 64 branch sites with strong biases: accuracy should be high.
+  std::vector<double> bias(64);
+  for (auto& b : bias) b = rng.uniform() < 0.5 ? 0.05 : 0.95;
+  int correct = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const size_t site = rng.uniform_index(64);
+    const uint64_t pc = 0x400 + site * 16;
+    const bool taken = rng.uniform() < bias[site];
+    correct += pred->predict(pc) == taken;
+    pred->update(pc, taken);
+  }
+  EXPECT_GT(static_cast<double>(correct) / n, 0.85);
+}
+
+TEST_P(PredictorAccuracy, NearChanceOnRandomBranches) {
+  auto pred = sim::make_predictor(GetParam());
+  mt::Rng rng(8);
+  int correct = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const uint64_t pc = 0x400 + rng.uniform_index(64) * 16;
+    const bool taken = rng.uniform() < 0.5;
+    correct += pred->predict(pc) == taken;
+    pred->update(pc, taken);
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / n, 0.5, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothPredictors, PredictorAccuracy,
+                         ::testing::Values(false, true));
+
+TEST(TournamentPredictor, LearnsGlobalPattern) {
+  // Period-4 pattern TTNN at one site: global/local history catches it,
+  // a plain bimodal counter cannot.
+  sim::TournamentPredictor pred;
+  const uint64_t pc = 0x1234;
+  int correct_late = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const bool taken = (i % 4) < 2;
+    const bool p = pred.predict(pc);
+    if (i >= 2000) correct_late += p == taken;
+    pred.update(pc, taken);
+  }
+  EXPECT_GT(correct_late / 2000.0, 0.9);
+}
+
+TEST(Btb, StoresTargetsAndConflicts) {
+  sim::Btb btb(16);
+  EXPECT_THROW(sim::Btb(0), std::invalid_argument);
+  uint64_t t = 0;
+  EXPECT_FALSE(btb.lookup(0x40, t));
+  btb.update(0x40, 0x999);
+  EXPECT_TRUE(btb.lookup(0x40, t));
+  EXPECT_EQ(t, 0x999U);
+  // Conflicting pc (same index, different tag) evicts.
+  btb.update(0x40 + 16, 0x111);
+  EXPECT_FALSE(btb.lookup(0x40, t));
+}
+
+TEST(ReturnAddressStack, LifoAndOverflow) {
+  sim::ReturnAddressStack ras(4);
+  EXPECT_THROW(sim::ReturnAddressStack(0), std::invalid_argument);
+  EXPECT_EQ(ras.pop(), 0U);  // empty
+  ras.push(1);
+  ras.push(2);
+  ras.push(3);
+  EXPECT_EQ(ras.pop(), 3U);
+  EXPECT_EQ(ras.pop(), 2U);
+  EXPECT_EQ(ras.pop(), 1U);
+  // Overflow wraps: pushing 6 onto depth 4 keeps the newest 4.
+  for (uint64_t i = 1; i <= 6; ++i) ras.push(i);
+  EXPECT_EQ(ras.pop(), 6U);
+  EXPECT_EQ(ras.pop(), 5U);
+  EXPECT_EQ(ras.pop(), 4U);
+  EXPECT_EQ(ras.pop(), 3U);
+  EXPECT_EQ(ras.pop(), 0U);  // older entries were overwritten
+}
+
+// ---- trace generation --------------------------------------------------------------
+
+TEST(TraceGenerator, MixMatchesCharacteristics) {
+  metadse::workload::SpecSuite suite;
+  const auto& wl = suite.by_name("619.lbm_s").base();
+  sim::TraceGenerator gen(wl);
+  mt::Rng rng(9);
+  const auto trace = gen.generate(50000, rng);
+  ASSERT_EQ(trace.size(), 50000U);
+  size_t loads = 0;
+  size_t branches = 0;
+  size_t fp = 0;
+  for (const auto& t : trace) {
+    loads += t.op == sim::OpClass::kLoad;
+    branches += t.op == sim::OpClass::kBranch;
+    fp += t.op == sim::OpClass::kFpAlu || t.op == sim::OpClass::kFpMul;
+  }
+  EXPECT_NEAR(loads / 50000.0, wl.f_load, 0.05);
+  EXPECT_NEAR(branches / 50000.0, wl.f_branch, 0.05);
+  EXPECT_NEAR(fp / 50000.0, wl.f_fp_alu + wl.f_fp_mul, 0.05);
+  EXPECT_THROW(gen.generate(0, rng), std::invalid_argument);
+}
+
+TEST(TraceGenerator, DeterministicGivenSeed) {
+  metadse::workload::SpecSuite suite;
+  const auto& wl = suite.by_name("602.gcc_s").base();
+  sim::TraceGenerator gen(wl);
+  mt::Rng r1(3);
+  mt::Rng r2(3);
+  const auto a = gen.generate(2000, r1);
+  const auto b = gen.generate(2000, r2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].pc, b[i].pc);
+    EXPECT_EQ(a[i].mem_addr, b[i].mem_addr);
+    EXPECT_EQ(a[i].taken, b[i].taken);
+  }
+}
+
+TEST(TraceGenerator, DependencyDistancesValid) {
+  metadse::workload::SpecSuite suite;
+  const auto& wl = suite.by_name("605.mcf_s").base();
+  sim::TraceGenerator gen(wl);
+  mt::Rng rng(11);
+  const auto trace = gen.generate(10000, rng);
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i].dep1, i);
+    EXPECT_LE(trace[i].dep2, i);
+  }
+}
+
+// ---- pipeline simulator ---------------------------------------------------------------
+
+namespace {
+sim::PipelineStats run_cfg(const arch::CpuConfig& cfg, const char* wl_name,
+                           size_t n = 40000) {
+  metadse::workload::SpecSuite suite;
+  return sim::simulate_trace(cfg, suite.by_name(wl_name).base(), n, 13);
+}
+}  // namespace
+
+TEST(PipelineSimulator, BasicSanity) {
+  arch::CpuConfig cfg;
+  const auto st = run_cfg(cfg, "602.gcc_s");
+  EXPECT_GT(st.ipc, 0.0);
+  EXPECT_LE(st.ipc, cfg.width);
+  // Stats cover the post-warmup region (7/8 of the trace by default).
+  EXPECT_EQ(st.instructions, 35000U);
+  EXPECT_GT(st.cycles, st.instructions / cfg.width);
+  EXPECT_GE(st.predictor_accuracy, 0.5);
+  EXPECT_LE(st.predictor_accuracy, 1.0);
+  EXPECT_LE(st.l2_mpki, st.l1d_mpki + st.l1i_mpki + 1e-9);
+  sim::PipelineSimulator s(cfg);
+  EXPECT_THROW(s.run({}), std::invalid_argument);
+}
+
+TEST(PipelineSimulator, BiggerCoreIsFaster) {
+  // Compute-bound FP workload; the strong core is wider everywhere.
+  arch::CpuConfig weak;
+  weak.width = 1;
+  weak.rob_size = 32;
+  weak.iq_size = 16;
+  weak.int_alu = 3;
+  weak.fp_alu = 1;
+  weak.fp_multdiv = 1;
+  arch::CpuConfig strong;
+  strong.width = 8;
+  strong.rob_size = 256;
+  strong.iq_size = 80;
+  strong.int_alu = 8;
+  strong.int_rf = 256;
+  strong.fp_rf = 256;
+  strong.fp_alu = 4;
+  strong.fp_multdiv = 4;
+  strong.lq_size = 48;
+  strong.sq_size = 48;
+  EXPECT_GT(run_cfg(strong, "644.nab_s").ipc,
+            run_cfg(weak, "644.nab_s").ipc * 1.3);
+}
+
+TEST(PipelineSimulator, TournamentReducesMispredicts) {
+  arch::CpuConfig bi;
+  bi.branch_predictor = arch::BranchPredictorType::kBiMode;
+  arch::CpuConfig to = bi;
+  to.branch_predictor = arch::BranchPredictorType::kTournament;
+  const auto a = run_cfg(bi, "631.deepsjeng_s");
+  const auto b = run_cfg(to, "631.deepsjeng_s");
+  EXPECT_GE(b.predictor_accuracy, a.predictor_accuracy - 0.01);
+}
+
+TEST(PipelineSimulator, BiggerL1dReducesMisses) {
+  arch::CpuConfig small;
+  small.l1d_kb = 16;
+  arch::CpuConfig big;
+  big.l1d_kb = 64;
+  EXPECT_LT(run_cfg(big, "605.mcf_s").l1d_mpki,
+            run_cfg(small, "605.mcf_s").l1d_mpki);
+}
+
+TEST(PipelineSimulator, MemoryBoundCodeHasMoreL2Traffic) {
+  arch::CpuConfig cfg;
+  EXPECT_GT(run_cfg(cfg, "605.mcf_s").l2_mpki,
+            run_cfg(cfg, "644.nab_s").l2_mpki);
+}
+
+TEST(PipelineSimulator, CrossValidatesAnalyticalModelRanking) {
+  // The two independently built gem5 substitutes must broadly agree on how
+  // design points rank (Spearman rank correlation).
+  metadse::workload::SpecSuite suite;
+  const auto& space = arch::DesignSpace::table1();
+  const auto& wl = suite.by_name("605.mcf_s").base();
+  sim::CpuModel analytic;
+  mt::Rng rng(3);
+  std::vector<double> a;
+  std::vector<double> p;
+  for (int i = 0; i < 16; ++i) {
+    const auto cfg = arch::to_cpu_config(space, space.random_config(rng));
+    a.push_back(analytic.simulate(cfg, wl).ipc);
+    p.push_back(sim::simulate_trace(cfg, wl, 30000, 11).ipc);
+  }
+  auto ranks = [](const std::vector<double>& v) {
+    std::vector<size_t> idx(v.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::sort(idx.begin(), idx.end(),
+              [&](size_t x, size_t y) { return v[x] < v[y]; });
+    std::vector<double> r(v.size());
+    for (size_t i = 0; i < idx.size(); ++i) r[idx[i]] = static_cast<double>(i);
+    return r;
+  };
+  const auto ra = ranks(a);
+  const auto rp = ranks(p);
+  double d2 = 0.0;
+  const double m = static_cast<double>(a.size());
+  for (size_t i = 0; i < a.size(); ++i) d2 += (ra[i] - rp[i]) * (ra[i] - rp[i]);
+  const double spearman = 1.0 - 6.0 * d2 / (m * (m * m - 1.0));
+  EXPECT_GT(spearman, 0.5);
+}

@@ -1,0 +1,109 @@
+// Power-model tests: positivity, breakdown consistency, and the scaling
+// behaviours McPAT exhibits (frequency/voltage, structure sizes, activity).
+#include <gtest/gtest.h>
+
+#include "sim/power_model.hpp"
+
+namespace sim = metadse::sim;
+namespace arch = metadse::arch;
+
+namespace {
+sim::SimStats stats_for(const arch::CpuConfig& c,
+                        const sim::WorkloadCharacteristics& w) {
+  return sim::CpuModel().simulate(c, w);
+}
+}  // namespace
+
+TEST(PowerModel, BreakdownSumsAndPositivity) {
+  arch::CpuConfig c;
+  sim::WorkloadCharacteristics w;
+  sim::PowerModel pm;
+  const auto p = pm.evaluate(c, stats_for(c, w));
+  EXPECT_GT(p.core_dynamic, 0.0);
+  EXPECT_GT(p.frontend_dynamic, 0.0);
+  EXPECT_GT(p.cache_dynamic, 0.0);
+  EXPECT_GT(p.leakage, 0.0);
+  EXPECT_NEAR(p.total,
+              p.core_dynamic + p.frontend_dynamic + p.cache_dynamic +
+                  p.leakage,
+              1e-12);
+}
+
+TEST(PowerModel, HigherFrequencyCostsSuperlinearPower) {
+  arch::CpuConfig lo;
+  lo.freq_ghz = 1.0;
+  arch::CpuConfig hi;
+  hi.freq_ghz = 3.0;
+  sim::WorkloadCharacteristics w;
+  sim::PowerModel pm;
+  const double p_lo = pm.evaluate(lo, stats_for(lo, w)).total;
+  const double p_hi = pm.evaluate(hi, stats_for(hi, w)).total;
+  // 3x frequency with DVFS voltage scaling: more than 3x dynamic power.
+  EXPECT_GT(p_hi, p_lo * 2.0);
+}
+
+TEST(PowerModel, BiggerStructuresMoreAreaAndLeakage) {
+  sim::PowerModel pm;
+  arch::CpuConfig small;
+  small.rob_size = 32;
+  small.iq_size = 16;
+  small.l2_kb = 128;
+  arch::CpuConfig big;
+  big.rob_size = 256;
+  big.iq_size = 80;
+  big.l2_kb = 256;
+  EXPECT_GT(pm.area(big), pm.area(small));
+  sim::WorkloadCharacteristics w;
+  EXPECT_GT(pm.evaluate(big, stats_for(big, w)).leakage,
+            pm.evaluate(small, stats_for(small, w)).leakage);
+}
+
+TEST(PowerModel, TournamentPredictorCostsMoreFrontendPower) {
+  sim::PowerModel pm;
+  sim::WorkloadCharacteristics w;
+  arch::CpuConfig bi;
+  bi.branch_predictor = arch::BranchPredictorType::kBiMode;
+  arch::CpuConfig to = bi;
+  to.branch_predictor = arch::BranchPredictorType::kTournament;
+  // Compare at identical activity to isolate the structure cost.
+  const auto st = stats_for(bi, w);
+  EXPECT_GT(pm.evaluate(to, st).frontend_dynamic,
+            pm.evaluate(bi, st).frontend_dynamic);
+}
+
+TEST(PowerModel, HigherActivityMoreDynamicPower) {
+  sim::PowerModel pm;
+  arch::CpuConfig c;
+  sim::SimStats idle;
+  idle.ipc = 0.3;
+  sim::SimStats busy;
+  busy.ipc = 3.0;
+  EXPECT_GT(pm.evaluate(c, busy).core_dynamic,
+            pm.evaluate(c, idle).core_dynamic);
+}
+
+TEST(PowerModel, RejectsInvalidConfig) {
+  sim::PowerModel pm;
+  arch::CpuConfig c;
+  c.l2_kb = 0;
+  sim::SimStats st;
+  st.ipc = 1.0;
+  EXPECT_THROW(pm.evaluate(c, st), std::invalid_argument);
+}
+
+class PowerMonotoneInWidth : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerMonotoneInWidth, WiderCoreCostsMore) {
+  sim::PowerModel pm;
+  sim::WorkloadCharacteristics w;
+  arch::CpuConfig lo;
+  lo.width = GetParam();
+  arch::CpuConfig hi = lo;
+  hi.width = lo.width + 4;
+  const auto st_lo = stats_for(lo, w);
+  const auto st_hi = stats_for(hi, w);
+  EXPECT_GT(pm.evaluate(hi, st_hi).total, pm.evaluate(lo, st_lo).total);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PowerMonotoneInWidth,
+                         ::testing::Values(1, 2, 4, 6, 8));

@@ -1,0 +1,199 @@
+// Analytical CPU model tests: physical sanity, determinism, and the
+// monotonicity properties a cycle-level simulator would exhibit — the
+// invariants DSE depends on.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sim/cpu_model.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace sim = metadse::sim;
+namespace arch = metadse::arch;
+
+namespace {
+
+sim::WorkloadCharacteristics typical() {
+  sim::WorkloadCharacteristics w;  // defaults are a valid typical mix
+  return w;
+}
+
+arch::CpuConfig midrange() {
+  arch::CpuConfig c;  // defaults are a plausible mid-range core
+  return c;
+}
+
+}  // namespace
+
+TEST(WorkloadCharacteristics, ValidatesMixAndRanges) {
+  auto w = typical();
+  EXPECT_NO_THROW(w.validate());
+  w.f_load += 0.2;  // mix no longer sums to 1
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+  w = typical();
+  w.branch_entropy = 1.5;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+  w = typical();
+  w.mlp = 0.2;
+  EXPECT_THROW(w.validate(), std::invalid_argument);
+}
+
+TEST(CpuModel, RejectsNonPhysicalConfig) {
+  sim::CpuModel m;
+  auto c = midrange();
+  c.rob_size = 0;
+  EXPECT_THROW(m.simulate(c, typical()), std::invalid_argument);
+  c = midrange();
+  c.freq_ghz = -1;
+  EXPECT_THROW(m.simulate(c, typical()), std::invalid_argument);
+}
+
+TEST(CpuModel, DeterministicAndBounded) {
+  sim::CpuModel m;
+  const auto a = m.simulate(midrange(), typical());
+  const auto b = m.simulate(midrange(), typical());
+  EXPECT_EQ(a.ipc, b.ipc);
+  EXPECT_GT(a.ipc, 0.0);
+  EXPECT_LE(a.ipc, midrange().width);  // cannot retire more than width
+  EXPECT_GE(a.branch_mpki, 0.0);
+  EXPECT_GE(a.l1d_mpki, 0.0);
+  EXPECT_LE(a.l2_mpki, a.l1d_mpki + 1e-9);  // L2 misses subset of L1 misses
+}
+
+TEST(CpuModel, CpiComponentsSumToTotal) {
+  sim::CpuModel m;
+  const auto st = m.simulate(midrange(), typical());
+  const double cpi =
+      st.base_cpi + st.branch_cpi + st.memory_cpi + st.icache_cpi;
+  EXPECT_NEAR(1.0 / st.ipc, cpi, 1e-9);
+}
+
+// ---- monotonicity properties, swept over several base configs ---------------
+
+class SimMonotonicity : public ::testing::TestWithParam<int> {
+ protected:
+  arch::CpuConfig base() const {
+    arch::CpuConfig c;
+    // Vary the baseline with the parameter so properties hold space-wide.
+    const int k = GetParam();
+    c.width = 2 + k;
+    c.rob_size = 64 + 32 * k;
+    c.iq_size = 24 + 8 * k;
+    c.l1d_kb = k % 2 ? 32 : 16;
+    return c;
+  }
+  sim::CpuModel m;
+};
+
+TEST_P(SimMonotonicity, BiggerRobNeverHurts) {
+  auto lo = base();
+  auto hi = base();
+  hi.rob_size = lo.rob_size + 64;
+  EXPECT_GE(m.simulate(hi, typical()).ipc, m.simulate(lo, typical()).ipc);
+}
+
+TEST_P(SimMonotonicity, WiderPipelineNeverHurtsIpc) {
+  auto lo = base();
+  auto hi = base();
+  hi.width = lo.width + 2;
+  EXPECT_GE(m.simulate(hi, typical()).ipc - 1e-9,
+            m.simulate(lo, typical()).ipc);
+}
+
+TEST_P(SimMonotonicity, TournamentBeatsBimodeOnBranchyCode) {
+  auto w = typical();
+  w.branch_entropy = 0.5;
+  auto bi = base();
+  bi.branch_predictor = arch::BranchPredictorType::kBiMode;
+  auto to = base();
+  to.branch_predictor = arch::BranchPredictorType::kTournament;
+  EXPECT_GT(m.simulate(to, w).ipc, m.simulate(bi, w).ipc);
+  EXPECT_LT(m.simulate(to, w).branch_mpki, m.simulate(bi, w).branch_mpki);
+}
+
+TEST_P(SimMonotonicity, BiggerL1dReducesMisses) {
+  auto w = typical();
+  w.dcache_ws_kb = 48;
+  auto lo = base();
+  lo.l1d_kb = 16;
+  auto hi = base();
+  hi.l1d_kb = 64;
+  EXPECT_LT(m.simulate(hi, w).l1d_mpki, m.simulate(lo, w).l1d_mpki);
+  EXPECT_GE(m.simulate(hi, w).ipc, m.simulate(lo, w).ipc);
+}
+
+TEST_P(SimMonotonicity, HigherFrequencyLowersIpcOnMemoryBoundCode) {
+  // Memory-bound work: more cycles per fixed-time DRAM access at higher f.
+  auto w = typical();
+  w.dcache_ws_kb = 200;
+  w.dcache_ws2_kb = 5000;
+  w.mlp = 1.2;
+  auto slow = base();
+  slow.freq_ghz = 1.0;
+  auto fast = base();
+  fast.freq_ghz = 3.0;
+  EXPECT_GT(m.simulate(slow, w).ipc, m.simulate(fast, w).ipc);
+}
+
+TEST_P(SimMonotonicity, MoreFpUnitsHelpFpCode) {
+  auto w = typical();
+  w.f_fp_alu = 0.30;
+  w.f_fp_mul = 0.20;
+  w.f_int_alu = 0.20;
+  w.f_load = 0.15;
+  w.f_store = 0.05;
+  w.f_branch = 0.07;
+  w.f_int_mul = 0.03;
+  auto lo = base();
+  lo.fp_alu = 1;
+  lo.fp_multdiv = 1;
+  auto hi = base();
+  hi.fp_alu = 4;
+  hi.fp_multdiv = 4;
+  EXPECT_GE(m.simulate(hi, w).ipc, m.simulate(lo, w).ipc);
+}
+
+TEST_P(SimMonotonicity, BiggerRasHelpsCallHeavyCode) {
+  auto w = typical();
+  w.indirect_frac = 0.35;
+  w.call_depth = 24;
+  auto lo = base();
+  lo.ras_size = 16;
+  auto hi = base();
+  hi.ras_size = 40;
+  EXPECT_GT(m.simulate(hi, w).ipc, m.simulate(lo, w).ipc);
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseConfigs, SimMonotonicity,
+                         ::testing::Values(0, 1, 2, 3, 4, 5));
+
+TEST(CpuModel, WorkloadsDifferentiateTheSpace) {
+  // The same two configs must rank differently for compute-bound vs
+  // memory-bound code — the premise of cross-workload DSE.
+  metadse::workload::SpecSuite suite;
+  sim::CpuModel m;
+  // Config A: strong memory system, narrow core.
+  arch::CpuConfig a = midrange();
+  a.width = 2;
+  a.rob_size = 64;
+  a.l1d_kb = 64;
+  a.l2_kb = 256;
+  a.freq_ghz = 1.5;
+  // Config B: wide fast core, weak memory system.
+  arch::CpuConfig b = midrange();
+  b.width = 8;
+  b.rob_size = 256;
+  b.iq_size = 80;
+  b.int_alu = 8;
+  b.l1d_kb = 16;
+  b.l2_kb = 128;
+  b.freq_ghz = 3.0;
+
+  const auto& mcf = suite.by_name("605.mcf_s").base();        // memory-bound
+  const auto& imagick = suite.by_name("638.imagick_s").base();  // compute
+  const double mcf_pref = m.simulate(a, mcf).ipc - m.simulate(b, mcf).ipc;
+  const double img_pref =
+      m.simulate(a, imagick).ipc - m.simulate(b, imagick).ipc;
+  // mcf should favor A more than imagick does (different bottlenecks).
+  EXPECT_GT(mcf_pref, img_pref);
+}

@@ -1,0 +1,116 @@
+// Property sweeps: invariants of the simulation substrate over many random
+// design points and all 17 workload profiles — the contracts the learning
+// stack depends on (labels finite/positive/bounded, decompositions exact,
+// hierarchy containment).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.hpp"
+#include "sim/power_model.hpp"
+
+namespace sim = metadse::sim;
+namespace data = metadse::data;
+namespace arch = metadse::arch;
+namespace wl = metadse::workload;
+namespace mt = metadse::tensor;
+
+namespace {
+const wl::SpecSuite& suite() {
+  static wl::SpecSuite s;
+  return s;
+}
+}  // namespace
+
+class SimProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimProperties, AnalyticalInvariantsHoldSpaceWide) {
+  const auto& space = arch::DesignSpace::table1();
+  sim::CpuModel cpu;
+  mt::Rng rng(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    const auto cfg = arch::to_cpu_config(space, space.random_config(rng));
+    for (const auto& w : suite().workloads()) {
+      const auto st = cpu.simulate(cfg, w.base());
+      ASSERT_TRUE(std::isfinite(st.ipc));
+      EXPECT_GT(st.ipc, 0.0);
+      EXPECT_LE(st.ipc, cfg.width);
+      // Exact CPI decomposition.
+      EXPECT_NEAR(1.0 / st.ipc,
+                  st.base_cpi + st.branch_cpi + st.memory_cpi + st.icache_cpi,
+                  1e-9);
+      // Hierarchy containment and non-negativity.
+      EXPECT_GE(st.branch_mpki, 0.0);
+      EXPECT_GE(st.l1d_mpki, 0.0);
+      EXPECT_LE(st.l2_mpki, st.l1d_mpki + 1e-9);
+      EXPECT_GE(st.effective_window, 1.0);
+      EXPECT_LE(st.effective_window, cfg.rob_size + 1e-9);
+    }
+  }
+}
+
+TEST_P(SimProperties, PowerInvariantsHoldSpaceWide) {
+  const auto& space = arch::DesignSpace::table1();
+  sim::CpuModel cpu;
+  sim::PowerModel pm;
+  mt::Rng rng(GetParam() + 100);
+  for (int i = 0; i < 40; ++i) {
+    const auto cfg = arch::to_cpu_config(space, space.random_config(rng));
+    const auto st = cpu.simulate(cfg, suite().workloads()[i % 17].base());
+    const auto p = pm.evaluate(cfg, st);
+    ASSERT_TRUE(std::isfinite(p.total));
+    EXPECT_GT(p.core_dynamic, 0.0);
+    EXPECT_GT(p.frontend_dynamic, 0.0);
+    EXPECT_GT(p.cache_dynamic, 0.0);
+    EXPECT_GT(p.leakage, 0.0);
+    EXPECT_NEAR(p.total,
+                p.core_dynamic + p.frontend_dynamic + p.cache_dynamic +
+                    p.leakage,
+                1e-9);
+    EXPECT_GT(pm.area(cfg), 0.0);
+    // Sane absolute scale for the Table I space (model units).
+    EXPECT_LT(p.total, 100.0);
+  }
+}
+
+TEST_P(SimProperties, DatasetLabelsBoundedAcrossSuite) {
+  data::DatasetGenerator gen(arch::DesignSpace::table1());
+  mt::Rng rng(GetParam() + 200);
+  for (const auto& w : suite().workloads()) {
+    const auto ds = gen.generate(w, 8, rng);
+    for (const auto& s : ds.samples) {
+      EXPECT_GT(s.ipc, 0.0F);
+      EXPECT_LT(s.ipc, 12.0F);
+      EXPECT_GT(s.power, 0.5F);
+      EXPECT_LT(s.power, 50.0F);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimProperties,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(SimProperties, FrequencySweepTradeoff) {
+  // Along the frequency axis: power strictly increases; IPC (per-cycle)
+  // never increases (fixed-time memory costs more cycles).
+  const auto& space = arch::DesignSpace::table1();
+  sim::CpuModel cpu;
+  sim::PowerModel pm;
+  mt::Rng rng(9);
+  const size_t f_idx = space.param_index("core_freq_ghz");
+  for (int trial = 0; trial < 10; ++trial) {
+    auto c = space.random_config(rng);
+    double prev_power = -1.0;
+    double prev_ipc = 1e9;
+    for (size_t fi = 0; fi < space.spec(f_idx).cardinality(); ++fi) {
+      c[f_idx] = fi;
+      const auto cfg = arch::to_cpu_config(space, c);
+      const auto st = cpu.simulate(cfg, suite().by_name("605.mcf_s").base());
+      const double power = pm.evaluate(cfg, st).total;
+      EXPECT_GT(power, prev_power);
+      EXPECT_LE(st.ipc, prev_ipc + 1e-12);
+      prev_power = power;
+      prev_ipc = st.ipc;
+    }
+  }
+}

@@ -1,0 +1,142 @@
+// Unit tests for the tensor container, shape utilities, and autograd plumbing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "tensor/ops.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mt = metadse::tensor;
+
+TEST(Shape, NumelAndStrides) {
+  EXPECT_EQ(mt::numel({}), 1U);
+  EXPECT_EQ(mt::numel({3}), 3U);
+  EXPECT_EQ(mt::numel({2, 3, 4}), 24U);
+  const auto st = mt::row_major_strides({2, 3, 4});
+  ASSERT_EQ(st.size(), 3U);
+  EXPECT_EQ(st[0], 12U);
+  EXPECT_EQ(st[1], 4U);
+  EXPECT_EQ(st[2], 1U);
+}
+
+TEST(Shape, BroadcastRules) {
+  EXPECT_EQ(mt::broadcast_shape({3, 1}, {1, 4}), (mt::Shape{3, 4}));
+  EXPECT_EQ(mt::broadcast_shape({5, 3, 4}, {4}), (mt::Shape{5, 3, 4}));
+  EXPECT_EQ(mt::broadcast_shape({}, {2, 2}), (mt::Shape{2, 2}));
+  EXPECT_THROW(mt::broadcast_shape({3}, {4}), std::invalid_argument);
+}
+
+TEST(Shape, BroadcastStridesZeroOnExpandedDims) {
+  const auto st = mt::broadcast_strides({3, 1}, {3, 4});
+  EXPECT_EQ(st[0], 1U);
+  EXPECT_EQ(st[1], 0U);
+  const auto st2 = mt::broadcast_strides({4}, {2, 3, 4});
+  EXPECT_EQ(st2[0], 0U);
+  EXPECT_EQ(st2[1], 0U);
+  EXPECT_EQ(st2[2], 1U);
+}
+
+TEST(Tensor, Factories) {
+  auto z = mt::Tensor::zeros({2, 3});
+  EXPECT_EQ(z.size(), 6U);
+  for (float v : z.data()) EXPECT_EQ(v, 0.0F);
+
+  auto f = mt::Tensor::full({4}, 2.5F);
+  for (float v : f.data()) EXPECT_EQ(v, 2.5F);
+
+  auto s = mt::Tensor::scalar(7.0F);
+  EXPECT_EQ(s.item(), 7.0F);
+  EXPECT_EQ(s.rank(), 0U);
+
+  mt::Rng rng(1);
+  auto r = mt::Tensor::randn({100}, rng, 2.0F);
+  EXPECT_EQ(r.size(), 100U);
+}
+
+TEST(Tensor, FromVectorValidatesSize) {
+  EXPECT_THROW(mt::Tensor::from_vector({2, 2}, {1.0F, 2.0F}),
+               std::invalid_argument);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  auto t = mt::Tensor::from_vector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 1}), 2.0F);
+  EXPECT_EQ(t.at({1, 0}), 3.0F);
+  EXPECT_THROW(t.at({2, 0}), std::out_of_range);
+  EXPECT_THROW(t.at({0}), std::invalid_argument);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  auto t = mt::Tensor::zeros({2});
+  EXPECT_THROW(t.item(), std::logic_error);
+}
+
+TEST(Tensor, BackwardRequiresScalarRoot) {
+  auto t = mt::Tensor::zeros({3}, true);
+  EXPECT_THROW(t.backward(), std::logic_error);
+}
+
+TEST(Tensor, DetachCutsGraph) {
+  auto a = mt::Tensor::full({2}, 3.0F, true);
+  auto b = mt::mul(a, 2.0F);
+  auto d = b.detach();
+  EXPECT_FALSE(d.requires_grad());
+  auto loss = mt::sum(d);
+  EXPECT_FALSE(loss.requires_grad());
+}
+
+TEST(Tensor, SimpleChainGradient) {
+  // loss = sum((2a)^2), d loss / d a_i = 8 a_i
+  auto a = mt::Tensor::from_vector({3}, {1.0F, -2.0F, 0.5F}, true);
+  auto loss = mt::sum(mt::square(mt::mul(a, 2.0F)));
+  loss.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 8.0F);
+  EXPECT_FLOAT_EQ(a.grad()[1], -16.0F);
+  EXPECT_FLOAT_EQ(a.grad()[2], 4.0F);
+}
+
+TEST(Tensor, GradAccumulatesAcrossBackwardCalls) {
+  auto a = mt::Tensor::scalar(3.0F, true);
+  mt::mul(a, 2.0F).backward();
+  mt::mul(a, 2.0F).backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 4.0F);  // 2 + 2
+  a.zero_grad();
+  EXPECT_FLOAT_EQ(a.grad()[0], 0.0F);
+}
+
+TEST(Tensor, DiamondGraphAccumulates) {
+  // loss = a*a + a  => dloss/da = 2a + 1
+  auto a = mt::Tensor::scalar(5.0F, true);
+  auto loss = mt::add(mt::mul(a, a), a);
+  loss.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 11.0F);
+}
+
+TEST(Tensor, DeepChainDoesNotOverflowStack) {
+  auto a = mt::Tensor::scalar(1.0F, true);
+  mt::Tensor x = a;
+  for (int i = 0; i < 20000; ++i) x = mt::add(x, 0.0F);
+  x.backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 1.0F);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  mt::Rng a(42);
+  mt::Rng b(42);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  mt::Rng a(42);
+  mt::Rng f = a.fork();
+  // The fork advances the parent; identical seeds still give deterministic
+  // (but distinct) streams.
+  EXPECT_NE(a.normal(), f.normal());
+}
+
+TEST(Rng, UniformIndexInRange) {
+  mt::Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(r.uniform_index(10), 10U);
+  EXPECT_THROW(r.uniform_index(0), std::invalid_argument);
+}

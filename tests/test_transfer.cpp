@@ -1,0 +1,228 @@
+// Transfer-learning baseline tests: TrEnDSE similarity selection, transfer
+// set composition, the transformer variant, and linear fitting.
+#include <gtest/gtest.h>
+
+#include "baselines/linear_fit.hpp"
+#include "baselines/signature.hpp"
+#include "baselines/trendse.hpp"
+#include "eval/metrics.hpp"
+
+namespace bl = metadse::baselines;
+namespace data = metadse::data;
+namespace arch = metadse::arch;
+namespace wl = metadse::workload;
+namespace mt = metadse::tensor;
+
+namespace {
+
+/// Shared fixture data: small datasets for three sources + one target.
+class TransferTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    suite_ = new wl::SpecSuite();
+    gen_ = new data::DatasetGenerator(arch::DesignSpace::table1());
+    mt::Rng rng(77);
+    for (const char* name :
+         {"619.lbm_s", "602.gcc_s", "631.deepsjeng_s"}) {
+      sources_->push_back(gen_->generate(suite_->by_name(name), 250, rng));
+    }
+    // Target: omnetpp (pointer-heavy, closest to gcc among the sources).
+    *target_full_ = gen_->generate(suite_->by_name("620.omnetpp_s"), 300, rng);
+    target_support_->workload = target_full_->workload;
+    for (size_t i = 0; i < 10; ++i) {
+      target_support_->samples.push_back(target_full_->samples[i]);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete suite_;
+    delete gen_;
+  }
+
+  static wl::SpecSuite* suite_;
+  static data::DatasetGenerator* gen_;
+  static std::vector<data::Dataset>* sources_;
+  static data::Dataset* target_full_;
+  static data::Dataset* target_support_;
+};
+
+wl::SpecSuite* TransferTest::suite_ = nullptr;
+data::DatasetGenerator* TransferTest::gen_ = nullptr;
+std::vector<data::Dataset>* TransferTest::sources_ =
+    new std::vector<data::Dataset>();
+data::Dataset* TransferTest::target_full_ = new data::Dataset();
+data::Dataset* TransferTest::target_support_ = new data::Dataset();
+
+double query_rmse(const std::function<float(const std::vector<float>&)>& f,
+                  const data::Dataset& ds, size_t skip = 10) {
+  std::vector<float> actual;
+  std::vector<float> pred;
+  for (size_t i = skip; i < ds.size(); ++i) {
+    actual.push_back(ds.samples[i].ipc);
+    pred.push_back(f(ds.samples[i].features));
+  }
+  return metadse::eval::rmse(actual, pred);
+}
+
+}  // namespace
+
+TEST_F(TransferTest, BuildTransferSetComposition) {
+  bl::TrEnDseOptions opts;
+  opts.top_k_sources = 2;
+  opts.samples_per_source = 50;
+  opts.target_replication = 4;
+  auto ts = bl::build_transfer_set(*sources_, *target_support_,
+                                   data::TargetMetric::kIpc, opts);
+  EXPECT_EQ(ts.similarities.size(), 3U);
+  // Sorted ascending by distance.
+  EXPECT_LE(ts.similarities[0].wasserstein, ts.similarities[1].wasserstein);
+  EXPECT_LE(ts.similarities[1].wasserstein, ts.similarities[2].wasserstein);
+  // 2 sources x 50 + 10 support x 4 replicas.
+  EXPECT_EQ(ts.x.size(), 2U * 50U + 10U * 4U);
+  EXPECT_EQ(ts.x.size(), ts.y.size());
+}
+
+TEST_F(TransferTest, SimilarityRanksSelfFirst) {
+  // When the target itself is among the sources, it must rank most similar.
+  auto sources = *sources_;
+  sources.push_back(*target_full_);
+  bl::TrEnDseOptions opts;
+  auto ts = bl::build_transfer_set(sources, *target_support_,
+                                   data::TargetMetric::kIpc, opts);
+  EXPECT_EQ(ts.similarities.front().workload, target_full_->workload);
+}
+
+TEST_F(TransferTest, BuildTransferSetValidation) {
+  bl::TrEnDseOptions opts;
+  data::Dataset empty;
+  EXPECT_THROW(bl::build_transfer_set({}, *target_support_,
+                                      data::TargetMetric::kIpc, opts),
+               std::invalid_argument);
+  EXPECT_THROW(bl::build_transfer_set(*sources_, empty,
+                                      data::TargetMetric::kIpc, opts),
+               std::invalid_argument);
+  EXPECT_THROW(bl::build_transfer_set(*sources_, *target_support_,
+                                      data::TargetMetric::kBoth, opts),
+               std::invalid_argument);
+}
+
+TEST_F(TransferTest, TrEnDseLearnsTarget) {
+  bl::TrEnDseOptions opts;
+  opts.model.n_rounds = 60;
+  bl::TrEnDse model(opts);
+  EXPECT_THROW(model.predict({0.0F}), std::logic_error);
+  model.fit(*sources_, *target_support_, data::TargetMetric::kIpc);
+  EXPECT_EQ(model.similarities().size(), 3U);
+  const double r = query_rmse(
+      [&](const std::vector<float>& f) { return model.predict(f); },
+      *target_full_);
+  // The method's claim: transferred source data beats training the same
+  // ensemble on the ten target samples alone.
+  bl::FeatureMatrix sup_x;
+  std::vector<float> sup_y;
+  for (const auto& s : target_support_->samples) {
+    sup_x.push_back(s.features);
+    sup_y.push_back(s.ipc);
+  }
+  bl::Gbrt few_shot(opts.model);
+  few_shot.fit(sup_x, sup_y);
+  const double few_shot_rmse = query_rmse(
+      [&](const std::vector<float>& f) { return few_shot.predict(f); },
+      *target_full_);
+  EXPECT_LT(r, few_shot_rmse);
+}
+
+TEST_F(TransferTest, TrEnDseTransformerSmoke) {
+  bl::TrEnDseTransformerOptions opts;
+  opts.selection.samples_per_source = 40;
+  opts.selection.top_k_sources = 2;
+  opts.predictor = {.n_tokens = 24, .d_model = 16, .n_heads = 2,
+                    .n_layers = 1, .d_ff = 32, .n_outputs = 1};
+  opts.epochs = 6;
+  bl::TrEnDseTransformer model(opts);
+  EXPECT_THROW(model.predict({}), std::logic_error);
+  model.fit(*sources_, *target_support_, data::TargetMetric::kIpc);
+  const double r = query_rmse(
+      [&](const std::vector<float>& f) { return model.predict(f); },
+      *target_full_);
+  EXPECT_LT(r, 1.0);  // sane scale after label destandardization
+  EXPECT_TRUE(std::isfinite(r));
+}
+
+TEST(LeastSquares, SolvesExactSystem) {
+  // y = 2a - b + 3 on three points.
+  std::vector<std::vector<double>> A{{1, 0, 1}, {0, 1, 1}, {1, 1, 1}};
+  std::vector<double> b{5, 2, 4};
+  const auto w = bl::least_squares(A, b, 0.0);
+  ASSERT_EQ(w.size(), 3U);
+  EXPECT_NEAR(w[0], 2.0, 1e-9);
+  EXPECT_NEAR(w[1], -1.0, 1e-9);
+  EXPECT_NEAR(w[2], 3.0, 1e-9);
+  EXPECT_THROW(bl::least_squares({}, {}), std::invalid_argument);
+  // Singular without ridge; solvable with it.
+  std::vector<std::vector<double>> S{{1, 1}, {2, 2}};
+  std::vector<double> sb{1, 2};
+  EXPECT_THROW(bl::least_squares(S, sb, 0.0), std::runtime_error);
+  EXPECT_NO_THROW(bl::least_squares(S, sb, 1e-3));
+}
+
+TEST(Signature, VectorAndDistance) {
+  metadse::sim::WorkloadCharacteristics w;
+  const auto sig = bl::signature_of(w);
+  EXPECT_EQ(sig.size(), 18U);
+  for (double v : sig) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 3.0);
+  }
+  EXPECT_DOUBLE_EQ(bl::signature_distance(sig, sig), 0.0);
+  auto other = sig;
+  other[0] += 0.5;
+  EXPECT_NEAR(bl::signature_distance(sig, other), 0.5, 1e-12);
+  EXPECT_THROW(bl::signature_distance(sig, {1.0}), std::invalid_argument);
+}
+
+TEST_F(TransferTest, SignatureTransferSelectsNearestAndCalibrates) {
+  // Signatures of the three sources plus the target.
+  std::vector<std::vector<double>> sigs;
+  for (const char* name : {"619.lbm_s", "602.gcc_s", "631.deepsjeng_s"}) {
+    sigs.push_back(bl::signature_of(suite_->by_name(name).base()));
+  }
+  const auto target_sig =
+      bl::signature_of(suite_->by_name("620.omnetpp_s").base());
+
+  bl::SignatureTransferOptions opts;
+  opts.source_model.n_rounds = 40;
+  bl::SignatureTransfer st(opts);
+  EXPECT_THROW(st.adapt(*target_support_, target_sig,
+                        data::TargetMetric::kIpc),
+               std::logic_error);
+  st.fit_sources(*sources_, sigs, data::TargetMetric::kIpc);
+  st.adapt(*target_support_, target_sig, data::TargetMetric::kIpc);
+  // omnetpp (pointer-heavy int code) is behaviourally closest to gcc.
+  EXPECT_EQ(st.selected_source(), "602.gcc_s");
+  const double r = query_rmse(
+      [&](const std::vector<float>& f) { return st.predict(f); },
+      *target_full_);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_LT(r, 0.5);
+  // Mismatched signature/source counts throw.
+  bl::SignatureTransfer bad(opts);
+  EXPECT_THROW(bad.fit_sources(*sources_, {sigs[0]},
+                               data::TargetMetric::kIpc),
+               std::invalid_argument);
+}
+
+TEST_F(TransferTest, LinearFitRecoversLinearCombination) {
+  bl::LinearFitOptions opts;
+  opts.source_model.n_rounds = 40;
+  bl::LinearFit lf(opts);
+  EXPECT_THROW(lf.adapt(*target_support_, data::TargetMetric::kIpc),
+               std::logic_error);
+  lf.fit_sources(*sources_, data::TargetMetric::kIpc);
+  lf.adapt(*target_support_, data::TargetMetric::kIpc);
+  EXPECT_EQ(lf.coefficients().size(), sources_->size() + 1);
+  const double r = query_rmse(
+      [&](const std::vector<float>& f) { return lf.predict(f); },
+      *target_full_);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_LT(r, 1.0);
+}

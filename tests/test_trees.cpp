@@ -1,0 +1,157 @@
+// Tree and ensemble baseline tests: exact behaviour on separable data,
+// growth-limit enforcement, and learning quality on nonlinear functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ensembles.hpp"
+#include "eval/metrics.hpp"
+#include "tensor/rng.hpp"
+
+namespace bl = metadse::baselines;
+namespace mt = metadse::tensor;
+
+namespace {
+
+/// Nonlinear two-feature target with an interaction term.
+float truth(float x0, float x1) {
+  return std::sin(3.0F * x0) + 0.5F * x0 * x1 + 0.3F * x1;
+}
+
+struct Problem {
+  bl::FeatureMatrix x_train, x_test;
+  std::vector<float> y_train, y_test;
+};
+
+Problem make_problem(size_t n_train = 400, size_t n_test = 200,
+                     uint64_t seed = 21) {
+  mt::Rng rng(seed);
+  Problem p;
+  auto gen = [&](bl::FeatureMatrix& x, std::vector<float>& y, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      const float a = rng.uniform(-1.0F, 1.0F);
+      const float b = rng.uniform(-1.0F, 1.0F);
+      x.push_back({a, b});
+      y.push_back(truth(a, b));
+    }
+  };
+  gen(p.x_train, p.y_train, n_train);
+  gen(p.x_test, p.y_test, n_test);
+  return p;
+}
+
+double test_rmse(const bl::Regressor& model, const Problem& p) {
+  const auto pred = model.predict_batch(p.x_test);
+  return metadse::eval::rmse(p.y_test, pred);
+}
+
+double mean_baseline_rmse(const Problem& p) {
+  float mean = 0.0F;
+  for (float v : p.y_train) mean += v;
+  mean /= static_cast<float>(p.y_train.size());
+  std::vector<float> pred(p.y_test.size(), mean);
+  return metadse::eval::rmse(p.y_test, pred);
+}
+
+}  // namespace
+
+TEST(DecisionTree, FitsStepFunctionExactly) {
+  bl::FeatureMatrix x{{0.1F}, {0.2F}, {0.3F}, {0.7F}, {0.8F}, {0.9F}};
+  std::vector<float> y{1, 1, 1, 5, 5, 5};
+  bl::DecisionTree tree(bl::TreeOptions{.max_depth = 3, .min_samples_leaf = 1,
+                                        .min_samples_split = 2});
+  tree.fit(x, y);
+  EXPECT_FLOAT_EQ(tree.predict({0.0F}), 1.0F);
+  EXPECT_FLOAT_EQ(tree.predict({1.0F}), 5.0F);
+  EXPECT_FLOAT_EQ(tree.predict({0.45F}), 1.0F);  // threshold between .3/.7
+}
+
+TEST(DecisionTree, RespectsDepthLimit) {
+  auto p = make_problem();
+  bl::DecisionTree shallow(bl::TreeOptions{.max_depth = 2});
+  shallow.fit(p.x_train, p.y_train);
+  EXPECT_LE(shallow.depth(), 2U);
+  EXPECT_LE(shallow.node_count(), 7U);  // complete depth-2 binary tree
+  bl::DecisionTree deep(bl::TreeOptions{.max_depth = 10});
+  deep.fit(p.x_train, p.y_train);
+  EXPECT_GT(deep.node_count(), shallow.node_count());
+  EXPECT_LT(test_rmse(deep, p), test_rmse(shallow, p));
+}
+
+TEST(DecisionTree, InputValidation) {
+  bl::DecisionTree tree;
+  EXPECT_THROW(tree.predict({1.0F}), std::logic_error);  // not fitted
+  EXPECT_THROW(tree.fit({}, {}), std::invalid_argument);
+  bl::FeatureMatrix ragged{{1.0F, 2.0F}, {3.0F}};
+  EXPECT_THROW(tree.fit(ragged, {1.0F, 2.0F}), std::invalid_argument);
+  bl::FeatureMatrix ok{{1.0F}, {2.0F}};
+  tree.fit(ok, {1.0F, 2.0F});
+  EXPECT_THROW(tree.predict({1.0F, 2.0F}), std::invalid_argument);
+  EXPECT_THROW(bl::DecisionTree(bl::TreeOptions{.max_depth = 0}),
+               std::invalid_argument);
+}
+
+TEST(DecisionTree, ConstantLabelsGiveSingleLeaf) {
+  bl::FeatureMatrix x{{0.0F}, {0.5F}, {1.0F}};
+  std::vector<float> y{2.0F, 2.0F, 2.0F};
+  bl::DecisionTree tree;
+  tree.fit(x, y);
+  EXPECT_EQ(tree.node_count(), 1U);
+  EXPECT_FLOAT_EQ(tree.predict({0.3F}), 2.0F);
+}
+
+TEST(RandomForest, BeatsMeanAndIsDeterministic) {
+  auto p = make_problem();
+  bl::ForestOptions opts;
+  opts.n_trees = 30;
+  opts.tree.feature_subsample = 1;
+  bl::RandomForest rf(opts);
+  rf.fit(p.x_train, p.y_train);
+  EXPECT_EQ(rf.tree_count(), 30U);
+  EXPECT_LT(test_rmse(rf, p), 0.5 * mean_baseline_rmse(p));
+
+  bl::RandomForest rf2(opts);
+  rf2.fit(p.x_train, p.y_train);
+  EXPECT_FLOAT_EQ(rf.predict(p.x_test[0]), rf2.predict(p.x_test[0]));
+  EXPECT_THROW(bl::RandomForest(bl::ForestOptions{.n_trees = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(bl::RandomForest().predict({0.0F}), std::logic_error);
+}
+
+TEST(Gbrt, BeatsSingleTreeAndForestOnSmoothTarget) {
+  auto p = make_problem();
+  bl::DecisionTree tree(bl::TreeOptions{.max_depth = 3});
+  tree.fit(p.x_train, p.y_train);
+  bl::Gbrt gbrt;
+  gbrt.fit(p.x_train, p.y_train);
+  EXPECT_LT(test_rmse(gbrt, p), test_rmse(tree, p));
+  EXPECT_LT(test_rmse(gbrt, p), 0.25 * mean_baseline_rmse(p));
+}
+
+TEST(Gbrt, OptionValidationAndNotFitted) {
+  EXPECT_THROW(bl::Gbrt(bl::GbrtOptions{.n_rounds = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(bl::Gbrt(bl::GbrtOptions{.learning_rate = -0.1F}),
+               std::invalid_argument);
+  EXPECT_THROW(bl::Gbrt(bl::GbrtOptions{.subsample = 1.5F}),
+               std::invalid_argument);
+  EXPECT_THROW(bl::Gbrt().predict({0.0F}), std::logic_error);
+}
+
+class GbrtRoundsSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GbrtRoundsSweep, MoreRoundsNeverMuchWorse) {
+  auto p = make_problem(300, 150, 5);
+  bl::GbrtOptions few;
+  few.n_rounds = 10;
+  bl::GbrtOptions many;
+  many.n_rounds = GetParam();
+  bl::Gbrt a(few);
+  a.fit(p.x_train, p.y_train);
+  bl::Gbrt b(many);
+  b.fit(p.x_train, p.y_train);
+  EXPECT_LT(test_rmse(b, p), test_rmse(a, p) * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, GbrtRoundsSweep,
+                         ::testing::Values(40, 80, 160));

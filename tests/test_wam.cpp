@@ -1,0 +1,202 @@
+// WAM tests: mask generation from attention statistics (Fig. 4) and the
+// Algorithm 2 adaptation procedure (mask installation, learnability).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "meta/wam.hpp"
+#include "tensor/ops.hpp"
+
+namespace meta = metadse::meta;
+namespace nn = metadse::nn;
+namespace mt = metadse::tensor;
+namespace data = metadse::data;
+
+namespace {
+
+constexpr size_t kN = 6;
+
+/// Attention map with a strong (0 -> 1) and (2 -> 3) interaction.
+mt::Tensor structured_attention(mt::Rng& rng) {
+  std::vector<float> a(kN * kN);
+  for (size_t r = 0; r < kN; ++r) {
+    float row_sum = 0.0F;
+    for (size_t c = 0; c < kN; ++c) {
+      float v = rng.uniform(0.01F, 0.05F);
+      if ((r == 0 && c == 1) || (r == 2 && c == 3)) v = 0.6F;
+      a[r * kN + c] = v;
+      row_sum += v;
+    }
+    for (size_t c = 0; c < kN; ++c) a[r * kN + c] /= row_sum;
+  }
+  return mt::Tensor::from_vector({kN, kN}, std::move(a));
+}
+
+nn::TransformerConfig cfg6() {
+  return {.n_tokens = kN, .d_model = 8, .n_heads = 2, .n_layers = 2,
+          .d_ff = 16, .n_outputs = 1};
+}
+
+}  // namespace
+
+TEST(WamGenerator, ValidatesInputs) {
+  EXPECT_THROW(meta::WamGenerator(0), std::invalid_argument);
+  meta::WamGenerator gen(kN);
+  EXPECT_THROW(gen.accumulate(mt::Tensor::zeros({3, 3})),
+               std::invalid_argument);
+  EXPECT_THROW(gen.generate(), std::logic_error);  // nothing accumulated
+  EXPECT_THROW(
+      meta::WamGenerator::from_mean_attention(mt::Tensor::zeros({2, 3})),
+      std::invalid_argument);
+}
+
+TEST(WamGenerator, KeepsHighFrequencyInteractions) {
+  meta::WamGenerator gen(kN);
+  mt::Rng rng(3);
+  for (int i = 0; i < 20; ++i) gen.accumulate(structured_attention(rng));
+  EXPECT_EQ(gen.count(), 20U);
+  meta::WamOptions opts;
+  opts.mode = meta::WamMode::kBinary;
+  opts.keep_fraction = 0.1;
+  opts.suppressed_value = 0.2F;
+  const auto mask = gen.generate(opts);
+  EXPECT_EQ(mask.shape(), (mt::Shape{kN, kN}));
+  // The two planted interactions survive at full strength.
+  EXPECT_FLOAT_EQ(mask.at({0, 1}), 1.0F);
+  EXPECT_FLOAT_EQ(mask.at({2, 3}), 1.0F);
+  // Diagonal always kept.
+  for (size_t i = 0; i < kN; ++i) EXPECT_FLOAT_EQ(mask.at({i, i}), 1.0F);
+  // Every entry is either kept or suppressed.
+  size_t suppressed = 0;
+  for (float v : mask.data()) {
+    EXPECT_TRUE(v == 1.0F || v == 0.2F);
+    suppressed += v == 0.2F;
+  }
+  EXPECT_GT(suppressed, kN * kN / 2);  // most interactions filtered
+}
+
+TEST(WamGenerator, KeepFractionControlsDensity) {
+  meta::WamGenerator gen(kN);
+  mt::Rng rng(4);
+  for (int i = 0; i < 10; ++i) gen.accumulate(structured_attention(rng));
+  auto count_kept = [&](double frac) {
+    meta::WamOptions o;
+    o.mode = meta::WamMode::kBinary;
+    o.keep_fraction = frac;
+    const auto m = gen.generate(o);
+    size_t kept = 0;
+    for (float v : m.data()) kept += v == 1.0F;
+    return kept;
+  };
+  EXPECT_LT(count_kept(0.1), count_kept(0.5));
+  EXPECT_LE(count_kept(0.5), count_kept(1.0));
+  EXPECT_EQ(count_kept(1.0), kN * kN);  // keep everything
+  meta::WamOptions bad;
+  bad.keep_fraction = 0.0;
+  EXPECT_THROW(gen.generate(bad), std::invalid_argument);
+  bad.keep_fraction = 0.5;
+  bad.suppressed_value = 2.0F;
+  EXPECT_THROW(gen.generate(bad), std::invalid_argument);
+}
+
+TEST(WamGenerator, FromMeanAttentionMatchesStructure) {
+  mt::Rng rng(5);
+  const auto mask = meta::WamGenerator::from_mean_attention(
+      structured_attention(rng),
+      {.keep_fraction = 0.1, .mode = meta::WamMode::kBinary});
+  EXPECT_FLOAT_EQ(mask.at({0, 1}), 1.0F);
+  EXPECT_FLOAT_EQ(mask.at({2, 3}), 1.0F);
+}
+
+TEST(WamGenerator, ContinuousModeProfile) {
+  mt::Rng rng(15);
+  meta::WamOptions opts;
+  opts.mode = meta::WamMode::kContinuous;
+  opts.suppressed_value = 0.3F;
+  const auto mask = meta::WamGenerator::from_mean_attention(
+      structured_attention(rng), opts);
+  // Planted strong interactions sit at (or very near) the row maximum -> 1.
+  EXPECT_NEAR(mask.at({0, 1}), 1.0F, 1e-5);
+  EXPECT_NEAR(mask.at({2, 3}), 1.0F, 1e-5);
+  // Diagonal always kept.
+  for (size_t i = 0; i < kN; ++i) EXPECT_FLOAT_EQ(mask.at({i, i}), 1.0F);
+  // All weights live in [floor, 1]; weak interactions sit near the floor.
+  float min_v = 1.0F;
+  for (float v : mask.data()) {
+    EXPECT_GE(v, 0.3F - 1e-6F);
+    EXPECT_LE(v, 1.0F + 1e-6F);
+    min_v = std::min(min_v, v);
+  }
+  EXPECT_LT(min_v, 0.45F);
+}
+
+TEST(WamAdapt, ReducesSupportLossWithAndWithoutMask) {
+  mt::Rng rng(6);
+  nn::TransformerRegressor model(cfg6(), rng);
+  auto x = mt::Tensor::uniform({12, kN}, rng, 0.0F, 1.0F);
+  std::vector<float> ys(12);
+  for (size_t i = 0; i < 12; ++i) {
+    ys[i] = 2.0F * x.at({i, 0}) - x.at({i, 1});
+  }
+  auto y = mt::Tensor::from_vector({12, 1}, std::move(ys));
+  mt::Rng fwd(0);
+  const double before = mt::mse_loss(model.forward(x, fwd), y).item();
+
+  const auto mask =
+      meta::WamGenerator::from_mean_attention(structured_attention(rng));
+  meta::AdaptOptions opts;
+  opts.steps = 25;
+  opts.lr = 0.05F;
+
+  auto with_mask = meta::wam_adapt(model, mask, x, y, opts);
+  EXPECT_TRUE(with_mask->last_attention_layer().has_mask());
+  EXPECT_LT(mt::mse_loss(with_mask->forward(x, fwd), y).item(), before);
+
+  opts.use_wam = false;
+  auto without_mask = meta::wam_adapt(model, {}, x, y, opts);
+  EXPECT_FALSE(without_mask->last_attention_layer().has_mask());
+  EXPECT_LT(mt::mse_loss(without_mask->forward(x, fwd), y).item(), before);
+
+  // Original untouched.
+  EXPECT_FLOAT_EQ(mt::mse_loss(model.forward(x, fwd), y).item(),
+                  static_cast<float>(before));
+}
+
+TEST(WamAdapt, MaskIsLearnedWhenRequested) {
+  mt::Rng rng(7);
+  nn::TransformerRegressor model(cfg6(), rng);
+  auto x = mt::Tensor::uniform({10, kN}, rng, 0.0F, 1.0F);
+  auto y = mt::Tensor::uniform({10, 1}, rng, -1.0F, 1.0F);
+  const auto mask =
+      meta::WamGenerator::from_mean_attention(structured_attention(rng));
+
+  meta::AdaptOptions learn;
+  learn.steps = 10;
+  learn.lr = 0.05F;
+  learn.learn_mask = true;
+  auto learned = meta::wam_adapt(model, mask, x, y, learn);
+  const auto& m_learned = learned->last_attention_layer().mask();
+  bool changed = false;
+  for (size_t i = 0; i < m_learned.size(); ++i) {
+    changed = changed || m_learned.data()[i] != mask.data()[i];
+  }
+  EXPECT_TRUE(changed);
+
+  meta::AdaptOptions frozen = learn;
+  frozen.learn_mask = false;
+  auto fixed = meta::wam_adapt(model, mask, x, y, frozen);
+  EXPECT_EQ(fixed->last_attention_layer().mask().data(), mask.data());
+}
+
+TEST(WamAdapt, Validation) {
+  mt::Rng rng(8);
+  nn::TransformerRegressor model(cfg6(), rng);
+  auto x = mt::Tensor::zeros({4, kN});
+  auto y = mt::Tensor::zeros({4, 1});
+  meta::AdaptOptions opts;
+  opts.steps = 0;
+  EXPECT_THROW(meta::wam_adapt(model, {}, x, y, opts), std::invalid_argument);
+  opts.steps = 5;
+  opts.use_wam = true;
+  EXPECT_THROW(meta::wam_adapt(model, {}, x, y, opts), std::invalid_argument);
+}

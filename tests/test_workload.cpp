@@ -1,0 +1,99 @@
+// Workload-suite tests: suite composition (the paper's split), SimPoint-style
+// phase structure, determinism, and behavioural distinctiveness.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/spec_suite.hpp"
+
+namespace wl = metadse::workload;
+
+TEST(SpecSuite, SeventeenWorkloadsWithPaperSplit) {
+  wl::SpecSuite suite;
+  EXPECT_EQ(suite.size(), 17U);
+  const auto train = suite.names(wl::SplitRole::kTrain);
+  const auto val = suite.names(wl::SplitRole::kValidation);
+  const auto test = suite.names(wl::SplitRole::kTest);
+  EXPECT_EQ(train.size(), 7U);
+  EXPECT_EQ(val.size(), 5U);
+  EXPECT_EQ(test.size(), 5U);
+  // The paper's five evaluation datasets (Table II caption).
+  const std::set<std::string> expected{"600.perlbench_s", "605.mcf_s",
+                                       "620.omnetpp_s", "623.xalancbmk_s",
+                                       "627.cam4_s"};
+  EXPECT_EQ(std::set<std::string>(test.begin(), test.end()), expected);
+  // No overlap between splits.
+  std::set<std::string> all;
+  for (const auto& n : train) all.insert(n);
+  for (const auto& n : val) all.insert(n);
+  for (const auto& n : test) all.insert(n);
+  EXPECT_EQ(all.size(), 17U);
+}
+
+TEST(SpecSuite, LookupAndRoles) {
+  wl::SpecSuite suite;
+  EXPECT_EQ(suite.by_name("605.mcf_s").name(), "605.mcf_s");
+  EXPECT_EQ(suite.role_of("605.mcf_s"), wl::SplitRole::kTest);
+  EXPECT_EQ(suite.role_of("619.lbm_s"), wl::SplitRole::kTrain);
+  EXPECT_THROW(suite.by_name("999.missing"), std::out_of_range);
+}
+
+TEST(Workload, PhasesAreSimPointLike) {
+  wl::SpecSuite suite;
+  for (const auto& w : suite.workloads()) {
+    const auto& phases = w.phases();
+    EXPECT_GE(phases.size(), 10U) << w.name();
+    EXPECT_LE(phases.size(), 30U) << w.name();  // "at most 30 clusters"
+    double total = 0.0;
+    for (const auto& p : phases) {
+      EXPECT_GT(p.weight, 0.0);
+      EXPECT_NO_THROW(p.behavior.validate());
+      total += p.weight;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9) << w.name();
+  }
+}
+
+TEST(Workload, DeterministicAcrossInstances) {
+  wl::SpecSuite a;
+  wl::SpecSuite b;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const auto& pa = a.workloads()[i].phases();
+    const auto& pb = b.workloads()[i].phases();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (size_t j = 0; j < pa.size(); ++j) {
+      EXPECT_EQ(pa[j].weight, pb[j].weight);
+      EXPECT_EQ(pa[j].behavior.dcache_ws_kb, pb[j].behavior.dcache_ws_kb);
+      EXPECT_EQ(pa[j].behavior.f_load, pb[j].behavior.f_load);
+    }
+  }
+}
+
+TEST(Workload, ProfilesAreBehaviourallyDistinct) {
+  wl::SpecSuite suite;
+  const auto& mcf = suite.by_name("605.mcf_s").base();
+  const auto& lbm = suite.by_name("619.lbm_s").base();
+  const auto& perl = suite.by_name("600.perlbench_s").base();
+  // mcf: memory-bound with low MLP; lbm: streaming with high MLP.
+  EXPECT_GT(mcf.dcache_ws2_kb, 2000.0);
+  EXPECT_LT(mcf.mlp, 2.0);
+  EXPECT_GT(lbm.streaming, 0.8);
+  EXPECT_GT(lbm.mlp, 4.0);
+  // perlbench: branchy with many indirect calls; lbm is the opposite.
+  EXPECT_GT(perl.f_branch, 3.0 * lbm.f_branch);
+  EXPECT_GT(perl.indirect_frac, 5.0 * lbm.indirect_frac);
+  // FP suites are FP-heavy.
+  EXPECT_GT(lbm.f_fp_alu + lbm.f_fp_mul, 0.4);
+  EXPECT_LT(perl.f_fp_alu + perl.f_fp_mul, 0.05);
+}
+
+TEST(Workload, PhasePerturbationsStayNearBase) {
+  wl::SpecSuite suite;
+  const auto& w = suite.by_name("602.gcc_s");
+  for (const auto& p : w.phases()) {
+    // Phases are variations of the program, not different programs.
+    EXPECT_GT(p.behavior.dcache_ws_kb, w.base().dcache_ws_kb / 4.0);
+    EXPECT_LT(p.behavior.dcache_ws_kb, w.base().dcache_ws_kb * 4.0);
+    EXPECT_NEAR(p.behavior.branch_entropy, w.base().branch_entropy, 0.3);
+  }
+}
