@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_meta.dir/bench_ablation_meta.cpp.o"
+  "CMakeFiles/bench_ablation_meta.dir/bench_ablation_meta.cpp.o.d"
+  "bench_ablation_meta"
+  "bench_ablation_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wam.dir/bench_ablation_wam.cpp.o"
+  "CMakeFiles/bench_ablation_wam.dir/bench_ablation_wam.cpp.o.d"
+  "bench_ablation_wam"
+  "bench_ablation_wam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

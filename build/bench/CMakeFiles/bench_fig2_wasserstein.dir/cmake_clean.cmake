@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_wasserstein.dir/bench_fig2_wasserstein.cpp.o"
+  "CMakeFiles/bench_fig2_wasserstein.dir/bench_fig2_wasserstein.cpp.o.d"
+  "bench_fig2_wasserstein"
+  "bench_fig2_wasserstein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_wasserstein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

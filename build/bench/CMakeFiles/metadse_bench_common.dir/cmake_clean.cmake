@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/metadse_bench_common.dir/bench_common.cpp.o.d"
+  "libmetadse_bench_common.a"
+  "libmetadse_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrain_and_save.dir/pretrain_and_save.cpp.o"
+  "CMakeFiles/pretrain_and_save.dir/pretrain_and_save.cpp.o.d"
+  "pretrain_and_save"
+  "pretrain_and_save.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrain_and_save.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

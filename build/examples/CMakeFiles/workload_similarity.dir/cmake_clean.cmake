@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_similarity.dir/workload_similarity.cpp.o"
+  "CMakeFiles/workload_similarity.dir/workload_similarity.cpp.o.d"
+  "workload_similarity"
+  "workload_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

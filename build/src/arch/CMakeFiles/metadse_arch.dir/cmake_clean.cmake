@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_arch.dir/design_space.cpp.o"
+  "CMakeFiles/metadse_arch.dir/design_space.cpp.o.d"
+  "libmetadse_arch.a"
+  "libmetadse_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_baselines.dir/decision_tree.cpp.o"
+  "CMakeFiles/metadse_baselines.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/metadse_baselines.dir/ensembles.cpp.o"
+  "CMakeFiles/metadse_baselines.dir/ensembles.cpp.o.d"
+  "CMakeFiles/metadse_baselines.dir/linear_fit.cpp.o"
+  "CMakeFiles/metadse_baselines.dir/linear_fit.cpp.o.d"
+  "CMakeFiles/metadse_baselines.dir/signature.cpp.o"
+  "CMakeFiles/metadse_baselines.dir/signature.cpp.o.d"
+  "CMakeFiles/metadse_baselines.dir/trendse.cpp.o"
+  "CMakeFiles/metadse_baselines.dir/trendse.cpp.o.d"
+  "libmetadse_baselines.a"
+  "libmetadse_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_core.dir/metadse.cpp.o"
+  "CMakeFiles/metadse_core.dir/metadse.cpp.o.d"
+  "libmetadse_core.a"
+  "libmetadse_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

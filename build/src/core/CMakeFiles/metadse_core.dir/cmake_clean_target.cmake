@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmetadse_core.a"
+)

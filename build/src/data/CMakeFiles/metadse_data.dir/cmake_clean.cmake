@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_data.dir/dataset.cpp.o"
+  "CMakeFiles/metadse_data.dir/dataset.cpp.o.d"
+  "libmetadse_data.a"
+  "libmetadse_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

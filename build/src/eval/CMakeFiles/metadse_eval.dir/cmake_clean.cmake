@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_eval.dir/metrics.cpp.o"
+  "CMakeFiles/metadse_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/metadse_eval.dir/table.cpp.o"
+  "CMakeFiles/metadse_eval.dir/table.cpp.o.d"
+  "libmetadse_eval.a"
+  "libmetadse_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

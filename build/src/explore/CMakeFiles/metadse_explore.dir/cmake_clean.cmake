@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_explore.dir/explorer.cpp.o"
+  "CMakeFiles/metadse_explore.dir/explorer.cpp.o.d"
+  "CMakeFiles/metadse_explore.dir/pareto.cpp.o"
+  "CMakeFiles/metadse_explore.dir/pareto.cpp.o.d"
+  "libmetadse_explore.a"
+  "libmetadse_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_meta.dir/ensemble_adapt.cpp.o"
+  "CMakeFiles/metadse_meta.dir/ensemble_adapt.cpp.o.d"
+  "CMakeFiles/metadse_meta.dir/maml.cpp.o"
+  "CMakeFiles/metadse_meta.dir/maml.cpp.o.d"
+  "CMakeFiles/metadse_meta.dir/wam.cpp.o"
+  "CMakeFiles/metadse_meta.dir/wam.cpp.o.d"
+  "libmetadse_meta.a"
+  "libmetadse_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

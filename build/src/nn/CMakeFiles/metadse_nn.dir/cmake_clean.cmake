@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_nn.dir/attention.cpp.o"
+  "CMakeFiles/metadse_nn.dir/attention.cpp.o.d"
+  "CMakeFiles/metadse_nn.dir/layers.cpp.o"
+  "CMakeFiles/metadse_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/metadse_nn.dir/module.cpp.o"
+  "CMakeFiles/metadse_nn.dir/module.cpp.o.d"
+  "CMakeFiles/metadse_nn.dir/optim.cpp.o"
+  "CMakeFiles/metadse_nn.dir/optim.cpp.o.d"
+  "CMakeFiles/metadse_nn.dir/serialize.cpp.o"
+  "CMakeFiles/metadse_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/metadse_nn.dir/transformer.cpp.o"
+  "CMakeFiles/metadse_nn.dir/transformer.cpp.o.d"
+  "libmetadse_nn.a"
+  "libmetadse_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

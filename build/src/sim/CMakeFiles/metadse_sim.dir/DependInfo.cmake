@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/branch_predictor.cpp" "src/sim/CMakeFiles/metadse_sim.dir/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/metadse_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/cache.cpp.o.d"
+  "/root/repo/src/sim/cpu_model.cpp" "src/sim/CMakeFiles/metadse_sim.dir/cpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/pipeline_sim.cpp" "src/sim/CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o.d"
+  "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/metadse_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/power_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/metadse_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/arch/CMakeFiles/metadse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/metadse_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_sim.dir/branch_predictor.cpp.o"
+  "CMakeFiles/metadse_sim.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/metadse_sim.dir/cache.cpp.o"
+  "CMakeFiles/metadse_sim.dir/cache.cpp.o.d"
+  "CMakeFiles/metadse_sim.dir/cpu_model.cpp.o"
+  "CMakeFiles/metadse_sim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o"
+  "CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o.d"
+  "CMakeFiles/metadse_sim.dir/power_model.cpp.o"
+  "CMakeFiles/metadse_sim.dir/power_model.cpp.o.d"
+  "CMakeFiles/metadse_sim.dir/trace.cpp.o"
+  "CMakeFiles/metadse_sim.dir/trace.cpp.o.d"
+  "libmetadse_sim.a"
+  "libmetadse_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

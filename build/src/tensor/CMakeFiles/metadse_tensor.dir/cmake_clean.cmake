@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_tensor.dir/gradcheck.cpp.o"
+  "CMakeFiles/metadse_tensor.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/metadse_tensor.dir/ops.cpp.o"
+  "CMakeFiles/metadse_tensor.dir/ops.cpp.o.d"
+  "CMakeFiles/metadse_tensor.dir/rng.cpp.o"
+  "CMakeFiles/metadse_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/metadse_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/metadse_tensor.dir/tensor.cpp.o.d"
+  "libmetadse_tensor.a"
+  "libmetadse_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

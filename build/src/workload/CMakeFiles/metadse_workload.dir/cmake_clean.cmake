@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_workload.dir/spec_suite.cpp.o"
+  "CMakeFiles/metadse_workload.dir/spec_suite.cpp.o.d"
+  "libmetadse_workload.a"
+  "libmetadse_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ensemble_adapt.dir/test_ensemble_adapt.cpp.o"
+  "CMakeFiles/test_ensemble_adapt.dir/test_ensemble_adapt.cpp.o.d"
+  "test_ensemble_adapt"
+  "test_ensemble_adapt.pdb"
+  "test_ensemble_adapt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ensemble_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

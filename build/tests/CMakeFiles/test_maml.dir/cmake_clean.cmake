@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_maml.dir/test_maml.cpp.o"
+  "CMakeFiles/test_maml.dir/test_maml.cpp.o.d"
+  "test_maml"
+  "test_maml.pdb"
+  "test_maml[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_maml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

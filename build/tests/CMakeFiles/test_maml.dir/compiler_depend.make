@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_maml.
+# This may be replaced when dependencies are built.

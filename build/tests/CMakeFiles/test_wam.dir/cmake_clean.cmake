@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wam.dir/test_wam.cpp.o"
+  "CMakeFiles/test_wam.dir/test_wam.cpp.o.d"
+  "test_wam"
+  "test_wam.pdb"
+  "test_wam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_tensor[1]_include.cmake")
+include("/root/repo/build/tests/test_ops[1]_include.cmake")
+include("/root/repo/build/tests/test_gradcheck[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_optim[1]_include.cmake")
+include("/root/repo/build/tests/test_arch[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_trees[1]_include.cmake")
+include("/root/repo/build/tests/test_transfer[1]_include.cmake")
+include("/root/repo/build/tests/test_maml[1]_include.cmake")
+include("/root/repo/build/tests/test_wam[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_explore[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_ensemble_adapt[1]_include.cmake")
+include("/root/repo/build/tests/test_determinism[1]_include.cmake")

@@ -1,0 +1,3 @@
+add_test([=[Determinism.EndToEndPipelineIsSeedPure]=]  /root/repo/build/tests/test_determinism [==[--gtest_filter=Determinism.EndToEndPipelineIsSeedPure]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Determinism.EndToEndPipelineIsSeedPure]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_determinism_TESTS Determinism.EndToEndPipelineIsSeedPure)

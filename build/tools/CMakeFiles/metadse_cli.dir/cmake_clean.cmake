@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metadse_cli.dir/metadse_cli.cpp.o"
+  "CMakeFiles/metadse_cli.dir/metadse_cli.cpp.o.d"
+  "metadse"
+  "metadse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metadse_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
