@@ -234,8 +234,6 @@ bench/CMakeFiles/bench_fig6_pretrain_sweep.dir/bench_fig6_pretrain_sweep.cpp.o: 
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/baselines/trendse.hpp /root/repo/src/data/dataset.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/arch/design_space.hpp /root/repo/src/tensor/tensor.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -245,16 +243,18 @@ bench/CMakeFiles/bench_fig6_pretrain_sweep.dir/bench_fig6_pretrain_sweep.cpp.o: 
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h /root/repo/src/tensor/shape.hpp \
- /root/repo/src/sim/cpu_model.hpp \
+ /usr/include/c++/12/bits/stl_heap.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/arch/design_space.hpp /root/repo/src/tensor/tensor.hpp \
+ /root/repo/src/tensor/shape.hpp /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp /root/repo/src/nn/transformer.hpp \
- /root/repo/src/nn/attention.hpp /usr/include/c++/12/optional \
- /root/repo/src/nn/layers.hpp /root/repo/src/nn/module.hpp \
- /usr/include/c++/12/span /root/repo/src/core/metadse.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/nn/attention.hpp /root/repo/src/nn/layers.hpp \
+ /root/repo/src/nn/module.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/metadse.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/meta/maml.hpp \
  /root/repo/src/nn/optim.hpp /root/repo/src/meta/wam.hpp \
  /root/repo/src/eval/metrics.hpp /root/repo/src/eval/table.hpp

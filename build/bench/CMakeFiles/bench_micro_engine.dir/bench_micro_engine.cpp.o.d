@@ -241,18 +241,19 @@ bench/CMakeFiles/bench_micro_engine.dir/bench_micro_engine.cpp.o: \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/data/dataset.hpp /root/repo/src/arch/design_space.hpp \
- /root/repo/src/tensor/tensor.hpp /usr/include/c++/12/functional \
+ /root/repo/src/data/dataset.hpp /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/tensor/shape.hpp /root/repo/src/sim/cpu_model.hpp \
+ /usr/include/c++/12/optional /root/repo/src/arch/design_space.hpp \
+ /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
+ /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp /root/repo/src/meta/wam.hpp \
  /root/repo/src/nn/transformer.hpp /root/repo/src/nn/attention.hpp \
- /usr/include/c++/12/optional /root/repo/src/nn/layers.hpp \
- /root/repo/src/nn/module.hpp /usr/include/c++/12/span \
- /root/repo/src/tensor/ops.hpp
+ /root/repo/src/nn/layers.hpp /root/repo/src/nn/module.hpp \
+ /usr/include/c++/12/span /root/repo/src/tensor/ops.hpp

@@ -209,8 +209,9 @@ src/meta/CMakeFiles/metadse_meta.dir/ensemble_adapt.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/data/dataset.hpp \
- /root/repo/src/arch/design_space.hpp /root/repo/src/tensor/rng.hpp \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/c++/12/optional /root/repo/src/arch/design_space.hpp \
+ /root/repo/src/tensor/rng.hpp /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -241,11 +242,12 @@ src/meta/CMakeFiles/metadse_meta.dir/ensemble_adapt.cpp.o: \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
  /usr/include/c++/12/cstddef /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp /root/repo/src/meta/wam.hpp \
  /root/repo/src/nn/transformer.hpp /root/repo/src/nn/attention.hpp \
- /usr/include/c++/12/optional /root/repo/src/nn/layers.hpp \
- /root/repo/src/nn/module.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/nn/layers.hpp /root/repo/src/nn/module.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/sim/branch_predictor.cpp" "src/sim/CMakeFiles/metadse_sim.dir/branch_predictor.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/branch_predictor.cpp.o.d"
   "/root/repo/src/sim/cache.cpp" "src/sim/CMakeFiles/metadse_sim.dir/cache.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/cache.cpp.o.d"
   "/root/repo/src/sim/cpu_model.cpp" "src/sim/CMakeFiles/metadse_sim.dir/cpu_model.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/sim/fault_injection.cpp" "src/sim/CMakeFiles/metadse_sim.dir/fault_injection.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/fault_injection.cpp.o.d"
   "/root/repo/src/sim/pipeline_sim.cpp" "src/sim/CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o.d"
   "/root/repo/src/sim/power_model.cpp" "src/sim/CMakeFiles/metadse_sim.dir/power_model.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/power_model.cpp.o.d"
   "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/metadse_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/metadse_sim.dir/trace.cpp.o.d"

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/metadse_sim.dir/cache.cpp.o.d"
   "CMakeFiles/metadse_sim.dir/cpu_model.cpp.o"
   "CMakeFiles/metadse_sim.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/metadse_sim.dir/fault_injection.cpp.o"
+  "CMakeFiles/metadse_sim.dir/fault_injection.cpp.o.d"
   "CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o"
   "CMakeFiles/metadse_sim.dir/pipeline_sim.cpp.o.d"
   "CMakeFiles/metadse_sim.dir/power_model.cpp.o"

@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/tensor/gradcheck.cpp" "src/tensor/CMakeFiles/metadse_tensor.dir/gradcheck.cpp.o" "gcc" "src/tensor/CMakeFiles/metadse_tensor.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/tensor/guard.cpp" "src/tensor/CMakeFiles/metadse_tensor.dir/guard.cpp.o" "gcc" "src/tensor/CMakeFiles/metadse_tensor.dir/guard.cpp.o.d"
   "/root/repo/src/tensor/ops.cpp" "src/tensor/CMakeFiles/metadse_tensor.dir/ops.cpp.o" "gcc" "src/tensor/CMakeFiles/metadse_tensor.dir/ops.cpp.o.d"
   "/root/repo/src/tensor/rng.cpp" "src/tensor/CMakeFiles/metadse_tensor.dir/rng.cpp.o" "gcc" "src/tensor/CMakeFiles/metadse_tensor.dir/rng.cpp.o.d"
   "/root/repo/src/tensor/tensor.cpp" "src/tensor/CMakeFiles/metadse_tensor.dir/tensor.cpp.o" "gcc" "src/tensor/CMakeFiles/metadse_tensor.dir/tensor.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/metadse_tensor.dir/gradcheck.cpp.o"
   "CMakeFiles/metadse_tensor.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/metadse_tensor.dir/guard.cpp.o"
+  "CMakeFiles/metadse_tensor.dir/guard.cpp.o.d"
   "CMakeFiles/metadse_tensor.dir/ops.cpp.o"
   "CMakeFiles/metadse_tensor.dir/ops.cpp.o.d"
   "CMakeFiles/metadse_tensor.dir/rng.cpp.o"

@@ -325,6 +325,7 @@ tests/CMakeFiles/test_ensemble_adapt.dir/test_ensemble_adapt.cpp.o: \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
  /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp /root/repo/src/meta/wam.hpp \
  /root/repo/src/nn/transformer.hpp /root/repo/src/nn/attention.hpp \

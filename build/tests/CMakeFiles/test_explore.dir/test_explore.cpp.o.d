@@ -325,6 +325,7 @@ tests/CMakeFiles/test_explore.dir/test_explore.cpp.o: \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
  /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp \
  /root/repo/src/explore/explorer.hpp /root/repo/src/explore/pareto.hpp

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_fault_injection.dir/test_fault_injection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metadse_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/metadse_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/metadse_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/metadse_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/metadse_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/metadse_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/metadse_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/metadse_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/metadse_eval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_serialize_corruption.dir/test_serialize_corruption.cpp.o"
+  "CMakeFiles/test_serialize_corruption.dir/test_serialize_corruption.cpp.o.d"
+  "test_serialize_corruption"
+  "test_serialize_corruption.pdb"
+  "test_serialize_corruption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_serialize_corruption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -324,5 +324,6 @@ tests/CMakeFiles/test_sim_properties.dir/test_sim_properties.cpp.o: \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
  /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp

@@ -328,6 +328,7 @@ tests/CMakeFiles/test_transfer.dir/test_transfer.cpp.o: \
  /root/repo/src/tensor/tensor.hpp /root/repo/src/tensor/shape.hpp \
  /root/repo/src/sim/cpu_model.hpp \
  /root/repo/src/sim/workload_characteristics.hpp \
+ /root/repo/src/sim/fault_injection.hpp \
  /root/repo/src/sim/power_model.hpp \
  /root/repo/src/workload/spec_suite.hpp \
  /root/repo/src/baselines/signature.hpp \

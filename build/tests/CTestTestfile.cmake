@@ -25,3 +25,5 @@ include("/root/repo/build/tests/test_explore[1]_include.cmake")
 include("/root/repo/build/tests/test_sim_properties[1]_include.cmake")
 include("/root/repo/build/tests/test_ensemble_adapt[1]_include.cmake")
 include("/root/repo/build/tests/test_determinism[1]_include.cmake")
+include("/root/repo/build/tests/test_fault_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_serialize_corruption[1]_include.cmake")

@@ -1,11 +1,15 @@
 #include "core/metadse.hpp"
 
+#include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "eval/metrics.hpp"
 #include "nn/serialize.hpp"
+#include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
 
 namespace metadse::core {
@@ -33,8 +37,28 @@ const data::Dataset& MetaDseFramework::dataset(const std::string& workload) {
   // Per-workload deterministic seed so dataset identity is independent of
   // generation order.
   tensor::Rng rng(options_.seed ^ std::hash<std::string>{}(workload));
-  auto ds = generator_.generate(wl, options_.samples_per_workload, rng);
+  data::GenerationReport report;
+  auto ds = generator_.generate(wl, options_.samples_per_workload, rng,
+                                /*latin_hypercube=*/true, &report);
+  if (ds.empty()) {
+    throw std::runtime_error("dataset: every design point for '" + workload +
+                             "' failed labelling (" + report.summary() + ")");
+  }
+  reports_[workload] = std::move(report);
   return cache_.emplace(workload, std::move(ds)).first->second;
+}
+
+void MetaDseFramework::set_fault_plan(const sim::FaultPlan& plan) {
+  generator_.set_fault_plan(plan);
+}
+
+void MetaDseFramework::set_retry_policy(const data::RetryPolicy& policy) {
+  generator_.set_retry_policy(policy);
+}
+
+const data::GenerationReport& MetaDseFramework::generation_report(
+    const std::string& workload) const {
+  return reports_.at(workload);
 }
 
 std::vector<data::Dataset> MetaDseFramework::datasets(
@@ -46,12 +70,41 @@ std::vector<data::Dataset> MetaDseFramework::datasets(
 }
 
 void MetaDseFramework::pretrain() {
+  // Resume path: an autosaved run that already finished is loaded outright;
+  // an unfinished one warm-starts the trainer at its last completed epoch.
+  std::optional<meta::MamlTrainer::WarmStart> warm;
+  if (!options_.autosave_path.empty()) {
+    warm = load_warm_start(options_.autosave_path);
+    if (warm && warm->trace.size() >= options_.maml.epochs) {
+      load_checkpoint(options_.autosave_path);
+      return;
+    }
+  }
+
   const auto train_names = suite_.names(workload::SplitRole::kTrain);
   const auto val_names = suite_.names(workload::SplitRole::kValidation);
   auto train_sets = datasets(train_names);
   auto val_sets = datasets(val_names);
   trainer_ = std::make_unique<meta::MamlTrainer>(options_.predictor,
                                                  options_.maml);
+  if (warm) trainer_->set_warm_start(std::move(*warm));
+  if (!options_.autosave_path.empty()) {
+    const size_t period = options_.autosave_period == 0
+                              ? size_t{1}
+                              : options_.autosave_period;
+    trainer_->set_epoch_callback([this, period](size_t epoch,
+                                                const meta::EpochTrace&) {
+      if ((epoch + 1) % period != 0 || trainer_->attention_count() == 0) {
+        return;
+      }
+      write_checkpoint(options_.autosave_path,
+                       trainer_->best_model().flatten_parameters(),
+                       trainer_->scaler(),
+                       trainer_->mean_attention().data(),
+                       trainer_->attention_count(), trainer_->trace(),
+                       trainer_->best_val_loss());
+    });
+  }
   trainer_->train(train_sets, val_sets);
   mean_attention_ = trainer_->mean_attention();
   wam_mask_ =
@@ -99,90 +152,219 @@ const std::vector<meta::EpochTrace>& MetaDseFramework::trace() const {
 }
 
 namespace {
-constexpr uint32_t kCkptMagic = 0x4D44'4B32;  // "MDK2"
+constexpr uint32_t kCkptMagicV1 = 0x4D44'4B32;  // "MDK2": legacy, unchecksummed
+constexpr uint32_t kCkptMagicV2 = 0x4D44'4B50;  // "MDKP"
+constexpr uint32_t kCkptVersion = 2;
+constexpr uint64_t kMaxTraceEpochs = 1'000'000;  // sanity bound before alloc
 
 template <typename T>
-void wr(std::ofstream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void put(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
-template <typename T>
-T rd(std::ifstream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("checkpoint: truncated file");
-  return v;
+void put_vec(std::string& out, const std::vector<float>& v) {
+  put(out, static_cast<uint64_t>(v.size()));
+  out.append(reinterpret_cast<const char*>(v.data()),
+             v.size() * sizeof(float));
 }
-void wr_vec(std::ofstream& os, const std::vector<float>& v) {
-  wr(os, static_cast<uint64_t>(v.size()));
-  os.write(reinterpret_cast<const char*>(v.data()),
-           static_cast<std::streamsize>(v.size() * sizeof(float)));
+
+/// Bounds-checked cursor over an in-memory checkpoint image.
+class Cursor {
+ public:
+  Cursor(const std::string& bytes, std::string context)
+      : bytes_(bytes), context_(std::move(context)) {}
+
+  template <typename T>
+  T pod() {
+    T v{};
+    need(sizeof(T));
+    std::memcpy(&v, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  /// Reads a float vector whose announced size must equal @p expected —
+  /// validated before any allocation, so a corrupt length cannot OOM.
+  std::vector<float> vec(size_t expected, const char* what) {
+    const auto n = pod<uint64_t>();
+    if (n != expected) {
+      throw std::runtime_error(context_ + ": " + what + " size mismatch");
+    }
+    std::vector<float> v(n);
+    need(n * sizeof(float));
+    std::memcpy(v.data(), bytes_.data() + pos_, n * sizeof(float));
+    pos_ += n * sizeof(float);
+    return v;
+  }
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  void need(size_t n) {
+    if (pos_ + n > bytes_.size() || pos_ + n < pos_) {
+      throw std::runtime_error(context_ + ": truncated file");
+    }
+  }
+
+  const std::string& bytes_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+std::optional<std::string> slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return std::nullopt;
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (!is) throw std::runtime_error("checkpoint: read failed: " + path);
+  return std::move(ss).str();
 }
-std::vector<float> rd_vec(std::ifstream& is) {
-  const auto n = rd<uint64_t>(is);
-  std::vector<float> v(n);
-  is.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(float)));
-  if (!is) throw std::runtime_error("checkpoint: truncated vector");
-  return v;
+
+/// Verifies the v2 footer (CRC over everything before the last 4 bytes).
+void check_footer(const std::string& bytes, const std::string& path) {
+  if (bytes.size() < 12) {
+    throw std::runtime_error("load_checkpoint: truncated file " + path);
+  }
+  uint32_t footer = 0;
+  std::memcpy(&footer, bytes.data() + bytes.size() - 4, sizeof(footer));
+  if (footer != nn::crc32(bytes.data(), bytes.size() - 4)) {
+    throw std::runtime_error("load_checkpoint: checksum mismatch in " + path);
+  }
+}
+
+/// Rebuilds a Scaler from stored (mean, stddev): Scaler has no setters by
+/// design, so fit two synthetic rows whose statistics match.
+data::Scaler scaler_from_stats(const std::vector<float>& mean,
+                               const std::vector<float>& stddev) {
+  std::vector<std::vector<float>> synth(2, std::vector<float>(mean.size()));
+  for (size_t j = 0; j < mean.size(); ++j) {
+    synth[0][j] = mean[j] - stddev[j];
+    synth[1][j] = mean[j] + stddev[j];
+  }
+  data::Scaler sc;
+  sc.fit(synth);
+  return sc;
 }
 }  // namespace
 
+void MetaDseFramework::write_checkpoint(
+    const std::string& path, const std::vector<float>& flat_params,
+    const data::Scaler& scaler, const std::vector<float>& attention_mean,
+    size_t attention_count, const std::vector<meta::EpochTrace>& trace,
+    double best_val) const {
+  if (tensor::has_nonfinite(flat_params)) {
+    throw std::runtime_error(
+        "save_checkpoint: refusing to persist non-finite parameters");
+  }
+  std::string out;
+  put(out, kCkptMagicV2);
+  put(out, kCkptVersion);
+  put(out, static_cast<uint64_t>(options_.predictor.n_tokens));
+  put(out, static_cast<uint64_t>(options_.predictor.d_model));
+  put(out, static_cast<uint64_t>(options_.predictor.n_layers));
+  put(out, static_cast<uint64_t>(data::target_width(options_.maml.target)));
+  put(out, best_val);
+  put(out, static_cast<uint64_t>(trace.size()));
+  for (const auto& tr : trace) {
+    put(out, tr.train_meta_loss);
+    put(out, tr.val_loss);
+    put(out, static_cast<uint64_t>(tr.skipped_tasks));
+    put(out, static_cast<uint64_t>(tr.skipped_batches));
+    put(out, static_cast<uint8_t>(tr.rolled_back ? 1 : 0));
+    put(out, tr.outer_lr);
+  }
+  put(out, static_cast<uint64_t>(attention_count));
+  put_vec(out, scaler.mean());
+  put_vec(out, scaler.stddev());
+  put_vec(out, attention_mean);
+  put_vec(out, flat_params);
+  put(out, nn::crc32(out.data(), out.size()));
+  nn::atomic_write_file(path, out);
+}
+
 void MetaDseFramework::save_checkpoint(const std::string& path) const {
-  const auto& m = model();
-  const auto& sc = scaler();
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("save_checkpoint: cannot open " + path);
-  wr(os, kCkptMagic);
-  wr(os, static_cast<uint64_t>(options_.predictor.n_tokens));
-  wr(os, static_cast<uint64_t>(options_.predictor.d_model));
-  wr(os, static_cast<uint64_t>(options_.predictor.n_layers));
-  wr_vec(os, sc.mean());
-  wr_vec(os, sc.stddev());
-  wr_vec(os, mean_attention().data());
-  wr_vec(os, m.flatten_parameters());
-  if (!os) throw std::runtime_error("save_checkpoint: write failed");
+  const size_t attn_count =
+      trainer_ ? trainer_->attention_count() : loaded_attention_count_;
+  const double best_val =
+      trainer_ ? trainer_->best_val_loss() : loaded_best_val_;
+  write_checkpoint(path, model().flatten_parameters(), scaler(),
+                   mean_attention().data(), attn_count, trace(), best_val);
 }
 
 bool MetaDseFramework::load_checkpoint(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  if (rd<uint32_t>(is) != kCkptMagic) {
+  const auto bytes = slurp(path);
+  if (!bytes) return false;
+
+  Cursor hdr(*bytes, "load_checkpoint");
+  const auto magic = hdr.pod<uint32_t>();
+  if (magic != kCkptMagicV1 && magic != kCkptMagicV2) {
     throw std::runtime_error("load_checkpoint: bad magic in " + path);
   }
-  if (rd<uint64_t>(is) != options_.predictor.n_tokens ||
-      rd<uint64_t>(is) != options_.predictor.d_model ||
-      rd<uint64_t>(is) != options_.predictor.n_layers) {
+  const bool v2 = magic == kCkptMagicV2;
+  if (v2) {
+    check_footer(*bytes, path);
+    if (hdr.pod<uint32_t>() != kCkptVersion) {
+      throw std::runtime_error("load_checkpoint: unsupported version in " +
+                               path);
+    }
+  }
+  if (hdr.pod<uint64_t>() != options_.predictor.n_tokens ||
+      hdr.pod<uint64_t>() != options_.predictor.d_model ||
+      hdr.pod<uint64_t>() != options_.predictor.n_layers) {
     throw std::runtime_error("load_checkpoint: architecture mismatch in " +
                              path);
   }
-  const auto mean = rd_vec(is);
-  const auto stddev = rd_vec(is);
-  const auto attn = rd_vec(is);
-  const auto flat = rd_vec(is);
-
-  data::Scaler sc;
-  std::vector<std::vector<float>> rows{mean, mean};  // placeholder fit
-  sc.fit(rows);
-  // Overwrite with the stored statistics via transform identity trick:
-  // Scaler has no setters by design; rebuild from two synthetic rows whose
-  // mean/std match the stored values.
-  {
-    std::vector<std::vector<float>> synth(2, std::vector<float>(mean.size()));
-    for (size_t j = 0; j < mean.size(); ++j) {
-      synth[0][j] = mean[j] - stddev[j];
-      synth[1][j] = mean[j] + stddev[j];
-    }
-    sc = data::Scaler();
-    sc.fit(synth);
-  }
-  loaded_scaler_ = sc;
 
   nn::TransformerConfig cfg = options_.predictor;
   cfg.n_outputs = data::target_width(options_.maml.target);
+  const size_t width = data::target_width(options_.maml.target);
   tensor::Rng rng(0);
-  loaded_model_ = std::make_unique<nn::TransformerRegressor>(cfg, rng);
-  loaded_model_->unflatten_parameters(flat);
+  auto model = std::make_unique<nn::TransformerRegressor>(cfg, rng);
   const size_t n = options_.predictor.n_tokens;
+
+  std::vector<meta::EpochTrace> trace;
+  size_t attn_count = 0;
+  double best_val = 1e300;
+  if (v2) {
+    if (hdr.pod<uint64_t>() != width) {
+      throw std::runtime_error("load_checkpoint: target width mismatch in " +
+                               path);
+    }
+    best_val = hdr.pod<double>();
+    const auto n_trace = hdr.pod<uint64_t>();
+    if (n_trace > kMaxTraceEpochs) {
+      throw std::runtime_error("load_checkpoint: implausible trace length in " +
+                               path);
+    }
+    trace.reserve(n_trace);
+    for (uint64_t e = 0; e < n_trace; ++e) {
+      meta::EpochTrace tr;
+      tr.train_meta_loss = hdr.pod<double>();
+      tr.val_loss = hdr.pod<double>();
+      tr.skipped_tasks = hdr.pod<uint64_t>();
+      tr.skipped_batches = hdr.pod<uint64_t>();
+      tr.rolled_back = hdr.pod<uint8_t>() != 0;
+      tr.outer_lr = hdr.pod<float>();
+      trace.push_back(tr);
+    }
+    attn_count = hdr.pod<uint64_t>();
+  }
+  const auto mean = hdr.vec(width, "scaler mean");
+  const auto stddev = hdr.vec(width, "scaler stddev");
+  const auto attn = hdr.vec(n * n, "attention");
+  const auto flat = hdr.vec(model->parameter_count(), "parameters");
+  if (v2 && hdr.remaining() != 4) {
+    throw std::runtime_error("load_checkpoint: trailing bytes in " + path);
+  }
+  if (tensor::has_nonfinite(flat) || tensor::has_nonfinite(attn)) {
+    throw std::runtime_error("load_checkpoint: non-finite state in " + path);
+  }
+
+  loaded_scaler_ = scaler_from_stats(mean, stddev);
+  model->unflatten_parameters(flat);
+  loaded_model_ = std::move(model);
+  loaded_trace_ = std::move(trace);
+  loaded_attention_count_ = attn_count;
+  loaded_best_val_ = best_val;
   mean_attention_ = tensor::Tensor::from_vector({n, n}, attn);
   // The WAM is always derived from the stored statistic with the *current*
   // options, so WamOptions changes apply without retraining.
@@ -190,6 +372,34 @@ bool MetaDseFramework::load_checkpoint(const std::string& path) {
       meta::WamGenerator::from_mean_attention(mean_attention_, options_.wam);
   trainer_.reset();
   return true;
+}
+
+std::optional<meta::MamlTrainer::WarmStart>
+MetaDseFramework::load_warm_start(const std::string& path) {
+  const auto bytes = slurp(path);
+  if (!bytes) return std::nullopt;
+  Cursor hdr(*bytes, "load_warm_start");
+  if (hdr.pod<uint32_t>() != kCkptMagicV2) {
+    return std::nullopt;  // legacy v1 files carry no resume state
+  }
+  // Delegate full parsing/validation to load_checkpoint, then convert the
+  // loaded state into trainer resume form.
+  if (!load_checkpoint(path)) return std::nullopt;
+  meta::MamlTrainer::WarmStart ws;
+  ws.parameters = loaded_model_->flatten_parameters();
+  ws.trace = loaded_trace_;
+  ws.best_val = loaded_best_val_;
+  ws.attention_count = loaded_attention_count_;
+  if (loaded_attention_count_ > 0) {
+    const auto& m = mean_attention_.data();
+    ws.attention_sum.resize(m.size());
+    for (size_t i = 0; i < m.size(); ++i) {
+      ws.attention_sum[i] =
+          static_cast<double>(m[i]) *
+          static_cast<double>(loaded_attention_count_);
+    }
+  }
+  return ws;
 }
 
 std::unique_ptr<nn::TransformerRegressor> MetaDseFramework::adapt_task(

@@ -30,6 +30,12 @@ struct FrameworkOptions {
   /// Labelled design points simulated per workload.
   size_t samples_per_workload = 1200;
   uint64_t seed = 2025;
+  /// When non-empty, pretrain() writes the best-so-far model here after
+  /// every autosave_period epochs and, when the file already holds an
+  /// unfinished run with matching architecture, resumes from it instead of
+  /// restarting from scratch.
+  std::string autosave_path;
+  size_t autosave_period = 1;
 };
 
 /// Prediction-quality metrics of one adapted task, in raw label units.
@@ -62,10 +68,27 @@ class MetaDseFramework {
   const data::Dataset& dataset(const std::string& workload);
   std::vector<data::Dataset> datasets(const std::vector<std::string>& names);
 
+  /// Arms deterministic fault injection on the dataset generator (see
+  /// sim::FaultPlan). Affects datasets generated after this call only.
+  void set_fault_plan(const sim::FaultPlan& plan);
+  /// Replaces the generator's retry policy.
+  void set_retry_policy(const data::RetryPolicy& policy);
+  /// Generation accounting for a workload whose dataset() has been built;
+  /// throws std::out_of_range otherwise.
+  const data::GenerationReport& generation_report(
+      const std::string& workload) const;
+  /// All generation reports so far, keyed by workload.
+  const std::map<std::string, data::GenerationReport>& generation_reports()
+      const {
+    return reports_;
+  }
+
   // -- pre-training (Algorithm 1) ---------------------------------------------------
   /// Meta-trains on the suite's train split with meta-validation on the
   /// validation split, then generates the WAM from the accumulated
-  /// attention. Idempotent: re-running re-trains from scratch.
+  /// attention. Without an autosave_path this is idempotent (re-running
+  /// re-trains from scratch); with one, an unfinished autosaved run is
+  /// resumed and a finished one is loaded outright.
   void pretrain();
 
   bool pretrained() const { return trainer_ != nullptr; }
@@ -87,9 +110,12 @@ class MetaDseFramework {
   const std::vector<meta::EpochTrace>& trace() const;
 
   // -- checkpointing --------------------------------------------------------------
-  /// Saves model parameters + scaler + WAM. Throws on I/O error.
+  /// Saves model parameters + scaler + attention statistic + training trace
+  /// in the v2 format (CRC-checksummed, written atomically). Throws on I/O
+  /// error. See DESIGN.md "Failure semantics" for the on-disk layout.
   void save_checkpoint(const std::string& path) const;
-  /// Returns false when @p path does not exist; throws on malformed files.
+  /// Returns false when @p path does not exist; throws on malformed or
+  /// corrupt files. Reads v2 and legacy v1 checkpoints.
   bool load_checkpoint(const std::string& path);
 
   // -- adaptation & evaluation (Algorithm 2) -------------------------------------------
@@ -109,11 +135,26 @@ class MetaDseFramework {
       const tensor::Tensor& support_x, const tensor::Tensor& support_y_scaled,
       bool use_wam) const;
 
+  /// Serializes one v2 checkpoint image (shared by save_checkpoint and the
+  /// per-epoch autosave, which persists the trainer's best-so-far state).
+  void write_checkpoint(const std::string& path,
+                        const std::vector<float>& flat_params,
+                        const data::Scaler& scaler,
+                        const std::vector<float>& attention_mean,
+                        size_t attention_count,
+                        const std::vector<meta::EpochTrace>& trace,
+                        double best_val) const;
+  /// Parses @p path into resume state; returns nullopt when the file does
+  /// not exist. Throws on corruption or architecture mismatch.
+  std::optional<meta::MamlTrainer::WarmStart> load_warm_start(
+      const std::string& path);
+
   FrameworkOptions options_;
   const arch::DesignSpace* space_;
   workload::SpecSuite suite_;
   data::DatasetGenerator generator_;
   std::map<std::string, data::Dataset> cache_;
+  std::map<std::string, data::GenerationReport> reports_;
   std::unique_ptr<meta::MamlTrainer> trainer_;
   tensor::Tensor wam_mask_;
   tensor::Tensor mean_attention_;
@@ -121,6 +162,8 @@ class MetaDseFramework {
   std::unique_ptr<nn::TransformerRegressor> loaded_model_;
   std::optional<data::Scaler> loaded_scaler_;
   std::vector<meta::EpochTrace> loaded_trace_;
+  size_t loaded_attention_count_ = 0;
+  double loaded_best_val_ = 1e300;
 };
 
 }  // namespace metadse::core

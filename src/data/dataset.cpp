@@ -6,6 +6,7 @@
 #include <cmath>
 #include <fstream>
 #include <numeric>
+#include <sstream>
 #include <stdexcept>
 
 namespace metadse::data {
@@ -39,8 +40,55 @@ void DatasetGenerator::set_backend(SimBackend backend,
   trace_options_ = options;
 }
 
+void DatasetGenerator::set_fault_plan(const sim::FaultPlan& plan) {
+  if (plan.enabled()) {
+    injector_.emplace(plan);
+  } else {
+    injector_.reset();
+  }
+}
+
+void DatasetGenerator::set_retry_policy(const RetryPolicy& policy) {
+  if (policy.max_attempts == 0) {
+    throw std::invalid_argument("RetryPolicy: max_attempts must be >= 1");
+  }
+  retry_ = policy;
+}
+
+std::string GenerationReport::summary() const {
+  std::ostringstream os;
+  os << generated << "/" << requested << " points";
+  if (dropped() > 0) os << ", " << dropped() << " quarantined";
+  if (retries > 0) os << ", " << retries << " retries";
+  if (failures > 0) os << ", " << failures << " failures";
+  if (timeouts > 0) os << ", " << timeouts << " timeouts";
+  if (nonfinite_labels > 0) {
+    os << ", " << nonfinite_labels << " non-finite labels rejected";
+  }
+  if (implausible_labels > 0) {
+    os << ", " << implausible_labels << " implausible labels rejected";
+  }
+  return os.str();
+}
+
 std::pair<double, double> DatasetGenerator::evaluate(
-    const Config& c, const workload::Workload& wl) const {
+    const Config& c, const workload::Workload& wl, size_t attempt) const {
+  if (injector_) {
+    const uint64_t key = sim::FaultInjector::point_key(c);
+    switch (const auto outcome = injector_->outcome(key, attempt)) {
+      case sim::FaultOutcome::kOk:
+        break;
+      case sim::FaultOutcome::kFail:
+        throw sim::SimulationFailure("injected: simulator crash on " +
+                                     wl.name());
+      case sim::FaultOutcome::kTimeout:
+        throw sim::SimulationTimeout("injected: simulator timeout on " +
+                                     wl.name());
+      case sim::FaultOutcome::kNanLabel:
+      case sim::FaultOutcome::kGarbage:
+        return injector_->corrupt_labels(outcome, key, attempt);
+    }
+  }
   const auto cfg = arch::to_cpu_config(*space_, c);
   double ipc = 0.0;
   double pw = 0.0;
@@ -82,22 +130,70 @@ std::pair<double, double> DatasetGenerator::evaluate(
   return {ipc, pw};
 }
 
+namespace {
+
+/// Loose physical plausibility gate for labels coming back from the
+/// substrate: IPC cannot exceed any real issue width by 10x and power is
+/// bounded far above any modelled design. Rejects the "garbage" fault mode
+/// (and any genuinely broken simulator output) without clipping real data.
+bool plausible_labels(double ipc, double power) {
+  return ipc >= 0.0 && ipc <= 128.0 && power >= 0.0 && power <= 1e5;
+}
+
+}  // namespace
+
 Dataset DatasetGenerator::generate(const workload::Workload& wl, size_t n,
-                                   Rng& rng, bool latin_hypercube) const {
+                                   Rng& rng, bool latin_hypercube,
+                                   GenerationReport* report) const {
   Dataset ds;
   ds.workload = wl.name();
   ds.samples.reserve(n);
+  GenerationReport rep;
+  rep.requested = n;
   const auto configs = latin_hypercube ? space_->sample_latin_hypercube(n, rng)
                                        : space_->sample_uniform(n, rng);
   for (const auto& c : configs) {
-    Sample s;
-    s.config = c;
-    s.features = space_->normalize(c);
-    const auto [ipc, pw] = evaluate(c, wl);
-    s.ipc = static_cast<float>(ipc);
-    s.power = static_cast<float>(pw);
-    ds.samples.push_back(std::move(s));
+    bool labelled = false;
+    for (size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        ++rep.retries;
+        const size_t backoff = std::min(
+            retry_.backoff_cap_ms, retry_.backoff_base_ms << (attempt - 1));
+        rep.backoff_ms += backoff;
+        if (backoff_hook_) backoff_hook_(backoff);
+      }
+      double ipc = 0.0;
+      double pw = 0.0;
+      try {
+        std::tie(ipc, pw) = evaluate(c, wl, attempt);
+      } catch (const sim::SimulationTimeout&) {
+        ++rep.timeouts;
+        continue;
+      } catch (const sim::SimulationFailure&) {
+        ++rep.failures;
+        continue;
+      }
+      if (!std::isfinite(ipc) || !std::isfinite(pw)) {
+        ++rep.nonfinite_labels;
+        continue;
+      }
+      if (!plausible_labels(ipc, pw)) {
+        ++rep.implausible_labels;
+        continue;
+      }
+      Sample s;
+      s.config = c;
+      s.features = space_->normalize(c);
+      s.ipc = static_cast<float>(ipc);
+      s.power = static_cast<float>(pw);
+      ds.samples.push_back(std::move(s));
+      labelled = true;
+      break;
+    }
+    if (!labelled) rep.quarantined.push_back(c);
   }
+  rep.generated = ds.samples.size();
+  if (report) *report = std::move(rep);
   return ds;
 }
 
@@ -163,21 +259,36 @@ Task TaskSampler::split_all(Rng& rng) const {
 void Scaler::fit(const std::vector<std::vector<float>>& rows) {
   if (rows.empty()) throw std::invalid_argument("Scaler::fit: no rows");
   const size_t w = rows.front().size();
+  const auto finite_row = [](const std::vector<float>& r) {
+    for (float x : r) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
   mean_.assign(w, 0.0F);
   std_.assign(w, 0.0F);
+  size_t kept = 0;
   for (const auto& r : rows) {
     if (r.size() != w) throw std::invalid_argument("Scaler::fit: ragged rows");
+    if (!finite_row(r)) continue;
     for (size_t j = 0; j < w; ++j) mean_[j] += r[j];
+    ++kept;
   }
-  for (auto& m : mean_) m /= static_cast<float>(rows.size());
+  if (kept == 0) {
+    mean_.clear();
+    std_.clear();
+    throw std::invalid_argument("Scaler::fit: no finite rows");
+  }
+  for (auto& m : mean_) m /= static_cast<float>(kept);
   for (const auto& r : rows) {
+    if (!finite_row(r)) continue;
     for (size_t j = 0; j < w; ++j) {
       const float d = r[j] - mean_[j];
       std_[j] += d * d;
     }
   }
   for (auto& s : std_) {
-    s = std::sqrt(s / static_cast<float>(rows.size()));
+    s = std::sqrt(s / static_cast<float>(kept));
     if (s < 1e-8F) s = 1.0F;  // constant column: identity scale
   }
 }

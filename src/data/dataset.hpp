@@ -3,6 +3,8 @@
 // construction (support/query splits), and label scaling.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -10,6 +12,7 @@
 #include "arch/design_space.hpp"
 #include "tensor/tensor.hpp"
 #include "sim/cpu_model.hpp"
+#include "sim/fault_injection.hpp"
 #include "sim/power_model.hpp"
 #include "workload/spec_suite.hpp"
 
@@ -57,6 +60,34 @@ struct TraceBackendOptions {
   uint64_t seed = 99;           ///< trace-generation seed
 };
 
+/// How generate() survives a flaky evaluation substrate.
+struct RetryPolicy {
+  size_t max_attempts = 3;      ///< total tries per design point (>= 1)
+  size_t backoff_base_ms = 10;  ///< first-retry backoff (doubles per retry)
+  size_t backoff_cap_ms = 1000; ///< exponential backoff ceiling
+};
+
+/// What happened while generating one dataset. Surfaced through
+/// MetaDseFramework and the CLI so degraded datasets are visible, never
+/// silent.
+struct GenerationReport {
+  size_t requested = 0;          ///< design points asked for
+  size_t generated = 0;          ///< labelled samples that survived
+  size_t retries = 0;            ///< re-evaluations after a failed attempt
+  size_t failures = 0;           ///< SimulationFailure attempts observed
+  size_t timeouts = 0;           ///< SimulationTimeout attempts observed
+  size_t nonfinite_labels = 0;   ///< attempts rejected for NaN/Inf labels
+  size_t implausible_labels = 0; ///< finite labels outside physical bounds
+  size_t backoff_ms = 0;         ///< total backoff the policy would sleep
+  /// Points dropped after exhausting the retry budget.
+  std::vector<Config> quarantined;
+
+  size_t dropped() const { return quarantined.size(); }
+  bool degraded() const { return generated < requested; }
+  /// One-line human summary ("1187/1200 points, 13 quarantined, ...").
+  std::string summary() const;
+};
+
 /// Generates labelled datasets by running the CPU + power models over the
 /// phases of a workload and aggregating by phase weight — the simulation
 /// pipeline of the paper's "Datasets Generation" section.
@@ -72,13 +103,40 @@ class DatasetGenerator {
   void set_backend(SimBackend backend, TraceBackendOptions options = {});
   SimBackend backend() const { return backend_; }
 
+  /// Arms deterministic fault injection on every evaluate() call (testing
+  /// the retry/quarantine path); a plan with all-zero rates disarms it.
+  void set_fault_plan(const sim::FaultPlan& plan);
+  const sim::FaultInjector* fault_injector() const {
+    return injector_ ? &*injector_ : nullptr;
+  }
+
+  /// Replaces the retry behaviour of generate().
+  void set_retry_policy(const RetryPolicy& policy);
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// Hook invoked with each computed backoff (milliseconds) before a retry.
+  /// Defaults to no-op so tests and the analytical backend never sleep;
+  /// a production substrate would install a real sleep here.
+  void set_backoff_hook(std::function<void(size_t)> hook) {
+    backoff_hook_ = std::move(hook);
+  }
+
   /// Phase-weighted (IPC, power) of one design point on one workload.
+  /// Under an armed fault plan this may throw sim::SimulationFailure /
+  /// sim::SimulationTimeout or return corrupted labels; @p attempt selects
+  /// the fault draw (retries pass increasing attempts).
   std::pair<double, double> evaluate(const Config& c,
-                                     const workload::Workload& wl) const;
+                                     const workload::Workload& wl,
+                                     size_t attempt = 0) const;
 
   /// @p n design points sampled by Latin hypercube (default) or uniformly.
+  /// Evaluation failures and non-finite labels are retried per the
+  /// RetryPolicy; points that exhaust the budget are quarantined and the
+  /// dataset is built from the survivors. When @p report is non-null it
+  /// receives the full drop/retry accounting.
   Dataset generate(const workload::Workload& wl, size_t n, Rng& rng,
-                   bool latin_hypercube = true) const;
+                   bool latin_hypercube = true,
+                   GenerationReport* report = nullptr) const;
 
   const arch::DesignSpace& space() const { return *space_; }
 
@@ -88,6 +146,9 @@ class DatasetGenerator {
   sim::PowerModel power_;
   SimBackend backend_ = SimBackend::kAnalytical;
   TraceBackendOptions trace_options_{};
+  std::optional<sim::FaultInjector> injector_;
+  RetryPolicy retry_{};
+  std::function<void(size_t)> backoff_hook_;
 };
 
 /// A few-shot task: K-shot support set and a query set, as tensors ready for
@@ -130,7 +191,9 @@ class TaskSampler {
 /// downstream — no target-workload leakage).
 class Scaler {
  public:
-  /// Fits mean/std per dimension on @p rows (each of equal width).
+  /// Fits mean/std per dimension on @p rows (each of equal width). Rows
+  /// containing NaN/Inf are skipped (a poisoned label must not poison the
+  /// statistics); throws when no finite row remains.
   void fit(const std::vector<std::vector<float>>& rows);
   /// Fits on a stack of datasets for the given target selection.
   void fit(const std::vector<Dataset>& datasets, TargetMetric target);

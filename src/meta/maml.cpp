@@ -1,8 +1,11 @@
 #include "meta/maml.hpp"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
+#include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
 
 namespace metadse::meta {
@@ -20,6 +23,10 @@ MamlTrainer::MamlTrainer(nn::TransformerConfig predictor, MamlOptions options)
   model_ = std::make_unique<nn::TransformerRegressor>(cfg_, rng);
 }
 
+void MamlTrainer::set_warm_start(WarmStart ws) {
+  warm_start_ = std::make_unique<WarmStart>(std::move(ws));
+}
+
 void MamlTrainer::train(const std::vector<data::Dataset>& train_sets,
                         const std::vector<data::Dataset>& val_sets) {
   if (train_sets.empty()) {
@@ -30,33 +37,85 @@ void MamlTrainer::train(const std::vector<data::Dataset>& train_sets,
   attention_sum_.assign(cfg_.n_tokens * cfg_.n_tokens, 0.0);
   attention_count_ = 0;
   trace_.clear();
+  best_val_ = 1e300;
+  size_t first_epoch = 0;
 
-  outer_opt_ = std::make_unique<nn::Adam>(model_->parameters(),
-                                          options_.outer_lr);
-  tensor::Rng rng(options_.seed + 1);
-  double best_val = 1e300;
-  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+  if (warm_start_) {
+    model_->unflatten_parameters(warm_start_->parameters);
+    trace_ = std::move(warm_start_->trace);
+    if (!warm_start_->attention_sum.empty()) {
+      if (warm_start_->attention_sum.size() != attention_sum_.size()) {
+        throw std::invalid_argument(
+            "MamlTrainer: warm-start attention size mismatch");
+      }
+      attention_sum_ = std::move(warm_start_->attention_sum);
+      attention_count_ = warm_start_->attention_count;
+    }
+    best_val_ = warm_start_->best_val;
+    best_model_ = model_->clone();
+    first_epoch = trace_.size();
+    warm_start_.reset();
+  }
+
+  float outer_lr = options_.outer_lr;
+  outer_opt_ = std::make_unique<nn::Adam>(model_->parameters(), outer_lr);
+  // The stream seed folds in the starting epoch so a resumed run draws
+  // fresh tasks instead of replaying epoch 0's.
+  tensor::Rng rng(options_.seed + 1 + first_epoch);
+  double best_train = std::numeric_limits<double>::infinity();
+  size_t consecutive_bad = 0;
+  for (size_t epoch = first_epoch; epoch < options_.epochs; ++epoch) {
     EpochTrace tr;
-    tr.train_meta_loss = run_epoch(train_sets, rng);
+    tr.train_meta_loss = run_epoch(train_sets, rng, tr);
     tr.val_loss = val_sets.empty() ? tr.train_meta_loss
                                    : meta_validate(val_sets, rng);
-    trace_.push_back(tr);
-    if (tr.val_loss <= best_val) {
-      best_val = tr.val_loss;
-      best_model_ = model_->clone();
+
+    // Divergence monitor: a non-finite or spiking meta-loss is a bad epoch;
+    // after max_bad_epochs in a row, roll back to the best snapshot with a
+    // reduced outer LR (fresh Adam state — stale moments from the diverged
+    // trajectory would reinfect the restored parameters).
+    const bool bad =
+        !std::isfinite(tr.train_meta_loss) || !std::isfinite(tr.val_loss) ||
+        (std::isfinite(best_train) &&
+         tr.train_meta_loss >
+             static_cast<double>(options_.divergence_factor) * best_train);
+    if (!bad) {
+      consecutive_bad = 0;
+      best_train = std::min(best_train, tr.train_meta_loss);
+      if (tr.val_loss <= best_val_) {
+        best_val_ = tr.val_loss;
+        best_model_ = model_->clone();
+      }
+    } else if (options_.max_bad_epochs > 0 &&
+               ++consecutive_bad >= options_.max_bad_epochs && best_model_) {
+      model_->copy_parameters_from(*best_model_);
+      outer_lr *= options_.rollback_lr_decay;
+      outer_opt_ = std::make_unique<nn::Adam>(model_->parameters(), outer_lr);
+      consecutive_bad = 0;
+      tr.rolled_back = true;
+      if (options_.verbose) {
+        std::fprintf(stderr,
+                     "[maml] epoch %zu diverged; rolled back to best "
+                     "snapshot, outer LR -> %.2e\n",
+                     epoch + 1, static_cast<double>(outer_lr));
+      }
     }
+    tr.outer_lr = outer_lr;
+    trace_.push_back(tr);
     if (options_.verbose) {
       std::fprintf(stderr,
-                   "[maml] epoch %zu/%zu meta-loss %.4f val-loss %.4f\n",
+                   "[maml] epoch %zu/%zu meta-loss %.4f val-loss %.4f"
+                   " (skipped %zu tasks, %zu batches)\n",
                    epoch + 1, options_.epochs, tr.train_meta_loss,
-                   tr.val_loss);
+                   tr.val_loss, tr.skipped_tasks, tr.skipped_batches);
     }
+    if (epoch_callback_) epoch_callback_(epoch, tr);
   }
   if (best_model_) model_->copy_parameters_from(*best_model_);
 }
 
 double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
-                              tensor::Rng& rng) {
+                              tensor::Rng& rng, EpochTrace& tr) {
   // Pre-build task samplers (one per workload).
   std::vector<data::TaskSampler> samplers;
   samplers.reserve(train_sets.size());
@@ -70,6 +129,7 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
 
   double loss_sum = 0.0;
   size_t tasks_done = 0;
+  size_t tasks_contributed = 0;
   while (tasks_done < total_tasks) {
     const size_t batch =
         std::min(options_.meta_batch, total_tasks - tasks_done);
@@ -83,36 +143,55 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
       reptile_delta.assign(model_->parameter_count(), 0.0F);
     }
 
+    size_t contributed = 0;  // tasks whose gradients survived the guards
     for (size_t b = 0; b < batch; ++b) {
       // Sample a task from a random source workload (T_i ~ P(T)).
       const size_t w = rng.uniform_index(samplers.size());
       data::Task task = samplers[w].sample(rng);
+      ++tasks_done;
       auto sup_y = scaler_.transform(task.support_y);
       auto qry_y = scaler_.transform(task.query_y);
+      if (t::has_nonfinite(sup_y) || t::has_nonfinite(qry_y)) {
+        ++tr.skipped_tasks;  // poisoned labels: drop before they touch theta
+        continue;
+      }
 
       // Inner loop on a clone (theta-hat). ANIL restricts the inner loop
       // to the regression head.
       auto clone = model_->clone();
       clone->set_capture_attention(true);
-      nn::Sgd inner(options_.algorithm == MetaAlgorithm::kAnil
-                        ? clone->head_parameters()
-                        : clone->parameters(),
-                    options_.inner_lr);
+      const auto inner_params = options_.algorithm == MetaAlgorithm::kAnil
+                                    ? clone->head_parameters()
+                                    : clone->parameters();
+      nn::Sgd inner(inner_params, options_.inner_lr);
       tensor::Rng fwd(0);
+      bool diverged = false;
       for (size_t step = 0; step < options_.inner_steps; ++step) {
         inner.zero_grad();
         auto loss = t::mse_loss(
             clone->forward(task.support_x, fwd, /*train=*/true), sup_y);
+        if (!std::isfinite(loss.item())) {
+          diverged = true;
+          break;
+        }
         loss.backward();
+        t::clip_global_grad_norm(inner_params, options_.clip_norm);
         inner.step();
       }
+      if (diverged || t::any_nonfinite(clone->parameters())) {
+        ++tr.skipped_tasks;
+        continue;
+      }
       // Accumulate the attention map observed on the adapted model (the
-      // "mask candidates" of the WAM algorithm).
+      // "mask candidates" of the WAM algorithm). A non-finite map would
+      // poison the WAM for every later adaptation, so it is dropped too.
       {
         const auto& attn = clone->last_attention_layer().last_attention();
         const auto& av = attn.data();
-        for (size_t i = 0; i < av.size(); ++i) attention_sum_[i] += av[i];
-        ++attention_count_;
+        if (!t::has_nonfinite(av)) {
+          for (size_t i = 0; i < av.size(); ++i) attention_sum_[i] += av[i];
+          ++attention_count_;
+        }
       }
 
       // Outer objective: query loss at the adapted parameters.
@@ -120,10 +199,25 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
       auto query_loss =
           t::mse_loss(clone->forward(task.query_x, fwd, /*train=*/true),
                       qry_y);
-      loss_sum += query_loss.item();
+      const double q = query_loss.item();
+      if (!std::isfinite(q)) {
+        ++tr.skipped_tasks;
+        continue;
+      }
       if (options_.algorithm != MetaAlgorithm::kReptile) {
         query_loss.backward();
         auto cparams = clone->parameters();
+        bool grad_ok = true;
+        for (const auto& p : cparams) {
+          if (t::has_nonfinite(p.node()->grad)) {
+            grad_ok = false;
+            break;
+          }
+        }
+        if (!grad_ok) {
+          ++tr.skipped_tasks;
+          continue;
+        }
         for (size_t i = 0; i < cparams.size(); ++i) {
           const auto& g = cparams[i].grad();
           for (size_t j = 0; j < g.size(); ++j) meta_grad[i][j] += g[j];
@@ -134,37 +228,52 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
         nn::Sgd extra(clone->parameters(), options_.inner_lr);
         extra.zero_grad();
         query_loss.backward();
+        t::clip_global_grad_norm(clone->parameters(), options_.clip_norm);
         extra.step();
         const auto adapted = clone->flatten_parameters();
+        if (t::has_nonfinite(adapted)) {
+          ++tr.skipped_tasks;
+          continue;
+        }
         const auto init = model_->flatten_parameters();
         for (size_t i = 0; i < adapted.size(); ++i) {
           reptile_delta[i] += adapted[i] - init[i];
         }
       }
-      ++tasks_done;
+      loss_sum += q;
+      ++tasks_contributed;
+      ++contributed;
     }
 
-    // Outer update from the averaged task gradients.
+    if (contributed == 0) {
+      ++tr.skipped_batches;  // nothing usable: leave theta untouched
+      continue;
+    }
+
+    // Outer update from the averaged surviving task gradients.
     if (options_.algorithm != MetaAlgorithm::kReptile) {
-      const float inv = 1.0F / static_cast<float>(batch);
+      const float inv = 1.0F / static_cast<float>(contributed);
       auto mparams = model_->parameters();
       for (size_t i = 0; i < mparams.size(); ++i) {
         auto& g = mparams[i].grad();
         for (size_t j = 0; j < g.size(); ++j) g[j] = meta_grad[i][j] * inv;
       }
+      t::clip_global_grad_norm(mparams, options_.clip_norm);
       outer_opt_->step();
       outer_opt_->zero_grad();
     } else {
       auto flat = model_->flatten_parameters();
       const float step =
-          options_.reptile_step / static_cast<float>(batch);
+          options_.reptile_step / static_cast<float>(contributed);
       for (size_t i = 0; i < flat.size(); ++i) {
         flat[i] += step * reptile_delta[i];
       }
       model_->unflatten_parameters(flat);
     }
   }
-  return loss_sum / static_cast<double>(total_tasks);
+  return tasks_contributed == 0
+             ? std::numeric_limits<double>::infinity()
+             : loss_sum / static_cast<double>(tasks_contributed);
 }
 
 double MamlTrainer::meta_validate(const std::vector<data::Dataset>& val_sets,
@@ -194,6 +303,10 @@ double MamlTrainer::meta_validate(const std::vector<data::Dataset>& val_sets,
 
 const nn::TransformerRegressor& MamlTrainer::model() const { return *model_; }
 nn::TransformerRegressor& MamlTrainer::model() { return *model_; }
+
+const nn::TransformerRegressor& MamlTrainer::best_model() const {
+  return best_model_ ? *best_model_ : *model_;
+}
 
 tensor::Tensor MamlTrainer::mean_attention() const {
   if (attention_count_ == 0) {

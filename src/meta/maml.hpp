@@ -7,6 +7,7 @@
 // and last-layer attention maps are accumulated for WAM generation.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -41,17 +42,46 @@ struct MamlOptions {
   size_t val_tasks_per_workload = 10;
   uint64_t seed = 97;
   bool verbose = false;
+
+  // -- fault tolerance ------------------------------------------------------
+  /// Global-norm gradient clip applied in both the inner and outer loops
+  /// (<= 0 disables). Bounds any single bad task's influence on the
+  /// initialization.
+  float clip_norm = 10.0F;
+  /// An epoch whose meta-loss is non-finite or exceeds
+  /// divergence_factor x the best finite meta-loss so far counts as "bad".
+  float divergence_factor = 4.0F;
+  /// Consecutive bad epochs tolerated before rolling back to the best
+  /// snapshot (0 disables divergence recovery).
+  size_t max_bad_epochs = 2;
+  /// Outer (Adam) learning-rate multiplier applied on each rollback.
+  float rollback_lr_decay = 0.5F;
 };
 
-/// Per-epoch training trace (for tests and ablation plots).
+/// Per-epoch training trace (for tests, ablation plots, and post-mortems of
+/// recovery events).
 struct EpochTrace {
   double train_meta_loss = 0.0;  ///< mean query loss after inner adaptation
   double val_loss = 0.0;         ///< meta-validation loss (post-adaptation)
+  size_t skipped_tasks = 0;      ///< tasks dropped for non-finite loss/params
+  size_t skipped_batches = 0;    ///< outer updates dropped (no usable grads)
+  bool rolled_back = false;      ///< divergence recovery fired this epoch
+  float outer_lr = 0.0F;         ///< outer LR in effect after this epoch
 };
 
 /// Runs Algorithm 1 over the source workloads' datasets.
 class MamlTrainer {
  public:
+  /// Completed-training state used to resume a killed run: the surviving
+  /// parameters plus everything train() accumulates across epochs.
+  struct WarmStart {
+    std::vector<float> parameters;      ///< flat init for the model
+    std::vector<EpochTrace> trace;      ///< epochs already completed
+    std::vector<double> attention_sum;  ///< running [S*S] attention sum
+    size_t attention_count = 0;
+    double best_val = 1e300;            ///< best meta-validation loss so far
+  };
+
   MamlTrainer(nn::TransformerConfig predictor, MamlOptions options);
 
   /// Meta-trains on @p train_sets with meta-validation on @p val_sets
@@ -60,9 +90,29 @@ class MamlTrainer {
   void train(const std::vector<data::Dataset>& train_sets,
              const std::vector<data::Dataset>& val_sets);
 
+  /// Installs resume state consumed by the next train() call: training
+  /// continues from trace.size() completed epochs instead of epoch 0.
+  /// Note the RNG stream is re-seeded, so a resumed run is deterministic
+  /// given its checkpoint but not bit-identical to an uninterrupted run.
+  void set_warm_start(WarmStart ws);
+
+  /// Called after every completed epoch (auto-checkpointing hook).
+  void set_epoch_callback(
+      std::function<void(size_t epoch, const EpochTrace&)> cb) {
+    epoch_callback_ = std::move(cb);
+  }
+
   /// The meta-trained predictor (best meta-validation epoch).
   const nn::TransformerRegressor& model() const;
   nn::TransformerRegressor& model();
+
+  /// Best-meta-validation snapshot so far (falls back to the live model
+  /// before the first validation pass) — what auto-checkpoints persist.
+  const nn::TransformerRegressor& best_model() const;
+  /// Best meta-validation loss observed so far.
+  double best_val_loss() const { return best_val_; }
+  /// Raw attention accumulator (for checkpoint resume).
+  const std::vector<double>& attention_sum() const { return attention_sum_; }
 
   /// Label scaler fit on the source workloads.
   const data::Scaler& scaler() const { return scaler_; }
@@ -87,7 +137,7 @@ class MamlTrainer {
 
  private:
   double run_epoch(const std::vector<data::Dataset>& train_sets,
-                   tensor::Rng& rng);
+                   tensor::Rng& rng, EpochTrace& tr);
   double meta_validate(const std::vector<data::Dataset>& val_sets,
                        tensor::Rng& rng) const;
 
@@ -100,6 +150,9 @@ class MamlTrainer {
   std::vector<EpochTrace> trace_;
   std::vector<double> attention_sum_;  ///< running sum of [S,S] maps
   size_t attention_count_ = 0;
+  double best_val_ = 1e300;
+  std::function<void(size_t, const EpochTrace&)> epoch_callback_;
+  std::unique_ptr<WarmStart> warm_start_;
 };
 
 }  // namespace metadse::meta

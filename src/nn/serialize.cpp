@@ -1,72 +1,223 @@
 #include "nn/serialize.hpp"
 
+#include <array>
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
 
 namespace metadse::nn {
 
 namespace {
+
 constexpr uint32_t kMagic = 0x4D44'5345;  // "MDSE"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionV1 = 1;
+constexpr uint32_t kVersionV2 = 2;
 
-template <typename T>
-void write_pod(std::ofstream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+std::array<uint32_t, 256> make_crc_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1U) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
 }
 
 template <typename T>
-T read_pod(std::ifstream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  if (!is) throw std::runtime_error("load_parameters: truncated file");
-  return v;
+void put_pod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
 }
+
+/// Bounds-checked cursor over an in-memory file image; every read throws
+/// "truncated" instead of running off the end.
+class Reader {
+ public:
+  Reader(const char* data, size_t size, std::string context)
+      : data_(data), size_(size), context_(std::move(context)) {}
+
+  template <typename T>
+  T pod() {
+    T v{};
+    if (pos_ + sizeof(T) > size_) {
+      throw std::runtime_error(context_ + ": truncated file");
+    }
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  void bytes(void* dst, size_t n) {
+    if (pos_ + n > size_ || pos_ + n < pos_) {
+      throw std::runtime_error(context_ + ": truncated file");
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  std::string context_;
+};
+
+std::string read_file(const std::string& path, const char* context) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error(std::string(context) + ": cannot open " + path);
+  }
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (!is) {
+    throw std::runtime_error(std::string(context) + ": read failed: " + path);
+  }
+  return std::move(ss).str();
+}
+
 }  // namespace
 
-void save_parameters(const Module& m, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
-  write_pod(os, kMagic);
-  write_pod(os, kVersion);
-  const auto params = m.parameters();
-  write_pod(os, static_cast<uint64_t>(params.size()));
-  for (const auto& p : params) {
-    const auto& shape = p.shape();
-    write_pod(os, static_cast<uint32_t>(shape.size()));
-    for (size_t d : shape) write_pod(os, static_cast<uint64_t>(d));
-    const auto& data = p.data();
-    os.write(reinterpret_cast<const char*>(data.data()),
-             static_cast<std::streamsize>(data.size() * sizeof(float)));
+uint32_t crc32(const void* data, size_t n, uint32_t crc) {
+  static const std::array<uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFU;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFU] ^ (c >> 8);
   }
-  if (!os) throw std::runtime_error("save_parameters: write failed: " + path);
+  return c ^ 0xFFFFFFFFU;
 }
 
-void load_parameters(Module& m, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
-  if (read_pod<uint32_t>(is) != kMagic) {
-    throw std::runtime_error("load_parameters: bad magic in " + path);
+void atomic_write_file(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("atomic_write_file: cannot open " + tmp);
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("atomic_write_file: write failed: " + tmp);
+    }
   }
-  if (read_pod<uint32_t>(is) != kVersion) {
-    throw std::runtime_error("load_parameters: unsupported version in " + path);
+#if defined(__unix__) || defined(__APPLE__)
+  // Push the data to stable storage before the rename makes it visible.
+  const int fd = ::open(tmp.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
   }
-  auto params = m.parameters();
-  const auto count = read_pod<uint64_t>(is);
+#endif
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("atomic_write_file: rename to " + path +
+                             " failed");
+  }
+}
+
+void save_parameters(const Module& m, const std::string& path) {
+  std::string out;
+  put_pod(out, kMagic);
+  put_pod(out, kVersionV2);
+  const auto params = m.parameters();
+  put_pod(out, static_cast<uint64_t>(params.size()));
+  for (const auto& p : params) {
+    const size_t record_start = out.size();
+    const auto& shape = p.shape();
+    put_pod(out, static_cast<uint32_t>(shape.size()));
+    for (size_t d : shape) put_pod(out, static_cast<uint64_t>(d));
+    const auto& data = p.data();
+    out.append(reinterpret_cast<const char*>(data.data()),
+               data.size() * sizeof(float));
+    put_pod(out, crc32(out.data() + record_start, out.size() - record_start));
+  }
+  // Footer: checksum of everything above, so truncation anywhere is caught
+  // even when it lands between records.
+  put_pod(out, crc32(out.data(), out.size()));
+  atomic_write_file(path, out);
+}
+
+namespace {
+
+/// Shared v1/v2 body: one shape-validated tensor record per parameter.
+/// Expected shapes come from the receiving module, so nothing read from
+/// disk ever sizes an allocation.
+void load_records(Reader& r, std::vector<tensor::Tensor>& params,
+                  bool checksummed, const std::string& file_bytes) {
+  const auto count = r.pod<uint64_t>();
   if (count != params.size()) {
     throw std::runtime_error("load_parameters: parameter count mismatch");
   }
   for (auto& p : params) {
-    const auto rank = read_pod<uint32_t>(is);
-    tensor::Shape shape(rank);
-    for (auto& d : shape) d = static_cast<size_t>(read_pod<uint64_t>(is));
-    if (shape != p.shape()) {
-      throw std::runtime_error("load_parameters: shape mismatch");
+    const size_t record_start = r.pos();
+    const auto rank = r.pod<uint32_t>();
+    if (rank != p.shape().size()) {
+      throw std::runtime_error("load_parameters: rank mismatch");
+    }
+    for (size_t d : p.shape()) {
+      if (r.pod<uint64_t>() != d) {
+        throw std::runtime_error("load_parameters: shape mismatch");
+      }
     }
     auto& data = p.data();
-    is.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!is) throw std::runtime_error("load_parameters: truncated tensor data");
+    r.bytes(data.data(), data.size() * sizeof(float));
+    if (checksummed) {
+      const uint32_t expect =
+          crc32(file_bytes.data() + record_start, r.pos() - record_start);
+      if (r.pod<uint32_t>() != expect) {
+        throw std::runtime_error("load_parameters: tensor checksum mismatch");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void load_parameters(Module& m, const std::string& path) {
+  const std::string bytes = read_file(path, "load_parameters");
+  auto params = m.parameters();
+
+  if (bytes.size() >= 8) {
+    uint32_t version = 0;
+    std::memcpy(&version, bytes.data() + 4, sizeof(version));
+    if (version == kVersionV2) {
+      // Verify the footer before trusting any structure.
+      if (bytes.size() < 12) {
+        throw std::runtime_error("load_parameters: truncated file");
+      }
+      uint32_t footer = 0;
+      std::memcpy(&footer, bytes.data() + bytes.size() - 4, sizeof(footer));
+      if (footer != crc32(bytes.data(), bytes.size() - 4)) {
+        throw std::runtime_error("load_parameters: file checksum mismatch in " +
+                                 path);
+      }
+    }
+  }
+
+  Reader r(bytes.data(), bytes.size(), "load_parameters");
+  if (r.pod<uint32_t>() != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const auto version = r.pod<uint32_t>();
+  if (version != kVersionV1 && version != kVersionV2) {
+    throw std::runtime_error("load_parameters: unsupported version in " + path);
+  }
+  load_records(r, params, version == kVersionV2, bytes);
+  if (version == kVersionV2 && r.remaining() != 4) {
+    throw std::runtime_error("load_parameters: trailing bytes in " + path);
   }
 }
 

@@ -1,19 +1,36 @@
-// Binary checkpointing of module parameters (shape-checked on load), so a
-// meta-trained predictor can be saved once and adapted many times.
+// Binary checkpointing of module parameters, hardened against the ways a
+// checkpoint actually dies in production: torn writes (atomic tmp+rename),
+// bit rot (per-tensor CRC32 + whole-file footer checksum), and adversarially
+// corrupt headers (rank/extent validation against the receiving module
+// before any allocation). Format v2; v1 files (no checksums) still load.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "nn/module.hpp"
 
 namespace metadse::nn {
 
+/// CRC-32 (IEEE 802.3, reflected) over @p n bytes, continuing from @p crc.
+/// Pass the previous return value to checksum a file incrementally.
+uint32_t crc32(const void* data, size_t n, uint32_t crc = 0);
+
+/// Writes @p bytes to @p path atomically: the payload goes to "<path>.tmp",
+/// is flushed and fsync'd, then renamed over @p path, so readers see either
+/// the old file or the complete new one — never a torn write. Throws
+/// std::runtime_error on any I/O failure (the tmp file is removed).
+void atomic_write_file(const std::string& path, const std::string& bytes);
+
 /// Writes all parameters of @p m (shapes + float32 values, little-endian as
-/// the host) to @p path. Throws std::runtime_error on I/O failure.
+/// the host) to @p path in format v2 (checksummed, atomically). Throws
+/// std::runtime_error on I/O failure.
 void save_parameters(const Module& m, const std::string& path);
 
-/// Loads parameters saved by save_parameters into @p m; throws
-/// std::runtime_error on I/O failure or any shape/count mismatch.
+/// Loads parameters saved by save_parameters (v1 or v2) into @p m; throws
+/// std::runtime_error on I/O failure, any shape/count mismatch, or (v2) any
+/// checksum mismatch. Shapes are validated against @p m before any
+/// data-dependent allocation, so a corrupt file cannot trigger an OOM.
 void load_parameters(Module& m, const std::string& path);
 
 }  // namespace metadse::nn

@@ -1,0 +1,86 @@
+#include "sim/fault_injection.hpp"
+
+#include <limits>
+
+namespace metadse::sim {
+
+namespace {
+
+/// splitmix64 finalizer — cheap, well-mixed, and stable across platforms.
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  auto check01 = [](double r, const char* name) {
+    if (r < 0.0 || r > 1.0) {
+      throw std::invalid_argument(std::string("FaultPlan: ") + name +
+                                  " must be in [0,1]");
+    }
+  };
+  check01(plan_.fail_rate, "fail_rate");
+  check01(plan_.timeout_rate, "timeout_rate");
+  check01(plan_.nan_rate, "nan_rate");
+  check01(plan_.garbage_rate, "garbage_rate");
+  check01(plan_.persistent_fraction, "persistent_fraction");
+}
+
+uint64_t FaultInjector::point_key(const std::vector<size_t>& config) {
+  uint64_t h = 0x243F6A8885A308D3ULL;  // pi digits: fixed, seed-independent
+  for (size_t v : config) h = mix64(h ^ static_cast<uint64_t>(v));
+  return h;
+}
+
+double FaultInjector::draw(uint64_t key, uint64_t attempt,
+                           uint64_t stream) const {
+  const uint64_t h =
+      mix64(mix64(mix64(plan_.seed ^ key) ^ attempt) ^ stream);
+  // 53 high bits -> uniform double in [0,1).
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool FaultInjector::persistent(uint64_t key) const {
+  // Attempt-independent draw: membership in the persistent population is a
+  // property of the point, not of the retry.
+  return draw(key, 0, 0xBADC0DEULL) < plan_.persistent_fraction;
+}
+
+FaultOutcome FaultInjector::outcome(uint64_t key, size_t attempt) const {
+  if (!plan_.enabled()) return FaultOutcome::kOk;
+  // Persistent points replay attempt 0's hard-failure draw forever.
+  const uint64_t a = persistent(key) ? 0 : static_cast<uint64_t>(attempt);
+  double u = draw(key, a, 1);
+  if (u < plan_.fail_rate) return FaultOutcome::kFail;
+  u -= plan_.fail_rate;
+  if (u < plan_.timeout_rate) return FaultOutcome::kTimeout;
+  // Label corruption is transient by nature (a bad parse, a flipped bit in
+  // one stats dump), so it always redraws per attempt.
+  double v = draw(key, static_cast<uint64_t>(attempt), 2);
+  if (v < plan_.nan_rate) return FaultOutcome::kNanLabel;
+  v -= plan_.nan_rate;
+  if (v < plan_.garbage_rate) return FaultOutcome::kGarbage;
+  return FaultOutcome::kOk;
+}
+
+std::pair<double, double> FaultInjector::corrupt_labels(FaultOutcome o,
+                                                        uint64_t key,
+                                                        size_t attempt) const {
+  if (o == FaultOutcome::kNanLabel) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    return {nan, nan};
+  }
+  if (o == FaultOutcome::kGarbage) {
+    // Wild but finite: orders of magnitude outside any physical IPC/power.
+    const double a = draw(key, attempt, 3);
+    const double b = draw(key, attempt, 4);
+    return {1e6 * (a - 0.5), 1e9 * (b - 0.5)};
+  }
+  throw std::logic_error("corrupt_labels: outcome is not a corruption");
+}
+
+}  // namespace metadse::sim

@@ -1,0 +1,95 @@
+// Injectable failure substrate for the simulator layer. Real gem5/McPAT
+// label farms fail, hang, and occasionally emit garbage; this wrapper lets
+// dataset generation reproduce those modes deterministically so the retry /
+// quarantine machinery (and everything training on the surviving labels)
+// can be exercised under test instead of discovered in production.
+//
+// Fault decisions are a pure function of (plan seed, design-point key,
+// attempt index): re-evaluating the same point with the same plan gives the
+// same outcome, a retry is a *different* draw (transient faults can clear),
+// and a point marked persistent fails on every attempt.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace metadse::sim {
+
+/// A simulated evaluation that failed outright (crash, malformed output).
+class SimulationFailure : public std::runtime_error {
+ public:
+  explicit SimulationFailure(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// A simulated evaluation that exceeded its time budget.
+class SimulationTimeout : public SimulationFailure {
+ public:
+  explicit SimulationTimeout(const std::string& what)
+      : SimulationFailure(what) {}
+};
+
+/// What the injector decided for one (point, attempt) pair.
+enum class FaultOutcome {
+  kOk,        ///< pass the real simulator result through
+  kFail,      ///< throw SimulationFailure
+  kTimeout,   ///< throw SimulationTimeout
+  kNanLabel,  ///< replace labels with NaN
+  kGarbage,   ///< replace labels with wild-but-finite garbage
+};
+
+/// Seeded description of how unreliable the simulated label farm is.
+/// Rates are independent probabilities per evaluation attempt, applied in
+/// the order fail > timeout > nan > garbage.
+struct FaultPlan {
+  double fail_rate = 0.0;     ///< P(SimulationFailure) per attempt
+  double timeout_rate = 0.0;  ///< P(SimulationTimeout) per attempt
+  double nan_rate = 0.0;      ///< P(NaN labels) per attempt
+  double garbage_rate = 0.0;  ///< P(garbage labels) per attempt
+  /// Fraction of fail/timeout-hit points that fail *persistently* (every
+  /// retry fails too, as a broken config or corrupt binary would).
+  double persistent_fraction = 0.0;
+  uint64_t seed = 0xFA17ULL;
+
+  bool enabled() const {
+    return fail_rate > 0.0 || timeout_rate > 0.0 || nan_rate > 0.0 ||
+           garbage_rate > 0.0;
+  }
+};
+
+/// Deterministic fault oracle for a FaultPlan. Stateless between calls:
+/// everything is derived by hashing (seed, key, attempt).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Stable key for a design point (hash of its candidate-value indices).
+  static uint64_t point_key(const std::vector<size_t>& config);
+
+  /// The outcome for evaluation attempt @p attempt (0-based) of the point
+  /// identified by @p key.
+  FaultOutcome outcome(uint64_t key, size_t attempt) const;
+
+  /// True when the point is in the persistently-failing population: all
+  /// attempts that draw a fail/timeout keep failing.
+  bool persistent(uint64_t key) const;
+
+  /// Corrupted (ipc, power) labels for kNanLabel / kGarbage outcomes.
+  /// Garbage is finite but far outside the physical range, deterministic
+  /// per (key, attempt).
+  std::pair<double, double> corrupt_labels(FaultOutcome o, uint64_t key,
+                                           size_t attempt) const;
+
+ private:
+  /// Uniform double in [0,1) from a (key, attempt, stream) triple.
+  double draw(uint64_t key, uint64_t attempt, uint64_t stream) const;
+
+  FaultPlan plan_;
+};
+
+}  // namespace metadse::sim

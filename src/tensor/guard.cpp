@@ -1,0 +1,50 @@
+#include "tensor/guard.hpp"
+
+#include <cmath>
+
+namespace metadse::tensor {
+
+bool has_nonfinite(const std::vector<float>& v) {
+  for (float x : v) {
+    if (!std::isfinite(x)) return true;
+  }
+  return false;
+}
+
+bool has_nonfinite(const Tensor& t) {
+  return t.defined() && has_nonfinite(t.data());
+}
+
+bool any_nonfinite(const std::vector<Tensor>& tensors) {
+  for (const auto& t : tensors) {
+    if (has_nonfinite(t)) return true;
+  }
+  return false;
+}
+
+double global_grad_norm(const std::vector<Tensor>& params) {
+  double sq = 0.0;
+  for (const auto& p : params) {
+    if (!p.defined()) continue;
+    const auto& g = p.node()->grad;
+    for (float x : g) sq += static_cast<double>(x) * static_cast<double>(x);
+  }
+  return std::sqrt(sq);
+}
+
+double clip_global_grad_norm(const std::vector<Tensor>& params,
+                             float max_norm) {
+  const double norm = global_grad_norm(params);
+  if (max_norm <= 0.0F || !std::isfinite(norm) ||
+      norm <= static_cast<double>(max_norm)) {
+    return norm;
+  }
+  const float scale = max_norm / static_cast<float>(norm);
+  for (const auto& p : params) {
+    if (!p.defined()) continue;
+    for (float& x : p.node()->grad) x *= scale;
+  }
+  return norm;
+}
+
+}  // namespace metadse::tensor

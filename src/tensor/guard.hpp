@@ -1,0 +1,36 @@
+// Numerical guards for the training path: non-finite detection and
+// global-norm gradient clipping. MAML's nested optimization amplifies any
+// NaN/Inf produced by a bad sample or an exploding inner loop, so every
+// gradient step in src/meta runs through these helpers.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace metadse::tensor {
+
+/// True iff @p v contains a NaN or an infinity.
+bool has_nonfinite(const std::vector<float>& v);
+
+/// True iff the tensor's value buffer contains a NaN or an infinity.
+bool has_nonfinite(const Tensor& t);
+
+/// True iff any tensor's value buffer contains a NaN or an infinity.
+bool any_nonfinite(const std::vector<Tensor>& tensors);
+
+/// L2 norm over the concatenated gradient buffers of @p params. Parameters
+/// whose gradient was never touched contribute zero. Returns NaN/Inf when a
+/// gradient buffer holds non-finite entries (callers use this as a
+/// combined magnitude + sanity probe).
+double global_grad_norm(const std::vector<Tensor>& params);
+
+/// Scales every gradient buffer of @p params by max_norm / global_norm when
+/// the global norm exceeds @p max_norm (a no-op otherwise, including when
+/// max_norm <= 0, which disables clipping). Returns the pre-clip global
+/// norm. Non-finite norms are left untouched — detection, not repair, is
+/// the divergence monitor's job.
+double clip_global_grad_norm(const std::vector<Tensor>& params,
+                             float max_norm);
+
+}  // namespace metadse::tensor

@@ -1,0 +1,328 @@
+// Fault-injection contract: the injector is a pure function of its seeds,
+// dataset generation survives (and accounts for) every failure mode, and
+// meta-training stays finite when bad labels slip through anyway.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/metadse.hpp"
+#include "sim/fault_injection.hpp"
+#include "tensor/guard.hpp"
+
+namespace core = metadse::core;
+namespace data = metadse::data;
+namespace meta = metadse::meta;
+namespace sim = metadse::sim;
+namespace mt = metadse::tensor;
+
+namespace {
+
+core::FrameworkOptions tiny() {
+  core::FrameworkOptions o;
+  o.samples_per_workload = 150;
+  o.maml.epochs = 1;
+  o.maml.tasks_per_workload = 4;
+  o.maml.val_tasks_per_workload = 2;
+  o.maml.seed = 5;
+  o.seed = 55;
+  return o;
+}
+
+sim::FaultPlan issue_plan() {  // the acceptance-criteria plan: 5% NaN + 5% fail
+  sim::FaultPlan p;
+  p.fail_rate = 0.05;
+  p.nan_rate = 0.05;
+  return p;
+}
+
+}  // namespace
+
+TEST(FaultInjector, RejectsInvalidRates) {
+  sim::FaultPlan p;
+  p.fail_rate = 1.5;
+  EXPECT_THROW(sim::FaultInjector{p}, std::invalid_argument);
+  p.fail_rate = -0.1;
+  EXPECT_THROW(sim::FaultInjector{p}, std::invalid_argument);
+  p.fail_rate = 0.0;
+  p.persistent_fraction = 2.0;
+  EXPECT_THROW(sim::FaultInjector{p}, std::invalid_argument);
+}
+
+TEST(FaultInjector, OutcomeIsPureFunctionOfSeedKeyAttempt) {
+  sim::FaultPlan p;
+  p.fail_rate = 0.2;
+  p.timeout_rate = 0.1;
+  p.nan_rate = 0.1;
+  p.garbage_rate = 0.1;
+  sim::FaultInjector a(p);
+  sim::FaultInjector b(p);
+  for (uint64_t key = 0; key < 200; ++key) {
+    for (size_t attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(a.outcome(key, attempt), b.outcome(key, attempt));
+    }
+  }
+  // A different seed reshuffles the outcomes.
+  p.seed = 12345;
+  sim::FaultInjector c(p);
+  size_t differs = 0;
+  for (uint64_t key = 0; key < 200; ++key) {
+    if (a.outcome(key, 0) != c.outcome(key, 0)) ++differs;
+  }
+  EXPECT_GT(differs, 0U);
+}
+
+TEST(FaultInjector, RatesAreApproximatelyHonoured) {
+  sim::FaultPlan p;
+  p.fail_rate = 0.5;
+  sim::FaultInjector inj(p);
+  size_t fails = 0;
+  const size_t n = 4000;
+  for (uint64_t key = 0; key < n; ++key) {
+    if (inj.outcome(sim::FaultInjector::point_key({key, key + 1}), 0) ==
+        sim::FaultOutcome::kFail) {
+      ++fails;
+    }
+  }
+  const double rate = static_cast<double>(fails) / static_cast<double>(n);
+  EXPECT_NEAR(rate, 0.5, 0.05);
+}
+
+TEST(FaultInjector, PersistentPointsFailOnEveryAttempt) {
+  sim::FaultPlan p;
+  p.fail_rate = 0.5;
+  p.persistent_fraction = 1.0;  // every hit point is persistent
+  sim::FaultInjector inj(p);
+  size_t persistent_seen = 0;
+  for (uint64_t key = 0; key < 500; ++key) {
+    if (inj.outcome(key, 0) != sim::FaultOutcome::kFail) continue;
+    ++persistent_seen;
+    for (size_t attempt = 1; attempt < 5; ++attempt) {
+      EXPECT_EQ(inj.outcome(key, attempt), sim::FaultOutcome::kFail);
+    }
+  }
+  EXPECT_GT(persistent_seen, 0U);
+}
+
+TEST(FaultInjector, TransientFaultsCanClearOnRetry) {
+  sim::FaultPlan p;
+  p.fail_rate = 0.5;  // persistent_fraction = 0: all faults transient
+  sim::FaultInjector inj(p);
+  bool cleared = false;
+  for (uint64_t key = 0; key < 500 && !cleared; ++key) {
+    if (inj.outcome(key, 0) != sim::FaultOutcome::kFail) continue;
+    for (size_t attempt = 1; attempt < 5; ++attempt) {
+      if (inj.outcome(key, attempt) == sim::FaultOutcome::kOk) cleared = true;
+    }
+  }
+  EXPECT_TRUE(cleared);
+}
+
+TEST(FaultInjector, CorruptLabelsMatchOutcome) {
+  sim::FaultPlan p;
+  p.nan_rate = 0.5;
+  p.garbage_rate = 0.5;
+  sim::FaultInjector inj(p);
+  const auto [ni, np] = inj.corrupt_labels(sim::FaultOutcome::kNanLabel, 7, 0);
+  EXPECT_TRUE(std::isnan(ni));
+  EXPECT_TRUE(std::isnan(np));
+  const auto [gi, gp] = inj.corrupt_labels(sim::FaultOutcome::kGarbage, 7, 0);
+  EXPECT_TRUE(std::isfinite(gi));
+  EXPECT_TRUE(std::isfinite(gp));
+  // Garbage is wild: far outside any physical IPC/power range.
+  EXPECT_TRUE(std::abs(gi) > 128.0 || std::abs(gp) > 1e5);
+}
+
+TEST(DatasetGenerator, RejectsZeroAttemptRetryPolicy) {
+  core::MetaDseFramework fw(tiny());
+  data::DatasetGenerator gen(fw.space());
+  data::RetryPolicy rp;
+  rp.max_attempts = 0;
+  EXPECT_THROW(gen.set_retry_policy(rp), std::invalid_argument);
+}
+
+TEST(DatasetGenerator, FaultFreePlanLeavesGenerationUntouched) {
+  core::MetaDseFramework a(tiny());
+  core::MetaDseFramework b(tiny());
+  b.set_fault_plan(sim::FaultPlan{});  // all-zero rates: disarmed
+  const auto& da = a.dataset("605.mcf_s");
+  const auto& db = b.dataset("605.mcf_s");
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.samples[i].ipc, db.samples[i].ipc);
+    EXPECT_EQ(da.samples[i].power, db.samples[i].power);
+  }
+  const auto& report = b.generation_report("605.mcf_s");
+  EXPECT_EQ(report.generated, report.requested);
+  EXPECT_EQ(report.dropped(), 0U);
+  EXPECT_FALSE(report.degraded());
+}
+
+TEST(DatasetGenerator, SurvivesFaultsWithAccounting) {
+  core::MetaDseFramework fw(tiny());
+  sim::FaultPlan p;
+  p.fail_rate = 0.10;
+  p.timeout_rate = 0.05;
+  p.nan_rate = 0.05;
+  p.garbage_rate = 0.05;
+  p.persistent_fraction = 0.3;
+  fw.set_fault_plan(p);
+  const auto& ds = fw.dataset("605.mcf_s");
+  const auto& report = fw.generation_report("605.mcf_s");
+
+  EXPECT_EQ(report.requested, tiny().samples_per_workload);
+  EXPECT_EQ(report.generated, ds.size());
+  EXPECT_EQ(report.generated + report.dropped(), report.requested);
+  // At these rates some attempts must have failed and been retried.
+  EXPECT_GT(report.failures + report.timeouts + report.nonfinite_labels +
+                report.implausible_labels,
+            0U);
+  EXPECT_GT(report.retries, 0U);
+  EXPECT_FALSE(report.summary().empty());
+  // Every surviving label is genuine: finite and physically plausible.
+  for (const auto& s : ds.samples) {
+    EXPECT_TRUE(std::isfinite(s.ipc));
+    EXPECT_TRUE(std::isfinite(s.power));
+    EXPECT_GE(s.ipc, 0.0F);
+    EXPECT_LT(s.ipc, 128.0F);
+    EXPECT_GE(s.power, 0.0F);
+    EXPECT_LT(s.power, 1e5F);
+  }
+}
+
+TEST(DatasetGenerator, BackoffHookObservesExponentialSchedule) {
+  core::MetaDseFramework fw(tiny());
+  data::DatasetGenerator gen(fw.space());
+  sim::FaultPlan p;
+  p.fail_rate = 0.3;
+  gen.set_fault_plan(p);
+  data::RetryPolicy rp;
+  rp.max_attempts = 4;
+  rp.backoff_base_ms = 10;
+  rp.backoff_cap_ms = 15;
+  gen.set_retry_policy(rp);
+  std::vector<size_t> waits;
+  gen.set_backoff_hook([&](size_t ms) { waits.push_back(ms); });
+  mt::Rng rng(7);
+  data::GenerationReport report;
+  gen.generate(fw.suite().by_name("605.mcf_s"), 100, rng, true, &report);
+  ASSERT_FALSE(waits.empty());
+  size_t total = 0;
+  for (size_t w : waits) {
+    EXPECT_TRUE(w == 10 || w == 15) << w;  // base, then capped double
+    total += w;
+  }
+  EXPECT_EQ(total, report.backoff_ms);
+}
+
+TEST(Determinism, FaultInjectedPipelineIsSeedPure) {
+  core::MetaDseFramework a(tiny());
+  core::MetaDseFramework b(tiny());
+  sim::FaultPlan p;
+  p.fail_rate = 0.08;
+  p.nan_rate = 0.05;
+  p.garbage_rate = 0.03;
+  p.persistent_fraction = 0.5;
+  a.set_fault_plan(p);
+  b.set_fault_plan(p);
+
+  const auto& da = a.dataset("605.mcf_s");
+  const auto& db = b.dataset("605.mcf_s");
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_EQ(da.samples[i].config, db.samples[i].config);
+    EXPECT_EQ(da.samples[i].ipc, db.samples[i].ipc);
+    EXPECT_EQ(da.samples[i].power, db.samples[i].power);
+  }
+  const auto& ra = a.generation_report("605.mcf_s");
+  const auto& rb = b.generation_report("605.mcf_s");
+  EXPECT_EQ(ra.retries, rb.retries);
+  EXPECT_EQ(ra.failures, rb.failures);
+  EXPECT_EQ(ra.nonfinite_labels, rb.nonfinite_labels);
+  EXPECT_EQ(ra.backoff_ms, rb.backoff_ms);
+  ASSERT_EQ(ra.quarantined.size(), rb.quarantined.size());
+  for (size_t i = 0; i < ra.quarantined.size(); ++i) {
+    EXPECT_EQ(ra.quarantined[i], rb.quarantined[i]);
+  }
+
+  // Meta-training on fault-degraded datasets is still seed-pure.
+  a.pretrain();
+  b.pretrain();
+  EXPECT_EQ(a.model().flatten_parameters(), b.model().flatten_parameters());
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (size_t e = 0; e < a.trace().size(); ++e) {
+    EXPECT_EQ(a.trace()[e].train_meta_loss, b.trace()[e].train_meta_loss);
+    EXPECT_EQ(a.trace()[e].val_loss, b.trace()[e].val_loss);
+    EXPECT_EQ(a.trace()[e].skipped_tasks, b.trace()[e].skipped_tasks);
+  }
+}
+
+TEST(MamlRobustness, RecoversFromNanLabelsInTrainingData) {
+  // Hand-corrupt a fraction of one source dataset with NaN labels: the
+  // scaler must skip them and the trainer must skip the poisoned tasks,
+  // ending with finite parameters.
+  core::MetaDseFramework fw(tiny());
+  auto train = fw.datasets({"605.mcf_s", "627.cam4_s"});
+  for (size_t i = 0; i < train[0].size(); i += 7) {
+    train[0].samples[i].ipc = std::numeric_limits<float>::quiet_NaN();
+  }
+
+  meta::MamlOptions mo = tiny().maml;
+  mo.epochs = 2;
+  mo.tasks_per_workload = 6;
+  meta::MamlTrainer trainer(tiny().predictor, mo);
+  trainer.train(train, {});
+
+  EXPECT_FALSE(mt::has_nonfinite(trainer.model().flatten_parameters()));
+  size_t skipped = 0;
+  for (const auto& tr : trainer.trace()) skipped += tr.skipped_tasks;
+  EXPECT_GT(skipped, 0U);  // the poison was seen and dropped, not averaged in
+  // At least one task per epoch still contributed a finite meta-loss.
+  for (const auto& tr : trainer.trace()) {
+    EXPECT_TRUE(std::isfinite(tr.train_meta_loss));
+  }
+}
+
+TEST(Scaler, FitSkipsNonFiniteRowsAndThrowsWhenNoneSurvive) {
+  data::Scaler sc;
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  sc.fit(std::vector<std::vector<float>>{{1.0F}, {nan}, {3.0F}});
+  EXPECT_FLOAT_EQ(sc.mean()[0], 2.0F);  // the NaN row is not averaged in
+  data::Scaler bad;
+  EXPECT_THROW(
+      bad.fit(std::vector<std::vector<float>>{{nan}, {nan}}),
+      std::invalid_argument);
+  EXPECT_FALSE(bad.fitted());
+}
+
+TEST(FaultTolerance, FaultyPretrainStaysWithinRmseBudget) {
+  // The headline robustness claim: 5% NaN labels + 5% simulator failures
+  // degrade the dataset, not the science. Same seeds, with and without the
+  // fault plan; adapted-task RMSE must stay within 15%.
+  core::MetaDseFramework clean(tiny());
+  core::MetaDseFramework faulty(tiny());
+  faulty.set_fault_plan(issue_plan());
+
+  clean.pretrain();
+  faulty.pretrain();
+
+  EXPECT_FALSE(mt::has_nonfinite(faulty.model().flatten_parameters()));
+  EXPECT_FALSE(faulty.generation_reports().empty());
+  bool any_event = false;
+  for (const auto& [wl, report] : faulty.generation_reports()) {
+    if (report.retries > 0 || report.degraded()) any_event = true;
+  }
+  EXPECT_TRUE(any_event);
+
+  auto mean_rmse = [](core::MetaDseFramework& fw) {
+    mt::Rng rng(9);
+    const auto evals = fw.evaluate("623.xalancbmk_s", 4, 8, 20, true, rng);
+    double sum = 0.0;
+    for (const auto& e : evals) sum += e.rmse;
+    return sum / static_cast<double>(evals.size());
+  };
+  const double rc = mean_rmse(clean);
+  const double rf = mean_rmse(faulty);
+  EXPECT_TRUE(std::isfinite(rf));
+  EXPECT_LE(rf, rc * 1.15) << "clean=" << rc << " faulty=" << rf;
+}

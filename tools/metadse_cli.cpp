@@ -9,8 +9,10 @@
 //
 // Every command is deterministic given --seed (default 2025).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
+#include <stdexcept>
 #include <string>
 
 #include "baselines/trendse.hpp"
@@ -23,6 +25,13 @@ using namespace metadse;
 
 namespace {
 
+/// A malformed command line: main() prints the message plus usage and exits
+/// nonzero (distinct from runtime errors, which skip the usage dump).
+class UsageError : public std::runtime_error {
+ public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// Minimal --key value / --flag argument parser.
 class Args {
  public:
@@ -30,9 +39,7 @@ class Args {
     for (int i = first; i < argc; ++i) {
       std::string key = argv[i];
       if (key.rfind("--", 0) != 0) {
-        std::fprintf(stderr, "unexpected argument '%s'\n", key.c_str());
-        ok_ = false;
-        continue;
+        throw UsageError("unexpected argument '" + key + "'");
       }
       key = key.substr(2);
       if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
@@ -43,7 +50,6 @@ class Args {
     }
   }
 
-  bool ok() const { return ok_; }
   bool has(const std::string& k) const { return kv_.count(k) > 0; }
   std::string str(const std::string& k, const std::string& dflt = "") const {
     auto it = kv_.find(k);
@@ -51,13 +57,56 @@ class Args {
   }
   long num(const std::string& k, long dflt) const {
     auto it = kv_.find(k);
-    return it == kv_.end() ? dflt : std::stol(it->second);
+    if (it == kv_.end()) return dflt;
+    const char* s = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(s, &end, 10);
+    if (errno != 0 || end == s || *end != '\0') {
+      throw UsageError("invalid integer for --" + k + ": '" + it->second +
+                       "'");
+    }
+    return v;
+  }
+  double real(const std::string& k, double dflt) const {
+    auto it = kv_.find(k);
+    if (it == kv_.end()) return dflt;
+    const char* s = it->second.c_str();
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s, &end);
+    if (errno != 0 || end == s || *end != '\0') {
+      throw UsageError("invalid number for --" + k + ": '" + it->second +
+                       "'");
+    }
+    return v;
   }
 
  private:
   std::map<std::string, std::string> kv_;
-  bool ok_ = true;
 };
+
+/// Fault-injection knobs shared by generate/pretrain/evaluate: lets any
+/// command rehearse against an unreliable label farm.
+sim::FaultPlan fault_plan_from(const Args& args) {
+  sim::FaultPlan plan;
+  plan.fail_rate = args.real("inject-fail", 0.0);
+  plan.timeout_rate = args.real("inject-timeout", 0.0);
+  plan.nan_rate = args.real("inject-nan", 0.0);
+  plan.garbage_rate = args.real("inject-garbage", 0.0);
+  plan.persistent_fraction = args.real("inject-persistent", 0.0);
+  plan.seed = static_cast<uint64_t>(args.num("fault-seed", 0xFA17));
+  return plan;
+}
+
+void print_reports(const core::MetaDseFramework& fw) {
+  for (const auto& [wl, rep] : fw.generation_reports()) {
+    if (rep.degraded() || rep.retries > 0) {
+      std::fprintf(stderr, "[generate] %s: %s\n", wl.c_str(),
+                   rep.summary().c_str());
+    }
+  }
+}
 
 core::FrameworkOptions options_from(const Args& args) {
   core::FrameworkOptions o;
@@ -119,33 +168,46 @@ int cmd_generate(const Args& args) {
   const std::string wl = args.str("workload");
   const std::string out = args.str("out");
   if (wl.empty() || out.empty()) {
-    std::fprintf(stderr, "usage: metadse generate --workload W --samples N "
-                         "--out file.csv\n");
-    return 1;
+    throw UsageError(
+        "generate requires --workload W --samples N --out file.csv");
   }
   workload::SpecSuite suite;
   data::DatasetGenerator gen(arch::DesignSpace::table1());
+  gen.set_fault_plan(fault_plan_from(args));
   tensor::Rng rng(args.num("seed", 2025));
-  const auto ds =
-      gen.generate(suite.by_name(wl), args.num("samples", 1000), rng);
+  data::GenerationReport report;
+  const auto ds = gen.generate(suite.by_name(wl), args.num("samples", 1000),
+                               rng, /*latin_hypercube=*/true, &report);
   data::write_csv(ds, arch::DesignSpace::table1(), out);
-  std::printf("wrote %zu labelled design points for %s to %s\n", ds.size(),
-              wl.c_str(), out.c_str());
+  std::printf("wrote %zu labelled design points for %s to %s (%s)\n",
+              ds.size(), wl.c_str(), out.c_str(), report.summary().c_str());
   return 0;
 }
 
 int cmd_pretrain(const Args& args) {
   const std::string path = args.str("ckpt");
   if (path.empty()) {
-    std::fprintf(stderr, "usage: metadse pretrain --ckpt file "
-                         "[--epochs E --tasks T --pretrain-support S]\n");
-    return 1;
+    throw UsageError("pretrain requires --ckpt file "
+                     "[--epochs E --tasks T --pretrain-support S]");
   }
-  core::MetaDseFramework fw(options_from(args));
+  auto opts = options_from(args);
+  // Auto-checkpoint into the target file after every epoch so a killed run
+  // resumes from its last completed epoch (--no-autosave restores the old
+  // always-retrain behaviour).
+  if (!args.has("no-autosave")) opts.autosave_path = path;
+  core::MetaDseFramework fw(opts);
+  fw.set_fault_plan(fault_plan_from(args));
   std::printf("meta-training (%zu epochs x %zu tasks/workload)...\n",
               fw.options().maml.epochs, fw.options().maml.tasks_per_workload);
   fw.pretrain();
+  print_reports(fw);
   fw.save_checkpoint(path);
+  size_t rollbacks = 0;
+  for (const auto& tr : fw.trace()) rollbacks += tr.rolled_back ? 1 : 0;
+  if (rollbacks > 0) {
+    std::fprintf(stderr, "[maml] %zu divergence rollback(s) during training\n",
+                 rollbacks);
+  }
   std::printf("meta-val loss %.4f -> %.4f; checkpoint saved to %s\n",
               fw.trace().front().val_loss, fw.trace().back().val_loss,
               path.c_str());
@@ -154,6 +216,7 @@ int cmd_pretrain(const Args& args) {
 
 int cmd_evaluate(const Args& args) {
   core::MetaDseFramework fw(options_from(args));
+  fw.set_fault_plan(fault_plan_from(args));
   if (int rc = require_ckpt(fw, args)) return rc;
   const std::string wl = args.str("workload");
   if (wl.empty()) {
@@ -164,6 +227,7 @@ int cmd_evaluate(const Args& args) {
   const auto evals =
       fw.evaluate(wl, args.num("tasks", 30), args.num("support", 10), 45,
                   !args.has("no-wam"), rng);
+  print_reports(fw);
   std::vector<double> rmse;
   std::vector<double> mape;
   std::vector<double> ev;
@@ -267,11 +331,15 @@ void usage() {
       "commands:\n"
       "  info                          design space & workload suite\n"
       "  generate --workload W --samples N --out F.csv\n"
-      "  pretrain --ckpt F [--epochs E --tasks T --pretrain-support S]\n"
+      "  pretrain --ckpt F [--epochs E --tasks T --pretrain-support S\n"
+      "                     --no-autosave]\n"
       "  evaluate --ckpt F --workload W [--tasks N --support K --no-wam]\n"
       "  adapt    --ckpt F --workload W [--support K --candidates N]\n"
       "  similarity [--samples N]\n"
-      "common flags: --seed S, --dataset-size N, --verbose\n");
+      "common flags: --seed S, --dataset-size N, --verbose\n"
+      "fault injection (generate/pretrain/evaluate): --inject-fail R\n"
+      "  --inject-timeout R --inject-nan R --inject-garbage R\n"
+      "  --inject-persistent R --fault-seed S  (rates in [0,1])\n");
 }
 
 }  // namespace
@@ -283,15 +351,18 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
-  Args args(argc, argv, 2);
-  if (!args.ok()) return 1;
   try {
+    Args args(argc, argv, 2);
     if (cmd == "info") return cmd_info();
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "pretrain") return cmd_pretrain(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "adapt") return cmd_adapt(args);
     if (cmd == "similarity") return cmd_similarity(args);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "error: %s\n\n", e.what());
+    usage();
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
