@@ -4,8 +4,12 @@
 // artifact; used to track performance regressions of the library itself.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "baselines/ensembles.hpp"
+#include "core/parallel.hpp"
 #include "data/dataset.hpp"
+#include "meta/maml.hpp"
 #include "meta/wam.hpp"
 #include "nn/transformer.hpp"
 #include "tensor/ops.hpp"
@@ -114,6 +118,65 @@ void BM_WamAdaptTenSteps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WamAdaptTenSteps);
+
+// -- thread-pool scaling sweeps ---------------------------------------------
+//
+// The speedup story of the parallel subsystem: the same GEMM / MAML-epoch
+// work at pool widths 1/2/4/8. Results are bitwise identical across the
+// sweep (see tests/test_parallel_equivalence.cpp); only wall-clock should
+// move. Emit machine-readable numbers with --benchmark_format=json.
+
+void BM_MatmulThreadsSweep(benchmark::State& state) {
+  metadse::set_threads(static_cast<size_t>(state.range(0)));
+  const size_t n = 256;
+  tensor::Rng rng(8);
+  auto a = tensor::Tensor::randn({n, n}, rng);
+  auto b = tensor::Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+  metadse::set_threads(1);
+}
+BENCHMARK(BM_MatmulThreadsSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_MamlEpochThreadsSweep(benchmark::State& state) {
+  metadse::set_threads(static_cast<size_t>(state.range(0)));
+  constexpr size_t kFeatures = 8;
+  std::vector<data::Dataset> train;
+  for (uint64_t w = 0; w < 2; ++w) {
+    data::Dataset ds;
+    ds.workload = "synthetic";
+    tensor::Rng rng(w + 1);
+    for (size_t i = 0; i < 200; ++i) {
+      data::Sample s;
+      s.features.resize(kFeatures);
+      for (auto& f : s.features) f = rng.uniform();
+      s.ipc = std::sin(3.14F * s.features[0]) + 0.5F * s.features[1];
+      ds.samples.push_back(std::move(s));
+    }
+    train.push_back(std::move(ds));
+  }
+  meta::MamlOptions opts;
+  opts.epochs = 1;
+  opts.tasks_per_workload = 8;
+  opts.support = 5;
+  opts.query = 20;
+  opts.inner_steps = 3;
+  opts.meta_batch = 4;
+  opts.val_tasks_per_workload = 0;
+  nn::TransformerConfig cfg{.n_tokens = kFeatures, .d_model = 16,
+                            .n_heads = 2, .n_layers = 1, .d_ff = 32,
+                            .n_outputs = 1};
+  for (auto _ : state) {
+    meta::MamlTrainer trainer(cfg, opts);
+    trainer.train(train, {});
+    benchmark::DoNotOptimize(trainer.trace().back().train_meta_loss);
+  }
+  state.SetItemsProcessed(state.iterations() * opts.tasks_per_workload * 2);
+  metadse::set_threads(1);
+}
+BENCHMARK(BM_MamlEpochThreadsSweep)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

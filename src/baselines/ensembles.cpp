@@ -1,6 +1,10 @@
 #include "baselines/ensembles.hpp"
 
+#include <memory>
 #include <stdexcept>
+#include <utility>
+
+#include "core/parallel.hpp"
 
 namespace metadse::baselines {
 
@@ -16,23 +20,37 @@ void RandomForest::fit(const FeatureMatrix& x, const std::vector<float>& y) {
   trees_.reserve(options_.n_trees);
   tensor::Rng rng(options_.seed);
   const size_t n = x.size();
+  // Draw every tree's bootstrap indices and seed from the shared stream
+  // first (same RNG call order as fitting the trees one by one), then fit
+  // the trees on the pool — each tree's inputs are fixed before any worker
+  // starts, so the forest is identical for every thread count.
+  std::vector<std::vector<size_t>> bootstrap(options_.n_trees);
+  std::vector<uint64_t> seeds(options_.n_trees);
   for (size_t t = 0; t < options_.n_trees; ++t) {
-    // Bootstrap rows.
-    FeatureMatrix bx;
-    std::vector<float> by;
-    bx.reserve(n);
-    by.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      const size_t j = rng.uniform_index(n);
-      bx.push_back(x[j]);
-      by.push_back(y[j]);
-    }
-    TreeOptions to = options_.tree;
-    to.seed = rng.engine()();
-    DecisionTree tree(to);
-    tree.fit(bx, by);
-    trees_.push_back(std::move(tree));
+    bootstrap[t].reserve(n);
+    for (size_t i = 0; i < n; ++i) bootstrap[t].push_back(rng.uniform_index(n));
+    seeds[t] = rng.engine()();
   }
+  core::parallel_map_reduce<std::unique_ptr<DecisionTree>>(
+      options_.n_trees,
+      [&](size_t t) {
+        FeatureMatrix bx;
+        std::vector<float> by;
+        bx.reserve(n);
+        by.reserve(n);
+        for (size_t j : bootstrap[t]) {
+          bx.push_back(x[j]);
+          by.push_back(y[j]);
+        }
+        TreeOptions to = options_.tree;
+        to.seed = seeds[t];
+        auto tree = std::make_unique<DecisionTree>(to);
+        tree->fit(bx, by);
+        return tree;
+      },
+      [&](size_t, std::unique_ptr<DecisionTree> tree) {
+        trees_.push_back(std::move(*tree));
+      });
 }
 
 float RandomForest::predict(const std::vector<float>& x) const {
@@ -84,9 +102,13 @@ void Gbrt::fit(const FeatureMatrix& x, const std::vector<float>& y) {
     to.seed = rng.engine()();
     DecisionTree tree(to);
     tree.fit(sx, sy);
-    for (size_t i = 0; i < n; ++i) {
-      current[i] += options_.learning_rate * tree.predict(x[i]);
-    }
+    // Boosting rounds are inherently sequential, but refreshing the running
+    // predictions is not: each row is independent and writes its own slot.
+    core::parallel_for_blocks(n, 64, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        current[i] += options_.learning_rate * tree.predict(x[i]);
+      }
+    });
     trees_.push_back(std::move(tree));
   }
 }

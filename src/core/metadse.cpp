@@ -1,5 +1,6 @@
 #include "core/metadse.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -7,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "eval/metrics.hpp"
 #include "nn/serialize.hpp"
 #include "tensor/guard.hpp"
@@ -33,19 +35,25 @@ MetaDseFramework::MetaDseFramework(FrameworkOptions options)
 const data::Dataset& MetaDseFramework::dataset(const std::string& workload) {
   auto it = cache_.find(workload);
   if (it != cache_.end()) return it->second;
-  const auto& wl = suite_.by_name(workload);
-  // Per-workload deterministic seed so dataset identity is independent of
-  // generation order.
-  tensor::Rng rng(options_.seed ^ std::hash<std::string>{}(workload));
-  data::GenerationReport report;
-  auto ds = generator_.generate(wl, options_.samples_per_workload, rng,
-                                /*latin_hypercube=*/true, &report);
+  auto [ds, report] = generate_one(workload);
   if (ds.empty()) {
     throw std::runtime_error("dataset: every design point for '" + workload +
                              "' failed labelling (" + report.summary() + ")");
   }
   reports_[workload] = std::move(report);
   return cache_.emplace(workload, std::move(ds)).first->second;
+}
+
+std::pair<data::Dataset, data::GenerationReport>
+MetaDseFramework::generate_one(const std::string& workload) const {
+  const auto& wl = suite_.by_name(workload);
+  // Per-workload deterministic seed so dataset identity is independent of
+  // generation order (and of which pool worker generates it).
+  tensor::Rng rng(options_.seed ^ std::hash<std::string>{}(workload));
+  data::GenerationReport report;
+  auto ds = generator_.generate(wl, options_.samples_per_workload, rng,
+                                /*latin_hypercube=*/true, &report);
+  return {std::move(ds), std::move(report)};
 }
 
 void MetaDseFramework::set_fault_plan(const sim::FaultPlan& plan) {
@@ -63,6 +71,28 @@ const data::GenerationReport& MetaDseFramework::generation_report(
 
 std::vector<data::Dataset> MetaDseFramework::datasets(
     const std::vector<std::string>& names) {
+  // Generate the uncached workloads on the pool (each draws from its own
+  // per-workload seeded RNG, so results are identical to generating them one
+  // at a time), then fold them into the cache in name order — the same
+  // datasets, reports, and failure behaviour as the serial loop.
+  std::vector<std::string> missing;
+  for (const auto& n : names) {
+    if (cache_.find(n) == cache_.end() &&
+        std::find(missing.begin(), missing.end(), n) == missing.end()) {
+      missing.push_back(n);
+    }
+  }
+  core::parallel_map_reduce<std::pair<data::Dataset, data::GenerationReport>>(
+      missing.size(), [&](size_t i) { return generate_one(missing[i]); },
+      [&](size_t i, std::pair<data::Dataset, data::GenerationReport> r) {
+        if (r.first.empty()) {
+          throw std::runtime_error("dataset: every design point for '" +
+                                   missing[i] + "' failed labelling (" +
+                                   r.second.summary() + ")");
+        }
+        reports_[missing[i]] = std::move(r.second);
+        cache_.emplace(missing[i], std::move(r.first));
+      });
   std::vector<data::Dataset> out;
   out.reserve(names.size());
   for (const auto& n : names) out.push_back(dataset(n));

@@ -135,6 +135,11 @@ class MetaDseFramework {
       const tensor::Tensor& support_x, const tensor::Tensor& support_y_scaled,
       bool use_wam) const;
 
+  /// Generates one workload's dataset from its per-workload seeded RNG.
+  /// Const and cache-free, so multiple workloads generate concurrently.
+  std::pair<data::Dataset, data::GenerationReport> generate_one(
+      const std::string& workload) const;
+
   /// Serializes one v2 checkpoint image (shared by save_checkpoint and the
   /// per-epoch autosave, which persists the trainer's best-so-far state).
   void write_checkpoint(const std::string& path,

@@ -1,0 +1,202 @@
+#include "core/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace metadse::core {
+
+namespace {
+
+thread_local bool tls_in_region = false;
+
+/// Fixed-size pool. One batch of blocks is in flight at a time; workers and
+/// the submitting thread claim blocks from a shared cursor under the pool
+/// mutex (blocks are coarse, so the lock is uncontended in practice).
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t workers) {
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t workers() const { return threads_.size(); }
+
+  /// Runs fn(0) .. fn(nblocks - 1), caller included, returning once all
+  /// blocks (and all workers that joined the batch) are done.
+  void run_blocks(size_t nblocks, const std::function<void(size_t)>& fn) {
+    Batch batch;
+    batch.fn = &fn;
+    batch.nblocks = nblocks;
+    {
+      std::lock_guard<std::mutex> lk(m_);
+      batch_ = &batch;
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+    work_on(batch);
+    {
+      std::unique_lock<std::mutex> lk(m_);
+      done_cv_.wait(lk, [&] {
+        return batch.done == batch.nblocks && batch.entered == batch.exited;
+      });
+      batch_ = nullptr;
+    }
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t nblocks = 0;
+    size_t next = 0;     ///< next unclaimed block (guarded by m_)
+    size_t done = 0;     ///< blocks finished (guarded by m_)
+    size_t entered = 0;  ///< workers that joined this batch (guarded by m_)
+    size_t exited = 0;   ///< workers that left this batch (guarded by m_)
+    std::exception_ptr error;  ///< first block failure (guarded by m_)
+  };
+
+  void worker_loop() {
+    std::unique_lock<std::mutex> lk(m_);
+    uint64_t seen = 0;
+    for (;;) {
+      wake_cv_.wait(lk, [&] {
+        return stop_ || (batch_ != nullptr && generation_ != seen);
+      });
+      if (stop_) return;
+      seen = generation_;
+      Batch* b = batch_;
+      ++b->entered;
+      lk.unlock();
+      work_on(*b);
+      lk.lock();
+      ++b->exited;
+      done_cv_.notify_all();
+    }
+  }
+
+  /// Claims and runs blocks until the batch cursor is exhausted. Must be
+  /// called without m_ held.
+  void work_on(Batch& b) {
+    const bool outer = !tls_in_region;
+    tls_in_region = true;
+    std::unique_lock<std::mutex> lk(m_);
+    while (b.next < b.nblocks) {
+      const size_t i = b.next++;
+      lk.unlock();
+      try {
+        (*b.fn)(i);
+      } catch (...) {
+        lk.lock();
+        if (!b.error) b.error = std::current_exception();
+        lk.unlock();
+      }
+      lk.lock();
+      ++b.done;
+    }
+    lk.unlock();
+    if (outer) tls_in_region = false;
+  }
+
+  std::mutex m_;
+  std::condition_variable wake_cv_;  ///< workers: a new batch is available
+  std::condition_variable done_cv_;  ///< caller: batch progress changed
+  Batch* batch_ = nullptr;
+  uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+std::mutex g_config_mutex;
+size_t g_threads = 0;  // 0 = not yet resolved (env var / hardware default)
+std::unique_ptr<ThreadPool> g_pool;
+
+size_t default_threads() {
+  if (const char* env = std::getenv("METADSE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return hardware_threads();
+}
+
+/// The pool sized for the current thread count, created on first use.
+/// Returns nullptr when the configuration is single-threaded.
+ThreadPool* pool_for(size_t n) {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  if (n <= 1) return nullptr;
+  if (!g_pool || g_pool->workers() != n - 1) {
+    g_pool.reset();  // join old workers before spawning the new set
+    g_pool = std::make_unique<ThreadPool>(n - 1);
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+size_t hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<size_t>(hc);
+}
+
+void set_threads(size_t n) {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  g_threads = n == 0 ? default_threads() : n;
+  g_pool.reset();  // re-created at the new width on next use
+}
+
+size_t threads() {
+  std::lock_guard<std::mutex> lk(g_config_mutex);
+  if (g_threads == 0) g_threads = default_threads();
+  return g_threads;
+}
+
+bool in_parallel_region() { return tls_in_region; }
+
+void parallel_for_blocks(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& body) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  const size_t width = tls_in_region ? 1 : threads();
+  const size_t max_blocks = (n + grain - 1) / grain;
+  const size_t nblocks = std::min(width, max_blocks);
+  if (nblocks <= 1) {
+    body(0, n);
+    return;
+  }
+  // Even contiguous partition: the first (n % nblocks) blocks get one extra
+  // index. Pure function of (n, nblocks) — never of scheduling.
+  const size_t base = n / nblocks;
+  const size_t extra = n % nblocks;
+  ThreadPool* pool = pool_for(width);
+  if (pool == nullptr) {  // width changed under us; run inline
+    body(0, n);
+    return;
+  }
+  pool->run_blocks(nblocks, [&](size_t b) {
+    const size_t lo = b * base + std::min(b, extra);
+    const size_t hi = lo + base + (b < extra ? 1 : 0);
+    body(lo, hi);
+  });
+}
+
+}  // namespace metadse::core

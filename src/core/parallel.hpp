@@ -1,0 +1,75 @@
+// Deterministic fixed-size thread-pool parallelism for the training and
+// simulation hot paths (GEMM row blocks, MAML meta-batch tasks, dataset
+// design points, forest trees).
+//
+// Determinism contract: parallelism here never changes *what* is computed,
+// only *where*. Work is split into contiguous index blocks by a pure
+// function of (n, grain, thread count); each block is independent and
+// touches disjoint state; any cross-block combination happens on the
+// calling thread in ascending index order (parallel_map_reduce). Floating
+// point results are therefore bitwise identical for every thread count,
+// including 1 — a property tests/test_parallel_equivalence.cpp enforces.
+//
+// There is no work stealing and no persistent task queue: a parallel region
+// hands its blocks to the pool, the calling thread works alongside the
+// workers, and the region does not return until every block has finished
+// (exceptions from blocks are rethrown on the caller). Nested parallel
+// regions run inline on the worker they occur on, so composing parallel
+// layers (e.g. a parallel MAML task whose forward pass hits parallel GEMM)
+// degrades to the serial code path instead of deadlocking.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace metadse::core {
+
+/// Threads the host advertises (>= 1).
+size_t hardware_threads();
+
+/// Sets the global compute width. @p n = 0 selects the hardware default
+/// (or the METADSE_THREADS environment variable when set); 1 restores the
+/// exact single-threaded code path. Takes effect on the next parallel
+/// region; not safe to call from inside one.
+void set_threads(size_t n);
+
+/// The compute width parallel regions will use (>= 1).
+size_t threads();
+
+/// True while the current thread is executing a pool block (nested parallel
+/// regions run inline).
+bool in_parallel_region();
+
+/// Runs @p body(lo, hi) over a partition of [0, n) into contiguous blocks
+/// of at least @p grain indices, at most one block per thread. Blocks run
+/// concurrently on the pool plus the calling thread; the call returns after
+/// all blocks complete. The partition is a pure function of
+/// (n, grain, threads()), and with threads() == 1, n == 0, or
+/// n <= grain the body runs inline as body(0, n) with no pool involvement.
+/// The first exception thrown by any block is rethrown on the caller.
+void parallel_for_blocks(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& body);
+
+/// Ordered map-reduce: computes map(i) for i in [0, n) in parallel, then
+/// applies reduce(i, result) serially on the calling thread in ascending i.
+/// This is the primitive behind every "parallel compute, serial bitwise
+/// reduction" site (MAML meta-gradients, dataset reports, forest trees).
+template <typename T, typename MapFn, typename ReduceFn>
+void parallel_map_reduce(size_t n, MapFn&& map, ReduceFn&& reduce) {
+  std::vector<T> results(n);
+  parallel_for_blocks(n, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) results[i] = map(i);
+  });
+  for (size_t i = 0; i < n; ++i) reduce(i, std::move(results[i]));
+}
+
+}  // namespace metadse::core
+
+namespace metadse {
+// Public knobs live at top level: metadse::set_threads(8).
+using core::hardware_threads;
+using core::set_threads;
+using core::threads;
+}  // namespace metadse

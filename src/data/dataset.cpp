@@ -1,11 +1,13 @@
 #include "data/dataset.hpp"
 
+#include "core/parallel.hpp"
 #include "sim/pipeline_sim.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <numeric>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -142,6 +144,60 @@ bool plausible_labels(double ipc, double power) {
 
 }  // namespace
 
+/// What labelling one design point produced, computed on a pool worker and
+/// folded into the dataset/report on the calling thread in point order.
+struct DatasetGenerator::PointResult {
+  std::optional<Sample> sample;  ///< absent => the point is quarantined
+  size_t failures = 0;
+  size_t timeouts = 0;
+  size_t nonfinite_labels = 0;
+  size_t implausible_labels = 0;
+  /// Backoff the retry policy charged before each retry, in attempt order.
+  /// Replayed through the backoff hook during the ordered reduction so the
+  /// hook-call sequence is identical for every thread count.
+  std::vector<size_t> backoffs;
+};
+
+DatasetGenerator::PointResult DatasetGenerator::label_point(
+    const Config& c, const workload::Workload& wl) const {
+  PointResult pr;
+  for (size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      pr.backoffs.push_back(std::min(
+          retry_.backoff_cap_ms, retry_.backoff_base_ms << (attempt - 1)));
+    }
+    double ipc = 0.0;
+    double pw = 0.0;
+    try {
+      // Fault draws are a pure function of (plan seed, point key, attempt),
+      // so the outcome is independent of which worker evaluates the point.
+      std::tie(ipc, pw) = evaluate(c, wl, attempt);
+    } catch (const sim::SimulationTimeout&) {
+      ++pr.timeouts;
+      continue;
+    } catch (const sim::SimulationFailure&) {
+      ++pr.failures;
+      continue;
+    }
+    if (!std::isfinite(ipc) || !std::isfinite(pw)) {
+      ++pr.nonfinite_labels;
+      continue;
+    }
+    if (!plausible_labels(ipc, pw)) {
+      ++pr.implausible_labels;
+      continue;
+    }
+    Sample s;
+    s.config = c;
+    s.features = space_->normalize(c);
+    s.ipc = static_cast<float>(ipc);
+    s.power = static_cast<float>(pw);
+    pr.sample = std::move(s);
+    break;
+  }
+  return pr;
+}
+
 Dataset DatasetGenerator::generate(const workload::Workload& wl, size_t n,
                                    Rng& rng, bool latin_hypercube,
                                    GenerationReport* report) const {
@@ -152,46 +208,29 @@ Dataset DatasetGenerator::generate(const workload::Workload& wl, size_t n,
   rep.requested = n;
   const auto configs = latin_hypercube ? space_->sample_latin_hypercube(n, rng)
                                        : space_->sample_uniform(n, rng);
-  for (const auto& c : configs) {
-    bool labelled = false;
-    for (size_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
-      if (attempt > 0) {
-        ++rep.retries;
-        const size_t backoff = std::min(
-            retry_.backoff_cap_ms, retry_.backoff_base_ms << (attempt - 1));
-        rep.backoff_ms += backoff;
-        if (backoff_hook_) backoff_hook_(backoff);
-      }
-      double ipc = 0.0;
-      double pw = 0.0;
-      try {
-        std::tie(ipc, pw) = evaluate(c, wl, attempt);
-      } catch (const sim::SimulationTimeout&) {
-        ++rep.timeouts;
-        continue;
-      } catch (const sim::SimulationFailure&) {
-        ++rep.failures;
-        continue;
-      }
-      if (!std::isfinite(ipc) || !std::isfinite(pw)) {
-        ++rep.nonfinite_labels;
-        continue;
-      }
-      if (!plausible_labels(ipc, pw)) {
-        ++rep.implausible_labels;
-        continue;
-      }
-      Sample s;
-      s.config = c;
-      s.features = space_->normalize(c);
-      s.ipc = static_cast<float>(ipc);
-      s.power = static_cast<float>(pw);
-      ds.samples.push_back(std::move(s));
-      labelled = true;
-      break;
-    }
-    if (!labelled) rep.quarantined.push_back(c);
-  }
+  // Design points are labelled on the pool (each evaluation is a pure
+  // function of the config) and folded into the dataset in point order, so
+  // the samples, quarantine list, report counters, and backoff-hook call
+  // sequence are identical for every thread count.
+  core::parallel_map_reduce<PointResult>(
+      configs.size(),
+      [&](size_t i) { return label_point(configs[i], wl); },
+      [&](size_t i, PointResult pr) {
+        rep.retries += pr.backoffs.size();
+        for (size_t backoff : pr.backoffs) {
+          rep.backoff_ms += backoff;
+          if (backoff_hook_) backoff_hook_(backoff);
+        }
+        rep.failures += pr.failures;
+        rep.timeouts += pr.timeouts;
+        rep.nonfinite_labels += pr.nonfinite_labels;
+        rep.implausible_labels += pr.implausible_labels;
+        if (pr.sample) {
+          ds.samples.push_back(std::move(*pr.sample));
+        } else {
+          rep.quarantined.push_back(configs[i]);
+        }
+      });
   rep.generated = ds.samples.size();
   if (report) *report = std::move(rep);
   return ds;

@@ -141,6 +141,14 @@ class DatasetGenerator {
   const arch::DesignSpace& space() const { return *space_; }
 
  private:
+  /// Outcome of labelling one design point (see dataset.cpp).
+  struct PointResult;
+
+  /// Runs the full retry loop for one point. Thread-safe: reads only const
+  /// generator state and derives fault draws from the point key, so results
+  /// are independent of which pool worker evaluates the point.
+  PointResult label_point(const Config& c, const workload::Workload& wl) const;
+
   const arch::DesignSpace* space_;
   sim::CpuModel cpu_;
   sim::PowerModel power_;

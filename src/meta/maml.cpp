@@ -4,13 +4,31 @@
 #include <cstdio>
 #include <limits>
 #include <stdexcept>
+#include <utility>
 
+#include "core/parallel.hpp"
 #include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
 
 namespace metadse::meta {
 
 namespace t = metadse::tensor;
+
+/// Everything one meta-batch task produces on a worker thread. The fields
+/// are combined into the trainer state on the calling thread in task order,
+/// so the reduction is bitwise identical to the serial loop.
+struct MamlTrainer::TaskOutcome {
+  bool skipped = false;  ///< dropped by a numerical guard (no gradient)
+  /// Adapted-model attention map to accumulate (empty when the inner loop
+  /// diverged or the map was non-finite). Independent of `skipped`: the
+  /// serial loop accumulates attention before the query-loss guards.
+  std::vector<float> attention;
+  /// FOMAML/ANIL: query gradients per parameter, aligned with parameters().
+  std::vector<std::vector<float>> grads;
+  /// Reptile: flat (adapted - init) parameter delta.
+  std::vector<float> reptile_delta;
+  double query_loss = 0.0;
+};
 
 MamlTrainer::MamlTrainer(nn::TransformerConfig predictor, MamlOptions options)
     : cfg_(predictor), options_(options) {
@@ -143,107 +161,48 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
       reptile_delta.assign(model_->parameter_count(), 0.0F);
     }
 
-    size_t contributed = 0;  // tasks whose gradients survived the guards
+    // Sample the whole meta-batch up front (T_i ~ P(T)): the RNG draw order
+    // is identical to the serial loop's, and the per-task computation below
+    // never touches the shared stream.
+    std::vector<data::Task> tasks;
+    tasks.reserve(batch);
     for (size_t b = 0; b < batch; ++b) {
-      // Sample a task from a random source workload (T_i ~ P(T)).
       const size_t w = rng.uniform_index(samplers.size());
-      data::Task task = samplers[w].sample(rng);
+      tasks.push_back(samplers[w].sample(rng));
       ++tasks_done;
-      auto sup_y = scaler_.transform(task.support_y);
-      auto qry_y = scaler_.transform(task.query_y);
-      if (t::has_nonfinite(sup_y) || t::has_nonfinite(qry_y)) {
-        ++tr.skipped_tasks;  // poisoned labels: drop before they touch theta
-        continue;
-      }
-
-      // Inner loop on a clone (theta-hat). ANIL restricts the inner loop
-      // to the regression head.
-      auto clone = model_->clone();
-      clone->set_capture_attention(true);
-      const auto inner_params = options_.algorithm == MetaAlgorithm::kAnil
-                                    ? clone->head_parameters()
-                                    : clone->parameters();
-      nn::Sgd inner(inner_params, options_.inner_lr);
-      tensor::Rng fwd(0);
-      bool diverged = false;
-      for (size_t step = 0; step < options_.inner_steps; ++step) {
-        inner.zero_grad();
-        auto loss = t::mse_loss(
-            clone->forward(task.support_x, fwd, /*train=*/true), sup_y);
-        if (!std::isfinite(loss.item())) {
-          diverged = true;
-          break;
-        }
-        loss.backward();
-        t::clip_global_grad_norm(inner_params, options_.clip_norm);
-        inner.step();
-      }
-      if (diverged || t::any_nonfinite(clone->parameters())) {
-        ++tr.skipped_tasks;
-        continue;
-      }
-      // Accumulate the attention map observed on the adapted model (the
-      // "mask candidates" of the WAM algorithm). A non-finite map would
-      // poison the WAM for every later adaptation, so it is dropped too.
-      {
-        const auto& attn = clone->last_attention_layer().last_attention();
-        const auto& av = attn.data();
-        if (!t::has_nonfinite(av)) {
-          for (size_t i = 0; i < av.size(); ++i) attention_sum_[i] += av[i];
-          ++attention_count_;
-        }
-      }
-
-      // Outer objective: query loss at the adapted parameters.
-      clone->zero_grad();
-      auto query_loss =
-          t::mse_loss(clone->forward(task.query_x, fwd, /*train=*/true),
-                      qry_y);
-      const double q = query_loss.item();
-      if (!std::isfinite(q)) {
-        ++tr.skipped_tasks;
-        continue;
-      }
-      if (options_.algorithm != MetaAlgorithm::kReptile) {
-        query_loss.backward();
-        auto cparams = clone->parameters();
-        bool grad_ok = true;
-        for (const auto& p : cparams) {
-          if (t::has_nonfinite(p.node()->grad)) {
-            grad_ok = false;
-            break;
-          }
-        }
-        if (!grad_ok) {
-          ++tr.skipped_tasks;
-          continue;
-        }
-        for (size_t i = 0; i < cparams.size(); ++i) {
-          const auto& g = cparams[i].grad();
-          for (size_t j = 0; j < g.size(); ++j) meta_grad[i][j] += g[j];
-        }
-      } else {
-        // Reptile: one more inner step on the query set, then move toward
-        // the adapted parameters.
-        nn::Sgd extra(clone->parameters(), options_.inner_lr);
-        extra.zero_grad();
-        query_loss.backward();
-        t::clip_global_grad_norm(clone->parameters(), options_.clip_norm);
-        extra.step();
-        const auto adapted = clone->flatten_parameters();
-        if (t::has_nonfinite(adapted)) {
-          ++tr.skipped_tasks;
-          continue;
-        }
-        const auto init = model_->flatten_parameters();
-        for (size_t i = 0; i < adapted.size(); ++i) {
-          reptile_delta[i] += adapted[i] - init[i];
-        }
-      }
-      loss_sum += q;
-      ++tasks_contributed;
-      ++contributed;
     }
+
+    // Inner-adapt every task on the pool, then fold the outcomes into the
+    // accumulators in task order (bitwise equal to the serial loop).
+    size_t contributed = 0;  // tasks whose gradients survived the guards
+    core::parallel_map_reduce<TaskOutcome>(
+        batch,
+        [&](size_t b) { return run_task(tasks[b]); },
+        [&](size_t, TaskOutcome outcome) {
+          if (!outcome.attention.empty()) {
+            for (size_t i = 0; i < outcome.attention.size(); ++i) {
+              attention_sum_[i] += outcome.attention[i];
+            }
+            ++attention_count_;
+          }
+          if (outcome.skipped) {
+            ++tr.skipped_tasks;
+            return;
+          }
+          if (options_.algorithm != MetaAlgorithm::kReptile) {
+            for (size_t i = 0; i < meta_grad.size(); ++i) {
+              const auto& g = outcome.grads[i];
+              for (size_t j = 0; j < g.size(); ++j) meta_grad[i][j] += g[j];
+            }
+          } else {
+            for (size_t i = 0; i < reptile_delta.size(); ++i) {
+              reptile_delta[i] += outcome.reptile_delta[i];
+            }
+          }
+          loss_sum += outcome.query_loss;
+          ++tasks_contributed;
+          ++contributed;
+        });
 
     if (contributed == 0) {
       ++tr.skipped_batches;  // nothing usable: leave theta untouched
@@ -276,29 +235,122 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
              : loss_sum / static_cast<double>(tasks_contributed);
 }
 
+MamlTrainer::TaskOutcome MamlTrainer::run_task(const data::Task& task) const {
+  TaskOutcome out;
+  auto sup_y = scaler_.transform(task.support_y);
+  auto qry_y = scaler_.transform(task.query_y);
+  if (t::has_nonfinite(sup_y) || t::has_nonfinite(qry_y)) {
+    out.skipped = true;  // poisoned labels: drop before they touch theta
+    return out;
+  }
+
+  // Inner loop on a clone (theta-hat). ANIL restricts the inner loop to the
+  // regression head.
+  auto clone = model_->clone();
+  clone->set_capture_attention(true);
+  const auto inner_params = options_.algorithm == MetaAlgorithm::kAnil
+                                ? clone->head_parameters()
+                                : clone->parameters();
+  nn::Sgd inner(inner_params, options_.inner_lr);
+  tensor::Rng fwd(0);
+  bool diverged = false;
+  for (size_t step = 0; step < options_.inner_steps; ++step) {
+    inner.zero_grad();
+    auto loss = t::mse_loss(
+        clone->forward(task.support_x, fwd, /*train=*/true), sup_y);
+    if (!std::isfinite(loss.item())) {
+      diverged = true;
+      break;
+    }
+    loss.backward();
+    t::clip_global_grad_norm(inner_params, options_.clip_norm);
+    inner.step();
+  }
+  if (diverged || t::any_nonfinite(clone->parameters())) {
+    out.skipped = true;
+    return out;
+  }
+  // Capture the attention map observed on the adapted model (the "mask
+  // candidates" of the WAM algorithm). A non-finite map would poison the
+  // WAM for every later adaptation, so it is dropped too.
+  {
+    const auto& attn = clone->last_attention_layer().last_attention();
+    const auto& av = attn.data();
+    if (!t::has_nonfinite(av)) out.attention = av;
+  }
+
+  // Outer objective: query loss at the adapted parameters.
+  clone->zero_grad();
+  auto query_loss = t::mse_loss(
+      clone->forward(task.query_x, fwd, /*train=*/true), qry_y);
+  const double q = query_loss.item();
+  if (!std::isfinite(q)) {
+    out.skipped = true;
+    return out;
+  }
+  if (options_.algorithm != MetaAlgorithm::kReptile) {
+    query_loss.backward();
+    auto cparams = clone->parameters();
+    for (const auto& p : cparams) {
+      if (t::has_nonfinite(p.node()->grad)) {
+        out.skipped = true;
+        return out;
+      }
+    }
+    out.grads.reserve(cparams.size());
+    for (auto& p : cparams) out.grads.push_back(p.grad());
+  } else {
+    // Reptile: one more inner step on the query set, then move toward the
+    // adapted parameters.
+    nn::Sgd extra(clone->parameters(), options_.inner_lr);
+    extra.zero_grad();
+    query_loss.backward();
+    t::clip_global_grad_norm(clone->parameters(), options_.clip_norm);
+    extra.step();
+    auto adapted = clone->flatten_parameters();
+    if (t::has_nonfinite(adapted)) {
+      out.skipped = true;
+      return out;
+    }
+    const auto init = model_->flatten_parameters();
+    for (size_t i = 0; i < adapted.size(); ++i) adapted[i] -= init[i];
+    out.reptile_delta = std::move(adapted);
+  }
+  out.query_loss = q;
+  return out;
+}
+
 double MamlTrainer::meta_validate(const std::vector<data::Dataset>& val_sets,
                                   tensor::Rng& rng) const {
-  double loss_sum = 0.0;
-  size_t count = 0;
+  // Draw every validation task first (serial, fixed RNG order), adapt them
+  // on the pool, and sum the losses in task order — bitwise equal to the
+  // serial loop for any thread count.
+  std::vector<data::Task> tasks;
+  tasks.reserve(val_sets.size() * options_.val_tasks_per_workload);
   for (const auto& ds : val_sets) {
     data::TaskSampler sampler(ds, options_.support, options_.query,
                               options_.target);
     for (size_t k = 0; k < options_.val_tasks_per_workload; ++k) {
-      data::Task task = sampler.sample(rng);
-      auto sup_y = scaler_.transform(task.support_y);
-      auto qry_y = scaler_.transform(task.query_y);
-      auto adapted =
-          adapt_clone(*model_, task.support_x, sup_y, options_.inner_steps,
-                      options_.inner_lr,
-                      options_.algorithm == MetaAlgorithm::kAnil);
-      tensor::Rng fwd(0);
-      auto loss =
-          t::mse_loss(adapted->forward(task.query_x, fwd), qry_y);
-      loss_sum += loss.item();
-      ++count;
+      tasks.push_back(sampler.sample(rng));
     }
   }
-  return count == 0 ? 0.0 : loss_sum / static_cast<double>(count);
+  double loss_sum = 0.0;
+  core::parallel_map_reduce<double>(
+      tasks.size(),
+      [&](size_t i) {
+        const auto& task = tasks[i];
+        auto sup_y = scaler_.transform(task.support_y);
+        auto qry_y = scaler_.transform(task.query_y);
+        auto adapted =
+            adapt_clone(*model_, task.support_x, sup_y, options_.inner_steps,
+                        options_.inner_lr,
+                        options_.algorithm == MetaAlgorithm::kAnil);
+        tensor::Rng fwd(0);
+        return t::mse_loss(adapted->forward(task.query_x, fwd), qry_y).item();
+      },
+      [&](size_t, double loss) { loss_sum += loss; });
+  return tasks.empty() ? 0.0
+                       : loss_sum / static_cast<double>(tasks.size());
 }
 
 const nn::TransformerRegressor& MamlTrainer::model() const { return *model_; }

@@ -136,8 +136,15 @@ class MamlTrainer {
       bool head_only = false);
 
  private:
+  /// What one meta-batch task computes on a pool worker (see maml.cpp).
+  struct TaskOutcome;
+
   double run_epoch(const std::vector<data::Dataset>& train_sets,
                    tensor::Rng& rng, EpochTrace& tr);
+  /// Inner-adapts one sampled task and returns its meta-gradient /
+  /// attention contribution. Pure with respect to trainer state (reads
+  /// model_ and scaler_ only), so tasks of a meta-batch run concurrently.
+  TaskOutcome run_task(const data::Task& task) const;
   double meta_validate(const std::vector<data::Dataset>& val_sets,
                        tensor::Rng& rng) const;
 

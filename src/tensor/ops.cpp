@@ -1,7 +1,10 @@
 #include "tensor/ops.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
 
 namespace metadse::tensor {
 
@@ -9,6 +12,113 @@ namespace {
 
 constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715F;
+
+// -- blocked GEMM kernels ----------------------------------------------------
+//
+// The three kernels below (C = A*B, dA = dC*B^T, dB = A^T*dC) partition one
+// index axis into contiguous row blocks across the thread pool and tile the
+// reduction axis for cache reuse. Every output element accumulates its
+// reduction terms in ascending order regardless of block boundaries or tile
+// size, so results are bitwise identical to the serial triple loop for any
+// thread count. The gradient kernels give each thread exclusive ownership of
+// an output row *across all batches* (batch iterated innermost-serially):
+// when a broadcast batch maps several batch indices onto the same gradient
+// matrix, the accumulation order per element still matches the serial
+// bi-major order.
+
+/// Reduction-axis tile: K-slices of B this wide stay resident in L1/L2
+/// while a row block streams over them.
+constexpr size_t kGemmKTile = 64;
+
+/// Minimum multiply-adds worth shipping to a worker; below this a block is
+/// not worth the handoff and the grain forces the inline path.
+constexpr size_t kGemmGrainFlops = 1 << 14;
+
+size_t gemm_row_grain(size_t flops_per_row) {
+  return std::max<size_t>(1, kGemmGrainFlops / std::max<size_t>(1, flops_per_row));
+}
+
+/// C[bi] += A[bi] * B[bi] for all batches, rows split across the pool.
+void gemm_forward(const float* a, const float* b, float* c,
+                  const std::vector<size_t>& aoff,
+                  const std::vector<size_t>& boff, size_t M, size_t K,
+                  size_t N) {
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+  core::parallel_for_blocks(M, gemm_row_grain(K * N * nb), [&](size_t m0,
+                                                               size_t m1) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      const float* pa = a + aoff[bi];
+      const float* pb = b + boff[bi];
+      float* po = c + bi * o_mat;
+      for (size_t k0 = 0; k0 < K; k0 += kGemmKTile) {
+        const size_t k1 = std::min(K, k0 + kGemmKTile);
+        for (size_t m = m0; m < m1; ++m) {
+          const float* pam = pa + m * K;
+          float* pom = po + m * N;
+          for (size_t k = k0; k < k1; ++k) {
+            const float av = pam[k];
+            const float* pbk = pb + k * N;
+            for (size_t n = 0; n < N; ++n) pom[n] += av * pbk[n];
+          }
+        }
+      }
+    }
+  });
+}
+
+/// dA[bi] += dC[bi] * B[bi]^T; a thread owns rows [m0, m1) of dA for every
+/// batch, so broadcast-shared dA rows accumulate in serial bi-major order.
+void gemm_backward_a(const float* go, const float* b, float* da,
+                     const std::vector<size_t>& aoff,
+                     const std::vector<size_t>& boff, size_t M, size_t K,
+                     size_t N) {
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+  core::parallel_for_blocks(M, gemm_row_grain(K * N * nb), [&](size_t m0,
+                                                               size_t m1) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      const float* pb = b + boff[bi];
+      const float* g = go + bi * o_mat;
+      float* pda = da + aoff[bi];
+      for (size_t m = m0; m < m1; ++m) {
+        const float* gm = g + m * N;
+        float* dam = pda + m * K;
+        for (size_t n = 0; n < N; ++n) {
+          const float gv = gm[n];
+          const float* pbn = pb + n;
+          for (size_t k = 0; k < K; ++k) dam[k] += gv * pbn[k * N];
+        }
+      }
+    }
+  });
+}
+
+/// dB[bi] += A[bi]^T * dC[bi]; a thread owns rows [k0, k1) of dB for every
+/// batch (same broadcast-safety argument as gemm_backward_a).
+void gemm_backward_b(const float* a, const float* go, float* db,
+                     const std::vector<size_t>& aoff,
+                     const std::vector<size_t>& boff, size_t M, size_t K,
+                     size_t N) {
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+  core::parallel_for_blocks(K, gemm_row_grain(M * N * nb), [&](size_t k0,
+                                                               size_t k1) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      const float* pa = a + aoff[bi];
+      const float* g = go + bi * o_mat;
+      float* pdb = db + boff[bi];
+      for (size_t k = k0; k < k1; ++k) {
+        float* dbk = pdb + k * N;
+        for (size_t m = 0; m < M; ++m) {
+          const float av = pa[m * K + k];
+          const float* gm = g + m * N;
+          for (size_t n = 0; n < N; ++n) dbk[n] += av * gm[n];
+        }
+      }
+    }
+  });
+}
 
 /// Iterates the linear indices of two inputs broadcast to a common output
 /// shape. Offsets are recomputed per element from the multi-index; shapes in
@@ -187,56 +297,25 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(M);
   out_shape.push_back(N);
   std::vector<float> out(nb * o_mat, 0.0F);
-  for (size_t bi = 0; bi < nb; ++bi) {
-    const float* pa = an->value.data() + aoff[bi];
-    const float* pb = bn->value.data() + boff[bi];
-    float* po = out.data() + bi * o_mat;
-    for (size_t m = 0; m < M; ++m) {
-      for (size_t k = 0; k < K; ++k) {
-        const float av = pa[m * K + k];
-        const float* pbk = pb + k * N;
-        float* pom = po + m * N;
-        for (size_t n = 0; n < N; ++n) pom[n] += av * pbk[n];
-      }
-    }
-  }
+  gemm_forward(an->value.data(), bn->value.data(), out.data(), aoff, boff, M,
+               K, N);
 
   return make_op_result(
       std::move(out_shape), std::move(out), {an, bn},
-      [an, bn, aoff, boff, M, K, N, o_mat](Node& self) {
+      [an, bn, aoff, boff, M, K, N](Node& self) {
         const bool ga = an->requires_grad;
         const bool gb = bn->requires_grad;
         if (ga) an->ensure_grad();
         if (gb) bn->ensure_grad();
-        const size_t nb2 = aoff.size();
-        for (size_t bi = 0; bi < nb2; ++bi) {
-          const float* go = self.grad.data() + bi * o_mat;
-          const float* pa = an->value.data() + aoff[bi];
-          const float* pb = bn->value.data() + boff[bi];
-          if (ga) {
-            float* da = an->grad.data() + aoff[bi];
-            // dA = dOut * B^T
-            for (size_t m = 0; m < M; ++m) {
-              for (size_t n = 0; n < N; ++n) {
-                const float g = go[m * N + n];
-                const float* pbn = pb + n;
-                float* dam = da + m * K;
-                for (size_t k = 0; k < K; ++k) dam[k] += g * pbn[k * N];
-              }
-            }
-          }
-          if (gb) {
-            float* db = bn->grad.data() + boff[bi];
-            // dB = A^T * dOut
-            for (size_t k = 0; k < K; ++k) {
-              for (size_t m = 0; m < M; ++m) {
-                const float av = pa[m * K + k];
-                const float* gom = go + m * N;
-                float* dbk = db + k * N;
-                for (size_t n = 0; n < N; ++n) dbk[n] += av * gom[n];
-              }
-            }
-          }
+        if (ga) {
+          // dA = dOut * B^T
+          gemm_backward_a(self.grad.data(), bn->value.data(),
+                          an->grad.data(), aoff, boff, M, K, N);
+        }
+        if (gb) {
+          // dB = A^T * dOut
+          gemm_backward_b(an->value.data(), self.grad.data(),
+                          bn->grad.data(), aoff, boff, M, K, N);
         }
       });
 }

@@ -3,6 +3,7 @@
 // pass, MAML's unrolled gradients are trustworthy.
 #include <gtest/gtest.h>
 
+#include "core/parallel.hpp"
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
 
@@ -63,6 +64,36 @@ TEST_F(OpGradTest, MatmulBatchedBroadcast) {
   mt::Tensor y = mt::Tensor::randn({2, 4, 3}, rng, 0.8F, true);
   expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(x, y))); },
                  {x, y});
+}
+
+TEST_F(OpGradTest, MatmulDegenerateAndTiledShapes) {
+  // 1xN row vector times matrix.
+  mt::Tensor r = mt::Tensor::randn({1, 6}, rng, 0.8F, true);
+  mt::Tensor w = mt::Tensor::randn({6, 3}, rng, 0.8F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(r, w))); },
+                 {r, w});
+  // Nx1 column vector times row vector (outer product).
+  mt::Tensor col = mt::Tensor::randn({5, 1}, rng, 0.8F, true);
+  mt::Tensor row = mt::Tensor::randn({1, 4}, rng, 0.8F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(col, row))); },
+                 {col, row});
+  // K wide enough to span several reduction tiles of the blocked kernel.
+  mt::Tensor p = mt::Tensor::randn({2, 130}, rng, 0.1F, true);
+  mt::Tensor q = mt::Tensor::randn({130, 2}, rng, 0.1F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(p, q))); },
+                 {p, q});
+}
+
+TEST_F(OpGradTest, MatmulGradThreadInvariant) {
+  // The finite-difference check under a pool wider than the host: the
+  // blocked kernels must stay correct (not just self-consistent) when rows
+  // are split across workers.
+  metadse::set_threads(8);
+  mt::Tensor x = mt::Tensor::randn({2, 3, 4}, rng, 0.8F, true);
+  mt::Tensor w = mt::Tensor::randn({4, 3}, rng, 0.8F, true);
+  expect_grad_ok([&] { return mt::sum(mt::square(mt::matmul(x, w))); },
+                 {x, w});
+  metadse::set_threads(1);
 }
 
 TEST_F(OpGradTest, Activations) {

@@ -1,0 +1,464 @@
+// The determinism contract of the thread-pool subsystem: for every thread
+// count, parallel execution produces *bitwise* the same results as the
+// serial code path — MAML epoch traces and final weights, generated
+// datasets (including injected-fault quarantine accounting and the
+// backoff-hook call sequence), ensemble fits, and the blocked GEMM kernel
+// (forward and gradients, checked against a naive reference).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "arch/design_space.hpp"
+#include "baselines/ensembles.hpp"
+#include "core/parallel.hpp"
+#include "data/dataset.hpp"
+#include "meta/maml.hpp"
+#include "sim/fault_injection.hpp"
+#include "tensor/ops.hpp"
+#include "workload/spec_suite.hpp"
+
+namespace core = metadse::core;
+namespace meta = metadse::meta;
+namespace data = metadse::data;
+namespace nn = metadse::nn;
+namespace mt = metadse::tensor;
+namespace arch = metadse::arch;
+namespace sim = metadse::sim;
+namespace baselines = metadse::baselines;
+
+namespace {
+
+/// The sweep every equivalence test runs: the serial path plus two pool
+/// widths (one under, one over this host's core count).
+const std::vector<size_t> kThreadSweep = {1, 2, 8};
+
+/// Restores the serial default when a test exits, pass or fail.
+struct ThreadGuard {
+  ~ThreadGuard() { metadse::set_threads(1); }
+};
+
+// -- pool primitives ---------------------------------------------------------
+
+TEST(ParallelFor, PartitionCoversRangeExactlyOnce) {
+  ThreadGuard guard;
+  for (size_t threads : kThreadSweep) {
+    metadse::set_threads(threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{5}, size_t{64},
+                     size_t{1000}}) {
+      for (size_t grain : {size_t{1}, size_t{7}}) {
+        std::vector<int> hits(n, 0);
+        std::mutex m;
+        core::parallel_for_blocks(n, grain, [&](size_t lo, size_t hi) {
+          EXPECT_LE(lo, hi);
+          EXPECT_LE(hi, n);
+          std::lock_guard<std::mutex> lk(m);
+          for (size_t i = lo; i < hi; ++i) ++hits[i];
+        });
+        for (size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(hits[i], 1) << "n=" << n << " grain=" << grain
+                                << " threads=" << threads << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelFor, RethrowsBlockExceptionOnCaller) {
+  ThreadGuard guard;
+  metadse::set_threads(8);
+  EXPECT_THROW(
+      core::parallel_for_blocks(64, 1,
+                                [&](size_t lo, size_t) {
+                                  if (lo >= 32) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+      std::runtime_error);
+  // The pool must still be usable after a failed batch.
+  size_t total = 0;
+  std::mutex m;
+  core::parallel_for_blocks(100, 1, [&](size_t lo, size_t hi) {
+    std::lock_guard<std::mutex> lk(m);
+    total += hi - lo;
+  });
+  EXPECT_EQ(total, 100U);
+}
+
+TEST(ParallelFor, NestedRegionsRunInline) {
+  ThreadGuard guard;
+  metadse::set_threads(8);
+  EXPECT_FALSE(core::in_parallel_region());
+  std::mutex m;
+  size_t inner_total = 0;
+  core::parallel_for_blocks(8, 1, [&](size_t, size_t) {
+    EXPECT_TRUE(core::in_parallel_region());
+    // A nested region must degrade to one inline block, not deadlock.
+    core::parallel_for_blocks(10, 1, [&](size_t lo, size_t hi) {
+      EXPECT_EQ(lo, 0U);
+      EXPECT_EQ(hi, 10U);
+      std::lock_guard<std::mutex> lk(m);
+      inner_total += hi - lo;
+    });
+  });
+  EXPECT_FALSE(core::in_parallel_region());
+  EXPECT_EQ(inner_total, 80U);
+}
+
+TEST(ParallelMapReduce, ReducesInAscendingIndexOrder) {
+  ThreadGuard guard;
+  metadse::set_threads(8);
+  std::vector<size_t> order;
+  core::parallel_map_reduce<size_t>(
+      200, [](size_t i) { return i * 3; },
+      [&](size_t i, size_t v) {
+        EXPECT_EQ(v, i * 3);
+        order.push_back(i);
+      });
+  ASSERT_EQ(order.size(), 200U);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(ParallelConfig, ThreadsKnobClampsAndDefaults) {
+  ThreadGuard guard;
+  metadse::set_threads(3);
+  EXPECT_EQ(metadse::threads(), 3U);
+  metadse::set_threads(0);  // hardware/env default
+  EXPECT_GE(metadse::threads(), 1U);
+  EXPECT_GE(metadse::hardware_threads(), 1U);
+}
+
+// -- blocked GEMM vs naive reference ----------------------------------------
+
+/// The pre-blocking triple loop (m, k, n with ascending-k accumulation),
+/// batched with the same broadcast offsets as tensor::matmul.
+std::vector<float> naive_matmul(const std::vector<float>& a,
+                                const std::vector<float>& b,
+                                const mt::Shape& sa, const mt::Shape& sb) {
+  const size_t M = sa[sa.size() - 2];
+  const size_t K = sa[sa.size() - 1];
+  const size_t N = sb[sb.size() - 1];
+  const mt::Shape a_batch(sa.begin(), sa.end() - 2);
+  const mt::Shape b_batch(sb.begin(), sb.end() - 2);
+  const mt::Shape batch = mt::broadcast_shape(a_batch, b_batch);
+  const auto stra = mt::broadcast_strides(a_batch, batch);
+  const auto strb = mt::broadcast_strides(b_batch, batch);
+  const size_t nb = mt::numel(batch);
+  std::vector<float> out(nb * M * N, 0.0F);
+  std::vector<size_t> idx(batch.size(), 0);
+  for (size_t bi = 0; bi < nb; ++bi) {
+    size_t oa = 0;
+    size_t ob = 0;
+    for (size_t d = 0; d < batch.size(); ++d) {
+      oa += idx[d] * stra[d];
+      ob += idx[d] * strb[d];
+    }
+    const float* pa = a.data() + oa * M * K;
+    const float* pb = b.data() + ob * K * N;
+    float* po = out.data() + bi * M * N;
+    for (size_t m = 0; m < M; ++m) {
+      for (size_t k = 0; k < K; ++k) {
+        for (size_t n = 0; n < N; ++n) {
+          po[m * N + n] += pa[m * K + k] * pb[k * N + n];
+        }
+      }
+    }
+    for (size_t d = batch.size(); d-- > 0;) {
+      if (++idx[d] < batch[d]) break;
+      idx[d] = 0;
+    }
+  }
+  return out;
+}
+
+/// Shape pairs covering square, non-square, tall/wide, 1xN / Nx1, empty,
+/// K wider than one reduction tile, batched, and broadcast-batched GEMMs.
+std::vector<std::pair<mt::Shape, mt::Shape>> gemm_shapes() {
+  return {
+      {{4, 4}, {4, 4}},
+      {{3, 7}, {7, 5}},
+      {{1, 9}, {9, 6}},
+      {{9, 1}, {1, 4}},
+      {{1, 1}, {1, 1}},
+      {{0, 4}, {4, 3}},        // no rows
+      {{5, 0}, {0, 2}},        // empty reduction: all zeros
+      {{6, 130}, {130, 3}},    // K spans multiple 64-wide tiles
+      {{2, 3, 4}, {2, 4, 5}},  // batched
+      {{3, 4}, {2, 4, 5}},     // a broadcast over b's batch
+      {{2, 3, 4}, {4, 5}},     // b broadcast over a's batch
+  };
+}
+
+TEST(BlockedGemm, ForwardMatchesNaiveReferenceBitwise) {
+  ThreadGuard guard;
+  for (const auto& [sa, sb] : gemm_shapes()) {
+    mt::Rng rng(11);
+    auto a = mt::Tensor::randn(sa, rng);
+    auto b = mt::Tensor::randn(sb, rng);
+    const auto ref = naive_matmul(a.data(), b.data(), sa, sb);
+    for (size_t threads : kThreadSweep) {
+      metadse::set_threads(threads);
+      const auto got = mt::matmul(a, b).data();
+      ASSERT_EQ(got.size(), ref.size());
+      for (size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(got[i], ref[i])
+            << "threads=" << threads << " shape=" << mt::shape_str(sa)
+            << "x" << mt::shape_str(sb) << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BlockedGemm, GradientsIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  for (const auto& [sa, sb] : gemm_shapes()) {
+    std::vector<float> ref_da;
+    std::vector<float> ref_db;
+    for (size_t threads : kThreadSweep) {
+      metadse::set_threads(threads);
+      mt::Rng rng(13);
+      auto a = mt::Tensor::randn(sa, rng, 1.0F, /*requires_grad=*/true);
+      auto b = mt::Tensor::randn(sb, rng, 1.0F, /*requires_grad=*/true);
+      // sum(square(.)) gives every output element a distinct gradient.
+      auto loss = mt::sum(mt::square(mt::matmul(a, b)));
+      loss.backward();
+      if (threads == 1) {
+        ref_da = a.grad();
+        ref_db = b.grad();
+        continue;
+      }
+      ASSERT_EQ(a.grad(), ref_da)
+          << "threads=" << threads << " shape=" << mt::shape_str(sa);
+      ASSERT_EQ(b.grad(), ref_db)
+          << "threads=" << threads << " shape=" << mt::shape_str(sb);
+    }
+  }
+}
+
+// -- MAML meta-batch ---------------------------------------------------------
+
+constexpr size_t kFeatures = 4;
+
+data::Dataset family_dataset(float a, float b, float c, float d, size_t n,
+                             uint64_t seed) {
+  data::Dataset ds;
+  ds.workload = "synthetic";
+  mt::Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    data::Sample s;
+    s.features.resize(kFeatures);
+    for (auto& f : s.features) f = rng.uniform(0.0F, 1.0F);
+    s.ipc = a * std::sin(3.14159F * s.features[0]) + b * s.features[1] +
+            c * s.features[2] * s.features[3] + d;
+    ds.samples.push_back(std::move(s));
+  }
+  return ds;
+}
+
+meta::MamlOptions equivalence_opts(meta::MetaAlgorithm algo) {
+  meta::MamlOptions o;
+  o.epochs = 3;
+  o.tasks_per_workload = 5;  // 10 tasks/epoch: exercises a partial final batch
+  o.support = 5;
+  o.query = 15;
+  o.inner_steps = 2;
+  o.inner_lr = 0.05F;
+  o.outer_lr = 2e-3F;
+  o.meta_batch = 4;
+  o.val_tasks_per_workload = 3;
+  o.seed = 7;
+  o.algorithm = algo;
+  return o;
+}
+
+struct MamlRun {
+  std::vector<meta::EpochTrace> trace;
+  std::vector<float> best_params;
+  std::vector<float> live_params;
+  std::vector<double> attention_sum;
+  size_t attention_count = 0;
+};
+
+MamlRun run_maml(meta::MetaAlgorithm algo, size_t threads) {
+  metadse::set_threads(threads);
+  nn::TransformerConfig cfg{.n_tokens = kFeatures, .d_model = 8, .n_heads = 2,
+                            .n_layers = 1, .d_ff = 16, .n_outputs = 1};
+  meta::MamlTrainer trainer(cfg, equivalence_opts(algo));
+  const std::vector<data::Dataset> train = {
+      family_dataset(1.0F, 0.5F, 0.8F, 0.2F, 60, 1),
+      family_dataset(0.6F, 1.0F, 0.2F, 0.5F, 60, 2)};
+  const std::vector<data::Dataset> val = {
+      family_dataset(0.8F, 0.8F, 1.0F, 0.3F, 60, 3)};
+  trainer.train(train, val);
+  MamlRun run;
+  run.trace = trainer.trace();
+  run.best_params = trainer.best_model().flatten_parameters();
+  run.live_params = trainer.model().flatten_parameters();
+  run.attention_sum = trainer.attention_sum();
+  run.attention_count = trainer.attention_count();
+  return run;
+}
+
+void expect_same_run(const MamlRun& ref, const MamlRun& got, size_t threads) {
+  ASSERT_EQ(got.trace.size(), ref.trace.size()) << "threads=" << threads;
+  for (size_t e = 0; e < ref.trace.size(); ++e) {
+    // Bitwise: these are doubles produced by the same serial reduction.
+    EXPECT_EQ(got.trace[e].train_meta_loss, ref.trace[e].train_meta_loss)
+        << "threads=" << threads << " epoch=" << e;
+    EXPECT_EQ(got.trace[e].val_loss, ref.trace[e].val_loss)
+        << "threads=" << threads << " epoch=" << e;
+    EXPECT_EQ(got.trace[e].skipped_tasks, ref.trace[e].skipped_tasks);
+    EXPECT_EQ(got.trace[e].skipped_batches, ref.trace[e].skipped_batches);
+    EXPECT_EQ(got.trace[e].rolled_back, ref.trace[e].rolled_back);
+    EXPECT_EQ(got.trace[e].outer_lr, ref.trace[e].outer_lr);
+  }
+  EXPECT_EQ(got.best_params, ref.best_params) << "threads=" << threads;
+  EXPECT_EQ(got.live_params, ref.live_params) << "threads=" << threads;
+  EXPECT_EQ(got.attention_sum, ref.attention_sum) << "threads=" << threads;
+  EXPECT_EQ(got.attention_count, ref.attention_count) << "threads=" << threads;
+}
+
+TEST(ParallelEquivalence, MamlFomamlBitwiseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const MamlRun ref = run_maml(meta::MetaAlgorithm::kFomaml, 1);
+  for (size_t threads : kThreadSweep) {
+    if (threads == 1) continue;
+    expect_same_run(ref, run_maml(meta::MetaAlgorithm::kFomaml, threads),
+                    threads);
+  }
+}
+
+TEST(ParallelEquivalence, MamlReptileBitwiseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const MamlRun ref = run_maml(meta::MetaAlgorithm::kReptile, 1);
+  expect_same_run(ref, run_maml(meta::MetaAlgorithm::kReptile, 8), 8);
+}
+
+TEST(ParallelEquivalence, MamlAnilBitwiseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const MamlRun ref = run_maml(meta::MetaAlgorithm::kAnil, 1);
+  expect_same_run(ref, run_maml(meta::MetaAlgorithm::kAnil, 8), 8);
+}
+
+// -- dataset generation under fault injection --------------------------------
+
+struct GenRun {
+  data::Dataset ds;
+  data::GenerationReport report;
+  std::vector<size_t> backoffs;
+};
+
+GenRun run_generate(size_t threads) {
+  metadse::set_threads(threads);
+  const auto& space = arch::DesignSpace::table1();
+  metadse::workload::SpecSuite suite;
+  data::DatasetGenerator gen(space);
+  sim::FaultPlan plan;
+  plan.fail_rate = 0.2;
+  plan.timeout_rate = 0.1;
+  plan.nan_rate = 0.1;
+  plan.garbage_rate = 0.1;
+  plan.persistent_fraction = 0.5;
+  plan.seed = 0xFA17;
+  gen.set_fault_plan(plan);
+  gen.set_retry_policy({.max_attempts = 3, .backoff_base_ms = 10,
+                        .backoff_cap_ms = 1000});
+  GenRun run;
+  gen.set_backoff_hook([&](size_t ms) { run.backoffs.push_back(ms); });
+  mt::Rng rng(2025);
+  run.ds = gen.generate(suite.by_name("605.mcf_s"), 60, rng,
+                        /*latin_hypercube=*/true, &run.report);
+  return run;
+}
+
+TEST(ParallelEquivalence, FaultyDatasetGenerationIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const GenRun ref = run_generate(1);
+  ASSERT_GT(ref.report.dropped() + ref.report.retries, 0U)
+      << "fault plan too weak to exercise the quarantine path";
+  for (size_t threads : kThreadSweep) {
+    if (threads == 1) continue;
+    const GenRun got = run_generate(threads);
+    ASSERT_EQ(got.ds.samples.size(), ref.ds.samples.size());
+    for (size_t i = 0; i < ref.ds.samples.size(); ++i) {
+      EXPECT_EQ(got.ds.samples[i].config, ref.ds.samples[i].config);
+      EXPECT_EQ(got.ds.samples[i].features, ref.ds.samples[i].features);
+      EXPECT_EQ(got.ds.samples[i].ipc, ref.ds.samples[i].ipc);
+      EXPECT_EQ(got.ds.samples[i].power, ref.ds.samples[i].power);
+    }
+    EXPECT_EQ(got.report.generated, ref.report.generated);
+    EXPECT_EQ(got.report.retries, ref.report.retries);
+    EXPECT_EQ(got.report.failures, ref.report.failures);
+    EXPECT_EQ(got.report.timeouts, ref.report.timeouts);
+    EXPECT_EQ(got.report.nonfinite_labels, ref.report.nonfinite_labels);
+    EXPECT_EQ(got.report.implausible_labels, ref.report.implausible_labels);
+    EXPECT_EQ(got.report.backoff_ms, ref.report.backoff_ms);
+    ASSERT_EQ(got.report.quarantined.size(), ref.report.quarantined.size());
+    for (size_t i = 0; i < ref.report.quarantined.size(); ++i) {
+      EXPECT_EQ(got.report.quarantined[i], ref.report.quarantined[i]);
+    }
+    EXPECT_EQ(got.backoffs, ref.backoffs) << "threads=" << threads;
+  }
+}
+
+// -- tree ensembles ----------------------------------------------------------
+
+void make_regression_data(baselines::FeatureMatrix& x, std::vector<float>& y,
+                          size_t n, uint64_t seed) {
+  mt::Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<float> row(6);
+    for (auto& v : row) v = rng.uniform();
+    y.push_back(2.0F * row[0] - row[3] + 0.5F * row[5]);
+    x.push_back(std::move(row));
+  }
+}
+
+TEST(ParallelEquivalence, RandomForestIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  baselines::FeatureMatrix x;
+  std::vector<float> y;
+  make_regression_data(x, y, 120, 21);
+  std::vector<float> ref;
+  for (size_t threads : kThreadSweep) {
+    metadse::set_threads(threads);
+    baselines::ForestOptions opts;
+    opts.n_trees = 12;
+    baselines::RandomForest forest(opts);
+    forest.fit(x, y);
+    std::vector<float> preds;
+    for (const auto& row : x) preds.push_back(forest.predict(row));
+    if (threads == 1) {
+      ref = preds;
+      continue;
+    }
+    EXPECT_EQ(preds, ref) << "threads=" << threads;
+  }
+}
+
+TEST(ParallelEquivalence, GbrtIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  baselines::FeatureMatrix x;
+  std::vector<float> y;
+  make_regression_data(x, y, 120, 22);
+  std::vector<float> ref;
+  for (size_t threads : kThreadSweep) {
+    metadse::set_threads(threads);
+    baselines::GbrtOptions opts;
+    opts.n_rounds = 15;
+    baselines::Gbrt model(opts);
+    model.fit(x, y);
+    std::vector<float> preds;
+    for (const auto& row : x) preds.push_back(model.predict(row));
+    if (threads == 1) {
+      ref = preds;
+      continue;
+    }
+    EXPECT_EQ(preds, ref) << "threads=" << threads;
+  }
+}
+
+}  // namespace

@@ -17,6 +17,7 @@
 
 #include "baselines/trendse.hpp"
 #include "core/metadse.hpp"
+#include "core/parallel.hpp"
 #include "eval/metrics.hpp"
 #include "eval/table.hpp"
 #include "explore/explorer.hpp"
@@ -106,6 +107,18 @@ void print_reports(const core::MetaDseFramework& fw) {
                    rep.summary().c_str());
     }
   }
+}
+
+/// Applies the global --threads knob (0 or absent-value = hardware
+/// concurrency; 1 = the serial code path). Results are bitwise identical
+/// for every width — threads only change wall-clock.
+void apply_threads(const Args& args) {
+  if (!args.has("threads")) return;
+  const long v = args.num("threads", 0);
+  if (v < 0) {
+    throw UsageError("--threads must be >= 0 (0 = hardware concurrency)");
+  }
+  metadse::set_threads(static_cast<size_t>(v));
 }
 
 core::FrameworkOptions options_from(const Args& args) {
@@ -336,7 +349,8 @@ void usage() {
       "  evaluate --ckpt F --workload W [--tasks N --support K --no-wam]\n"
       "  adapt    --ckpt F --workload W [--support K --candidates N]\n"
       "  similarity [--samples N]\n"
-      "common flags: --seed S, --dataset-size N, --verbose\n"
+      "common flags: --seed S, --dataset-size N, --threads N (0 = auto),\n"
+      "  --verbose\n"
       "fault injection (generate/pretrain/evaluate): --inject-fail R\n"
       "  --inject-timeout R --inject-nan R --inject-garbage R\n"
       "  --inject-persistent R --fault-seed S  (rates in [0,1])\n");
@@ -353,6 +367,7 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     Args args(argc, argv, 2);
+    apply_threads(args);
     if (cmd == "info") return cmd_info();
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "pretrain") return cmd_pretrain(args);
