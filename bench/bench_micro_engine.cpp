@@ -6,9 +6,11 @@
 
 #include <cmath>
 
+#include "arch/design_space.hpp"
 #include "baselines/ensembles.hpp"
 #include "core/parallel.hpp"
 #include "data/dataset.hpp"
+#include "explore/explorer.hpp"
 #include "meta/maml.hpp"
 #include "meta/wam.hpp"
 #include "nn/transformer.hpp"
@@ -59,6 +61,102 @@ void BM_TransformerForwardBackward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_TransformerForwardBackward)->Arg(5)->Arg(45);
+
+// -- inference fast path ------------------------------------------------------
+//
+// BM_TransformerPredictOne is the seed's grad-mode single-point forward (the
+// "before" of the fast-path work); the NoGrad/Batch variants are the paths
+// the DSE loop actually runs now. tools/bench_report.py turns the JSON output
+// into BENCH_engine.json.
+
+nn::TransformerConfig predict_cfg() {
+  return {.n_tokens = 24, .d_model = 32, .n_heads = 4,
+          .n_layers = 2, .d_ff = 64, .n_outputs = 1};
+}
+
+void BM_TransformerPredictOne(benchmark::State& state) {
+  tensor::Rng rng(11);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  std::vector<float> features(24);
+  for (auto& f : features) f = rng.uniform();
+  auto x = tensor::Tensor::from_vector({1, 24}, features);
+  tensor::Rng fwd(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, fwd).data().data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformerPredictOne);
+
+void BM_TransformerPredictOneNoGrad(benchmark::State& state) {
+  tensor::Rng rng(11);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  std::vector<float> features(24);
+  for (auto& f : features) f = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_one(features).front());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformerPredictOneNoGrad);
+
+void BM_TransformerPredictBatch(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  tensor::Rng rng(12);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  tensor::Rng fwd(0);
+  auto x = tensor::Tensor::uniform({batch, 24}, rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.forward(x, fwd).data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TransformerPredictBatch)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TransformerPredictBatchNoGrad(benchmark::State& state) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  tensor::Rng rng(12);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  std::vector<std::vector<float>> rows(batch);
+  for (auto& r : rows) {
+    r.resize(24);
+    for (auto& v : r) v = rng.uniform();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(rows).front().front());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TransformerPredictBatchNoGrad)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_ExplorerBatchedEval(benchmark::State& state) {
+  const size_t eval_batch = static_cast<size_t>(state.range(0));
+  const auto& space = arch::DesignSpace::table1();
+  tensor::Rng rng(13);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  explore::BatchEvaluator eval =
+      [&](const std::vector<arch::Config>& batch) {
+        std::vector<std::vector<float>> feats;
+        feats.reserve(batch.size());
+        for (const auto& c : batch) feats.push_back(space.normalize(c));
+        const auto preds = model.predict_batch(feats);
+        std::vector<explore::Objective> objs;
+        objs.reserve(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          objs.push_back({static_cast<double>(preds[i].front()),
+                          static_cast<double>(i)});
+        }
+        return objs;
+      };
+  explore::EvolutionaryExplorer explorer({.initial_samples = 32,
+                                          .iterations = 96, .seed = 7,
+                                          .eval_batch = eval_batch});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explorer.explore(space, eval).size());
+  }
+  state.SetItemsProcessed(state.iterations() * explorer.budget());
+}
+BENCHMARK(BM_ExplorerBatchedEval)->Arg(1)->Arg(16)->Arg(128);
 
 void BM_CpuModelSimulate(benchmark::State& state) {
   workload::SpecSuite suite;

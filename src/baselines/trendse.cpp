@@ -189,9 +189,15 @@ float TrEnDseTransformer::predict(const std::vector<float>& features) const {
 
 std::vector<float> TrEnDseTransformer::predict_batch(
     const FeatureMatrix& x) const {
+  if (!model_) throw std::logic_error("TrEnDseTransformer: not fitted");
+  // One batched no-grad forward; rows are bitwise identical to the
+  // per-point predict() loop.
+  const auto scaled = model_->predict_batch(x);
   std::vector<float> out;
   out.reserve(x.size());
-  for (const auto& row : x) out.push_back(predict(row));
+  for (const auto& y : scaled) {
+    out.push_back(label_scaler_.inverse({y.front()}).front());
+  }
   return out;
 }
 

@@ -21,6 +21,17 @@ float AdaptedPredictor::predict(const std::vector<float>& features) const {
   return scaler.inverse({scaled.front()}).front();
 }
 
+std::vector<float> AdaptedPredictor::predict_batch(
+    const std::vector<std::vector<float>>& rows) const {
+  const auto scaled = model->predict_batch(rows);
+  std::vector<float> out;
+  out.reserve(rows.size());
+  for (const auto& y : scaled) {
+    out.push_back(scaler.inverse({y.front()}).front());
+  }
+  return out;
+}
+
 MetaDseFramework::MetaDseFramework(FrameworkOptions options)
     : options_(options),
       space_(&arch::DesignSpace::table1()),
@@ -478,6 +489,8 @@ std::vector<TaskEval> MetaDseFramework::evaluate(const std::string& workload,
     auto task = sampler.sample(rng);
     auto sup_y = scaler().transform(task.support_y);
     auto adapted = adapt_task(task.support_x, sup_y, use_wam);
+    // Adaptation needs the graph; the query prediction does not.
+    tensor::NoGradGuard no_grad;
     auto pred_scaled = adapted->forward(task.query_x, fwd);
     auto pred = scaler().inverse(pred_scaled);
     TaskEval ev;

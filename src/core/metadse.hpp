@@ -52,6 +52,11 @@ struct AdaptedPredictor {
 
   /// Predicts the target metric (raw units) for a normalized feature vector.
   float predict(const std::vector<float>& features) const;
+
+  /// Batched prediction (raw units): one no-grad [B, n_tokens] forward.
+  /// Element i is bitwise identical to predict(rows[i]).
+  std::vector<float> predict_batch(
+      const std::vector<std::vector<float>>& rows) const;
 };
 
 /// The MetaDSE pipeline facade.

@@ -52,6 +52,23 @@ bool in_parallel_region();
 void parallel_for_blocks(size_t n, size_t grain,
                          const std::function<void(size_t, size_t)>& body);
 
+/// Statically-typed variant of parallel_for_blocks: when the partition would
+/// be a single serial block anyway (one thread, nested region, or n <=
+/// grain) the body is invoked directly — no std::function construction, and
+/// the body inlines into the caller. Otherwise defers to the type-erased
+/// overload. The partition, and therefore every result, is identical to
+/// parallel_for_blocks for the same (n, grain, threads()).
+template <typename Body>
+void parallel_for_blocks_static(size_t n, size_t grain, Body&& body) {
+  if (n == 0) return;
+  const size_t width = in_parallel_region() ? 1 : threads();
+  if (width <= 1 || n <= std::max<size_t>(grain, 1)) {
+    body(0, n);
+    return;
+  }
+  parallel_for_blocks(n, grain, body);
+}
+
 /// Ordered map-reduce: computes map(i) for i in [0, n) in parallel, then
 /// applies reduce(i, result) serially on the calling thread in ascending i.
 /// This is the primitive behind every "parallel compute, serial bitwise

@@ -1,8 +1,41 @@
 #include "explore/explorer.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 namespace metadse::explore {
+
+namespace {
+
+/// Wraps a per-point evaluator as a batch evaluator (trivially pointwise).
+BatchEvaluator wrap_scalar(const Evaluator& evaluate) {
+  return [&evaluate](const std::vector<arch::Config>& batch) {
+    std::vector<Objective> out;
+    out.reserve(batch.size());
+    for (const auto& c : batch) out.push_back(evaluate(c));
+    return out;
+  };
+}
+
+/// Evaluates @p pending as one batch and inserts results in order.
+void flush_batch(ParetoArchive& archive, std::vector<arch::Config>& pending,
+                 const BatchEvaluator& evaluate) {
+  if (pending.empty()) return;
+  std::vector<Objective> objs = evaluate(pending);
+  if (objs.size() != pending.size()) {
+    throw std::runtime_error(
+        "explore: batch evaluator returned " + std::to_string(objs.size()) +
+        " objectives for " + std::to_string(pending.size()) + " configs");
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    archive.insert(std::move(pending[i]), objs[i]);
+  }
+  pending.clear();
+}
+
+}  // namespace
 
 EvolutionaryExplorer::EvolutionaryExplorer(ExplorerOptions options)
     : options_(options) {
@@ -13,37 +46,56 @@ EvolutionaryExplorer::EvolutionaryExplorer(ExplorerOptions options)
 
 ParetoArchive EvolutionaryExplorer::explore(const arch::DesignSpace& space,
                                             const Evaluator& evaluate) const {
+  return explore(space, wrap_scalar(evaluate));
+}
+
+ParetoArchive EvolutionaryExplorer::explore(
+    const arch::DesignSpace& space, const BatchEvaluator& evaluate) const {
   tensor::Rng rng(options_.seed);
   ParetoArchive archive;
+  const size_t G = std::max<size_t>(1, options_.eval_batch);
 
+  // LHS seeding: sampling happens before any evaluation, so chunking the
+  // evaluator calls leaves the rng stream and insertion order unchanged.
+  std::vector<arch::Config> pending;
+  pending.reserve(G);
   for (auto& c : space.sample_latin_hypercube(options_.initial_samples, rng)) {
-    Objective o = evaluate(c);
-    archive.insert(std::move(c), o);
+    pending.push_back(std::move(c));
+    if (pending.size() >= G) flush_batch(archive, pending, evaluate);
   }
+  flush_batch(archive, pending, evaluate);
 
-  for (size_t it = 0; it < options_.iterations; ++it) {
+  // Generational mutation: each generation samples up to G children from the
+  // archive as of the generation start (consuming the rng per child exactly
+  // as the sequential schedule does), evaluates them as one batch, and
+  // inserts in order. G = 1 is the original fully-sequential loop.
+  size_t it = 0;
+  while (it < options_.iterations) {
     if (archive.empty()) break;
-    // Mutate a random archive member.
-    const auto& parent =
-        archive.entries()[rng.uniform_index(archive.size())].config;
-    arch::Config child = parent;
-    for (size_t m = 0; m < options_.mutations_per_step; ++m) {
-      const size_t p = rng.uniform_index(space.num_params());
-      const size_t card = space.spec(p).cardinality();
-      if (card == 1) continue;
-      // ±1 or ±2 candidate steps (clamped), occasionally a random jump.
-      if (rng.uniform() < 0.15) {
-        child[p] = rng.uniform_index(card);
-      } else {
-        const int step = rng.uniform() < 0.5 ? -1 : 1;
-        const int mag = rng.uniform() < 0.3 ? 2 : 1;
-        const long idx = static_cast<long>(child[p]) + step * mag;
-        child[p] = static_cast<size_t>(
-            std::clamp<long>(idx, 0, static_cast<long>(card) - 1));
+    const size_t gen = std::min<size_t>(G, options_.iterations - it);
+    for (size_t g = 0; g < gen; ++g) {
+      const auto& parent =
+          archive.entries()[rng.uniform_index(archive.size())].config;
+      arch::Config child = parent;
+      for (size_t m = 0; m < options_.mutations_per_step; ++m) {
+        const size_t p = rng.uniform_index(space.num_params());
+        const size_t card = space.spec(p).cardinality();
+        if (card == 1) continue;
+        // ±1 or ±2 candidate steps (clamped), occasionally a random jump.
+        if (rng.uniform() < 0.15) {
+          child[p] = rng.uniform_index(card);
+        } else {
+          const int step = rng.uniform() < 0.5 ? -1 : 1;
+          const int mag = rng.uniform() < 0.3 ? 2 : 1;
+          const long idx = static_cast<long>(child[p]) + step * mag;
+          child[p] = static_cast<size_t>(
+              std::clamp<long>(idx, 0, static_cast<long>(card) - 1));
+        }
       }
+      pending.push_back(std::move(child));
     }
-    Objective o = evaluate(child);
-    archive.insert(std::move(child), o);
+    flush_batch(archive, pending, evaluate);
+    it += gen;
   }
   return archive;
 }
@@ -51,13 +103,22 @@ ParetoArchive EvolutionaryExplorer::explore(const arch::DesignSpace& space,
 ParetoArchive random_search(const arch::DesignSpace& space,
                             const Evaluator& evaluate, size_t budget,
                             tensor::Rng& rng) {
+  return random_search(space, wrap_scalar(evaluate), budget, rng, 1);
+}
+
+ParetoArchive random_search(const arch::DesignSpace& space,
+                            const BatchEvaluator& evaluate, size_t budget,
+                            tensor::Rng& rng, size_t eval_batch) {
   if (budget == 0) throw std::invalid_argument("random_search: zero budget");
+  const size_t G = std::max<size_t>(1, eval_batch);
   ParetoArchive archive;
+  std::vector<arch::Config> pending;
+  pending.reserve(G);
   for (size_t i = 0; i < budget; ++i) {
-    auto c = space.random_config(rng);
-    Objective o = evaluate(c);
-    archive.insert(std::move(c), o);
+    pending.push_back(space.random_config(rng));
+    if (pending.size() >= G) flush_batch(archive, pending, evaluate);
   }
+  flush_batch(archive, pending, evaluate);
   return archive;
 }
 

@@ -14,12 +14,24 @@ namespace metadse::explore {
 /// Evaluates one configuration's objectives.
 using Evaluator = std::function<Objective(const arch::Config&)>;
 
+/// Evaluates a batch of configurations in one call. Must return exactly one
+/// Objective per input config, in order, and each element must equal what the
+/// scalar evaluator would return for that config alone (surrogate-backed
+/// implementations get this from the batched-forward bitwise guarantee).
+using BatchEvaluator =
+    std::function<std::vector<Objective>(const std::vector<arch::Config>&)>;
+
 /// Budget/strategy knobs for the evolutionary explorer.
 struct ExplorerOptions {
   size_t initial_samples = 128;  ///< LHS seeding of the archive
   size_t iterations = 512;       ///< mutation/evaluation steps after seeding
   size_t mutations_per_step = 2; ///< parameters perturbed per mutation
   uint64_t seed = 71;
+  /// Candidates evaluated per BatchEvaluator call (a "generation"): children
+  /// are sampled from the archive as of the generation start, evaluated as
+  /// one batch, and inserted in order. 1 reproduces the fully-sequential
+  /// schedule exactly.
+  size_t eval_batch = 1;
 };
 
 /// Evolutionary Pareto search: seed with Latin-hypercube samples, then
@@ -29,11 +41,19 @@ class EvolutionaryExplorer {
  public:
   explicit EvolutionaryExplorer(ExplorerOptions options = {});
 
-  /// Runs the search; @p evaluate is called once per examined point.
+  /// Runs the search; @p evaluate is called once per examined point
+  /// (delegates to the batched overload with a per-point wrapper).
   ParetoArchive explore(const arch::DesignSpace& space,
                         const Evaluator& evaluate) const;
 
-  /// Number of evaluator calls an explore() run makes.
+  /// Batched search: candidates are pushed through @p evaluate in chunks of
+  /// options.eval_batch. For a batch evaluator matching its scalar
+  /// counterpart pointwise, the result is identical to the scalar overload
+  /// with the same options.
+  ParetoArchive explore(const arch::DesignSpace& space,
+                        const BatchEvaluator& evaluate) const;
+
+  /// Number of candidate evaluations an explore() run makes.
   size_t budget() const {
     return options_.initial_samples + options_.iterations;
   }
@@ -47,5 +67,13 @@ class EvolutionaryExplorer {
 ParetoArchive random_search(const arch::DesignSpace& space,
                             const Evaluator& evaluate, size_t budget,
                             tensor::Rng& rng);
+
+/// Batched random search. Configs are drawn exactly as in the scalar form
+/// (rng consumption is independent of evaluation), evaluated in chunks of
+/// @p eval_batch, and inserted in draw order — same archive as the scalar
+/// form for a pointwise-equal batch evaluator.
+ParetoArchive random_search(const arch::DesignSpace& space,
+                            const BatchEvaluator& evaluate, size_t budget,
+                            tensor::Rng& rng, size_t eval_batch);
 
 }  // namespace metadse::explore

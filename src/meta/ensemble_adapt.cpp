@@ -64,6 +64,30 @@ AdaptedEnsemble::Prediction AdaptedEnsemble::predict(
   return p;
 }
 
+std::vector<AdaptedEnsemble::Prediction> AdaptedEnsemble::predict_batch(
+    const std::vector<std::vector<float>>& rows) const {
+  if (members_.empty()) throw std::logic_error("AdaptedEnsemble: empty");
+  std::vector<double> sum(rows.size(), 0.0);
+  std::vector<double> sum2(rows.size(), 0.0);
+  for (const auto& m : members_) {
+    const auto ys = m->predict_batch(rows);
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const double y = ys[i].front();
+      sum[i] += y;
+      sum2[i] += y * y;
+    }
+  }
+  const double n = static_cast<double>(members_.size());
+  std::vector<Prediction> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i].mean = static_cast<float>(sum[i] / n);
+    const double var =
+        std::max(0.0, sum2[i] / n - (sum[i] / n) * (sum[i] / n));
+    out[i].stddev = static_cast<float>(std::sqrt(var));
+  }
+  return out;
+}
+
 data::Dataset select_support_actively(
     const nn::TransformerRegressor& pretrained, const tensor::Tensor& mask,
     const data::Scaler& scaler, const arch::DesignSpace& space,
@@ -114,15 +138,25 @@ data::Dataset select_support_actively(
     const auto ens =
         AdaptedEnsemble::create(pretrained, mask, sx, sy, options);
 
-    // Acquire the unlabelled candidate with maximal disagreement.
-    double best_std = -1.0;
-    size_t best_i = 0;
+    // Acquire the unlabelled candidate with maximal disagreement. One
+    // batched sweep over the pool; the strictly-greater scan keeps the same
+    // first-maximum tie-breaking as the per-point loop.
+    std::vector<size_t> cand;
+    std::vector<std::vector<float>> feats;
+    cand.reserve(pool.size() - support.size());
+    feats.reserve(pool.size() - support.size());
     for (size_t i = 0; i < pool.size(); ++i) {
       if (used[i]) continue;
-      const auto p = ens.predict(space.normalize(pool[i]));
-      if (p.stddev > best_std) {
-        best_std = p.stddev;
-        best_i = i;
+      cand.push_back(i);
+      feats.push_back(space.normalize(pool[i]));
+    }
+    const auto preds = ens.predict_batch(feats);
+    double best_std = -1.0;
+    size_t best_i = 0;
+    for (size_t j = 0; j < cand.size(); ++j) {
+      if (preds[j].stddev > best_std) {
+        best_std = preds[j].stddev;
+        best_i = cand[j];
       }
     }
     label(best_i);

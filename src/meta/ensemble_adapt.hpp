@@ -46,6 +46,12 @@ class AdaptedEnsemble {
   /// Mean and stddev of the members' predictions (standardized space).
   Prediction predict(const std::vector<float>& features) const;
 
+  /// Batched form: one no-grad batched forward per member. Element i is
+  /// bitwise identical to predict(rows[i]) — member contributions combine in
+  /// the same ascending order either way.
+  std::vector<Prediction> predict_batch(
+      const std::vector<std::vector<float>>& rows) const;
+
   size_t size() const { return members_.size(); }
 
  private:

@@ -346,6 +346,8 @@ double MamlTrainer::meta_validate(const std::vector<data::Dataset>& val_sets,
                         options_.inner_lr,
                         options_.algorithm == MetaAlgorithm::kAnil);
         tensor::Rng fwd(0);
+        // Adaptation above needs the graph; the query evaluation does not.
+        tensor::NoGradGuard no_grad;
         return t::mse_loss(adapted->forward(task.query_x, fwd), qry_y).item();
       },
       [&](size_t, double loss) { loss_sum += loss; });

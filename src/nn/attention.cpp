@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "tensor/ops.hpp"
 
@@ -42,14 +43,16 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
     // [B,S,D] -> [B,S,H,Dh] -> [B,H,S,Dh] -> [B*H,S,Dh]
     auto r = t::reshape(proj, {B, S, H, Dh});
     auto p = t::permute(r, {0, 2, 1, 3});
-    return t::reshape(p, {B * H, S, Dh});
+    return t::reshape(std::move(p), {B * H, S, Dh});
   };
 
   auto q = split_heads(wq_.forward(x));
   auto k = split_heads(wk_.forward(x));
   auto v = split_heads(wv_.forward(x));
 
-  auto scores = t::div(t::matmul(q, t::transpose_last(k)),
+  // matmul_nt is q · kᵀ without materializing the permuted copy of k; the
+  // result is bitwise identical to matmul(q, transpose_last(k)).
+  auto scores = t::div(t::matmul_nt(q, k),
                        std::sqrt(static_cast<float>(Dh)));
   auto attn = t::softmax_lastdim(scores);  // [B*H, S, S]
 

@@ -75,10 +75,35 @@ Tensor TransformerRegressor::forward(const Tensor& x, Rng& rng, bool train) {
 
 std::vector<float> TransformerRegressor::predict_one(
     const std::vector<float>& features) {
+  t::NoGradGuard no_grad;
   auto x = Tensor::from_vector({1, cfg_.n_tokens},
                                std::vector<float>(features));
   auto y = forward(x, eval_rng_, /*train=*/false);
   return y.data();
+}
+
+std::vector<std::vector<float>> TransformerRegressor::predict_batch(
+    const std::vector<std::vector<float>>& rows) {
+  if (rows.empty()) return {};
+  t::NoGradGuard no_grad;
+  std::vector<float> flat;
+  flat.reserve(rows.size() * cfg_.n_tokens);
+  for (const auto& r : rows) {
+    if (r.size() != cfg_.n_tokens) {
+      throw std::invalid_argument(
+          "TransformerRegressor::predict_batch: feature row size mismatch");
+    }
+    flat.insert(flat.end(), r.begin(), r.end());
+  }
+  auto x = Tensor::from_vector({rows.size(), cfg_.n_tokens}, std::move(flat));
+  auto y = forward(x, eval_rng_, /*train=*/false);
+  const size_t no = cfg_.n_outputs;
+  std::vector<std::vector<float>> out(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    out[i].assign(y.data().begin() + static_cast<std::ptrdiff_t>(i * no),
+                  y.data().begin() + static_cast<std::ptrdiff_t>((i + 1) * no));
+  }
+  return out;
 }
 
 MultiHeadSelfAttention& TransformerRegressor::last_attention_layer() {

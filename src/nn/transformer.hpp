@@ -51,8 +51,14 @@ class TransformerRegressor : public Module {
   /// x: [batch, n_tokens] normalized features -> [batch, n_outputs].
   Tensor forward(const Tensor& x, Rng& rng, bool train = false);
 
-  /// Convenience single-design-point prediction (eval mode).
+  /// Convenience single-design-point prediction (eval mode, no-grad).
   std::vector<float> predict_one(const std::vector<float>& features);
+
+  /// Batched eval-mode prediction: one no-grad [B, n_tokens] forward. Row i
+  /// of the result is bitwise identical to predict_one(rows[i]) — every op in
+  /// the forward is per-row independent with deterministic accumulation.
+  std::vector<std::vector<float>> predict_batch(
+      const std::vector<std::vector<float>>& rows);
 
   const TransformerConfig& config() const { return cfg_; }
 

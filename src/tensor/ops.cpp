@@ -1,10 +1,13 @@
 #include "tensor/ops.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "tensor/pool.hpp"
 
 namespace metadse::tensor {
 
@@ -12,6 +15,18 @@ namespace {
 
 constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715F;
+
+/// Op-output allocation: draws from the thread-local BufferPool when grad
+/// mode is off so a steady-state inference loop reuses buffers instead of
+/// hitting the heap for every op result.
+std::vector<float> alloc_out(size_t n) {
+  return GradMode::enabled() ? std::vector<float>(n) : BufferPool::acquire(n);
+}
+
+std::vector<float> alloc_out_zero(size_t n) {
+  return GradMode::enabled() ? std::vector<float>(n, 0.0F)
+                             : BufferPool::acquire_zero(n);
+}
 
 // -- blocked GEMM kernels ----------------------------------------------------
 //
@@ -38,30 +53,84 @@ size_t gemm_row_grain(size_t flops_per_row) {
   return std::max<size_t>(1, kGemmGrainFlops / std::max<size_t>(1, flops_per_row));
 }
 
-/// C[bi] += A[bi] * B[bi] for all batches, rows split across the pool.
+/// One multiply-accumulate step of the forward GEMM kernels. When the target
+/// has hardware FMA the kernels opt into it explicitly: every forward path
+/// (panel widths, scalar tails, both kernels) fuses the same way, so all the
+/// within-binary bitwise-equivalence guarantees (grad vs no-grad, batched vs
+/// scalar, matmul_nt vs matmul∘transpose, any thread count) hold unchanged.
+/// Without hardware FMA this is a plain rounded mul+add — never the libm
+/// soft-fma path.
+inline float gemm_mac(float acc, float a, float b) {
+#if defined(__FMA__)
+  return __builtin_fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
+/// Width-T panel of one output row kept in registers while a K-slice streams
+/// over it. Each output element still receives one rounded MAC per k in
+/// ascending order — bitwise identical to the saxpy form this replaces; only
+/// where the running float32 partial lives (registers vs. the output row)
+/// changes. Init: this is the first K-slice, so start the accumulators at
+/// zero instead of loading the (then never pre-zeroed) output row.
+template <size_t T, bool Init>
+void gemm_row_panel(const float* pam, const float* pb, float* pom, size_t k0,
+                    size_t k1, size_t N) {
+  float acc[T];
+  for (size_t j = 0; j < T; ++j) acc[j] = Init ? 0.0F : pom[j];
+  for (size_t k = k0; k < k1; ++k) {
+    const float av = pam[k];
+    const float* pbk = pb + k * N;
+    for (size_t j = 0; j < T; ++j) acc[j] = gemm_mac(acc[j], av, pbk[j]);
+  }
+  for (size_t j = 0; j < T; ++j) pom[j] = acc[j];
+}
+
+/// Row [m0, m1) x column-panel sweep of one batch's C tile for K-slice
+/// [k0, k1); Init as in gemm_row_panel.
+template <bool Init>
+void gemm_rows(const float* pa, const float* pb, float* po, size_t m0,
+               size_t m1, size_t k0, size_t k1, size_t K, size_t N) {
+  for (size_t m = m0; m < m1; ++m) {
+    const float* pam = pa + m * K;
+    float* pom = po + m * N;
+    size_t n0 = 0;
+    for (; n0 + 32 <= N; n0 += 32) {
+      gemm_row_panel<32, Init>(pam, pb + n0, pom + n0, k0, k1, N);
+    }
+    for (; n0 + 8 <= N; n0 += 8) {
+      gemm_row_panel<8, Init>(pam, pb + n0, pom + n0, k0, k1, N);
+    }
+    for (; n0 < N; ++n0) {
+      float acc = Init ? 0.0F : pom[n0];
+      for (size_t k = k0; k < k1; ++k) {
+        acc = gemm_mac(acc, pam[k], pb[k * N + n0]);
+      }
+      pom[n0] = acc;
+    }
+  }
+}
+
+/// C[bi] = A[bi] * B[bi] for all batches, rows split across the pool. The
+/// first K-slice writes through zero-initialized accumulators, so c does NOT
+/// need to be pre-zeroed.
 void gemm_forward(const float* a, const float* b, float* c,
                   const std::vector<size_t>& aoff,
                   const std::vector<size_t>& boff, size_t M, size_t K,
                   size_t N) {
   const size_t nb = aoff.size();
   const size_t o_mat = M * N;
-  core::parallel_for_blocks(M, gemm_row_grain(K * N * nb), [&](size_t m0,
+  core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
                                                                size_t m1) {
     for (size_t bi = 0; bi < nb; ++bi) {
       const float* pa = a + aoff[bi];
       const float* pb = b + boff[bi];
       float* po = c + bi * o_mat;
-      for (size_t k0 = 0; k0 < K; k0 += kGemmKTile) {
-        const size_t k1 = std::min(K, k0 + kGemmKTile);
-        for (size_t m = m0; m < m1; ++m) {
-          const float* pam = pa + m * K;
-          float* pom = po + m * N;
-          for (size_t k = k0; k < k1; ++k) {
-            const float av = pam[k];
-            const float* pbk = pb + k * N;
-            for (size_t n = 0; n < N; ++n) pom[n] += av * pbk[n];
-          }
-        }
+      gemm_rows<true>(pa, pb, po, m0, m1, 0, std::min(K, kGemmKTile), K, N);
+      for (size_t k0 = kGemmKTile; k0 < K; k0 += kGemmKTile) {
+        gemm_rows<false>(pa, pb, po, m0, m1, k0, std::min(K, k0 + kGemmKTile),
+                         K, N);
       }
     }
   });
@@ -75,7 +144,7 @@ void gemm_backward_a(const float* go, const float* b, float* da,
                      size_t N) {
   const size_t nb = aoff.size();
   const size_t o_mat = M * N;
-  core::parallel_for_blocks(M, gemm_row_grain(K * N * nb), [&](size_t m0,
+  core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
                                                                size_t m1) {
     for (size_t bi = 0; bi < nb; ++bi) {
       const float* pb = b + boff[bi];
@@ -102,7 +171,7 @@ void gemm_backward_b(const float* a, const float* go, float* db,
                      size_t N) {
   const size_t nb = aoff.size();
   const size_t o_mat = M * N;
-  core::parallel_for_blocks(K, gemm_row_grain(M * N * nb), [&](size_t k0,
+  core::parallel_for_blocks_static(K, gemm_row_grain(M * N * nb), [&](size_t k0,
                                                                size_t k1) {
     for (size_t bi = 0; bi < nb; ++bi) {
       const float* pa = a + aoff[bi];
@@ -120,9 +189,128 @@ void gemm_backward_b(const float* a, const float* go, float* db,
   });
 }
 
+// -- transpose-aware GEMM (C = A * B^T with B stored row-major [N, K]) --------
+
+/// C[bi][m,n] = sum_k A[bi][m,k] * B[bi][n,k]. Packs each batch's B into
+/// B^T once (O(N*K) moves against O(M*N*K) multiply-adds) and runs the same
+/// register-panel kernel as gemm_forward; the ascending-k accumulation makes
+/// every output element bitwise equal to matmul(a, transpose_last(b)), which
+/// accumulates the same terms in the same order. Like gemm_forward, c does
+/// not need to be pre-zeroed.
+void gemm_nt_forward(const float* a, const float* b, float* c,
+                     const std::vector<size_t>& aoff,
+                     const std::vector<size_t>& boff, size_t M, size_t K,
+                     size_t N) {
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+  const size_t b_mat = K * N;
+  std::vector<float> bt = alloc_out(nb * b_mat);
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const float* pb = b + boff[bi];
+    float* pt = bt.data() + bi * b_mat;
+    for (size_t n = 0; n < N; ++n) {
+      for (size_t k = 0; k < K; ++k) pt[k * N + n] = pb[n * K + k];
+    }
+  }
+  core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
+                                                               size_t m1) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      gemm_rows<true>(a + aoff[bi], bt.data() + bi * b_mat, c + bi * o_mat,
+                      m0, m1, 0, K, K, N);
+    }
+  });
+  // alloc_out drew the scratch from the buffer pool in no-grad mode; hand it
+  // back so steady-state forwards stay allocation-free.
+  if (!GradMode::enabled()) BufferPool::release(std::move(bt));
+}
+
+/// dA[bi][m,k] += sum_n dC[bi][m,n] * B[bi][n,k]; a thread owns rows
+/// [m0, m1) of dA for every batch — ascending-n accumulation matches the
+/// serial order for any thread count.
+void gemm_nt_backward_a(const float* go, const float* b, float* da,
+                        const std::vector<size_t>& aoff,
+                        const std::vector<size_t>& boff, size_t M, size_t K,
+                        size_t N) {
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+  core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
+                                                               size_t m1) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      const float* pb = b + boff[bi];
+      const float* g = go + bi * o_mat;
+      float* pda = da + aoff[bi];
+      for (size_t m = m0; m < m1; ++m) {
+        const float* gm = g + m * N;
+        float* dam = pda + m * K;
+        for (size_t n = 0; n < N; ++n) {
+          const float gv = gm[n];
+          const float* pbn = pb + n * K;
+          for (size_t k = 0; k < K; ++k) dam[k] += gv * pbn[k];
+        }
+      }
+    }
+  });
+}
+
+/// dB[bi][n,k] += sum_m dC[bi][m,n] * A[bi][m,k]; a thread owns rows
+/// [n0, n1) of dB for every batch.
+void gemm_nt_backward_b(const float* go, const float* a, float* db,
+                        const std::vector<size_t>& aoff,
+                        const std::vector<size_t>& boff, size_t M, size_t K,
+                        size_t N) {
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+  core::parallel_for_blocks_static(N, gemm_row_grain(M * K * nb), [&](size_t n0,
+                                                               size_t n1) {
+    for (size_t bi = 0; bi < nb; ++bi) {
+      const float* pa = a + aoff[bi];
+      const float* g = go + bi * o_mat;
+      float* pdb = db + boff[bi];
+      for (size_t n = n0; n < n1; ++n) {
+        float* dbn = pdb + n * K;
+        for (size_t m = 0; m < M; ++m) {
+          const float gv = g[m * N + n];
+          const float* pam = pa + m * K;
+          for (size_t k = 0; k < K; ++k) dbn[k] += gv * pam[k];
+        }
+      }
+    }
+  });
+}
+
+/// Per-batch base offsets for broadcast batch dims; @p a_mat / @p b_mat are
+/// the per-matrix element counts the batch indices scale by.
+void batch_offsets(const Shape& a_shape, const Shape& b_shape, size_t a_mat,
+                   size_t b_mat, Shape& batch, std::vector<size_t>& aoff,
+                   std::vector<size_t>& boff) {
+  const Shape a_batch(a_shape.begin(), a_shape.end() - 2);
+  const Shape b_batch(b_shape.begin(), b_shape.end() - 2);
+  batch = broadcast_shape(a_batch, b_batch);
+  const auto sa = broadcast_strides(a_batch, batch);
+  const auto sb = broadcast_strides(b_batch, batch);
+  const size_t nb = numel(batch);
+  aoff.resize(nb);
+  boff.resize(nb);
+  std::vector<size_t> idx(batch.size(), 0);
+  for (size_t i = 0; i < nb; ++i) {
+    size_t oa = 0;
+    size_t ob = 0;
+    for (size_t d = 0; d < batch.size(); ++d) {
+      oa += idx[d] * sa[d];
+      ob += idx[d] * sb[d];
+    }
+    aoff[i] = oa * a_mat;
+    boff[i] = ob * b_mat;
+    for (size_t d = batch.size(); d-- > 0;) {
+      if (++idx[d] < batch[d]) break;
+      idx[d] = 0;
+    }
+  }
+}
+
 /// Iterates the linear indices of two inputs broadcast to a common output
-/// shape. Offsets are recomputed per element from the multi-index; shapes in
-/// this library are small enough that clarity wins over stride tricks.
+/// shape. Offsets are maintained incrementally in advance() — O(1) amortized
+/// per element instead of an O(rank) dot product per lookup.
 struct BcastIter {
   Shape out;
   std::vector<size_t> sa, sb, idx;
@@ -135,37 +323,141 @@ struct BcastIter {
         idx(out.size(), 0),
         n(numel(out)) {}
 
-  size_t offset_a() const { return dot(sa); }
-  size_t offset_b() const { return dot(sb); }
+  size_t offset_a() const { return oa_; }
+  size_t offset_b() const { return ob_; }
 
   void advance() {
     for (size_t d = out.size(); d-- > 0;) {
-      if (++idx[d] < out[d]) return;
+      ++idx[d];
+      oa_ += sa[d];
+      ob_ += sb[d];
+      if (idx[d] < out[d]) return;
+      oa_ -= idx[d] * sa[d];
+      ob_ -= idx[d] * sb[d];
       idx[d] = 0;
     }
   }
 
  private:
-  size_t dot(const std::vector<size_t>& st) const {
-    size_t off = 0;
-    for (size_t d = 0; d < idx.size(); ++d) off += idx[d] * st[d];
-    return off;
-  }
+  size_t oa_ = 0, ob_ = 0;
 };
 
 void accumulate_into(const std::shared_ptr<Node>& p, size_t off, float g) {
   p->grad[off] += g;
 }
 
+/// True when @p small is exactly the trailing dims of @p big, so broadcasting
+/// reduces to `offset_small = i % numel(small)` (covers the scalar case).
+bool is_trailing_suffix(const Shape& small, const Shape& big) {
+  if (small.size() > big.size()) return false;
+  const size_t d0 = big.size() - small.size();
+  for (size_t d = 0; d < small.size(); ++d) {
+    if (small[d] != big[d0 + d]) return false;
+  }
+  return true;
+}
+
 /// Generic broadcast binary op. fwd(x,y) computes the value; dfa/dfb compute
-/// d out/d a and d out/d b given (a_val, b_val, out_val).
+/// d out/d a and d out/d b given (a_val, b_val, out_val). The same-shape and
+/// trailing-suffix fast paths below visit elements in the identical ascending
+/// output order as the general BcastIter walk, so values and accumulated
+/// gradients are bitwise independent of which path runs.
 template <typename Fwd, typename Dfa, typename Dfb>
 Tensor binary_bcast(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa,
                     Dfb dfb) {
   auto an = a.node();
   auto bn = b.node();
+  // Fast path: identical shapes — both offsets equal the output index.
+  if (an->shape == bn->shape) {
+    const size_t n = an->value.size();
+    std::vector<float> out = alloc_out(n);
+    for (size_t i = 0; i < n; ++i) out[i] = fwd(an->value[i], bn->value[i]);
+    return make_op_result(
+        an->shape, std::move(out), {an, bn}, [an, bn, dfa, dfb](Node& self) {
+          const bool ga = an->requires_grad;
+          const bool gb = bn->requires_grad;
+          if (ga) an->ensure_grad();
+          if (gb) bn->ensure_grad();
+          for (size_t i = 0; i < self.value.size(); ++i) {
+            const float av = an->value[i];
+            const float bv = bn->value[i];
+            const float go = self.grad[i];
+            if (ga) an->grad[i] += go * dfa(av, bv, self.value[i]);
+            if (gb) bn->grad[i] += go * dfb(av, bv, self.value[i]);
+          }
+        });
+  }
+  // Fast path: b is a right-aligned suffix of a (bias adds, scalar operands).
+  // n is an exact multiple of L, so the walk is whole blocks of L; the block
+  // loops visit the same ascending output order as the modular-index walk
+  // they replace while keeping the inner trip count branch-free.
+  if (!bn->value.empty() && is_trailing_suffix(bn->shape, an->shape)) {
+    const size_t n = an->value.size();
+    const size_t L = bn->value.size();
+    std::vector<float> out = alloc_out(n);
+    if (L == 1) {
+      const float bv = bn->value[0];
+      for (size_t i = 0; i < n; ++i) out[i] = fwd(an->value[i], bv);
+    } else {
+      for (size_t i0 = 0; i0 < n; i0 += L) {
+        const float* pa = an->value.data() + i0;
+        float* po = out.data() + i0;
+        for (size_t j = 0; j < L; ++j) po[j] = fwd(pa[j], bn->value[j]);
+      }
+    }
+    return make_op_result(
+        an->shape, std::move(out), {an, bn},
+        [an, bn, L, dfa, dfb](Node& self) {
+          const bool ga = an->requires_grad;
+          const bool gb = bn->requires_grad;
+          if (ga) an->ensure_grad();
+          if (gb) bn->ensure_grad();
+          for (size_t i0 = 0; i0 < self.value.size(); i0 += L) {
+            for (size_t j = 0; j < L; ++j) {
+              const float av = an->value[i0 + j];
+              const float bv = bn->value[j];
+              const float go = self.grad[i0 + j];
+              if (ga) an->grad[i0 + j] += go * dfa(av, bv, self.value[i0 + j]);
+              if (gb) bn->grad[j] += go * dfb(av, bv, self.value[i0 + j]);
+            }
+          }
+        });
+  }
+  // Mirror fast path: a is a right-aligned suffix of b.
+  if (!an->value.empty() && is_trailing_suffix(an->shape, bn->shape)) {
+    const size_t n = bn->value.size();
+    const size_t L = an->value.size();
+    std::vector<float> out = alloc_out(n);
+    if (L == 1) {
+      const float av = an->value[0];
+      for (size_t i = 0; i < n; ++i) out[i] = fwd(av, bn->value[i]);
+    } else {
+      for (size_t i0 = 0; i0 < n; i0 += L) {
+        const float* pb = bn->value.data() + i0;
+        float* po = out.data() + i0;
+        for (size_t j = 0; j < L; ++j) po[j] = fwd(an->value[j], pb[j]);
+      }
+    }
+    return make_op_result(
+        bn->shape, std::move(out), {an, bn},
+        [an, bn, L, dfa, dfb](Node& self) {
+          const bool ga = an->requires_grad;
+          const bool gb = bn->requires_grad;
+          if (ga) an->ensure_grad();
+          if (gb) bn->ensure_grad();
+          for (size_t i0 = 0; i0 < self.value.size(); i0 += L) {
+            for (size_t j = 0; j < L; ++j) {
+              const float av = an->value[j];
+              const float bv = bn->value[i0 + j];
+              const float go = self.grad[i0 + j];
+              if (ga) an->grad[j] += go * dfa(av, bv, self.value[i0 + j]);
+              if (gb) bn->grad[i0 + j] += go * dfb(av, bv, self.value[i0 + j]);
+            }
+          }
+        });
+  }
   BcastIter it(an->shape, bn->shape);
-  std::vector<float> out(it.n);
+  std::vector<float> out = alloc_out(it.n);
   {
     BcastIter f(an->shape, bn->shape);
     for (size_t i = 0; i < f.n; ++i, f.advance()) {
@@ -191,12 +483,50 @@ Tensor binary_bcast(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa,
       });
 }
 
+/// Branch-free Cephes-style expf (range-reduced degree-5 polynomial, ~2 ulp
+/// vs. libm). softmax spends essentially its whole budget in exp, and the
+/// libm call blocks vectorization; this form auto-vectorizes. Only pure
+/// rounded float ops, so results are identical at any vector width.
+inline float fast_expf(float x) {
+  constexpr float kLog2e = 1.442695040888963F;
+  constexpr float kLn2Hi = 0.693359375F;
+  constexpr float kLn2Lo = -2.12194440e-4F;
+  // Round to nearest via the 1.5*2^23 magic constant: exact for |z| < 2^22
+  // and, unlike std::floor, it auto-vectorizes.
+  constexpr float kRound = 12582912.0F;
+  x = std::min(88.3762626647949F, std::max(-87.3365478515625F, x));
+  const float n = (x * kLog2e + kRound) - kRound;
+  x -= n * kLn2Hi;
+  x -= n * kLn2Lo;
+  float p = 1.9875691500e-4F;
+  p = p * x + 1.3981999507e-3F;
+  p = p * x + 8.3334519073e-3F;
+  p = p * x + 4.1665795894e-2F;
+  p = p * x + 1.6666665459e-1F;
+  p = p * x + 5.0000001201e-1F;
+  const float r = p * x * x + x + 1.0F;
+  const auto ni = static_cast<int32_t>(n);
+  return r * std::bit_cast<float>((ni + 127) << 23);
+}
+
+/// tanh through fast_expf: tanh(u) = 1 - 2/(exp(2u) + 1). Saturates cleanly
+/// to ±1 at the exp clamp. Used by the hot gelu path, where the libm tanh
+/// call dominated the whole activation and blocked vectorization.
+inline float fast_tanhf(float u) {
+  return 1.0F - 2.0F / (fast_expf(2.0F * u) + 1.0F);
+}
+
 /// Generic elementwise unary op; dfn receives (x, y) and returns dy/dx.
 template <typename Fwd, typename Dfn>
 Tensor unary(const Tensor& a, Fwd fwd, Dfn dfn) {
   auto an = a.node();
-  std::vector<float> out(an->value.size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = fwd(an->value[i]);
+  const size_t n = an->value.size();
+  std::vector<float> out = alloc_out(n);
+  // Raw noalias pointers: the freshly acquired out buffer cannot alias the
+  // input, and spelling that out lets the elementwise loop vectorize.
+  const float* __restrict src = an->value.data();
+  float* __restrict dst = out.data();
+  for (size_t i = 0; i < n; ++i) dst[i] = fwd(src[i]);
   return make_op_result(an->shape, std::move(out), {an},
                         [an, dfn](Node& self) {
                           if (!an->requires_grad) return;
@@ -263,46 +593,23 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                 shape_str(an->shape) + " x " +
                                 shape_str(bn->shape) + ")");
   }
-  const Shape a_batch(an->shape.begin(), an->shape.end() - 2);
-  const Shape b_batch(bn->shape.begin(), bn->shape.end() - 2);
-  const Shape batch = broadcast_shape(a_batch, b_batch);
-  const auto sa = broadcast_strides(a_batch, batch);
-  const auto sb = broadcast_strides(b_batch, batch);
-  const size_t nb = numel(batch);
-  const size_t a_mat = M * K;
-  const size_t b_mat = K * N;
+  Shape batch;
+  std::vector<size_t> aoff, boff;
+  batch_offsets(an->shape, bn->shape, M * K, K * N, batch, aoff, boff);
+  const size_t nb = aoff.size();
   const size_t o_mat = M * N;
 
-  // Per-batch base offsets for a and b (matrix strides folded in).
-  std::vector<size_t> aoff(nb), boff(nb);
-  {
-    std::vector<size_t> idx(batch.size(), 0);
-    for (size_t i = 0; i < nb; ++i) {
-      size_t oa = 0;
-      size_t ob = 0;
-      for (size_t d = 0; d < batch.size(); ++d) {
-        oa += idx[d] * sa[d];
-        ob += idx[d] * sb[d];
-      }
-      aoff[i] = oa * a_mat;
-      boff[i] = ob * b_mat;
-      for (size_t d = batch.size(); d-- > 0;) {
-        if (++idx[d] < batch[d]) break;
-        idx[d] = 0;
-      }
-    }
-  }
-
-  Shape out_shape = batch;
+  Shape out_shape = std::move(batch);
   out_shape.push_back(M);
   out_shape.push_back(N);
-  std::vector<float> out(nb * o_mat, 0.0F);
+  std::vector<float> out = alloc_out(nb * o_mat);
   gemm_forward(an->value.data(), bn->value.data(), out.data(), aoff, boff, M,
                K, N);
 
   return make_op_result(
       std::move(out_shape), std::move(out), {an, bn},
-      [an, bn, aoff, boff, M, K, N](Node& self) {
+      [an, bn, aoff = std::move(aoff), boff = std::move(boff), M, K,
+       N](Node& self) {
         const bool ga = an->requires_grad;
         const bool gb = bn->requires_grad;
         if (ga) an->ensure_grad();
@@ -320,6 +627,55 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
       });
 }
 
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  auto an = a.node();
+  auto bn = b.node();
+  if (an->shape.size() < 2 || bn->shape.size() < 2) {
+    throw std::invalid_argument("matmul_nt: inputs must have rank >= 2");
+  }
+  const size_t M = an->shape[an->shape.size() - 2];
+  const size_t K = an->shape[an->shape.size() - 1];
+  const size_t N = bn->shape[bn->shape.size() - 2];
+  const size_t Kb = bn->shape[bn->shape.size() - 1];
+  if (K != Kb) {
+    throw std::invalid_argument("matmul_nt: inner dims differ (" +
+                                shape_str(an->shape) + " x " +
+                                shape_str(bn->shape) + "^T)");
+  }
+  Shape batch;
+  std::vector<size_t> aoff, boff;
+  batch_offsets(an->shape, bn->shape, M * K, N * K, batch, aoff, boff);
+  const size_t nb = aoff.size();
+  const size_t o_mat = M * N;
+
+  Shape out_shape = std::move(batch);
+  out_shape.push_back(M);
+  out_shape.push_back(N);
+  std::vector<float> out = alloc_out(nb * o_mat);
+  gemm_nt_forward(an->value.data(), bn->value.data(), out.data(), aoff, boff,
+                  M, K, N);
+
+  return make_op_result(
+      std::move(out_shape), std::move(out), {an, bn},
+      [an, bn, aoff = std::move(aoff), boff = std::move(boff), M, K,
+       N](Node& self) {
+        const bool ga = an->requires_grad;
+        const bool gb = bn->requires_grad;
+        if (ga) an->ensure_grad();
+        if (gb) bn->ensure_grad();
+        if (ga) {
+          // dA = dOut * B
+          gemm_nt_backward_a(self.grad.data(), bn->value.data(),
+                             an->grad.data(), aoff, boff, M, K, N);
+        }
+        if (gb) {
+          // dB = dOut^T * A
+          gemm_nt_backward_b(self.grad.data(), an->value.data(),
+                             bn->grad.data(), aoff, boff, M, K, N);
+        }
+      });
+}
+
 Tensor relu(const Tensor& a) {
   return unary(a, [](float x) { return x > 0.0F ? x : 0.0F; },
                [](float x, float) { return x > 0.0F ? 1.0F : 0.0F; });
@@ -329,12 +685,12 @@ Tensor gelu(const Tensor& a) {
   return unary(
       a,
       [](float x) {
-        const float t = std::tanh(kGeluC * (x + kGeluA * x * x * x));
+        const float t = fast_tanhf(kGeluC * (x + kGeluA * x * x * x));
         return 0.5F * x * (1.0F + t);
       },
       [](float x, float) {
         const float u = kGeluC * (x + kGeluA * x * x * x);
-        const float t = std::tanh(u);
+        const float t = fast_tanhf(u);
         const float du = kGeluC * (1.0F + 3.0F * kGeluA * x * x);
         return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
       });
@@ -372,17 +728,30 @@ Tensor softmax_lastdim(const Tensor& a) {
   }
   const size_t L = an->shape.back();
   const size_t rows = an->value.size() / L;
-  std::vector<float> out(an->value.size());
+  std::vector<float> out = alloc_out(an->value.size());
   for (size_t r = 0; r < rows; ++r) {
     const float* x = an->value.data() + r * L;
     float* y = out.data() + r * L;
+    // Lane-parallel max: max is exact and associative, so splitting the
+    // reduction across 8 lanes (which vectorizes) returns the identical
+    // value to the sequential scan.
     float mx = x[0];
-    for (size_t i = 1; i < L; ++i) mx = std::max(mx, x[i]);
-    float denom = 0.0F;
-    for (size_t i = 0; i < L; ++i) {
-      y[i] = std::exp(x[i] - mx);
-      denom += y[i];
+    if (L >= 16) {
+      float lane[8];
+      for (size_t j = 0; j < 8; ++j) lane[j] = x[j];
+      size_t i = 8;
+      for (; i + 8 <= L; i += 8) {
+        for (size_t j = 0; j < 8; ++j) lane[j] = std::max(lane[j], x[i + j]);
+      }
+      mx = lane[0];
+      for (size_t j = 1; j < 8; ++j) mx = std::max(mx, lane[j]);
+      for (; i < L; ++i) mx = std::max(mx, x[i]);
+    } else {
+      for (size_t i = 1; i < L; ++i) mx = std::max(mx, x[i]);
     }
+    for (size_t i = 0; i < L; ++i) y[i] = fast_expf(x[i] - mx);
+    float denom = 0.0F;
+    for (size_t i = 0; i < L; ++i) denom += y[i];
     for (size_t i = 0; i < L; ++i) y[i] /= denom;
   }
   return make_op_result(
@@ -407,8 +776,11 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
   }
   const size_t L = an->shape.back();
   const size_t rows = an->value.size() / L;
-  std::vector<float> out(an->value.size());
-  std::vector<float> inv_std(rows);
+  // inv_std only feeds the backward closure; skip the stash when no graph is
+  // being recorded.
+  const bool rec = GradMode::enabled() && an->requires_grad;
+  std::vector<float> out = alloc_out(an->value.size());
+  std::vector<float> inv_std(rec ? rows : 0);
   for (size_t r = 0; r < rows; ++r) {
     const float* x = an->value.data() + r * L;
     float* y = out.data() + r * L;
@@ -419,7 +791,7 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
     for (size_t i = 0; i < L; ++i) var += (x[i] - mu) * (x[i] - mu);
     var /= static_cast<float>(L);
     const float is = 1.0F / std::sqrt(var + eps);
-    inv_std[r] = is;
+    if (rec) inv_std[r] = is;
     for (size_t i = 0; i < L; ++i) y[i] = (x[i] - mu) * is;
   }
   return make_op_result(
@@ -459,7 +831,21 @@ Tensor sum(const Tensor& a) {
   });
 }
 
-Tensor mean(const Tensor& a) { return div(sum(a), static_cast<float>(a.size())); }
+Tensor mean(const Tensor& a) {
+  // Direct scaled reduction — no div(sum(a), scalar) subgraph. The value
+  // (s / n) and the backward contribution (g * (1/n)) reproduce the exact
+  // float ops of the old composition, so results are bitwise unchanged.
+  auto an = a.node();
+  const float n = static_cast<float>(an->value.size());
+  float s = 0.0F;
+  for (float v : an->value) s += v;
+  return make_op_result({}, {s / n}, {an}, [an, n](Node& self) {
+    if (!an->requires_grad) return;
+    an->ensure_grad();
+    const float g = self.grad[0] * (1.0F / n);
+    for (auto& dv : an->grad) dv += g;
+  });
+}
 
 Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim) {
   auto an = a.node();
@@ -478,7 +864,7 @@ Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim) {
       out_shape.push_back(s[d]);
     }
   }
-  std::vector<float> out(outer * inner, 0.0F);
+  std::vector<float> out = alloc_out_zero(outer * inner);
   for (size_t o = 0; o < outer; ++o) {
     for (size_t x = 0; x < ax; ++x) {
       const float* src = an->value.data() + (o * ax + x) * inner;
@@ -502,8 +888,49 @@ Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim) {
 }
 
 Tensor mean_axis(const Tensor& a, size_t axis, bool keepdim) {
-  const float n = static_cast<float>(a.shape().at(axis));
-  return div(sum_axis(a, axis, keepdim), n);
+  // Direct scaled sum_axis (same bitwise argument as mean()).
+  auto an = a.node();
+  const Shape& s = an->shape;
+  if (axis >= s.size()) throw std::invalid_argument("mean_axis: bad axis");
+  size_t outer = 1;
+  size_t inner = 1;
+  for (size_t d = 0; d < axis; ++d) outer *= s[d];
+  for (size_t d = axis + 1; d < s.size(); ++d) inner *= s[d];
+  const size_t ax = s[axis];
+  const float nax = static_cast<float>(ax);
+  Shape out_shape;
+  for (size_t d = 0; d < s.size(); ++d) {
+    if (d == axis) {
+      if (keepdim) out_shape.push_back(1);
+    } else {
+      out_shape.push_back(s[d]);
+    }
+  }
+  std::vector<float> out = alloc_out_zero(outer * inner);
+  for (size_t o = 0; o < outer; ++o) {
+    for (size_t x = 0; x < ax; ++x) {
+      const float* src = an->value.data() + (o * ax + x) * inner;
+      float* dst = out.data() + o * inner;
+      for (size_t i = 0; i < inner; ++i) dst[i] += src[i];
+    }
+  }
+  for (auto& v : out) v /= nax;
+  return make_op_result(std::move(out_shape), std::move(out), {an},
+                        [an, outer, inner, ax, nax](Node& self) {
+                          if (!an->requires_grad) return;
+                          an->ensure_grad();
+                          const float inv = 1.0F / nax;
+                          for (size_t o = 0; o < outer; ++o) {
+                            const float* g = self.grad.data() + o * inner;
+                            for (size_t x = 0; x < ax; ++x) {
+                              float* dst =
+                                  an->grad.data() + (o * ax + x) * inner;
+                              for (size_t i = 0; i < inner; ++i) {
+                                dst[i] += g[i] * inv;
+                              }
+                            }
+                          }
+                        });
 }
 
 Tensor reshape(const Tensor& a, Shape shape) {
@@ -513,7 +940,8 @@ Tensor reshape(const Tensor& a, Shape shape) {
                                 shape_str(an->shape) + " -> " +
                                 shape_str(shape));
   }
-  std::vector<float> out = an->value;
+  std::vector<float> out = alloc_out(an->value.size());
+  std::copy(an->value.begin(), an->value.end(), out.begin());
   return make_op_result(std::move(shape), std::move(out), {an},
                         [an](Node& self) {
                           if (!an->requires_grad) return;
@@ -522,6 +950,20 @@ Tensor reshape(const Tensor& a, Shape shape) {
                             an->grad[i] += self.grad[i];
                           }
                         });
+}
+
+Tensor reshape(Tensor&& a, Shape shape) {
+  // Alias-style reshape for sole-owner temporaries in no-grad mode: steal the
+  // value buffer instead of copying it. Only the rvalue handle references the
+  // node (use_count == 1) and no graph edge will point at it, so emptying it
+  // is unobservable.
+  const auto& an = a.node();
+  if (an && !GradMode::enabled() && an.use_count() == 1 &&
+      numel(shape) == an->value.size()) {
+    return detail::make_inference_result(std::move(shape),
+                                         std::move(an->value));
+  }
+  return reshape(static_cast<const Tensor&>(a), std::move(shape));
 }
 
 Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
@@ -536,8 +978,33 @@ Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
     out_shape[i] = s[perm[i]];
   }
   const auto in_strides = row_major_strides(s);
-  const auto out_strides = row_major_strides(out_shape);
   const size_t n = an->value.size();
+  if (!GradMode::enabled() || !an->requires_grad) {
+    // Inference path: gather directly with an incrementally-maintained source
+    // offset — no src_of table, no backward closure. When the innermost dim
+    // stays innermost (every permute the attention head split/merge does),
+    // copy whole contiguous runs instead of single elements.
+    std::vector<float> out = alloc_out(n);
+    const bool last_fixed =
+        !perm.empty() && perm.back() == s.size() - 1 && s.back() > 1;
+    const size_t run = last_fixed ? s.back() : 1;
+    const size_t outer_rank = last_fixed ? out_shape.size() - 1 : out_shape.size();
+    std::vector<size_t> idx(outer_rank, 0);
+    size_t off = 0;
+    const float* __restrict src = an->value.data();
+    float* __restrict dst = out.data();
+    for (size_t i = 0; i < n; i += run) {
+      for (size_t j = 0; j < run; ++j) dst[i + j] = src[off + j];
+      for (size_t d = outer_rank; d-- > 0;) {
+        ++idx[d];
+        off += in_strides[perm[d]];
+        if (idx[d] < out_shape[d]) break;
+        off -= out_shape[d] * in_strides[perm[d]];
+        idx[d] = 0;
+      }
+    }
+    return detail::make_inference_result(std::move(out_shape), std::move(out));
+  }
   // src linear offset for each out linear offset
   std::vector<size_t> src_of(n);
   std::vector<size_t> idx(out_shape.size(), 0);
@@ -588,10 +1055,11 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     parents.push_back(p.node());
   }
   out_shape[0] = rows;
-  std::vector<float> out;
-  out.reserve(rows * row_elems);
+  std::vector<float> out = alloc_out(rows * row_elems);
+  size_t woff = 0;
   for (const auto& p : parents) {
-    out.insert(out.end(), p->value.begin(), p->value.end());
+    std::copy(p->value.begin(), p->value.end(), out.begin() + woff);
+    woff += p->value.size();
   }
   return make_op_result(std::move(out_shape), std::move(out), parents,
                         [parents](Node& self) {

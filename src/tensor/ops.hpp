@@ -33,6 +33,12 @@ Tensor neg(const Tensor& a);
 /// the plain matrix product.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+/// Transpose-aware product: a is [..., M, K], b is [..., N, K]; computes
+/// a · bᵀ without materializing the transpose. Bitwise identical to
+/// matmul(a, transpose_last(b)) — both accumulate each output element's
+/// reduction terms in ascending k order.
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
 // -- activations / pointwise ---------------------------------------------------
 
 Tensor relu(const Tensor& a);
@@ -70,6 +76,9 @@ Tensor mean_axis(const Tensor& a, size_t axis, bool keepdim = false);
 
 /// Copying reshape; numel must be preserved.
 Tensor reshape(const Tensor& a, Shape shape);
+/// Reshape of a sole-owner temporary: in no-grad mode the value buffer is
+/// stolen instead of copied (falls back to the copying overload otherwise).
+Tensor reshape(Tensor&& a, Shape shape);
 /// Generalized transpose: output dim i takes input dim perm[i].
 Tensor permute(const Tensor& a, const std::vector<size_t>& perm);
 /// Swap the last two dimensions (rank >= 2).

@@ -1,0 +1,131 @@
+#include "tensor/pool.hpp"
+
+#include <new>
+#include <utility>
+
+namespace metadse::tensor {
+
+namespace {
+
+/// Free vectors newer than this many entries back are considered for reuse;
+/// a deeper scan costs more than a fresh allocation saves.
+constexpr size_t kScanDepth = 16;
+/// Free-list bound: a forward pass of the repo's models keeps well under
+/// this many buffers live, and the cap keeps a pathological workload from
+/// hoarding memory.
+constexpr size_t kMaxFreeVectors = 256;
+constexpr size_t kMaxFreeBlocksPerSize = 1024;
+
+struct PoolState {
+  std::vector<std::vector<float>> vecs;  ///< LIFO free list
+  /// Node blocks come in one or two distinct sizes (allocate_shared of Node),
+  /// so a tiny size-keyed table beats a hash map.
+  std::vector<std::pair<size_t, std::vector<void*>>> blocks;
+  BufferPool::Stats stats;
+
+  ~PoolState() {
+    for (auto& [size, list] : blocks) {
+      for (void* p : list) ::operator delete(p);
+    }
+  }
+
+  std::vector<void*>* block_list(size_t bytes) {
+    for (auto& [size, list] : blocks) {
+      if (size == bytes) return &list;
+    }
+    blocks.emplace_back(bytes, std::vector<void*>{});
+    return &blocks.back().second;
+  }
+};
+
+PoolState& pool() {
+  static thread_local PoolState state;
+  return state;
+}
+
+/// Pops the most recent free vector with capacity >= n (bounded scan);
+/// returns an empty vector when none qualifies.
+std::vector<float> take_fitting(PoolState& p, size_t n) {
+  auto& vecs = p.vecs;
+  const size_t lo = vecs.size() > kScanDepth ? vecs.size() - kScanDepth : 0;
+  for (size_t i = vecs.size(); i-- > lo;) {
+    if (vecs[i].capacity() >= n) {
+      std::vector<float> v = std::move(vecs[i]);
+      vecs[i] = std::move(vecs.back());
+      vecs.pop_back();
+      return v;
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<float> BufferPool::acquire(size_t n) {
+  auto& p = pool();
+  std::vector<float> v = take_fitting(p, n);
+  if (v.capacity() >= n && n > 0) {
+    ++p.stats.vec_reused;
+    v.resize(n);
+    return v;
+  }
+  ++p.stats.vec_allocated;
+  return std::vector<float>(n);
+}
+
+std::vector<float> BufferPool::acquire_zero(size_t n) {
+  auto& p = pool();
+  std::vector<float> v = take_fitting(p, n);
+  if (v.capacity() >= n && n > 0) {
+    ++p.stats.vec_reused;
+    v.assign(n, 0.0F);
+    return v;
+  }
+  ++p.stats.vec_allocated;
+  return std::vector<float>(n, 0.0F);
+}
+
+void BufferPool::release(std::vector<float>&& v) {
+  if (v.capacity() == 0) return;
+  auto& p = pool();
+  if (p.vecs.size() >= kMaxFreeVectors) return;  // drop: vector frees itself
+  p.vecs.push_back(std::move(v));
+}
+
+void* BufferPool::alloc_block(size_t bytes) {
+  auto& p = pool();
+  auto* list = p.block_list(bytes);
+  if (!list->empty()) {
+    void* b = list->back();
+    list->pop_back();
+    ++p.stats.block_reused;
+    return b;
+  }
+  ++p.stats.block_allocated;
+  return ::operator new(bytes);
+}
+
+void BufferPool::free_block(void* ptr, size_t bytes) {
+  auto& p = pool();
+  auto* list = p.block_list(bytes);
+  if (list->size() >= kMaxFreeBlocksPerSize) {
+    ::operator delete(ptr);
+    return;
+  }
+  list->push_back(ptr);
+}
+
+void BufferPool::clear() {
+  auto& p = pool();
+  p.vecs.clear();
+  for (auto& [size, list] : p.blocks) {
+    for (void* ptr : list) ::operator delete(ptr);
+    list.clear();
+  }
+}
+
+BufferPool::Stats BufferPool::stats() { return pool().stats; }
+
+void BufferPool::reset_stats() { pool().stats = {}; }
+
+}  // namespace metadse::tensor

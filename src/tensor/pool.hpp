@@ -1,0 +1,50 @@
+// Thread-local buffer reuse for the inference fast path. In no-grad mode
+// (see GradMode in tensor.hpp) every op result's value buffer is drawn from
+// and returned to this pool, so a steady-state prediction loop performs no
+// heap allocation per forward: intermediate nodes die as soon as their
+// handles go out of scope (no parents are captured without grad), their
+// buffers cycle straight back, and the next op reuses them.
+//
+// Everything here is thread-local: pool workers and the main thread each own
+// an independent free list, so there is no synchronization and no data race.
+// Buffers may migrate between threads (allocated on one, released on the one
+// that destroys the node) — that only moves capacity around, never sharing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace metadse::tensor {
+
+/// Thread-local free lists for op-output vectors and graph-node blocks.
+/// All members are static; state lives in per-thread storage.
+class BufferPool {
+ public:
+  /// A float buffer of exactly @p n elements with unspecified contents —
+  /// reused from the free list when a large-enough buffer is available.
+  static std::vector<float> acquire(size_t n);
+  /// Like acquire() but zero-filled.
+  static std::vector<float> acquire_zero(size_t n);
+  /// Returns a buffer to the free list (drops it when the list is full).
+  static void release(std::vector<float>&& v);
+
+  /// Raw block reuse for pooled graph-node allocations (allocate_shared).
+  static void* alloc_block(size_t bytes);
+  static void free_block(void* p, size_t bytes);
+
+  /// Frees every cached buffer and block on the calling thread.
+  static void clear();
+
+  /// Allocation accounting (per thread; used by tests to prove the hot loop
+  /// is allocation-free at steady state).
+  struct Stats {
+    size_t vec_reused = 0;     ///< acquire() served from the free list
+    size_t vec_allocated = 0;  ///< acquire() had to heap-allocate
+    size_t block_reused = 0;
+    size_t block_allocated = 0;
+  };
+  static Stats stats();
+  static void reset_stats();
+};
+
+}  // namespace metadse::tensor

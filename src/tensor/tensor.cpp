@@ -3,11 +3,27 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "tensor/pool.hpp"
+
 namespace metadse::tensor {
 
 void Node::ensure_grad() {
   if (grad.size() != value.size()) grad.assign(value.size(), 0.0F);
 }
+
+Node::~Node() {
+  if (pooled) BufferPool::release(std::move(value));
+}
+
+namespace {
+
+thread_local bool g_grad_enabled = true;
+
+}  // namespace
+
+bool GradMode::enabled() { return g_grad_enabled; }
+
+void GradMode::set_enabled(bool on) { g_grad_enabled = on; }
 
 namespace {
 
@@ -154,18 +170,57 @@ Tensor Tensor::detach() const {
   return from_vector(n_->shape, n_->value, false);
 }
 
-Tensor make_op_result(Shape shape, std::vector<float> value,
-                      std::vector<std::shared_ptr<Node>> parents,
-                      std::function<void(Node&)> backward_fn) {
+namespace detail {
+
+namespace {
+
+/// Minimal allocator backing allocate_shared<Node> with BufferPool blocks so
+/// the node + control-block allocation itself is recycled across forwards.
+template <typename T>
+struct PoolAllocator {
+  using value_type = T;
+  PoolAllocator() = default;
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& /*other*/) {}  // NOLINT(google-explicit-constructor)
+  T* allocate(size_t n) {
+    return static_cast<T*>(BufferPool::alloc_block(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { BufferPool::free_block(p, n * sizeof(T)); }
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& /*other*/) const {
+    return true;
+  }
+};
+
+}  // namespace
+
+bool any_requires_grad(const std::vector<std::shared_ptr<Node>>& parents) {
+  for (const auto& p : parents) {
+    if (p && p->requires_grad) return true;
+  }
+  return false;
+}
+
+Tensor finish_op_result_grad(Shape shape, std::vector<float> value,
+                             std::vector<std::shared_ptr<Node>> parents,
+                             std::function<void(Node&)> backward_fn) {
   auto n = std::make_shared<Node>();
   n->shape = std::move(shape);
   n->value = std::move(value);
-  bool rg = false;
-  for (const auto& p : parents) rg = rg || (p && p->requires_grad);
-  n->requires_grad = rg;
+  n->requires_grad = true;
   n->parents = std::move(parents);
-  if (rg) n->backward_fn = std::move(backward_fn);
+  n->backward_fn = std::move(backward_fn);
   return Tensor(std::move(n));
 }
+
+Tensor make_inference_result(Shape shape, std::vector<float> value) {
+  auto n = std::allocate_shared<Node>(PoolAllocator<Node>{});
+  n->shape = std::move(shape);
+  n->value = std::move(value);
+  n->pooled = true;
+  return Tensor(std::move(n));
+}
+
+}  // namespace detail
 
 }  // namespace metadse::tensor

@@ -22,12 +22,44 @@ struct Node {
   std::vector<float> value;   ///< numel(shape) elements
   std::vector<float> grad;    ///< same length as value once touched by backward
   bool requires_grad = false; ///< participates in gradient propagation
+  bool pooled = false;        ///< value buffer returns to BufferPool on death
   std::vector<std::shared_ptr<Node>> parents;  ///< inputs of the producing op
   /// Accumulates this node's grad into its parents' grads. Empty for leaves.
   std::function<void(Node&)> backward_fn;
 
+  Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+  ~Node();  ///< releases a pooled value buffer back to the thread-local pool
+
   /// Allocate (zero-filled) grad storage if absent.
   void ensure_grad();
+};
+
+/// Thread-local autograd switch. While disabled, every op skips graph
+/// construction entirely: no parents are captured, no backward closure is
+/// built, and op outputs draw their buffers from the thread-local
+/// BufferPool. Forward values are bitwise identical either way — grad mode
+/// changes bookkeeping, never arithmetic.
+class GradMode {
+ public:
+  /// True (the default) when ops should record the autodiff graph.
+  static bool enabled();
+  /// Sets the calling thread's grad mode (prefer NoGradGuard for scoping).
+  static void set_enabled(bool on);
+};
+
+/// RAII scope that disables grad mode on the current thread — the inference
+/// fast path. Nests: the previous mode is restored on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard() : prev_(GradMode::enabled()) { GradMode::set_enabled(false); }
+  ~NoGradGuard() { GradMode::set_enabled(prev_); }
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
 };
 
 /// Value-semantics handle to a graph node. Copying a Tensor aliases the node;
@@ -101,9 +133,37 @@ class Tensor {
   std::shared_ptr<Node> n_;
 };
 
-/// Build a node for an op result. Gradients flow iff any parent requires them.
+namespace detail {
+
+/// True iff any parent participates in gradient propagation.
+bool any_requires_grad(const std::vector<std::shared_ptr<Node>>& parents);
+
+/// Grad-mode tail of make_op_result: records parents and the backward
+/// closure exactly as the engine always has.
+Tensor finish_op_result_grad(Shape shape, std::vector<float> value,
+                             std::vector<std::shared_ptr<Node>> parents,
+                             std::function<void(Node&)> backward_fn);
+
+/// Inference tail: a parentless, closure-free node whose allocation block and
+/// value buffer are recycled through the thread-local BufferPool.
+Tensor make_inference_result(Shape shape, std::vector<float> value);
+
+}  // namespace detail
+
+/// Build a node for an op result. Gradients flow iff grad mode is on and any
+/// parent requires them; otherwise the graph is not recorded at all — the
+/// backward callable is never converted to a std::function (no closure
+/// allocation) and parents are dropped so intermediates free eagerly.
+template <typename BackwardFn>
 Tensor make_op_result(Shape shape, std::vector<float> value,
                       std::vector<std::shared_ptr<Node>> parents,
-                      std::function<void(Node&)> backward_fn);
+                      BackwardFn&& backward_fn) {
+  if (!GradMode::enabled() || !detail::any_requires_grad(parents)) {
+    return detail::make_inference_result(std::move(shape), std::move(value));
+  }
+  return detail::finish_op_result_grad(
+      std::move(shape), std::move(value), std::move(parents),
+      std::function<void(Node&)>(std::forward<BackwardFn>(backward_fn)));
+}
 
 }  // namespace metadse::tensor

@@ -133,6 +133,18 @@ TEST(ParallelConfig, ThreadsKnobClampsAndDefaults) {
 
 // -- blocked GEMM vs naive reference ----------------------------------------
 
+/// One multiply-accumulate with the forward-GEMM MAC contract: a single
+/// fused fmaf rounding when the kernel was built with FMA, separate mul+add
+/// roundings otherwise. tensor::ops.cpp's gemm_mac makes the same choice, so
+/// the naive reference below stays bitwise comparable on every build.
+float naive_mac(float acc, float a, float b) {
+#if defined(__FMA__)
+  return __builtin_fmaf(a, b, acc);
+#else
+  return acc + a * b;
+#endif
+}
+
 /// The pre-blocking triple loop (m, k, n with ascending-k accumulation),
 /// batched with the same broadcast offsets as tensor::matmul.
 std::vector<float> naive_matmul(const std::vector<float>& a,
@@ -162,7 +174,7 @@ std::vector<float> naive_matmul(const std::vector<float>& a,
     for (size_t m = 0; m < M; ++m) {
       for (size_t k = 0; k < K; ++k) {
         for (size_t n = 0; n < N; ++n) {
-          po[m * N + n] += pa[m * K + k] * pb[k * N + n];
+          po[m * N + n] = naive_mac(po[m * N + n], pa[m * K + k], pb[k * N + n]);
         }
       }
     }

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Turn bench_micro_engine JSON output into BENCH_engine.json.
+
+Usage:
+    bench_report.py AFTER.json [--before BEFORE.json] [-o BENCH_engine.json]
+
+AFTER.json is the output of
+
+    bench_micro_engine --benchmark_filter='PredictOne|PredictBatch|ExplorerBatchedEval' \
+        --benchmark_min_time=0.5 --benchmark_format=json
+
+BEFORE.json, when given, is a google-benchmark JSON from the pre-fast-path
+baseline (the seed's grad-mode forward). The report pairs each fast-path
+benchmark with its baseline counterpart and records the speedup:
+
+  - BM_TransformerPredictOneNoGrad   vs baseline BM_TransformerPredictOne
+  - BM_TransformerPredictBatchNoGrad/N vs baseline BM_TransformerPredictBatch/N
+  - within-run grad vs no-grad ratios as a build-independent cross-check
+
+The headline figure is the single-point no-grad prediction speedup over the
+seed grad-mode forward; the CI smoke job only checks that the report can be
+produced (numbers from shared runners are not stable enough to gate on).
+"""
+
+import argparse
+import json
+import sys
+
+# fast-path benchmark -> its grad-mode baseline counterpart
+PAIRS = {
+    "BM_TransformerPredictOneNoGrad": "BM_TransformerPredictOne",
+    "BM_TransformerPredictBatchNoGrad/1": "BM_TransformerPredictBatch/1",
+    "BM_TransformerPredictBatchNoGrad/16": "BM_TransformerPredictBatch/16",
+    "BM_TransformerPredictBatchNoGrad/128": "BM_TransformerPredictBatch/128",
+}
+
+HEADLINE = "BM_TransformerPredictOneNoGrad"
+
+
+def load_times(path):
+    """name -> real_time in ns (iteration aggregates only)."""
+    with open(path) as f:
+        doc = json.load(f)
+    times = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        times[b["name"]] = float(b["real_time"])
+    return times, doc.get("context", {})
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("after", help="bench_micro_engine JSON for the current tree")
+    ap.add_argument("--before", help="baseline JSON (seed grad-mode forward)")
+    ap.add_argument("-o", "--output", default="BENCH_engine.json")
+    args = ap.parse_args(argv)
+
+    after, context = load_times(args.after)
+    if not after:
+        sys.exit(f"{args.after}: no iteration benchmarks found")
+    before, before_context = ({}, {})
+    if args.before:
+        before, before_context = load_times(args.before)
+
+    report = {
+        "context": {
+            "after": context,
+            "before": before_context or None,
+        },
+        "benchmarks_ns": {name: round(t, 1) for name, t in sorted(after.items())},
+        "speedups_vs_before": {},
+        "grad_over_nograd_within_run": {},
+    }
+
+    for fast, base in PAIRS.items():
+        if fast in after and base in before:
+            report["speedups_vs_before"][fast] = round(before[base] / after[fast], 2)
+        if fast in after and base in after:
+            report["grad_over_nograd_within_run"][fast] = round(
+                after[base] / after[fast], 2)
+
+    if HEADLINE in report["speedups_vs_before"]:
+        report["headline"] = {
+            "benchmark": HEADLINE,
+            "baseline": PAIRS[HEADLINE],
+            "before_ns": round(before[PAIRS[HEADLINE]], 1),
+            "after_ns": round(after[HEADLINE], 1),
+            "speedup": report["speedups_vs_before"][HEADLINE],
+        }
+
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+    head = report.get("headline")
+    if head:
+        print(f"{head['benchmark']}: {head['before_ns'] / 1e3:.1f}us -> "
+              f"{head['after_ns'] / 1e3:.1f}us ({head['speedup']}x)")
+    else:
+        print(f"wrote {args.output} ({len(after)} benchmarks, no baseline)")
+
+
+if __name__ == "__main__":
+    main()

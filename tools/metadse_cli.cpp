@@ -282,18 +282,33 @@ int cmd_adapt(const Args& args) {
               "candidates...\n",
               wl_name.c_str(), K, n_cand);
 
+  const long batch_arg = args.num("predict-batch", 32);
+  if (batch_arg < 1) {
+    throw UsageError("--predict-batch must be >= 1 (1 = fully sequential)");
+  }
+  const size_t eval_batch = static_cast<size_t>(batch_arg);
   explore::EvolutionaryExplorer explorer(
       {.initial_samples = n_cand / 4, .iterations = n_cand * 3 / 4,
-       .seed = static_cast<uint64_t>(args.num("seed", 2025))});
+       .seed = static_cast<uint64_t>(args.num("seed", 2025)),
+       .eval_batch = eval_batch});
   const auto front = explorer.explore(
-      fw.space(), [&](const arch::Config& c) {
-        // IPC from the adapted predictor; power from the analytical model
-        // (power is cheap and workload-weakly-dependent).
-        const float ipc = predictor.predict(fw.space().normalize(c));
-        const auto [sim_ipc, sim_power] = gen.evaluate(c, wl);
-        (void)sim_ipc;
-        return explore::Objective{static_cast<double>(ipc), sim_power};
-      });
+      fw.space(),
+      explore::BatchEvaluator([&](const std::vector<arch::Config>& batch) {
+        // IPC from the adapted predictor (one batched no-grad forward);
+        // power from the analytical model (cheap, workload-weakly-dependent).
+        std::vector<std::vector<float>> feats;
+        feats.reserve(batch.size());
+        for (const auto& c : batch) feats.push_back(fw.space().normalize(c));
+        const auto ipcs = predictor.predict_batch(feats);
+        std::vector<explore::Objective> objs;
+        objs.reserve(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const auto [sim_ipc, sim_power] = gen.evaluate(batch[i], wl);
+          (void)sim_ipc;
+          objs.push_back({static_cast<double>(ipcs[i]), sim_power});
+        }
+        return objs;
+      }));
 
   std::printf("predicted Pareto front (%zu points), validated in the "
               "simulator:\n",
@@ -347,7 +362,9 @@ void usage() {
       "  pretrain --ckpt F [--epochs E --tasks T --pretrain-support S\n"
       "                     --no-autosave]\n"
       "  evaluate --ckpt F --workload W [--tasks N --support K --no-wam]\n"
-      "  adapt    --ckpt F --workload W [--support K --candidates N]\n"
+      "  adapt    --ckpt F --workload W [--support K --candidates N\n"
+      "                     --predict-batch B]  (B = surrogate queries per\n"
+      "                     batched forward; 1 = fully sequential)\n"
       "  similarity [--samples N]\n"
       "common flags: --seed S, --dataset-size N, --threads N (0 = auto),\n"
       "  --verbose\n"
