@@ -8,6 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "baselines/ensembles.hpp"
 #include "core/parallel.hpp"
 #include "eval/metrics.hpp"
 #include "nn/serialize.hpp"
@@ -500,6 +501,87 @@ std::vector<TaskEval> MetaDseFramework::evaluate(const std::string& workload,
     out.push_back(ev);
   }
   return out;
+}
+
+explore::ParetoArchive MetaDseFramework::run_dse(
+    const AdaptedPredictor& predictor, const data::Dataset& support,
+    const std::string& workload, const DseOptions& dse_options) {
+  const workload::Workload& wl = suite_.by_name(workload);
+  run_report_ = explore::RunReport{};
+
+  // Primary evaluator: surrogate IPC + simulated power. The power leg goes
+  // through the framework's generator, so an armed fault plan (and its
+  // attempt-indexed draws) exercises the retry/breaker machinery exactly as
+  // a flaky label farm would.
+  explore::AttemptEvaluator primary =
+      [this, &predictor, &wl, &dse_options](const arch::Config& c,
+                                            size_t attempt) {
+        if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
+        const float ipc = predictor.predict(space_->normalize(c));
+        const auto [sim_ipc, sim_power] = generator_.evaluate(c, wl, attempt);
+        (void)sim_ipc;
+        return explore::Objective{static_cast<double>(ipc), sim_power};
+      };
+  explore::BatchEvaluator batch_primary =
+      [this, &predictor, &wl,
+       &dse_options](const std::vector<arch::Config>& batch) {
+        if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
+        std::vector<std::vector<float>> feats;
+        feats.reserve(batch.size());
+        for (const auto& c : batch) feats.push_back(space_->normalize(c));
+        const auto ipcs = predictor.predict_batch(feats);
+        std::vector<explore::Objective> objs;
+        objs.reserve(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const auto [sim_ipc, sim_power] =
+              generator_.evaluate(batch[i], wl, /*attempt=*/0);
+          (void)sim_ipc;
+          objs.push_back({static_cast<double>(ipcs[i]), sim_power});
+        }
+        return objs;
+      };
+
+  // Middle rung of the degradation ladder: a forest fitted on the same
+  // K-shot support set, with power from a clean (never fault-injected)
+  // generator — the reliable fallback the breaker downgrades to.
+  explore::Evaluator baseline;
+  std::shared_ptr<baselines::RandomForest> forest;
+  std::shared_ptr<data::DatasetGenerator> clean_generator;
+  if (dse_options.baseline_fallback) {
+    baselines::FeatureMatrix x;
+    std::vector<float> y;
+    x.reserve(support.size());
+    y.reserve(support.size());
+    for (const auto& s : support.samples) {
+      x.push_back(s.features);
+      y.push_back(data::target_of(s, options_.maml.target).front());
+    }
+    forest = std::make_shared<baselines::RandomForest>();
+    forest->fit(x, y);
+    clean_generator = std::make_shared<data::DatasetGenerator>(*space_);
+    baseline = [this, forest, clean_generator,
+                &wl](const arch::Config& c) {
+      const float ipc = forest->predict(space_->normalize(c));
+      const auto [sim_ipc, sim_power] = clean_generator->evaluate(c, wl);
+      (void)sim_ipc;
+      return explore::Objective{static_cast<double>(ipc), sim_power};
+    };
+  }
+
+  explore::GuardedEvaluator guard(std::move(primary), dse_options.guard,
+                                  &run_report_, std::move(baseline));
+  guard.set_batch_primary(std::move(batch_primary));
+
+  explore::EvolutionaryExplorer explorer(dse_options.explorer);
+  if (dse_options.journal_path.empty()) {
+    return explorer.explore(*space_, guard.as_batch_evaluator());
+  }
+  const explore::JournalOptions jopts{
+      .path = dse_options.journal_path,
+      .resume = dse_options.resume,
+      .snapshot_period = dse_options.snapshot_period};
+  return explorer.explore(*space_, guard.as_batch_evaluator(), jopts,
+                          &run_report_);
 }
 
 }  // namespace metadse::core

@@ -4,12 +4,14 @@
 // paper Fig. 3. All benches and examples sit on top of this facade.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 
 #include "data/dataset.hpp"
+#include "explore/guarded.hpp"
 #include "meta/maml.hpp"
 #include "meta/wam.hpp"
 
@@ -128,6 +130,41 @@ class MetaDseFramework {
   /// uses the WAM unless options().adapt.use_wam is false.
   AdaptedPredictor adapt_to(const data::Dataset& target_support) const;
 
+  // -- crash-safe DSE (explorer stage of Algorithm 2) -----------------------------------
+  /// Knobs for one guarded, optionally journaled exploration run.
+  struct DseOptions {
+    explore::ExplorerOptions explorer{};
+    explore::GuardOptions guard{};
+    /// Write-ahead journal path; empty disables durability. The archive
+    /// snapshot lives at "<journal_path>.snapshot".
+    std::string journal_path;
+    /// Replay an existing journal/snapshot instead of refusing to clobber it.
+    bool resume = false;
+    size_t snapshot_period = 8;
+    /// Train a RandomForest on the support set as the degradation ladder's
+    /// middle rung (surrogate -> forest -> quarantine-and-skip).
+    bool baseline_fallback = true;
+    /// Called before every live primary evaluation (per point on the scalar
+    /// path, once per batch on the batched path). Hook point for chaos
+    /// drills and slow-simulator rehearsal; throwing from it interrupts the
+    /// run exactly as a crash would — the journal keeps what finished.
+    std::function<void()> pre_eval_hook;
+  };
+
+  /// Runs the few-shot DSE loop with fault containment: surrogate IPC (one
+  /// batched no-grad forward per generation) + simulated power as the
+  /// primary evaluator, guarded by deadlines/retries/the circuit breaker,
+  /// journaled when journal_path is set. The framework's armed fault plan
+  /// (set_fault_plan) applies to the primary's simulator leg, so chaos
+  /// drills rehearse the whole ladder. Accounting lands in run_report().
+  explore::ParetoArchive run_dse(const AdaptedPredictor& predictor,
+                                 const data::Dataset& support,
+                                 const std::string& workload,
+                                 const DseOptions& dse_options);
+
+  /// Accounting for the most recent run_dse() call.
+  const explore::RunReport& run_report() const { return run_report_; }
+
   /// Samples @p n_tasks (support+query) tasks from @p workload, adapts on
   /// each support set and scores on the query set. @p use_wam toggles the
   /// WAM (for the MetaDSE-w/o-WAM ablation).
@@ -166,6 +203,7 @@ class MetaDseFramework {
   std::map<std::string, data::Dataset> cache_;
   std::map<std::string, data::GenerationReport> reports_;
   std::unique_ptr<meta::MamlTrainer> trainer_;
+  explore::RunReport run_report_;
   tensor::Tensor wam_mask_;
   tensor::Tensor mean_attention_;
   // Set when state came from a checkpoint instead of a live trainer.

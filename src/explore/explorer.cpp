@@ -1,9 +1,15 @@
 #include "explore/explorer.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
+
+#include "explore/journal.hpp"
+#include "explore/run_report.hpp"
 
 namespace metadse::explore {
 
@@ -19,57 +25,224 @@ BatchEvaluator wrap_scalar(const Evaluator& evaluate) {
   };
 }
 
-/// Evaluates @p pending as one batch and inserts results in order.
-void flush_batch(ParetoArchive& archive, std::vector<arch::Config>& pending,
-                 const BatchEvaluator& evaluate) {
-  if (pending.empty()) return;
-  std::vector<Objective> objs = evaluate(pending);
-  if (objs.size() != pending.size()) {
-    throw std::runtime_error(
-        "explore: batch evaluator returned " + std::to_string(objs.size()) +
-        " objectives for " + std::to_string(pending.size()) + " configs");
+/// Durability state threaded through a journaled run: the WAL itself, the
+/// replay cursor into its recovered prefix, and the generation counter the
+/// records are framed with.
+struct JournalSession {
+  RunJournal journal;
+  const JournalOptions& options;
+  RunReport* report;
+  size_t next = 0;     ///< next recovered record to replay
+  uint32_t gen = 0;    ///< generation (flush) counter
+  size_t it = 0;       ///< mutation iterations completed (for snapshots)
+
+  JournalSession(const arch::DesignSpace& space, const ExplorerOptions& eopts,
+                 const JournalOptions& jopts, RunReport* rep)
+      : journal(jopts.path,
+                RunJournal::Identity{
+                    .seed = eopts.seed,
+                    .initial_samples = eopts.initial_samples,
+                    .iterations = eopts.iterations,
+                    .mutations_per_step = eopts.mutations_per_step,
+                    .eval_batch = eopts.eval_batch,
+                    .num_params = space.num_params()},
+                jopts.resume),
+        options(jopts),
+        report(rep) {
+    if (!journal.records().empty()) report->resumed = true;
   }
-  for (size_t i = 0; i < pending.size(); ++i) {
-    archive.insert(std::move(pending[i]), objs[i]);
-  }
-  pending.clear();
-}
+
+  /// Records currently durable on disk (replay prefix + live appends).
+  uint64_t records_done() const { return next + journal.appended(); }
+};
 
 }  // namespace
 
 EvolutionaryExplorer::EvolutionaryExplorer(ExplorerOptions options)
     : options_(options) {
-  if (options_.initial_samples == 0 || options_.mutations_per_step == 0) {
-    throw std::invalid_argument("ExplorerOptions: zero-sized knob");
+  if (options_.initial_samples == 0) {
+    throw std::invalid_argument(
+        "ExplorerOptions: initial_samples must be >= 1 (the archive would "
+        "start empty and every mutation step would be skipped)");
+  }
+  if (options_.iterations == 0) {
+    throw std::invalid_argument(
+        "ExplorerOptions: iterations must be >= 1 (no mutation steps would "
+        "run; use random_search for a pure screening pass)");
+  }
+  if (options_.mutations_per_step == 0) {
+    throw std::invalid_argument(
+        "ExplorerOptions: mutations_per_step must be >= 1 (children would "
+        "duplicate their parents)");
   }
 }
 
 ParetoArchive EvolutionaryExplorer::explore(const arch::DesignSpace& space,
                                             const Evaluator& evaluate) const {
-  return explore(space, wrap_scalar(evaluate));
+  return explore_impl(space, wrap_scalar(evaluate), nullptr, nullptr);
 }
 
 ParetoArchive EvolutionaryExplorer::explore(
     const arch::DesignSpace& space, const BatchEvaluator& evaluate) const {
+  return explore_impl(space, evaluate, nullptr, nullptr);
+}
+
+ParetoArchive EvolutionaryExplorer::explore(const arch::DesignSpace& space,
+                                            const BatchEvaluator& evaluate,
+                                            const JournalOptions& journal,
+                                            RunReport* report) const {
+  if (journal.path.empty()) {
+    throw std::invalid_argument("JournalOptions: empty journal path");
+  }
+  if (journal.snapshot_period == 0) {
+    throw std::invalid_argument(
+        "JournalOptions: snapshot_period must be >= 1");
+  }
+  return explore_impl(space, evaluate, &journal, report);
+}
+
+ParetoArchive EvolutionaryExplorer::explore_impl(
+    const arch::DesignSpace& space, const BatchEvaluator& evaluate,
+    const JournalOptions* journal_options, RunReport* report) const {
+  RunReport scratch;
+  RunReport* rep = report ? report : &scratch;
+  std::unique_ptr<JournalSession> session;
+  if (journal_options) {
+    session = std::make_unique<JournalSession>(space, options_,
+                                               *journal_options, rep);
+  }
+
   tensor::Rng rng(options_.seed);
   ParetoArchive archive;
   const size_t G = std::max<size_t>(1, options_.eval_batch);
+  size_t it = 0;
+  bool skip_seeding = false;
 
-  // LHS seeding: sampling happens before any evaluation, so chunking the
-  // evaluator calls leaves the rng stream and insertion order unchanged.
+  // Snapshot fast path: restore the archive, RNG stream, and journal cursor
+  // from the last generation boundary instead of replaying from record 0.
+  // Snapshots are only taken after seeding, so a restore always lands in
+  // the mutation loop. Any defect in the snapshot just rejects the fast
+  // path — the full-replay slow path is always available.
+  if (session && session->options.resume) {
+    if (const auto snap = session->journal.load_snapshot()) {
+      try {
+        tensor::Rng restored(options_.seed);
+        restored.restore_state(snap->rng_state);
+        std::vector<ParetoArchive::Entry> entries;
+        entries.reserve(snap->entries.size());
+        for (const auto& p : snap->entries) {
+          entries.push_back({space.decode(p.config_id), {p.ipc, p.power}});
+        }
+        archive = ParetoArchive::from_entries(std::move(entries));
+        rng = restored;
+        it = snap->it;
+        session->it = snap->it;
+        session->gen = static_cast<uint32_t>(snap->gen);
+        session->next = snap->records_consumed;
+        skip_seeding = true;
+        rep->resumed = true;
+        rep->snapshot_restored = true;
+      } catch (const std::exception&) {
+        // Unparsable state / undecodable config despite a valid CRC: treat
+        // the snapshot as absent and replay the journal from the start.
+        archive = ParetoArchive{};
+      }
+    }
+  }
+
+  // Evaluates @p pending as one generation: replayable points come from the
+  // journal (verified against the redrawn candidate), the rest go through
+  // the evaluator and are appended to the journal before insertion.
   std::vector<arch::Config> pending;
   pending.reserve(G);
-  for (auto& c : space.sample_latin_hypercube(options_.initial_samples, rng)) {
-    pending.push_back(std::move(c));
-    if (pending.size() >= G) flush_batch(archive, pending, evaluate);
+  auto flush = [&](std::vector<arch::Config>& batch) {
+    if (batch.empty()) return;
+    size_t i = 0;
+    if (session) {
+      const uint64_t cursor = rng.cursor();
+      const uint32_t gen = session->gen;
+      while (i < batch.size() &&
+             session->next < session->journal.records().size()) {
+        const JournalRecord& r = session->journal.records()[session->next];
+        if (r.gen != gen || r.cursor != cursor ||
+            r.config_id != space.encode(batch[i])) {
+          // The journal diverged from the deterministic candidate stream
+          // (foreign tail after a config change, or semantic corruption a
+          // frame CRC cannot see). Drop it and evaluate live from here.
+          session->journal.truncate_to(session->next);
+          break;
+        }
+        archive.insert(std::move(batch[i]), {r.ipc, r.power});
+        ++session->next;
+        ++rep->replayed;
+        ++i;
+      }
+    }
+    if (i < batch.size()) {
+      std::vector<arch::Config> tail(
+          std::make_move_iterator(batch.begin() + i),
+          std::make_move_iterator(batch.end()));
+      std::vector<Objective> objs = evaluate(tail);
+      if (objs.size() != tail.size()) {
+        throw std::runtime_error(
+            "explore: batch evaluator returned " +
+            std::to_string(objs.size()) + " objectives for " +
+            std::to_string(tail.size()) + " configs");
+      }
+      for (size_t j = 0; j < tail.size(); ++j) {
+        if (session) {
+          const bool finite = std::isfinite(objs[j].ipc) &&
+                              std::isfinite(objs[j].power);
+          session->journal.append(
+              {.gen = session->gen,
+               .flags = finite ? 0U : JournalRecord::kSkipped,
+               .config_id = space.encode(tail[j]),
+               .ipc = objs[j].ipc,
+               .power = objs[j].power,
+               .cursor = rng.cursor()});
+          ++rep->journal_records;
+        }
+        archive.insert(std::move(tail[j]), objs[j]);
+      }
+    }
+    batch.clear();
+    if (session) ++session->gen;
+  };
+
+  // Writes an atomic archive snapshot at the current generation boundary.
+  auto maybe_snapshot = [&] {
+    if (!session || session->gen % session->options.snapshot_period != 0) {
+      return;
+    }
+    RunJournal::Snapshot snap;
+    snap.records_consumed = session->records_done();
+    snap.it = session->it;
+    snap.gen = session->gen;
+    snap.rng_state = rng.save_state();
+    snap.entries.reserve(archive.size());
+    for (const auto& e : archive.entries()) {
+      snap.entries.push_back(
+          {space.encode(e.config), e.objective.ipc, e.objective.power});
+    }
+    session->journal.write_snapshot(snap);
+    ++rep->snapshots;
+  };
+
+  if (!skip_seeding) {
+    // LHS seeding: sampling happens before any evaluation, so chunking the
+    // evaluator calls leaves the rng stream and insertion order unchanged.
+    for (auto& c :
+         space.sample_latin_hypercube(options_.initial_samples, rng)) {
+      pending.push_back(std::move(c));
+      if (pending.size() >= G) flush(pending);
+    }
+    flush(pending);
   }
-  flush_batch(archive, pending, evaluate);
 
   // Generational mutation: each generation samples up to G children from the
   // archive as of the generation start (consuming the rng per child exactly
   // as the sequential schedule does), evaluates them as one batch, and
   // inserts in order. G = 1 is the original fully-sequential loop.
-  size_t it = 0;
   while (it < options_.iterations) {
     if (archive.empty()) break;
     const size_t gen = std::min<size_t>(G, options_.iterations - it);
@@ -94,9 +267,12 @@ ParetoArchive EvolutionaryExplorer::explore(
       }
       pending.push_back(std::move(child));
     }
-    flush_batch(archive, pending, evaluate);
+    flush(pending);
     it += gen;
+    if (session) session->it = it;
+    maybe_snapshot();
   }
+  if (session) session->journal.sync();
   return archive;
 }
 
@@ -114,11 +290,24 @@ ParetoArchive random_search(const arch::DesignSpace& space,
   ParetoArchive archive;
   std::vector<arch::Config> pending;
   pending.reserve(G);
+  auto flush = [&] {
+    if (pending.empty()) return;
+    std::vector<Objective> objs = evaluate(pending);
+    if (objs.size() != pending.size()) {
+      throw std::runtime_error(
+          "explore: batch evaluator returned " + std::to_string(objs.size()) +
+          " objectives for " + std::to_string(pending.size()) + " configs");
+    }
+    for (size_t i = 0; i < pending.size(); ++i) {
+      archive.insert(std::move(pending[i]), objs[i]);
+    }
+    pending.clear();
+  };
   for (size_t i = 0; i < budget; ++i) {
     pending.push_back(space.random_config(rng));
-    if (pending.size() >= G) flush_batch(archive, pending, evaluate);
+    if (pending.size() >= G) flush();
   }
-  flush_batch(archive, pending, evaluate);
+  flush();
   return archive;
 }
 

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <functional>
+#include <string>
 
 #include "explore/pareto.hpp"
 #include "tensor/rng.hpp"
@@ -21,7 +22,9 @@ using Evaluator = std::function<Objective(const arch::Config&)>;
 using BatchEvaluator =
     std::function<std::vector<Objective>(const std::vector<arch::Config>&)>;
 
-/// Budget/strategy knobs for the evolutionary explorer.
+/// Budget/strategy knobs for the evolutionary explorer. All three budget
+/// knobs must be >= 1 (the constructor validates each with a precise error
+/// rather than silently exploring an empty archive).
 struct ExplorerOptions {
   size_t initial_samples = 128;  ///< LHS seeding of the archive
   size_t iterations = 512;       ///< mutation/evaluation steps after seeding
@@ -33,6 +36,20 @@ struct ExplorerOptions {
   /// schedule exactly.
   size_t eval_batch = 1;
 };
+
+/// Durability knobs for a journaled explore() run (see explore/journal.hpp
+/// for the on-disk contract).
+struct JournalOptions {
+  /// Write-ahead log path; the archive snapshot lives at "<path>.snapshot".
+  std::string path;
+  /// Replay an existing journal/snapshot when present. When false, a
+  /// journal that already holds records is an error, never clobbered.
+  bool resume = true;
+  /// Generations (evaluator flushes) between archive snapshots (>= 1).
+  size_t snapshot_period = 8;
+};
+
+struct RunReport;
 
 /// Evolutionary Pareto search: seed with Latin-hypercube samples, then
 /// repeatedly mutate archive members (±1..2 candidate steps on a few
@@ -53,12 +70,32 @@ class EvolutionaryExplorer {
   ParetoArchive explore(const arch::DesignSpace& space,
                         const BatchEvaluator& evaluate) const;
 
+  /// Journaled search: every evaluated point is appended to a CRC-framed
+  /// write-ahead log before the run moves on, and the Pareto archive is
+  /// snapshotted atomically every journal.snapshot_period generations.
+  /// Candidates are drawn in deterministic generation order, so resuming an
+  /// interrupted run (journal.resume) replays the journal — snapshot
+  /// fast-forward first, then record-by-record, verified against the
+  /// redrawn candidate stream — and produces a final archive
+  /// bitwise-identical to an uninterrupted run with the same seed.
+  /// @p report, when non-null, receives the durability accounting (and the
+  /// guard accounting, if @p evaluate wraps a GuardedEvaluator sharing it).
+  ParetoArchive explore(const arch::DesignSpace& space,
+                        const BatchEvaluator& evaluate,
+                        const JournalOptions& journal,
+                        RunReport* report = nullptr) const;
+
   /// Number of candidate evaluations an explore() run makes.
   size_t budget() const {
     return options_.initial_samples + options_.iterations;
   }
 
  private:
+  ParetoArchive explore_impl(const arch::DesignSpace& space,
+                             const BatchEvaluator& evaluate,
+                             const JournalOptions* journal,
+                             RunReport* report) const;
+
   ExplorerOptions options_;
 };
 

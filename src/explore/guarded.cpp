@@ -1,0 +1,245 @@
+#include "explore/guarded.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+#include <utility>
+
+#include "sim/fault_injection.hpp"
+
+namespace metadse::explore {
+
+namespace {
+
+constexpr Objective kQuarantinedObjective{
+    std::numeric_limits<double>::quiet_NaN(),
+    std::numeric_limits<double>::quiet_NaN()};
+
+/// Milliseconds elapsed since @p start.
+size_t elapsed_ms(std::chrono::steady_clock::time_point start) {
+  return static_cast<size_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+GuardedEvaluator::GuardedEvaluator(AttemptEvaluator primary,
+                                   GuardOptions options, RunReport* report,
+                                   Evaluator baseline)
+    : primary_(std::move(primary)),
+      baseline_(std::move(baseline)),
+      options_(options),
+      report_(report) {
+  if (!primary_) {
+    throw std::invalid_argument("GuardedEvaluator: null primary evaluator");
+  }
+  if (report_ == nullptr) {
+    throw std::invalid_argument("GuardedEvaluator: null report");
+  }
+  if (options_.breaker_threshold == 0) {
+    throw std::invalid_argument(
+        "GuardedEvaluator: breaker_threshold must be >= 1");
+  }
+}
+
+void GuardedEvaluator::set_batch_primary(BatchEvaluator batch_primary) {
+  batch_primary_ = std::move(batch_primary);
+}
+
+void GuardedEvaluator::set_backoff_hook(std::function<void(size_t)> hook) {
+  backoff_hook_ = std::move(hook);
+}
+
+bool GuardedEvaluator::in_band(const Objective& o) const {
+  return o.ipc >= options_.ipc_min && o.ipc <= options_.ipc_max &&
+         o.power >= options_.power_min && o.power <= options_.power_max;
+}
+
+std::optional<Objective> GuardedEvaluator::attempt_once(
+    const std::function<Objective()>& fn, size_t n_points) {
+  const auto start = std::chrono::steady_clock::now();
+  const size_t budget_ms = options_.deadline_ms * n_points;
+  Objective o;
+  try {
+    o = fn();
+  } catch (const sim::SimulationTimeout&) {
+    ++report_->timeouts;
+    return std::nullopt;
+  } catch (const sim::SimulationFailure&) {
+    ++report_->failures;
+    return std::nullopt;
+  } catch (const ExplorationAborted&) {
+    throw;  // our own abort, never contained
+  } catch (const std::exception&) {
+    // Any other evaluator exception is contained as a generic failure —
+    // one bad point must not take down the run.
+    ++report_->failures;
+    return std::nullopt;
+  }
+  if (options_.deadline_ms > 0 && elapsed_ms(start) > budget_ms) {
+    // Detection, not preemption: the call already returned, but a result
+    // that blew its wall-clock budget is treated as a timeout and dropped.
+    ++report_->deadline_overruns;
+    ++report_->timeouts;
+    return std::nullopt;
+  }
+  if (!std::isfinite(o.ipc) || !std::isfinite(o.power)) {
+    ++report_->nonfinite;
+    return std::nullopt;
+  }
+  if (!in_band(o)) {
+    ++report_->out_of_band;
+    return std::nullopt;
+  }
+  return o;
+}
+
+void GuardedEvaluator::point_failed(const arch::Config& config) {
+  (void)config;
+  if (++consecutive_failures_ < options_.breaker_threshold) return;
+  // Breaker opens: downgrade one rung per policy.
+  ++report_->breaker_trips;
+  consecutive_failures_ = 0;
+  switch (options_.policy) {
+    case DegradePolicy::kFailFast:
+      report_->final_level = level_;
+      throw ExplorationAborted(
+          "exploration aborted: " +
+          std::to_string(options_.breaker_threshold) +
+          " consecutive evaluation failures (journal preserves progress)");
+    case DegradePolicy::kLadder:
+      level_ = (level_ == DegradeLevel::kSurrogate && baseline_)
+                   ? DegradeLevel::kBaseline
+                   : DegradeLevel::kQuarantine;
+      break;
+    case DegradePolicy::kSkip:
+      level_ = DegradeLevel::kQuarantine;
+      break;
+  }
+  report_->final_level = level_;
+}
+
+Objective GuardedEvaluator::evaluate_point(const arch::Config& config) {
+  if (level_ == DegradeLevel::kQuarantine) {
+    report_->quarantined.push_back(config);
+    return kQuarantinedObjective;
+  }
+
+  if (level_ == DegradeLevel::kSurrogate) {
+    for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
+      if (attempt > 0) {
+        const size_t backoff = std::min(
+            options_.backoff_cap_ms, options_.backoff_base_ms << (attempt - 1));
+        ++report_->retries;
+        report_->backoff_ms += backoff;
+        if (backoff_hook_) backoff_hook_(backoff);
+      }
+      const auto o = attempt_once(
+          [&] { return primary_(config, attempt); }, /*n_points=*/1);
+      if (o) {
+        ++report_->evaluated;
+        consecutive_failures_ = 0;
+        return *o;
+      }
+    }
+    // Primary exhausted its budget for this point: charge the breaker, then
+    // fall through the ladder for the point itself.
+    point_failed(config);
+    if (options_.policy == DegradePolicy::kLadder && baseline_) {
+      const auto o =
+          attempt_once([&] { return baseline_(config); }, /*n_points=*/1);
+      if (o) {
+        ++report_->baseline_evals;
+        return *o;
+      }
+    }
+    report_->quarantined.push_back(config);
+    return kQuarantinedObjective;
+  }
+
+  // DegradeLevel::kBaseline: the surrogate rung is gone; the baseline is an
+  // in-process deterministic model, so one guarded attempt suffices.
+  const auto o = attempt_once([&] { return baseline_(config); },
+                              /*n_points=*/1);
+  if (o) {
+    ++report_->baseline_evals;
+    consecutive_failures_ = 0;
+    return *o;
+  }
+  point_failed(config);
+  report_->quarantined.push_back(config);
+  return kQuarantinedObjective;
+}
+
+std::vector<Objective> GuardedEvaluator::evaluate(
+    const std::vector<arch::Config>& batch) {
+  std::vector<Objective> out(batch.size(), kQuarantinedObjective);
+  std::vector<size_t> pending;  // indices still unanswered
+
+  if (batch_primary_ && level_ == DegradeLevel::kSurrogate &&
+      batch.size() > 1) {
+    // Batched first attempts: one call answers the whole batch; points that
+    // fail a sanity check (or the whole call, if it throws) retry on the
+    // scalar path from attempt 1.
+    bool call_ok = false;
+    std::vector<Objective> first;
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      first = batch_primary_(batch);
+      if (first.size() != batch.size()) {
+        throw sim::SimulationFailure(
+            "guarded: batch primary returned " +
+            std::to_string(first.size()) + " objectives for " +
+            std::to_string(batch.size()) + " configs");
+      }
+      if (options_.deadline_ms > 0 &&
+          elapsed_ms(start) > options_.deadline_ms * batch.size()) {
+        ++report_->deadline_overruns;
+        ++report_->timeouts;
+      } else {
+        call_ok = true;
+      }
+    } catch (const sim::SimulationTimeout&) {
+      ++report_->timeouts;
+    } catch (const sim::SimulationFailure&) {
+      ++report_->failures;
+    } catch (const ExplorationAborted&) {
+      throw;
+    } catch (const std::exception&) {
+      ++report_->failures;
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (call_ok) {
+        const Objective& o = first[i];
+        if (std::isfinite(o.ipc) && std::isfinite(o.power) && in_band(o)) {
+          out[i] = o;
+          ++report_->evaluated;
+          consecutive_failures_ = 0;
+          continue;
+        }
+        if (!std::isfinite(o.ipc) || !std::isfinite(o.power)) {
+          ++report_->nonfinite;
+        } else {
+          ++report_->out_of_band;
+        }
+      }
+      pending.push_back(i);
+    }
+  } else {
+    pending.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) pending[i] = i;
+  }
+
+  for (size_t i : pending) out[i] = evaluate_point(batch[i]);
+  return out;
+}
+
+BatchEvaluator GuardedEvaluator::as_batch_evaluator() {
+  return [this](const std::vector<arch::Config>& batch) {
+    return evaluate(batch);
+  };
+}
+
+}  // namespace metadse::explore

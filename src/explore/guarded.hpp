@@ -1,0 +1,120 @@
+// Fault containment for exploration evaluators. Real DSE oracles (gem5-class
+// simulators, adapted surrogates) crash, hang, and occasionally emit garbage;
+// GuardedEvaluator wraps them with per-call wall-clock deadlines, bounded
+// retry with exponential backoff, NaN/Inf + sanity-band checks on every
+// objective, and a consecutive-failure circuit breaker that walks a
+// degradation ladder (surrogate -> baseline -> quarantine-and-skip) instead
+// of taking the whole run down. Every event is accounted for in a RunReport.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "explore/explorer.hpp"
+#include "explore/run_report.hpp"
+
+namespace metadse::explore {
+
+/// Per-point evaluator that also sees the attempt index (0-based), so a
+/// retry is a *different* draw for fault-injected substrates (mirrors
+/// data::DatasetGenerator::evaluate's attempt parameter).
+using AttemptEvaluator =
+    std::function<Objective(const arch::Config&, size_t attempt)>;
+
+/// What the breaker does once it opens.
+enum class DegradePolicy {
+  kLadder,    ///< surrogate -> baseline -> quarantine-and-skip
+  kSkip,      ///< surrogate -> quarantine-and-skip (no baseline rung)
+  kFailFast,  ///< throw ExplorationAborted (the journal preserves progress)
+};
+
+/// The breaker opened under DegradePolicy::kFailFast. The exploration
+/// journal (if any) retains everything evaluated so far, so a fixed run can
+/// resume instead of restarting.
+class ExplorationAborted : public std::runtime_error {
+ public:
+  explicit ExplorationAborted(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Containment knobs. Defaults match the dataset generator's RetryPolicy and
+/// physical label bounds.
+struct GuardOptions {
+  /// Wall-clock budget per evaluator call in milliseconds; 0 disables the
+  /// check. Detection, not preemption: an in-process evaluator cannot be
+  /// killed mid-call, so an overrun is observed after the call returns and
+  /// its result is discarded as a timeout. Batch calls get deadline_ms per
+  /// point. Keep 0 in determinism tests — real clocks are not reproducible.
+  size_t deadline_ms = 0;
+  size_t max_retries = 2;       ///< re-attempts after the first try (>= 0)
+  size_t backoff_base_ms = 10;  ///< first-retry backoff (doubles per retry)
+  size_t backoff_cap_ms = 1000; ///< exponential backoff ceiling
+  /// Consecutive points that exhaust their retry budget before the breaker
+  /// opens and the run downgrades one rung (>= 1).
+  size_t breaker_threshold = 4;
+  DegradePolicy policy = DegradePolicy::kLadder;
+  /// Sanity band on objectives: finite values outside it are rejected like
+  /// NaNs (an adapted predictor far out of its training band is garbage).
+  /// Defaults mirror the dataset generator's plausible-label bounds.
+  double ipc_min = 0.0;
+  double ipc_max = 128.0;
+  double power_min = 0.0;
+  double power_max = 1e5;
+};
+
+/// Decorator over the exploration evaluators. Called serially from the
+/// explorer loop (not thread-safe by design — parallelism lives *inside*
+/// the wrapped evaluator, e.g. the batched surrogate forward), so with a
+/// deterministic primary and deadline_ms == 0 the full event sequence and
+/// RunReport are identical for every thread count.
+class GuardedEvaluator {
+ public:
+  /// @p primary answers (config, attempt); @p report (required) accumulates
+  /// every event; @p baseline, when provided, is the ladder's middle rung.
+  GuardedEvaluator(AttemptEvaluator primary, GuardOptions options,
+                   RunReport* report, Evaluator baseline = {});
+
+  /// Optional batched fast path for *first* attempts: a full batch goes
+  /// through one call (e.g. one no-grad surrogate forward); per-point
+  /// retries fall back to the scalar primary. Must match the scalar primary
+  /// pointwise at attempt 0 (the batched-forward bitwise guarantee).
+  void set_batch_primary(BatchEvaluator batch_primary);
+
+  /// Hook invoked with each computed backoff (milliseconds) before a retry.
+  /// Defaults to no-op so tests never sleep; production installs a sleep.
+  void set_backoff_hook(std::function<void(size_t)> hook);
+
+  /// Evaluates one batch under the guard. Always returns batch.size()
+  /// objectives; a quarantined point yields {NaN, NaN}, which
+  /// ParetoArchive::insert rejects (and the journal records as skipped).
+  std::vector<Objective> evaluate(const std::vector<arch::Config>& batch);
+
+  /// The guard as a plain BatchEvaluator (captures `this`; the
+  /// GuardedEvaluator must outlive the returned function).
+  BatchEvaluator as_batch_evaluator();
+
+  DegradeLevel level() const { return level_; }
+  const GuardOptions& options() const { return options_; }
+
+ private:
+  /// One guarded call of @p fn; returns the objective when it passed every
+  /// check, nullopt otherwise (after charging the report).
+  std::optional<Objective> attempt_once(
+      const std::function<Objective()>& fn, size_t n_points);
+  /// Full retry ladder for one point at the current level.
+  Objective evaluate_point(const arch::Config& config);
+  /// Records a point-level failure and advances the breaker/ladder.
+  void point_failed(const arch::Config& config);
+  bool in_band(const Objective& o) const;
+
+  AttemptEvaluator primary_;
+  BatchEvaluator batch_primary_;
+  Evaluator baseline_;
+  GuardOptions options_;
+  RunReport* report_;
+  std::function<void(size_t)> backoff_hook_;
+  DegradeLevel level_ = DegradeLevel::kSurrogate;
+  size_t consecutive_failures_ = 0;
+};
+
+}  // namespace metadse::explore

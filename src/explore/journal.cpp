@@ -1,0 +1,289 @@
+#include "explore/journal.hpp"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace metadse::explore {
+
+namespace {
+
+constexpr uint32_t kJournalMagic = 0x4D444A4CU;   // "MDJL"
+constexpr uint32_t kSnapshotMagic = 0x4D445353U;  // "MDSS"
+constexpr uint32_t kVersion = 1;
+
+// Fixed frame sizes keep the reader trivially bounded: no record can size an
+// allocation, and a torn tail is at most one partial frame.
+constexpr size_t kHeaderBytes = 4 + 4 + 6 * 8 + 4;   // magic,ver,identity,crc
+constexpr size_t kRecordBytes = 4 + 4 + 8 + 8 + 8 + 8 + 4;
+constexpr size_t kMaxRngStateBytes = 16384;
+
+template <typename T>
+void put_pod(std::string& out, const T& v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get_pod(const char* p) {
+  T v{};
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+void put_identity(std::string& out, const RunJournal::Identity& id) {
+  put_pod(out, id.seed);
+  put_pod(out, id.initial_samples);
+  put_pod(out, id.iterations);
+  put_pod(out, id.mutations_per_step);
+  put_pod(out, id.eval_batch);
+  put_pod(out, id.num_params);
+}
+
+RunJournal::Identity get_identity(const char* p) {
+  RunJournal::Identity id;
+  id.seed = get_pod<uint64_t>(p);
+  id.initial_samples = get_pod<uint64_t>(p + 8);
+  id.iterations = get_pod<uint64_t>(p + 16);
+  id.mutations_per_step = get_pod<uint64_t>(p + 24);
+  id.eval_batch = get_pod<uint64_t>(p + 32);
+  id.num_params = get_pod<uint64_t>(p + 40);
+  return id;
+}
+
+std::string header_bytes(const RunJournal::Identity& id) {
+  std::string out;
+  put_pod(out, kJournalMagic);
+  put_pod(out, kVersion);
+  put_identity(out, id);
+  put_pod(out, nn::crc32(out.data(), out.size()));
+  return out;
+}
+
+std::string record_bytes(const JournalRecord& r) {
+  std::string out;
+  put_pod(out, r.gen);
+  put_pod(out, r.flags);
+  put_pod(out, r.config_id);
+  put_pod(out, r.ipc);
+  put_pod(out, r.power);
+  put_pod(out, r.cursor);
+  put_pod(out, nn::crc32(out.data(), out.size()));
+  return out;
+}
+
+/// Reads @p path fully; empty string when it does not exist or is unreadable
+/// (the journal layer treats both as "nothing to recover").
+std::string slurp_if_present(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return {};
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  if (!is) return {};
+  return std::move(ss).str();
+}
+
+}  // namespace
+
+RunJournal::RunJournal(std::string path, const Identity& identity, bool resume)
+    : path_(std::move(path)), identity_(identity) {
+  if (path_.empty()) {
+    throw std::invalid_argument("RunJournal: empty path");
+  }
+  const std::string bytes = slurp_if_present(path_);
+
+  bool header_ok = false;
+  if (bytes.size() >= kHeaderBytes &&
+      get_pod<uint32_t>(bytes.data()) == kJournalMagic &&
+      get_pod<uint32_t>(bytes.data() + 4) == kVersion &&
+      get_pod<uint32_t>(bytes.data() + kHeaderBytes - 4) ==
+          nn::crc32(bytes.data(), kHeaderBytes - 4)) {
+    header_ok = true;
+    const Identity found = get_identity(bytes.data() + 8);
+    if (found != identity_) {
+      throw std::runtime_error(
+          "RunJournal: " + path_ +
+          " was written by a different run configuration (seed/budget/space "
+          "mismatch); refusing to mix streams");
+    }
+  }
+
+  if (header_ok) {
+    // Longest valid record prefix: stop at the first short or CRC-failing
+    // frame. Everything after it (torn tail, bit rot, interleaved garbage)
+    // is discarded and will simply be re-evaluated.
+    size_t off = kHeaderBytes;
+    while (off + kRecordBytes <= bytes.size()) {
+      const char* p = bytes.data() + off;
+      if (get_pod<uint32_t>(p + kRecordBytes - 4) !=
+          nn::crc32(p, kRecordBytes - 4)) {
+        break;
+      }
+      JournalRecord r;
+      r.gen = get_pod<uint32_t>(p);
+      r.flags = get_pod<uint32_t>(p + 4);
+      r.config_id = get_pod<uint64_t>(p + 8);
+      r.ipc = get_pod<double>(p + 16);
+      r.power = get_pod<double>(p + 24);
+      r.cursor = get_pod<uint64_t>(p + 32);
+      records_.push_back(r);
+      off += kRecordBytes;
+    }
+    if (!resume && !records_.empty()) {
+      throw std::runtime_error(
+          "RunJournal: " + path_ + " already holds " +
+          std::to_string(records_.size()) +
+          " records; resume the run or remove the file");
+    }
+    if (!resume) records_.clear();
+    open_for_append(kHeaderBytes + records_.size() * kRecordBytes,
+                    /*write_header=*/false);
+    return;
+  }
+
+  // Missing file, or one too damaged to even identify: start fresh.
+  records_.clear();
+  open_for_append(0, /*write_header=*/true);
+}
+
+void RunJournal::open_for_append(uint64_t keep_bytes, bool write_header) {
+  if (write_header) {
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_) {
+      throw std::runtime_error("RunJournal: cannot open " + path_);
+    }
+    const std::string header = header_bytes(identity_);
+    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+        std::fflush(file_) != 0) {
+      throw std::runtime_error("RunJournal: header write failed: " + path_);
+    }
+    valid_bytes_ = kHeaderBytes;
+    return;
+  }
+  std::error_code ec;
+  std::filesystem::resize_file(path_, keep_bytes, ec);
+  if (ec) {
+    throw std::runtime_error("RunJournal: cannot truncate " + path_ + ": " +
+                             ec.message());
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (!file_) {
+    throw std::runtime_error("RunJournal: cannot open " + path_);
+  }
+  valid_bytes_ = keep_bytes;
+}
+
+RunJournal::~RunJournal() {
+  if (file_) {
+    sync();
+    std::fclose(file_);
+  }
+}
+
+void RunJournal::truncate_to(size_t n) {
+  if (n >= records_.size()) return;
+  if (appended_ > 0) {
+    throw std::logic_error(
+        "RunJournal::truncate_to: replay divergence after live appends");
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  records_.resize(n);
+  open_for_append(kHeaderBytes + n * kRecordBytes, /*write_header=*/false);
+}
+
+void RunJournal::append(const JournalRecord& record) {
+  const std::string frame = record_bytes(record);
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
+      std::fflush(file_) != 0) {
+    throw std::runtime_error("RunJournal: append failed: " + path_);
+  }
+  valid_bytes_ += kRecordBytes;
+  ++appended_;
+}
+
+void RunJournal::sync() {
+  if (!file_) return;
+  std::fflush(file_);
+#if defined(__unix__) || defined(__APPLE__)
+  ::fsync(fileno(file_));
+#endif
+}
+
+void RunJournal::write_snapshot(const Snapshot& snapshot) {
+  std::string out;
+  put_pod(out, kSnapshotMagic);
+  put_pod(out, kVersion);
+  put_identity(out, identity_);
+  put_pod(out, snapshot.records_consumed);
+  put_pod(out, snapshot.it);
+  put_pod(out, snapshot.gen);
+  put_pod(out, static_cast<uint32_t>(snapshot.rng_state.size()));
+  out.append(snapshot.rng_state);
+  put_pod(out, static_cast<uint64_t>(snapshot.entries.size()));
+  for (const auto& e : snapshot.entries) {
+    put_pod(out, e.config_id);
+    put_pod(out, e.ipc);
+    put_pod(out, e.power);
+  }
+  put_pod(out, nn::crc32(out.data(), out.size()));
+  // The journal must be durable before the snapshot that claims to cover it
+  // (a snapshot ahead of the journal would be ignored at load time).
+  sync();
+  nn::atomic_write_file(snapshot_path(), out);
+}
+
+std::optional<RunJournal::Snapshot> RunJournal::load_snapshot() const {
+  const std::string bytes = slurp_if_present(snapshot_path());
+  // Fixed part up to rng length: magic, version, identity, 3 u64, u32 len.
+  constexpr size_t kFixed = 4 + 4 + 6 * 8 + 3 * 8 + 4;
+  if (bytes.size() < kFixed + 8 + 4) return std::nullopt;
+  if (get_pod<uint32_t>(bytes.data() + bytes.size() - 4) !=
+      nn::crc32(bytes.data(), bytes.size() - 4)) {
+    return std::nullopt;
+  }
+  if (get_pod<uint32_t>(bytes.data()) != kSnapshotMagic ||
+      get_pod<uint32_t>(bytes.data() + 4) != kVersion ||
+      get_identity(bytes.data() + 8) != identity_) {
+    return std::nullopt;
+  }
+  Snapshot s;
+  s.records_consumed = get_pod<uint64_t>(bytes.data() + 56);
+  s.it = get_pod<uint64_t>(bytes.data() + 64);
+  s.gen = get_pod<uint64_t>(bytes.data() + 72);
+  const uint32_t rng_len = get_pod<uint32_t>(bytes.data() + 80);
+  if (rng_len > kMaxRngStateBytes || kFixed + rng_len + 8 + 4 > bytes.size()) {
+    return std::nullopt;
+  }
+  s.rng_state.assign(bytes.data() + kFixed, rng_len);
+  const size_t entries_off = kFixed + rng_len;
+  const uint64_t n = get_pod<uint64_t>(bytes.data() + entries_off);
+  // The entry count must match the remaining payload exactly — a corrupt
+  // count can never size an allocation.
+  if (n > bytes.size() / 24 ||
+      bytes.size() - entries_off - 8 - 4 != n * 24) {
+    return std::nullopt;
+  }
+  s.entries.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const char* p = bytes.data() + entries_off + 8 + i * 24;
+    Snapshot::Point e;
+    e.config_id = get_pod<uint64_t>(p);
+    e.ipc = get_pod<double>(p + 8);
+    e.power = get_pod<double>(p + 16);
+    s.entries.push_back(e);
+  }
+  // A snapshot claiming records the journal no longer has (a power loss ate
+  // an un-fsynced tail) would leave a hole in the log; fall back to replay.
+  if (s.records_consumed > records_.size()) return std::nullopt;
+  return s;
+}
+
+}  // namespace metadse::explore

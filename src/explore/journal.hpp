@@ -1,0 +1,124 @@
+// Crash-safe durability for exploration runs. RunJournal is a CRC-framed
+// append-only write-ahead log of every evaluated design point (generation
+// index, config, objectives, RNG cursor); alongside it lives an atomic
+// rename-based snapshot of the Pareto archive + RNG state, refreshed every N
+// generations. Together they give the journaled explorer its resume
+// contract: a run killed at any byte boundary replays the longest valid
+// journal prefix (optionally fast-forwarded through the snapshot) and
+// finishes with an archive bitwise-identical to an uninterrupted run.
+//
+// Corruption policy, mirroring the checkpoint layer: a torn tail, flipped
+// bit, or interleaved garbage silently costs the damaged suffix (those
+// points are simply re-evaluated) — it never crashes, never over-allocates,
+// and never lets a bad record into the archive. An *identity* mismatch
+// (journal written by a different seed / budget / design space) throws: the
+// caller asked to resume a run that this is not.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace metadse::explore {
+
+/// One evaluated (or quarantined) design point in draw order.
+struct JournalRecord {
+  /// Record flag bits.
+  enum : uint32_t { kSkipped = 1U << 0 };  ///< quarantined, objectives NaN
+
+  uint32_t gen = 0;        ///< generation (flush) index the point belongs to
+  uint32_t flags = 0;
+  uint64_t config_id = 0;  ///< arch::DesignSpace::encode() of the config
+  double ipc = 0.0;
+  double power = 0.0;
+  uint64_t cursor = 0;     ///< Rng::cursor() when the generation was drawn
+};
+
+/// Append-only evaluation log + snapshot sidecar ("<path>.snapshot").
+class RunJournal {
+ public:
+  /// Identifies the run a journal belongs to; resuming under a different
+  /// identity is refused (the replayed stream would diverge immediately).
+  struct Identity {
+    uint64_t seed = 0;
+    uint64_t initial_samples = 0;
+    uint64_t iterations = 0;
+    uint64_t mutations_per_step = 0;
+    uint64_t eval_batch = 0;
+    uint64_t num_params = 0;
+
+    bool operator==(const Identity&) const = default;
+  };
+
+  /// Point-in-time image of a run at a generation boundary. Archive entries
+  /// are stored as encoded configs so the journal stays decode-free; the
+  /// explorer owns the DesignSpace round-trip.
+  struct Snapshot {
+    uint64_t records_consumed = 0;  ///< journal records this image covers
+    uint64_t it = 0;                ///< mutation iterations completed
+    uint64_t gen = 0;               ///< generation (flush) counter
+    std::string rng_state;          ///< tensor::Rng::save_state()
+    struct Point {
+      uint64_t config_id = 0;
+      double ipc = 0.0;
+      double power = 0.0;
+    };
+    std::vector<Point> entries;     ///< archive entries in insertion order
+  };
+
+  /// Opens @p path for a run with @p identity. With @p resume, an existing
+  /// file is parsed and records() holds its longest valid prefix (a missing
+  /// or headerless file starts fresh; a valid header with a different
+  /// identity throws std::runtime_error). Without @p resume, an existing
+  /// journal with records throws instead of being clobbered — crash
+  /// recovery must be an explicit decision.
+  RunJournal(std::string path, const Identity& identity, bool resume);
+  ~RunJournal();
+
+  RunJournal(const RunJournal&) = delete;
+  RunJournal& operator=(const RunJournal&) = delete;
+
+  /// The valid record prefix read at open time (empty for a fresh run).
+  const std::vector<JournalRecord>& records() const { return records_; }
+
+  /// Discards records [n, end) on disk — called once when a replay diverges
+  /// before its journal prefix is exhausted. Subsequent appends continue
+  /// from record n. No-op when n >= records().size().
+  void truncate_to(size_t n);
+
+  /// Appends one CRC-framed record and flushes it to the OS, so a SIGKILL
+  /// immediately after an evaluation loses nothing (powering off the host
+  /// can still cost the tail — which resume re-evaluates).
+  void append(const JournalRecord& record);
+
+  /// fsync the journal fd (called at snapshot boundaries and on close).
+  void sync();
+
+  size_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+  std::string snapshot_path() const { return path_ + ".snapshot"; }
+
+  /// Atomically replaces the snapshot sidecar (tmp + fsync + rename).
+  void write_snapshot(const Snapshot& snapshot);
+
+  /// The snapshot sidecar, when it exists, checks out (CRC + identity), and
+  /// does not claim records the journal no longer has (a power loss can
+  /// leave a snapshot ahead of an un-fsynced journal tail; such a snapshot
+  /// is ignored and the run falls back to full replay). Never throws for
+  /// corruption — a bad snapshot is just a lost fast path.
+  std::optional<Snapshot> load_snapshot() const;
+
+ private:
+  void open_for_append(uint64_t keep_bytes, bool write_header);
+
+  std::string path_;
+  Identity identity_;
+  std::vector<JournalRecord> records_;
+  uint64_t valid_bytes_ = 0;  ///< header + valid records on disk
+  size_t appended_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace metadse::explore

@@ -13,6 +13,9 @@ bool dominates(const Objective& a, const Objective& b) {
 }
 
 bool ParetoArchive::insert(arch::Config config, Objective objective) {
+  if (!std::isfinite(objective.ipc) || !std::isfinite(objective.power)) {
+    return false;
+  }
   for (const auto& e : entries_) {
     if (dominates(e.objective, objective)) return false;
     if (e.objective.ipc == objective.ipc &&
@@ -25,6 +28,18 @@ bool ParetoArchive::insert(arch::Config config, Objective objective) {
   });
   entries_.push_back({std::move(config), objective});
   return true;
+}
+
+ParetoArchive ParetoArchive::from_entries(std::vector<Entry> entries) {
+  for (const auto& e : entries) {
+    if (!std::isfinite(e.objective.ipc) || !std::isfinite(e.objective.power)) {
+      throw std::invalid_argument(
+          "ParetoArchive::from_entries: non-finite objective");
+    }
+  }
+  ParetoArchive archive;
+  archive.entries_ = std::move(entries);
+  return archive;
 }
 
 double ParetoArchive::hypervolume(const Objective& ref) const {

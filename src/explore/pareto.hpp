@@ -31,8 +31,17 @@ class ParetoArchive {
   };
 
   /// Inserts a candidate; returns true when it is non-dominated (dominated
-  /// incumbents are evicted). Duplicate objectives are kept once.
+  /// incumbents are evicted). Duplicate objectives are kept once. Non-finite
+  /// objectives (a diverged surrogate, a quarantined evaluation) are
+  /// rejected outright so they can never poison dominance comparisons.
   bool insert(arch::Config config, Objective objective);
+
+  /// Rebuilds an archive from previously-serialized entries, preserving
+  /// insertion order exactly (order feeds the evolutionary explorer's parent
+  /// draws, so a resumed run must see the same sequence). The entries are
+  /// trusted to be mutually non-dominated — integrity is the snapshot
+  /// checksum's job — but non-finite objectives are rejected here too.
+  static ParetoArchive from_entries(std::vector<Entry> entries);
 
   const std::vector<Entry>& entries() const { return entries_; }
   size_t size() const { return entries_.size(); }

@@ -1,0 +1,94 @@
+// Structured accounting for one exploration run — the explore-stage mirror
+// of data::GenerationReport. Filled cooperatively by the journaled explorer
+// (replay/snapshot fields) and the GuardedEvaluator (retry/timeout/degrade
+// fields) so a run that survived faults is visible, never silent.
+#pragma once
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/design_space.hpp"
+
+namespace metadse::explore {
+
+/// Which rung of the degradation ladder is answering evaluator queries.
+enum class DegradeLevel {
+  kSurrogate = 0,   ///< the primary (adapted-predictor) evaluator
+  kBaseline = 1,    ///< the tree-ensemble / analytical fallback
+  kQuarantine = 2,  ///< evaluations are skipped and quarantined
+};
+
+inline const char* to_string(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kSurrogate: return "surrogate";
+    case DegradeLevel::kBaseline: return "baseline";
+    case DegradeLevel::kQuarantine: return "quarantine";
+  }
+  return "?";
+}
+
+/// What happened during one explore() run. Every retry, timeout, downgrade,
+/// journal replay, and snapshot is accounted for here; the CLI prints the
+/// summary whenever the run was anything but clean.
+struct RunReport {
+  // -- evaluation accounting (GuardedEvaluator) -------------------------------
+  size_t evaluated = 0;     ///< points answered live by the primary evaluator
+  size_t retries = 0;       ///< re-attempts after a failed evaluation
+  size_t failures = 0;      ///< SimulationFailure attempts observed
+  size_t timeouts = 0;      ///< SimulationTimeout attempts observed
+  size_t deadline_overruns = 0;  ///< calls that exceeded the wall-clock deadline
+  size_t nonfinite = 0;     ///< attempts rejected for NaN/Inf objectives
+  size_t out_of_band = 0;   ///< finite objectives outside the sanity band
+  size_t backoff_ms = 0;    ///< total backoff the retry policy charged
+  size_t breaker_trips = 0; ///< times the circuit breaker opened
+  size_t baseline_evals = 0; ///< points answered by the baseline rung
+  /// Points that exhausted every rung and were skipped.
+  std::vector<arch::Config> quarantined;
+  /// Where the degradation ladder ended when the run finished.
+  DegradeLevel final_level = DegradeLevel::kSurrogate;
+
+  // -- durability accounting (RunJournal) -------------------------------------
+  size_t replayed = 0;         ///< points served from the journal, not evaluated
+  size_t journal_records = 0;  ///< records appended by this run
+  size_t snapshots = 0;        ///< archive snapshots written by this run
+  bool resumed = false;        ///< a prior journal/snapshot seeded this run
+  bool snapshot_restored = false;  ///< the fast path (snapshot) was used
+
+  size_t dropped() const { return quarantined.size(); }
+  bool degraded() const {
+    return final_level != DegradeLevel::kSurrogate || dropped() > 0 ||
+           baseline_evals > 0;
+  }
+
+  /// One-line human summary ("812 evaluated, 40 replayed, 3 retries, ...").
+  std::string summary() const {
+    std::ostringstream os;
+    os << evaluated << " evaluated";
+    if (replayed > 0) os << ", " << replayed << " replayed from journal";
+    if (retries > 0) os << ", " << retries << " retries";
+    if (failures > 0) os << ", " << failures << " failures";
+    if (timeouts > 0) os << ", " << timeouts << " timeouts";
+    if (deadline_overruns > 0) {
+      os << ", " << deadline_overruns << " deadline overruns";
+    }
+    if (nonfinite > 0) os << ", " << nonfinite << " non-finite rejected";
+    if (out_of_band > 0) os << ", " << out_of_band << " out-of-band rejected";
+    if (breaker_trips > 0) os << ", " << breaker_trips << " breaker trips";
+    if (baseline_evals > 0) {
+      os << ", " << baseline_evals << " baseline evaluations";
+    }
+    if (dropped() > 0) os << ", " << dropped() << " quarantined";
+    if (snapshots > 0) os << ", " << snapshots << " snapshots";
+    if (resumed) {
+      os << ", resumed" << (snapshot_restored ? " (snapshot)" : " (replay)");
+    }
+    if (final_level != DegradeLevel::kSurrogate) {
+      os << ", degraded to " << to_string(final_level);
+    }
+    return os.str();
+  }
+};
+
+}  // namespace metadse::explore

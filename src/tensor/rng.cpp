@@ -1,25 +1,49 @@
 #include "tensor/rng.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace metadse::tensor {
 
 float Rng::normal(float mean, float stddev) {
+  ++draws_;
   std::normal_distribution<float> d(mean, stddev);
   return d(engine_);
 }
 
 float Rng::uniform(float lo, float hi) {
+  ++draws_;
   std::uniform_real_distribution<float> d(lo, hi);
   return d(engine_);
 }
 
 size_t Rng::uniform_index(size_t n) {
   if (n == 0) throw std::invalid_argument("Rng::uniform_index: n must be > 0");
+  ++draws_;
   std::uniform_int_distribution<size_t> d(0, n - 1);
   return d(engine_);
 }
 
-Rng Rng::fork() { return Rng(engine_()); }
+Rng Rng::fork() {
+  ++draws_;
+  return Rng(engine_());
+}
+
+std::string Rng::save_state() const {
+  std::ostringstream os;
+  os << draws_ << ' ' << engine_;
+  return os.str();
+}
+
+void Rng::restore_state(const std::string& state) {
+  std::istringstream is(state);
+  uint64_t draws = 0;
+  std::mt19937_64 engine;
+  if (!(is >> draws >> engine)) {
+    throw std::runtime_error("Rng::restore_state: malformed state string");
+  }
+  draws_ = draws;
+  engine_ = engine;
+}
 
 }  // namespace metadse::tensor

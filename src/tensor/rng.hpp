@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <random>
+#include <string>
 #include <vector>
 
 namespace metadse::tensor {
@@ -35,11 +36,25 @@ class Rng {
   /// independent streams, e.g. one per workload).
   Rng fork();
 
-  /// Underlying engine, for interop with <random> distributions.
+  /// Draws consumed since construction (normal/uniform/uniform_index/fork
+  /// each count one; shuffle counts one per swap). Crash-safe consumers
+  /// (the exploration journal) persist this as a stream cursor to verify a
+  /// deterministic replay stayed aligned with the original run.
+  uint64_t cursor() const { return draws_; }
+
+  /// Serializes engine state + cursor as one text line. restore_state() on
+  /// any Rng reproduces the exact stream position (bitwise-identical draws);
+  /// throws std::runtime_error on a malformed string.
+  std::string save_state() const;
+  void restore_state(const std::string& state);
+
+  /// Underlying engine, for interop with <random> distributions. Draws made
+  /// directly on the engine bypass cursor accounting.
   std::mt19937_64& engine() { return engine_; }
 
  private:
   std::mt19937_64 engine_;
+  uint64_t draws_ = 0;
 };
 
 }  // namespace metadse::tensor

@@ -1,9 +1,15 @@
 // Multi-objective exploration tests: dominance, the Pareto archive,
-// hypervolume, ADRS, and the explorers' behaviour on the real simulator.
+// hypervolume, ADRS, the explorers' behaviour on the real simulator, and the
+// GuardedEvaluator's containment ladder (retries, breaker, degradation).
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
 
 #include "data/dataset.hpp"
 #include "explore/explorer.hpp"
+#include "explore/guarded.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace ex = metadse::explore;
 namespace arch = metadse::arch;
@@ -109,6 +115,24 @@ TEST(EvolutionaryExplorer, BeatsRandomAtEqualBudget) {
                std::invalid_argument);
 }
 
+TEST(EvolutionaryExplorer, RejectsEveryDegenerateBudgetKnob) {
+  // Each knob gets its own precise error, not a generic failure downstream.
+  EXPECT_THROW(ex::EvolutionaryExplorer({.initial_samples = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ex::EvolutionaryExplorer(
+                   ex::ExplorerOptions{.iterations = 0}),
+               std::invalid_argument);
+  EXPECT_THROW(ex::EvolutionaryExplorer(
+                   ex::ExplorerOptions{.mutations_per_step = 0}),
+               std::invalid_argument);
+  try {
+    ex::EvolutionaryExplorer(ex::ExplorerOptions{.iterations = 0});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("iterations"), std::string::npos);
+  }
+}
+
 TEST(EvolutionaryExplorer, DeterministicGivenSeed) {
   ex::ExplorerOptions opts;
   opts.initial_samples = 32;
@@ -119,4 +143,236 @@ TEST(EvolutionaryExplorer, DeterministicGivenSeed) {
   ASSERT_EQ(a.size(), b.size());
   const ex::Objective ref{0.0, 30.0};
   EXPECT_DOUBLE_EQ(a.hypervolume(ref), b.hypervolume(ref));
+}
+
+// -- GuardedEvaluator ---------------------------------------------------------
+
+namespace {
+
+arch::Config cfg(size_t v) { return arch::Config{v}; }
+
+/// A guard over a scripted primary: @p script(config value, attempt) decides
+/// what each attempt does.
+struct GuardRig {
+  ex::RunReport report;
+  ex::GuardedEvaluator guard;
+
+  GuardRig(ex::AttemptEvaluator primary, ex::GuardOptions options,
+           ex::Evaluator baseline = {})
+      : guard(std::move(primary), options, &report, std::move(baseline)) {}
+};
+
+}  // namespace
+
+TEST(GuardedEvaluator, ValidatesConstruction) {
+  ex::RunReport rep;
+  EXPECT_THROW(ex::GuardedEvaluator(nullptr, {}, &rep),
+               std::invalid_argument);
+  EXPECT_THROW(ex::GuardedEvaluator(
+                   [](const arch::Config&, size_t) {
+                     return ex::Objective{1.0, 1.0};
+                   },
+                   {}, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(ex::GuardedEvaluator(
+                   [](const arch::Config&, size_t) {
+                     return ex::Objective{1.0, 1.0};
+                   },
+                   ex::GuardOptions{.breaker_threshold = 0}, &rep),
+               std::invalid_argument);
+}
+
+TEST(GuardedEvaluator, RetryIsADifferentAttemptDraw) {
+  // Fails at attempt 0, succeeds at attempt 1 — like a flaky simulator whose
+  // retry draws a fresh fault decision.
+  GuardRig rig(
+      [](const arch::Config& c, size_t attempt) {
+        if (attempt == 0) {
+          throw metadse::sim::SimulationFailure("flaky");
+        }
+        return ex::Objective{1.0 + static_cast<double>(c[0]), 10.0};
+      },
+      ex::GuardOptions{.max_retries = 2});
+  const auto out = rig.guard.evaluate({cfg(1), cfg(2)});
+  ASSERT_EQ(out.size(), 2U);
+  EXPECT_DOUBLE_EQ(out[0].ipc, 2.0);
+  EXPECT_DOUBLE_EQ(out[1].ipc, 3.0);
+  EXPECT_EQ(rig.report.evaluated, 2U);
+  EXPECT_EQ(rig.report.retries, 2U);
+  EXPECT_EQ(rig.report.failures, 2U);
+  EXPECT_EQ(rig.report.dropped(), 0U);
+  EXPECT_EQ(rig.guard.level(), ex::DegradeLevel::kSurrogate);
+  // Backoff was charged (base 10ms for the single retry of each point) but
+  // only through the hook-free accounting — no real sleeping in tests.
+  EXPECT_EQ(rig.report.backoff_ms, 20U);
+}
+
+TEST(GuardedEvaluator, BackoffDoublesAndRespectsCap) {
+  size_t calls = 0;
+  std::vector<size_t> waits;
+  GuardRig rig(
+      [&calls](const arch::Config&, size_t) -> ex::Objective {
+        ++calls;
+        throw metadse::sim::SimulationFailure("down");
+      },
+      ex::GuardOptions{.max_retries = 4, .backoff_base_ms = 10,
+                       .backoff_cap_ms = 35, .breaker_threshold = 100,
+                       .policy = ex::DegradePolicy::kSkip});
+  rig.guard.set_backoff_hook([&waits](size_t ms) { waits.push_back(ms); });
+  rig.guard.evaluate({cfg(0)});
+  EXPECT_EQ(calls, 5U);  // first attempt + 4 retries
+  EXPECT_EQ(waits, (std::vector<size_t>{10, 20, 35, 35}));
+  EXPECT_EQ(rig.report.dropped(), 1U);
+}
+
+TEST(GuardedEvaluator, RejectsNaNAndOutOfBandObjectives) {
+  // One NaN, one absurd IPC, then a sane answer: both bad results must be
+  // counted and retried past, never returned.
+  size_t attempt_log = 0;
+  GuardRig rig(
+      [&attempt_log](const arch::Config&, size_t attempt) {
+        ++attempt_log;
+        if (attempt == 0) {
+          return ex::Objective{std::numeric_limits<double>::quiet_NaN(), 1.0};
+        }
+        if (attempt == 1) return ex::Objective{999.0, 10.0};  // > ipc_max
+        return ex::Objective{2.0, 10.0};
+      },
+      ex::GuardOptions{.max_retries = 2});
+  const auto out = rig.guard.evaluate({cfg(0)});
+  EXPECT_DOUBLE_EQ(out[0].ipc, 2.0);
+  EXPECT_EQ(rig.report.nonfinite, 1U);
+  EXPECT_EQ(rig.report.out_of_band, 1U);
+  EXPECT_EQ(rig.report.evaluated, 1U);
+  EXPECT_EQ(attempt_log, 3U);
+}
+
+TEST(GuardedEvaluator, BreakerOpensAndLadderFallsToBaseline) {
+  // The primary dies for good; after breaker_threshold exhausted points the
+  // level drops to the baseline rung, which answers everything else.
+  GuardRig rig(
+      [](const arch::Config&, size_t) -> ex::Objective {
+        throw metadse::sim::SimulationTimeout("hung");
+      },
+      ex::GuardOptions{.max_retries = 1, .breaker_threshold = 2},
+      [](const arch::Config& c) {
+        return ex::Objective{0.5 + static_cast<double>(c[0]), 5.0};
+      });
+  std::vector<arch::Config> batch;
+  for (size_t i = 0; i < 6; ++i) batch.push_back(cfg(i));
+  const auto out = rig.guard.evaluate(batch);
+
+  // Points 0-1 exhaust the primary; the ladder answers both via the
+  // per-point baseline fallback, and the breaker opens on the second.
+  EXPECT_EQ(rig.guard.level(), ex::DegradeLevel::kBaseline);
+  EXPECT_EQ(rig.report.breaker_trips, 1U);
+  EXPECT_EQ(rig.report.final_level, ex::DegradeLevel::kBaseline);
+  EXPECT_EQ(rig.report.evaluated, 0U);
+  EXPECT_EQ(rig.report.baseline_evals, 6U);
+  EXPECT_EQ(rig.report.dropped(), 0U);
+  EXPECT_EQ(rig.report.timeouts, 4U);  // 2 points x (1 try + 1 retry)
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_DOUBLE_EQ(out[i].ipc, 0.5 + static_cast<double>(i));
+  }
+}
+
+TEST(GuardedEvaluator, SkipPolicyQuarantinesInsteadOfBaseline) {
+  GuardRig rig(
+      [](const arch::Config&, size_t) -> ex::Objective {
+        throw metadse::sim::SimulationFailure("dead");
+      },
+      ex::GuardOptions{.max_retries = 0, .breaker_threshold = 2,
+                       .policy = ex::DegradePolicy::kSkip},
+      [](const arch::Config&) { return ex::Objective{1.0, 1.0}; });
+  std::vector<arch::Config> batch{cfg(0), cfg(1), cfg(2), cfg(3)};
+  const auto out = rig.guard.evaluate(batch);
+  EXPECT_EQ(rig.guard.level(), ex::DegradeLevel::kQuarantine);
+  EXPECT_EQ(rig.report.baseline_evals, 0U);
+  EXPECT_EQ(rig.report.dropped(), 4U);
+  // Quarantined objectives are NaN sentinels the archive refuses.
+  ex::ParetoArchive ar;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_TRUE(std::isnan(out[i].ipc));
+    EXPECT_FALSE(ar.insert(batch[i], out[i]));
+  }
+  EXPECT_TRUE(ar.empty());
+}
+
+TEST(GuardedEvaluator, FailFastPolicyAborts) {
+  GuardRig rig(
+      [](const arch::Config&, size_t) -> ex::Objective {
+        throw metadse::sim::SimulationFailure("dead");
+      },
+      ex::GuardOptions{.max_retries = 0, .breaker_threshold = 3,
+                       .policy = ex::DegradePolicy::kFailFast});
+  std::vector<arch::Config> batch{cfg(0), cfg(1), cfg(2), cfg(3)};
+  EXPECT_THROW(rig.guard.evaluate(batch), ex::ExplorationAborted);
+  EXPECT_EQ(rig.report.breaker_trips, 1U);
+}
+
+TEST(GuardedEvaluator, SuccessResetsTheBreaker) {
+  // Alternating failure/success never reaches a threshold of 2.
+  size_t n = 0;
+  GuardRig rig(
+      [&n](const arch::Config&, size_t) -> ex::Objective {
+        if (n++ % 2 == 0) throw metadse::sim::SimulationFailure("blip");
+        return ex::Objective{1.0, 1.0};
+      },
+      ex::GuardOptions{.max_retries = 0, .breaker_threshold = 2},
+      [](const arch::Config&) { return ex::Objective{9.0, 9.0}; });
+  std::vector<arch::Config> batch;
+  for (size_t i = 0; i < 8; ++i) batch.push_back(cfg(i));
+  rig.guard.evaluate(batch);
+  EXPECT_EQ(rig.report.breaker_trips, 0U);
+  EXPECT_EQ(rig.guard.level(), ex::DegradeLevel::kSurrogate);
+}
+
+TEST(GuardedEvaluator, BatchFastPathRetriesOnlyPoisonedPoints) {
+  // The batched first attempt answers 3 of 4 points; the poisoned one goes
+  // through the scalar retry path alone.
+  size_t scalar_calls = 0;
+  GuardRig rig(
+      [&scalar_calls](const arch::Config& c, size_t) {
+        ++scalar_calls;
+        return ex::Objective{1.0 + static_cast<double>(c[0]), 10.0};
+      },
+      ex::GuardOptions{.max_retries = 2});
+  rig.guard.set_batch_primary([](const std::vector<arch::Config>& batch) {
+    std::vector<ex::Objective> out;
+    for (const auto& c : batch) {
+      out.push_back(c[0] == 2
+                        ? ex::Objective{
+                              std::numeric_limits<double>::infinity(), 1.0}
+                        : ex::Objective{1.0 + static_cast<double>(c[0]), 10.0});
+    }
+    return out;
+  });
+  const auto out =
+      rig.guard.evaluate({cfg(0), cfg(1), cfg(2), cfg(3)});
+  EXPECT_EQ(scalar_calls, 1U);
+  EXPECT_DOUBLE_EQ(out[2].ipc, 3.0);
+  EXPECT_EQ(rig.report.nonfinite, 1U);
+  EXPECT_EQ(rig.report.evaluated, 4U);
+  // Accounting invariant: every point lands in exactly one bucket.
+  EXPECT_EQ(rig.report.evaluated + rig.report.baseline_evals +
+                rig.report.dropped(),
+            4U);
+}
+
+TEST(GuardedEvaluator, BatchPrimarySizeMismatchIsContained) {
+  GuardRig rig(
+      [](const arch::Config& c, size_t) {
+        return ex::Objective{1.0 + static_cast<double>(c[0]), 10.0};
+      },
+      ex::GuardOptions{});
+  rig.guard.set_batch_primary(
+      [](const std::vector<arch::Config>&) {
+        return std::vector<ex::Objective>{};  // liar
+      });
+  const auto out = rig.guard.evaluate({cfg(0), cfg(1)});
+  // The broken batch call counts one failure; every point is then answered
+  // by the scalar path.
+  EXPECT_EQ(rig.report.failures, 1U);
+  EXPECT_EQ(rig.report.evaluated, 2U);
+  EXPECT_DOUBLE_EQ(out[1].ipc, 2.0);
 }

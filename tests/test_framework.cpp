@@ -1,11 +1,16 @@
 // Integration tests of the MetaDseFramework facade: the end-to-end pipeline
-// at miniature scale, checkpointing, and evaluation semantics.
+// at miniature scale, checkpointing, evaluation semantics, and the guarded /
+// journaled DSE loop (run_dse).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cmath>
 #include <cstdio>
 
 #include "core/metadse.hpp"
+#include "explore/guarded.hpp"
+#include "explore/run_report.hpp"
+#include "sim/fault_injection.hpp"
 
 namespace core = metadse::core;
 namespace data = metadse::data;
@@ -152,4 +157,158 @@ TEST(Framework, WamOffMatchesPlainAdaptation) {
     any_diff = any_diff || with[i].rmse != without[i].rmse;
   }
   EXPECT_TRUE(any_diff);
+}
+
+// -- run_dse: guarded, journaled exploration ----------------------------------
+
+namespace {
+
+namespace ex = metadse::explore;
+
+data::Dataset small_support(core::MetaDseFramework& fw,
+                            const std::string& workload, size_t k) {
+  const auto& ds = fw.dataset(workload);
+  data::Dataset support;
+  support.workload = workload;
+  for (size_t i = 0; i < k; ++i) support.samples.push_back(ds.samples[i]);
+  return support;
+}
+
+core::MetaDseFramework::DseOptions small_dse(const std::string& journal = "") {
+  core::MetaDseFramework::DseOptions dse;
+  dse.explorer = {.initial_samples = 8, .iterations = 16,
+                  .mutations_per_step = 2, .seed = 13, .eval_batch = 4};
+  // A tiny meta-trained surrogate can legitimately predict slightly below 0;
+  // widen the band so the clean-run tests stay clean.
+  dse.guard.ipc_min = -128.0;
+  dse.journal_path = journal;
+  return dse;
+}
+
+void expect_same_front(const ex::ParetoArchive& a, const ex::ParetoArchive& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.entries()[i].config, b.entries()[i].config);
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.entries()[i].objective.ipc),
+              std::bit_cast<uint64_t>(b.entries()[i].objective.ipc));
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.entries()[i].objective.power),
+              std::bit_cast<uint64_t>(b.entries()[i].objective.power));
+  }
+}
+
+}  // namespace
+
+TEST(RunDse, CleanRunEvaluatesEveryPointOnTheSurrogate) {
+  auto& fw = shared_framework();
+  const auto support = small_support(fw, "605.mcf_s", 10);
+  const auto predictor = fw.adapt_to(support);
+  const auto front = predictor.model
+                         ? fw.run_dse(predictor, support, "605.mcf_s",
+                                      small_dse())
+                         : ex::ParetoArchive{};
+  const auto& rep = fw.run_report();
+  EXPECT_GT(front.size(), 0U);
+  EXPECT_EQ(rep.evaluated, 24U);  // initial_samples + iterations
+  EXPECT_EQ(rep.dropped(), 0U);
+  EXPECT_FALSE(rep.degraded());
+  EXPECT_EQ(rep.final_level, ex::DegradeLevel::kSurrogate);
+}
+
+TEST(RunDse, JournaledRunResumesBitwiseIdentical) {
+  auto& fw = shared_framework();
+  const auto support = small_support(fw, "605.mcf_s", 10);
+  const auto predictor = fw.adapt_to(support);
+  const std::string path = ::testing::TempDir() + "mdse_rundse.journal";
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
+
+  const auto reference =
+      fw.run_dse(predictor, support, "605.mcf_s", small_dse(path));
+  // Force the record-by-record replay path (no snapshot fast-forward).
+  std::remove((path + ".snapshot").c_str());
+
+  auto dse = small_dse(path);
+  dse.resume = true;
+  const auto resumed = fw.run_dse(predictor, support, "605.mcf_s", dse);
+  const auto& rep = fw.run_report();
+  expect_same_front(reference, resumed);
+  EXPECT_TRUE(rep.resumed);
+  EXPECT_EQ(rep.replayed, 24U);
+  EXPECT_EQ(rep.evaluated, 0U) << "a completed journal answers every point";
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
+}
+
+TEST(RunDse, RefusesToClobberAnExistingJournal) {
+  auto& fw = shared_framework();
+  const auto support = small_support(fw, "605.mcf_s", 10);
+  const auto predictor = fw.adapt_to(support);
+  const std::string path = ::testing::TempDir() + "mdse_rundse_clobber.journal";
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
+  fw.run_dse(predictor, support, "605.mcf_s", small_dse(path));
+  // resume defaults to false: re-running onto live records must throw.
+  EXPECT_THROW(fw.run_dse(predictor, support, "605.mcf_s", small_dse(path)),
+               std::runtime_error);
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
+}
+
+TEST(RunDse, FaultySimulatorDegradesDownTheLadder) {
+  auto& fw = shared_framework();
+  const auto support = small_support(fw, "605.mcf_s", 10);
+  const auto predictor = fw.adapt_to(support);
+  // Every simulator call fails persistently: the surrogate rung (whose power
+  // leg needs the simulator) collapses, the breaker opens, and the forest
+  // baseline — whose generator is never fault-armed — answers the rest.
+  metadse::sim::FaultPlan plan;
+  plan.fail_rate = 1.0;
+  plan.persistent_fraction = 1.0;
+  fw.set_fault_plan(plan);
+  auto dse = small_dse();
+  dse.guard.max_retries = 1;
+  dse.guard.breaker_threshold = 2;
+  const auto front = fw.run_dse(predictor, support, "605.mcf_s", dse);
+  fw.set_fault_plan({});  // disarm for later tests
+  const auto& rep = fw.run_report();
+  EXPECT_TRUE(rep.degraded());
+  EXPECT_EQ(rep.final_level, ex::DegradeLevel::kBaseline);
+  EXPECT_GE(rep.breaker_trips, 1U);
+  EXPECT_GT(rep.baseline_evals, 0U);
+  EXPECT_GT(front.size(), 0U) << "the baseline rung must keep the run alive";
+  // Accounting invariant: every point lands in exactly one bucket.
+  EXPECT_EQ(rep.evaluated + rep.baseline_evals + rep.dropped() + rep.replayed,
+            24U);
+}
+
+TEST(RunDse, FailFastPolicyAbortsButJournalPreservesProgress) {
+  auto& fw = shared_framework();
+  const auto support = small_support(fw, "605.mcf_s", 10);
+  const auto predictor = fw.adapt_to(support);
+  const std::string path = ::testing::TempDir() + "mdse_rundse_abort.journal";
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
+
+  const auto reference =
+      fw.run_dse(predictor, support, "605.mcf_s", small_dse());
+
+  metadse::sim::FaultPlan plan;
+  plan.fail_rate = 1.0;
+  plan.persistent_fraction = 1.0;
+  fw.set_fault_plan(plan);
+  auto dse = small_dse(path);
+  dse.guard.max_retries = 0;
+  dse.guard.breaker_threshold = 2;
+  dse.guard.policy = ex::DegradePolicy::kFailFast;
+  EXPECT_THROW(fw.run_dse(predictor, support, "605.mcf_s", dse),
+               ex::ExplorationAborted);
+
+  // Fix the farm, resume: the run completes to the clean-run front.
+  fw.set_fault_plan({});
+  auto resume = small_dse(path);
+  resume.resume = true;
+  const auto resumed = fw.run_dse(predictor, support, "605.mcf_s", resume);
+  expect_same_front(reference, resumed);
+  std::remove(path.c_str());
+  std::remove((path + ".snapshot").c_str());
 }

@@ -8,14 +8,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "arch/design_space.hpp"
 #include "baselines/ensembles.hpp"
 #include "core/parallel.hpp"
 #include "data/dataset.hpp"
+#include "explore/explorer.hpp"
+#include "explore/guarded.hpp"
 #include "meta/maml.hpp"
 #include "sim/fault_injection.hpp"
 #include "tensor/ops.hpp"
@@ -448,6 +453,118 @@ TEST(ParallelEquivalence, RandomForestIdenticalAcrossThreads) {
       continue;
     }
     EXPECT_EQ(preds, ref) << "threads=" << threads;
+  }
+}
+
+// -- guarded, journaled exploration -------------------------------------------
+
+namespace ex = metadse::explore;
+
+struct DseRun {
+  ex::ParetoArchive front;
+  ex::RunReport report;
+};
+
+/// A guarded + journaled exploration whose primary does real parallel work
+/// (a RandomForest fit + per-batch predictions go through the pool) under a
+/// deterministic fault injector. deadline_ms stays 0: wall clocks are the
+/// one knob that cannot be reproduced across runs.
+DseRun run_guarded_dse(size_t threads, const std::string& journal_path) {
+  metadse::set_threads(threads);
+  const auto& space = arch::DesignSpace::table1();
+  metadse::workload::SpecSuite suite;
+  const auto& wl = suite.by_name("605.mcf_s");
+  data::DatasetGenerator gen(space);
+
+  // Surrogate rung: a forest fitted on simulator labels (parallel fit).
+  baselines::FeatureMatrix x;
+  std::vector<float> y;
+  mt::Rng rng(31);
+  for (const auto& c : space.sample_latin_hypercube(80, rng)) {
+    x.push_back(space.normalize(c));
+    y.push_back(static_cast<float>(gen.evaluate(c, wl).first));
+    x.back().shrink_to_fit();
+  }
+  baselines::ForestOptions fopts;
+  fopts.n_trees = 8;
+  auto forest = std::make_shared<baselines::RandomForest>(fopts);
+  forest->fit(x, y);
+
+  sim::FaultInjector injector(
+      {.fail_rate = 0.15, .timeout_rate = 0.1, .persistent_fraction = 0.4,
+       .seed = 0xFA17});
+
+  DseRun run;
+  ex::GuardedEvaluator guard(
+      [&](const arch::Config& c, size_t attempt) {
+        const uint64_t key = sim::FaultInjector::point_key(c);
+        switch (injector.outcome(key, attempt)) {
+          case sim::FaultOutcome::kFail:
+            throw sim::SimulationFailure("injected");
+          case sim::FaultOutcome::kTimeout:
+            throw sim::SimulationTimeout("injected");
+          default:
+            break;
+        }
+        const auto [ipc, power] = gen.evaluate(c, wl);
+        (void)ipc;
+        return ex::Objective{
+            static_cast<double>(forest->predict(space.normalize(c))), power};
+      },
+      ex::GuardOptions{.max_retries = 1, .breaker_threshold = 3},
+      &run.report,
+      [&](const arch::Config& c) {
+        const auto [ipc, power] = gen.evaluate(c, wl);
+        return ex::Objective{ipc, power};
+      });
+
+  ex::EvolutionaryExplorer evo({.initial_samples = 12, .iterations = 24,
+                                .mutations_per_step = 2, .seed = 9,
+                                .eval_batch = 4});
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".snapshot").c_str());
+  run.front = evo.explore(space, guard.as_batch_evaluator(),
+                          ex::JournalOptions{.path = journal_path},
+                          &run.report);
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".snapshot").c_str());
+  return run;
+}
+
+TEST(ParallelEquivalence, GuardedJournaledDseIdenticalAcrossThreads) {
+  ThreadGuard guard;
+  const std::string path =
+      ::testing::TempDir() + "mdse_parallel_guarded.journal";
+  const DseRun ref = run_guarded_dse(1, path);
+  ASSERT_GT(ref.report.retries + ref.report.dropped() +
+                ref.report.baseline_evals,
+            0U)
+      << "fault plan too weak to exercise the ladder";
+  for (size_t threads : kThreadSweep) {
+    if (threads == 1) continue;
+    const DseRun got = run_guarded_dse(threads, path);
+    ASSERT_EQ(got.front.size(), ref.front.size()) << "threads=" << threads;
+    for (size_t i = 0; i < ref.front.size(); ++i) {
+      EXPECT_EQ(got.front.entries()[i].config, ref.front.entries()[i].config);
+      EXPECT_EQ(got.front.entries()[i].objective.ipc,
+                ref.front.entries()[i].objective.ipc);
+      EXPECT_EQ(got.front.entries()[i].objective.power,
+                ref.front.entries()[i].objective.power);
+    }
+    // The full event sequence — not just the archive — must be identical.
+    EXPECT_EQ(got.report.evaluated, ref.report.evaluated);
+    EXPECT_EQ(got.report.retries, ref.report.retries);
+    EXPECT_EQ(got.report.failures, ref.report.failures);
+    EXPECT_EQ(got.report.timeouts, ref.report.timeouts);
+    EXPECT_EQ(got.report.backoff_ms, ref.report.backoff_ms);
+    EXPECT_EQ(got.report.breaker_trips, ref.report.breaker_trips);
+    EXPECT_EQ(got.report.baseline_evals, ref.report.baseline_evals);
+    EXPECT_EQ(got.report.final_level, ref.report.final_level);
+    EXPECT_EQ(got.report.journal_records, ref.report.journal_records);
+    ASSERT_EQ(got.report.quarantined.size(), ref.report.quarantined.size());
+    for (size_t i = 0; i < ref.report.quarantined.size(); ++i) {
+      EXPECT_EQ(got.report.quarantined[i], ref.report.quarantined[i]);
+    }
   }
 }
 

@@ -8,12 +8,14 @@
 //   metadse similarity [--samples N]
 //
 // Every command is deterministic given --seed (default 2025).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "baselines/trendse.hpp"
 #include "core/metadse.hpp"
@@ -262,6 +264,9 @@ int cmd_evaluate(const Args& args) {
 int cmd_adapt(const Args& args) {
   core::MetaDseFramework fw(options_from(args));
   if (int rc = require_ckpt(fw, args)) return rc;
+  // Faults land on run_dse's simulator leg (the framework's generator); the
+  // support set below comes from a separate, always-clean generator.
+  fw.set_fault_plan(fault_plan_from(args));
   const std::string wl_name = args.str("workload");
   if (wl_name.empty()) {
     std::fprintf(stderr, "error: --workload <name> is required\n");
@@ -269,6 +274,53 @@ int cmd_adapt(const Args& args) {
   }
   const size_t K = args.num("support", 10);
   const size_t n_cand = args.num("candidates", 2000);
+
+  // Validate every DSE knob before the expensive adaptation below, so a
+  // typo fails in milliseconds rather than after the support simulations.
+  const long batch_arg = args.num("predict-batch", 32);
+  if (batch_arg < 1) {
+    throw UsageError("--predict-batch must be >= 1 (1 = fully sequential)");
+  }
+  const long deadline_arg = args.num("eval-deadline-ms", 0);
+  if (deadline_arg < 0) {
+    throw UsageError("--eval-deadline-ms must be >= 0 (0 = no deadline)");
+  }
+  const long retries_arg = args.num("eval-retries", 2);
+  if (retries_arg < 0) {
+    throw UsageError("--eval-retries must be >= 0 (0 = single attempt)");
+  }
+  const long snap_arg = args.num("snapshot-period", 8);
+  if (snap_arg < 1) {
+    throw UsageError("--snapshot-period must be >= 1 (generations)");
+  }
+  const long sleep_arg = args.num("eval-sleep-ms", 0);
+  if (sleep_arg < 0) {
+    throw UsageError("--eval-sleep-ms must be >= 0");
+  }
+  if (args.has("resume") && !args.has("journal")) {
+    throw UsageError("--resume requires --journal <path>");
+  }
+
+  core::MetaDseFramework::DseOptions dse;
+  dse.explorer = {.initial_samples = n_cand / 4, .iterations = n_cand * 3 / 4,
+                  .seed = static_cast<uint64_t>(args.num("seed", 2025)),
+                  .eval_batch = static_cast<size_t>(batch_arg)};
+  dse.guard.deadline_ms = static_cast<size_t>(deadline_arg);
+  dse.guard.max_retries = static_cast<size_t>(retries_arg);
+  const std::string policy = args.str("degrade-policy", "ladder");
+  if (policy == "ladder") {
+    dse.guard.policy = explore::DegradePolicy::kLadder;
+  } else if (policy == "skip") {
+    dse.guard.policy = explore::DegradePolicy::kSkip;
+  } else if (policy == "abort") {
+    dse.guard.policy = explore::DegradePolicy::kFailFast;
+  } else {
+    throw UsageError("--degrade-policy must be ladder, skip, or abort (got '" +
+                     policy + "')");
+  }
+  dse.journal_path = args.str("journal");
+  dse.resume = args.has("resume");
+  dse.snapshot_period = static_cast<size_t>(snap_arg);
 
   // Simulate the K-budget support set, adapt, screen candidates.
   workload::SpecSuite suite;
@@ -282,33 +334,36 @@ int cmd_adapt(const Args& args) {
               "candidates...\n",
               wl_name.c_str(), K, n_cand);
 
-  const long batch_arg = args.num("predict-batch", 32);
-  if (batch_arg < 1) {
-    throw UsageError("--predict-batch must be >= 1 (1 = fully sequential)");
+  if (sleep_arg > 0) {
+    // Chaos-drill aid: slows each live evaluation so a kill lands mid-run.
+    dse.pre_eval_hook = [sleep_arg] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_arg));
+    };
   }
-  const size_t eval_batch = static_cast<size_t>(batch_arg);
-  explore::EvolutionaryExplorer explorer(
-      {.initial_samples = n_cand / 4, .iterations = n_cand * 3 / 4,
-       .seed = static_cast<uint64_t>(args.num("seed", 2025)),
-       .eval_batch = eval_batch});
-  const auto front = explorer.explore(
-      fw.space(),
-      explore::BatchEvaluator([&](const std::vector<arch::Config>& batch) {
-        // IPC from the adapted predictor (one batched no-grad forward);
-        // power from the analytical model (cheap, workload-weakly-dependent).
-        std::vector<std::vector<float>> feats;
-        feats.reserve(batch.size());
-        for (const auto& c : batch) feats.push_back(fw.space().normalize(c));
-        const auto ipcs = predictor.predict_batch(feats);
-        std::vector<explore::Objective> objs;
-        objs.reserve(batch.size());
-        for (size_t i = 0; i < batch.size(); ++i) {
-          const auto [sim_ipc, sim_power] = gen.evaluate(batch[i], wl);
-          (void)sim_ipc;
-          objs.push_back({static_cast<double>(ipcs[i]), sim_power});
-        }
-        return objs;
-      }));
+
+  const auto front = fw.run_dse(predictor, support, wl_name, dse);
+  const auto& rep = fw.run_report();
+  if (rep.degraded() || rep.retries > 0 || rep.resumed) {
+    std::fprintf(stderr, "[dse] %s: %s\n", wl_name.c_str(),
+                 rep.summary().c_str());
+  }
+
+  // Machine-readable front for bitwise comparison across interrupted and
+  // uninterrupted runs (hexfloat round-trips doubles exactly).
+  const std::string front_out = args.str("front-out");
+  if (!front_out.empty()) {
+    std::FILE* f = std::fopen(front_out.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", front_out.c_str());
+      return 1;
+    }
+    for (const auto& e : front.entries()) {
+      std::fprintf(f, "%llu %a %a\n",
+                   static_cast<unsigned long long>(fw.space().encode(e.config)),
+                   e.objective.ipc, e.objective.power);
+    }
+    std::fclose(f);
+  }
 
   std::printf("predicted Pareto front (%zu points), validated in the "
               "simulator:\n",
@@ -365,10 +420,15 @@ void usage() {
       "  adapt    --ckpt F --workload W [--support K --candidates N\n"
       "                     --predict-batch B]  (B = surrogate queries per\n"
       "                     batched forward; 1 = fully sequential)\n"
+      "           durability: --journal F.journal [--resume\n"
+      "                     --snapshot-period G --front-out F.txt]\n"
+      "           containment: --eval-deadline-ms D --eval-retries R\n"
+      "                     --degrade-policy ladder|skip|abort\n"
+      "                     --eval-sleep-ms S (chaos drills)\n"
       "  similarity [--samples N]\n"
       "common flags: --seed S, --dataset-size N, --threads N (0 = auto),\n"
       "  --verbose\n"
-      "fault injection (generate/pretrain/evaluate): --inject-fail R\n"
+      "fault injection (generate/pretrain/evaluate/adapt): --inject-fail R\n"
       "  --inject-timeout R --inject-nan R --inject-garbage R\n"
       "  --inject-persistent R --fault-seed S  (rates in [0,1])\n");
 }
