@@ -13,7 +13,9 @@
 #include "explore/explorer.hpp"
 #include "meta/maml.hpp"
 #include "meta/wam.hpp"
+#include "nn/optim.hpp"
 #include "nn/transformer.hpp"
+#include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
 #include "workload/spec_suite.hpp"
 
@@ -216,6 +218,52 @@ void BM_WamAdaptTenSteps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WamAdaptTenSteps);
+
+// -- training fast path -------------------------------------------------------
+//
+// The MAML half of the engine: one inner-loop step (forward + backward +
+// clip + SGD), a full K-shot adapt_clone call, and a whole meta-training
+// epoch (below, in the threads sweep). tools/bench_report.py pairs these
+// against a pre-fast-path baseline binary to report the training speedups
+// in BENCH_engine.json.
+
+void BM_MamlInnerStep(benchmark::State& state) {
+  metadse::set_threads(static_cast<size_t>(state.range(0)));
+  tensor::Rng rng(14);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  auto clone = model.clone();
+  const auto params = clone->parameters();
+  auto x = tensor::Tensor::uniform({5, 24}, rng, 0.0F, 1.0F);
+  auto y = tensor::Tensor::randn({5, 1}, rng);
+  nn::Sgd inner(params, 1e-2F);
+  tensor::Rng fwd(0);
+  for (auto _ : state) {
+    inner.zero_grad();
+    auto loss = tensor::mse_loss(clone->forward(x, fwd, true), y);
+    loss.backward();
+    tensor::clip_global_grad_norm(params, 10.0F);
+    inner.step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+  state.SetItemsProcessed(state.iterations());
+  metadse::set_threads(1);
+}
+BENCHMARK(BM_MamlInnerStep)->Arg(1)->Arg(2)->Arg(8);
+
+void BM_MamlAdaptClone(benchmark::State& state) {
+  metadse::set_threads(static_cast<size_t>(state.range(0)));
+  tensor::Rng rng(15);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  auto sx = tensor::Tensor::uniform({5, 24}, rng, 0.0F, 1.0F);
+  auto sy = tensor::Tensor::randn({5, 1}, rng);
+  for (auto _ : state) {
+    auto adapted = meta::MamlTrainer::adapt_clone(model, sx, sy, 5, 1e-2F);
+    benchmark::DoNotOptimize(adapted.get());
+  }
+  state.SetItemsProcessed(state.iterations());
+  metadse::set_threads(1);
+}
+BENCHMARK(BM_MamlAdaptClone)->Arg(1)->Arg(2)->Arg(8);
 
 // -- thread-pool scaling sweeps ---------------------------------------------
 //

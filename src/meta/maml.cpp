@@ -1,5 +1,6 @@
 #include "meta/maml.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -9,6 +10,7 @@
 #include "core/parallel.hpp"
 #include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/pool.hpp"
 
 namespace metadse::meta {
 
@@ -143,29 +145,33 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
   }
   const size_t total_tasks =
       options_.tasks_per_workload * train_sets.size();
-  const auto params = model_->parameters();
+  auto params = model_->parameters();
 
   double loss_sum = 0.0;
   size_t tasks_done = 0;
   size_t tasks_contributed = 0;
+  // Meta-gradient accumulator, aligned with the parameter list. Allocated
+  // once per epoch and re-zeroed per meta-batch (assign keeps capacity), so
+  // the while-loop below performs no accumulator allocations.
+  std::vector<std::vector<float>> meta_grad(params.size());
+  std::vector<float> reptile_delta;  // flat, for Reptile
+  std::vector<data::Task> tasks;
+  tasks.reserve(options_.meta_batch);
   while (tasks_done < total_tasks) {
     const size_t batch =
         std::min(options_.meta_batch, total_tasks - tasks_done);
-    // Meta-gradient accumulator, aligned with the parameter list.
-    std::vector<std::vector<float>> meta_grad(params.size());
-    for (size_t i = 0; i < params.size(); ++i) {
-      meta_grad[i].assign(params[i].size(), 0.0F);
-    }
-    std::vector<float> reptile_delta;  // flat, for Reptile
-    if (options_.algorithm == MetaAlgorithm::kReptile) {
+    if (options_.algorithm != MetaAlgorithm::kReptile) {
+      for (size_t i = 0; i < params.size(); ++i) {
+        meta_grad[i].assign(params[i].size(), 0.0F);
+      }
+    } else {
       reptile_delta.assign(model_->parameter_count(), 0.0F);
     }
 
     // Sample the whole meta-batch up front (T_i ~ P(T)): the RNG draw order
     // is identical to the serial loop's, and the per-task computation below
     // never touches the shared stream.
-    std::vector<data::Task> tasks;
-    tasks.reserve(batch);
+    tasks.clear();
     for (size_t b = 0; b < batch; ++b) {
       const size_t w = rng.uniform_index(samplers.size());
       tasks.push_back(samplers[w].sample(rng));
@@ -191,8 +197,9 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
           }
           if (options_.algorithm != MetaAlgorithm::kReptile) {
             for (size_t i = 0; i < meta_grad.size(); ++i) {
-              const auto& g = outcome.grads[i];
+              auto& g = outcome.grads[i];
               for (size_t j = 0; j < g.size(); ++j) meta_grad[i][j] += g[j];
+              t::BufferPool::release(std::move(g));
             }
           } else {
             for (size_t i = 0; i < reptile_delta.size(); ++i) {
@@ -209,16 +216,16 @@ double MamlTrainer::run_epoch(const std::vector<data::Dataset>& train_sets,
       continue;
     }
 
-    // Outer update from the averaged surviving task gradients.
+    // Outer update from the averaged surviving task gradients. The fused
+    // clip_and_step is bitwise identical to clip_global_grad_norm followed
+    // by step() (the optimizer holds the same tensors in the same order).
     if (options_.algorithm != MetaAlgorithm::kReptile) {
       const float inv = 1.0F / static_cast<float>(contributed);
-      auto mparams = model_->parameters();
-      for (size_t i = 0; i < mparams.size(); ++i) {
-        auto& g = mparams[i].grad();
+      for (size_t i = 0; i < params.size(); ++i) {
+        auto& g = params[i].grad();
         for (size_t j = 0; j < g.size(); ++j) g[j] = meta_grad[i][j] * inv;
       }
-      t::clip_global_grad_norm(mparams, options_.clip_norm);
-      outer_opt_->step();
+      outer_opt_->clip_and_step(options_.clip_norm);
       outer_opt_->zero_grad();
     } else {
       auto flat = model_->flatten_parameters();
@@ -263,8 +270,9 @@ MamlTrainer::TaskOutcome MamlTrainer::run_task(const data::Task& task) const {
       break;
     }
     loss.backward();
-    t::clip_global_grad_norm(inner_params, options_.clip_norm);
-    inner.step();
+    // Fused clip+update: bitwise identical to clip_global_grad_norm
+    // followed by step(), one pass over the gradients instead of three.
+    inner.clip_and_step(options_.clip_norm);
   }
   if (diverged || t::any_nonfinite(clone->parameters())) {
     out.skipped = true;
@@ -297,16 +305,22 @@ MamlTrainer::TaskOutcome MamlTrainer::run_task(const data::Task& task) const {
         return out;
       }
     }
+    // Copy the gradients into pooled buffers; the reducer hands them back
+    // to the pool after folding them into the meta-gradient accumulator.
     out.grads.reserve(cparams.size());
-    for (auto& p : cparams) out.grads.push_back(p.grad());
+    for (auto& p : cparams) {
+      const auto& g = p.node()->grad;
+      auto buf = t::BufferPool::acquire(g.size());
+      std::copy(g.begin(), g.end(), buf.begin());
+      out.grads.push_back(std::move(buf));
+    }
   } else {
     // Reptile: one more inner step on the query set, then move toward the
     // adapted parameters.
     nn::Sgd extra(clone->parameters(), options_.inner_lr);
     extra.zero_grad();
     query_loss.backward();
-    t::clip_global_grad_norm(clone->parameters(), options_.clip_norm);
-    extra.step();
+    extra.clip_and_step(options_.clip_norm);
     auto adapted = clone->flatten_parameters();
     if (t::has_nonfinite(adapted)) {
       out.skipped = true;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "nn/fused.hpp"
 #include "tensor/ops.hpp"
 
 namespace metadse::nn {
@@ -54,16 +55,25 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
   // result is bitwise identical to matmul(q, transpose_last(k)).
   auto scores = t::div(t::matmul_nt(q, k),
                        std::sqrt(static_cast<float>(Dh)));
-  auto attn = t::softmax_lastdim(scores);  // [B*H, S, S]
-
+  Tensor attn;  // [B*H, S, S]
   if (mask_) {
     if (mask_->shape() != Shape{S, S}) {
       throw std::invalid_argument(
           "MultiHeadSelfAttention: mask shape must be [seq, seq]");
     }
-    auto masked = t::mul(attn, *mask_);  // broadcast over B*H
-    auto row_sum = t::add(t::sum_axis(masked, 2, /*keepdim=*/true), 1e-6F);
-    attn = t::div(masked, row_sum);
+    if (FusedKernels::enabled()) {
+      // Softmax, mask, and row renormalization in one node; gradients reach
+      // the mask when it is trainable (Algorithm 2) exactly as the chain
+      // below would deliver them.
+      attn = t::softmax_masked_lastdim(scores, *mask_);
+    } else {
+      attn = t::softmax_lastdim(scores);
+      auto masked = t::mul(attn, *mask_);  // broadcast over B*H
+      auto row_sum = t::add(t::sum_axis(masked, 2, /*keepdim=*/true), 1e-6F);
+      attn = t::div(masked, row_sum);
+    }
+  } else {
+    attn = t::softmax_lastdim(scores);
   }
 
   if (capture_) {

@@ -1,0 +1,15 @@
+#include "nn/fused.hpp"
+
+namespace metadse::nn {
+
+namespace {
+
+thread_local bool g_fused_enabled = true;
+
+}  // namespace
+
+bool FusedKernels::enabled() { return g_fused_enabled; }
+
+void FusedKernels::set_enabled(bool on) { g_fused_enabled = on; }
+
+}  // namespace metadse::nn

@@ -1,0 +1,33 @@
+// Thread-local dispatch switch between the fused training kernels
+// (tensor::layer_norm_affine, tensor::softmax_masked_lastdim,
+// tensor::bias_gelu) and the composed op chains they replace. The fused
+// kernels are bitwise-equal to the compositions, so the switch exists for
+// verification, not semantics: the equivalence suite runs both paths and
+// asserts identical weights, and a regression in either path shows up as a
+// mismatch rather than silent drift.
+#pragma once
+
+namespace metadse::nn {
+
+/// Thread-local toggle; fused kernels are on by default.
+class FusedKernels {
+ public:
+  static bool enabled();
+  static void set_enabled(bool on);
+};
+
+/// RAII scope for the toggle (tests, A/B benchmarks). Nests.
+class FusedKernelsGuard {
+ public:
+  explicit FusedKernelsGuard(bool on) : prev_(FusedKernels::enabled()) {
+    FusedKernels::set_enabled(on);
+  }
+  ~FusedKernelsGuard() { FusedKernels::set_enabled(prev_); }
+  FusedKernelsGuard(const FusedKernelsGuard&) = delete;
+  FusedKernelsGuard& operator=(const FusedKernelsGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace metadse::nn

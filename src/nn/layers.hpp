@@ -14,6 +14,10 @@ class Linear : public Module {
   /// Applies the affine map to the trailing dimension of @p x.
   Tensor forward(const Tensor& x) const;
 
+  /// forward() followed by GELU, dispatched through the fused bias+GELU
+  /// kernel when FusedKernels is enabled (bitwise-equal either way).
+  Tensor forward_gelu(const Tensor& x) const;
+
   size_t in_features() const { return in_; }
   size_t out_features() const { return out_; }
   const Tensor& weight() const { return w_; }

@@ -4,7 +4,21 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "tensor/guard.hpp"
+
 namespace metadse::nn {
+
+namespace {
+
+/// Shared clip decision: the exact guard of clip_global_grad_norm. Returns
+/// the scale to fold into the update, or 1.0F when no clipping applies.
+float clip_scale(double norm, float max_norm, bool* clip) {
+  *clip = !(max_norm <= 0.0F || !std::isfinite(norm) ||
+            norm <= static_cast<double>(max_norm));
+  return *clip ? max_norm / static_cast<float>(norm) : 1.0F;
+}
+
+}  // namespace
 
 Sgd::Sgd(std::vector<tensor::Tensor> params, float lr)
     : params_(std::move(params)), lr_(lr) {
@@ -17,6 +31,25 @@ void Sgd::step() {
     auto& g = p.grad();
     for (size_t i = 0; i < v.size(); ++i) v[i] -= lr_ * g[i];
   }
+}
+
+double Sgd::clip_and_step(float max_norm) {
+  const double norm = tensor::global_grad_norm(params_);
+  bool clip = false;
+  const float scale = clip_scale(norm, max_norm, &clip);
+  for (auto& p : params_) {
+    auto& v = p.data();
+    auto& g = p.grad();
+    if (clip) {
+      for (size_t i = 0; i < v.size(); ++i) {
+        g[i] *= scale;
+        v[i] -= lr_ * g[i];
+      }
+    } else {
+      for (size_t i = 0; i < v.size(); ++i) v[i] -= lr_ * g[i];
+    }
+  }
+  return norm;
 }
 
 void Sgd::zero_grad() {
@@ -56,6 +89,30 @@ void Adam::step() {
       val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+double Adam::clip_and_step(float max_norm) {
+  const double norm = tensor::global_grad_norm(params_);
+  bool clip = false;
+  const float scale = clip_scale(norm, max_norm, &clip);
+  ++t_;
+  const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& val = params_[i].data();
+    auto& g = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < val.size(); ++j) {
+      if (clip) g[j] *= scale;
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * g[j] * g[j];
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      val[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  return norm;
 }
 
 void Adam::zero_grad() {

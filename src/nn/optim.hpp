@@ -16,6 +16,11 @@ class Sgd {
 
   /// Applies one update from the currently accumulated gradients.
   void step();
+  /// Global-norm gradient clipping fused into the update: bitwise identical
+  /// to tensor::clip_global_grad_norm(params, max_norm) followed by step(),
+  /// including the scaled gradients it leaves behind, but with one pass over
+  /// each buffer instead of three. Returns the pre-clip global norm.
+  double clip_and_step(float max_norm);
   /// Zeroes gradients of the managed parameters.
   void zero_grad();
 
@@ -36,6 +41,8 @@ class Adam {
 
   /// Applies one update from the currently accumulated gradients.
   void step();
+  /// Clip + update in one pass; see Sgd::clip_and_step for the contract.
+  double clip_and_step(float max_norm);
   /// Zeroes gradients of the managed parameters.
   void zero_grad();
 

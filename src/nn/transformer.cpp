@@ -26,7 +26,7 @@ TransformerEncoderLayer::TransformerEncoderLayer(const TransformerConfig& cfg,
 Tensor TransformerEncoderLayer::forward(const Tensor& x, Rng& rng,
                                         bool train) {
   auto h = t::add(x, attn_.forward(ln1_.forward(x)));
-  auto ff = ff2_.forward(t::gelu(ff1_.forward(ln2_.forward(h))));
+  auto ff = ff2_.forward(ff1_.forward_gelu(ln2_.forward(h)));
   if (dropout_ > 0.0F) ff = t::dropout(ff, dropout_, rng, train);
   return t::add(h, ff);
 }
@@ -69,7 +69,7 @@ Tensor TransformerRegressor::forward(const Tensor& x, Rng& rng, bool train) {
   for (auto& layer : layers_) h = layer->forward(h, rng, train);
   h = final_ln_.forward(h);
   auto pooled = t::mean_axis(h, 1);  // [B, d_model]
-  auto hidden = t::gelu(head1_.forward(pooled));
+  auto hidden = head1_.forward_gelu(pooled);
   return head2_.forward(hidden);
 }
 
@@ -141,7 +141,9 @@ std::vector<Tensor> TransformerRegressor::head_parameters() const {
 }
 
 std::unique_ptr<TransformerRegressor> TransformerRegressor::clone() const {
-  Rng scratch(0);  // values are overwritten immediately
+  // Initialization draws are overwritten immediately by the copy below, so
+  // skip the (surprisingly costly) normal/uniform sampling entirely.
+  Rng scratch = Rng::null_stream();
   auto copy = std::make_unique<TransformerRegressor>(cfg_, scratch);
   copy->copy_parameters_from(*this);
   for (size_t i = 0; i < layers_.size(); ++i) {

@@ -16,16 +16,24 @@ namespace {
 constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
 constexpr float kGeluA = 0.044715F;
 
-/// Op-output allocation: draws from the thread-local BufferPool when grad
-/// mode is off so a steady-state inference loop reuses buffers instead of
-/// hitting the heap for every op result.
-std::vector<float> alloc_out(size_t n) {
-  return GradMode::enabled() ? std::vector<float>(n) : BufferPool::acquire(n);
-}
+/// Op-output allocation: always drawn from the thread-local BufferPool. In
+/// no-grad mode buffers cycle back as soon as the handle dies (inference
+/// fast path); in grad mode they ride the tape — finish_op_result_grad marks
+/// the node pooled, so the whole tape's storage returns to the pool when the
+/// graph dies and the next training step re-acquires it.
+std::vector<float> alloc_out(size_t n) { return BufferPool::acquire(n); }
 
 std::vector<float> alloc_out_zero(size_t n) {
-  return GradMode::enabled() ? std::vector<float>(n, 0.0F)
-                             : BufferPool::acquire_zero(n);
+  return BufferPool::acquire_zero(n);
+}
+
+/// A pooled constant node for the scalar op overloads: same value, same
+/// requires_grad=false leaf semantics as Tensor::scalar, but the node block
+/// and 1-element buffer recycle instead of hitting the heap per call.
+Tensor pooled_scalar(float v) {
+  std::vector<float> out = BufferPool::acquire(1);
+  out[0] = v;
+  return detail::make_inference_result({}, std::move(out));
 }
 
 // -- blocked GEMM kernels ----------------------------------------------------
@@ -136,37 +144,90 @@ void gemm_forward(const float* a, const float* b, float* c,
   });
 }
 
+/// Width-T block of one gradient row kept in registers while @p n
+/// coefficient/row pairs stream over it: acc[j] += coef(i) * row(i)[j] for
+/// i ascending. This is the backward-pass dual of gemm_row_panel — each dst
+/// element still receives one rounded mul+add per i in ascending order, so
+/// results are bitwise equal to the plain saxpy loop it replaces; only where
+/// the running partial lives (registers vs. the gradient row) changes. The
+/// backward kernels never fuse into FMA (plain += under -ffp-contract=off),
+/// matching the composed arithmetic they must reproduce. Returns the next
+/// unprocessed column.
+template <size_t T, typename CoefFn, typename RowFn>
+size_t saxpy_panel(float* __restrict dst, size_t j0, size_t J, size_t n,
+                   CoefFn coef, RowFn row) {
+  for (; j0 + T <= J; j0 += T) {
+    float acc[T];
+    for (size_t j = 0; j < T; ++j) acc[j] = dst[j0 + j];
+    for (size_t i = 0; i < n; ++i) {
+      const float cv = coef(i);
+      const float* __restrict r = row(i) + j0;
+      for (size_t j = 0; j < T; ++j) acc[j] += cv * r[j];
+    }
+    for (size_t j = 0; j < T; ++j) dst[j0 + j] = acc[j];
+  }
+  return j0;
+}
+
+/// Full gradient row update dst[j] += sum_i coef(i) * row(i)[j] via
+/// register panels of descending width plus a scalar tail.
+template <typename CoefFn, typename RowFn>
+void saxpy_row(float* __restrict dst, size_t J, size_t n, CoefFn coef,
+               RowFn row) {
+  size_t j0 = saxpy_panel<16>(dst, 0, J, n, coef, row);
+  j0 = saxpy_panel<8>(dst, j0, J, n, coef, row);
+  j0 = saxpy_panel<4>(dst, j0, J, n, coef, row);
+  for (; j0 < J; ++j0) {
+    float acc = dst[j0];
+    for (size_t i = 0; i < n; ++i) acc += coef(i) * row(i)[j0];
+    dst[j0] = acc;
+  }
+}
+
 /// dA[bi] += dC[bi] * B[bi]^T; a thread owns rows [m0, m1) of dA for every
 /// batch, so broadcast-shared dA rows accumulate in serial bi-major order.
-void gemm_backward_a(const float* go, const float* b, float* da,
-                     const std::vector<size_t>& aoff,
+/// B is packed into B^T once (pooled scratch) so the saxpy inner loop reads
+/// contiguously — same terms, same ascending-n order per element, just a
+/// different address pattern. The __restrict qualifiers are sound: go/b/da
+/// are always three distinct buffers (an op output's grad, a parent's value,
+/// a parent's grad).
+void gemm_backward_a(const float* __restrict go, const float* __restrict b,
+                     float* __restrict da, const std::vector<size_t>& aoff,
                      const std::vector<size_t>& boff, size_t M, size_t K,
                      size_t N) {
   const size_t nb = aoff.size();
   const size_t o_mat = M * N;
+  const size_t b_mat = K * N;
+  std::vector<float> btv = BufferPool::acquire(nb * b_mat);
+  float* __restrict bt = btv.data();
+  for (size_t bi = 0; bi < nb; ++bi) {
+    const float* pb = b + boff[bi];
+    float* pt = bt + bi * b_mat;
+    for (size_t n = 0; n < N; ++n) {
+      for (size_t k = 0; k < K; ++k) pt[n * K + k] = pb[k * N + n];
+    }
+  }
   core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
                                                                size_t m1) {
     for (size_t bi = 0; bi < nb; ++bi) {
-      const float* pb = b + boff[bi];
-      const float* g = go + bi * o_mat;
-      float* pda = da + aoff[bi];
+      const float* __restrict pbt = bt + bi * b_mat;
+      const float* __restrict g = go + bi * o_mat;
+      float* __restrict pda = da + aoff[bi];
       for (size_t m = m0; m < m1; ++m) {
         const float* gm = g + m * N;
-        float* dam = pda + m * K;
-        for (size_t n = 0; n < N; ++n) {
-          const float gv = gm[n];
-          const float* pbn = pb + n;
-          for (size_t k = 0; k < K; ++k) dam[k] += gv * pbn[k * N];
-        }
+        saxpy_row(
+            pda + m * K, K, N, [&](size_t n) { return gm[n]; },
+            [&](size_t n) { return pbt + n * K; });
       }
     }
   });
+  BufferPool::release(std::move(btv));
 }
 
 /// dB[bi] += A[bi]^T * dC[bi]; a thread owns rows [k0, k1) of dB for every
 /// batch (same broadcast-safety argument as gemm_backward_a).
-void gemm_backward_b(const float* a, const float* go, float* db,
-                     const std::vector<size_t>& aoff,
+void gemm_backward_b(const float* __restrict a, const float* __restrict go,
+                     float* __restrict db, const std::vector<size_t>& aoff,
                      const std::vector<size_t>& boff, size_t M, size_t K,
                      size_t N) {
   const size_t nb = aoff.size();
@@ -174,16 +235,13 @@ void gemm_backward_b(const float* a, const float* go, float* db,
   core::parallel_for_blocks_static(K, gemm_row_grain(M * N * nb), [&](size_t k0,
                                                                size_t k1) {
     for (size_t bi = 0; bi < nb; ++bi) {
-      const float* pa = a + aoff[bi];
-      const float* g = go + bi * o_mat;
-      float* pdb = db + boff[bi];
+      const float* __restrict pa = a + aoff[bi];
+      const float* __restrict g = go + bi * o_mat;
+      float* __restrict pdb = db + boff[bi];
       for (size_t k = k0; k < k1; ++k) {
-        float* dbk = pdb + k * N;
-        for (size_t m = 0; m < M; ++m) {
-          const float av = pa[m * K + k];
-          const float* gm = g + m * N;
-          for (size_t n = 0; n < N; ++n) dbk[n] += av * gm[n];
-        }
+        saxpy_row(
+            pdb + k * N, N, M, [&](size_t m) { return pa[m * K + k]; },
+            [&](size_t m) { return g + m * N; });
       }
     }
   });
@@ -219,16 +277,17 @@ void gemm_nt_forward(const float* a, const float* b, float* c,
                       m0, m1, 0, K, K, N);
     }
   });
-  // alloc_out drew the scratch from the buffer pool in no-grad mode; hand it
-  // back so steady-state forwards stay allocation-free.
-  if (!GradMode::enabled()) BufferPool::release(std::move(bt));
+  // Hand the packed panel back to the pool: the next matmul_nt of this shape
+  // (the same attention score product, one inner-loop step later) re-packs
+  // into the identical storage instead of allocating.
+  BufferPool::release(std::move(bt));
 }
 
 /// dA[bi][m,k] += sum_n dC[bi][m,n] * B[bi][n,k]; a thread owns rows
 /// [m0, m1) of dA for every batch — ascending-n accumulation matches the
 /// serial order for any thread count.
-void gemm_nt_backward_a(const float* go, const float* b, float* da,
-                        const std::vector<size_t>& aoff,
+void gemm_nt_backward_a(const float* __restrict go, const float* __restrict b,
+                        float* __restrict da, const std::vector<size_t>& aoff,
                         const std::vector<size_t>& boff, size_t M, size_t K,
                         size_t N) {
   const size_t nb = aoff.size();
@@ -236,17 +295,14 @@ void gemm_nt_backward_a(const float* go, const float* b, float* da,
   core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
                                                                size_t m1) {
     for (size_t bi = 0; bi < nb; ++bi) {
-      const float* pb = b + boff[bi];
-      const float* g = go + bi * o_mat;
-      float* pda = da + aoff[bi];
+      const float* __restrict pb = b + boff[bi];
+      const float* __restrict g = go + bi * o_mat;
+      float* __restrict pda = da + aoff[bi];
       for (size_t m = m0; m < m1; ++m) {
         const float* gm = g + m * N;
-        float* dam = pda + m * K;
-        for (size_t n = 0; n < N; ++n) {
-          const float gv = gm[n];
-          const float* pbn = pb + n * K;
-          for (size_t k = 0; k < K; ++k) dam[k] += gv * pbn[k];
-        }
+        saxpy_row(
+            pda + m * K, K, N, [&](size_t n) { return gm[n]; },
+            [&](size_t n) { return pb + n * K; });
       }
     }
   });
@@ -254,8 +310,8 @@ void gemm_nt_backward_a(const float* go, const float* b, float* da,
 
 /// dB[bi][n,k] += sum_m dC[bi][m,n] * A[bi][m,k]; a thread owns rows
 /// [n0, n1) of dB for every batch.
-void gemm_nt_backward_b(const float* go, const float* a, float* db,
-                        const std::vector<size_t>& aoff,
+void gemm_nt_backward_b(const float* __restrict go, const float* __restrict a,
+                        float* __restrict db, const std::vector<size_t>& aoff,
                         const std::vector<size_t>& boff, size_t M, size_t K,
                         size_t N) {
   const size_t nb = aoff.size();
@@ -263,35 +319,44 @@ void gemm_nt_backward_b(const float* go, const float* a, float* db,
   core::parallel_for_blocks_static(N, gemm_row_grain(M * K * nb), [&](size_t n0,
                                                                size_t n1) {
     for (size_t bi = 0; bi < nb; ++bi) {
-      const float* pa = a + aoff[bi];
-      const float* g = go + bi * o_mat;
-      float* pdb = db + boff[bi];
+      const float* __restrict pa = a + aoff[bi];
+      const float* __restrict g = go + bi * o_mat;
+      float* __restrict pdb = db + boff[bi];
       for (size_t n = n0; n < n1; ++n) {
-        float* dbn = pdb + n * K;
-        for (size_t m = 0; m < M; ++m) {
-          const float gv = g[m * N + n];
-          const float* pam = pa + m * K;
-          for (size_t k = 0; k < K; ++k) dbn[k] += gv * pam[k];
-        }
+        saxpy_row(
+            pdb + n * K, K, M, [&](size_t m) { return g[m * N + n]; },
+            [&](size_t m) { return pa + m * K; });
       }
     }
   });
 }
 
 /// Per-batch base offsets for broadcast batch dims; @p a_mat / @p b_mat are
-/// the per-matrix element counts the batch indices scale by.
+/// the per-matrix element counts the batch indices scale by. The offset
+/// tables come from the index pool (callers hand them back, or park them in
+/// a backward closure via PooledIdx). Rank-2 x rank-2 — the Linear layers,
+/// i.e. most matmuls — skips the broadcast machinery entirely.
 void batch_offsets(const Shape& a_shape, const Shape& b_shape, size_t a_mat,
-                   size_t b_mat, Shape& batch, std::vector<size_t>& aoff,
-                   std::vector<size_t>& boff) {
+                   size_t b_mat, std::vector<size_t>& aoff,
+                   std::vector<size_t>& boff, Shape& batch) {
+  if (a_shape.size() == 2 && b_shape.size() == 2) {
+    aoff = BufferPool::acquire_idx(1);
+    boff = BufferPool::acquire_idx(1);
+    aoff[0] = 0;
+    boff[0] = 0;
+    batch.clear();
+    return;
+  }
   const Shape a_batch(a_shape.begin(), a_shape.end() - 2);
   const Shape b_batch(b_shape.begin(), b_shape.end() - 2);
   batch = broadcast_shape(a_batch, b_batch);
   const auto sa = broadcast_strides(a_batch, batch);
   const auto sb = broadcast_strides(b_batch, batch);
   const size_t nb = numel(batch);
-  aoff.resize(nb);
-  boff.resize(nb);
-  std::vector<size_t> idx(batch.size(), 0);
+  aoff = BufferPool::acquire_idx(nb);
+  boff = BufferPool::acquire_idx(nb);
+  std::vector<size_t> idx = BufferPool::acquire_idx(batch.size());
+  std::fill(idx.begin(), idx.end(), 0);
   for (size_t i = 0; i < nb; ++i) {
     size_t oa = 0;
     size_t ob = 0;
@@ -306,6 +371,7 @@ void batch_offsets(const Shape& a_shape, const Shape& b_shape, size_t a_mat,
       idx[d] = 0;
     }
   }
+  BufferPool::release_idx(std::move(idx));
 }
 
 /// Iterates the linear indices of two inputs broadcast to a common output
@@ -456,15 +522,12 @@ Tensor binary_bcast(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa,
           }
         });
   }
-  BcastIter it(an->shape, bn->shape);
-  std::vector<float> out = alloc_out(it.n);
-  {
-    BcastIter f(an->shape, bn->shape);
-    for (size_t i = 0; i < f.n; ++i, f.advance()) {
-      out[i] = fwd(an->value[f.offset_a()], bn->value[f.offset_b()]);
-    }
+  BcastIter f(an->shape, bn->shape);
+  std::vector<float> out = alloc_out(f.n);
+  for (size_t i = 0; i < f.n; ++i, f.advance()) {
+    out[i] = fwd(an->value[f.offset_a()], bn->value[f.offset_b()]);
   }
-  Shape out_shape = it.out;
+  Shape out_shape = f.out;
   return make_op_result(
       out_shape, std::move(out), {an, bn},
       [an, bn, dfa, dfb](Node& self) {
@@ -514,6 +577,20 @@ inline float fast_expf(float x) {
 /// call dominated the whole activation and blocked vectorization.
 inline float fast_tanhf(float u) {
   return 1.0F - 2.0F / (fast_expf(2.0F * u) + 1.0F);
+}
+
+/// GELU value/derivative shared by gelu() and the fused bias_gelu so both
+/// paths evaluate the identical expression tree.
+inline float gelu_fwd(float x) {
+  const float t = fast_tanhf(kGeluC * (x + kGeluA * x * x * x));
+  return 0.5F * x * (1.0F + t);
+}
+
+inline float gelu_dfn(float x) {
+  const float u = kGeluC * (x + kGeluA * x * x * x);
+  const float t = fast_tanhf(u);
+  const float du = kGeluC * (1.0F + 3.0F * kGeluA * x * x);
+  return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
 }
 
 /// Generic elementwise unary op; dfn receives (x, y) and returns dy/dx.
@@ -568,10 +645,10 @@ Tensor div(const Tensor& a, const Tensor& b) {
       [](float x, float y, float) { return -x / (y * y); });
 }
 
-Tensor add(const Tensor& a, float b) { return add(a, Tensor::scalar(b)); }
-Tensor sub(const Tensor& a, float b) { return sub(a, Tensor::scalar(b)); }
-Tensor mul(const Tensor& a, float b) { return mul(a, Tensor::scalar(b)); }
-Tensor div(const Tensor& a, float b) { return div(a, Tensor::scalar(b)); }
+Tensor add(const Tensor& a, float b) { return add(a, pooled_scalar(b)); }
+Tensor sub(const Tensor& a, float b) { return sub(a, pooled_scalar(b)); }
+Tensor mul(const Tensor& a, float b) { return mul(a, pooled_scalar(b)); }
+Tensor div(const Tensor& a, float b) { return div(a, pooled_scalar(b)); }
 
 Tensor neg(const Tensor& a) {
   return unary(a, [](float x) { return -x; },
@@ -595,7 +672,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   }
   Shape batch;
   std::vector<size_t> aoff, boff;
-  batch_offsets(an->shape, bn->shape, M * K, K * N, batch, aoff, boff);
+  batch_offsets(an->shape, bn->shape, M * K, K * N, aoff, boff, batch);
   const size_t nb = aoff.size();
   const size_t o_mat = M * N;
 
@@ -608,8 +685,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
 
   return make_op_result(
       std::move(out_shape), std::move(out), {an, bn},
-      [an, bn, aoff = std::move(aoff), boff = std::move(boff), M, K,
-       N](Node& self) {
+      [an, bn, aoff = PooledIdx(std::move(aoff)),
+       boff = PooledIdx(std::move(boff)), M, K, N](Node& self) {
         const bool ga = an->requires_grad;
         const bool gb = bn->requires_grad;
         if (ga) an->ensure_grad();
@@ -617,12 +694,12 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
         if (ga) {
           // dA = dOut * B^T
           gemm_backward_a(self.grad.data(), bn->value.data(),
-                          an->grad.data(), aoff, boff, M, K, N);
+                          an->grad.data(), aoff.get(), boff.get(), M, K, N);
         }
         if (gb) {
           // dB = A^T * dOut
           gemm_backward_b(an->value.data(), self.grad.data(),
-                          bn->grad.data(), aoff, boff, M, K, N);
+                          bn->grad.data(), aoff.get(), boff.get(), M, K, N);
         }
       });
 }
@@ -644,7 +721,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   }
   Shape batch;
   std::vector<size_t> aoff, boff;
-  batch_offsets(an->shape, bn->shape, M * K, N * K, batch, aoff, boff);
+  batch_offsets(an->shape, bn->shape, M * K, N * K, aoff, boff, batch);
   const size_t nb = aoff.size();
   const size_t o_mat = M * N;
 
@@ -657,8 +734,8 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 
   return make_op_result(
       std::move(out_shape), std::move(out), {an, bn},
-      [an, bn, aoff = std::move(aoff), boff = std::move(boff), M, K,
-       N](Node& self) {
+      [an, bn, aoff = PooledIdx(std::move(aoff)),
+       boff = PooledIdx(std::move(boff)), M, K, N](Node& self) {
         const bool ga = an->requires_grad;
         const bool gb = bn->requires_grad;
         if (ga) an->ensure_grad();
@@ -666,12 +743,12 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
         if (ga) {
           // dA = dOut * B
           gemm_nt_backward_a(self.grad.data(), bn->value.data(),
-                             an->grad.data(), aoff, boff, M, K, N);
+                             an->grad.data(), aoff.get(), boff.get(), M, K, N);
         }
         if (gb) {
           // dB = dOut^T * A
           gemm_nt_backward_b(self.grad.data(), an->value.data(),
-                             bn->grad.data(), aoff, boff, M, K, N);
+                             bn->grad.data(), aoff.get(), boff.get(), M, K, N);
         }
       });
 }
@@ -682,18 +759,8 @@ Tensor relu(const Tensor& a) {
 }
 
 Tensor gelu(const Tensor& a) {
-  return unary(
-      a,
-      [](float x) {
-        const float t = fast_tanhf(kGeluC * (x + kGeluA * x * x * x));
-        return 0.5F * x * (1.0F + t);
-      },
-      [](float x, float) {
-        const float u = kGeluC * (x + kGeluA * x * x * x);
-        const float t = fast_tanhf(u);
-        const float du = kGeluC * (1.0F + 3.0F * kGeluA * x * x);
-        return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
-      });
+  return unary(a, [](float x) { return gelu_fwd(x); },
+               [](float x, float) { return gelu_dfn(x); });
 }
 
 Tensor tanh(const Tensor& a) {
@@ -780,7 +847,8 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
   // being recorded.
   const bool rec = GradMode::enabled() && an->requires_grad;
   std::vector<float> out = alloc_out(an->value.size());
-  std::vector<float> inv_std(rec ? rows : 0);
+  std::vector<float> inv_std = rec ? BufferPool::acquire(rows)
+                                   : std::vector<float>{};
   for (size_t r = 0; r < rows; ++r) {
     const float* x = an->value.data() + r * L;
     float* y = out.data() + r * L;
@@ -796,7 +864,7 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
   }
   return make_op_result(
       an->shape, std::move(out), {an},
-      [an, L, rows, inv_std = std::move(inv_std)](Node& self) {
+      [an, L, rows, inv_std = PooledVec(std::move(inv_std))](Node& self) {
         if (!an->requires_grad) return;
         an->ensure_grad();
         const float invL = 1.0F / static_cast<float>(L);
@@ -819,11 +887,267 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
       });
 }
 
+// The fused kernels below replace the hot op chains of the transformer
+// forward with single graph nodes. Bitwise equivalence with the composed
+// chains is load-bearing (the meta-training equivalence suite asserts it),
+// so every kernel reproduces the composed ops' exact rounding steps and the
+// exact order in which each gradient accumulator receives its contributions;
+// reordering is only applied across *independent* accumulators.
+
+Tensor layer_norm_affine(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps) {
+  auto an = x.node();
+  auto gn = gamma.node();
+  auto bn = beta.node();
+  if (an->shape.empty()) {
+    throw std::invalid_argument("layer_norm_affine: rank must be >= 1");
+  }
+  const size_t L = an->shape.back();
+  if (gn->shape != Shape{L} || bn->shape != Shape{L}) {
+    throw std::invalid_argument(
+        "layer_norm_affine: gamma/beta must have shape [" + std::to_string(L) +
+        "]");
+  }
+  const size_t rows = an->value.size() / L;
+  const bool rec = GradMode::enabled() &&
+                   (an->requires_grad || gn->requires_grad ||
+                    bn->requires_grad);
+  std::vector<float> out = alloc_out(an->value.size());
+  // Backward needs the normalized activations and each row's 1/std; the
+  // composed chain kept them as a whole intermediate node — here they are
+  // pooled stashes that die with the closure.
+  std::vector<float> normed =
+      rec ? BufferPool::acquire(an->value.size()) : std::vector<float>{};
+  std::vector<float> inv_std =
+      rec ? BufferPool::acquire(rows) : std::vector<float>{};
+  for (size_t r = 0; r < rows; ++r) {
+    const float* px = an->value.data() + r * L;
+    float* po = out.data() + r * L;
+    float mu = 0.0F;
+    for (size_t i = 0; i < L; ++i) mu += px[i];
+    mu /= static_cast<float>(L);
+    float var = 0.0F;
+    for (size_t i = 0; i < L; ++i) var += (px[i] - mu) * (px[i] - mu);
+    var /= static_cast<float>(L);
+    const float is = 1.0F / std::sqrt(var + eps);
+    if (rec) {
+      inv_std[r] = is;
+      float* py = normed.data() + r * L;
+      for (size_t i = 0; i < L; ++i) {
+        const float y = (px[i] - mu) * is;
+        py[i] = y;
+        const float m = y * gn->value[i];
+        po[i] = m + bn->value[i];
+      }
+    } else {
+      for (size_t i = 0; i < L; ++i) {
+        const float y = (px[i] - mu) * is;
+        const float m = y * gn->value[i];
+        po[i] = m + bn->value[i];
+      }
+    }
+  }
+  return make_op_result(
+      an->shape, std::move(out), {an, gn, bn},
+      [an, gn, bn, L, rows, normed = PooledVec(std::move(normed)),
+       inv_std = PooledVec(std::move(inv_std))](Node& self) {
+        const bool ga = an->requires_grad;
+        const bool gg = gn->requires_grad;
+        const bool gb = bn->requires_grad;
+        if (ga) an->ensure_grad();
+        if (gg) gn->ensure_grad();
+        if (gb) bn->ensure_grad();
+        const float invL = 1.0F / static_cast<float>(L);
+        for (size_t r = 0; r < rows; ++r) {
+          const float* y = normed.data() + r * L;
+          const float* go = self.grad.data() + r * L;
+          // One pass gathers the row's beta/gamma contributions and the two
+          // means the input gradient needs. Per accumulator the contribution
+          // order is the composed chain's flat ascending walk.
+          float gmean = 0.0F;
+          float gymean = 0.0F;
+          for (size_t i = 0; i < L; ++i) {
+            const float g0 = go[i];
+            if (gb) bn->grad[i] += g0 * 1.0F;
+            if (gg) gn->grad[i] += g0 * y[i];
+            const float gy = g0 * gn->value[i];
+            gmean += gy;
+            gymean += gy * y[i];
+          }
+          if (ga) {
+            gmean *= invL;
+            gymean *= invL;
+            float* dx = an->grad.data() + r * L;
+            const float is = inv_std[r];
+            for (size_t i = 0; i < L; ++i) {
+              const float gy = go[i] * gn->value[i];
+              dx[i] += is * (gy - gmean - y[i] * gymean);
+            }
+          }
+        }
+      });
+}
+
+Tensor softmax_masked_lastdim(const Tensor& scores, const Tensor& mask,
+                              float eps) {
+  auto an = scores.node();
+  auto mn = mask.node();
+  if (an->shape.size() < 2) {
+    throw std::invalid_argument("softmax_masked_lastdim: rank must be >= 2");
+  }
+  const size_t L = an->shape.back();
+  const size_t R = an->shape[an->shape.size() - 2];
+  if (mn->shape != Shape{R, L}) {
+    throw std::invalid_argument(
+        "softmax_masked_lastdim: mask must match the trailing [" +
+        std::to_string(R) + ", " + std::to_string(L) + "] of scores");
+  }
+  const size_t rows = an->value.size() / L;
+  const bool rec = GradMode::enabled() &&
+                   (an->requires_grad || mn->requires_grad);
+  std::vector<float> out = alloc_out(an->value.size());
+  // Stash the pre-mask softmax (the composed chain's intermediate node) and
+  // each row's regularized mass; backward rebuilds everything else.
+  std::vector<float> ystash =
+      rec ? BufferPool::acquire(an->value.size()) : std::vector<float>{};
+  std::vector<float> s2stash =
+      rec ? BufferPool::acquire(rows) : std::vector<float>{};
+  for (size_t r = 0; r < rows; ++r) {
+    const float* x = an->value.data() + r * L;
+    float* po = out.data() + r * L;
+    // Softmax exactly as softmax_lastdim (incl. the lane-split max); when no
+    // graph is recorded the output row doubles as the y scratch.
+    float* y = rec ? ystash.data() + r * L : po;
+    float mx = x[0];
+    if (L >= 16) {
+      float lane[8];
+      for (size_t j = 0; j < 8; ++j) lane[j] = x[j];
+      size_t i = 8;
+      for (; i + 8 <= L; i += 8) {
+        for (size_t j = 0; j < 8; ++j) lane[j] = std::max(lane[j], x[i + j]);
+      }
+      mx = lane[0];
+      for (size_t j = 1; j < 8; ++j) mx = std::max(mx, lane[j]);
+      for (; i < L; ++i) mx = std::max(mx, x[i]);
+    } else {
+      for (size_t i = 1; i < L; ++i) mx = std::max(mx, x[i]);
+    }
+    for (size_t i = 0; i < L; ++i) y[i] = fast_expf(x[i] - mx);
+    float denom = 0.0F;
+    for (size_t i = 0; i < L; ++i) denom += y[i];
+    for (size_t i = 0; i < L; ++i) y[i] /= denom;
+    const float* mk = mn->value.data() + (r % R) * L;
+    float srow = 0.0F;
+    for (size_t i = 0; i < L; ++i) srow += y[i] * mk[i];
+    const float s2 = srow + eps;
+    if (rec) s2stash[r] = s2;
+    // In-place safe when y aliases po: each element is read before written.
+    for (size_t i = 0; i < L; ++i) po[i] = (y[i] * mk[i]) / s2;
+  }
+  return make_op_result(
+      an->shape, std::move(out), {an, mn},
+      [an, mn, L, R, rows, ystash = PooledVec(std::move(ystash)),
+       s2stash = PooledVec(std::move(s2stash))](Node& self) {
+        const bool ga = an->requires_grad;
+        const bool gm = mn->requires_grad;
+        if (ga) an->ensure_grad();
+        if (gm) mn->ensure_grad();
+        std::vector<float> dy = BufferPool::acquire(L);
+        for (size_t r = 0; r < rows; ++r) {
+          const float* y = ystash.data() + r * L;
+          const float* go = self.grad.data() + r * L;
+          const size_t mrow = (r % R) * L;
+          const float* mk = mn->value.data() + mrow;
+          const float s2 = s2stash[r];
+          const float s2sq = s2 * s2;
+          // d(row mass): the div op's dfb terms in ascending order.
+          float drs = 0.0F;
+          for (size_t i = 0; i < L; ++i) {
+            const float m = y[i] * mk[i];
+            drs += go[i] * (-m / s2sq);
+          }
+          const float inv = 1.0F / s2;
+          float dot = 0.0F;
+          float* dmk = gm ? mn->grad.data() + mrow : nullptr;
+          for (size_t i = 0; i < L; ++i) {
+            float dm = go[i] * inv;  // div dfa term ...
+            dm += drs;               // ... then the sum_axis broadcast-back
+            dy[i] = dm * mk[i];
+            if (gm) dmk[i] += dm * y[i];
+            dot += y[i] * dy[i];
+          }
+          if (ga) {
+            float* dx = an->grad.data() + r * L;
+            for (size_t i = 0; i < L; ++i) dx[i] += y[i] * (dy[i] - dot);
+          }
+        }
+        BufferPool::release(std::move(dy));
+      });
+}
+
+Tensor bias_gelu(const Tensor& x, const Tensor& b) {
+  auto an = x.node();
+  auto bn = b.node();
+  if (an->shape.empty()) {
+    throw std::invalid_argument("bias_gelu: rank must be >= 1");
+  }
+  const size_t L = an->shape.back();
+  if (bn->shape != Shape{L}) {
+    throw std::invalid_argument("bias_gelu: bias must have shape [" +
+                                std::to_string(L) + "]");
+  }
+  const size_t n = an->value.size();
+  std::vector<float> out = alloc_out(n);
+  for (size_t i0 = 0; i0 < n; i0 += L) {
+    const float* px = an->value.data() + i0;
+    float* po = out.data() + i0;
+    for (size_t j = 0; j < L; ++j) po[j] = gelu_fwd(px[j] + bn->value[j]);
+  }
+  return make_op_result(
+      an->shape, std::move(out), {an, bn}, [an, bn, L](Node& self) {
+        const bool ga = an->requires_grad;
+        const bool gb = bn->requires_grad;
+        if (ga) an->ensure_grad();
+        if (gb) bn->ensure_grad();
+        const size_t total = self.value.size();
+        // Recompute the pre-activation (float add is deterministic, so it
+        // matches the forward's bits) instead of stashing it, and stage the
+        // shared d-term in a fresh scratch row so the gelu_dfn polynomial
+        // runs in a single-store loop the compiler vectorizes; the pooled
+        // scratch cannot alias any node buffer. The accumulation passes then
+        // deliver contributions in the same flat ascending order as before.
+        std::vector<float> dv = BufferPool::acquire(total);
+        float* __restrict d = dv.data();
+        const float* __restrict px = an->value.data();
+        const float* __restrict pg = self.grad.data();
+        for (size_t i0 = 0; i0 < total; i0 += L) {
+          const float* pb = bn->value.data();
+          for (size_t j = 0; j < L; ++j) {
+            const float u = px[i0 + j] + pb[j];
+            d[i0 + j] = pg[i0 + j] * gelu_dfn(u);
+          }
+        }
+        if (ga) {
+          float* __restrict dx = an->grad.data();
+          for (size_t i = 0; i < total; ++i) dx[i] += d[i] * 1.0F;
+        }
+        if (gb) {
+          float* __restrict db = bn->grad.data();
+          for (size_t i0 = 0; i0 < total; i0 += L) {
+            for (size_t j = 0; j < L; ++j) db[j] += d[i0 + j] * 1.0F;
+          }
+        }
+        BufferPool::release(std::move(dv));
+      });
+}
+
 Tensor sum(const Tensor& a) {
   auto an = a.node();
   float s = 0.0F;
   for (float v : an->value) s += v;
-  return make_op_result({}, {s}, {an}, [an](Node& self) {
+  std::vector<float> out = alloc_out(1);
+  out[0] = s;
+  return make_op_result({}, std::move(out), {an}, [an](Node& self) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     const float g = self.grad[0];
@@ -839,7 +1163,9 @@ Tensor mean(const Tensor& a) {
   const float n = static_cast<float>(an->value.size());
   float s = 0.0F;
   for (float v : an->value) s += v;
-  return make_op_result({}, {s / n}, {an}, [an, n](Node& self) {
+  std::vector<float> out = alloc_out(1);
+  out[0] = s / n;
+  return make_op_result({}, std::move(out), {an}, [an, n](Node& self) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     const float g = self.grad[0] * (1.0F / n);
@@ -979,17 +1305,24 @@ Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
   }
   const auto in_strides = row_major_strides(s);
   const size_t n = an->value.size();
-  if (!GradMode::enabled() || !an->requires_grad) {
-    // Inference path: gather directly with an incrementally-maintained source
-    // offset — no src_of table, no backward closure. When the innermost dim
-    // stays innermost (every permute the attention head split/merge does),
-    // copy whole contiguous runs instead of single elements.
-    std::vector<float> out = alloc_out(n);
-    const bool last_fixed =
-        !perm.empty() && perm.back() == s.size() - 1 && s.back() > 1;
-    const size_t run = last_fixed ? s.back() : 1;
-    const size_t outer_rank = last_fixed ? out_shape.size() - 1 : out_shape.size();
-    std::vector<size_t> idx(outer_rank, 0);
+  // Gather with an incrementally-maintained source offset — no O(n) src_of
+  // table in either mode. When the innermost dim stays innermost (every
+  // permute the attention head split/merge does), copy whole contiguous runs
+  // instead of single elements. The backward walks the identical index
+  // sequence, so grads scatter in exactly the ascending-output order the old
+  // table-based closure used.
+  const bool last_fixed =
+      !perm.empty() && perm.back() == s.size() - 1 && s.back() > 1;
+  const size_t run = last_fixed ? s.back() : 1;
+  const size_t outer_rank =
+      last_fixed ? out_shape.size() - 1 : out_shape.size();
+  // Source stride of each outer output dim; parked in the closure (pooled).
+  std::vector<size_t> ostr = BufferPool::acquire_idx(outer_rank);
+  for (size_t d = 0; d < outer_rank; ++d) ostr[d] = in_strides[perm[d]];
+  std::vector<float> out = alloc_out(n);
+  {
+    std::vector<size_t> idx = BufferPool::acquire_idx(outer_rank);
+    std::fill(idx.begin(), idx.end(), 0);
     size_t off = 0;
     const float* __restrict src = an->value.data();
     float* __restrict dst = out.data();
@@ -997,36 +1330,37 @@ Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
       for (size_t j = 0; j < run; ++j) dst[i + j] = src[off + j];
       for (size_t d = outer_rank; d-- > 0;) {
         ++idx[d];
-        off += in_strides[perm[d]];
+        off += ostr[d];
         if (idx[d] < out_shape[d]) break;
-        off -= out_shape[d] * in_strides[perm[d]];
+        off -= out_shape[d] * ostr[d];
         idx[d] = 0;
       }
     }
-    return detail::make_inference_result(std::move(out_shape), std::move(out));
+    BufferPool::release_idx(std::move(idx));
   }
-  // src linear offset for each out linear offset
-  std::vector<size_t> src_of(n);
-  std::vector<size_t> idx(out_shape.size(), 0);
-  for (size_t i = 0; i < n; ++i) {
-    size_t off = 0;
-    for (size_t d = 0; d < idx.size(); ++d) off += idx[d] * in_strides[perm[d]];
-    src_of[i] = off;
-    for (size_t d = idx.size(); d-- > 0;) {
-      if (++idx[d] < out_shape[d]) break;
-      idx[d] = 0;
-    }
-  }
-  std::vector<float> out(n);
-  for (size_t i = 0; i < n; ++i) out[i] = an->value[src_of[i]];
-  return make_op_result(std::move(out_shape), std::move(out), {an},
-                        [an, src_of = std::move(src_of)](Node& self) {
-                          if (!an->requires_grad) return;
-                          an->ensure_grad();
-                          for (size_t i = 0; i < self.grad.size(); ++i) {
-                            an->grad[src_of[i]] += self.grad[i];
-                          }
-                        });
+  return make_op_result(
+      std::move(out_shape), std::move(out), {an},
+      [an, run, outer_rank, ostr = PooledIdx(std::move(ostr))](Node& self) {
+        if (!an->requires_grad) return;
+        an->ensure_grad();
+        std::vector<size_t> idx = BufferPool::acquire_idx(outer_rank);
+        std::fill(idx.begin(), idx.end(), 0);
+        size_t off = 0;
+        const size_t n2 = self.grad.size();
+        for (size_t i = 0; i < n2; i += run) {
+          for (size_t j = 0; j < run; ++j) {
+            an->grad[off + j] += self.grad[i + j];
+          }
+          for (size_t d = outer_rank; d-- > 0;) {
+            ++idx[d];
+            off += ostr[d];
+            if (idx[d] < self.shape[d]) break;
+            off -= self.shape[d] * ostr[d];
+            idx[d] = 0;
+          }
+        }
+        BufferPool::release_idx(std::move(idx));
+      });
 }
 
 Tensor transpose_last(const Tensor& a) {
@@ -1045,7 +1379,7 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
   Shape out_shape = first;
   size_t rows = 0;
   size_t row_elems = numel(first) / first[0];
-  std::vector<std::shared_ptr<Node>> parents;
+  NodeList parents;
   for (const auto& p : parts) {
     const Shape& s = p.shape();
     if (s.size() != first.size() || numel(s) / s[0] != row_elems) {
@@ -1102,12 +1436,12 @@ Tensor dropout(const Tensor& a, float p, Rng& rng, bool train) {
   if (!train || p == 0.0F) return a;
   auto an = a.node();
   const float scale = 1.0F / (1.0F - p);
-  std::vector<float> mask(an->value.size());
+  std::vector<float> mask = alloc_out(an->value.size());
   for (auto& m : mask) m = rng.uniform() < p ? 0.0F : scale;
-  std::vector<float> out(an->value.size());
+  std::vector<float> out = alloc_out(an->value.size());
   for (size_t i = 0; i < out.size(); ++i) out[i] = an->value[i] * mask[i];
   return make_op_result(an->shape, std::move(out), {an},
-                        [an, mask = std::move(mask)](Node& self) {
+                        [an, mask = PooledVec(std::move(mask))](Node& self) {
                           if (!an->requires_grad) return;
                           an->ensure_grad();
                           for (size_t i = 0; i < self.grad.size(); ++i) {

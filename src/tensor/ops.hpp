@@ -61,6 +61,36 @@ Tensor softmax_lastdim(const Tensor& a);
 /// mul/add for gamma/beta). @p eps stabilizes the variance.
 Tensor layer_norm_lastdim(const Tensor& a, float eps = 1e-5F);
 
+// -- fused kernels -------------------------------------------------------------
+//
+// Each fused op builds ONE graph node for a composition the training loop
+// executes constantly, replicating the composed ops' arithmetic (same
+// operations, same rounding, same per-accumulator summation order), so
+// forward values and accumulated gradients are bitwise identical to the
+// composition it replaces. The win is tape overhead: fewer nodes, fewer
+// closures, no materialized intermediates, one pass over the data in
+// backward instead of one per op.
+
+/// Affine layer norm in one node: bitwise-equal to
+/// `add(mul(layer_norm_lastdim(x, eps), gamma), beta)` with
+/// gamma/beta of shape [x.shape().back()].
+Tensor layer_norm_affine(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, float eps = 1e-5F);
+
+/// Masked, renormalized softmax over the last dimension in one node:
+/// bitwise-equal to
+///   attn = softmax_lastdim(scores);            // [..., R, L]
+///   masked = mul(attn, mask);                  // mask [R, L], broadcast
+///   attn = div(masked, add(sum_axis(masked, rank-1, true), eps));
+/// Gradients flow to both scores and (when trainable) the mask.
+Tensor softmax_masked_lastdim(const Tensor& scores, const Tensor& mask,
+                              float eps = 1e-6F);
+
+/// Bias add + tanh-approximated GELU in one node: bitwise-equal to
+/// `gelu(add(x, b))` with b of shape [x.shape().back()]. Recomputes the
+/// pre-activation in backward, so nothing is stashed.
+Tensor bias_gelu(const Tensor& x, const Tensor& b);
+
 // -- reductions ----------------------------------------------------------------
 
 /// Sum of all elements (scalar result).

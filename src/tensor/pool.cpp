@@ -1,5 +1,6 @@
 #include "tensor/pool.hpp"
 
+#include <algorithm>
 #include <new>
 #include <utility>
 
@@ -9,17 +10,32 @@ namespace {
 
 /// Free vectors newer than this many entries back are considered for reuse;
 /// a deeper scan costs more than a fresh allocation saves.
-constexpr size_t kScanDepth = 16;
-/// Free-list bound: a forward pass of the repo's models keeps well under
-/// this many buffers live, and the cap keeps a pathological workload from
-/// hoarding memory.
-constexpr size_t kMaxFreeVectors = 256;
+constexpr size_t kScanDepth = 32;
+/// Free-list bound. Grad-mode graphs release every value + grad buffer of a
+/// tape at once when the graph dies (a transformer fwd+bwd step returns a
+/// couple hundred buffers), so the cap sits comfortably above that while
+/// still keeping a pathological workload from hoarding memory.
+constexpr size_t kMaxFreeVectors = 512;
+constexpr size_t kMaxFreeIdxVectors = 256;
 constexpr size_t kMaxFreeBlocksPerSize = 1024;
 
+/// One capacity class of the float free list (LIFO within the class).
+struct VecBucket {
+  size_t capacity = 0;
+  std::vector<std::vector<float>> vecs;
+};
+
 struct PoolState {
-  std::vector<std::vector<float>> vecs;  ///< LIFO free list
-  /// Node blocks come in one or two distinct sizes (allocate_shared of Node),
-  /// so a tiny size-keyed table beats a hash map.
+  /// Float buffers bucketed by exact capacity, sorted ascending. A training
+  /// tape recycles a fixed set of sizes every step, so the exact-capacity
+  /// lookup always hits in steady state; a flat newest-first scan would
+  /// leave the step's few large buffers buried under the hundreds of small
+  /// tape buffers released after them and re-allocate them forever.
+  std::vector<VecBucket> vec_buckets;
+  size_t free_vecs = 0;                   ///< total across all buckets
+  std::vector<std::vector<size_t>> idxs;  ///< LIFO free list (index scratch)
+  /// Node blocks come in a handful of distinct sizes (allocate_shared of
+  /// Node, spilled closures), so a tiny size-keyed table beats a hash map.
   std::vector<std::pair<size_t, std::vector<void*>>> blocks;
   BufferPool::Stats stats;
 
@@ -45,12 +61,12 @@ PoolState& pool() {
 
 /// Pops the most recent free vector with capacity >= n (bounded scan);
 /// returns an empty vector when none qualifies.
-std::vector<float> take_fitting(PoolState& p, size_t n) {
-  auto& vecs = p.vecs;
+template <typename V>
+V take_fitting(std::vector<V>& vecs, size_t n) {
   const size_t lo = vecs.size() > kScanDepth ? vecs.size() - kScanDepth : 0;
   for (size_t i = vecs.size(); i-- > lo;) {
     if (vecs[i].capacity() >= n) {
-      std::vector<float> v = std::move(vecs[i]);
+      V v = std::move(vecs[i]);
       vecs[i] = std::move(vecs.back());
       vecs.pop_back();
       return v;
@@ -59,12 +75,30 @@ std::vector<float> take_fitting(PoolState& p, size_t n) {
   return {};
 }
 
+/// Pops a free float vector with capacity >= n: the exact-capacity bucket
+/// when it has stock, else the smallest larger one. Empty vector when the
+/// pool has nothing big enough.
+std::vector<float> take_vec(PoolState& p, size_t n) {
+  auto it = std::lower_bound(
+      p.vec_buckets.begin(), p.vec_buckets.end(), n,
+      [](const VecBucket& bkt, size_t cap) { return bkt.capacity < cap; });
+  for (; it != p.vec_buckets.end(); ++it) {
+    if (it->vecs.empty()) continue;
+    std::vector<float> v = std::move(it->vecs.back());
+    it->vecs.pop_back();
+    --p.free_vecs;
+    return v;
+  }
+  return {};
+}
+
 }  // namespace
 
 std::vector<float> BufferPool::acquire(size_t n) {
+  if (n == 0) return {};  // no storage involved either way
   auto& p = pool();
-  std::vector<float> v = take_fitting(p, n);
-  if (v.capacity() >= n && n > 0) {
+  std::vector<float> v = take_vec(p, n);
+  if (v.capacity() >= n) {
     ++p.stats.vec_reused;
     v.resize(n);
     return v;
@@ -74,9 +108,10 @@ std::vector<float> BufferPool::acquire(size_t n) {
 }
 
 std::vector<float> BufferPool::acquire_zero(size_t n) {
+  if (n == 0) return {};
   auto& p = pool();
-  std::vector<float> v = take_fitting(p, n);
-  if (v.capacity() >= n && n > 0) {
+  std::vector<float> v = take_vec(p, n);
+  if (v.capacity() >= n) {
     ++p.stats.vec_reused;
     v.assign(n, 0.0F);
     return v;
@@ -88,8 +123,35 @@ std::vector<float> BufferPool::acquire_zero(size_t n) {
 void BufferPool::release(std::vector<float>&& v) {
   if (v.capacity() == 0) return;
   auto& p = pool();
-  if (p.vecs.size() >= kMaxFreeVectors) return;  // drop: vector frees itself
-  p.vecs.push_back(std::move(v));
+  if (p.free_vecs >= kMaxFreeVectors) return;  // drop: vector frees itself
+  auto it = std::lower_bound(
+      p.vec_buckets.begin(), p.vec_buckets.end(), v.capacity(),
+      [](const VecBucket& bkt, size_t cap) { return bkt.capacity < cap; });
+  if (it == p.vec_buckets.end() || it->capacity != v.capacity()) {
+    it = p.vec_buckets.insert(it, VecBucket{v.capacity(), {}});
+  }
+  it->vecs.push_back(std::move(v));
+  ++p.free_vecs;
+}
+
+std::vector<size_t> BufferPool::acquire_idx(size_t n) {
+  if (n == 0) return {};
+  auto& p = pool();
+  std::vector<size_t> v = take_fitting(p.idxs, n);
+  if (v.capacity() >= n) {
+    ++p.stats.idx_reused;
+    v.resize(n);
+    return v;
+  }
+  ++p.stats.idx_allocated;
+  return std::vector<size_t>(n);
+}
+
+void BufferPool::release_idx(std::vector<size_t>&& v) {
+  if (v.capacity() == 0) return;
+  auto& p = pool();
+  if (p.idxs.size() >= kMaxFreeIdxVectors) return;
+  p.idxs.push_back(std::move(v));
 }
 
 void* BufferPool::alloc_block(size_t bytes) {
@@ -117,7 +179,9 @@ void BufferPool::free_block(void* ptr, size_t bytes) {
 
 void BufferPool::clear() {
   auto& p = pool();
-  p.vecs.clear();
+  p.vec_buckets.clear();
+  p.free_vecs = 0;
+  p.idxs.clear();
   for (auto& [size, list] : p.blocks) {
     for (void* ptr : list) ::operator delete(ptr);
     list.clear();

@@ -1,23 +1,38 @@
-// Thread-local buffer reuse for the inference fast path. In no-grad mode
-// (see GradMode in tensor.hpp) every op result's value buffer is drawn from
-// and returned to this pool, so a steady-state prediction loop performs no
-// heap allocation per forward: intermediate nodes die as soon as their
-// handles go out of scope (no parents are captured without grad), their
-// buffers cycle straight back, and the next op reuses them.
+// Thread-local buffer reuse for the engine's two fast paths.
 //
-// Everything here is thread-local: pool workers and the main thread each own
-// an independent free list, so there is no synchronization and no data race.
-// Buffers may migrate between threads (allocated on one, released on the one
-// that destroys the node) — that only moves capacity around, never sharing.
+// Inference (PR 3): in no-grad mode every op result's value buffer is drawn
+// from and returned to this pool, so a steady-state prediction loop performs
+// no heap allocation per forward.
+//
+// Training (tape arena): in grad mode the pool additionally backs the
+// autograd tape — graph-node blocks (allocate_shared via PoolAlloc), op
+// output buffers, saved activations stashed for backward (PooledVec),
+// gradient buffers of non-leaf nodes, index scratch such as GEMM batch
+// offsets (PooledIdx), and heap-spilled backward closures. Nothing is freed
+// when a graph dies: every buffer cycles back to the free lists, so the next
+// inner-loop step of a MAML adaptation re-acquires the identical storage —
+// the arena is reset, not released, between steps.
+//
+// Lifetime: everything here is thread-local. Pool workers and the main
+// thread each own an independent free list, so there is no synchronization
+// and no data race. Buffers may migrate between threads (allocated on one,
+// released on the thread that destroys the node) — that only moves capacity
+// around, never sharing. Each thread's free lists live until thread exit;
+// clear() drops the calling thread's cached storage early. Objects that
+// release into the pool (pooled Nodes, PooledVec/PooledIdx) must therefore
+// be destroyed before their thread exits — true for everything the library
+// builds, since graphs are function-local.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 namespace metadse::tensor {
 
-/// Thread-local free lists for op-output vectors and graph-node blocks.
-/// All members are static; state lives in per-thread storage.
+/// Thread-local free lists for op-output vectors, index scratch, and
+/// raw blocks (graph nodes, spilled closures). All members are static;
+/// state lives in per-thread storage.
 class BufferPool {
  public:
   /// A float buffer of exactly @p n elements with unspecified contents —
@@ -28,23 +43,105 @@ class BufferPool {
   /// Returns a buffer to the free list (drops it when the list is full).
   static void release(std::vector<float>&& v);
 
-  /// Raw block reuse for pooled graph-node allocations (allocate_shared).
+  /// Index-vector twin of acquire()/release(): GEMM batch offsets, permute
+  /// stride tables, and iterator scratch cycle through their own free list.
+  static std::vector<size_t> acquire_idx(size_t n);
+  static void release_idx(std::vector<size_t>&& v);
+
+  /// Raw block reuse for pooled graph-node allocations (allocate_shared)
+  /// and heap-spilled backward closures.
   static void* alloc_block(size_t bytes);
   static void free_block(void* p, size_t bytes);
 
   /// Frees every cached buffer and block on the calling thread.
   static void clear();
 
-  /// Allocation accounting (per thread; used by tests to prove the hot loop
-  /// is allocation-free at steady state).
+  /// Allocation accounting (per thread). Tests call reset_stats() after a
+  /// warm-up phase and then assert `*_allocated == 0` over the steady-state
+  /// window, proving the hot loop never touches the heap through the pool.
+  /// Counters are cumulative per thread between resets.
   struct Stats {
     size_t vec_reused = 0;     ///< acquire() served from the free list
     size_t vec_allocated = 0;  ///< acquire() had to heap-allocate
+    size_t idx_reused = 0;
+    size_t idx_allocated = 0;
     size_t block_reused = 0;
     size_t block_allocated = 0;
   };
   static Stats stats();
+  /// Zeroes the calling thread's counters (per-phase measurement); cached
+  /// buffers are untouched, so a warm pool stays warm.
   static void reset_stats();
+};
+
+/// STL allocator over BufferPool blocks; backs allocate_shared<Node> and the
+/// parents vectors of graph nodes so tape bookkeeping recycles with the tape.
+template <typename T>
+struct PoolAlloc {
+  using value_type = T;
+  PoolAlloc() = default;
+  template <typename U>
+  PoolAlloc(const PoolAlloc<U>& /*other*/) {}  // NOLINT(google-explicit-constructor)
+  T* allocate(size_t n) {
+    return static_cast<T*>(BufferPool::alloc_block(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t n) { BufferPool::free_block(p, n * sizeof(T)); }
+  template <typename U>
+  bool operator==(const PoolAlloc<U>& /*other*/) const {
+    return true;
+  }
+};
+
+/// Move-only holder of a pooled float buffer: backward closures stash saved
+/// activations in one of these, so the buffer returns to the pool when the
+/// closure dies with its graph — whether or not backward ever ran.
+class PooledVec {
+ public:
+  PooledVec() = default;
+  explicit PooledVec(std::vector<float>&& v) : v_(std::move(v)) {}
+  PooledVec(PooledVec&& o) noexcept : v_(std::move(o.v_)) {}
+  PooledVec& operator=(PooledVec&& o) noexcept {
+    if (this != &o) {
+      BufferPool::release(std::move(v_));
+      v_ = std::move(o.v_);
+    }
+    return *this;
+  }
+  PooledVec(const PooledVec&) = delete;
+  PooledVec& operator=(const PooledVec&) = delete;
+  ~PooledVec() { BufferPool::release(std::move(v_)); }
+
+  const std::vector<float>& get() const { return v_; }
+  const float* data() const { return v_.data(); }
+  float operator[](size_t i) const { return v_[i]; }
+
+ private:
+  std::vector<float> v_;
+};
+
+/// Index-vector twin of PooledVec (GEMM batch offsets, stride tables).
+class PooledIdx {
+ public:
+  PooledIdx() = default;
+  explicit PooledIdx(std::vector<size_t>&& v) : v_(std::move(v)) {}
+  PooledIdx(PooledIdx&& o) noexcept : v_(std::move(o.v_)) {}
+  PooledIdx& operator=(PooledIdx&& o) noexcept {
+    if (this != &o) {
+      BufferPool::release_idx(std::move(v_));
+      v_ = std::move(o.v_);
+    }
+    return *this;
+  }
+  PooledIdx(const PooledIdx&) = delete;
+  PooledIdx& operator=(const PooledIdx&) = delete;
+  ~PooledIdx() { BufferPool::release_idx(std::move(v_)); }
+
+  const std::vector<size_t>& get() const { return v_; }
+  const size_t* data() const { return v_.data(); }
+  size_t operator[](size_t i) const { return v_[i]; }
+
+ private:
+  std::vector<size_t> v_;
 };
 
 }  // namespace metadse::tensor

@@ -7,12 +7,14 @@ namespace metadse::tensor {
 
 float Rng::normal(float mean, float stddev) {
   ++draws_;
+  if (null_) return mean;
   std::normal_distribution<float> d(mean, stddev);
   return d(engine_);
 }
 
 float Rng::uniform(float lo, float hi) {
   ++draws_;
+  if (null_) return lo;
   std::uniform_real_distribution<float> d(lo, hi);
   return d(engine_);
 }
@@ -20,12 +22,14 @@ float Rng::uniform(float lo, float hi) {
 size_t Rng::uniform_index(size_t n) {
   if (n == 0) throw std::invalid_argument("Rng::uniform_index: n must be > 0");
   ++draws_;
+  if (null_) return 0;
   std::uniform_int_distribution<size_t> d(0, n - 1);
   return d(engine_);
 }
 
 Rng Rng::fork() {
   ++draws_;
+  if (null_) return null_stream();
   return Rng(engine_());
 }
 

@@ -15,6 +15,17 @@ class Rng {
  public:
   explicit Rng(uint64_t seed = 0x5eedULL) : engine_(seed) {}
 
+  /// An Rng whose draws are the cheapest deterministic values (normal →
+  /// mean, uniform → lo, uniform_index → 0) without running the engine.
+  /// For constructing modules whose parameters are overwritten immediately
+  /// afterwards (clone()), where real sampling is pure waste. The cursor
+  /// still advances, so draw accounting stays consistent.
+  static Rng null_stream() {
+    Rng r;
+    r.null_ = true;
+    return r;
+  }
+
   /// Standard normal sample scaled by @p stddev around @p mean.
   float normal(float mean = 0.0F, float stddev = 1.0F);
 
@@ -55,6 +66,7 @@ class Rng {
  private:
   std::mt19937_64 engine_;
   uint64_t draws_ = 0;
+  bool null_ = false;  ///< null_stream(): draws return fixed values
 };
 
 }  // namespace metadse::tensor

@@ -1,18 +1,26 @@
 #include "tensor/tensor.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <stdexcept>
-#include <unordered_set>
-
-#include "tensor/pool.hpp"
 
 namespace metadse::tensor {
 
 void Node::ensure_grad() {
-  if (grad.size() != value.size()) grad.assign(value.size(), 0.0F);
+  if (grad.size() == value.size()) return;
+  if (pooled) {
+    BufferPool::release(std::move(grad));
+    grad = BufferPool::acquire_zero(value.size());
+  } else {
+    grad.assign(value.size(), 0.0F);
+  }
 }
 
 Node::~Node() {
-  if (pooled) BufferPool::release(std::move(value));
+  if (pooled) {
+    BufferPool::release(std::move(value));
+    BufferPool::release(std::move(grad));
+  }
 }
 
 namespace {
@@ -127,23 +135,89 @@ float Tensor::at(std::initializer_list<size_t> idx) const {
   return data()[off];
 }
 
+namespace {
+
+/// Open-addressing pointer set with the same membership semantics as the
+/// unordered_set<Node*> it replaces, but with flat reusable storage: inserts
+/// never allocate once the table has grown to the largest graph seen on this
+/// thread, so steady-state backward() calls stay off the heap. Marks live in
+/// the scratch table, never in the (possibly cross-thread shared) nodes.
+struct VisitedSet {
+  std::vector<Node*> slots;  ///< power-of-two table, nullptr = empty
+  size_t count = 0;
+
+  void reset() {
+    if (slots.empty()) {
+      slots.assign(1024, nullptr);
+    } else {
+      std::fill(slots.begin(), slots.end(), nullptr);
+    }
+    count = 0;
+  }
+
+  static size_t slot_hash(const Node* p) {
+    return static_cast<size_t>(
+        (reinterpret_cast<uintptr_t>(p) >> 4) * 0x9E3779B97F4A7C15ULL);
+  }
+
+  /// True when @p p was newly inserted (mirrors unordered_set::insert).
+  bool insert(Node* p) {
+    if (2 * (count + 1) > slots.size()) grow();
+    const size_t mask = slots.size() - 1;
+    for (size_t i = slot_hash(p) & mask;; i = (i + 1) & mask) {
+      if (slots[i] == p) return false;
+      if (slots[i] == nullptr) {
+        slots[i] = p;
+        ++count;
+        return true;
+      }
+    }
+  }
+
+  void grow() {
+    std::vector<Node*> old = std::move(slots);
+    slots.assign(old.size() * 2, nullptr);
+    const size_t mask = slots.size() - 1;
+    for (Node* p : old) {
+      if (p == nullptr) continue;
+      size_t i = slot_hash(p) & mask;
+      while (slots[i] != nullptr) i = (i + 1) & mask;
+      slots[i] = p;
+    }
+  }
+};
+
+/// Per-thread backward() scratch, cleared (not freed) per call.
+struct BackwardScratch {
+  std::vector<Node*> topo;
+  std::vector<std::pair<Node*, size_t>> stack;
+  VisitedSet visited;
+};
+
+}  // namespace
+
 void Tensor::backward() {
   if (!n_) throw std::logic_error("Tensor::backward: undefined tensor");
   if (size() != 1) {
     throw std::logic_error("Tensor::backward: root must be scalar-sized");
   }
   // Iterative post-order topological sort (recursion-free: graphs from the
-  // MAML unrolled loops can be deep).
-  std::vector<Node*> topo;
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, size_t>> stack;
+  // MAML unrolled loops can be deep). The scratch is thread-local so the
+  // inner-loop steps of an adaptation reuse its capacity.
+  static thread_local BackwardScratch scratch;
+  auto& topo = scratch.topo;
+  auto& stack = scratch.stack;
+  auto& visited = scratch.visited;
+  topo.clear();
+  stack.clear();
+  visited.reset();
   stack.emplace_back(n_.get(), 0);
   visited.insert(n_.get());
   while (!stack.empty()) {
     auto& [node, next_child] = stack.back();
     if (next_child < node->parents.size()) {
       Node* child = node->parents[next_child++].get();
-      if (visited.insert(child).second) stack.emplace_back(child, 0);
+      if (visited.insert(child)) stack.emplace_back(child, 0);
     } else {
       topo.push_back(node);
       stack.pop_back();
@@ -172,29 +246,7 @@ Tensor Tensor::detach() const {
 
 namespace detail {
 
-namespace {
-
-/// Minimal allocator backing allocate_shared<Node> with BufferPool blocks so
-/// the node + control-block allocation itself is recycled across forwards.
-template <typename T>
-struct PoolAllocator {
-  using value_type = T;
-  PoolAllocator() = default;
-  template <typename U>
-  PoolAllocator(const PoolAllocator<U>& /*other*/) {}  // NOLINT(google-explicit-constructor)
-  T* allocate(size_t n) {
-    return static_cast<T*>(BufferPool::alloc_block(n * sizeof(T)));
-  }
-  void deallocate(T* p, size_t n) { BufferPool::free_block(p, n * sizeof(T)); }
-  template <typename U>
-  bool operator==(const PoolAllocator<U>& /*other*/) const {
-    return true;
-  }
-};
-
-}  // namespace
-
-bool any_requires_grad(const std::vector<std::shared_ptr<Node>>& parents) {
+bool any_requires_grad(const NodeList& parents) {
   for (const auto& p : parents) {
     if (p && p->requires_grad) return true;
   }
@@ -202,19 +254,19 @@ bool any_requires_grad(const std::vector<std::shared_ptr<Node>>& parents) {
 }
 
 Tensor finish_op_result_grad(Shape shape, std::vector<float> value,
-                             std::vector<std::shared_ptr<Node>> parents,
-                             std::function<void(Node&)> backward_fn) {
-  auto n = std::make_shared<Node>();
+                             NodeList parents, BackwardFn backward_fn) {
+  auto n = std::allocate_shared<Node>(PoolAlloc<Node>{});
   n->shape = std::move(shape);
   n->value = std::move(value);
   n->requires_grad = true;
+  n->pooled = true;
   n->parents = std::move(parents);
   n->backward_fn = std::move(backward_fn);
   return Tensor(std::move(n));
 }
 
 Tensor make_inference_result(Shape shape, std::vector<float> value) {
-  auto n = std::allocate_shared<Node>(PoolAllocator<Node>{});
+  auto n = std::allocate_shared<Node>(PoolAlloc<Node>{});
   n->shape = std::move(shape);
   n->value = std::move(value);
   n->pooled = true;

@@ -3,17 +3,129 @@
 // ops.hpp records a backward closure so Tensor::backward() can propagate
 // gradients through arbitrary compositions (the MAML inner/outer loops, the
 // masked-attention transformer, ...).
+//
+// Grad-mode allocations are pooled (the "tape arena", see pool.hpp): graph
+// nodes, parents vectors, op outputs, backward closures, and gradient
+// buffers of non-leaf nodes all recycle through the thread-local BufferPool,
+// so a steady-state training loop rebuilds its tape without touching the
+// heap.
 #pragma once
 
-#include <functional>
+#include <cstddef>
 #include <initializer_list>
 #include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "tensor/pool.hpp"
 #include "tensor/rng.hpp"
 #include "tensor/shape.hpp"
 
 namespace metadse::tensor {
+
+struct Node;
+
+/// Move-only type-erased callable `void(Node&)` — the backward closure slot
+/// of a graph node. Closures up to kInlineBytes (every op in ops.cpp) live
+/// inline in the node; larger ones spill to a pooled block. Unlike
+/// std::function this supports move-only captures (PooledVec stashes) and
+/// never heap-allocates in steady state.
+class BackwardFn {
+ public:
+  BackwardFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, BackwardFn>>>
+  BackwardFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    static_assert(alignof(Fn) <= alignof(std::max_align_t));
+    void* where = nullptr;
+    if constexpr (sizeof(Fn) <= kInlineBytes) {
+      where = buf_;
+      relocate_ = [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      };
+    } else {
+      heap_bytes_ = sizeof(Fn);
+      heap_ = BufferPool::alloc_block(heap_bytes_);
+      where = heap_;
+    }
+    ::new (where) Fn(std::forward<F>(f));
+    invoke_ = [](void* t, Node& n) { (*static_cast<Fn*>(t))(n); };
+    destroy_ = [](void* t) { static_cast<Fn*>(t)->~Fn(); };
+  }
+
+  BackwardFn(BackwardFn&& o) noexcept
+      : heap_(o.heap_),
+        heap_bytes_(o.heap_bytes_),
+        invoke_(o.invoke_),
+        destroy_(o.destroy_),
+        relocate_(o.relocate_) {
+    if (invoke_ && heap_ == nullptr) relocate_(buf_, o.buf_);
+    o.invoke_ = nullptr;
+    o.destroy_ = nullptr;
+    o.relocate_ = nullptr;
+    o.heap_ = nullptr;
+    o.heap_bytes_ = 0;
+  }
+
+  BackwardFn& operator=(BackwardFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      heap_ = o.heap_;
+      heap_bytes_ = o.heap_bytes_;
+      invoke_ = o.invoke_;
+      destroy_ = o.destroy_;
+      relocate_ = o.relocate_;
+      if (invoke_ && heap_ == nullptr) relocate_(buf_, o.buf_);
+      o.invoke_ = nullptr;
+      o.destroy_ = nullptr;
+      o.relocate_ = nullptr;
+      o.heap_ = nullptr;
+      o.heap_bytes_ = 0;
+    }
+    return *this;
+  }
+
+  BackwardFn(const BackwardFn&) = delete;
+  BackwardFn& operator=(const BackwardFn&) = delete;
+  ~BackwardFn() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+  void operator()(Node& self) { invoke_(target(), self); }
+
+ private:
+  /// Sized to the largest op closure in ops.cpp (fused LayerNorm: three
+  /// parent handles plus two pooled stashes plus extents).
+  static constexpr size_t kInlineBytes = 136;
+
+  void* target() { return heap_ != nullptr ? heap_ : static_cast<void*>(buf_); }
+
+  void reset() {
+    if (invoke_ != nullptr) destroy_(target());
+    if (heap_ != nullptr) BufferPool::free_block(heap_, heap_bytes_);
+    invoke_ = nullptr;
+    destroy_ = nullptr;
+    relocate_ = nullptr;
+    heap_ = nullptr;
+    heap_bytes_ = 0;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  void* heap_ = nullptr;
+  size_t heap_bytes_ = 0;
+  void (*invoke_)(void*, Node&) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+};
+
+/// Parents list of a graph node; storage recycles through the BufferPool so
+/// tape bookkeeping is allocation-free in steady state.
+using NodeList = std::vector<std::shared_ptr<Node>, PoolAlloc<std::shared_ptr<Node>>>;
 
 /// One vertex of the autodiff graph. Library users interact with Tensor;
 /// Node is exposed only for op implementations and tests.
@@ -22,15 +134,15 @@ struct Node {
   std::vector<float> value;   ///< numel(shape) elements
   std::vector<float> grad;    ///< same length as value once touched by backward
   bool requires_grad = false; ///< participates in gradient propagation
-  bool pooled = false;        ///< value buffer returns to BufferPool on death
-  std::vector<std::shared_ptr<Node>> parents;  ///< inputs of the producing op
+  bool pooled = false;        ///< value/grad buffers return to BufferPool on death
+  NodeList parents;           ///< inputs of the producing op
   /// Accumulates this node's grad into its parents' grads. Empty for leaves.
-  std::function<void(Node&)> backward_fn;
+  BackwardFn backward_fn;
 
   Node() = default;
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
-  ~Node();  ///< releases a pooled value buffer back to the thread-local pool
+  ~Node();  ///< releases pooled value/grad buffers back to the thread-local pool
 
   /// Allocate (zero-filled) grad storage if absent.
   void ensure_grad();
@@ -136,13 +248,13 @@ class Tensor {
 namespace detail {
 
 /// True iff any parent participates in gradient propagation.
-bool any_requires_grad(const std::vector<std::shared_ptr<Node>>& parents);
+bool any_requires_grad(const NodeList& parents);
 
 /// Grad-mode tail of make_op_result: records parents and the backward
-/// closure exactly as the engine always has.
+/// closure exactly as the engine always has. The node itself and its grad
+/// buffer recycle through the BufferPool.
 Tensor finish_op_result_grad(Shape shape, std::vector<float> value,
-                             std::vector<std::shared_ptr<Node>> parents,
-                             std::function<void(Node&)> backward_fn);
+                             NodeList parents, BackwardFn backward_fn);
 
 /// Inference tail: a parentless, closure-free node whose allocation block and
 /// value buffer are recycled through the thread-local BufferPool.
@@ -152,18 +264,17 @@ Tensor make_inference_result(Shape shape, std::vector<float> value);
 
 /// Build a node for an op result. Gradients flow iff grad mode is on and any
 /// parent requires them; otherwise the graph is not recorded at all — the
-/// backward callable is never converted to a std::function (no closure
-/// allocation) and parents are dropped so intermediates free eagerly.
-template <typename BackwardFn>
-Tensor make_op_result(Shape shape, std::vector<float> value,
-                      std::vector<std::shared_ptr<Node>> parents,
-                      BackwardFn&& backward_fn) {
+/// backward callable is never converted to a BackwardFn and parents are
+/// dropped so intermediates free eagerly.
+template <typename F>
+Tensor make_op_result(Shape shape, std::vector<float> value, NodeList parents,
+                      F&& backward_fn) {
   if (!GradMode::enabled() || !detail::any_requires_grad(parents)) {
     return detail::make_inference_result(std::move(shape), std::move(value));
   }
-  return detail::finish_op_result_grad(
-      std::move(shape), std::move(value), std::move(parents),
-      std::function<void(Node&)>(std::forward<BackwardFn>(backward_fn)));
+  return detail::finish_op_result_grad(std::move(shape), std::move(value),
+                                       std::move(parents),
+                                       BackwardFn(std::forward<F>(backward_fn)));
 }
 
 }  // namespace metadse::tensor

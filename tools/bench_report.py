@@ -2,24 +2,33 @@
 """Turn bench_micro_engine JSON output into BENCH_engine.json.
 
 Usage:
-    bench_report.py AFTER.json [--before BEFORE.json] [-o BENCH_engine.json]
+    bench_report.py AFTER.json [--before BEFORE.json] [--diff BENCH_engine.json]
+                    [-o BENCH_engine.json]
 
 AFTER.json is the output of
 
-    bench_micro_engine --benchmark_filter='PredictOne|PredictBatch|ExplorerBatchedEval' \
+    bench_micro_engine \
+        --benchmark_filter='PredictOne|PredictBatch|ExplorerBatchedEval|Maml' \
         --benchmark_min_time=0.5 --benchmark_format=json
 
 BEFORE.json, when given, is a google-benchmark JSON from the pre-fast-path
-baseline (the seed's grad-mode forward). The report pairs each fast-path
-benchmark with its baseline counterpart and records the speedup:
+baseline. The report pairs each fast-path benchmark with its baseline
+counterpart and records the speedup:
 
   - BM_TransformerPredictOneNoGrad   vs baseline BM_TransformerPredictOne
   - BM_TransformerPredictBatchNoGrad/N vs baseline BM_TransformerPredictBatch/N
   - within-run grad vs no-grad ratios as a build-independent cross-check
+  - the training fast path (BM_MamlInnerStep, BM_MamlAdaptClone,
+    BM_MamlEpochThreadsSweep) vs the same benchmark in the baseline run
 
-The headline figure is the single-point no-grad prediction speedup over the
-seed grad-mode forward; the CI smoke job only checks that the report can be
-produced (numbers from shared runners are not stable enough to gate on).
+--diff compares AFTER.json against a previously committed BENCH_engine.json
+and prints a per-benchmark regression table. It is warn-only: shared runners
+are far too noisy to gate on, so a slowdown prints a WARN line and the exit
+code stays 0.
+
+The headline figures are the single-point no-grad prediction speedup and the
+K-shot adapt_clone speedup over the seed; the CI smoke job only checks that
+the report can be produced.
 """
 
 import argparse
@@ -34,7 +43,21 @@ PAIRS = {
     "BM_TransformerPredictBatchNoGrad/128": "BM_TransformerPredictBatch/128",
 }
 
+# Training fast-path benchmarks: the kernels changed underneath them, so the
+# comparison is same-name against the baseline run (before the pooled tapes,
+# fused kernels, and register-panel backward).
+TRAIN_BENCHES = [
+    "BM_MamlInnerStep/1", "BM_MamlInnerStep/2", "BM_MamlInnerStep/8",
+    "BM_MamlAdaptClone/1", "BM_MamlAdaptClone/2", "BM_MamlAdaptClone/8",
+    "BM_MamlEpochThreadsSweep/1", "BM_MamlEpochThreadsSweep/2",
+    "BM_MamlEpochThreadsSweep/4", "BM_MamlEpochThreadsSweep/8",
+]
+
 HEADLINE = "BM_TransformerPredictOneNoGrad"
+HEADLINE_TRAIN = "BM_MamlAdaptClone/1"
+
+# --diff warns when a benchmark slows down by more than this factor.
+DIFF_WARN_RATIO = 1.15
 
 
 def load_times(path):
@@ -53,12 +76,21 @@ def main(argv=None):
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("after", help="bench_micro_engine JSON for the current tree")
     ap.add_argument("--before", help="baseline JSON (seed grad-mode forward)")
+    ap.add_argument("--diff", metavar="REPORT",
+                    help="committed BENCH_engine.json to diff against "
+                         "(warn-only regression table)")
     ap.add_argument("-o", "--output", default="BENCH_engine.json")
     args = ap.parse_args(argv)
 
     after, context = load_times(args.after)
     if not after:
         sys.exit(f"{args.after}: no iteration benchmarks found")
+    committed = None
+    if args.diff:
+        # Load before writing --output: the two paths are usually the same
+        # file (the committed report being regenerated).
+        with open(args.diff) as f:
+            committed = json.load(f).get("benchmarks_ns", {})
     before, before_context = ({}, {})
     if args.before:
         before, before_context = load_times(args.before)
@@ -79,6 +111,9 @@ def main(argv=None):
         if fast in after and base in after:
             report["grad_over_nograd_within_run"][fast] = round(
                 after[base] / after[fast], 2)
+    for name in TRAIN_BENCHES:
+        if name in after and name in before:
+            report["speedups_vs_before"][name] = round(before[name] / after[name], 2)
 
     if HEADLINE in report["speedups_vs_before"]:
         report["headline"] = {
@@ -88,17 +123,47 @@ def main(argv=None):
             "after_ns": round(after[HEADLINE], 1),
             "speedup": report["speedups_vs_before"][HEADLINE],
         }
+    if HEADLINE_TRAIN in report["speedups_vs_before"]:
+        report["headline_training"] = {
+            "benchmark": HEADLINE_TRAIN,
+            "baseline": HEADLINE_TRAIN,
+            "before_ns": round(before[HEADLINE_TRAIN], 1),
+            "after_ns": round(after[HEADLINE_TRAIN], 1),
+            "speedup": report["speedups_vs_before"][HEADLINE_TRAIN],
+        }
 
     with open(args.output, "w") as f:
         json.dump(report, f, indent=2, sort_keys=True)
         f.write("\n")
 
-    head = report.get("headline")
-    if head:
-        print(f"{head['benchmark']}: {head['before_ns'] / 1e3:.1f}us -> "
-              f"{head['after_ns'] / 1e3:.1f}us ({head['speedup']}x)")
-    else:
+    for key in ("headline", "headline_training"):
+        head = report.get(key)
+        if head:
+            print(f"{head['benchmark']}: {head['before_ns'] / 1e3:.1f}us -> "
+                  f"{head['after_ns'] / 1e3:.1f}us ({head['speedup']}x)")
+    if "headline" not in report and "headline_training" not in report:
         print(f"wrote {args.output} ({len(after)} benchmarks, no baseline)")
+
+    if committed is not None:
+        diff_report(after, committed, args.diff)
+
+
+def diff_report(after, committed, committed_path):
+    """Warn-only regression table: current run vs a committed report."""
+    shared = sorted(set(after) & set(committed))
+    if not shared:
+        print(f"diff: no benchmarks in common with {committed_path}")
+        return
+    width = max(len(n) for n in shared)
+    print(f"\ndiff vs {committed_path} (warn-only, ratio = now/committed):")
+    for name in shared:
+        ratio = after[name] / committed[name]
+        flag = "  WARN slower" if ratio > DIFF_WARN_RATIO else ""
+        print(f"  {name:<{width}}  {committed[name] / 1e3:10.1f}us ->"
+              f" {after[name] / 1e3:10.1f}us  x{ratio:5.2f}{flag}")
+    missing = sorted(set(committed) - set(after))
+    if missing:
+        print(f"  (not in this run: {', '.join(missing)})")
 
 
 if __name__ == "__main__":
