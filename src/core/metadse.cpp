@@ -506,25 +506,33 @@ std::vector<TaskEval> MetaDseFramework::evaluate(const std::string& workload,
 explore::ParetoArchive MetaDseFramework::run_dse(
     const AdaptedPredictor& predictor, const data::Dataset& support,
     const std::string& workload, const DseOptions& dse_options) {
-  const workload::Workload& wl = suite_.by_name(workload);
   run_report_ = explore::RunReport{};
+  return run_dse(predictor, support, workload, dse_options, generator_,
+                 run_report_);
+}
+
+explore::ParetoArchive MetaDseFramework::run_dse(
+    const AdaptedPredictor& predictor, const data::Dataset& support,
+    const std::string& workload, const DseOptions& dse_options,
+    data::DatasetGenerator& generator, explore::RunReport& report) const {
+  const workload::Workload& wl = suite_.by_name(workload);
 
   // Primary evaluator: surrogate IPC + simulated power. The power leg goes
-  // through the framework's generator, so an armed fault plan (and its
+  // through the caller's generator, so an armed fault plan (and its
   // attempt-indexed draws) exercises the retry/breaker machinery exactly as
   // a flaky label farm would.
   explore::AttemptEvaluator primary =
-      [this, &predictor, &wl, &dse_options](const arch::Config& c,
-                                            size_t attempt) {
+      [this, &predictor, &wl, &dse_options, &generator](const arch::Config& c,
+                                                        size_t attempt) {
         if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
         const float ipc = predictor.predict(space_->normalize(c));
-        const auto [sim_ipc, sim_power] = generator_.evaluate(c, wl, attempt);
+        const auto [sim_ipc, sim_power] = generator.evaluate(c, wl, attempt);
         (void)sim_ipc;
         return explore::Objective{static_cast<double>(ipc), sim_power};
       };
   explore::BatchEvaluator batch_primary =
-      [this, &predictor, &wl,
-       &dse_options](const std::vector<arch::Config>& batch) {
+      [this, &predictor, &wl, &dse_options,
+       &generator](const std::vector<arch::Config>& batch) {
         if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
         std::vector<std::vector<float>> feats;
         feats.reserve(batch.size());
@@ -534,7 +542,7 @@ explore::ParetoArchive MetaDseFramework::run_dse(
         objs.reserve(batch.size());
         for (size_t i = 0; i < batch.size(); ++i) {
           const auto [sim_ipc, sim_power] =
-              generator_.evaluate(batch[i], wl, /*attempt=*/0);
+              generator.evaluate(batch[i], wl, /*attempt=*/0);
           (void)sim_ipc;
           objs.push_back({static_cast<double>(ipcs[i]), sim_power});
         }
@@ -569,8 +577,9 @@ explore::ParetoArchive MetaDseFramework::run_dse(
   }
 
   explore::GuardedEvaluator guard(std::move(primary), dse_options.guard,
-                                  &run_report_, std::move(baseline));
+                                  &report, std::move(baseline));
   guard.set_batch_primary(std::move(batch_primary));
+  if (dse_options.budget) guard.set_session_budget(dse_options.budget);
 
   explore::EvolutionaryExplorer explorer(dse_options.explorer);
   if (dse_options.journal_path.empty()) {
@@ -581,7 +590,7 @@ explore::ParetoArchive MetaDseFramework::run_dse(
       .resume = dse_options.resume,
       .snapshot_period = dse_options.snapshot_period};
   return explorer.explore(*space_, guard.as_batch_evaluator(), jopts,
-                          &run_report_);
+                          &report);
 }
 
 }  // namespace metadse::core

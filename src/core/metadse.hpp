@@ -149,6 +149,12 @@ class MetaDseFramework {
     /// drills and slow-simulator rehearsal; throwing from it interrupts the
     /// run exactly as a crash would — the journal keeps what finished.
     std::function<void()> pre_eval_hook;
+    /// Session-wide deadline budget, shared with the serving layer. When
+    /// set, every evaluation attempt and retry backoff charges it, and an
+    /// exhausted or cancelled budget aborts the run with
+    /// explore::ExplorationAborted (the journal preserves progress; resume
+    /// with a fresh budget to finish).
+    std::shared_ptr<explore::DeadlineBudget> budget = {};
   };
 
   /// Runs the few-shot DSE loop with fault containment: surrogate IPC (one
@@ -161,6 +167,18 @@ class MetaDseFramework {
                                  const data::Dataset& support,
                                  const std::string& workload,
                                  const DseOptions& dse_options);
+
+  /// Re-entrant form of run_dse for concurrent sessions (the serving core):
+  /// the caller supplies the simulator generator (arm a per-session fault
+  /// plan on it if wanted) and the report sink, so nothing on the framework
+  /// mutates. Safe to call from several threads at once on one framework as
+  /// long as each call gets its own generator and report.
+  explore::ParetoArchive run_dse(const AdaptedPredictor& predictor,
+                                 const data::Dataset& support,
+                                 const std::string& workload,
+                                 const DseOptions& dse_options,
+                                 data::DatasetGenerator& generator,
+                                 explore::RunReport& report) const;
 
   /// Accounting for the most recent run_dse() call.
   const explore::RunReport& run_report() const { return run_report_; }

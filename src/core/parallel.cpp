@@ -172,6 +172,12 @@ size_t threads() {
 
 bool in_parallel_region() { return tls_in_region; }
 
+SerialRegionGuard::SerialRegionGuard() : prev_(tls_in_region) {
+  tls_in_region = true;
+}
+
+SerialRegionGuard::~SerialRegionGuard() { tls_in_region = prev_; }
+
 void parallel_for_blocks(size_t n, size_t grain,
                          const std::function<void(size_t, size_t)>& body) {
   if (n == 0) return;

@@ -42,6 +42,24 @@ size_t threads();
 /// regions run inline).
 bool in_parallel_region();
 
+/// RAII guard that marks the current thread as already inside a parallel
+/// region, forcing every parallel primitive it calls to run inline (serial).
+/// The global pool has a single in-flight batch slot, so concurrent
+/// *top-level* regions from independent threads are unsafe; a server worker
+/// executing sessions concurrently holds one of these so its per-session
+/// compute is serial and the concurrency lives across sessions instead.
+/// Restores the previous thread-local state on destruction (nestable).
+class SerialRegionGuard {
+ public:
+  SerialRegionGuard();
+  ~SerialRegionGuard();
+  SerialRegionGuard(const SerialRegionGuard&) = delete;
+  SerialRegionGuard& operator=(const SerialRegionGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 /// Runs @p body(lo, hi) over a partition of [0, n) into contiguous blocks
 /// of at least @p grain indices, at most one block per thread. Blocks run
 /// concurrently on the pool plus the calling thread; the call returns after

@@ -210,10 +210,7 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
   };
 
   // Writes an atomic archive snapshot at the current generation boundary.
-  auto maybe_snapshot = [&] {
-    if (!session || session->gen % session->options.snapshot_period != 0) {
-      return;
-    }
+  auto snapshot_now = [&] {
     RunJournal::Snapshot snap;
     snap.records_consumed = session->records_done();
     snap.it = session->it;
@@ -227,6 +224,31 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
     session->journal.write_snapshot(snap);
     ++rep->snapshots;
   };
+  auto maybe_snapshot = [&] {
+    if (!session || session->gen % session->options.snapshot_period != 0) {
+      return;
+    }
+    snapshot_now();
+  };
+
+  // Cooperative stop, polled at generation boundaries only: everything
+  // evaluated so far is already durable (flush appends before insertion),
+  // and a final snapshot makes the resume fast-forward instead of replay.
+  // Snapshots are legal only after seeding (the restore path assumes it
+  // lands in the mutation loop), so a mid-seeding stop syncs the journal
+  // and leaves resume to the full-replay path.
+  auto check_stop = [&](bool can_snapshot) {
+    if (!options_.stop_check || !options_.stop_check()) return;
+    if (session) {
+      if (can_snapshot) snapshot_now();
+      session->journal.sync();
+    }
+    throw StopRequested(
+        "exploration stopped cooperatively at a generation boundary" +
+        std::string(session ? "; journal and snapshot flushed, resume to "
+                              "finish the run"
+                            : " (unjournaled: progress lost)"));
+  };
 
   if (!skip_seeding) {
     // LHS seeding: sampling happens before any evaluation, so chunking the
@@ -234,9 +256,13 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
     for (auto& c :
          space.sample_latin_hypercube(options_.initial_samples, rng)) {
       pending.push_back(std::move(c));
-      if (pending.size() >= G) flush(pending);
+      if (pending.size() >= G) {
+        flush(pending);
+        check_stop(/*can_snapshot=*/false);
+      }
     }
     flush(pending);
+    check_stop(/*can_snapshot=*/false);
   }
 
   // Generational mutation: each generation samples up to G children from the
@@ -271,6 +297,7 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
     it += gen;
     if (session) session->it = it;
     maybe_snapshot();
+    check_stop(/*can_snapshot=*/true);
   }
   if (session) session->journal.sync();
   return archive;

@@ -5,12 +5,24 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 
 #include "explore/pareto.hpp"
 #include "tensor/rng.hpp"
 
 namespace metadse::explore {
+
+/// A cooperative stop (SIGTERM handler, server shutdown) interrupted the
+/// run at a generation boundary. For a journaled run the journal is synced
+/// and a snapshot is written *before* this is thrown, so resuming finishes
+/// the run bitwise-identically; an unjournaled run simply loses its
+/// progress, exactly like a crash.
+class StopRequested : public std::runtime_error {
+ public:
+  explicit StopRequested(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// Evaluates one configuration's objectives.
 using Evaluator = std::function<Objective(const arch::Config&)>;
@@ -35,6 +47,11 @@ struct ExplorerOptions {
   /// one batch, and inserted in order. 1 reproduces the fully-sequential
   /// schedule exactly.
   size_t eval_batch = 1;
+  /// Cooperative stop probe, polled once per generation. When it returns
+  /// true the run flushes its journal + snapshot (if journaled) and throws
+  /// StopRequested. Not part of the journal identity — a resumed run may
+  /// install a different probe.
+  std::function<bool()> stop_check = {};
 };
 
 /// Durability knobs for a journaled explore() run (see explore/journal.hpp

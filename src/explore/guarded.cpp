@@ -42,6 +42,13 @@ GuardedEvaluator::GuardedEvaluator(AttemptEvaluator primary,
     throw std::invalid_argument(
         "GuardedEvaluator: breaker_threshold must be >= 1");
   }
+  if (options_.start_level == DegradeLevel::kBaseline && !baseline_) {
+    throw std::invalid_argument(
+        "GuardedEvaluator: start_level kBaseline requires a baseline "
+        "evaluator");
+  }
+  level_ = options_.start_level;
+  report_->final_level = level_;
 }
 
 void GuardedEvaluator::set_batch_primary(BatchEvaluator batch_primary) {
@@ -52,6 +59,28 @@ void GuardedEvaluator::set_backoff_hook(std::function<void(size_t)> hook) {
   backoff_hook_ = std::move(hook);
 }
 
+void GuardedEvaluator::set_session_budget(
+    std::shared_ptr<DeadlineBudget> budget) {
+  budget_ = std::move(budget);
+}
+
+void GuardedEvaluator::check_session_budget() const {
+  if (!budget_) return;
+  if (budget_->cancelled()) {
+    report_->budget_exhausted = true;
+    throw ExplorationAborted(
+        "exploration aborted: session cancelled (watchdog or shutdown); "
+        "journal preserves progress");
+  }
+  if (budget_->exhausted()) {
+    report_->budget_exhausted = true;
+    throw ExplorationAborted(
+        "exploration aborted: session deadline budget exhausted after " +
+        std::to_string(budget_->consumed_ms()) +
+        " ms; journal preserves progress");
+  }
+}
+
 bool GuardedEvaluator::in_band(const Objective& o) const {
   return o.ipc >= options_.ipc_min && o.ipc <= options_.ipc_max &&
          o.power >= options_.power_min && o.power <= options_.power_max;
@@ -59,8 +88,18 @@ bool GuardedEvaluator::in_band(const Objective& o) const {
 
 std::optional<Objective> GuardedEvaluator::attempt_once(
     const std::function<Objective()>& fn, size_t n_points) {
+  check_session_budget();
   const auto start = std::chrono::steady_clock::now();
   const size_t budget_ms = options_.deadline_ms * n_points;
+  struct ChargeOnExit {
+    // Whatever the attempt did — returned, threw, blew its deadline — its
+    // wall-clock cost is charged to the session budget exactly once.
+    std::chrono::steady_clock::time_point start;
+    DeadlineBudget* budget;
+    ~ChargeOnExit() {
+      if (budget != nullptr) budget->charge(elapsed_ms(start));
+    }
+  } charge{start, budget_.get()};
   Objective o;
   try {
     o = fn();
@@ -81,8 +120,11 @@ std::optional<Objective> GuardedEvaluator::attempt_once(
   if (options_.deadline_ms > 0 && elapsed_ms(start) > budget_ms) {
     // Detection, not preemption: the call already returned, but a result
     // that blew its wall-clock budget is treated as a timeout and dropped.
+    // The overrun also arms the cooperative batch-abort (deadline_blown_),
+    // so the rest of the current batch can skip its doomed attempts.
     ++report_->deadline_overruns;
     ++report_->timeouts;
+    deadline_blown_ = true;
     return std::nullopt;
   }
   if (!std::isfinite(o.ipc) || !std::isfinite(o.power)) {
@@ -121,6 +163,19 @@ void GuardedEvaluator::point_failed(const arch::Config& config) {
   report_->final_level = level_;
 }
 
+Objective GuardedEvaluator::fall_through_ladder(const arch::Config& config) {
+  if (options_.policy == DegradePolicy::kLadder && baseline_) {
+    const auto o =
+        attempt_once([&] { return baseline_(config); }, /*n_points=*/1);
+    if (o) {
+      ++report_->baseline_evals;
+      return *o;
+    }
+  }
+  report_->quarantined.push_back(config);
+  return kQuarantinedObjective;
+}
+
 Objective GuardedEvaluator::evaluate_point(const arch::Config& config) {
   if (level_ == DegradeLevel::kQuarantine) {
     report_->quarantined.push_back(config);
@@ -130,10 +185,14 @@ Objective GuardedEvaluator::evaluate_point(const arch::Config& config) {
   if (level_ == DegradeLevel::kSurrogate) {
     for (size_t attempt = 0; attempt <= options_.max_retries; ++attempt) {
       if (attempt > 0) {
+        // A blown per-call deadline means further attempts are doomed to
+        // the same overrun — abandon the retry ladder for this point too.
+        if (options_.cancel_batch_on_deadline && deadline_blown_) break;
         const size_t backoff = std::min(
             options_.backoff_cap_ms, options_.backoff_base_ms << (attempt - 1));
         ++report_->retries;
         report_->backoff_ms += backoff;
+        if (budget_) budget_->charge(backoff);
         if (backoff_hook_) backoff_hook_(backoff);
       }
       const auto o = attempt_once(
@@ -147,16 +206,7 @@ Objective GuardedEvaluator::evaluate_point(const arch::Config& config) {
     // Primary exhausted its budget for this point: charge the breaker, then
     // fall through the ladder for the point itself.
     point_failed(config);
-    if (options_.policy == DegradePolicy::kLadder && baseline_) {
-      const auto o =
-          attempt_once([&] { return baseline_(config); }, /*n_points=*/1);
-      if (o) {
-        ++report_->baseline_evals;
-        return *o;
-      }
-    }
-    report_->quarantined.push_back(config);
-    return kQuarantinedObjective;
+    return fall_through_ladder(config);
   }
 
   // DegradeLevel::kBaseline: the surrogate rung is gone; the baseline is an
@@ -177,6 +227,8 @@ std::vector<Objective> GuardedEvaluator::evaluate(
     const std::vector<arch::Config>& batch) {
   std::vector<Objective> out(batch.size(), kQuarantinedObjective);
   std::vector<size_t> pending;  // indices still unanswered
+  deadline_blown_ = false;      // the batch-abort flag is per-batch
+  check_session_budget();
 
   if (batch_primary_ && level_ == DegradeLevel::kSurrogate &&
       batch.size() > 1) {
@@ -185,8 +237,8 @@ std::vector<Objective> GuardedEvaluator::evaluate(
     // scalar path from attempt 1.
     bool call_ok = false;
     std::vector<Objective> first;
+    const auto start = std::chrono::steady_clock::now();
     try {
-      const auto start = std::chrono::steady_clock::now();
       first = batch_primary_(batch);
       if (first.size() != batch.size()) {
         throw sim::SimulationFailure(
@@ -198,6 +250,7 @@ std::vector<Objective> GuardedEvaluator::evaluate(
           elapsed_ms(start) > options_.deadline_ms * batch.size()) {
         ++report_->deadline_overruns;
         ++report_->timeouts;
+        deadline_blown_ = true;
       } else {
         call_ok = true;
       }
@@ -210,6 +263,7 @@ std::vector<Objective> GuardedEvaluator::evaluate(
     } catch (const std::exception&) {
       ++report_->failures;
     }
+    if (budget_) budget_->charge(elapsed_ms(start));
     for (size_t i = 0; i < batch.size(); ++i) {
       if (call_ok) {
         const Objective& o = first[i];
@@ -232,7 +286,19 @@ std::vector<Objective> GuardedEvaluator::evaluate(
     for (size_t i = 0; i < batch.size(); ++i) pending[i] = i;
   }
 
-  for (size_t i : pending) out[i] = evaluate_point(batch[i]);
+  for (size_t i : pending) {
+    if (options_.cancel_batch_on_deadline && deadline_blown_ &&
+        level_ == DegradeLevel::kSurrogate) {
+      // Cooperative batch-abort: a blown per-call deadline already told us
+      // the primary is too slow for this batch — skip the remaining primary
+      // attempts instead of letting each point run to its own overrun. The
+      // skipped points still get the cheap rungs below.
+      ++report_->cancelled;
+      out[i] = fall_through_ladder(batch[i]);
+      continue;
+    }
+    out[i] = evaluate_point(batch[i]);
+  }
   return out;
 }
 

@@ -7,13 +7,60 @@
 // of taking the whole run down. Every event is accounted for in a RunReport.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "explore/explorer.hpp"
 #include "explore/run_report.hpp"
 
 namespace metadse::explore {
+
+/// A session's total wall-clock allowance, shared between the serving layer
+/// and the evaluators running on its behalf. The budget is *charged*, not
+/// polled: queue wait, evaluation attempts, and retry backoffs each consume
+/// an explicit number of milliseconds, so the remaining allowance shrinks as
+/// a session's requests retry — and tests can drain it deterministically
+/// without real clocks. A watchdog (or shutdown path) can also cancel() it
+/// outright; both exhaustion and cancellation make evaluators abort
+/// cooperatively at their next check. Thread-safe: charge/cancel may come
+/// from a different thread than the evaluator loop.
+class DeadlineBudget {
+ public:
+  /// @p total_ms == 0 means unlimited (the budget can still be cancelled).
+  explicit DeadlineBudget(size_t total_ms) : total_ms_(total_ms) {}
+
+  /// Consumes @p ms of the allowance (saturating).
+  void charge(size_t ms) {
+    consumed_ms_.fetch_add(ms, std::memory_order_relaxed);
+  }
+  /// Milliseconds left; SIZE_MAX when unlimited, 0 when exhausted/cancelled.
+  size_t remaining_ms() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return 0;
+    if (total_ms_ == 0) return SIZE_MAX;
+    const size_t used = consumed_ms_.load(std::memory_order_relaxed);
+    return used >= total_ms_ ? 0 : total_ms_ - used;
+  }
+  bool exhausted() const { return remaining_ms() == 0; }
+
+  /// Cooperative kill switch (watchdog breaker, shutdown): evaluators abort
+  /// at the next budget check.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  size_t total_ms() const { return total_ms_; }
+  size_t consumed_ms() const {
+    return consumed_ms_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  size_t total_ms_;
+  std::atomic<size_t> consumed_ms_{0};
+  std::atomic<bool> cancelled_{false};
+};
 
 /// Per-point evaluator that also sees the attempt index (0-based), so a
 /// retry is a *different* draw for fault-injected substrates (mirrors
@@ -60,6 +107,16 @@ struct GuardOptions {
   double ipc_max = 128.0;
   double power_min = 0.0;
   double power_max = 1e5;
+  /// Rung the evaluator starts on. A load-shedding server forces kBaseline
+  /// so an overloaded session pays the cheap forest instead of the
+  /// transformer; kBaseline requires a baseline evaluator at construction.
+  DegradeLevel start_level = DegradeLevel::kSurrogate;
+  /// When a per-call deadline overrun is observed mid-batch, stop issuing
+  /// primary attempts for the remainder of that batch (each remaining point
+  /// falls straight down the ladder and is counted in RunReport::cancelled)
+  /// instead of letting every point run to its own timeout. Never triggers
+  /// with deadline_ms == 0.
+  bool cancel_batch_on_deadline = true;
 };
 
 /// Decorator over the exploration evaluators. Called serially from the
@@ -84,6 +141,14 @@ class GuardedEvaluator {
   /// Defaults to no-op so tests never sleep; production installs a sleep.
   void set_backoff_hook(std::function<void(size_t)> hook);
 
+  /// Attaches a session-wide deadline budget. Every attempt charges its
+  /// measured wall-clock cost and every computed backoff charges its full
+  /// wait (whether or not the hook really sleeps), so the session's
+  /// remaining allowance shrinks as its requests retry. An exhausted or
+  /// cancelled budget makes the next evaluation throw ExplorationAborted —
+  /// the journal, if any, preserves everything evaluated so far.
+  void set_session_budget(std::shared_ptr<DeadlineBudget> budget);
+
   /// Evaluates one batch under the guard. Always returns batch.size()
   /// objectives; a quarantined point yields {NaN, NaN}, which
   /// ParetoArchive::insert rejects (and the journal records as skipped).
@@ -103,9 +168,14 @@ class GuardedEvaluator {
       const std::function<Objective()>& fn, size_t n_points);
   /// Full retry ladder for one point at the current level.
   Objective evaluate_point(const arch::Config& config);
+  /// The ladder below the primary: baseline rung when available, quarantine
+  /// otherwise. Used both after exhausted retries and for cancelled points.
+  Objective fall_through_ladder(const arch::Config& config);
   /// Records a point-level failure and advances the breaker/ladder.
   void point_failed(const arch::Config& config);
   bool in_band(const Objective& o) const;
+  /// Throws ExplorationAborted when the session budget is gone.
+  void check_session_budget() const;
 
   AttemptEvaluator primary_;
   BatchEvaluator batch_primary_;
@@ -113,8 +183,13 @@ class GuardedEvaluator {
   GuardOptions options_;
   RunReport* report_;
   std::function<void(size_t)> backoff_hook_;
+  std::shared_ptr<DeadlineBudget> budget_;
   DegradeLevel level_ = DegradeLevel::kSurrogate;
   size_t consecutive_failures_ = 0;
+  /// Set by attempt_once when a per-call deadline overrun is observed;
+  /// cleared at the start of every evaluate() batch. Drives the cooperative
+  /// batch-abort above.
+  bool deadline_blown_ = false;
 };
 
 }  // namespace metadse::explore

@@ -44,6 +44,13 @@ struct RunReport {
   size_t backoff_ms = 0;    ///< total backoff the retry policy charged
   size_t breaker_trips = 0; ///< times the circuit breaker opened
   size_t baseline_evals = 0; ///< points answered by the baseline rung
+  /// Points whose primary attempts were skipped by the cooperative
+  /// batch-abort after a blown per-call deadline (each still walked the
+  /// cheap rungs of the ladder).
+  size_t cancelled = 0;
+  /// The run aborted because its session deadline budget was exhausted or
+  /// cancelled (watchdog / shutdown); the journal preserves progress.
+  bool budget_exhausted = false;
   /// Points that exhausted every rung and were skipped.
   std::vector<arch::Config> quarantined;
   /// Where the degradation ladder ended when the run finished.
@@ -76,9 +83,11 @@ struct RunReport {
     if (nonfinite > 0) os << ", " << nonfinite << " non-finite rejected";
     if (out_of_band > 0) os << ", " << out_of_band << " out-of-band rejected";
     if (breaker_trips > 0) os << ", " << breaker_trips << " breaker trips";
+    if (cancelled > 0) os << ", " << cancelled << " cancelled";
     if (baseline_evals > 0) {
       os << ", " << baseline_evals << " baseline evaluations";
     }
+    if (budget_exhausted) os << ", session budget exhausted";
     if (dropped() > 0) os << ", " << dropped() << " quarantined";
     if (snapshots > 0) os << ", " << snapshots << " snapshots";
     if (resumed) {

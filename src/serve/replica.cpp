@@ -1,0 +1,72 @@
+#include "serve/replica.hpp"
+
+#include <stdexcept>
+
+namespace metadse::serve {
+
+ReplicaPool::ReplicaPool(size_t n) : slots_(n) {
+  if (n == 0) {
+    throw std::invalid_argument("ReplicaPool: need at least one replica");
+  }
+}
+
+std::optional<ReplicaPool::Lease> ReplicaPool::acquire(
+    const std::function<bool()>& abort) {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    // Round-robin sweep: first free healthy slot at or after the cursor.
+    for (size_t k = 0; k < slots_.size(); ++k) {
+      const size_t i = (rr_ + k) % slots_.size();
+      Slot& s = slots_[i];
+      if (!s.busy && s.healthy) {
+        s.busy = true;
+        s.busy_since = std::chrono::steady_clock::now();
+        rr_ = (i + 1) % slots_.size();
+        return Lease(this, i);
+      }
+    }
+    if (abort && abort()) return std::nullopt;
+    // Timed wait so the abort probe is polled even if no release ever
+    // arrives (e.g. the whole pool is wedged during shutdown).
+    free_cv_.wait_for(lk, std::chrono::milliseconds(10));
+  }
+}
+
+void ReplicaPool::release(size_t id) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    Slot& s = slots_[id];
+    s.busy = false;
+    s.healthy = true;
+  }
+  free_cv_.notify_one();
+}
+
+bool ReplicaPool::mark_unhealthy(size_t id) {
+  std::lock_guard<std::mutex> lk(m_);
+  if (id >= slots_.size() || !slots_[id].healthy) return false;
+  slots_[id].healthy = false;
+  return true;
+}
+
+bool ReplicaPool::healthy(size_t id) const {
+  std::lock_guard<std::mutex> lk(m_);
+  return id < slots_.size() && slots_[id].healthy;
+}
+
+std::vector<ReplicaPool::BusyInfo> ReplicaPool::busy_slots() const {
+  std::lock_guard<std::mutex> lk(m_);
+  const auto now = std::chrono::steady_clock::now();
+  std::vector<BusyInfo> out;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& s = slots_[i];
+    if (!s.busy || !s.healthy) continue;
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now - s.busy_since)
+                        .count();
+    out.push_back({i, static_cast<size_t>(ms)});
+  }
+  return out;
+}
+
+}  // namespace metadse::serve

@@ -1,0 +1,86 @@
+// Replicated-instance pool: N predictor slots, each leased to at most one
+// session at a time. Dispatch is round-robin with a try-acquire sweep (the
+// cuBERT BertM pattern): start at the slot after the last one handed out,
+// take the first free healthy slot, and only block when every healthy slot
+// is busy. A watchdog can mark a slot unhealthy (wedged); unhealthy slots
+// are skipped by the sweep and rejoin the rotation when their current lease
+// is released.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace metadse::serve {
+
+class ReplicaPool {
+ public:
+  explicit ReplicaPool(size_t n);
+
+  ReplicaPool(const ReplicaPool&) = delete;
+  ReplicaPool& operator=(const ReplicaPool&) = delete;
+
+  /// Exclusive hold on one replica slot; releasing re-marks the slot
+  /// healthy (a wedged replica that finally finished its session is
+  /// presumed usable again) and wakes one waiter.
+  class Lease {
+   public:
+    Lease(Lease&& other) noexcept : pool_(other.pool_), id_(other.id_) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(id_);
+    }
+    size_t id() const { return id_; }
+
+   private:
+    friend class ReplicaPool;
+    Lease(ReplicaPool* pool, size_t id) : pool_(pool), id_(id) {}
+    ReplicaPool* pool_;
+    size_t id_;
+  };
+
+  /// Leases a free healthy slot, blocking while none is available. Polls
+  /// @p abort (when set) while waiting and returns nullopt once it reports
+  /// true — the shutdown path out of a fully-wedged pool.
+  std::optional<Lease> acquire(const std::function<bool()>& abort = {});
+
+  /// Excludes @p id from dispatch until its current lease is released.
+  /// Returns true when this call made the transition (already-unhealthy
+  /// slots return false, so the caller can count trips exactly once).
+  bool mark_unhealthy(size_t id);
+
+  bool healthy(size_t id) const;
+  size_t size() const { return slots_.size(); }
+
+  /// How long each currently-busy healthy slot has held its lease —
+  /// the watchdog's wedge probe.
+  struct BusyInfo {
+    size_t replica;
+    size_t busy_ms;
+  };
+  std::vector<BusyInfo> busy_slots() const;
+
+ private:
+  struct Slot {
+    bool busy = false;
+    bool healthy = true;
+    std::chrono::steady_clock::time_point busy_since{};
+  };
+
+  void release(size_t id);
+
+  mutable std::mutex m_;
+  std::condition_variable free_cv_;
+  std::vector<Slot> slots_;
+  size_t rr_ = 0;  ///< slot after the last one leased (round-robin start)
+};
+
+}  // namespace metadse::serve

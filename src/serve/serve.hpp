@@ -1,0 +1,149 @@
+// Shared vocabulary of the serving subsystem: what a session request looks
+// like, every terminal status a session can reach, the server's tuning knobs
+// (admission policy, degradation thresholds, watchdog), and the executor
+// contract that binds the generic ServerCore to an actual session engine
+// (the MetaDSE DSE loop in production, a synthetic sleeper in the bench).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "explore/guarded.hpp"
+#include "explore/run_report.hpp"
+
+namespace metadse::serve {
+
+/// What the admission queue does when a request arrives and it is full.
+enum class AdmissionPolicy {
+  kBlock,      ///< the submitter waits for space (closed-loop clients)
+  kReject,     ///< fail fast with kRejected + a retry-after hint
+  kShedOldest, ///< evict the oldest queued session (kShed) to admit the new
+};
+
+inline const char* to_string(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kBlock: return "block";
+    case AdmissionPolicy::kReject: return "reject";
+    case AdmissionPolicy::kShedOldest: return "shed";
+  }
+  return "?";
+}
+
+/// Server tuning knobs. Defaults suit tests; the CLI and bench override.
+struct ServeOptions {
+  size_t replicas = 1;        ///< predictor instances (>= 1)
+  size_t workers = 2;         ///< session worker threads (>= 1)
+  size_t queue_capacity = 64; ///< bounded admission queue (>= 1)
+  AdmissionPolicy admission = AdmissionPolicy::kReject;
+  /// Queue fill fraction (depth/capacity, sampled at dequeue) at or above
+  /// which a session is forced to start on the baseline rung of the
+  /// degradation ladder — overload pays the cheap forest, not the
+  /// transformer. > 1.0 disables load-aware degradation.
+  double degrade_at = 0.75;
+  /// Per-session wall-clock allowance in ms (queue wait + evaluation +
+  /// retry backoff all charge it); 0 = unlimited.
+  size_t session_deadline_ms = 0;
+  /// Retry-after hint attached to kRejected results.
+  size_t retry_after_ms = 50;
+  /// Watchdog scan period; 0 disables the watchdog thread.
+  size_t watchdog_period_ms = 100;
+  /// A replica continuously busy longer than this is declared wedged: it is
+  /// excluded from dispatch and its session's budget is cancelled
+  /// (cooperative — the session aborts at its next budget check). 0
+  /// disables wedge detection.
+  size_t wedged_after_ms = 0;
+};
+
+/// One session submitted to the server.
+struct SessionRequest {
+  uint64_t id = 0;            ///< caller-assigned, unique per session
+  std::string workload = {};  ///< target workload name
+  uint64_t seed = 0;          ///< explorer seed for this session
+  std::string journal_path = {};  ///< per-session WAL; empty = unjournaled
+  bool resume = false;        ///< replay an existing journal
+};
+
+/// Terminal status of one session.
+enum class SessionStatus {
+  kOk,        ///< ran to completion (possibly degraded)
+  kRejected,  ///< refused at admission (queue full, policy kReject)
+  kShed,      ///< evicted from the queue (policy kShedOldest)
+  kDeadline,  ///< session budget exhausted or cancelled before completion
+  kStopped,   ///< server shutdown interrupted it (journal flushed if any)
+  kFailed,    ///< executor error
+};
+
+inline const char* to_string(SessionStatus s) {
+  switch (s) {
+    case SessionStatus::kOk: return "ok";
+    case SessionStatus::kRejected: return "rejected";
+    case SessionStatus::kShed: return "shed";
+    case SessionStatus::kDeadline: return "deadline";
+    case SessionStatus::kStopped: return "stopped";
+    case SessionStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+/// What the submitter's future resolves to.
+struct SessionResult {
+  uint64_t id = 0;
+  SessionStatus status = SessionStatus::kFailed;
+  /// The session was served below full quality: forced to the baseline
+  /// rung at dispatch, or its run degraded/cancelled points en route.
+  bool degraded = false;
+  size_t queued_ms = 0;   ///< admission-queue wait
+  size_t service_ms = 0;  ///< executor wall-clock
+  size_t total_ms = 0;    ///< queued + service
+  size_t retry_after_ms = 0;  ///< advisory backoff (kRejected only)
+  std::string detail;         ///< run summary or error text
+};
+
+/// Monotonic accounting over a server's lifetime. Every submitted session
+/// lands in exactly one terminal bucket:
+///   submitted == ok + rejected + shed + deadline + stopped + failed
+/// once all futures have resolved.
+struct ServerStats {
+  size_t submitted = 0;
+  size_t ok = 0;
+  size_t rejected = 0;
+  size_t shed = 0;
+  size_t deadline = 0;
+  size_t stopped = 0;
+  size_t failed = 0;
+  size_t degraded = 0;          ///< kOk sessions served degraded
+  size_t queue_high_water = 0;  ///< max queue depth observed
+  size_t watchdog_trips = 0;    ///< replicas declared wedged
+};
+
+/// Per-dispatch context handed to the session executor.
+struct ExecContext {
+  size_t replica = 0;  ///< replica slot the session leased
+  /// Session budget (never null): pre-charged with the queue wait, cancelled
+  /// by the watchdog/shutdown. Pass it into the evaluators.
+  std::shared_ptr<explore::DeadlineBudget> budget;
+  /// True once the server wants the session to stop at the next safe point
+  /// (wire it to ExplorerOptions::stop_check).
+  std::function<bool()> stop_requested;
+  /// Rung the session must start on (kBaseline under load shedding).
+  explore::DegradeLevel start_level = explore::DegradeLevel::kSurrogate;
+};
+
+/// What a completed execution reports back (errors are thrown instead:
+/// StopRequested -> kStopped, ExplorationAborted -> kDeadline/kFailed,
+/// anything else -> kFailed).
+struct ExecResult {
+  bool degraded = false;
+  std::string detail;
+};
+
+/// The session engine: runs one session to completion on the leased replica.
+/// Called with the worker thread already inside a SerialRegionGuard, so all
+/// nested parallelism runs inline — concurrency lives across sessions.
+using SessionExecutor =
+    std::function<ExecResult(const SessionRequest&, const ExecContext&)>;
+
+}  // namespace metadse::serve

@@ -1,0 +1,101 @@
+#include "serve/session.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "nn/serialize.hpp"
+
+namespace metadse::serve {
+
+MetaDseSessionEngine::MetaDseSessionEngine(
+    const core::MetaDseFramework& framework, size_t replicas, Options options)
+    : framework_(framework), options_(std::move(options)) {
+  if (replicas == 0) {
+    throw std::invalid_argument(
+        "MetaDseSessionEngine: need at least one replica");
+  }
+  generators_.reserve(replicas);
+  for (size_t r = 0; r < replicas; ++r) {
+    generators_.emplace_back(framework_.space());
+  }
+}
+
+void MetaDseSessionEngine::add_workload(const std::string& name,
+                                        const data::Dataset& support) {
+  WorkloadEntry entry;
+  entry.support = &support;
+  entry.predictors.reserve(generators_.size());
+  for (size_t r = 0; r < generators_.size(); ++r) {
+    // adapt_to is const and deterministic: every replica gets a
+    // bitwise-identical clone of the adapted model.
+    entry.predictors.push_back(framework_.adapt_to(support));
+  }
+  workloads_[name] = std::move(entry);
+}
+
+SessionExecutor MetaDseSessionEngine::executor() {
+  return [this](const SessionRequest& request, const ExecContext& ctx) {
+    return run_session(request, ctx);
+  };
+}
+
+std::string MetaDseSessionEngine::front_path(uint64_t session_id) const {
+  if (options_.front_dir.empty()) {
+    throw std::logic_error("MetaDseSessionEngine: front_dir not configured");
+  }
+  return options_.front_dir + "/front_" + std::to_string(session_id) + ".txt";
+}
+
+std::string MetaDseSessionEngine::format_front(
+    const arch::DesignSpace& space, const explore::ParetoArchive& archive) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  for (const auto& e : archive.entries()) {
+    os << space.encode(e.config) << ' ' << e.objective.ipc << ' '
+       << e.objective.power << '\n';
+  }
+  return os.str();
+}
+
+ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
+                                             const ExecContext& ctx) {
+  const auto it = workloads_.find(request.workload);
+  if (it == workloads_.end()) {
+    throw std::runtime_error("serve: workload \"" + request.workload +
+                             "\" is not registered with the session engine");
+  }
+  if (ctx.replica >= generators_.size()) {
+    throw std::logic_error("serve: replica id " +
+                           std::to_string(ctx.replica) +
+                           " out of range (engine has " +
+                           std::to_string(generators_.size()) + ")");
+  }
+
+  core::MetaDseFramework::DseOptions dse = options_.dse;
+  dse.journal_path = request.journal_path;
+  dse.resume = request.resume;
+  dse.budget = ctx.budget;
+  dse.guard.start_level = ctx.start_level;
+  dse.explorer.seed = request.seed;
+  dse.explorer.stop_check = ctx.stop_requested;
+
+  explore::RunReport report;
+  const explore::ParetoArchive archive = framework_.run_dse(
+      it->second.predictors[ctx.replica], *it->second.support,
+      request.workload, dse, generators_[ctx.replica], report);
+
+  // Publication is the session's commit point: the front appears atomically
+  // and only after the full run (an interrupted session leaves no front, so
+  // a resume pass can find and finish it).
+  if (!options_.front_dir.empty()) {
+    nn::atomic_write_file(front_path(request.id),
+                          format_front(framework_.space(), archive));
+  }
+
+  ExecResult out;
+  out.degraded = report.degraded() || report.cancelled > 0;
+  out.detail = report.summary();
+  return out;
+}
+
+}  // namespace metadse::serve

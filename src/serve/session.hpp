@@ -1,0 +1,69 @@
+// MetaDseSessionEngine: binds ServerCore's generic SessionExecutor contract
+// to the real pipeline. Each registered workload is adapted once per replica
+// (adapt_to is deterministic, so the replicas are identical clones — the
+// replicated-instance pattern), each replica gets its own DatasetGenerator,
+// and each session runs the journaled guarded DSE loop through the
+// framework's re-entrant run_dse overload. A finished session publishes its
+// Pareto front atomically to "<front_dir>/front_<id>.txt" (hexfloat, so a
+// resumed run's bitwise-identical archive produces a byte-identical file).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metadse.hpp"
+#include "serve/serve.hpp"
+
+namespace metadse::serve {
+
+class MetaDseSessionEngine {
+ public:
+  struct Options {
+    /// Template for every session's DSE run: explorer budgets, guard knobs,
+    /// baseline_fallback. Per-session fields (journal_path, resume, budget,
+    /// seed, start_level, stop_check) are overwritten at dispatch.
+    core::MetaDseFramework::DseOptions dse;
+    /// Directory for published fronts; empty disables publication.
+    std::string front_dir;
+  };
+
+  /// @p framework must outlive the engine and be pretrained (or loaded).
+  MetaDseSessionEngine(const core::MetaDseFramework& framework,
+                       size_t replicas, Options options);
+
+  /// Adapts @p support for every replica and registers the workload. Not
+  /// thread-safe; call before serving starts.
+  void add_workload(const std::string& name, const data::Dataset& support);
+
+  /// The bound executor (captures `this`; the engine must outlive the
+  /// ServerCore using it).
+  SessionExecutor executor();
+
+  /// Where a session's front is published (front_dir must be non-empty).
+  std::string front_path(uint64_t session_id) const;
+
+  /// Serializes an archive in the published-front format (one
+  /// "config_id ipc power" hexfloat line per entry, insertion order).
+  static std::string format_front(const arch::DesignSpace& space,
+                                  const explore::ParetoArchive& archive);
+
+ private:
+  struct WorkloadEntry {
+    const data::Dataset* support;
+    /// One adapted predictor per replica, all bitwise-identical.
+    std::vector<core::AdaptedPredictor> predictors;
+  };
+
+  ExecResult run_session(const SessionRequest& request,
+                         const ExecContext& ctx);
+
+  const core::MetaDseFramework& framework_;
+  Options options_;
+  std::map<std::string, WorkloadEntry> workloads_;
+  /// One simulator generator per replica: a replica serves one session at a
+  /// time, so its generator is never used concurrently.
+  std::vector<data::DatasetGenerator> generators_;
+};
+
+}  // namespace metadse::serve

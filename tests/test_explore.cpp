@@ -3,8 +3,13 @@
 // GuardedEvaluator's containment ladder (retries, breaker, degradation).
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "data/dataset.hpp"
 #include "explore/explorer.hpp"
@@ -375,4 +380,148 @@ TEST(GuardedEvaluator, BatchPrimarySizeMismatchIsContained) {
   EXPECT_EQ(rig.report.failures, 1U);
   EXPECT_EQ(rig.report.evaluated, 2U);
   EXPECT_DOUBLE_EQ(out[1].ipc, 2.0);
+}
+
+TEST(GuardedEvaluator, BlownDeadlineCancelsRestOfBatch) {
+  // Satellite of the serving PR: once one point blows its per-call deadline,
+  // the rest of the batch must not each run to their own overrun — they fall
+  // straight down the ladder. The event log pins the exact sequence: the
+  // primary is consulted exactly once (the slow point), its retry ladder is
+  // abandoned, and every remaining point goes to the baseline in order.
+  std::vector<std::string> events;
+  GuardRig rig(
+      [&events](const arch::Config& c, size_t) {
+        events.push_back("primary:" + std::to_string(c[0]));
+        if (c[0] == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(80));
+        }
+        return ex::Objective{1.0, 10.0};
+      },
+      ex::GuardOptions{.deadline_ms = 20, .max_retries = 2,
+                       .breaker_threshold = 100},
+      [&events](const arch::Config& c) {
+        events.push_back("baseline:" + std::to_string(c[0]));
+        return ex::Objective{0.5, 5.0};
+      });
+  const auto out = rig.guard.evaluate({cfg(0), cfg(1), cfg(2), cfg(3)});
+
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"primary:0", "baseline:0", "baseline:1",
+                                      "baseline:2", "baseline:3"}));
+  EXPECT_EQ(rig.report.deadline_overruns, 1U);
+  EXPECT_EQ(rig.report.retries, 0U) << "a doomed point must not retry";
+  EXPECT_EQ(rig.report.cancelled, 3U);
+  EXPECT_EQ(rig.report.baseline_evals, 4U);
+  EXPECT_EQ(rig.report.evaluated, 0U);
+  EXPECT_EQ(rig.report.dropped(), 0U);
+  for (const auto& o : out) EXPECT_DOUBLE_EQ(o.ipc, 0.5);
+
+  // The abort is per-batch: the next evaluate() starts with a clean flag
+  // and the (now fast) primary answers again.
+  events.clear();
+  rig.guard.evaluate({cfg(1), cfg(2)});
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"primary:1", "primary:2"}));
+  EXPECT_EQ(rig.report.cancelled, 3U);
+  EXPECT_EQ(rig.report.evaluated, 2U);
+}
+
+TEST(GuardedEvaluator, BlownDeadlineCancelIsOptional) {
+  // With the cooperative abort off, every point runs to its own overrun —
+  // the pre-PR behaviour stays reachable.
+  size_t primary_calls = 0;
+  GuardRig rig(
+      [&primary_calls](const arch::Config&, size_t) {
+        ++primary_calls;
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        return ex::Objective{1.0, 10.0};
+      },
+      ex::GuardOptions{.deadline_ms = 5, .max_retries = 0,
+                       .breaker_threshold = 100,
+                       .cancel_batch_on_deadline = false},
+      [](const arch::Config&) { return ex::Objective{0.5, 5.0}; });
+  rig.guard.evaluate({cfg(0), cfg(1)});
+  EXPECT_EQ(primary_calls, 2U);
+  EXPECT_EQ(rig.report.deadline_overruns, 2U);
+  EXPECT_EQ(rig.report.cancelled, 0U);
+  EXPECT_EQ(rig.report.baseline_evals, 2U);
+}
+
+TEST(GuardedEvaluator, SessionBudgetChargesAttemptsAndBackoff) {
+  // The session budget is charge-based: each attempt's wall clock and each
+  // computed backoff (whether or not anything really sleeps) drain it.
+  auto budget = std::make_shared<ex::DeadlineBudget>(10'000);
+  GuardRig rig(
+      [](const arch::Config& c, size_t attempt) {
+        if (attempt == 0) throw metadse::sim::SimulationFailure("flaky");
+        return ex::Objective{1.0 + static_cast<double>(c[0]), 10.0};
+      },
+      ex::GuardOptions{.max_retries = 2, .backoff_base_ms = 40});
+  rig.guard.set_session_budget(budget);
+  rig.guard.evaluate({cfg(1)});
+  EXPECT_EQ(rig.report.retries, 1U);
+  // One 40ms backoff was charged; the two near-instant attempts add noise
+  // but never 40ms worth.
+  EXPECT_GE(budget->consumed_ms(), 40U);
+  EXPECT_LT(budget->consumed_ms(), 100U);
+  EXPECT_EQ(budget->remaining_ms(), 10'000U - budget->consumed_ms());
+  EXPECT_FALSE(budget->exhausted());
+}
+
+TEST(GuardedEvaluator, ExhaustedOrCancelledBudgetAbortsBeforeEvaluating) {
+  size_t primary_calls = 0;
+  auto primary = [&primary_calls](const arch::Config&, size_t) {
+    ++primary_calls;
+    return ex::Objective{1.0, 10.0};
+  };
+  {
+    GuardRig rig(primary, ex::GuardOptions{});
+    auto budget = std::make_shared<ex::DeadlineBudget>(5);
+    budget->charge(6);  // queue wait alone overran the allowance
+    rig.guard.set_session_budget(budget);
+    EXPECT_THROW(rig.guard.evaluate({cfg(0)}), ex::ExplorationAborted);
+    EXPECT_TRUE(rig.report.budget_exhausted);
+  }
+  {
+    GuardRig rig(primary, ex::GuardOptions{});
+    auto budget = std::make_shared<ex::DeadlineBudget>(0);  // unlimited...
+    budget->cancel();  // ...but cancelled (watchdog / shutdown)
+    rig.guard.set_session_budget(budget);
+    EXPECT_THROW(rig.guard.evaluate({cfg(0)}), ex::ExplorationAborted);
+    EXPECT_TRUE(rig.report.budget_exhausted);
+  }
+  EXPECT_EQ(primary_calls, 0U) << "a dead budget must not evaluate anything";
+}
+
+TEST(GuardedEvaluator, StartLevelBaselineSkipsTheSurrogate) {
+  // A load-shedding server dispatches overloaded sessions straight onto the
+  // baseline rung: the primary is never consulted.
+  size_t primary_calls = 0;
+  GuardRig rig(
+      [&primary_calls](const arch::Config&, size_t) {
+        ++primary_calls;
+        return ex::Objective{2.0, 10.0};
+      },
+      ex::GuardOptions{.start_level = ex::DegradeLevel::kBaseline},
+      [](const arch::Config& c) {
+        return ex::Objective{0.5 + static_cast<double>(c[0]), 5.0};
+      });
+  const auto out = rig.guard.evaluate({cfg(0), cfg(1), cfg(2)});
+  EXPECT_EQ(primary_calls, 0U);
+  EXPECT_EQ(rig.report.baseline_evals, 3U);
+  EXPECT_EQ(rig.report.evaluated, 0U);
+  EXPECT_EQ(rig.guard.level(), ex::DegradeLevel::kBaseline);
+  EXPECT_EQ(rig.report.final_level, ex::DegradeLevel::kBaseline);
+  EXPECT_DOUBLE_EQ(out[2].ipc, 2.5);
+}
+
+TEST(GuardedEvaluator, StartLevelBaselineRequiresABaseline) {
+  ex::RunReport rep;
+  EXPECT_THROW(
+      ex::GuardedEvaluator(
+          [](const arch::Config&, size_t) {
+            return ex::Objective{1.0, 1.0};
+          },
+          ex::GuardOptions{.start_level = ex::DegradeLevel::kBaseline}, &rep),
+      std::invalid_argument);
 }

@@ -474,3 +474,93 @@ TEST(JournaledExplore, SemanticCorruptionTruncatesAndReEvaluates) {
   EXPECT_EQ(calls, evo.budget() - 5);
   remove_run_files(path);
 }
+
+TEST(JournaledExplore, SnapshotCorruptionFuzzFallsBackToFullReplay) {
+  // Serving-PR satellite: fuzz the .snapshot sidecar byte by byte. Every
+  // single-byte flip and every truncation must be rejected silently — the
+  // resume falls back to full journal replay and still converges to a
+  // bitwise-identical archive. No corruption of the *snapshot* may ever
+  // surface as an error or a different front.
+  ex::EvolutionaryExplorer evo(small_options(/*eval_batch=*/4));
+  const auto& space = arch::DesignSpace::table1();
+  const auto path = temp_path("mdse_journal_snapfuzz.journal");
+  remove_run_files(path);
+  const ex::JournalOptions jopts{.path = path, .snapshot_period = 2};
+  const auto reference = evo.explore(space, oracle(), jopts);
+  const std::string journal_bytes = slurp(path);
+  const std::string good = slurp(path + ".snapshot");
+  ASSERT_FALSE(good.empty());
+
+  auto resume_expect_full_replay = [&](const std::string& label) {
+    ex::RunReport rep;
+    const auto resumed = evo.explore(space, oracle(), jopts, &rep);
+    expect_bitwise_equal(reference, resumed);
+    EXPECT_FALSE(rep.snapshot_restored) << label;
+    EXPECT_EQ(rep.replayed, evo.budget()) << label;
+  };
+
+  for (size_t pos = 0; pos < good.size(); ++pos) {
+    // The resume itself rewrites both files; restore the originals so each
+    // probe corrupts the same reference snapshot.
+    spit(path, journal_bytes);
+    std::string bad = good;
+    bad[pos] = static_cast<char>(bad[pos] ^ 0x80);
+    spit(path + ".snapshot", bad);
+    resume_expect_full_replay("flipped byte " + std::to_string(pos));
+  }
+  for (size_t len = 0; len < good.size(); len += 7) {
+    spit(path, journal_bytes);
+    spit(path + ".snapshot", good.substr(0, len));
+    resume_expect_full_replay("truncated to " + std::to_string(len));
+  }
+  remove_run_files(path);
+}
+
+TEST(JournaledExplore, CooperativeStopFlushesSnapshotAndResumes) {
+  // Serving-PR satellite: a cooperative stop (SIGTERM, server shutdown)
+  // lands at a generation boundary, flushes journal + snapshot, and throws
+  // StopRequested; resuming without the stop probe finishes the run
+  // bitwise-identically to one that was never interrupted.
+  const auto& space = arch::DesignSpace::table1();
+  const auto reference =
+      ex::EvolutionaryExplorer(small_options()).explore(space, oracle());
+  const auto path = temp_path("mdse_journal_coopstop.journal");
+  remove_run_files(path);
+  const ex::JournalOptions jopts{.path = path, .snapshot_period = 2};
+
+  // Stop deep in the mutation loop (seeding makes 8 generation probes with
+  // eval_batch 1), so the flushed state includes a snapshot.
+  auto opts = small_options();
+  size_t polls = 0;
+  opts.stop_check = [&polls] { return ++polls > 12; };
+  size_t calls_before = 0;
+  EXPECT_THROW(ex::EvolutionaryExplorer(opts).explore(
+                   space, oracle(&calls_before), jopts),
+               ex::StopRequested);
+  EXPECT_LT(calls_before, ex::EvolutionaryExplorer(opts).budget());
+  EXPECT_TRUE(std::filesystem::exists(path + ".snapshot"))
+      << "a mutation-loop stop must flush a snapshot";
+
+  size_t calls_after = 0;
+  ex::RunReport rep;
+  const auto resumed = ex::EvolutionaryExplorer(small_options())
+                           .explore(space, oracle(&calls_after), jopts, &rep);
+  expect_bitwise_equal(reference, resumed);
+  EXPECT_TRUE(rep.resumed);
+  EXPECT_EQ(calls_before + calls_after,
+            ex::EvolutionaryExplorer(small_options()).budget())
+      << "nothing evaluated before the stop is evaluated again";
+
+  // A stop during seeding flushes the journal only (snapshots are legal only
+  // once the mutation loop owns the archive); resume still converges.
+  remove_run_files(path);
+  polls = 0;
+  opts.stop_check = [&polls] { return ++polls > 3; };
+  EXPECT_THROW(ex::EvolutionaryExplorer(opts).explore(space, oracle(), jopts),
+               ex::StopRequested);
+  EXPECT_FALSE(std::filesystem::exists(path + ".snapshot"));
+  const auto resumed2 = ex::EvolutionaryExplorer(small_options())
+                            .explore(space, oracle(), jopts);
+  expect_bitwise_equal(reference, resumed2);
+  remove_run_files(path);
+}

@@ -1,0 +1,497 @@
+// Serving-core behaviour: replica pool leasing, admission policies under a
+// full queue (block / reject / shed-oldest), deadline budgets expiring in the
+// queue and propagating into the executor, load-aware forced degradation,
+// the watchdog's wedged-replica breaker, drain/now shutdown semantics, and a
+// 1000+-session interleaved soak pinning the accounting invariant
+//   submitted == ok + rejected + shed + deadline + stopped + failed.
+//
+// Executors here are synthetic (the bench's sleeper pattern): they poll the
+// same cooperative-cancellation hooks as the real DSE loop, so the tests
+// exercise ServerCore's control plane without touching the simulator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "explore/explorer.hpp"
+#include "explore/guarded.hpp"
+#include "serve/replica.hpp"
+#include "serve/server.hpp"
+
+namespace ex = metadse::explore;
+namespace serve = metadse::serve;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+void sleep_ms(size_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// A latch the test controls: gated sessions spin inside the executor —
+/// polling the same stop/budget hooks as the real DSE loop — until opened.
+struct Gate {
+  std::atomic<bool> open{false};
+  std::atomic<size_t> entered{0};
+
+  /// Blocks until @p n sessions are spinning inside the executor.
+  void await_entered(size_t n) const {
+    while (entered.load() < n) sleep_ms(1);
+  }
+};
+
+/// Executor that waits on @p gate. Checks stop_requested before the budget,
+/// mirroring the explorer (stop_check at the generation boundary runs before
+/// the evaluator's budget check).
+serve::SessionExecutor gated_executor(Gate& gate) {
+  return [&gate](const serve::SessionRequest&,
+                 const serve::ExecContext& ctx) -> serve::ExecResult {
+    gate.entered.fetch_add(1);
+    while (!gate.open.load()) {
+      if (ctx.stop_requested && ctx.stop_requested()) {
+        throw ex::StopRequested("gated session stopped");
+      }
+      if (ctx.budget->cancelled() || ctx.budget->exhausted()) {
+        throw ex::ExplorationAborted("gated session: budget gone");
+      }
+      sleep_ms(1);
+    }
+    return {};
+  };
+}
+
+/// A request with only the id (and seed) set — what every test needs.
+serve::SessionRequest req(uint64_t id) {
+  serve::SessionRequest r;
+  r.id = id;
+  r.seed = id;
+  return r;
+}
+
+bool ready(const std::future<serve::SessionResult>& fut) {
+  return fut.wait_for(std::chrono::seconds(0)) == std::future_status::ready;
+}
+
+/// Options tuned for tests: one worker/replica, tiny queue, no watchdog.
+serve::ServeOptions small_options() {
+  serve::ServeOptions o;
+  o.replicas = 1;
+  o.workers = 1;
+  o.queue_capacity = 1;
+  o.degrade_at = 2.0;  // load-aware degradation off unless a test wants it
+  o.watchdog_period_ms = 0;
+  return o;
+}
+
+void expect_invariant(const serve::ServerStats& s) {
+  EXPECT_EQ(s.submitted,
+            s.ok + s.rejected + s.shed + s.deadline + s.stopped + s.failed);
+}
+
+}  // namespace
+
+// -- ReplicaPool --------------------------------------------------------------
+
+TEST(ServeReplicaPool, LeasesAreExclusiveAndAbortable) {
+  serve::ReplicaPool pool(3);
+  std::vector<serve::ReplicaPool::Lease> held;
+  std::set<size_t> ids;
+  for (size_t i = 0; i < 3; ++i) {
+    auto lease = pool.acquire();
+    ASSERT_TRUE(lease.has_value());
+    ids.insert(lease->id());
+    held.push_back(std::move(*lease));
+  }
+  EXPECT_EQ(ids.size(), 3U) << "three leases must cover three distinct slots";
+  // Every slot is busy: an acquire with an abort hook must give up, not hang.
+  EXPECT_FALSE(pool.acquire([] { return true; }).has_value());
+  held.clear();  // releases wake the pool
+  EXPECT_TRUE(pool.acquire().has_value());
+}
+
+TEST(ServeReplicaPool, UnhealthySlotSkippedUntilLeaseRelease) {
+  serve::ReplicaPool pool(2);
+  auto wedged = pool.acquire();
+  ASSERT_TRUE(wedged.has_value());
+  const size_t bad = wedged->id();
+
+  EXPECT_TRUE(pool.mark_unhealthy(bad));
+  EXPECT_FALSE(pool.mark_unhealthy(bad)) << "second mark is not a transition";
+  EXPECT_FALSE(pool.healthy(bad));
+
+  // The sweep must land on the other slot, and then find nothing at all.
+  auto other = pool.acquire();
+  ASSERT_TRUE(other.has_value());
+  EXPECT_NE(other->id(), bad);
+  EXPECT_FALSE(pool.acquire([] { return true; }).has_value());
+
+  // Releasing the wedged lease re-marks the slot healthy and dispatchable.
+  wedged.reset();
+  EXPECT_TRUE(pool.healthy(bad));
+  auto back = pool.acquire();
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->id(), bad);
+}
+
+// -- admission ----------------------------------------------------------------
+
+TEST(ServeAdmission, ValidatesOptions) {
+  auto noop = [](const serve::SessionRequest&, const serve::ExecContext&) {
+    return serve::ExecResult{};
+  };
+  EXPECT_THROW(serve::ServerCore(small_options(), nullptr),
+               std::invalid_argument);
+  auto bad_workers = small_options();
+  bad_workers.workers = 0;
+  EXPECT_THROW(serve::ServerCore(bad_workers, noop), std::invalid_argument);
+  auto bad_queue = small_options();
+  bad_queue.queue_capacity = 0;
+  EXPECT_THROW(serve::ServerCore(bad_queue, noop), std::invalid_argument);
+}
+
+TEST(ServeAdmission, RejectSettlesImmediatelyWithRetryAfter) {
+  Gate gate;
+  auto options = small_options();
+  options.admission = serve::AdmissionPolicy::kReject;
+  options.retry_after_ms = 77;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  auto running = server.submit(req(0));
+  gate.await_entered(1);            // session 0 holds the only worker
+  auto queued = server.submit(req(1));  // fills the queue (capacity 1)
+  auto refused = server.submit(req(2));
+
+  ASSERT_TRUE(ready(refused)) << "kReject must settle without waiting";
+  const auto r = refused.get();
+  EXPECT_EQ(r.status, serve::SessionStatus::kRejected);
+  EXPECT_EQ(r.id, 2U);
+  EXPECT_EQ(r.retry_after_ms, 77U);
+
+  gate.open.store(true);
+  EXPECT_EQ(running.get().status, serve::SessionStatus::kOk);
+  EXPECT_EQ(queued.get().status, serve::SessionStatus::kOk);
+  const auto s = server.stats();
+  EXPECT_EQ(s.ok, 2U);
+  EXPECT_EQ(s.rejected, 1U);
+  EXPECT_EQ(s.queue_high_water, 1U);
+  expect_invariant(s);
+}
+
+TEST(ServeAdmission, ShedOldestEvictsTheQueuedSession) {
+  Gate gate;
+  auto options = small_options();
+  options.admission = serve::AdmissionPolicy::kShedOldest;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  auto running = server.submit(req(0));
+  gate.await_entered(1);
+  auto victim = server.submit(req(1));    // queued
+  auto newcomer = server.submit(req(2));  // evicts session 1
+
+  ASSERT_TRUE(ready(victim)) << "the shed victim must settle immediately";
+  const auto v = victim.get();
+  EXPECT_EQ(v.status, serve::SessionStatus::kShed);
+  EXPECT_EQ(v.id, 1U);
+
+  gate.open.store(true);
+  EXPECT_EQ(running.get().status, serve::SessionStatus::kOk);
+  EXPECT_EQ(newcomer.get().status, serve::SessionStatus::kOk);
+  const auto s = server.stats();
+  EXPECT_EQ(s.ok, 2U);
+  EXPECT_EQ(s.shed, 1U);
+  expect_invariant(s);
+}
+
+TEST(ServeAdmission, BlockWaitsForSpaceInsteadOfFailing) {
+  Gate gate;
+  auto options = small_options();
+  options.admission = serve::AdmissionPolicy::kBlock;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  auto running = server.submit(req(0));
+  gate.await_entered(1);
+  auto queued = server.submit(req(1));
+
+  std::atomic<bool> admitted{false};
+  std::future<serve::SessionResult> blocked;
+  std::thread submitter([&] {
+    blocked = server.submit(req(2));  // queue full: must wait, not fail
+    admitted.store(true);
+  });
+  sleep_ms(30);
+  EXPECT_FALSE(admitted.load()) << "kBlock must hold the submitter";
+
+  gate.open.store(true);  // worker drains; space frees; submitter resumes
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(running.get().status, serve::SessionStatus::kOk);
+  EXPECT_EQ(queued.get().status, serve::SessionStatus::kOk);
+  EXPECT_EQ(blocked.get().status, serve::SessionStatus::kOk);
+  const auto s = server.stats();
+  EXPECT_EQ(s.ok, 3U);
+  EXPECT_EQ(s.rejected + s.shed, 0U);
+  expect_invariant(s);
+}
+
+// -- deadline budgets ---------------------------------------------------------
+
+TEST(ServeDeadline, ExpiresInQueueWithoutDispatching) {
+  Gate gate;
+  auto options = small_options();
+  options.queue_capacity = 4;
+  options.session_deadline_ms = 40;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  auto running = server.submit(req(0));
+  gate.await_entered(1);
+  auto starved = server.submit(req(1));
+  sleep_ms(120);  // well past session 1's whole allowance
+  gate.open.store(true);
+
+  EXPECT_EQ(running.get().status, serve::SessionStatus::kOk);
+  const auto r = starved.get();
+  EXPECT_EQ(r.status, serve::SessionStatus::kDeadline);
+  EXPECT_GE(r.queued_ms, 40U);
+  EXPECT_EQ(r.service_ms, 0U) << "an expired session must never dispatch";
+  const auto s = server.stats();
+  EXPECT_EQ(s.deadline, 1U);
+  expect_invariant(s);
+}
+
+TEST(ServeDeadline, BudgetReachesTheExecutorPreChargedWithQueueWait) {
+  std::atomic<size_t> seen_total{0};
+  std::atomic<size_t> seen_consumed{SIZE_MAX};
+  auto options = small_options();
+  options.session_deadline_ms = 5000;
+  serve::ServerCore server(
+      options, [&](const serve::SessionRequest&,
+                   const serve::ExecContext& ctx) -> serve::ExecResult {
+        seen_total.store(ctx.budget->total_ms());
+        seen_consumed.store(ctx.budget->consumed_ms());
+        ctx.budget->charge(100);
+        return {};
+      });
+  EXPECT_EQ(server.submit(req(7)).get().status, serve::SessionStatus::kOk);
+  EXPECT_EQ(seen_total.load(), 5000U);
+  EXPECT_LT(seen_consumed.load(), 5000U)
+      << "queue wait is charged before dispatch, not the whole allowance";
+}
+
+TEST(ServeDeadline, ExecutorAbortOnExhaustedBudgetIsDeadline) {
+  auto options = small_options();
+  options.session_deadline_ms = 10;
+  serve::ServerCore server(
+      options, [](const serve::SessionRequest&,
+                  const serve::ExecContext& ctx) -> serve::ExecResult {
+        ctx.budget->charge(10'000);  // the run overruns its allowance
+        throw ex::ExplorationAborted("budget exhausted mid-run");
+      });
+  const auto r = server.submit(req(3)).get();
+  EXPECT_EQ(r.status, serve::SessionStatus::kDeadline);
+  const auto s = server.stats();
+  EXPECT_EQ(s.deadline, 1U);
+  EXPECT_EQ(s.failed, 0U);
+  expect_invariant(s);
+}
+
+TEST(ServeDeadline, ExecutorAbortWithHealthyBudgetIsFailure) {
+  serve::ServerCore server(
+      small_options(), [](const serve::SessionRequest&,
+                          const serve::ExecContext&) -> serve::ExecResult {
+        throw ex::ExplorationAborted("breaker opened under kFailFast");
+      });
+  EXPECT_EQ(server.submit(req(4)).get().status,
+            serve::SessionStatus::kFailed);
+  EXPECT_EQ(server.stats().failed, 1U);
+}
+
+// -- load-aware degradation ---------------------------------------------------
+
+TEST(ServeDegrade, BacklogForcesTheBaselineRung) {
+  std::atomic<int> baseline_starts{0};
+  auto run = [&](double degrade_at) {
+    auto options = small_options();
+    options.degrade_at = degrade_at;
+    baseline_starts.store(0);
+    serve::ServerCore server(
+        options, [&](const serve::SessionRequest&,
+                     const serve::ExecContext& ctx) -> serve::ExecResult {
+          if (ctx.start_level == ex::DegradeLevel::kBaseline) {
+            baseline_starts.fetch_add(1);
+            return {.degraded = true, .detail = "served on the cheap rung"};
+          }
+          return {};
+        });
+    const auto r = server.submit(req(0)).get();
+    EXPECT_EQ(r.status, serve::SessionStatus::kOk);
+    server.stop(serve::ServerCore::StopMode::kDrain);
+    return server.stats();
+  };
+
+  // Threshold 0: any load at all (even an empty queue behind the dispatch)
+  // counts as overload, so the session is forced down and marked degraded.
+  const auto hot = run(/*degrade_at=*/0.0);
+  EXPECT_EQ(baseline_starts.load(), 1);
+  EXPECT_EQ(hot.degraded, 1U);
+
+  // Threshold above 1.0 disables the mechanism entirely.
+  const auto cold = run(/*degrade_at=*/2.0);
+  EXPECT_EQ(baseline_starts.load(), 0);
+  EXPECT_EQ(cold.degraded, 0U);
+}
+
+// -- watchdog -----------------------------------------------------------------
+
+TEST(ServeWatchdog, WedgedReplicaIsCancelledAndRecovers) {
+  Gate gate;  // never opened for the wedged session: only the watchdog's
+              // budget-cancel lets it out
+  auto options = small_options();
+  options.watchdog_period_ms = 5;
+  options.wedged_after_ms = 20;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  const auto wedged = server.submit(req(0)).get();
+  EXPECT_EQ(wedged.status, serve::SessionStatus::kDeadline)
+      << "a cancelled budget maps to kDeadline, detail: " << wedged.detail;
+  EXPECT_EQ(server.stats().watchdog_trips, 1U);
+
+  // The lease release re-marked the replica healthy: the server still serves.
+  gate.open.store(true);
+  EXPECT_EQ(server.submit(req(1)).get().status, serve::SessionStatus::kOk);
+  const auto s = server.stats();
+  EXPECT_EQ(s.ok, 1U);
+  EXPECT_EQ(s.deadline, 1U);
+  expect_invariant(s);
+}
+
+// -- shutdown -----------------------------------------------------------------
+
+TEST(ServeStop, DrainFinishesEveryQueuedSession) {
+  Gate gate;
+  gate.open.store(true);  // sessions complete instantly
+  auto options = small_options();
+  options.queue_capacity = 8;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  std::vector<std::future<serve::SessionResult>> futures;
+  for (uint64_t id = 0; id < 5; ++id) futures.push_back(server.submit(req(id)));
+  server.stop(serve::ServerCore::StopMode::kDrain);
+  for (auto& fut : futures) {
+    EXPECT_EQ(fut.get().status, serve::SessionStatus::kOk);
+  }
+  EXPECT_EQ(server.stats().ok, 5U);
+}
+
+TEST(ServeStop, NowFlushesQueueAndInterruptsTheRunningSession) {
+  Gate gate;
+  auto options = small_options();
+  options.queue_capacity = 8;
+  serve::ServerCore server(options, gated_executor(gate));
+
+  auto running = server.submit(req(0));
+  gate.await_entered(1);
+  auto q1 = server.submit(req(1));
+  auto q2 = server.submit(req(2));
+
+  server.stop(serve::ServerCore::StopMode::kNow);
+
+  // The running session saw stop_requested and threw StopRequested; the
+  // queued two were flushed without ever dispatching.
+  EXPECT_EQ(running.get().status, serve::SessionStatus::kStopped);
+  EXPECT_EQ(q1.get().status, serve::SessionStatus::kStopped);
+  EXPECT_EQ(q2.get().status, serve::SessionStatus::kStopped);
+  const auto s = server.stats();
+  EXPECT_EQ(s.stopped, 3U);
+  EXPECT_EQ(s.ok, 0U);
+  expect_invariant(s);
+}
+
+TEST(ServeStop, SubmissionAfterStopIsRejected) {
+  Gate gate;
+  gate.open.store(true);
+  serve::ServerCore server(small_options(), gated_executor(gate));
+  server.stop(serve::ServerCore::StopMode::kDrain);
+
+  const auto r = server.submit(req(9)).get();
+  EXPECT_EQ(r.status, serve::SessionStatus::kRejected);
+  EXPECT_NE(r.detail.find("stopping"), std::string::npos) << r.detail;
+  expect_invariant(server.stats());
+}
+
+TEST(ServeStop, StopIsIdempotent) {
+  Gate gate;
+  gate.open.store(true);
+  serve::ServerCore server(small_options(), gated_executor(gate));
+  server.stop(serve::ServerCore::StopMode::kDrain);
+  server.stop(serve::ServerCore::StopMode::kNow);  // second stop: no-op
+  server.stop(serve::ServerCore::StopMode::kDrain);
+}
+
+// -- interleaved soak ---------------------------------------------------------
+
+TEST(ServeSoak, ThousandPlusInterleavedSessionsKeepTheInvariant) {
+  // Open-loop overload: 1200 sessions thrown at 4 workers with a 32-deep
+  // shed-oldest queue, tight deadlines, and load-aware degradation. The
+  // acceptance bar: every future settles, every session lands in exactly one
+  // terminal bucket, and the queue never exceeds its bound.
+  serve::ServeOptions options;
+  options.replicas = 4;
+  options.workers = 4;
+  options.queue_capacity = 32;
+  options.admission = serve::AdmissionPolicy::kShedOldest;
+  options.degrade_at = 0.5;
+  options.session_deadline_ms = 200;
+  options.watchdog_period_ms = 10;
+  serve::ServerCore server(
+      options, [](const serve::SessionRequest& req,
+                  const serve::ExecContext& ctx) -> serve::ExecResult {
+        if (ctx.budget->cancelled() || ctx.budget->exhausted()) {
+          throw ex::ExplorationAborted("soak session: budget gone");
+        }
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(100 + (req.id % 7) * 50));
+        ctx.budget->charge(1);
+        return {.degraded = ctx.start_level == ex::DegradeLevel::kBaseline,
+                .detail = ""};
+      });
+
+  constexpr size_t kSessions = 1200;
+  std::vector<std::future<serve::SessionResult>> futures;
+  futures.reserve(kSessions);
+  for (uint64_t id = 0; id < kSessions; ++id) {
+    futures.push_back(server.submit(req(id)));
+  }
+  server.stop(serve::ServerCore::StopMode::kDrain);
+
+  serve::ServerStats from_futures;
+  for (auto& fut : futures) {
+    ASSERT_TRUE(ready(fut)) << "every future must settle after drain";
+    switch (fut.get().status) {
+      case serve::SessionStatus::kOk: ++from_futures.ok; break;
+      case serve::SessionStatus::kRejected: ++from_futures.rejected; break;
+      case serve::SessionStatus::kShed: ++from_futures.shed; break;
+      case serve::SessionStatus::kDeadline: ++from_futures.deadline; break;
+      case serve::SessionStatus::kStopped: ++from_futures.stopped; break;
+      case serve::SessionStatus::kFailed: ++from_futures.failed; break;
+    }
+  }
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.submitted, kSessions);
+  expect_invariant(s);
+  // The server's buckets and the futures' statuses are the same accounting.
+  EXPECT_EQ(s.ok, from_futures.ok);
+  EXPECT_EQ(s.rejected, from_futures.rejected);
+  EXPECT_EQ(s.shed, from_futures.shed);
+  EXPECT_EQ(s.deadline, from_futures.deadline);
+  EXPECT_EQ(s.stopped, from_futures.stopped);
+  EXPECT_EQ(s.failed, from_futures.failed);
+  EXPECT_LE(s.queue_high_water, options.queue_capacity);
+  EXPECT_EQ(s.failed, 0U);
+  EXPECT_GT(s.ok, 0U);
+}

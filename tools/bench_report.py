@@ -22,9 +22,11 @@ counterpart and records the speedup:
     BM_MamlEpochThreadsSweep) vs the same benchmark in the baseline run
 
 --diff compares AFTER.json against a previously committed BENCH_engine.json
-and prints a per-benchmark regression table. It is warn-only: shared runners
-are far too noisy to gate on, so a slowdown prints a WARN line and the exit
-code stays 0.
+and prints a per-benchmark regression table. By default it is warn-only:
+shared runners are far too noisy to gate on, so a slowdown prints a WARN
+line and the exit code stays 0. Pass --fail-on-regress to turn any WARN
+into a nonzero exit — for quiet dedicated machines where a >15% slowdown
+is signal, not noise.
 
 The headline figures are the single-point no-grad prediction speedup and the
 K-shot adapt_clone speedup over the seed; the CI smoke job only checks that
@@ -79,6 +81,10 @@ def main(argv=None):
     ap.add_argument("--diff", metavar="REPORT",
                     help="committed BENCH_engine.json to diff against "
                          "(warn-only regression table)")
+    ap.add_argument("--fail-on-regress", action="store_true",
+                    help="with --diff: exit nonzero when any benchmark is "
+                         f"more than {DIFF_WARN_RATIO}x slower than the "
+                         "committed report")
     ap.add_argument("-o", "--output", default="BENCH_engine.json")
     args = ap.parse_args(argv)
 
@@ -145,25 +151,34 @@ def main(argv=None):
         print(f"wrote {args.output} ({len(after)} benchmarks, no baseline)")
 
     if committed is not None:
-        diff_report(after, committed, args.diff)
+        regressions = diff_report(after, committed, args.diff)
+        if args.fail_on_regress and regressions:
+            sys.exit(f"--fail-on-regress: {len(regressions)} benchmark(s) "
+                     f"slower than {DIFF_WARN_RATIO}x the committed report: "
+                     f"{', '.join(regressions)}")
 
 
 def diff_report(after, committed, committed_path):
-    """Warn-only regression table: current run vs a committed report."""
+    """Regression table vs a committed report; returns the regressed names."""
     shared = sorted(set(after) & set(committed))
     if not shared:
         print(f"diff: no benchmarks in common with {committed_path}")
-        return
+        return []
+    regressions = []
     width = max(len(n) for n in shared)
-    print(f"\ndiff vs {committed_path} (warn-only, ratio = now/committed):")
+    print(f"\ndiff vs {committed_path} (ratio = now/committed):")
     for name in shared:
         ratio = after[name] / committed[name]
-        flag = "  WARN slower" if ratio > DIFF_WARN_RATIO else ""
+        flag = ""
+        if ratio > DIFF_WARN_RATIO:
+            flag = "  WARN slower"
+            regressions.append(name)
         print(f"  {name:<{width}}  {committed[name] / 1e3:10.1f}us ->"
               f" {after[name] / 1e3:10.1f}us  x{ratio:5.2f}{flag}")
     missing = sorted(set(committed) - set(after))
     if missing:
         print(f"  (not in this run: {', '.join(missing)})")
+    return regressions
 
 
 if __name__ == "__main__":

@@ -5,17 +5,26 @@
 //   metadse pretrain --ckpt F [--epochs E --tasks T --support S]
 //   metadse evaluate --ckpt F --workload W [--tasks N --support K --no-wam]
 //   metadse adapt    --ckpt F --workload W [--support K --candidates N]
+//   metadse serve    --ckpt F --journal-dir D [--sessions N --replicas R]
 //   metadse similarity [--samples N]
 //
 // Every command is deterministic given --seed (default 2025).
+//
+// SIGINT/SIGTERM request a cooperative stop: journaled work flushes its WAL
+// and snapshot at the next safe point and the process exits with code 3
+// ("stopped by signal, state flushed, resumable" — distinct from 1/2).
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
+#include <future>
 #include <map>
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "baselines/trendse.hpp"
 #include "core/metadse.hpp"
@@ -23,10 +32,28 @@
 #include "eval/metrics.hpp"
 #include "eval/table.hpp"
 #include "explore/explorer.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
 
 using namespace metadse;
 
 namespace {
+
+/// Exit code for a signal-interrupted run whose durable state was flushed.
+constexpr int kExitStopped = 3;
+
+volatile std::sig_atomic_t g_signal = 0;
+
+extern "C" void handle_stop_signal(int sig) { g_signal = sig; }
+
+/// Installs cooperative SIGINT/SIGTERM handlers. Long-running commands poll
+/// stop_requested() (directly or via ExplorerOptions::stop_check).
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+}
+
+bool stop_requested() { return g_signal != 0; }
 
 /// A malformed command line: main() prints the message plus usage and exits
 /// nonzero (distinct from runtime errors, which skip the usage dump).
@@ -321,6 +348,9 @@ int cmd_adapt(const Args& args) {
   dse.journal_path = args.str("journal");
   dse.resume = args.has("resume");
   dse.snapshot_period = static_cast<size_t>(snap_arg);
+  // SIGINT/SIGTERM land here: the run stops at the next generation
+  // boundary with its journal + snapshot flushed, and main() exits 3.
+  dse.explorer.stop_check = [] { return stop_requested(); };
 
   // Simulate the K-budget support set, adapt, screen candidates.
   workload::SpecSuite suite;
@@ -380,6 +410,201 @@ int cmd_adapt(const Args& args) {
   return 0;
 }
 
+/// Long-lived multi-session serving: N replicated predictors behind a
+/// bounded admission queue. Each session is one journaled DSE run over a
+/// test-split workload; finished sessions publish their front atomically to
+/// "<journal-dir>/front_<id>.txt". A SIGTERM/SIGINT (or a kill -9, via the
+/// per-session journals) mid-traffic is recoverable: rerun with --resume to
+/// finish the missing sessions bitwise-identically.
+int cmd_serve(const Args& args) {
+  core::MetaDseFramework fw(options_from(args));
+  if (int rc = require_ckpt(fw, args)) return rc;
+
+  const std::string journal_dir = args.str("journal-dir");
+  if (journal_dir.empty()) {
+    throw UsageError("serve requires --journal-dir <dir> (per-session "
+                     "journals and published fronts live there)");
+  }
+  const long sessions_arg = args.num("sessions", 8);
+  const long replicas_arg = args.num("replicas", 2);
+  const long workers_arg = args.num("workers", replicas_arg);
+  const long queue_arg = args.num("queue-capacity", 16);
+  const long arrival_arg = args.num("arrival-ms", 0);
+  const long deadline_arg = args.num("session-deadline-ms", 0);
+  const long support_arg = args.num("support", 10);
+  const long cand_arg = args.num("candidates", 200);
+  const long sleep_arg = args.num("eval-sleep-ms", 0);
+  const long batch_arg = args.num("predict-batch", 16);
+  if (sessions_arg < 1 || replicas_arg < 1 || workers_arg < 1 ||
+      queue_arg < 1 || cand_arg < 4 || support_arg < 1 || batch_arg < 1) {
+    throw UsageError("serve: --sessions/--replicas/--workers/"
+                     "--queue-capacity/--support/--predict-batch must be "
+                     ">= 1 and --candidates >= 4");
+  }
+  if (arrival_arg < 0 || deadline_arg < 0 || sleep_arg < 0) {
+    throw UsageError("serve: --arrival-ms/--session-deadline-ms/"
+                     "--eval-sleep-ms must be >= 0");
+  }
+
+  serve::ServeOptions sopts;
+  sopts.replicas = static_cast<size_t>(replicas_arg);
+  sopts.workers = static_cast<size_t>(workers_arg);
+  sopts.queue_capacity = static_cast<size_t>(queue_arg);
+  sopts.session_deadline_ms = static_cast<size_t>(deadline_arg);
+  sopts.retry_after_ms = static_cast<size_t>(args.num("retry-after-ms", 50));
+  // Load-aware degradation changes a session's archive, so it defaults OFF
+  // here (fronts must be reproducible across reference and resume runs);
+  // opt in with --degrade-at F < 1.
+  sopts.degrade_at = args.real("degrade-at", 1.0);
+  sopts.watchdog_period_ms =
+      static_cast<size_t>(args.num("watchdog-ms", 100));
+  sopts.wedged_after_ms =
+      static_cast<size_t>(args.num("wedged-after-ms", 0));
+  const std::string admission = args.str("admission", "block");
+  if (admission == "block") {
+    sopts.admission = serve::AdmissionPolicy::kBlock;
+  } else if (admission == "reject") {
+    sopts.admission = serve::AdmissionPolicy::kReject;
+  } else if (admission == "shed") {
+    sopts.admission = serve::AdmissionPolicy::kShedOldest;
+  } else {
+    throw UsageError("--admission must be block, reject, or shed (got '" +
+                     admission + "')");
+  }
+
+  std::filesystem::create_directories(journal_dir);
+
+  // Serving workloads: --workload W, or the whole test split round-robin.
+  workload::SpecSuite suite;
+  std::vector<std::string> names;
+  if (args.has("workload")) {
+    names.push_back(args.str("workload"));
+  } else {
+    names = suite.names(workload::SplitRole::kTest);
+  }
+
+  serve::MetaDseSessionEngine::Options eopts;
+  eopts.front_dir = journal_dir;
+  eopts.dse.explorer = {
+      .initial_samples = static_cast<size_t>(cand_arg) / 4,
+      .iterations = static_cast<size_t>(cand_arg) * 3 / 4,
+      .eval_batch = static_cast<size_t>(batch_arg)};
+  eopts.dse.guard.deadline_ms =
+      static_cast<size_t>(args.num("eval-deadline-ms", 0));
+  eopts.dse.snapshot_period =
+      static_cast<size_t>(args.num("snapshot-period", 8));
+  if (sleep_arg > 0) {
+    // Chaos-drill aid: slows each live evaluation so kills land mid-run
+    // and deadlines/watchdogs have something to trip on.
+    eopts.dse.pre_eval_hook = [sleep_arg] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_arg));
+    };
+  }
+
+  // Support sets are simulated once per workload (clean generator, fixed
+  // order) and each workload is adapted once per replica.
+  serve::MetaDseSessionEngine engine(fw, sopts.replicas, eopts);
+  const uint64_t seed = static_cast<uint64_t>(args.num("seed", 2025));
+  tensor::Rng rng(seed);
+  data::DatasetGenerator gen(fw.space());
+  std::map<std::string, data::Dataset> supports;
+  for (const auto& name : names) {
+    data::Dataset support =
+        gen.generate(suite.by_name(name), static_cast<size_t>(support_arg),
+                     rng);
+    support.workload = name;
+    supports[name] = std::move(support);
+  }
+  for (const auto& [name, support] : supports) {
+    engine.add_workload(name, support);
+  }
+  std::printf("serving %zu workload(s) on %zu replica(s), %zu worker(s), "
+              "queue %zu (%s)\n",
+              names.size(), sopts.replicas, sopts.workers,
+              sopts.queue_capacity, serve::to_string(sopts.admission));
+
+  serve::ServerCore server(sopts, engine.executor());
+
+  // Open-loop (or --arrival-ms-paced) submission: session i targets
+  // workload i mod names.size() with seed base+i — the same request stream
+  // every run, so a resume pass regenerates exactly the missing sessions.
+  const bool resume = args.has("resume");
+  std::vector<std::future<serve::SessionResult>> futures;
+  size_t skipped = 0;
+  for (long i = 0; i < sessions_arg && !stop_requested(); ++i) {
+    const uint64_t id = static_cast<uint64_t>(i);
+    if (resume && std::filesystem::exists(engine.front_path(id))) {
+      ++skipped;  // already published by a previous run
+      continue;
+    }
+    serve::SessionRequest req;
+    req.id = id;
+    req.workload = names[static_cast<size_t>(i) % names.size()];
+    req.seed = seed + id;
+    req.journal_path =
+        journal_dir + "/session_" + std::to_string(id) + ".journal";
+    req.resume = resume;
+    futures.push_back(server.submit(std::move(req)));
+    if (arrival_arg > 0 && i + 1 < sessions_arg) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(arrival_arg));
+    }
+  }
+
+  // Drain on a clean run; flush-and-interrupt on a signal (journals and
+  // snapshots are synced at the next generation boundary, exit 3). The
+  // drain is polled, not blocking, so a signal arriving mid-drain still
+  // escalates to an immediate stop.
+  for (;;) {
+    if (stop_requested()) {
+      server.stop(serve::ServerCore::StopMode::kNow);
+      break;
+    }
+    bool all_done = true;
+    for (auto& fut : futures) {
+      if (fut.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      server.stop(serve::ServerCore::StopMode::kDrain);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  const bool verbose = args.has("verbose");
+  for (auto& fut : futures) {
+    const serve::SessionResult r = fut.get();
+    if (verbose || r.status != serve::SessionStatus::kOk) {
+      std::fprintf(stderr, "[serve] session %llu: %s%s (%zu ms queued, "
+                   "%zu ms service)%s%s\n",
+                   static_cast<unsigned long long>(r.id),
+                   serve::to_string(r.status), r.degraded ? " (degraded)" : "",
+                   r.queued_ms, r.service_ms,
+                   r.detail.empty() ? "" : " — ", r.detail.c_str());
+    }
+  }
+  const serve::ServerStats stats = server.stats();
+  std::printf("sessions: %zu submitted, %zu ok (%zu degraded), %zu rejected, "
+              "%zu shed, %zu deadline, %zu stopped, %zu failed, %zu skipped "
+              "(already published)\n",
+              stats.submitted, stats.ok, stats.degraded, stats.rejected,
+              stats.shed, stats.deadline, stats.stopped, stats.failed,
+              skipped);
+  std::printf("queue high water %zu/%zu, watchdog trips %zu\n",
+              stats.queue_high_water, sopts.queue_capacity,
+              stats.watchdog_trips);
+  if (stop_requested()) {
+    std::fprintf(stderr, "[serve] interrupted by signal %d; journals "
+                 "flushed — rerun with --resume to finish\n",
+                 static_cast<int>(g_signal));
+    return kExitStopped;
+  }
+  return stats.failed == 0 ? 0 : 1;
+}
+
 int cmd_similarity(const Args& args) {
   workload::SpecSuite suite;
   data::DatasetGenerator gen(arch::DesignSpace::table1());
@@ -425,6 +650,16 @@ void usage() {
       "           containment: --eval-deadline-ms D --eval-retries R\n"
       "                     --degrade-policy ladder|skip|abort\n"
       "                     --eval-sleep-ms S (chaos drills)\n"
+      "  serve    --ckpt F --journal-dir D [--sessions N --replicas R\n"
+      "                     --workers W --queue-capacity Q\n"
+      "                     --admission block|reject|shed --arrival-ms A\n"
+      "                     --session-deadline-ms D --degrade-at F\n"
+      "                     --watchdog-ms P --wedged-after-ms W\n"
+      "                     --workload W --support K --candidates N\n"
+      "                     --eval-sleep-ms S --resume]\n"
+      "           (multi-session serving; fronts publish to\n"
+      "            <journal-dir>/front_<id>.txt; exit 3 = interrupted by\n"
+      "            signal, journals flushed, rerun with --resume)\n"
       "  similarity [--samples N]\n"
       "common flags: --seed S, --dataset-size N, --threads N (0 = auto),\n"
       "  --verbose\n"
@@ -442,6 +677,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string cmd = argv[1];
+  install_signal_handlers();
   try {
     Args args(argc, argv, 2);
     apply_threads(args);
@@ -450,11 +686,16 @@ int main(int argc, char** argv) {
     if (cmd == "pretrain") return cmd_pretrain(args);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "adapt") return cmd_adapt(args);
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "similarity") return cmd_similarity(args);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n\n", e.what());
     usage();
     return 2;
+  } catch (const explore::StopRequested& e) {
+    // Cooperative signal stop: durable state was flushed before the throw.
+    std::fprintf(stderr, "stopped: %s\n", e.what());
+    return kExitStopped;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
