@@ -520,12 +520,18 @@ explore::ParetoArchive MetaDseFramework::run_dse(
   // Primary evaluator: surrogate IPC + simulated power. The power leg goes
   // through the caller's generator, so an armed fault plan (and its
   // attempt-indexed draws) exercises the retry/breaker machinery exactly as
-  // a flaky label farm would.
+  // a flaky label farm would. The IPC leg goes through dse_options.
+  // predict_rows when set (the serving layer's cross-session coalescer);
+  // since any valid predict_rows is pointwise bitwise-equal to the local
+  // predictor, the two paths produce identical archives.
   explore::AttemptEvaluator primary =
       [this, &predictor, &wl, &dse_options, &generator](const arch::Config& c,
                                                         size_t attempt) {
         if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
-        const float ipc = predictor.predict(space_->normalize(c));
+        const float ipc =
+            dse_options.predict_rows
+                ? dse_options.predict_rows({space_->normalize(c)}).at(0)
+                : predictor.predict(space_->normalize(c));
         const auto [sim_ipc, sim_power] = generator.evaluate(c, wl, attempt);
         (void)sim_ipc;
         return explore::Objective{static_cast<double>(ipc), sim_power};
@@ -537,7 +543,14 @@ explore::ParetoArchive MetaDseFramework::run_dse(
         std::vector<std::vector<float>> feats;
         feats.reserve(batch.size());
         for (const auto& c : batch) feats.push_back(space_->normalize(c));
-        const auto ipcs = predictor.predict_batch(feats);
+        const auto ipcs = dse_options.predict_rows
+                              ? dse_options.predict_rows(feats)
+                              : predictor.predict_batch(feats);
+        if (ipcs.size() != batch.size()) {
+          throw sim::SimulationFailure(
+              "predict_rows returned " + std::to_string(ipcs.size()) +
+              " values for a batch of " + std::to_string(batch.size()));
+        }
         std::vector<explore::Objective> objs;
         objs.reserve(batch.size());
         for (size_t i = 0; i < batch.size(); ++i) {

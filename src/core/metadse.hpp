@@ -155,6 +155,17 @@ class MetaDseFramework {
     /// explore::ExplorationAborted (the journal preserves progress; resume
     /// with a fresh budget to finish).
     std::shared_ptr<explore::DeadlineBudget> budget = {};
+    /// Overrides the surrogate-IPC leg of the primary evaluator: given the
+    /// normalized feature rows of a candidate batch, returns one IPC per
+    /// row, in order. The serving layer points this at a cross-session
+    /// BatchCoalescer; any implementation must be pointwise bitwise-equal to
+    /// predictor.predict_batch(rows) or DSE results change. The simulated
+    /// power leg stays on the session's own generator either way.
+    /// explore::ExplorationAborted thrown from here aborts the run (the
+    /// journal preserves progress); other exceptions are contained by the
+    /// guard as ordinary evaluation failures.
+    std::function<std::vector<float>(const std::vector<std::vector<float>>&)>
+        predict_rows;
   };
 
   /// Runs the few-shot DSE loop with fault containment: surrogate IPC (one

@@ -117,6 +117,15 @@ struct ServerStats {
   size_t degraded = 0;          ///< kOk sessions served degraded
   size_t queue_high_water = 0;  ///< max queue depth observed
   size_t watchdog_trips = 0;    ///< replicas declared wedged
+  /// Evaluator points diverted down the ladder by blown-deadline batch
+  /// cancellation (GuardedEvaluator report.cancelled), summed over kOk
+  /// sessions. cancelled_points > 0 implies degraded > 0: a session whose
+  /// batch was cancelled mid-flight was not served at full quality.
+  size_t cancelled_points = 0;
+  /// Fused cross-session predict calls / points answered by them, pulled
+  /// from the session engine's BatchCoalescers (0 when coalescing is off).
+  size_t coalesced_batches = 0;
+  size_t coalesced_points = 0;
 };
 
 /// Per-dispatch context handed to the session executor.
@@ -138,6 +147,10 @@ struct ExecContext {
 struct ExecResult {
   bool degraded = false;
   std::string detail;
+  /// Points the guard diverted down the ladder after a blown deadline
+  /// (report.cancelled). The server folds this into ServerStats::
+  /// cancelled_points and treats any nonzero value as a degraded serve.
+  size_t cancelled_points = 0;
 };
 
 /// The session engine: runs one session to completion on the leased replica.

@@ -191,8 +191,15 @@ void ServerCore::serve_one(Pending item, size_t depth_after_pop) {
     core::SerialRegionGuard serial;
     ExecResult exec = executor_(item.request, ctx);
     result.status = SessionStatus::kOk;
-    result.degraded = forced_baseline || exec.degraded;
+    // A blown-deadline batch cancellation served some points off the cheap
+    // rung: fold it into degraded so the stats self-check
+    // (cancelled_points > 0 implies degraded > 0) holds at the serve layer,
+    // not just inside the guard's report.
+    result.degraded =
+        forced_baseline || exec.degraded || exec.cancelled_points > 0;
     result.detail = std::move(exec.detail);
+    cancelled_points_.fetch_add(exec.cancelled_points,
+                                std::memory_order_relaxed);
   } catch (const explore::StopRequested& e) {
     result.status = SessionStatus::kStopped;
     result.detail = e.what();
@@ -312,6 +319,12 @@ ServerStats ServerCore::stats() const {
   s.degraded = degraded_.load(std::memory_order_relaxed);
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
+  s.cancelled_points = cancelled_points_.load(std::memory_order_relaxed);
+  if (coalesce_source_) {
+    const CoalesceStats c = coalesce_source_();
+    s.coalesced_batches = c.coalesced_batches;
+    s.coalesced_points = c.coalesced_points;
+  }
   return s;
 }
 

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "serve/coalesce.hpp"
 #include "serve/replica.hpp"
 #include "serve/serve.hpp"
 
@@ -51,6 +52,13 @@ class ServerCore {
   ServerStats stats() const;
   size_t queue_depth() const;
   const ServeOptions& options() const { return options_; }
+
+  /// Installs the source of coalescing counters surfaced by stats()
+  /// (typically MetaDseSessionEngine::coalesce_stats). Call before serving
+  /// starts; not thread-safe against concurrent stats().
+  void set_coalesce_stats(std::function<CoalesceStats()> source) {
+    coalesce_source_ = std::move(source);
+  }
 
  private:
   struct Pending {
@@ -93,6 +101,9 @@ class ServerCore {
   std::atomic<size_t> degraded_{0};
   std::atomic<size_t> queue_high_water_{0};
   std::atomic<size_t> watchdog_trips_{0};
+  std::atomic<size_t> cancelled_points_{0};
+
+  std::function<CoalesceStats()> coalesce_source_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -1,8 +1,11 @@
 #include "serve/session.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
+#include "core/parallel.hpp"
 #include "nn/serialize.hpp"
 
 namespace metadse::serve {
@@ -29,6 +32,25 @@ void MetaDseSessionEngine::add_workload(const std::string& name,
     // adapt_to is const and deterministic: every replica gets a
     // bitwise-identical clone of the adapted model.
     entry.predictors.push_back(framework_.adapt_to(support));
+  }
+  if (options_.coalesce) {
+    // One more identical clone, reserved for fused cross-session batches.
+    // Any clone produces the same bits for any row, so which model answers
+    // a prediction — and what else rides in its batch — cannot change a
+    // session's values.
+    entry.fused_predictor = std::make_unique<core::AdaptedPredictor>(
+        framework_.adapt_to(support));
+    entry.coalescer = std::make_unique<BatchCoalescer>(
+        *options_.coalesce,
+        [model = entry.fused_predictor.get()](const BatchCoalescer::Rows&
+                                                  rows) {
+          // The flushing thread may be the ticker (no serial region yet) or
+          // a session worker (already serial): pin the fused forward to the
+          // inline schedule either way so its kernels match the
+          // uncoalesced per-session path bitwise.
+          core::SerialRegionGuard serial;
+          return model->predict_batch(rows);
+        });
   }
   workloads_[name] = std::move(entry);
 }
@@ -78,6 +100,32 @@ ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
   dse.guard.start_level = ctx.start_level;
   dse.explorer.seed = request.seed;
   dse.explorer.stop_check = ctx.stop_requested;
+  if (it->second.coalescer) {
+    // Route the surrogate-IPC leg through the cross-session coalescer. The
+    // wait inside predict() is part of the evaluation attempt's wall-clock,
+    // so the guard's ChargeOnExit bills it to the session budget exactly
+    // like compute; a cancelled/exhausted budget (watchdog, shutdown,
+    // deadline) wakes the wait, drops the rows from the assembling batch
+    // and aborts the run — survivors' batches are unperturbed.
+    BatchCoalescer* coal = it->second.coalescer.get();
+    std::function<bool()> wake;
+    if (ctx.budget) {
+      wake = [budget = ctx.budget] {
+        return budget->cancelled() || budget->exhausted();
+      };
+    }
+    dse.predict_rows = [coal, id = request.id, wake = std::move(wake)](
+                           const std::vector<std::vector<float>>& rows) {
+      try {
+        return coal->predict(id, rows, wake);
+      } catch (const CoalesceCancelled&) {
+        throw explore::ExplorationAborted(
+            "exploration aborted: session budget cancelled or exhausted "
+            "while waiting in the cross-session coalescer (journal "
+            "preserves progress; resume with a fresh budget)");
+      }
+    };
+  }
 
   explore::RunReport report;
   const explore::ParetoArchive archive = framework_.run_dse(
@@ -95,7 +143,29 @@ ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
   ExecResult out;
   out.degraded = report.degraded() || report.cancelled > 0;
   out.detail = report.summary();
+  out.cancelled_points = report.cancelled;
   return out;
+}
+
+CoalesceStats MetaDseSessionEngine::coalesce_stats() const {
+  CoalesceStats total;
+  for (const auto& [name, entry] : workloads_) {
+    if (!entry.coalescer) continue;
+    const CoalesceStats s = entry.coalescer->stats();
+    total.submitted_requests += s.submitted_requests;
+    total.submitted_points += s.submitted_points;
+    total.coalesced_batches += s.coalesced_batches;
+    total.coalesced_points += s.coalesced_points;
+    total.cancelled_points += s.cancelled_points;
+    total.failed_points += s.failed_points;
+    total.failed_batches += s.failed_batches;
+    total.max_batch_points = std::max(total.max_batch_points,
+                                      s.max_batch_points);
+    total.flush_full += s.flush_full;
+    total.flush_tick += s.flush_tick;
+    total.flush_barrier += s.flush_barrier;
+  }
+  return total;
 }
 
 }  // namespace metadse::serve

@@ -9,10 +9,13 @@
 #pragma once
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/metadse.hpp"
+#include "serve/coalesce.hpp"
 #include "serve/serve.hpp"
 
 namespace metadse::serve {
@@ -26,6 +29,14 @@ class MetaDseSessionEngine {
     core::MetaDseFramework::DseOptions dse;
     /// Directory for published fronts; empty disables publication.
     std::string front_dir;
+    /// Cross-session batch coalescing: when set, every workload gets a
+    /// BatchCoalescer backed by a dedicated (bitwise-identical) predictor
+    /// clone, and sessions route their surrogate-IPC predictions through it
+    /// (DseOptions::predict_rows) instead of their replica's predictor.
+    /// Values — and therefore fronts and journals — are unchanged; only the
+    /// GEMM granularity is (see DESIGN.md §12). nullopt = per-session
+    /// forwards, the PR 6 behaviour.
+    std::optional<CoalesceOptions> coalesce;
   };
 
   /// @p framework must outlive the engine and be pretrained (or loaded).
@@ -48,11 +59,21 @@ class MetaDseSessionEngine {
   static std::string format_front(const arch::DesignSpace& space,
                                   const explore::ParetoArchive& archive);
 
+  /// Coalescing accounting summed over every workload's coalescer (all
+  /// zeros when coalescing is disabled). Thread-safe.
+  CoalesceStats coalesce_stats() const;
+  bool coalescing() const { return options_.coalesce.has_value(); }
+
  private:
   struct WorkloadEntry {
     const data::Dataset* support;
     /// One adapted predictor per replica, all bitwise-identical.
     std::vector<core::AdaptedPredictor> predictors;
+    /// Coalescing only: one more identical clone, owned by the coalescer's
+    /// fused executor so cross-session batches never contend with a
+    /// replica's own (uncoalesced) predictor use.
+    std::unique_ptr<core::AdaptedPredictor> fused_predictor;
+    std::unique_ptr<BatchCoalescer> coalescer;
   };
 
   ExecResult run_session(const SessionRequest& request,

@@ -435,11 +435,17 @@ int cmd_serve(const Args& args) {
   const long cand_arg = args.num("candidates", 200);
   const long sleep_arg = args.num("eval-sleep-ms", 0);
   const long batch_arg = args.num("predict-batch", 16);
+  const long coalesce_arg = args.num("coalesce-max-batch", 0);
+  const long coalesce_ticks_arg = args.num("coalesce-wait-ticks", 2);
   if (sessions_arg < 1 || replicas_arg < 1 || workers_arg < 1 ||
       queue_arg < 1 || cand_arg < 4 || support_arg < 1 || batch_arg < 1) {
     throw UsageError("serve: --sessions/--replicas/--workers/"
                      "--queue-capacity/--support/--predict-batch must be "
                      ">= 1 and --candidates >= 4");
+  }
+  if (coalesce_arg < 0 || coalesce_ticks_arg < 1) {
+    throw UsageError("serve: --coalesce-max-batch must be >= 0 (0 = off) "
+                     "and --coalesce-wait-ticks >= 1");
   }
   if (arrival_arg < 0 || deadline_arg < 0 || sleep_arg < 0) {
     throw UsageError("serve: --arrival-ms/--session-deadline-ms/"
@@ -500,6 +506,16 @@ int cmd_serve(const Args& args) {
       std::this_thread::sleep_for(std::chrono::milliseconds(sleep_arg));
     };
   }
+  if (coalesce_arg > 0) {
+    // Cross-session batch coalescing: concurrent sessions' surrogate
+    // queries fuse into one forward. Safe to flip on freely — per-row
+    // results are bitwise-independent of batch composition, so fronts and
+    // journals match the uncoalesced run exactly.
+    serve::CoalesceOptions copts;
+    copts.max_batch = static_cast<size_t>(coalesce_arg);
+    copts.wait_ticks = static_cast<size_t>(coalesce_ticks_arg);
+    eopts.coalesce = copts;
+  }
 
   // Support sets are simulated once per workload (clean generator, fixed
   // order) and each workload is adapted once per replica.
@@ -524,6 +540,9 @@ int cmd_serve(const Args& args) {
               sopts.queue_capacity, serve::to_string(sopts.admission));
 
   serve::ServerCore server(sopts, engine.executor());
+  if (engine.coalescing()) {
+    server.set_coalesce_stats([&engine] { return engine.coalesce_stats(); });
+  }
 
   // Open-loop (or --arrival-ms-paced) submission: session i targets
   // workload i mod names.size() with seed base+i — the same request stream
@@ -596,6 +615,14 @@ int cmd_serve(const Args& args) {
   std::printf("queue high water %zu/%zu, watchdog trips %zu\n",
               stats.queue_high_water, sopts.queue_capacity,
               stats.watchdog_trips);
+  if (engine.coalescing()) {
+    const serve::CoalesceStats cs = engine.coalesce_stats();
+    std::printf("coalesce: %zu fused batches, %zu points (mean %.1f "
+                "points/batch, max %zu), %zu cancelled\n",
+                cs.coalesced_batches, cs.coalesced_points,
+                cs.mean_batch_points(), cs.max_batch_points,
+                cs.cancelled_points);
+  }
   if (stop_requested()) {
     std::fprintf(stderr, "[serve] interrupted by signal %d; journals "
                  "flushed — rerun with --resume to finish\n",
@@ -656,10 +683,13 @@ void usage() {
       "                     --session-deadline-ms D --degrade-at F\n"
       "                     --watchdog-ms P --wedged-after-ms W\n"
       "                     --workload W --support K --candidates N\n"
-      "                     --eval-sleep-ms S --resume]\n"
+      "                     --eval-sleep-ms S --resume\n"
+      "                     --coalesce-max-batch B --coalesce-wait-ticks T]\n"
       "           (multi-session serving; fronts publish to\n"
       "            <journal-dir>/front_<id>.txt; exit 3 = interrupted by\n"
-      "            signal, journals flushed, rerun with --resume)\n"
+      "            signal, journals flushed, rerun with --resume;\n"
+      "            B > 0 fuses concurrent sessions' surrogate batches —\n"
+      "            fronts stay bitwise-identical to B = 0)\n"
       "  similarity [--samples N]\n"
       "common flags: --seed S, --dataset-size N, --threads N (0 = auto),\n"
       "  --verbose\n"
