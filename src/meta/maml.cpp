@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "core/parallel.hpp"
+#include "nn/plan.hpp"
 #include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
 #include "tensor/pool.hpp"
@@ -261,19 +262,33 @@ MamlTrainer::TaskOutcome MamlTrainer::run_task(const data::Task& task) const {
   nn::Sgd inner(inner_params, options_.inner_lr);
   tensor::Rng fwd(0);
   bool diverged = false;
+  // Only the final step's attention map is read (below), and a capturing
+  // forward cannot be replayed from a static tape; keeping capture off until
+  // the last iteration lets the earlier steps replay the captured tape.
+  // The map consumed after the loop is unchanged — it always came from the
+  // final support forward.
+  nn::plan::TapePlan tape;
   for (size_t step = 0; step < options_.inner_steps; ++step) {
+    const bool last = step + 1 == options_.inner_steps;
+    clone->set_capture_attention(last);
     inner.zero_grad();
-    auto loss = t::mse_loss(
-        clone->forward(task.support_x, fwd, /*train=*/true), sup_y);
-    if (!std::isfinite(loss.item())) {
+    float lv = 0.0F;
+    if (last || !tape.step(*clone, task.support_x, sup_y, fwd, lv,
+                           /*skip_backward_nonfinite=*/true)) {
+      auto loss = t::mse_loss(
+          clone->forward(task.support_x, fwd, /*train=*/true), sup_y);
+      lv = loss.item();
+      if (std::isfinite(lv)) loss.backward();
+    }
+    if (!std::isfinite(lv)) {
       diverged = true;
       break;
     }
-    loss.backward();
     // Fused clip+update: bitwise identical to clip_global_grad_norm
     // followed by step(), one pass over the gradients instead of three.
     inner.clip_and_step(options_.clip_norm);
   }
+  clone->set_capture_attention(true);  // query forward captures, as before
   if (diverged || t::any_nonfinite(clone->parameters())) {
     out.skipped = true;
     return out;
@@ -397,11 +412,17 @@ std::unique_ptr<nn::TransformerRegressor> MamlTrainer::adapt_clone(
   nn::Sgd inner(head_only ? clone->head_parameters() : clone->parameters(),
                 lr);
   tensor::Rng fwd(0);
+  // First step captures the forward+backward tape, later steps replay it —
+  // same ops on the same nodes, so adapted weights are bitwise unchanged.
+  nn::plan::TapePlan tape;
   for (size_t step = 0; step < steps; ++step) {
     inner.zero_grad();
-    auto loss =
-        t::mse_loss(clone->forward(support_x, fwd, /*train=*/true), support_y);
-    loss.backward();
+    float lv = 0.0F;
+    if (!tape.step(*clone, support_x, support_y, fwd, lv)) {
+      auto loss = t::mse_loss(clone->forward(support_x, fwd, /*train=*/true),
+                              support_y);
+      loss.backward();
+    }
     inner.step();
   }
   return clone;

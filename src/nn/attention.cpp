@@ -6,6 +6,7 @@
 
 #include "nn/fused.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 
 namespace metadse::nn {
 
@@ -77,7 +78,10 @@ Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
   }
 
   if (capture_) {
-    // Average over batch*heads -> [S, S], detached (analysis only).
+    // Average over batch*heads -> [S, S], detached (analysis only). The
+    // detach side effect cannot be replayed from a static schedule, so a
+    // capturing forward stays eager.
+    t::plan::trace_unplannable("attention capture");
     auto avg = t::mean_axis(attn, 0);
     last_attention_ = avg.detach();
   }

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "nn/plan.hpp"
 #include "tensor/ops.hpp"
 
 namespace metadse::nn {
@@ -54,6 +55,8 @@ TransformerRegressor::TransformerRegressor(const TransformerConfig& cfg,
   register_child(head2_);
 }
 
+TransformerRegressor::~TransformerRegressor() = default;
+
 Tensor TransformerRegressor::forward(const Tensor& x, Rng& rng, bool train) {
   if (x.rank() != 2 || x.dim(1) != cfg_.n_tokens) {
     throw std::invalid_argument(
@@ -75,6 +78,11 @@ Tensor TransformerRegressor::forward(const Tensor& x, Rng& rng, bool train) {
 
 std::vector<float> TransformerRegressor::predict_one(
     const std::vector<float>& features) {
+  if (plan::PlanMode::enabled() && features.size() == cfg_.n_tokens) {
+    if (!planner_) planner_ = std::make_unique<plan::PredictPlanner>(*this);
+    std::vector<float> out(cfg_.n_outputs);
+    if (planner_->run(1, features.data(), out.data())) return out;
+  }
   t::NoGradGuard no_grad;
   auto x = Tensor::from_vector({1, cfg_.n_tokens},
                                std::vector<float>(features));
@@ -95,10 +103,22 @@ std::vector<std::vector<float>> TransformerRegressor::predict_batch(
     }
     flat.insert(flat.end(), r.begin(), r.end());
   }
-  auto x = Tensor::from_vector({rows.size(), cfg_.n_tokens}, std::move(flat));
-  auto y = forward(x, eval_rng_, /*train=*/false);
   const size_t no = cfg_.n_outputs;
   std::vector<std::vector<float>> out(rows.size());
+  if (plan::PlanMode::enabled()) {
+    if (!planner_) planner_ = std::make_unique<plan::PredictPlanner>(*this);
+    std::vector<float> flat_out(rows.size() * no);
+    if (planner_->run(rows.size(), flat.data(), flat_out.data())) {
+      for (size_t i = 0; i < rows.size(); ++i) {
+        out[i].assign(
+            flat_out.begin() + static_cast<std::ptrdiff_t>(i * no),
+            flat_out.begin() + static_cast<std::ptrdiff_t>((i + 1) * no));
+      }
+      return out;
+    }
+  }
+  auto x = Tensor::from_vector({rows.size(), cfg_.n_tokens}, std::move(flat));
+  auto y = forward(x, eval_rng_, /*train=*/false);
   for (size_t i = 0; i < rows.size(); ++i) {
     out[i].assign(y.data().begin() + static_cast<std::ptrdiff_t>(i * no),
                   y.data().begin() + static_cast<std::ptrdiff_t>((i + 1) * no));
@@ -120,6 +140,11 @@ void TransformerRegressor::set_capture_attention(bool on) {
 }
 
 MultiHeadSelfAttention& TransformerRegressor::attention_layer(size_t i) {
+  return layers_.at(i)->attention();
+}
+
+const MultiHeadSelfAttention& TransformerRegressor::attention_layer(
+    size_t i) const {
   return layers_.at(i)->attention();
 }
 

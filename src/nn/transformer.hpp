@@ -9,6 +9,10 @@
 
 #include "nn/attention.hpp"
 
+namespace metadse::nn::plan {
+class PredictPlanner;
+}  // namespace metadse::nn::plan
+
 namespace metadse::nn {
 
 /// Hyper-parameters of the transformer predictor.
@@ -47,6 +51,7 @@ class TransformerEncoderLayer : public Module {
 class TransformerRegressor : public Module {
  public:
   TransformerRegressor(const TransformerConfig& cfg, Rng& rng);
+  ~TransformerRegressor() override;  // out-of-line: owns the predict planner
 
   /// x: [batch, n_tokens] normalized features -> [batch, n_outputs].
   Tensor forward(const Tensor& x, Rng& rng, bool train = false);
@@ -68,6 +73,7 @@ class TransformerRegressor : public Module {
 
   /// Attention module of encoder layer @p i (0-based).
   MultiHeadSelfAttention& attention_layer(size_t i);
+  const MultiHeadSelfAttention& attention_layer(size_t i) const;
   size_t layer_count() const { return layers_.size(); }
 
   /// Installs (a copy of) @p mask in every encoder layer's attention.
@@ -95,6 +101,10 @@ class TransformerRegressor : public Module {
   Linear head1_;
   Linear head2_;
   Rng eval_rng_{0};  ///< inert rng for eval-mode forwards
+  /// Lazily built cache of compiled predict plans (nn/plan.hpp). The eager
+  /// forward() path never touches it; predict_one/predict_batch consult it
+  /// first and fall back to eager for unplannable shapes.
+  std::unique_ptr<plan::PredictPlanner> planner_;
 };
 
 }  // namespace metadse::nn

@@ -60,6 +60,13 @@ class ServerCore {
     coalesce_source_ = std::move(source);
   }
 
+  /// Installs the source of static-execution-plan counters surfaced by
+  /// stats() (typically MetaDseSessionEngine::plan_stats). Call before
+  /// serving starts; not thread-safe against concurrent stats().
+  void set_plan_stats(std::function<PlanExecStats()> source) {
+    plan_source_ = std::move(source);
+  }
+
  private:
   struct Pending {
     SessionRequest request;
@@ -104,6 +111,7 @@ class ServerCore {
   std::atomic<size_t> cancelled_points_{0};
 
   std::function<CoalesceStats()> coalesce_source_;
+  std::function<PlanExecStats()> plan_source_;
 
   std::vector<std::thread> workers_;
   std::thread watchdog_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/parallel.hpp"
+#include "nn/plan.hpp"
 #include "nn/serialize.hpp"
 
 namespace metadse::serve {
@@ -166,6 +167,16 @@ CoalesceStats MetaDseSessionEngine::coalesce_stats() const {
     total.flush_barrier += s.flush_barrier;
   }
   return total;
+}
+
+PlanExecStats MetaDseSessionEngine::plan_stats() const {
+  const nn::plan::PlanStats s = nn::plan::PlanRegistry::instance().stats();
+  PlanExecStats out;
+  out.plans_compiled = s.plans_compiled;
+  out.cache_hits = s.cache_hits;
+  out.fallbacks = s.fallbacks;
+  out.static_bytes = s.static_bytes;
+  return out;
 }
 
 }  // namespace metadse::serve

@@ -64,6 +64,10 @@ class MetaDseSessionEngine {
   CoalesceStats coalesce_stats() const;
   bool coalescing() const { return options_.coalesce.has_value(); }
 
+  /// Static-execution-plan counters from the process-wide plan registry
+  /// (replicas share compiled programs through it). Thread-safe.
+  PlanExecStats plan_stats() const;
+
  private:
   struct WorkloadEntry {
     const data::Dataset* support;

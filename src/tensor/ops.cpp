@@ -7,14 +7,19 @@
 #include <stdexcept>
 
 #include "core/parallel.hpp"
+#include "tensor/kernels.hpp"
+#include "tensor/plan.hpp"
 #include "tensor/pool.hpp"
 
 namespace metadse::tensor {
 
 namespace {
 
-constexpr float kGeluC = 0.7978845608028654F;  // sqrt(2/pi)
-constexpr float kGeluA = 0.044715F;
+// The forward compute kernels (GEMM panels, fast_expf/tanhf, GELU, softmax /
+// layer-norm rows) live in tensor/kernels.hpp, shared verbatim with the
+// static-plan executor so the two paths cannot drift bitwise.
+using kern::gelu_dfn;
+using kern::gelu_fwd;
 
 /// Op-output allocation: always drawn from the thread-local BufferPool. In
 /// no-grad mode buffers cycle back as soon as the handle dies (inference
@@ -33,7 +38,9 @@ std::vector<float> alloc_out_zero(size_t n) {
 Tensor pooled_scalar(float v) {
   std::vector<float> out = BufferPool::acquire(1);
   out[0] = v;
-  return detail::make_inference_result({}, std::move(out));
+  Tensor r = detail::make_inference_result({}, std::move(out));
+  plan::trace_const(r);
+  return r;
 }
 
 // -- blocked GEMM kernels ----------------------------------------------------
@@ -49,76 +56,8 @@ Tensor pooled_scalar(float v) {
 // matrix, the accumulation order per element still matches the serial
 // bi-major order.
 
-/// Reduction-axis tile: K-slices of B this wide stay resident in L1/L2
-/// while a row block streams over them.
-constexpr size_t kGemmKTile = 64;
-
-/// Minimum multiply-adds worth shipping to a worker; below this a block is
-/// not worth the handoff and the grain forces the inline path.
-constexpr size_t kGemmGrainFlops = 1 << 14;
-
-size_t gemm_row_grain(size_t flops_per_row) {
-  return std::max<size_t>(1, kGemmGrainFlops / std::max<size_t>(1, flops_per_row));
-}
-
-/// One multiply-accumulate step of the forward GEMM kernels. When the target
-/// has hardware FMA the kernels opt into it explicitly: every forward path
-/// (panel widths, scalar tails, both kernels) fuses the same way, so all the
-/// within-binary bitwise-equivalence guarantees (grad vs no-grad, batched vs
-/// scalar, matmul_nt vs matmul∘transpose, any thread count) hold unchanged.
-/// Without hardware FMA this is a plain rounded mul+add — never the libm
-/// soft-fma path.
-inline float gemm_mac(float acc, float a, float b) {
-#if defined(__FMA__)
-  return __builtin_fmaf(a, b, acc);
-#else
-  return acc + a * b;
-#endif
-}
-
-/// Width-T panel of one output row kept in registers while a K-slice streams
-/// over it. Each output element still receives one rounded MAC per k in
-/// ascending order — bitwise identical to the saxpy form this replaces; only
-/// where the running float32 partial lives (registers vs. the output row)
-/// changes. Init: this is the first K-slice, so start the accumulators at
-/// zero instead of loading the (then never pre-zeroed) output row.
-template <size_t T, bool Init>
-void gemm_row_panel(const float* pam, const float* pb, float* pom, size_t k0,
-                    size_t k1, size_t N) {
-  float acc[T];
-  for (size_t j = 0; j < T; ++j) acc[j] = Init ? 0.0F : pom[j];
-  for (size_t k = k0; k < k1; ++k) {
-    const float av = pam[k];
-    const float* pbk = pb + k * N;
-    for (size_t j = 0; j < T; ++j) acc[j] = gemm_mac(acc[j], av, pbk[j]);
-  }
-  for (size_t j = 0; j < T; ++j) pom[j] = acc[j];
-}
-
-/// Row [m0, m1) x column-panel sweep of one batch's C tile for K-slice
-/// [k0, k1); Init as in gemm_row_panel.
-template <bool Init>
-void gemm_rows(const float* pa, const float* pb, float* po, size_t m0,
-               size_t m1, size_t k0, size_t k1, size_t K, size_t N) {
-  for (size_t m = m0; m < m1; ++m) {
-    const float* pam = pa + m * K;
-    float* pom = po + m * N;
-    size_t n0 = 0;
-    for (; n0 + 32 <= N; n0 += 32) {
-      gemm_row_panel<32, Init>(pam, pb + n0, pom + n0, k0, k1, N);
-    }
-    for (; n0 + 8 <= N; n0 += 8) {
-      gemm_row_panel<8, Init>(pam, pb + n0, pom + n0, k0, k1, N);
-    }
-    for (; n0 < N; ++n0) {
-      float acc = Init ? 0.0F : pom[n0];
-      for (size_t k = k0; k < k1; ++k) {
-        acc = gemm_mac(acc, pam[k], pb[k * N + n0]);
-      }
-      pom[n0] = acc;
-    }
-  }
-}
+using kern::gemm_row_grain;
+using kern::kGemmKTile;
 
 /// C[bi] = A[bi] * B[bi] for all batches, rows split across the pool. The
 /// first K-slice writes through zero-initialized accumulators, so c does NOT
@@ -135,10 +74,11 @@ void gemm_forward(const float* a, const float* b, float* c,
       const float* pa = a + aoff[bi];
       const float* pb = b + boff[bi];
       float* po = c + bi * o_mat;
-      gemm_rows<true>(pa, pb, po, m0, m1, 0, std::min(K, kGemmKTile), K, N);
+      kern::gemm_rows<true>(pa, pb, po, m0, m1, 0, std::min(K, kGemmKTile), K,
+                            N);
       for (size_t k0 = kGemmKTile; k0 < K; k0 += kGemmKTile) {
-        gemm_rows<false>(pa, pb, po, m0, m1, k0, std::min(K, k0 + kGemmKTile),
-                         K, N);
+        kern::gemm_rows<false>(pa, pb, po, m0, m1, k0,
+                               std::min(K, k0 + kGemmKTile), K, N);
       }
     }
   });
@@ -273,8 +213,8 @@ void gemm_nt_forward(const float* a, const float* b, float* c,
   core::parallel_for_blocks_static(M, gemm_row_grain(K * N * nb), [&](size_t m0,
                                                                size_t m1) {
     for (size_t bi = 0; bi < nb; ++bi) {
-      gemm_rows<true>(a + aoff[bi], bt.data() + bi * b_mat, c + bi * o_mat,
-                      m0, m1, 0, K, K, N);
+      kern::gemm_rows<true>(a + aoff[bi], bt.data() + bi * b_mat,
+                            c + bi * o_mat, m0, m1, 0, K, K, N);
     }
   });
   // Hand the packed panel back to the pool: the next matmul_nt of this shape
@@ -546,53 +486,6 @@ Tensor binary_bcast(const Tensor& a, const Tensor& b, Fwd fwd, Dfa dfa,
       });
 }
 
-/// Branch-free Cephes-style expf (range-reduced degree-5 polynomial, ~2 ulp
-/// vs. libm). softmax spends essentially its whole budget in exp, and the
-/// libm call blocks vectorization; this form auto-vectorizes. Only pure
-/// rounded float ops, so results are identical at any vector width.
-inline float fast_expf(float x) {
-  constexpr float kLog2e = 1.442695040888963F;
-  constexpr float kLn2Hi = 0.693359375F;
-  constexpr float kLn2Lo = -2.12194440e-4F;
-  // Round to nearest via the 1.5*2^23 magic constant: exact for |z| < 2^22
-  // and, unlike std::floor, it auto-vectorizes.
-  constexpr float kRound = 12582912.0F;
-  x = std::min(88.3762626647949F, std::max(-87.3365478515625F, x));
-  const float n = (x * kLog2e + kRound) - kRound;
-  x -= n * kLn2Hi;
-  x -= n * kLn2Lo;
-  float p = 1.9875691500e-4F;
-  p = p * x + 1.3981999507e-3F;
-  p = p * x + 8.3334519073e-3F;
-  p = p * x + 4.1665795894e-2F;
-  p = p * x + 1.6666665459e-1F;
-  p = p * x + 5.0000001201e-1F;
-  const float r = p * x * x + x + 1.0F;
-  const auto ni = static_cast<int32_t>(n);
-  return r * std::bit_cast<float>((ni + 127) << 23);
-}
-
-/// tanh through fast_expf: tanh(u) = 1 - 2/(exp(2u) + 1). Saturates cleanly
-/// to ±1 at the exp clamp. Used by the hot gelu path, where the libm tanh
-/// call dominated the whole activation and blocked vectorization.
-inline float fast_tanhf(float u) {
-  return 1.0F - 2.0F / (fast_expf(2.0F * u) + 1.0F);
-}
-
-/// GELU value/derivative shared by gelu() and the fused bias_gelu so both
-/// paths evaluate the identical expression tree.
-inline float gelu_fwd(float x) {
-  const float t = fast_tanhf(kGeluC * (x + kGeluA * x * x * x));
-  return 0.5F * x * (1.0F + t);
-}
-
-inline float gelu_dfn(float x) {
-  const float u = kGeluC * (x + kGeluA * x * x * x);
-  const float t = fast_tanhf(u);
-  const float du = kGeluC * (1.0F + 3.0F * kGeluA * x * x);
-  return 0.5F * (1.0F + t) + 0.5F * x * (1.0F - t * t) * du;
-}
-
 /// Generic elementwise unary op; dfn receives (x, y) and returns dy/dx.
 template <typename Fwd, typename Dfn>
 Tensor unary(const Tensor& a, Fwd fwd, Dfn dfn) {
@@ -618,31 +511,39 @@ Tensor unary(const Tensor& a, Fwd fwd, Dfn dfn) {
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
-  return binary_bcast(
+  Tensor r = binary_bcast(
       a, b, [](float x, float y) { return x + y; },
       [](float, float, float) { return 1.0F; },
       [](float, float, float) { return 1.0F; });
+  plan::trace_binary(plan::BinFn::kAdd, r, a, b);
+  return r;
 }
 
 Tensor sub(const Tensor& a, const Tensor& b) {
-  return binary_bcast(
+  Tensor r = binary_bcast(
       a, b, [](float x, float y) { return x - y; },
       [](float, float, float) { return 1.0F; },
       [](float, float, float) { return -1.0F; });
+  plan::trace_binary(plan::BinFn::kSub, r, a, b);
+  return r;
 }
 
 Tensor mul(const Tensor& a, const Tensor& b) {
-  return binary_bcast(
+  Tensor r = binary_bcast(
       a, b, [](float x, float y) { return x * y; },
       [](float, float y, float) { return y; },
       [](float x, float, float) { return x; });
+  plan::trace_binary(plan::BinFn::kMul, r, a, b);
+  return r;
 }
 
 Tensor div(const Tensor& a, const Tensor& b) {
-  return binary_bcast(
+  Tensor r = binary_bcast(
       a, b, [](float x, float y) { return x / y; },
       [](float, float y, float) { return 1.0F / y; },
       [](float x, float y, float) { return -x / (y * y); });
+  plan::trace_binary(plan::BinFn::kDiv, r, a, b);
+  return r;
 }
 
 Tensor add(const Tensor& a, float b) { return add(a, pooled_scalar(b)); }
@@ -651,8 +552,10 @@ Tensor mul(const Tensor& a, float b) { return mul(a, pooled_scalar(b)); }
 Tensor div(const Tensor& a, float b) { return div(a, pooled_scalar(b)); }
 
 Tensor neg(const Tensor& a) {
-  return unary(a, [](float x) { return -x; },
-               [](float, float) { return -1.0F; });
+  Tensor r = unary(a, [](float x) { return -x; },
+                   [](float, float) { return -1.0F; });
+  plan::trace_unary(plan::UnFn::kNeg, r, a);
+  return r;
 }
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -683,7 +586,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   gemm_forward(an->value.data(), bn->value.data(), out.data(), aoff, boff, M,
                K, N);
 
-  return make_op_result(
+  Tensor r = make_op_result(
       std::move(out_shape), std::move(out), {an, bn},
       [an, bn, aoff = PooledIdx(std::move(aoff)),
        boff = PooledIdx(std::move(boff)), M, K, N](Node& self) {
@@ -702,6 +605,8 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                           bn->grad.data(), aoff.get(), boff.get(), M, K, N);
         }
       });
+  plan::trace_matmul(false, r, a, b);
+  return r;
 }
 
 Tensor matmul_nt(const Tensor& a, const Tensor& b) {
@@ -732,7 +637,7 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   gemm_nt_forward(an->value.data(), bn->value.data(), out.data(), aoff, boff,
                   M, K, N);
 
-  return make_op_result(
+  Tensor r = make_op_result(
       std::move(out_shape), std::move(out), {an, bn},
       [an, bn, aoff = PooledIdx(std::move(aoff)),
        boff = PooledIdx(std::move(boff)), M, K, N](Node& self) {
@@ -751,41 +656,57 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
                              bn->grad.data(), aoff.get(), boff.get(), M, K, N);
         }
       });
+  plan::trace_matmul(true, r, a, b);
+  return r;
 }
 
 Tensor relu(const Tensor& a) {
-  return unary(a, [](float x) { return x > 0.0F ? x : 0.0F; },
-               [](float x, float) { return x > 0.0F ? 1.0F : 0.0F; });
+  Tensor r = unary(a, [](float x) { return x > 0.0F ? x : 0.0F; },
+                   [](float x, float) { return x > 0.0F ? 1.0F : 0.0F; });
+  plan::trace_unary(plan::UnFn::kRelu, r, a);
+  return r;
 }
 
 Tensor gelu(const Tensor& a) {
-  return unary(a, [](float x) { return gelu_fwd(x); },
-               [](float x, float) { return gelu_dfn(x); });
+  Tensor r = unary(a, [](float x) { return gelu_fwd(x); },
+                   [](float x, float) { return gelu_dfn(x); });
+  plan::trace_unary(plan::UnFn::kGelu, r, a);
+  return r;
 }
 
 Tensor tanh(const Tensor& a) {
-  return unary(a, [](float x) { return std::tanh(x); },
-               [](float, float y) { return 1.0F - y * y; });
+  Tensor r = unary(a, [](float x) { return std::tanh(x); },
+                   [](float, float y) { return 1.0F - y * y; });
+  plan::trace_unary(plan::UnFn::kTanh, r, a);
+  return r;
 }
 
 Tensor sigmoid(const Tensor& a) {
-  return unary(a, [](float x) { return 1.0F / (1.0F + std::exp(-x)); },
-               [](float, float y) { return y * (1.0F - y); });
+  Tensor r = unary(a, [](float x) { return 1.0F / (1.0F + std::exp(-x)); },
+                   [](float, float y) { return y * (1.0F - y); });
+  plan::trace_unary(plan::UnFn::kSigmoid, r, a);
+  return r;
 }
 
 Tensor exp(const Tensor& a) {
-  return unary(a, [](float x) { return std::exp(x); },
-               [](float, float y) { return y; });
+  Tensor r = unary(a, [](float x) { return std::exp(x); },
+                   [](float, float y) { return y; });
+  plan::trace_unary(plan::UnFn::kExp, r, a);
+  return r;
 }
 
 Tensor log(const Tensor& a) {
-  return unary(a, [](float x) { return std::log(x); },
-               [](float x, float) { return 1.0F / x; });
+  Tensor r = unary(a, [](float x) { return std::log(x); },
+                   [](float x, float) { return 1.0F / x; });
+  plan::trace_unary(plan::UnFn::kLog, r, a);
+  return r;
 }
 
 Tensor square(const Tensor& a) {
-  return unary(a, [](float x) { return x * x; },
-               [](float x, float) { return 2.0F * x; });
+  Tensor r = unary(a, [](float x) { return x * x; },
+                   [](float x, float) { return 2.0F * x; });
+  plan::trace_unary(plan::UnFn::kSquare, r, a);
+  return r;
 }
 
 Tensor softmax_lastdim(const Tensor& a) {
@@ -797,31 +718,9 @@ Tensor softmax_lastdim(const Tensor& a) {
   const size_t rows = an->value.size() / L;
   std::vector<float> out = alloc_out(an->value.size());
   for (size_t r = 0; r < rows; ++r) {
-    const float* x = an->value.data() + r * L;
-    float* y = out.data() + r * L;
-    // Lane-parallel max: max is exact and associative, so splitting the
-    // reduction across 8 lanes (which vectorizes) returns the identical
-    // value to the sequential scan.
-    float mx = x[0];
-    if (L >= 16) {
-      float lane[8];
-      for (size_t j = 0; j < 8; ++j) lane[j] = x[j];
-      size_t i = 8;
-      for (; i + 8 <= L; i += 8) {
-        for (size_t j = 0; j < 8; ++j) lane[j] = std::max(lane[j], x[i + j]);
-      }
-      mx = lane[0];
-      for (size_t j = 1; j < 8; ++j) mx = std::max(mx, lane[j]);
-      for (; i < L; ++i) mx = std::max(mx, x[i]);
-    } else {
-      for (size_t i = 1; i < L; ++i) mx = std::max(mx, x[i]);
-    }
-    for (size_t i = 0; i < L; ++i) y[i] = fast_expf(x[i] - mx);
-    float denom = 0.0F;
-    for (size_t i = 0; i < L; ++i) denom += y[i];
-    for (size_t i = 0; i < L; ++i) y[i] /= denom;
+    kern::softmax_row(an->value.data() + r * L, out.data() + r * L, L);
   }
-  return make_op_result(
+  Tensor r = make_op_result(
       an->shape, std::move(out), {an}, [an, L, rows](Node& self) {
         if (!an->requires_grad) return;
         an->ensure_grad();
@@ -834,6 +733,8 @@ Tensor softmax_lastdim(const Tensor& a) {
           for (size_t i = 0; i < L; ++i) dx[i] += y[i] * (g[i] - dot);
         }
       });
+  plan::trace_softmax(r, a);
+  return r;
 }
 
 Tensor layer_norm_lastdim(const Tensor& a, float eps) {
@@ -850,19 +751,15 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
   std::vector<float> inv_std = rec ? BufferPool::acquire(rows)
                                    : std::vector<float>{};
   for (size_t r = 0; r < rows; ++r) {
-    const float* x = an->value.data() + r * L;
-    float* y = out.data() + r * L;
-    float mu = 0.0F;
-    for (size_t i = 0; i < L; ++i) mu += x[i];
-    mu /= static_cast<float>(L);
-    float var = 0.0F;
-    for (size_t i = 0; i < L; ++i) var += (x[i] - mu) * (x[i] - mu);
-    var /= static_cast<float>(L);
-    const float is = 1.0F / std::sqrt(var + eps);
+    const float is =
+        kern::layer_norm_row(an->value.data() + r * L, out.data() + r * L, L,
+                             eps);
     if (rec) inv_std[r] = is;
-    for (size_t i = 0; i < L; ++i) y[i] = (x[i] - mu) * is;
   }
-  return make_op_result(
+  // The stash's heap buffer survives the PooledVec move below, so the traced
+  // pointer stays valid for the training-plan replay to refresh in place.
+  float* ivp = rec ? inv_std.data() : nullptr;
+  Tensor r = make_op_result(
       an->shape, std::move(out), {an},
       [an, L, rows, inv_std = PooledVec(std::move(inv_std))](Node& self) {
         if (!an->requires_grad) return;
@@ -885,6 +782,8 @@ Tensor layer_norm_lastdim(const Tensor& a, float eps) {
           }
         }
       });
+  plan::trace_layer_norm(r, a, eps, ivp);
+  return r;
 }
 
 // The fused kernels below replace the hot op chains of the transformer
@@ -921,33 +820,14 @@ Tensor layer_norm_affine(const Tensor& x, const Tensor& gamma,
   std::vector<float> inv_std =
       rec ? BufferPool::acquire(rows) : std::vector<float>{};
   for (size_t r = 0; r < rows; ++r) {
-    const float* px = an->value.data() + r * L;
-    float* po = out.data() + r * L;
-    float mu = 0.0F;
-    for (size_t i = 0; i < L; ++i) mu += px[i];
-    mu /= static_cast<float>(L);
-    float var = 0.0F;
-    for (size_t i = 0; i < L; ++i) var += (px[i] - mu) * (px[i] - mu);
-    var /= static_cast<float>(L);
-    const float is = 1.0F / std::sqrt(var + eps);
-    if (rec) {
-      inv_std[r] = is;
-      float* py = normed.data() + r * L;
-      for (size_t i = 0; i < L; ++i) {
-        const float y = (px[i] - mu) * is;
-        py[i] = y;
-        const float m = y * gn->value[i];
-        po[i] = m + bn->value[i];
-      }
-    } else {
-      for (size_t i = 0; i < L; ++i) {
-        const float y = (px[i] - mu) * is;
-        const float m = y * gn->value[i];
-        po[i] = m + bn->value[i];
-      }
-    }
+    const float is = kern::layer_norm_affine_row(
+        an->value.data() + r * L, gn->value.data(), bn->value.data(),
+        out.data() + r * L, rec ? normed.data() + r * L : nullptr, L, eps);
+    if (rec) inv_std[r] = is;
   }
-  return make_op_result(
+  float* np = rec ? normed.data() : nullptr;
+  float* ivp = rec ? inv_std.data() : nullptr;
+  Tensor r = make_op_result(
       an->shape, std::move(out), {an, gn, bn},
       [an, gn, bn, L, rows, normed = PooledVec(std::move(normed)),
        inv_std = PooledVec(std::move(inv_std))](Node& self) {
@@ -986,6 +866,8 @@ Tensor layer_norm_affine(const Tensor& x, const Tensor& gamma,
           }
         }
       });
+  plan::trace_layer_norm_affine(r, x, gamma, beta, eps, np, ivp);
+  return r;
 }
 
 Tensor softmax_masked_lastdim(const Tensor& scores, const Tensor& mask,
@@ -1015,36 +897,18 @@ Tensor softmax_masked_lastdim(const Tensor& scores, const Tensor& mask,
   for (size_t r = 0; r < rows; ++r) {
     const float* x = an->value.data() + r * L;
     float* po = out.data() + r * L;
-    // Softmax exactly as softmax_lastdim (incl. the lane-split max); when no
-    // graph is recorded the output row doubles as the y scratch.
+    // Softmax exactly as softmax_lastdim; when no graph is recorded the
+    // output row doubles as the y scratch (masked_renorm_row is in-place
+    // safe).
     float* y = rec ? ystash.data() + r * L : po;
-    float mx = x[0];
-    if (L >= 16) {
-      float lane[8];
-      for (size_t j = 0; j < 8; ++j) lane[j] = x[j];
-      size_t i = 8;
-      for (; i + 8 <= L; i += 8) {
-        for (size_t j = 0; j < 8; ++j) lane[j] = std::max(lane[j], x[i + j]);
-      }
-      mx = lane[0];
-      for (size_t j = 1; j < 8; ++j) mx = std::max(mx, lane[j]);
-      for (; i < L; ++i) mx = std::max(mx, x[i]);
-    } else {
-      for (size_t i = 1; i < L; ++i) mx = std::max(mx, x[i]);
-    }
-    for (size_t i = 0; i < L; ++i) y[i] = fast_expf(x[i] - mx);
-    float denom = 0.0F;
-    for (size_t i = 0; i < L; ++i) denom += y[i];
-    for (size_t i = 0; i < L; ++i) y[i] /= denom;
-    const float* mk = mn->value.data() + (r % R) * L;
-    float srow = 0.0F;
-    for (size_t i = 0; i < L; ++i) srow += y[i] * mk[i];
-    const float s2 = srow + eps;
+    kern::softmax_row(x, y, L);
+    const float s2 = kern::masked_renorm_row(
+        y, mn->value.data() + (r % R) * L, po, L, eps);
     if (rec) s2stash[r] = s2;
-    // In-place safe when y aliases po: each element is read before written.
-    for (size_t i = 0; i < L; ++i) po[i] = (y[i] * mk[i]) / s2;
   }
-  return make_op_result(
+  float* yp = rec ? ystash.data() : nullptr;
+  float* s2p = rec ? s2stash.data() : nullptr;
+  Tensor res = make_op_result(
       an->shape, std::move(out), {an, mn},
       [an, mn, L, R, rows, ystash = PooledVec(std::move(ystash)),
        s2stash = PooledVec(std::move(s2stash))](Node& self) {
@@ -1083,6 +947,8 @@ Tensor softmax_masked_lastdim(const Tensor& scores, const Tensor& mask,
         }
         BufferPool::release(std::move(dy));
       });
+  plan::trace_softmax_masked(res, scores, mask, eps, yp, s2p);
+  return res;
 }
 
 Tensor bias_gelu(const Tensor& x, const Tensor& b) {
@@ -1098,12 +964,8 @@ Tensor bias_gelu(const Tensor& x, const Tensor& b) {
   }
   const size_t n = an->value.size();
   std::vector<float> out = alloc_out(n);
-  for (size_t i0 = 0; i0 < n; i0 += L) {
-    const float* px = an->value.data() + i0;
-    float* po = out.data() + i0;
-    for (size_t j = 0; j < L; ++j) po[j] = gelu_fwd(px[j] + bn->value[j]);
-  }
-  return make_op_result(
+  kern::bias_gelu_rows(an->value.data(), bn->value.data(), out.data(), n, L);
+  Tensor r = make_op_result(
       an->shape, std::move(out), {an, bn}, [an, bn, L](Node& self) {
         const bool ga = an->requires_grad;
         const bool gb = bn->requires_grad;
@@ -1139,6 +1001,8 @@ Tensor bias_gelu(const Tensor& x, const Tensor& b) {
         }
         BufferPool::release(std::move(dv));
       });
+  plan::trace_bias_gelu(r, x, b);
+  return r;
 }
 
 Tensor sum(const Tensor& a) {
@@ -1147,12 +1011,14 @@ Tensor sum(const Tensor& a) {
   for (float v : an->value) s += v;
   std::vector<float> out = alloc_out(1);
   out[0] = s;
-  return make_op_result({}, std::move(out), {an}, [an](Node& self) {
+  Tensor r = make_op_result({}, std::move(out), {an}, [an](Node& self) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     const float g = self.grad[0];
     for (auto& dv : an->grad) dv += g;
   });
+  plan::trace_reduce_all(false, r, a);
+  return r;
 }
 
 Tensor mean(const Tensor& a) {
@@ -1165,12 +1031,14 @@ Tensor mean(const Tensor& a) {
   for (float v : an->value) s += v;
   std::vector<float> out = alloc_out(1);
   out[0] = s / n;
-  return make_op_result({}, std::move(out), {an}, [an, n](Node& self) {
+  Tensor r = make_op_result({}, std::move(out), {an}, [an, n](Node& self) {
     if (!an->requires_grad) return;
     an->ensure_grad();
     const float g = self.grad[0] * (1.0F / n);
     for (auto& dv : an->grad) dv += g;
   });
+  plan::trace_reduce_all(true, r, a);
+  return r;
 }
 
 Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim) {
@@ -1198,19 +1066,23 @@ Tensor sum_axis(const Tensor& a, size_t axis, bool keepdim) {
       for (size_t i = 0; i < inner; ++i) dst[i] += src[i];
     }
   }
-  return make_op_result(std::move(out_shape), std::move(out), {an},
-                        [an, outer, inner, ax](Node& self) {
-                          if (!an->requires_grad) return;
-                          an->ensure_grad();
-                          for (size_t o = 0; o < outer; ++o) {
-                            const float* g = self.grad.data() + o * inner;
-                            for (size_t x = 0; x < ax; ++x) {
-                              float* dst =
-                                  an->grad.data() + (o * ax + x) * inner;
-                              for (size_t i = 0; i < inner; ++i) dst[i] += g[i];
-                            }
-                          }
-                        });
+  Tensor r = make_op_result(std::move(out_shape), std::move(out), {an},
+                            [an, outer, inner, ax](Node& self) {
+                              if (!an->requires_grad) return;
+                              an->ensure_grad();
+                              for (size_t o = 0; o < outer; ++o) {
+                                const float* g = self.grad.data() + o * inner;
+                                for (size_t x = 0; x < ax; ++x) {
+                                  float* dst =
+                                      an->grad.data() + (o * ax + x) * inner;
+                                  for (size_t i = 0; i < inner; ++i) {
+                                    dst[i] += g[i];
+                                  }
+                                }
+                              }
+                            });
+  plan::trace_reduce_axis(false, r, a, axis, keepdim);
+  return r;
 }
 
 Tensor mean_axis(const Tensor& a, size_t axis, bool keepdim) {
@@ -1241,22 +1113,24 @@ Tensor mean_axis(const Tensor& a, size_t axis, bool keepdim) {
     }
   }
   for (auto& v : out) v /= nax;
-  return make_op_result(std::move(out_shape), std::move(out), {an},
-                        [an, outer, inner, ax, nax](Node& self) {
-                          if (!an->requires_grad) return;
-                          an->ensure_grad();
-                          const float inv = 1.0F / nax;
-                          for (size_t o = 0; o < outer; ++o) {
-                            const float* g = self.grad.data() + o * inner;
-                            for (size_t x = 0; x < ax; ++x) {
-                              float* dst =
-                                  an->grad.data() + (o * ax + x) * inner;
-                              for (size_t i = 0; i < inner; ++i) {
-                                dst[i] += g[i] * inv;
+  Tensor r = make_op_result(std::move(out_shape), std::move(out), {an},
+                            [an, outer, inner, ax, nax](Node& self) {
+                              if (!an->requires_grad) return;
+                              an->ensure_grad();
+                              const float inv = 1.0F / nax;
+                              for (size_t o = 0; o < outer; ++o) {
+                                const float* g = self.grad.data() + o * inner;
+                                for (size_t x = 0; x < ax; ++x) {
+                                  float* dst =
+                                      an->grad.data() + (o * ax + x) * inner;
+                                  for (size_t i = 0; i < inner; ++i) {
+                                    dst[i] += g[i] * inv;
+                                  }
+                                }
                               }
-                            }
-                          }
-                        });
+                            });
+  plan::trace_reduce_axis(true, r, a, axis, keepdim);
+  return r;
 }
 
 Tensor reshape(const Tensor& a, Shape shape) {
@@ -1268,23 +1142,26 @@ Tensor reshape(const Tensor& a, Shape shape) {
   }
   std::vector<float> out = alloc_out(an->value.size());
   std::copy(an->value.begin(), an->value.end(), out.begin());
-  return make_op_result(std::move(shape), std::move(out), {an},
-                        [an](Node& self) {
-                          if (!an->requires_grad) return;
-                          an->ensure_grad();
-                          for (size_t i = 0; i < self.grad.size(); ++i) {
-                            an->grad[i] += self.grad[i];
-                          }
-                        });
+  Tensor r = make_op_result(std::move(shape), std::move(out), {an},
+                            [an](Node& self) {
+                              if (!an->requires_grad) return;
+                              an->ensure_grad();
+                              for (size_t i = 0; i < self.grad.size(); ++i) {
+                                an->grad[i] += self.grad[i];
+                              }
+                            });
+  plan::trace_reshape(r, a);
+  return r;
 }
 
 Tensor reshape(Tensor&& a, Shape shape) {
   // Alias-style reshape for sole-owner temporaries in no-grad mode: steal the
   // value buffer instead of copying it. Only the rvalue handle references the
   // node (use_count == 1) and no graph edge will point at it, so emptying it
-  // is unobservable.
+  // is unobservable. Disabled while tracing: the trace must see distinct,
+  // live nodes on both sides of every reshape.
   const auto& an = a.node();
-  if (an && !GradMode::enabled() && an.use_count() == 1 &&
+  if (an && !GradMode::enabled() && !plan::tracing() && an.use_count() == 1 &&
       numel(shape) == an->value.size()) {
     return detail::make_inference_result(std::move(shape),
                                          std::move(an->value));
@@ -1338,7 +1215,7 @@ Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
     }
     BufferPool::release_idx(std::move(idx));
   }
-  return make_op_result(
+  Tensor r = make_op_result(
       std::move(out_shape), std::move(out), {an},
       [an, run, outer_rank, ostr = PooledIdx(std::move(ostr))](Node& self) {
         if (!an->requires_grad) return;
@@ -1361,6 +1238,8 @@ Tensor permute(const Tensor& a, const std::vector<size_t>& perm) {
         }
         BufferPool::release_idx(std::move(idx));
       });
+  plan::trace_permute(r, a, perm);
+  return r;
 }
 
 Tensor transpose_last(const Tensor& a) {
@@ -1389,6 +1268,9 @@ Tensor concat_rows(const std::vector<Tensor>& parts) {
     parents.push_back(p.node());
   }
   out_shape[0] = rows;
+  // Multi-parent concatenation has no plan instruction; a trace crossing it
+  // falls back to eager permanently.
+  plan::trace_unplannable("concat_rows");
   std::vector<float> out = alloc_out(rows * row_elems);
   size_t woff = 0;
   for (const auto& p : parents) {
@@ -1426,6 +1308,7 @@ Tensor l1_loss(const Tensor& pred, const Tensor& target) {
   Tensor d = sub(pred, target);
   Tensor absd = unary(d, [](float x) { return std::fabs(x); },
                       [](float x, float) { return x >= 0.0F ? 1.0F : -1.0F; });
+  plan::trace_unary(plan::UnFn::kAbs, absd, d);
   return mean(absd);
 }
 
@@ -1433,7 +1316,10 @@ Tensor dropout(const Tensor& a, float p, Rng& rng, bool train) {
   if (p < 0.0F || p >= 1.0F) {
     throw std::invalid_argument("dropout: p must be in [0, 1)");
   }
-  if (!train || p == 0.0F) return a;
+  if (!train || p == 0.0F) return a;  // identity: invisible to a trace
+  // An active dropout draws fresh randomness per call — not replayable from
+  // a static schedule.
+  plan::trace_unplannable("dropout");
   auto an = a.node();
   const float scale = 1.0F / (1.0F - p);
   std::vector<float> mask = alloc_out(an->value.size());

@@ -14,6 +14,7 @@
 #include "core/parallel.hpp"
 #include "explore/explorer.hpp"
 #include "meta/ensemble_adapt.hpp"
+#include "nn/plan.hpp"
 #include "nn/transformer.hpp"
 #include "tensor/gradcheck.hpp"
 #include "tensor/ops.hpp"
@@ -283,6 +284,10 @@ TEST(NoGradEquivalence, ReshapeRvalueFallsBackWhenShared) {
 TEST(NoGradEquivalence, BufferPoolSteadyStateZeroAllocations) {
   ThreadGuard guard;
   metadse::set_threads(1);
+  // This test asserts the *eager* pooled fast path; with planning enabled
+  // predict_one is served from a static arena and never touches the pool
+  // (that property is asserted in test_plan_equivalence.cpp).
+  nn::plan::PlanModeGuard eager_only(false);
   t::Rng rng(67);
   nn::TransformerRegressor model(small_cfg(), rng);
   std::vector<float> features(24);

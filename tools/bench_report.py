@@ -58,6 +58,14 @@ TRAIN_BENCHES = [
 HEADLINE = "BM_TransformerPredictOneNoGrad"
 HEADLINE_TRAIN = "BM_MamlAdaptClone/1"
 
+# Thread-scaling headline: the inner step at 8 worker threads vs the serial
+# path, within the same run. On the paper's shapes the per-step work is a few
+# hundred microseconds, so on narrow machines (CI runners pinned to one or
+# two cores) the dispatch overhead inverts the scaling — /8 comes out slower
+# than /1. The report records the ratio either way so the inversion is
+# visible instead of silently folded into an aggregate.
+THREAD_SCALING = ("BM_MamlInnerStep/1", "BM_MamlInnerStep/8")
+
 # --diff warns when a benchmark slows down by more than this factor.
 DIFF_WARN_RATIO = 1.15
 
@@ -129,6 +137,16 @@ def main(argv=None):
             "after_ns": round(after[HEADLINE], 1),
             "speedup": report["speedups_vs_before"][HEADLINE],
         }
+    serial, wide = THREAD_SCALING
+    if serial in after and wide in after:
+        ratio = after[wide] / after[serial]
+        report["headline_thread_scaling"] = {
+            "benchmark": f"{wide} vs {serial}",
+            "serial_ns": round(after[serial], 1),
+            "threaded_ns": round(after[wide], 1),
+            "threaded_over_serial": round(ratio, 2),
+            "inverted": ratio > 1.0,
+        }
     if HEADLINE_TRAIN in report["speedups_vs_before"]:
         report["headline_training"] = {
             "benchmark": HEADLINE_TRAIN,
@@ -147,6 +165,13 @@ def main(argv=None):
         if head:
             print(f"{head['benchmark']}: {head['before_ns'] / 1e3:.1f}us -> "
                   f"{head['after_ns'] / 1e3:.1f}us ({head['speedup']}x)")
+    scaling = report.get("headline_thread_scaling")
+    if scaling:
+        verdict = ("inverted — threads hurt" if scaling["inverted"]
+                   else "threads help")
+        print(f"{scaling['benchmark']}: {scaling['serial_ns'] / 1e3:.1f}us -> "
+              f"{scaling['threaded_ns'] / 1e3:.1f}us "
+              f"(x{scaling['threaded_over_serial']}, {verdict})")
     if "headline" not in report and "headline_training" not in report:
         print(f"wrote {args.output} ({len(after)} benchmarks, no baseline)")
 

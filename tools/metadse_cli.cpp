@@ -21,6 +21,7 @@
 #include <filesystem>
 #include <future>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -32,6 +33,7 @@
 #include "eval/metrics.hpp"
 #include "eval/table.hpp"
 #include "explore/explorer.hpp"
+#include "nn/plan.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 
@@ -543,6 +545,7 @@ int cmd_serve(const Args& args) {
   if (engine.coalescing()) {
     server.set_coalesce_stats([&engine] { return engine.coalesce_stats(); });
   }
+  server.set_plan_stats([&engine] { return engine.plan_stats(); });
 
   // Open-loop (or --arrival-ms-paced) submission: session i targets
   // workload i mod names.size() with seed base+i — the same request stream
@@ -615,6 +618,10 @@ int cmd_serve(const Args& args) {
   std::printf("queue high water %zu/%zu, watchdog trips %zu\n",
               stats.queue_high_water, sopts.queue_capacity,
               stats.watchdog_trips);
+  std::printf("plans: %zu compiled, %zu cache hits, %zu fallbacks, "
+              "%zu static bytes\n",
+              stats.plans_compiled, stats.plan_cache_hits,
+              stats.plan_fallbacks, stats.plan_static_bytes);
   if (engine.coalescing()) {
     const serve::CoalesceStats cs = engine.coalesce_stats();
     std::printf("coalesce: %zu fused batches, %zu points (mean %.1f "
@@ -630,6 +637,37 @@ int cmd_serve(const Args& args) {
     return kExitStopped;
   }
   return stats.failed == 0 ? 0 : 1;
+}
+
+/// Compiles the eval-mode predict plan for the paper's predictor at the
+/// requested batch size and prints its registry key, op schedule, buffer
+/// reuse map, and static footprint. Plan structure depends only on shapes,
+/// never on weights, so a fresh model dumps the exact program every trained
+/// replica of the same architecture shares.
+int cmd_plan_dump(const Args& args) {
+  const long batch_arg = args.num("batch", 1);
+  if (batch_arg < 1) throw UsageError("plan-dump: --batch must be >= 1");
+  const size_t batch = static_cast<size_t>(batch_arg);
+  const bool fuse = !args.has("no-fuse");
+  core::FrameworkOptions opts;
+  tensor::Rng rng(static_cast<uint64_t>(args.num("seed", 2025)));
+  nn::TransformerRegressor model(opts.predictor, rng);
+  const std::string key = nn::plan::predict_plan_key(model, batch, fuse);
+  std::string why;
+  auto prog = nn::plan::compile_predict(model, batch, fuse, &why);
+  if (!prog) {
+    std::fprintf(stderr, "plan-dump: unplannable: %s\n", why.c_str());
+    return 1;
+  }
+  std::printf("plan key: %s\n", key.c_str());
+  std::ostringstream os;
+  prog->dump(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("fused instructions: %zu of %zu\n", prog->fused_instrs,
+              prog->instrs.size());
+  std::printf("peak static bytes: %zu (arena %zu floats, consts %zu floats)\n",
+              prog->static_bytes(), prog->arena_floats, prog->consts.size());
+  return 0;
 }
 
 int cmd_similarity(const Args& args) {
@@ -677,6 +715,8 @@ void usage() {
       "           containment: --eval-deadline-ms D --eval-retries R\n"
       "                     --degrade-policy ladder|skip|abort\n"
       "                     --eval-sleep-ms S (chaos drills)\n"
+      "  plan-dump [--batch B --no-fuse]      compiled predict-plan schedule,\n"
+      "                     buffer reuse map and static footprint\n"
       "  serve    --ckpt F --journal-dir D [--sessions N --replicas R\n"
       "                     --workers W --queue-capacity Q\n"
       "                     --admission block|reject|shed --arrival-ms A\n"
@@ -717,6 +757,7 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "adapt") return cmd_adapt(args);
     if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "plan-dump") return cmd_plan_dump(args);
     if (cmd == "similarity") return cmd_similarity(args);
   } catch (const UsageError& e) {
     std::fprintf(stderr, "error: %s\n\n", e.what());
