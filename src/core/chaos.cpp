@@ -1,0 +1,134 @@
+#include "core/chaos.hpp"
+
+#include <sstream>
+
+namespace metadse::core::chaos {
+
+namespace {
+
+thread_local bool t_scope_active = false;
+thread_local uint64_t t_scope_id = 0;
+
+/// splitmix64 — the same stateless mixer the simulator's FaultInjector
+/// uses, so a probability stream is a pure function of (seed, point, hit).
+uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t hash_str(const char* s) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (; *s != '\0'; ++s) h = (h ^ static_cast<unsigned char>(*s)) *
+                              1099511628211ULL;
+  return h;
+}
+
+/// Uniform draw in [0, 1) for eligible hit @p i of @p point under @p seed.
+double draw(uint64_t seed, const char* point, size_t i) {
+  const uint64_t h = mix64(seed ^ mix64(hash_str(point) ^ mix64(i)));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+ChaosEngine& ChaosEngine::instance() {
+  static ChaosEngine engine;
+  return engine;
+}
+
+void ChaosEngine::arm(const std::string& point, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[point] = Entry{rule, PointReport{}};
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void ChaosEngine::disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+  armed_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void ChaosEngine::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::optional<FaultSpec> ChaosEngine::fire(const char* point) {
+  if (!armed_.load(std::memory_order_relaxed)) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return std::nullopt;
+  Entry& e = it->second;
+  ++e.counts.hits;
+  if (e.rule.scope_mod > 0) {
+    if (!t_scope_active ||
+        t_scope_id % e.rule.scope_mod != e.rule.scope_match) {
+      return std::nullopt;
+    }
+  }
+  const size_t i = ++e.counts.eligible;  // 1-based eligible-hit index
+  if (e.counts.fired >= e.rule.max_fires) return std::nullopt;
+
+  bool fires = false;
+  switch (e.rule.schedule) {
+    case FaultRule::Schedule::kNthHit:
+      fires = (i == e.rule.n);
+      break;
+    case FaultRule::Schedule::kEveryNth:
+      fires = (e.rule.n > 0 && i % e.rule.n == 0);
+      break;
+    case FaultRule::Schedule::kProbability:
+      fires = draw(e.rule.seed, point, i) < e.rule.probability;
+      break;
+  }
+  if (!fires) return std::nullopt;
+  ++e.counts.fired;
+  return e.rule.fault;
+}
+
+std::map<std::string, PointReport> ChaosEngine::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PointReport> out;
+  for (const auto& [name, e] : points_) out[name] = e.counts;
+  return out;
+}
+
+bool ChaosEngine::all_armed_fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, e] : points_) {
+    if (e.counts.fired == 0) return false;
+  }
+  return true;
+}
+
+std::string ChaosEngine::summary() const {
+  std::ostringstream os;
+  for (const auto& [name, counts] : report()) {
+    os << "chaos: " << name << " hits=" << counts.hits
+       << " eligible=" << counts.eligible << " fired=" << counts.fired
+       << '\n';
+  }
+  return os.str();
+}
+
+ChaosScope::ChaosScope(uint64_t id) {
+  had_prev_ = t_scope_active;
+  prev_ = t_scope_id;
+  t_scope_active = true;
+  t_scope_id = id;
+}
+
+ChaosScope::~ChaosScope() {
+  t_scope_active = had_prev_;
+  t_scope_id = prev_;
+}
+
+std::optional<uint64_t> ChaosScope::current() {
+  if (!t_scope_active) return std::nullopt;
+  return t_scope_id;
+}
+
+}  // namespace metadse::core::chaos

@@ -1,0 +1,129 @@
+// ChaosEngine: a process-wide registry of named fault points, armed by a
+// seeded deterministic schedule. Production code drops a named probe where a
+// fault could occur (`chaos::fire("journal.write")`); tests arm a plan that
+// makes chosen probes fail on a reproducible schedule and afterwards read a
+// hit-count report to assert every armed fault actually fired. Mirrors the
+// sim::FaultInjector contract one level up: fault decisions are a pure
+// function of (rule seed, point name, eligible-hit index), never of wall
+// clock or thread identity.
+//
+// Disarmed cost is one relaxed atomic load — the engine is compiled in
+// unconditionally and safe to probe from any thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace metadse::core::chaos {
+
+/// What an armed probe injects when it fires. `kind` and `arg` are
+/// interpreted by the call site (e.g. core::io uses kind = FaultKind and
+/// arg = short-write byte count); the engine just delivers them.
+struct FaultSpec {
+  int kind = 0;
+  uint64_t arg = 0;
+};
+
+/// When an armed probe fires. All schedules are deterministic: the decision
+/// for eligible hit i depends only on the rule, never on timing.
+struct FaultRule {
+  enum class Schedule {
+    kNthHit,       ///< fire once, on the n-th eligible hit (1-based)
+    kEveryNth,     ///< fire on hits n, 2n, 3n, ... (1-based)
+    kProbability,  ///< fire per-hit from a seeded hash stream
+  };
+
+  FaultSpec fault;
+  Schedule schedule = Schedule::kNthHit;
+  size_t n = 1;             ///< the n of kNthHit / kEveryNth (>= 1)
+  double probability = 0.0; ///< kProbability fire rate in [0, 1]
+  uint64_t seed = 0xC4A05;  ///< kProbability stream seed
+  size_t max_fires = SIZE_MAX;  ///< total firing budget for the rule
+
+  /// Session scoping: when scope_mod > 0 the rule only sees hits made under
+  /// a ChaosScope whose id satisfies id % scope_mod == scope_match; hits
+  /// outside any scope (or not matching) are counted but never eligible.
+  /// Sessions outside the scope are provably untouched by the rule.
+  uint64_t scope_mod = 0;
+  uint64_t scope_match = 0;
+};
+
+/// Per-point accounting: total probe traversals, eligible (in-scope) hits,
+/// and how many times the rule actually fired.
+struct PointReport {
+  size_t hits = 0;
+  size_t eligible = 0;
+  size_t fired = 0;
+};
+
+class ChaosEngine {
+ public:
+  static ChaosEngine& instance();
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  /// Arms (or re-arms, resetting its counters) the rule for @p point.
+  void arm(const std::string& point, FaultRule rule);
+  void disarm(const std::string& point);
+  /// Disarms every point and clears all counters (test teardown).
+  void reset();
+
+  /// True when any point is armed — the fast-path gate.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Probe: counts a hit on @p point and returns the fault to inject when
+  /// the armed schedule says this hit fires, nullopt otherwise (including
+  /// the disarmed fast path). Thread-safe.
+  std::optional<FaultSpec> fire(const char* point);
+
+  /// Accounting for every point armed since the last reset().
+  std::map<std::string, PointReport> report() const;
+  /// True when every armed point has fired at least once — the soak's
+  /// "chaos plan was actually exercised" check.
+  bool all_armed_fired() const;
+  /// Multi-line "chaos: <point> hits=H eligible=E fired=F" summary.
+  std::string summary() const;
+
+ private:
+  ChaosEngine() = default;
+
+  struct Entry {
+    FaultRule rule;
+    PointReport counts;
+  };
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> points_;
+};
+
+/// RAII thread-local scope tag (typically the session id) consulted by
+/// scoped rules. Nestable; the innermost scope wins.
+class ChaosScope {
+ public:
+  explicit ChaosScope(uint64_t id);
+  ~ChaosScope();
+  ChaosScope(const ChaosScope&) = delete;
+  ChaosScope& operator=(const ChaosScope&) = delete;
+
+  /// The innermost active scope on this thread, if any.
+  static std::optional<uint64_t> current();
+
+ private:
+  bool had_prev_ = false;
+  uint64_t prev_ = 0;
+};
+
+/// Convenience probe: `if (auto f = chaos::fire("plan.compile")) ...`.
+inline std::optional<FaultSpec> fire(const char* point) {
+  ChaosEngine& e = ChaosEngine::instance();
+  if (!e.armed()) return std::nullopt;
+  return e.fire(point);
+}
+
+}  // namespace metadse::core::chaos

@@ -1,0 +1,176 @@
+#include "core/io.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "core/chaos.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace metadse::core::io {
+
+namespace {
+
+const char* fault_name(int kind) {
+  switch (kind) {
+    case kEio: return "EIO";
+    case kEnospc: return "ENOSPC";
+    case kShortWrite: return "short write";
+  }
+  return "fault";
+}
+
+int fault_code(int kind) {
+  switch (kind) {
+    case kEnospc: return ENOSPC;
+    default: return EIO;
+  }
+}
+
+}  // namespace
+
+File::File(const std::string& path, const char* mode, std::string chaos_point)
+    : path_(path), chaos_point_(std::move(chaos_point)) {
+  file_ = std::fopen(path.c_str(), mode);
+  if (file_ == nullptr) {
+    throw IoError("io: cannot open " + path + ": " + std::strerror(errno),
+                  errno != 0 ? errno : EIO);
+  }
+}
+
+File::~File() { close(); }
+
+File::File(File&& other) noexcept
+    : file_(other.file_),
+      path_(std::move(other.path_)),
+      chaos_point_(std::move(other.chaos_point_)) {
+  other.file_ = nullptr;
+}
+
+File& File::operator=(File&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = other.file_;
+    path_ = std::move(other.path_);
+    chaos_point_ = std::move(other.chaos_point_);
+    other.file_ = nullptr;
+  }
+  return *this;
+}
+
+void File::write(const void* data, size_t n) {
+  if (file_ == nullptr) {
+    throw IoError("io: write to closed file " + path_, EBADF);
+  }
+  if (!chaos_point_.empty()) {
+    if (const auto fault = chaos::fire(chaos_point_.c_str())) {
+      if (fault->kind == kShortWrite) {
+        // Land a torn prefix before failing, like a crash mid-write would.
+        const size_t torn = std::min<size_t>(fault->arg, n);
+        if (torn > 0) {
+          std::fwrite(data, 1, torn, file_);
+          std::fflush(file_);
+        }
+      }
+      throw IoError("io: injected " + std::string(fault_name(fault->kind)) +
+                        " writing " + path_ + " (chaos point \"" +
+                        chaos_point_ + "\")",
+                    fault_code(fault->kind));
+    }
+  }
+  if (std::fwrite(data, 1, n, file_) != n || std::fflush(file_) != 0) {
+    throw IoError("io: write of " + std::to_string(n) + " bytes to " + path_ +
+                      " failed: " + std::strerror(errno),
+                  errno != 0 ? errno : EIO);
+  }
+}
+
+void File::sync() {
+  if (file_ == nullptr) return;
+  if (std::fflush(file_) != 0) {
+    throw IoError("io: flush of " + path_ + " failed", EIO);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (::fsync(fileno(file_)) != 0) {
+    throw IoError("io: fsync of " + path_ + " failed: " +
+                      std::strerror(errno),
+                  errno != 0 ? errno : EIO);
+  }
+#endif
+}
+
+void File::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+void fsync_parent_dir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);  // best-effort: some filesystems refuse directory fsync
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+void atomic_write_file(const std::string& path, const std::string& bytes,
+                       const std::string& chaos_point) {
+  const std::string tmp = path + ".tmp";
+  try {
+    File f(tmp, "wb", chaos_point);
+    f.write(bytes.data(), bytes.size());
+    f.sync();
+    f.close();
+    if (const auto fault = chaos::fire("io.rename")) {
+      throw IoError("io: injected " + std::string(fault_name(fault->kind)) +
+                        " renaming " + tmp + " (chaos point \"io.rename\")",
+                    fault_code(fault->kind));
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      throw IoError("io: rename of " + tmp + " to " + path + " failed: " +
+                        std::strerror(errno),
+                    errno != 0 ? errno : EIO);
+    }
+  } catch (...) {
+    std::remove(tmp.c_str());
+    throw;
+  }
+  // A renamed entry is only durable once its directory is: crash before
+  // this and the old file can legally reappear (which atomicity permits —
+  // old or new, never a mix).
+  fsync_parent_dir(path);
+}
+
+void remove_stale_tmp(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(path + ".tmp", ec);
+}
+
+size_t remove_orphan_tmp_files(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return 0;
+  size_t removed = 0;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().extension() != ".tmp") continue;
+    if (std::filesystem::remove(entry.path(), ec)) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace metadse::core::io

@@ -1,0 +1,98 @@
+// core::io — the storage fault domain. Every durable byte the system writes
+// (journal frames, snapshots, checkpoints, published fronts) goes through
+// this shim so (a) the atomic-publication protocol lives in one place
+// (tmp + fsync + rename + parent-directory fsync) and (b) the chaos engine
+// can make any write short, EIO, or ENOSPC at any byte. Failures surface as
+// IoError carrying an errno-style code; callers own the degradation policy
+// (the journal falls back to in-memory buffering, a snapshot failure is a
+// lost fast path, a checkpoint failure propagates).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace metadse::core::io {
+
+/// Chaos FaultSpec::kind values understood by this layer.
+enum FaultKind : int {
+  kEio = 1,        ///< write fails outright, nothing durable
+  kEnospc = 2,     ///< disk full: write fails, nothing durable
+  kShortWrite = 3, ///< FaultSpec::arg bytes land on disk, then the write
+                   ///< fails — a torn frame the recovery path must survive
+};
+
+/// Thrown by every failing operation in this layer. `code` is an
+/// errno-style value (EIO, ENOSPC, ...) — injected faults and real OS
+/// failures are indistinguishable to callers, by design.
+class IoError : public std::runtime_error {
+ public:
+  IoError(const std::string& what, int code)
+      : std::runtime_error(what), code_(code) {}
+  int code() const { return code_; }
+
+ private:
+  int code_;
+};
+
+/// Buffered append-style file handle with a chaos probe on every write.
+/// @p chaos_point names the probe its writes traverse (e.g. "journal.write");
+/// an empty name opts the file out of fault injection (nothing in the tree
+/// does this today, but the escape hatch keeps the shim honest to test).
+class File {
+ public:
+  File() = default;
+  /// fopen(path, mode); throws IoError on failure.
+  File(const std::string& path, const char* mode, std::string chaos_point);
+  ~File();
+
+  File(File&& other) noexcept;
+  File& operator=(File&& other) noexcept;
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Writes all @p n bytes and flushes to the OS; throws IoError on any
+  /// failure (injected or real). An injected short write leaves the torn
+  /// prefix on disk before throwing — exactly what a crashed real write
+  /// can leave behind.
+  void write(const void* data, size_t n);
+
+  /// fsync; throws IoError on failure.
+  void sync();
+
+  /// fclose (idempotent). Errors are swallowed: close is only reached on
+  /// paths that already flushed or already failed.
+  void close();
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  std::string chaos_point_;
+};
+
+/// fsync the directory containing @p path, making a just-renamed entry
+/// durable (the missing half of tmp+rename atomicity). Best-effort on
+/// filesystems that refuse directory fsync; throws nothing.
+void fsync_parent_dir(const std::string& path);
+
+/// Durable atomic publication: write "<path>.tmp" through a File probing
+/// @p chaos_point, fsync it, rename over @p path (probing "io.rename"),
+/// fsync the parent directory. Throws IoError with the tmp file removed on
+/// any failure — @p path is either fully replaced and durable, or untouched.
+void atomic_write_file(const std::string& path, const std::string& bytes,
+                       const std::string& chaos_point = "io.write");
+
+/// Removes "<path>.tmp" if a crashed publication left one behind.
+void remove_stale_tmp(const std::string& path);
+
+/// Startup sweep: deletes every "*.tmp" directly inside @p dir (orphans of
+/// crashes mid-publication; the rename never happened, so they are garbage
+/// by construction). Returns how many were removed. Missing directories
+/// sweep zero files.
+size_t remove_orphan_tmp_files(const std::string& dir);
+
+}  // namespace metadse::core::io

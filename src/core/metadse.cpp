@@ -9,21 +9,29 @@
 #include <stdexcept>
 
 #include "baselines/ensembles.hpp"
+#include "core/chaos.hpp"
 #include "core/parallel.hpp"
 #include "eval/metrics.hpp"
 #include "nn/serialize.hpp"
+#include "sim/fault_injection.hpp"
 #include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
 
 namespace metadse::core {
 
 float AdaptedPredictor::predict(const std::vector<float>& features) const {
+  if (chaos::fire("replica.predict")) {
+    throw sim::SimulationFailure("injected replica predict fault");
+  }
   const auto scaled = model->predict_one(features);
   return scaler.inverse({scaled.front()}).front();
 }
 
 std::vector<float> AdaptedPredictor::predict_batch(
     const std::vector<std::vector<float>>& rows) const {
+  if (chaos::fire("replica.predict")) {
+    throw sim::SimulationFailure("injected replica predict fault");
+  }
   const auto scaled = model->predict_batch(rows);
   std::vector<float> out;
   out.reserve(rows.size());
@@ -601,7 +609,8 @@ explore::ParetoArchive MetaDseFramework::run_dse(
   const explore::JournalOptions jopts{
       .path = dse_options.journal_path,
       .resume = dse_options.resume,
-      .snapshot_period = dse_options.snapshot_period};
+      .snapshot_period = dse_options.snapshot_period,
+      .compact_after_records = dse_options.journal_compact_after};
   return explorer.explore(*space_, guard.as_batch_evaluator(), jopts,
                           &report);
 }

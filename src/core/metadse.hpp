@@ -141,6 +141,11 @@ class MetaDseFramework {
     /// Replay an existing journal/snapshot instead of refusing to clobber it.
     bool resume = false;
     size_t snapshot_period = 8;
+    /// Journal rotation threshold (JournalOptions::compact_after_records):
+    /// once a snapshot covers this many durable records the journal is
+    /// compacted against it, keeping long-lived sessions disk-bounded.
+    /// 0 disables rotation.
+    size_t journal_compact_after = 0;
     /// Train a RandomForest on the support set as the degradation ladder's
     /// middle rung (surrogate -> forest -> quarantine-and-skip).
     bool baseline_fallback = true;

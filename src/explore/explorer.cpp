@@ -8,6 +8,7 @@
 #include <string>
 #include <utility>
 
+#include "core/io.hpp"
 #include "explore/journal.hpp"
 #include "explore/run_report.hpp"
 
@@ -32,9 +33,13 @@ struct JournalSession {
   RunJournal journal;
   const JournalOptions& options;
   RunReport* report;
-  size_t next = 0;     ///< next recovered record to replay
+  size_t next = 0;     ///< next recovered record to replay (physical index)
   uint32_t gen = 0;    ///< generation (flush) counter
   size_t it = 0;       ///< mutation iterations completed (for snapshots)
+  /// Logical records consumed: replayed + appended, plus everything a
+  /// restored snapshot or rotated base already covers. This is what
+  /// snapshots claim as records_consumed — stable across compactions.
+  uint64_t done = 0;
 
   JournalSession(const arch::DesignSpace& space, const ExplorerOptions& eopts,
                  const JournalOptions& jopts, RunReport* rep)
@@ -52,8 +57,13 @@ struct JournalSession {
     if (!journal.records().empty()) report->resumed = true;
   }
 
-  /// Records currently durable on disk (replay prefix + live appends).
-  uint64_t records_done() const { return next + journal.appended(); }
+  /// Storage-fault accounting survives every exit path (including throws):
+  /// the report is finalized when the session unwinds.
+  ~JournalSession() {
+    report->journal_disk_errors = journal.disk_errors();
+    report->journal_buffered = journal.buffered_records();
+    report->journal_compactions = journal.compactions();
+  }
 };
 
 }  // namespace
@@ -138,7 +148,12 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
         it = snap->it;
         session->it = snap->it;
         session->gen = static_cast<uint32_t>(snap->gen);
-        session->next = snap->records_consumed;
+        // records_consumed is logical; the replay cursor is physical into
+        // the current generation's records() (load_snapshot guarantees
+        // records_consumed >= base()).
+        session->next = static_cast<size_t>(snap->records_consumed -
+                                            session->journal.base());
+        session->done = snap->records_consumed;
         skip_seeding = true;
         rep->resumed = true;
         rep->snapshot_restored = true;
@@ -148,6 +163,14 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
         archive = ParetoArchive{};
       }
     }
+  }
+  // A rotated journal (base > 0) whose snapshot did not restore has nothing
+  // to replay its compacted prefix against: restart the log from scratch
+  // and re-evaluate. Correctness is untouched (the deterministic stream
+  // converges to the same archive); only the replay fast path is lost.
+  if (session && !skip_seeding && session->journal.base() > 0) {
+    session->journal.reset_fresh();
+    rep->journal_reset = true;
   }
 
   // Evaluates @p pending as one generation: replayable points come from the
@@ -174,6 +197,7 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
         }
         archive.insert(std::move(batch[i]), {r.ipc, r.power});
         ++session->next;
+        ++session->done;
         ++rep->replayed;
         ++i;
       }
@@ -200,6 +224,7 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
                .ipc = objs[j].ipc,
                .power = objs[j].power,
                .cursor = rng.cursor()});
+          ++session->done;
           ++rep->journal_records;
         }
         archive.insert(std::move(tail[j]), objs[j]);
@@ -210,9 +235,13 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
   };
 
   // Writes an atomic archive snapshot at the current generation boundary.
+  // A failing snapshot write (disk fault, injected ENOSPC) is contained: it
+  // only costs the resume fast path, never the run. A successful snapshot
+  // that covers every durable record can then rotate the journal — the
+  // snapshot carries the archive, so the log it covers is redundant.
   auto snapshot_now = [&] {
     RunJournal::Snapshot snap;
-    snap.records_consumed = session->records_done();
+    snap.records_consumed = session->done;
     snap.it = session->it;
     snap.gen = session->gen;
     snap.rng_state = rng.save_state();
@@ -221,8 +250,19 @@ ParetoArchive EvolutionaryExplorer::explore_impl(
       snap.entries.push_back(
           {space.encode(e.config), e.objective.ipc, e.objective.power});
     }
-    session->journal.write_snapshot(snap);
+    try {
+      session->journal.write_snapshot(snap);
+    } catch (const core::io::IoError&) {
+      ++rep->snapshot_failures;
+      return;
+    }
     ++rep->snapshots;
+    RunJournal& j = session->journal;
+    if (session->options.compact_after_records > 0 &&
+        session->done == j.logical_end() &&
+        j.logical_end() - j.base() >= session->options.compact_after_records) {
+      if (j.compact(session->done)) session->next = 0;
+    }
   };
   auto maybe_snapshot = [&] {
     if (!session || session->gen % session->options.snapshot_period != 0) {

@@ -64,6 +64,11 @@ struct JournalOptions {
   bool resume = true;
   /// Generations (evaluator flushes) between archive snapshots (>= 1).
   size_t snapshot_period = 8;
+  /// Journal rotation: once a snapshot covers at least this many durable
+  /// records, the journal is compacted to an empty generation based at the
+  /// snapshot (bounded disk for long-lived runs; crash-safe handoff).
+  /// 0 disables rotation.
+  size_t compact_after_records = 0;
 };
 
 struct RunReport;

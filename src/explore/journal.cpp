@@ -1,5 +1,6 @@
 #include "explore/journal.hpp"
 
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -8,21 +9,18 @@
 
 #include "nn/serialize.hpp"
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
-
 namespace metadse::explore {
 
 namespace {
 
 constexpr uint32_t kJournalMagic = 0x4D444A4CU;   // "MDJL"
 constexpr uint32_t kSnapshotMagic = 0x4D445353U;  // "MDSS"
-constexpr uint32_t kVersion = 1;
+// v2: the header carries the logical base a rotated journal starts at.
+constexpr uint32_t kVersion = 2;
 
 // Fixed frame sizes keep the reader trivially bounded: no record can size an
 // allocation, and a torn tail is at most one partial frame.
-constexpr size_t kHeaderBytes = 4 + 4 + 6 * 8 + 4;   // magic,ver,identity,crc
+constexpr size_t kHeaderBytes = 4 + 4 + 6 * 8 + 8 + 4;  // magic,ver,id,base,crc
 constexpr size_t kRecordBytes = 4 + 4 + 8 + 8 + 8 + 8 + 4;
 constexpr size_t kMaxRngStateBytes = 16384;
 
@@ -58,11 +56,12 @@ RunJournal::Identity get_identity(const char* p) {
   return id;
 }
 
-std::string header_bytes(const RunJournal::Identity& id) {
+std::string header_bytes(const RunJournal::Identity& id, uint64_t base) {
   std::string out;
   put_pod(out, kJournalMagic);
   put_pod(out, kVersion);
   put_identity(out, id);
+  put_pod(out, base);
   put_pod(out, nn::crc32(out.data(), out.size()));
   return out;
 }
@@ -97,6 +96,11 @@ RunJournal::RunJournal(std::string path, const Identity& identity, bool resume)
   if (path_.empty()) {
     throw std::invalid_argument("RunJournal: empty path");
   }
+  // A crash between writing "<x>.tmp" and renaming it leaves an orphan that
+  // no reader will ever look at; sweep it so disk usage stays bounded.
+  core::io::remove_stale_tmp(path_);
+  core::io::remove_stale_tmp(snapshot_path());
+
   const std::string bytes = slurp_if_present(path_);
 
   bool header_ok = false;
@@ -113,6 +117,7 @@ RunJournal::RunJournal(std::string path, const Identity& identity, bool resume)
           " was written by a different run configuration (seed/budget/space "
           "mismatch); refusing to mix streams");
     }
+    base_ = get_pod<uint64_t>(bytes.data() + 56);
   }
 
   if (header_ok) {
@@ -136,10 +141,10 @@ RunJournal::RunJournal(std::string path, const Identity& identity, bool resume)
       records_.push_back(r);
       off += kRecordBytes;
     }
-    if (!resume && !records_.empty()) {
+    if (!resume && (!records_.empty() || base_ > 0)) {
       throw std::runtime_error(
           "RunJournal: " + path_ + " already holds " +
-          std::to_string(records_.size()) +
+          std::to_string(base_ + records_.size()) +
           " records; resume the run or remove the file");
     }
     if (!resume) records_.clear();
@@ -150,21 +155,25 @@ RunJournal::RunJournal(std::string path, const Identity& identity, bool resume)
 
   // Missing file, or one too damaged to even identify: start fresh.
   records_.clear();
+  base_ = 0;
   open_for_append(0, /*write_header=*/true);
 }
 
 void RunJournal::open_for_append(uint64_t keep_bytes, bool write_header) {
   if (write_header) {
-    file_ = std::fopen(path_.c_str(), "wb");
-    if (!file_) {
-      throw std::runtime_error("RunJournal: cannot open " + path_);
+    // fopen failure is a misconfiguration (bad path) and throws; a *write*
+    // failure is a disk fault and degrades like any other.
+    file_ = core::io::File(path_, "wb", "journal.write");
+    const std::string header = header_bytes(identity_, base_);
+    try {
+      file_.write(header.data(), header.size());
+      valid_bytes_ = kHeaderBytes;
+    } catch (const core::io::IoError&) {
+      ++disk_errors_;
+      file_.close();
+      valid_bytes_ = 0;
+      pending_.push_back(header);
     }
-    const std::string header = header_bytes(identity_);
-    if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
-        std::fflush(file_) != 0) {
-      throw std::runtime_error("RunJournal: header write failed: " + path_);
-    }
-    valid_bytes_ = kHeaderBytes;
     return;
   }
   std::error_code ec;
@@ -173,18 +182,18 @@ void RunJournal::open_for_append(uint64_t keep_bytes, bool write_header) {
     throw std::runtime_error("RunJournal: cannot truncate " + path_ + ": " +
                              ec.message());
   }
-  file_ = std::fopen(path_.c_str(), "ab");
-  if (!file_) {
-    throw std::runtime_error("RunJournal: cannot open " + path_);
-  }
+  file_ = core::io::File(path_, "ab", "journal.write");
   valid_bytes_ = keep_bytes;
 }
 
 RunJournal::~RunJournal() {
-  if (file_) {
-    sync();
-    std::fclose(file_);
-  }
+  sync();
+  file_.close();
+}
+
+uint64_t RunJournal::logical_end() const {
+  if (valid_bytes_ <= kHeaderBytes) return base_;
+  return base_ + (valid_bytes_ - kHeaderBytes) / kRecordBytes;
 }
 
 void RunJournal::truncate_to(size_t n) {
@@ -193,28 +202,79 @@ void RunJournal::truncate_to(size_t n) {
     throw std::logic_error(
         "RunJournal::truncate_to: replay divergence after live appends");
   }
-  std::fclose(file_);
-  file_ = nullptr;
+  file_.close();
   records_.resize(n);
   open_for_append(kHeaderBytes + n * kRecordBytes, /*write_header=*/false);
 }
 
+void RunJournal::degrade(const std::string& frame) {
+  file_.close();
+  pending_.push_back(frame);
+  ++buffered_records_;
+}
+
+bool RunJournal::try_recover() {
+  if (gave_up_) return false;
+  file_.close();
+  try {
+    if (valid_bytes_ == 0) {
+      file_ = core::io::File(path_, "wb", "journal.write");
+    } else {
+      // A torn injected write may have left garbage past the durable
+      // prefix; cut it before appending.
+      std::error_code ec;
+      std::filesystem::resize_file(path_, valid_bytes_, ec);
+      if (ec) {
+        throw core::io::IoError(
+            "RunJournal: cannot truncate " + path_ + ": " + ec.message(),
+            EIO);
+      }
+      file_ = core::io::File(path_, "ab", "journal.write");
+    }
+    while (!pending_.empty()) {
+      const std::string& chunk = pending_.front();
+      file_.write(chunk.data(), chunk.size());
+      valid_bytes_ += chunk.size();
+      if (chunk.size() == kRecordBytes) --buffered_records_;
+      pending_.erase(pending_.begin());
+    }
+  } catch (const core::io::IoError&) {
+    ++disk_errors_;
+    ++recover_attempts_;
+    file_.close();
+    if (recover_attempts_ >= kMaxRecoverAttempts) gave_up_ = true;
+    return false;
+  }
+  recover_attempts_ = 0;
+  return true;
+}
+
 void RunJournal::append(const JournalRecord& record) {
   const std::string frame = record_bytes(record);
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size() ||
-      std::fflush(file_) != 0) {
-    throw std::runtime_error("RunJournal: append failed: " + path_);
-  }
-  valid_bytes_ += kRecordBytes;
   ++appended_;
+  if (!pending_.empty() || gave_up_ || !file_.is_open()) {
+    pending_.push_back(frame);
+    ++buffered_records_;
+    if (!gave_up_) try_recover();
+    return;
+  }
+  try {
+    file_.write(frame.data(), frame.size());
+    valid_bytes_ += kRecordBytes;
+  } catch (const core::io::IoError&) {
+    ++disk_errors_;
+    degrade(frame);
+  }
 }
 
 void RunJournal::sync() {
-  if (!file_) return;
-  std::fflush(file_);
-#if defined(__unix__) || defined(__APPLE__)
-  ::fsync(fileno(file_));
-#endif
+  if (!pending_.empty() && !gave_up_) try_recover();
+  if (!pending_.empty() || !file_.is_open()) return;
+  try {
+    file_.sync();
+  } catch (const core::io::IoError&) {
+    ++disk_errors_;
+  }
 }
 
 void RunJournal::write_snapshot(const Snapshot& snapshot) {
@@ -237,7 +297,7 @@ void RunJournal::write_snapshot(const Snapshot& snapshot) {
   // The journal must be durable before the snapshot that claims to cover it
   // (a snapshot ahead of the journal would be ignored at load time).
   sync();
-  nn::atomic_write_file(snapshot_path(), out);
+  core::io::atomic_write_file(snapshot_path(), out, "snapshot.write");
 }
 
 std::optional<RunJournal::Snapshot> RunJournal::load_snapshot() const {
@@ -282,8 +342,68 @@ std::optional<RunJournal::Snapshot> RunJournal::load_snapshot() const {
   }
   // A snapshot claiming records the journal no longer has (a power loss ate
   // an un-fsynced tail) would leave a hole in the log; fall back to replay.
-  if (s.records_consumed > records_.size()) return std::nullopt;
+  // One claiming fewer than the rotated base is equally inconsistent — the
+  // compacted prefix only exists inside a snapshot that covers it.
+  if (s.records_consumed > base_ + records_.size() ||
+      s.records_consumed < base_) {
+    return std::nullopt;
+  }
   return s;
+}
+
+bool RunJournal::compact(uint64_t consumed) {
+  if (consumed != logical_end()) {
+    throw std::logic_error(
+        "RunJournal::compact: snapshot must cover exactly the durable "
+        "journal (consumed=" + std::to_string(consumed) + ", durable end=" +
+        std::to_string(logical_end()) + ")");
+  }
+  if (disk_degraded() || !file_.is_open()) return false;
+  try {
+    file_.sync();
+  } catch (const core::io::IoError&) {
+    ++disk_errors_;
+    return false;
+  }
+  file_.close();
+  // Crash-safe generation handoff: the new (empty, rebased) generation is
+  // published with the same tmp + rename + dir-fsync protocol as a
+  // snapshot. Any failure leaves the old generation untouched on disk.
+  try {
+    core::io::atomic_write_file(path_, header_bytes(identity_, consumed),
+                                "journal.write");
+  } catch (const core::io::IoError&) {
+    ++disk_errors_;
+    try {
+      file_ = core::io::File(path_, "ab", "journal.write");
+    } catch (const core::io::IoError&) {
+      ++disk_errors_;  // appends will buffer until a recovery succeeds
+    }
+    return false;
+  }
+  base_ = consumed;
+  records_.clear();
+  valid_bytes_ = kHeaderBytes;
+  ++compactions_;
+  try {
+    file_ = core::io::File(path_, "ab", "journal.write");
+  } catch (const core::io::IoError&) {
+    ++disk_errors_;  // appends will buffer until a recovery succeeds
+  }
+  return true;
+}
+
+void RunJournal::reset_fresh() {
+  file_.close();
+  records_.clear();
+  pending_.clear();
+  buffered_records_ = 0;
+  base_ = 0;
+  std::error_code ec;
+  std::filesystem::remove(snapshot_path(), ec);
+  core::io::remove_stale_tmp(path_);
+  core::io::remove_stale_tmp(snapshot_path());
+  open_for_append(0, /*write_header=*/true);
 }
 
 }  // namespace metadse::explore

@@ -13,13 +13,26 @@
 // and never lets a bad record into the archive. An *identity* mismatch
 // (journal written by a different seed / budget / design space) throws: the
 // caller asked to resume a run that this is not.
+//
+// Disk-fault policy (the storage fault domain, DESIGN.md §14): every write
+// goes through core::io and can fail — really or by chaos injection — with
+// EIO/ENOSPC/short write at any byte. A failed append degrades the journal
+// to in-memory buffering with bounded reopen-and-flush retries; the run
+// keeps its full correctness (the in-process record stream is unaffected)
+// and only durability of the buffered tail is at risk, which disk_errors()/
+// buffered_records() report. Long-lived runs stay disk-bounded through
+// compact(): once a durable snapshot covers every durable record, the
+// journal is atomically rewritten as an empty generation whose header
+// carries the logical base — a crash at any byte of the handoff leaves
+// either the old generation or the new one, never a mix.
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "core/io.hpp"
 
 namespace metadse::explore {
 
@@ -56,7 +69,7 @@ class RunJournal {
   /// are stored as encoded configs so the journal stays decode-free; the
   /// explorer owns the DesignSpace round-trip.
   struct Snapshot {
-    uint64_t records_consumed = 0;  ///< journal records this image covers
+    uint64_t records_consumed = 0;  ///< logical records this image covers
     uint64_t it = 0;                ///< mutation iterations completed
     uint64_t gen = 0;               ///< generation (flush) counter
     std::string rng_state;          ///< tensor::Rng::save_state()
@@ -68,12 +81,18 @@ class RunJournal {
     std::vector<Point> entries;     ///< archive entries in insertion order
   };
 
+  /// Consecutive failed recovery attempts after which the journal stops
+  /// touching the disk for the rest of the run (buffering continues).
+  static constexpr size_t kMaxRecoverAttempts = 8;
+
   /// Opens @p path for a run with @p identity. With @p resume, an existing
   /// file is parsed and records() holds its longest valid prefix (a missing
   /// or headerless file starts fresh; a valid header with a different
   /// identity throws std::runtime_error). Without @p resume, an existing
-  /// journal with records throws instead of being clobbered — crash
-  /// recovery must be an explicit decision.
+  /// journal with records (or a rotated base) throws instead of being
+  /// clobbered — crash recovery must be an explicit decision. A stale
+  /// "<path>.tmp" / "<path>.snapshot.tmp" orphaned by a crash mid-rename is
+  /// swept away on open.
   RunJournal(std::string path, const Identity& identity, bool resume);
   ~RunJournal();
 
@@ -81,44 +100,101 @@ class RunJournal {
   RunJournal& operator=(const RunJournal&) = delete;
 
   /// The valid record prefix read at open time (empty for a fresh run).
+  /// Physical indices: records()[i] is logical record base() + i.
   const std::vector<JournalRecord>& records() const { return records_; }
+
+  /// Logical index of the first on-disk record — the count compacted away
+  /// by previous generations. A resume with base() > 0 needs a snapshot
+  /// covering at least base() records; without one the caller must
+  /// reset_fresh() and re-evaluate from scratch.
+  uint64_t base() const { return base_; }
+
+  /// One past the last durable logical record (excludes buffered ones).
+  uint64_t logical_end() const;
 
   /// Discards records [n, end) on disk — called once when a replay diverges
   /// before its journal prefix is exhausted. Subsequent appends continue
-  /// from record n. No-op when n >= records().size().
+  /// from physical record n. No-op when n >= records().size().
   void truncate_to(size_t n);
 
   /// Appends one CRC-framed record and flushes it to the OS, so a SIGKILL
   /// immediately after an evaluation loses nothing (powering off the host
-  /// can still cost the tail — which resume re-evaluates).
+  /// can still cost the tail — which resume re-evaluates). A write failure
+  /// (real or injected) never throws: the record is buffered in memory and
+  /// flushed by bounded retries on later appends/syncs; correctness is
+  /// preserved, lost durability is reported via disk_errors().
   void append(const JournalRecord& record);
 
   /// fsync the journal fd (called at snapshot boundaries and on close).
+  /// Degraded journals first retry flushing their buffer; still-failing
+  /// disks are reported, not thrown.
   void sync();
 
   size_t appended() const { return appended_; }
   const std::string& path() const { return path_; }
   std::string snapshot_path() const { return path_ + ".snapshot"; }
 
-  /// Atomically replaces the snapshot sidecar (tmp + fsync + rename).
+  /// Write failures absorbed so far (appends, syncs, failed recoveries).
+  size_t disk_errors() const { return disk_errors_; }
+  /// Records accepted but not durable (in-memory buffer of the degraded
+  /// journal; 0 on a healthy disk).
+  size_t buffered_records() const { return buffered_records_; }
+  /// True once the journal is buffering in memory (degraded durability).
+  bool disk_degraded() const { return !pending_.empty() || gave_up_; }
+  /// Successful compactions (journal generation handoffs) this run.
+  size_t compactions() const { return compactions_; }
+
+  /// Atomically replaces the snapshot sidecar (tmp + fsync + rename +
+  /// parent dir fsync). Throws core::io::IoError on failure (injected
+  /// ENOSPC included) — the caller decides whether a lost snapshot matters
+  /// (for the explorer it is only a lost fast path).
   void write_snapshot(const Snapshot& snapshot);
 
   /// The snapshot sidecar, when it exists, checks out (CRC + identity), and
-  /// does not claim records the journal no longer has (a power loss can
-  /// leave a snapshot ahead of an un-fsynced journal tail; such a snapshot
-  /// is ignored and the run falls back to full replay). Never throws for
-  /// corruption — a bad snapshot is just a lost fast path.
+  /// is consistent with the journal: it may not claim records the journal
+  /// does not have (a power loss can leave a snapshot ahead of an un-fsynced
+  /// journal tail) nor fewer than the rotated base (impossible except by
+  /// tampering). Never throws for corruption — a bad snapshot is just a
+  /// lost fast path.
   std::optional<Snapshot> load_snapshot() const;
+
+  /// Journal rotation: atomically replaces the file with an empty
+  /// generation based at @p consumed, reclaiming the disk the snapshot made
+  /// redundant. Caller contract: a durable snapshot covering exactly
+  /// @p consumed logical records exists, and consumed == logical_end()
+  /// (anything else throws std::logic_error). Returns false — old
+  /// generation left fully intact — when the disk is degraded or the
+  /// handoff fails. On success records() is empty and base() == consumed.
+  bool compact(uint64_t consumed);
+
+  /// Abandons the on-disk state entirely and restarts as a fresh journal
+  /// (base 0, no records) — the escape hatch for a rotated journal whose
+  /// snapshot died (nothing left to replay against). Also removes the
+  /// snapshot sidecar.
+  void reset_fresh();
 
  private:
   void open_for_append(uint64_t keep_bytes, bool write_header);
+  /// Absorbs a failed write: buffers @p frame and enters degraded mode.
+  void degrade(const std::string& frame);
+  /// Bounded reopen-and-flush retry; true when the buffer fully drained.
+  bool try_recover();
 
   std::string path_;
   Identity identity_;
   std::vector<JournalRecord> records_;
-  uint64_t valid_bytes_ = 0;  ///< header + valid records on disk
+  uint64_t base_ = 0;
+  uint64_t valid_bytes_ = 0;  ///< header + valid records durable on disk
   size_t appended_ = 0;
-  std::FILE* file_ = nullptr;
+  core::io::File file_;
+
+  // Degraded-mode state: byte chunks that belong at valid_bytes_ onward.
+  std::vector<std::string> pending_;
+  size_t buffered_records_ = 0;
+  size_t disk_errors_ = 0;
+  size_t recover_attempts_ = 0;
+  bool gave_up_ = false;
+  size_t compactions_ = 0;
 };
 
 }  // namespace metadse::explore

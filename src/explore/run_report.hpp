@@ -62,6 +62,16 @@ struct RunReport {
   size_t snapshots = 0;        ///< archive snapshots written by this run
   bool resumed = false;        ///< a prior journal/snapshot seeded this run
   bool snapshot_restored = false;  ///< the fast path (snapshot) was used
+  // -- storage fault domain (DESIGN.md §14) -----------------------------------
+  size_t journal_disk_errors = 0;  ///< write failures the journal absorbed
+  /// Records still in the degraded journal's memory buffer at run end — the
+  /// durability a crash right now would cost (correctness is unaffected).
+  size_t journal_buffered = 0;
+  size_t journal_compactions = 0;  ///< rotation handoffs completed
+  size_t snapshot_failures = 0;    ///< snapshot writes that failed (lost fast path)
+  /// A rotated journal had no usable snapshot to anchor its base; the run
+  /// restarted its log from scratch and re-evaluated (correct, just slower).
+  bool journal_reset = false;
 
   size_t dropped() const { return quarantined.size(); }
   bool degraded() const {
@@ -90,6 +100,19 @@ struct RunReport {
     if (budget_exhausted) os << ", session budget exhausted";
     if (dropped() > 0) os << ", " << dropped() << " quarantined";
     if (snapshots > 0) os << ", " << snapshots << " snapshots";
+    if (snapshot_failures > 0) {
+      os << ", " << snapshot_failures << " snapshot writes failed";
+    }
+    if (journal_disk_errors > 0) {
+      os << ", " << journal_disk_errors << " journal disk errors";
+    }
+    if (journal_buffered > 0) {
+      os << ", " << journal_buffered << " records not durable";
+    }
+    if (journal_compactions > 0) {
+      os << ", " << journal_compactions << " journal compactions";
+    }
+    if (journal_reset) os << ", journal reset (snapshot lost after rotation)";
     if (resumed) {
       os << ", resumed" << (snapshot_restored ? " (snapshot)" : " (replay)");
     }

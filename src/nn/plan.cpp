@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/chaos.hpp"
 #include "core/parallel.hpp"
 #include "nn/fused.hpp"
 #include "tensor/kernels.hpp"
@@ -131,6 +132,13 @@ std::shared_ptr<const tp::CompiledProgram> compile_predict(
     TransformerRegressor& model, size_t batch, bool fuse, std::string* why) {
   if (batch == 0) {
     if (why != nullptr) *why = "empty batch";
+    return nullptr;
+  }
+  if (core::chaos::fire("plan.compile")) {
+    // An injected compile failure exercises the fallback contract: the
+    // caller negative-caches the key and serves the bitwise-identical eager
+    // path forever after — degraded throughput, unchanged values.
+    if (why != nullptr) *why = "injected plan-compile fault";
     return nullptr;
   }
   std::unordered_map<const t::Node*, tp::LeafBinding> leaves;

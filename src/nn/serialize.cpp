@@ -8,10 +8,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
+#include "core/io.hpp"
 
 namespace metadse::nn {
 
@@ -100,32 +97,9 @@ uint32_t crc32(const void* data, size_t n, uint32_t crc) {
 }
 
 void atomic_write_file(const std::string& path, const std::string& bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
-    if (!os) {
-      throw std::runtime_error("atomic_write_file: cannot open " + tmp);
-    }
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) {
-      std::remove(tmp.c_str());
-      throw std::runtime_error("atomic_write_file: write failed: " + tmp);
-    }
-  }
-#if defined(__unix__) || defined(__APPLE__)
-  // Push the data to stable storage before the rename makes it visible.
-  const int fd = ::open(tmp.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-#endif
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    throw std::runtime_error("atomic_write_file: rename to " + path +
-                             " failed");
-  }
+  // Delegates to the storage fault domain: tmp + fsync + rename + parent
+  // directory fsync, with chaos probes on the write and rename.
+  core::io::atomic_write_file(path, bytes, "checkpoint.write");
 }
 
 void save_parameters(const Module& m, const std::string& path) {

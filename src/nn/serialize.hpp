@@ -17,9 +17,12 @@ namespace metadse::nn {
 uint32_t crc32(const void* data, size_t n, uint32_t crc = 0);
 
 /// Writes @p bytes to @p path atomically: the payload goes to "<path>.tmp",
-/// is flushed and fsync'd, then renamed over @p path, so readers see either
-/// the old file or the complete new one — never a torn write. Throws
-/// std::runtime_error on any I/O failure (the tmp file is removed).
+/// is flushed and fsync'd, then renamed over @p path and the parent
+/// directory is fsync'd, so readers see either the old file or the complete
+/// new one — never a torn write — and the rename survives power loss.
+/// Thin wrapper over core::io::atomic_write_file (chaos point
+/// "checkpoint.write"); throws core::io::IoError (a std::runtime_error) on
+/// any I/O failure, injected or real (the tmp file is removed).
 void atomic_write_file(const std::string& path, const std::string& bytes);
 
 /// Writes all parameters of @p m (shapes + float32 values, little-endian as

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "core/chaos.hpp"
+#include "sim/fault_injection.hpp"
+
 namespace metadse::serve {
 
 /// One submitted request's full lifecycle. State transitions (under m_):
@@ -220,6 +223,11 @@ void BatchCoalescer::flush_locked(std::unique_lock<std::mutex>& lk,
   {
     std::lock_guard<std::mutex> ex(exec_m_);
     try {
+      // Chaos: a failed fused forward. Every waiter in this batch rethrows
+      // it and their guards retry/degrade — exactly the executor-throw path.
+      if (core::chaos::fire("coalesce.flush")) {
+        throw sim::SimulationFailure("injected coalesce flush fault");
+      }
       results = executor_(fused);
       if (results.size() != total) {
         throw std::runtime_error(

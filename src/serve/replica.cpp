@@ -14,17 +14,23 @@ std::optional<ReplicaPool::Lease> ReplicaPool::acquire(
     const std::function<bool()>& abort) {
   std::unique_lock<std::mutex> lk(m_);
   for (;;) {
-    // Round-robin sweep: first free healthy slot at or after the cursor.
+    // Round-robin sweep: first idle slot at or after the cursor.
     for (size_t k = 0; k < slots_.size(); ++k) {
       const size_t i = (rr_ + k) % slots_.size();
       Slot& s = slots_[i];
-      if (!s.busy && s.healthy) {
-        s.busy = true;
+      if (s.state == SlotState::kIdle) {
+        s.state = SlotState::kBusy;
         s.busy_since = std::chrono::steady_clock::now();
         rr_ = (i + 1) % slots_.size();
         return Lease(this, i);
       }
     }
+    // No point waiting on a pool that can never serve again.
+    bool any_alive = false;
+    for (const Slot& s : slots_) {
+      if (s.state != SlotState::kQuarantined) any_alive = true;
+    }
+    if (!any_alive) return std::nullopt;
     if (abort && abort()) return std::nullopt;
     // Timed wait so the abort probe is polled even if no release ever
     // arrives (e.g. the whole pool is wedged during shutdown).
@@ -33,25 +39,128 @@ std::optional<ReplicaPool::Lease> ReplicaPool::acquire(
 }
 
 void ReplicaPool::release(size_t id) {
+  bool parked = false;
   {
     std::lock_guard<std::mutex> lk(m_);
     Slot& s = slots_[id];
-    s.busy = false;
-    s.healthy = true;
+    if (s.state == SlotState::kCondemnedBusy) {
+      s.state = SlotState::kAwaitingRebuild;
+      parked = true;
+    } else {
+      s.state = SlotState::kIdle;
+    }
+  }
+  if (parked) {
+    rebuild_cv_.notify_one();
+  } else {
+    free_cv_.notify_one();
+  }
+}
+
+bool ReplicaPool::condemn(size_t id) {
+  bool parked = false;
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    if (id >= slots_.size()) return false;
+    Slot& s = slots_[id];
+    switch (s.state) {
+      case SlotState::kBusy:
+        s.state = SlotState::kCondemnedBusy;
+        break;
+      case SlotState::kIdle:
+        s.state = SlotState::kAwaitingRebuild;
+        parked = true;
+        break;
+      default:
+        return false;  // already condemned, rebuilding, or quarantined
+    }
+  }
+  if (parked) rebuild_cv_.notify_one();
+  return true;
+}
+
+std::optional<size_t> ReplicaPool::take_for_rebuild(
+    const std::function<bool()>& abort) {
+  std::unique_lock<std::mutex> lk(m_);
+  for (;;) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].state == SlotState::kAwaitingRebuild) {
+        slots_[i].state = SlotState::kRebuilding;
+        return i;
+      }
+    }
+    if (abort && abort()) return std::nullopt;
+    rebuild_cv_.wait_for(lk, std::chrono::milliseconds(10));
+  }
+}
+
+void ReplicaPool::readmit(size_t id) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    Slot& s = slots_.at(id);
+    if (s.state != SlotState::kRebuilding) {
+      throw std::logic_error("ReplicaPool: readmit of a slot not rebuilding");
+    }
+    s.state = SlotState::kIdle;
   }
   free_cv_.notify_one();
 }
 
-bool ReplicaPool::mark_unhealthy(size_t id) {
+void ReplicaPool::quarantine(size_t id) {
+  {
+    std::lock_guard<std::mutex> lk(m_);
+    Slot& s = slots_.at(id);
+    if (s.state != SlotState::kRebuilding) {
+      throw std::logic_error(
+          "ReplicaPool: quarantine of a slot not rebuilding");
+    }
+    s.state = SlotState::kQuarantined;
+  }
+  // Waiters must re-check: if this was the last live slot, acquire() now
+  // fails fast instead of blocking forever.
+  free_cv_.notify_all();
+}
+
+ReplicaPool::SlotState ReplicaPool::state(size_t id) const {
   std::lock_guard<std::mutex> lk(m_);
-  if (id >= slots_.size() || !slots_[id].healthy) return false;
-  slots_[id].healthy = false;
-  return true;
+  return slots_.at(id).state;
 }
 
 bool ReplicaPool::healthy(size_t id) const {
   std::lock_guard<std::mutex> lk(m_);
-  return id < slots_.size() && slots_[id].healthy;
+  if (id >= slots_.size()) return false;
+  const SlotState s = slots_[id].state;
+  return s == SlotState::kIdle || s == SlotState::kBusy;
+}
+
+bool ReplicaPool::all_quarantined() const {
+  std::lock_guard<std::mutex> lk(m_);
+  for (const Slot& s : slots_) {
+    if (s.state != SlotState::kQuarantined) return false;
+  }
+  return true;
+}
+
+size_t ReplicaPool::quarantined_count() const {
+  std::lock_guard<std::mutex> lk(m_);
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == SlotState::kQuarantined) ++n;
+  }
+  return n;
+}
+
+size_t ReplicaPool::pending_rebuilds() const {
+  std::lock_guard<std::mutex> lk(m_);
+  size_t n = 0;
+  for (const Slot& s : slots_) {
+    if (s.state == SlotState::kCondemnedBusy ||
+        s.state == SlotState::kAwaitingRebuild ||
+        s.state == SlotState::kRebuilding) {
+      ++n;
+    }
+  }
+  return n;
 }
 
 std::vector<ReplicaPool::BusyInfo> ReplicaPool::busy_slots() const {
@@ -60,7 +169,7 @@ std::vector<ReplicaPool::BusyInfo> ReplicaPool::busy_slots() const {
   std::vector<BusyInfo> out;
   for (size_t i = 0; i < slots_.size(); ++i) {
     const Slot& s = slots_[i];
-    if (!s.busy || !s.healthy) continue;
+    if (s.state != SlotState::kBusy) continue;
     const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                         now - s.busy_since)
                         .count();

@@ -9,12 +9,22 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "explore/guarded.hpp"
 #include "explore/run_report.hpp"
 
 namespace metadse::serve {
+
+/// Thrown by a session executor to report that the *replica* it ran on is
+/// broken (crashed model state, poisoned cache, chaos kill) — as opposed to
+/// an ordinary session failure. The server condemns the slot so the
+/// supervisor rebuilds it; the session itself lands in kFailed.
+class ReplicaFault : public std::runtime_error {
+ public:
+  explicit ReplicaFault(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// What the admission queue does when a request arrives and it is full.
 enum class AdmissionPolicy {
@@ -51,10 +61,19 @@ struct ServeOptions {
   /// Watchdog scan period; 0 disables the watchdog thread.
   size_t watchdog_period_ms = 100;
   /// A replica continuously busy longer than this is declared wedged: it is
-  /// excluded from dispatch and its session's budget is cancelled
+  /// condemned (excluded from dispatch, handed to the supervisor for a
+  /// rebuild once its lease ends) and its session's budget is cancelled
   /// (cooperative — the session aborts at its next budget check). 0
   /// disables wedge detection.
   size_t wedged_after_ms = 0;
+  /// Self-healing circuit breaker: a slot rebuilt more than this many times
+  /// within replica_rebuild_window_ms is quarantined (permanently out of
+  /// rotation) instead of readmitted — a replica that keeps dying is not
+  /// worth rebuilding forever. 0 disables quarantine (every condemned slot
+  /// is rebuilt and readmitted, without limit).
+  size_t replica_rebuild_limit = 0;
+  /// Sliding window for replica_rebuild_limit.
+  size_t replica_rebuild_window_ms = 60000;
 };
 
 /// One session submitted to the server.
@@ -117,6 +136,16 @@ struct ServerStats {
   size_t degraded = 0;          ///< kOk sessions served degraded
   size_t queue_high_water = 0;  ///< max queue depth observed
   size_t watchdog_trips = 0;    ///< replicas declared wedged
+  // -- self-healing replica accounting (DESIGN.md §14). Every condemnation
+  // resolves into exactly one of rebuilt / quarantined / still pending:
+  //   replicas_condemned ==
+  //       replicas_rebuilt + replicas_quarantined + replicas_pending_rebuild
+  // (pending covers condemned-busy, awaiting-rebuild, and mid-rebuild slots,
+  // including those abandoned by shutdown).
+  size_t replicas_condemned = 0;   ///< wedge/fault transitions out of service
+  size_t replicas_rebuilt = 0;     ///< rebuilds that readmitted the slot
+  size_t replicas_quarantined = 0; ///< slots permanently out of rotation
+  size_t replicas_pending_rebuild = 0;  ///< condemned, not yet resolved
   /// Evaluator points diverted down the ladder by blown-deadline batch
   /// cancellation (GuardedEvaluator report.cancelled), summed over kOk
   /// sessions. cancelled_points > 0 implies degraded > 0: a session whose

@@ -24,7 +24,8 @@ ServerCore::ServerCore(ServeOptions options, SessionExecutor executor)
     : options_(options),
       executor_(std::move(executor)),
       pool_(options.replicas),
-      active_(options.replicas) {
+      active_(options.replicas),
+      rebuild_times_(options.replicas) {
   if (!executor_) {
     throw std::invalid_argument("ServerCore: null session executor");
   }
@@ -41,6 +42,7 @@ ServerCore::ServerCore(ServeOptions options, SessionExecutor executor)
   if (options_.watchdog_period_ms > 0) {
     watchdog_ = std::thread([this] { watchdog_loop(); });
   }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
 }
 
 ServerCore::~ServerCore() { stop(StopMode::kNow); }
@@ -163,9 +165,15 @@ void ServerCore::serve_one(Pending item, size_t depth_after_pop) {
   auto lease = pool_.acquire(
       [this] { return stop_now_.load(std::memory_order_relaxed); });
   if (!lease) {
-    result.status = SessionStatus::kStopped;
-    result.total_ms = elapsed_ms(item.enqueued);
-    result.detail = "server stopped while waiting for a replica";
+    if (pool_.all_quarantined()) {
+      result.status = SessionStatus::kFailed;
+      result.total_ms = elapsed_ms(item.enqueued);
+      result.detail = "every replica is quarantined; the pool cannot serve";
+    } else {
+      result.status = SessionStatus::kStopped;
+      result.total_ms = elapsed_ms(item.enqueued);
+      result.detail = "server stopped while waiting for a replica";
+    }
     settle(item, std::move(result));
     return;
   }
@@ -203,6 +211,13 @@ void ServerCore::serve_one(Pending item, size_t depth_after_pop) {
   } catch (const explore::StopRequested& e) {
     result.status = SessionStatus::kStopped;
     result.detail = e.what();
+  } catch (const ReplicaFault& e) {
+    // The executor reported the *replica* broken, not just the session:
+    // condemn the slot now, while the lease is still held, so releasing it
+    // parks the slot for the supervisor instead of re-admitting it.
+    condemn_replica(lease->id());
+    result.status = SessionStatus::kFailed;
+    result.detail = e.what();
   } catch (const explore::ExplorationAborted& e) {
     result.status = (item.budget->cancelled() || item.budget->exhausted())
                         ? SessionStatus::kDeadline
@@ -232,14 +247,64 @@ void ServerCore::watchdog_loop() {
     lk.unlock();
     for (const auto& info : pool_.busy_slots()) {
       if (info.busy_ms <= options_.wedged_after_ms) continue;
-      if (!pool_.mark_unhealthy(info.replica)) continue;
+      if (!condemn_replica(info.replica)) continue;
       // Transition to wedged: trip the breaker once and cancel the
-      // session's budget so it aborts at its next cooperative check.
+      // session's budget so it aborts at its next cooperative check; the
+      // slot parks for the supervisor when that lease ends.
       watchdog_trips_.fetch_add(1, std::memory_order_relaxed);
       std::lock_guard<std::mutex> inner(m_);
       if (active_[info.replica]) active_[info.replica]->cancel();
     }
     lk.lock();
+  }
+}
+
+bool ServerCore::condemn_replica(size_t replica) {
+  if (!pool_.condemn(replica)) return false;
+  replicas_condemned_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ServerCore::supervisor_loop() {
+  for (;;) {
+    auto id = pool_.take_for_rebuild(
+        [this] { return supervisor_exit_.load(std::memory_order_relaxed); });
+    if (!id) return;
+
+    // Quarantine circuit breaker: a slot that keeps dying faster than the
+    // window allows is not worth rebuilding forever.
+    const auto now = std::chrono::steady_clock::now();
+    auto& times = rebuild_times_[*id];
+    const auto window = std::chrono::milliseconds(
+        options_.replica_rebuild_window_ms);
+    std::erase_if(times, [&](auto t) { return now - t > window; });
+    if (options_.replica_rebuild_limit > 0 &&
+        times.size() >= options_.replica_rebuild_limit) {
+      replicas_quarantined_.fetch_add(1, std::memory_order_relaxed);
+      pool_.quarantine(*id);
+      continue;
+    }
+
+    bool ok = true;
+    if (rebuilder_) {
+      try {
+        ok = rebuilder_(*id);
+      } catch (...) {
+        ok = false;
+      }
+    }
+    if (ok) {
+      times.push_back(now);
+      // Count before readmitting: anything observing the slot back in
+      // rotation must already see it in the rebuilt bucket.
+      replicas_rebuilt_.fetch_add(1, std::memory_order_relaxed);
+      pool_.readmit(*id);
+    } else {
+      // A rebuild that failed outright leaves the slot unusable no matter
+      // what the rate limit says.
+      replicas_quarantined_.fetch_add(1, std::memory_order_relaxed);
+      pool_.quarantine(*id);
+    }
   }
 }
 
@@ -305,6 +370,12 @@ void ServerCore::stop(StopMode mode) {
   watchdog_exit_.store(true, std::memory_order_relaxed);
   watchdog_cv_.notify_all();
   if (watchdog_.joinable()) watchdog_.join();
+  // Supervisor last: workers have released every lease by now, so any slot
+  // condemned during the drain gets its rebuild before serving ends. Slots
+  // still pending when the exit flag lands stay pending (abandoned) and are
+  // visible as replicas_pending_rebuild.
+  supervisor_exit_.store(true, std::memory_order_relaxed);
+  if (supervisor_.joinable()) supervisor_.join();
 }
 
 ServerStats ServerCore::stats() const {
@@ -320,6 +391,11 @@ ServerStats ServerCore::stats() const {
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
   s.cancelled_points = cancelled_points_.load(std::memory_order_relaxed);
+  s.replicas_condemned = replicas_condemned_.load(std::memory_order_relaxed);
+  s.replicas_rebuilt = replicas_rebuilt_.load(std::memory_order_relaxed);
+  s.replicas_quarantined =
+      replicas_quarantined_.load(std::memory_order_relaxed);
+  s.replicas_pending_rebuild = pool_.pending_rebuilds();
   if (coalesce_source_) {
     const CoalesceStats c = coalesce_source_();
     s.coalesced_batches = c.coalesced_batches;

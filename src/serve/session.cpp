@@ -1,13 +1,16 @@
 #include "serve/session.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
+#include "core/chaos.hpp"
+#include "core/io.hpp"
 #include "core/parallel.hpp"
 #include "nn/plan.hpp"
-#include "nn/serialize.hpp"
 
 namespace metadse::serve {
 
@@ -56,6 +59,16 @@ void MetaDseSessionEngine::add_workload(const std::string& name,
   workloads_[name] = std::move(entry);
 }
 
+void MetaDseSessionEngine::rebuild_replica(size_t replica) {
+  if (replica >= generators_.size()) {
+    throw std::out_of_range("rebuild_replica: replica id out of range");
+  }
+  generators_[replica] = data::DatasetGenerator(framework_.space());
+  for (auto& [name, entry] : workloads_) {
+    entry.predictors[replica] = framework_.adapt_to(*entry.support);
+  }
+}
+
 SessionExecutor MetaDseSessionEngine::executor() {
   return [this](const SessionRequest& request, const ExecContext& ctx) {
     return run_session(request, ctx);
@@ -82,6 +95,15 @@ std::string MetaDseSessionEngine::format_front(
 
 ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
                                              const ExecContext& ctx) {
+  // Everything this session does — predictions, journal writes, plan
+  // compiles, front publication — runs under its chaos scope, so a chaos
+  // plan can target a deterministic subset of sessions (scope_mod /
+  // scope_match) and leave the rest provably untouched.
+  const core::chaos::ChaosScope chaos_scope(request.id);
+  if (core::chaos::fire("replica.fail")) {
+    throw ReplicaFault("injected replica fault (chaos kill of replica " +
+                       std::to_string(ctx.replica) + ")");
+  }
   const auto it = workloads_.find(request.workload);
   if (it == workloads_.end()) {
     throw std::runtime_error("serve: workload \"" + request.workload +
@@ -101,6 +123,23 @@ ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
   dse.guard.start_level = ctx.start_level;
   dse.explorer.seed = request.seed;
   dse.explorer.stop_check = ctx.stop_requested;
+  // Chaos wedge: the session stalls inside an evaluation attempt exactly
+  // like a hung simulator would, spinning until the watchdog (or shutdown)
+  // cancels its budget. Wrapping the template's hook keeps any rehearsal
+  // hook the caller installed.
+  dse.pre_eval_hook = [base = options_.dse.pre_eval_hook,
+                       budget = ctx.budget, stop = ctx.stop_requested] {
+    if (base) base();
+    if (core::chaos::fire("replica.wedge")) {
+      while (!(budget && (budget->cancelled() || budget->exhausted())) &&
+             !(stop && stop())) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      throw explore::ExplorationAborted(
+          "exploration aborted: injected replica wedge (budget cancelled by "
+          "the watchdog; journal preserves progress)");
+    }
+  };
   if (it->second.coalescer) {
     // Route the surrogate-IPC leg through the cross-session coalescer. The
     // wait inside predict() is part of the evaluation attempt's wall-clock,
@@ -133,18 +172,27 @@ ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
       it->second.predictors[ctx.replica], *it->second.support,
       request.workload, dse, generators_[ctx.replica], report);
 
-  // Publication is the session's commit point: the front appears atomically
-  // and only after the full run (an interrupted session leaves no front, so
-  // a resume pass can find and finish it).
-  if (!options_.front_dir.empty()) {
-    nn::atomic_write_file(front_path(request.id),
-                          format_front(framework_.space(), archive));
-  }
-
   ExecResult out;
   out.degraded = report.degraded() || report.cancelled > 0;
   out.detail = report.summary();
   out.cancelled_points = report.cancelled;
+
+  // Publication is the session's commit point: the front appears atomically
+  // and only after the full run (an interrupted session leaves no front, so
+  // a resume pass can find and finish it). A publication that fails leaves
+  // no torn file behind; the session still ends kOk — its archive is
+  // correct, only the published copy is missing — but is reported degraded
+  // so the loss is visible.
+  if (!options_.front_dir.empty()) {
+    try {
+      core::io::atomic_write_file(front_path(request.id),
+                                  format_front(framework_.space(), archive),
+                                  "front.publish");
+    } catch (const core::io::IoError& e) {
+      out.degraded = true;
+      out.detail += "; front publication failed: " + std::string(e.what());
+    }
+  }
   return out;
 }
 

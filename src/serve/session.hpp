@@ -47,6 +47,15 @@ class MetaDseSessionEngine {
   /// thread-safe; call before serving starts.
   void add_workload(const std::string& name, const data::Dataset& support);
 
+  /// Rebuilds one replica slot from scratch: a fresh simulator generator
+  /// and a fresh adapt_to clone of every registered workload (warm — the
+  /// pretrained model is shared, so the cost is one adaptation per
+  /// workload; no checkpoint reload). adapt_to is deterministic, so the
+  /// rebuilt replica is bitwise-identical to the original. Intended as the
+  /// ServerCore replica rebuilder; must only run while the slot is out of
+  /// dispatch (the supervisor guarantees this).
+  void rebuild_replica(size_t replica);
+
   /// The bound executor (captures `this`; the engine must outlive the
   /// ServerCore using it).
   SessionExecutor executor();

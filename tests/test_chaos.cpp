@@ -1,0 +1,440 @@
+// The fault-domain contract, bottom to top: ChaosEngine schedules are a pure
+// function of (rule, eligible-hit index) — deterministic, scopable, and fully
+// accounted; core::io turns a fired probe into the exact failure a real disk
+// produces (EIO/ENOSPC/torn write) while atomic publication stays
+// all-or-nothing; and RunJournal absorbs those failures by degrading to
+// in-memory buffering with bounded recovery — correctness is never lost, only
+// durability, and only observably so. Rotation (compact) is exercised at the
+// primitive level here; the explorer-driven rotation fuzz lives in
+// test_journal.cpp.
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/chaos.hpp"
+#include "core/io.hpp"
+#include "explore/journal.hpp"
+
+namespace chaos = metadse::core::chaos;
+namespace io = metadse::core::io;
+namespace ex = metadse::explore;
+namespace fs = std::filesystem;
+
+namespace {
+
+/// Every test starts and ends with a disarmed engine: the registry is a
+/// process-wide singleton, so leaked rules would bleed into other suites.
+struct ChaosReset {
+  ChaosReset() { chaos::ChaosEngine::instance().reset(); }
+  ~ChaosReset() { chaos::ChaosEngine::instance().reset(); }
+};
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// Fires @p point @p n times and returns the 0/1 firing pattern.
+std::vector<int> pattern(const char* point, size_t n) {
+  std::vector<int> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(chaos::fire(point).has_value() ? 1 : 0);
+  }
+  return out;
+}
+
+ex::RunJournal::Identity identity(uint64_t seed = 7) {
+  ex::RunJournal::Identity id;
+  id.seed = seed;
+  id.initial_samples = 8;
+  id.iterations = 16;
+  id.mutations_per_step = 2;
+  id.eval_batch = 1;
+  id.num_params = 24;
+  return id;
+}
+
+ex::JournalRecord record(size_t i) {
+  ex::JournalRecord r;
+  r.gen = static_cast<uint32_t>(i / 4);
+  r.config_id = 1000 + i;
+  r.ipc = 1.5 + 0.01 * static_cast<double>(i);
+  r.power = 40.0 - 0.1 * static_cast<double>(i);
+  r.cursor = 17 * i;
+  return r;
+}
+
+void remove_run_files(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".tmp").c_str());
+  std::remove((path + ".snapshot").c_str());
+  std::remove((path + ".snapshot.tmp").c_str());
+}
+
+}  // namespace
+
+// -- ChaosEngine schedules ----------------------------------------------------
+
+TEST(ChaosEngine, DisarmedProbeIsInertAndUncounted) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  EXPECT_FALSE(eng.armed());
+  EXPECT_FALSE(chaos::fire("never.armed").has_value());
+  EXPECT_TRUE(eng.report().empty());
+  EXPECT_TRUE(eng.all_armed_fired()) << "vacuously true with nothing armed";
+}
+
+TEST(ChaosEngine, NthHitFiresExactlyOnce) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  chaos::FaultRule rule;
+  rule.schedule = chaos::FaultRule::Schedule::kNthHit;
+  rule.n = 3;
+  rule.fault = {io::kEio, 0};
+  eng.arm("p.nth", rule);
+  EXPECT_TRUE(eng.armed());
+
+  const auto got = pattern("p.nth", 6);
+  EXPECT_EQ(got, (std::vector<int>{0, 0, 1, 0, 0, 0}));
+  const auto rep = eng.report().at("p.nth");
+  EXPECT_EQ(rep.hits, 6U);
+  EXPECT_EQ(rep.eligible, 6U) << "unscoped rules see every hit";
+  EXPECT_EQ(rep.fired, 1U);
+  EXPECT_TRUE(eng.all_armed_fired());
+}
+
+TEST(ChaosEngine, EveryNthRespectsTheFiringBudget) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  chaos::FaultRule rule;
+  rule.schedule = chaos::FaultRule::Schedule::kEveryNth;
+  rule.n = 2;
+  rule.max_fires = 2;
+  eng.arm("p.every", rule);
+
+  // Fires on hits 2 and 4; hit 6 would fire but the budget is spent.
+  EXPECT_EQ(pattern("p.every", 7), (std::vector<int>{0, 1, 0, 1, 0, 0, 0}));
+  EXPECT_EQ(eng.report().at("p.every").fired, 2U);
+}
+
+TEST(ChaosEngine, FiredFaultCarriesTheArmedSpec) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  chaos::FaultRule rule;
+  rule.fault = {io::kShortWrite, 13};
+  eng.arm("p.spec", rule);
+  const auto fault = chaos::fire("p.spec");
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, io::kShortWrite);
+  EXPECT_EQ(fault->arg, 13U);
+}
+
+TEST(ChaosEngine, ProbabilityScheduleIsSeedDeterministic) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  chaos::FaultRule rule;
+  rule.schedule = chaos::FaultRule::Schedule::kProbability;
+  rule.probability = 0.35;
+  rule.seed = 0xFEED;
+
+  eng.arm("p.prob", rule);
+  const auto first = pattern("p.prob", 200);
+  const size_t fired = eng.report().at("p.prob").fired;
+  EXPECT_GT(fired, 0U);
+  EXPECT_LT(fired, 200U);
+
+  // Re-arming the identical rule replays the identical decision stream:
+  // the schedule depends only on (seed, point, eligible-hit index).
+  eng.arm("p.prob", rule);
+  EXPECT_EQ(pattern("p.prob", 200), first);
+}
+
+TEST(ChaosEngine, ScopedRuleOnlySeesMatchingSessions) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  chaos::FaultRule rule;
+  rule.schedule = chaos::FaultRule::Schedule::kEveryNth;
+  rule.n = 1;  // every eligible hit fires
+  rule.scope_mod = 3;
+  rule.scope_match = 1;
+  eng.arm("p.scoped", rule);
+
+  // Outside any scope: counted but never eligible.
+  EXPECT_FALSE(chaos::fire("p.scoped").has_value());
+  {
+    chaos::ChaosScope non_matching(5);  // 5 % 3 == 2
+    EXPECT_FALSE(chaos::fire("p.scoped").has_value());
+    {
+      chaos::ChaosScope inner(4);  // nested; innermost wins, 4 % 3 == 1
+      EXPECT_TRUE(chaos::fire("p.scoped").has_value());
+    }
+    EXPECT_FALSE(chaos::fire("p.scoped").has_value());
+  }
+  {
+    chaos::ChaosScope matching(7);  // 7 % 3 == 1
+    EXPECT_TRUE(chaos::fire("p.scoped").has_value());
+  }
+  const auto rep = eng.report().at("p.scoped");
+  EXPECT_EQ(rep.hits, 5U);
+  EXPECT_EQ(rep.eligible, 2U);
+  EXPECT_EQ(rep.fired, 2U);
+}
+
+TEST(ChaosEngine, AllArmedFiredDemandsEveryPoint) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  eng.arm("p.one", {});
+  eng.arm("p.two", {});
+  EXPECT_FALSE(eng.all_armed_fired());
+  EXPECT_TRUE(chaos::fire("p.one").has_value());
+  EXPECT_FALSE(eng.all_armed_fired()) << "p.two never fired";
+  EXPECT_TRUE(chaos::fire("p.two").has_value());
+  EXPECT_TRUE(eng.all_armed_fired());
+  EXPECT_NE(eng.summary().find("p.one"), std::string::npos);
+
+  eng.reset();
+  EXPECT_FALSE(eng.armed());
+  EXPECT_TRUE(eng.report().empty());
+}
+
+TEST(ChaosEngine, RearmResetsCountersAndDisarmStopsFiring) {
+  ChaosReset reset;
+  auto& eng = chaos::ChaosEngine::instance();
+  chaos::FaultRule rule;
+  rule.schedule = chaos::FaultRule::Schedule::kEveryNth;
+  rule.n = 1;
+  eng.arm("p.rearm", rule);
+  (void)pattern("p.rearm", 3);
+  EXPECT_EQ(eng.report().at("p.rearm").hits, 3U);
+
+  eng.arm("p.rearm", rule);  // re-arm: counters restart
+  EXPECT_EQ(eng.report().at("p.rearm").hits, 0U);
+
+  eng.disarm("p.rearm");
+  EXPECT_FALSE(chaos::fire("p.rearm").has_value());
+}
+
+// -- core::io under injected faults -------------------------------------------
+
+TEST(ChaosIo, AtomicWriteFailureLeavesTargetUntouchedAndNoTmp) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_atomic.txt");
+  std::remove(path.c_str());
+  io::atomic_write_file(path, "old contents");
+
+  chaos::FaultRule rule;
+  rule.fault = {io::kEnospc, 0};
+  chaos::ChaosEngine::instance().arm("io.write", rule);
+  try {
+    io::atomic_write_file(path, "new contents");
+    FAIL() << "injected ENOSPC must throw";
+  } catch (const io::IoError& e) {
+    EXPECT_EQ(e.code(), ENOSPC);
+  }
+  EXPECT_EQ(slurp(path), "old contents");
+  EXPECT_FALSE(fs::exists(path + ".tmp")) << "failed publication left a tmp";
+  std::remove(path.c_str());
+}
+
+TEST(ChaosIo, RenameFaultAlsoLeavesTargetUntouched) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_rename.txt");
+  std::remove(path.c_str());
+  io::atomic_write_file(path, "old contents");
+
+  chaos::FaultRule rule;
+  rule.fault = {io::kEio, 0};
+  chaos::ChaosEngine::instance().arm("io.rename", rule);
+  EXPECT_THROW(io::atomic_write_file(path, "new contents"), io::IoError);
+  EXPECT_EQ(slurp(path), "old contents");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(ChaosIo, ShortWriteLandsTheTornPrefixBeforeFailing) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_short.bin");
+  std::remove(path.c_str());
+
+  chaos::FaultRule rule;
+  rule.fault = {io::kShortWrite, 5};
+  chaos::ChaosEngine::instance().arm("io.write", rule);
+  io::File f(path, "wb", "io.write");
+  const std::string payload = "0123456789";
+  EXPECT_THROW(f.write(payload.data(), payload.size()), io::IoError);
+  f.close();
+  EXPECT_EQ(slurp(path), "01234")
+      << "a torn write must leave exactly arg bytes, like a real crash";
+  std::remove(path.c_str());
+}
+
+TEST(ChaosIo, EmptyChaosPointOptsOutOfInjection) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_optout.bin");
+  std::remove(path.c_str());
+  chaos::FaultRule rule;
+  rule.fault = {io::kEio, 0};
+  chaos::ChaosEngine::instance().arm("io.write", rule);
+
+  io::File f(path, "wb", /*chaos_point=*/"");
+  const std::string payload = "safe";
+  f.write(payload.data(), payload.size());  // must not throw
+  f.close();
+  EXPECT_EQ(slurp(path), "safe");
+  std::remove(path.c_str());
+}
+
+TEST(ChaosIo, OrphanTmpSweepRemovesOnlyTmpFiles) {
+  const std::string dir = temp_path("mdse_chaos_sweep");
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  io::atomic_write_file(dir + "/keep.txt", "kept");
+  { std::ofstream(dir + "/a.tmp") << "orphan"; }
+  { std::ofstream(dir + "/b.tmp") << "orphan"; }
+
+  EXPECT_EQ(io::remove_orphan_tmp_files(dir), 2U);
+  EXPECT_TRUE(fs::exists(dir + "/keep.txt"));
+  EXPECT_FALSE(fs::exists(dir + "/a.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/b.tmp"));
+  EXPECT_EQ(io::remove_orphan_tmp_files(dir), 0U) << "sweep is idempotent";
+  EXPECT_EQ(io::remove_orphan_tmp_files(dir + "/missing"), 0U);
+  fs::remove_all(dir);
+}
+
+// -- RunJournal disk-fault degradation ----------------------------------------
+
+TEST(ChaosJournal, TransientEnospcBuffersThenRecoversEveryRecord) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_journal.journal");
+  remove_run_files(path);
+
+  // The first three journal writes fail (the append and two recovery
+  // attempts), then the disk heals.
+  chaos::FaultRule rule;
+  rule.fault = {io::kEnospc, 0};
+  rule.schedule = chaos::FaultRule::Schedule::kEveryNth;
+  rule.n = 1;
+  rule.max_fires = 3;
+
+  {
+    ex::RunJournal j(path, identity(), /*resume=*/false);
+    chaos::ChaosEngine::instance().arm("journal.write", rule);
+    j.append(record(0));  // write fails: degrade, buffer record 0
+    EXPECT_TRUE(j.disk_degraded());
+    EXPECT_EQ(j.buffered_records(), 1U);
+    j.append(record(1));  // buffered; recovery attempt fails
+    j.append(record(2));  // buffered; recovery attempt fails
+    EXPECT_EQ(j.buffered_records(), 3U);
+    EXPECT_EQ(j.disk_errors(), 3U);
+    j.append(record(3));  // recovery succeeds: the full buffer drains
+    EXPECT_FALSE(j.disk_degraded());
+    EXPECT_EQ(j.buffered_records(), 0U);
+    EXPECT_EQ(j.disk_errors(), 3U);
+    j.sync();
+  }
+
+  // Nothing was lost: all four records are durable under the same identity.
+  ex::RunJournal back(path, identity(), /*resume=*/true);
+  ASSERT_EQ(back.records().size(), 4U);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(back.records()[i].config_id, record(i).config_id) << i;
+  }
+  remove_run_files(path);
+}
+
+TEST(ChaosJournal, PersistentFaultGivesUpAfterBoundedRetries) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_giveup.journal");
+  remove_run_files(path);
+
+  chaos::FaultRule rule;
+  rule.fault = {io::kEnospc, 0};
+  rule.schedule = chaos::FaultRule::Schedule::kEveryNth;
+  rule.n = 1;  // the disk never heals
+
+  {
+    ex::RunJournal j(path, identity(), /*resume=*/false);
+    chaos::ChaosEngine::instance().arm("journal.write", rule);
+    const size_t n = 2 + ex::RunJournal::kMaxRecoverAttempts;
+    for (size_t i = 0; i < n; ++i) j.append(record(i));
+    EXPECT_TRUE(j.disk_degraded());
+    EXPECT_EQ(j.buffered_records(), n) << "every record stays buffered";
+    // 1 failed append + kMaxRecoverAttempts failed recoveries, then the
+    // journal stops touching the disk: appends keep buffering but the
+    // error count freezes.
+    EXPECT_EQ(j.disk_errors(), 1 + ex::RunJournal::kMaxRecoverAttempts);
+    j.append(record(n));
+    EXPECT_EQ(j.disk_errors(), 1 + ex::RunJournal::kMaxRecoverAttempts);
+    EXPECT_EQ(j.buffered_records(), n + 1);
+  }
+  remove_run_files(path);
+}
+
+TEST(ChaosJournal, DegradedJournalRefusesToCompact) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_nocompact.journal");
+  remove_run_files(path);
+
+  ex::RunJournal j(path, identity(), /*resume=*/false);
+  for (size_t i = 0; i < 3; ++i) j.append(record(i));
+
+  chaos::FaultRule rule;
+  rule.fault = {io::kEnospc, 0};
+  rule.schedule = chaos::FaultRule::Schedule::kEveryNth;
+  rule.n = 1;
+  chaos::ChaosEngine::instance().arm("journal.write", rule);
+  j.append(record(3));  // degrades; record 3 is buffered, not durable
+  ASSERT_TRUE(j.disk_degraded());
+  EXPECT_EQ(j.logical_end(), 3U) << "buffered records are not durable";
+
+  // compact() must refuse: rewriting the generation would silently drop
+  // the buffered tail's durability story.
+  EXPECT_FALSE(j.compact(3));
+  EXPECT_EQ(j.compactions(), 0U);
+  remove_run_files(path);
+}
+
+TEST(ChaosJournal, CompactionFaultLeavesTheOldGenerationIntact) {
+  ChaosReset reset;
+  const std::string path = temp_path("mdse_chaos_compactfault.journal");
+  remove_run_files(path);
+
+  {
+    ex::RunJournal j(path, identity(), /*resume=*/false);
+    for (size_t i = 0; i < 4; ++i) j.append(record(i));
+    j.sync();
+
+    // The handoff's tmp-file write is the next journal.write hit; failing
+    // it must leave the old generation fully intact on disk.
+    chaos::FaultRule rule;
+    rule.fault = {io::kEio, 0};
+    chaos::ChaosEngine::instance().arm("journal.write", rule);
+    EXPECT_FALSE(j.compact(4));
+    EXPECT_EQ(j.compactions(), 0U);
+    chaos::ChaosEngine::instance().reset();
+    EXPECT_EQ(j.base(), 0U);
+    EXPECT_EQ(j.logical_end(), 4U) << "old generation must stay durable";
+
+    // The journal reopened for append; post-fault appends still land.
+    j.append(record(4));
+    j.sync();
+  }
+  ex::RunJournal back(path, identity(), /*resume=*/true);
+  EXPECT_EQ(back.base(), 0U);
+  ASSERT_EQ(back.records().size(), 5U);
+  EXPECT_EQ(back.records()[4].config_id, record(4).config_id);
+  remove_run_files(path);
+}

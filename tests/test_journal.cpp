@@ -26,7 +26,7 @@ namespace nn = metadse::nn;
 
 namespace {
 
-constexpr size_t kHeaderBytes = 60;  // magic, version, identity, crc
+constexpr size_t kHeaderBytes = 68;  // magic, version, identity, base, crc
 constexpr size_t kRecordBytes = 44;
 
 std::string temp_path(const char* name) {
@@ -562,5 +562,176 @@ TEST(JournaledExplore, CooperativeStopFlushesSnapshotAndResumes) {
   const auto resumed2 = ex::EvolutionaryExplorer(small_options())
                             .explore(space, oracle(), jopts);
   expect_bitwise_equal(reference, resumed2);
+  remove_run_files(path);
+}
+
+// -- journal rotation (compaction) --------------------------------------------
+
+TEST(RunJournal, CompactRebasesTheJournalToAnEmptyGeneration) {
+  const auto path = temp_path("mdse_journal_compact.journal");
+  make_journal(path, 5);
+
+  {
+    ex::RunJournal j(path, identity(), /*resume=*/true);
+    ASSERT_EQ(j.records().size(), 5U);
+    // The snapshot must cover exactly the durable journal; anything else is
+    // a caller bug, not a degradation.
+    EXPECT_THROW(j.compact(3), std::logic_error);
+    EXPECT_THROW(j.compact(6), std::logic_error);
+
+    ASSERT_TRUE(j.compact(5));
+    EXPECT_EQ(j.base(), 5U);
+    EXPECT_TRUE(j.records().empty());
+    EXPECT_EQ(j.logical_end(), 5U);
+    EXPECT_EQ(j.compactions(), 1U);
+    EXPECT_EQ(std::filesystem::file_size(path), kHeaderBytes)
+        << "a rebased generation is header-only";
+
+    // Appends continue under the new base; physical record 0 is logical 5.
+    j.append(record(5));
+    j.sync();
+    EXPECT_EQ(j.logical_end(), 6U);
+  }
+  ex::RunJournal back(path, identity(), /*resume=*/true);
+  EXPECT_EQ(back.base(), 5U);
+  ASSERT_EQ(back.records().size(), 1U);
+  EXPECT_TRUE(same_record(back.records()[0], record(5)));
+  remove_run_files(path);
+}
+
+TEST(RunJournal, ResetFreshAbandonsTheRotatedGeneration) {
+  const auto path = temp_path("mdse_journal_resetfresh.journal");
+  make_journal(path, 4);
+  ex::RunJournal j(path, identity(), /*resume=*/true);
+  ASSERT_TRUE(j.compact(4));
+  ASSERT_EQ(j.base(), 4U);
+
+  // The escape hatch for "rotated journal, snapshot gone": nothing left to
+  // replay against, so the run restarts from scratch.
+  j.reset_fresh();
+  EXPECT_EQ(j.base(), 0U);
+  EXPECT_TRUE(j.records().empty());
+  EXPECT_FALSE(std::filesystem::exists(j.snapshot_path()));
+  j.append(record(0));
+  j.sync();
+  ex::RunJournal back(path, identity(), /*resume=*/true);
+  EXPECT_EQ(back.base(), 0U);
+  EXPECT_EQ(back.records().size(), 1U);
+  remove_run_files(path);
+}
+
+TEST(JournaledExplore, RotationKeepsDiskBoundedAndBitwiseEquivalence) {
+  ex::EvolutionaryExplorer evo(small_options(/*eval_batch=*/4));
+  const auto& space = arch::DesignSpace::table1();
+  const auto plain = evo.explore(space, oracle());
+
+  const auto path = temp_path("mdse_journal_rotate.journal");
+  remove_run_files(path);
+  const ex::JournalOptions jopts{.path = path,
+                                 .snapshot_period = 2,
+                                 .compact_after_records = 8};
+  ex::RunReport rep;
+  const auto journaled = evo.explore(space, oracle(), jopts, &rep);
+  expect_bitwise_equal(plain, journaled);
+  EXPECT_GE(rep.journal_compactions, 2U) << "rotation never triggered";
+
+  // Disk stays bounded: the surviving file holds at most one rotation
+  // window plus the records since the last snapshot, never the full run.
+  const std::string bytes = slurp(path);
+  ASSERT_GE(bytes.size(), kHeaderBytes);
+  EXPECT_LT(bytes.size(), kHeaderBytes + evo.budget() * kRecordBytes / 2);
+  uint64_t base = 0;
+  std::memcpy(&base, bytes.data() + 56, 8);
+  EXPECT_GT(base, 0U) << "the final generation must be rebased";
+
+  // Resume of the completed rotated run: the snapshot covers the base, so
+  // restore + tail replay reproduces the archive without re-evaluating.
+  size_t calls = 0;
+  ex::RunReport rep2;
+  const auto resumed = evo.explore(space, oracle(&calls), jopts, &rep2);
+  expect_bitwise_equal(plain, resumed);
+  EXPECT_EQ(calls, 0U);
+  EXPECT_TRUE(rep2.snapshot_restored);
+  remove_run_files(path);
+}
+
+TEST(JournaledExplore, RotatedJournalWithLostSnapshotRestartsFresh) {
+  ex::EvolutionaryExplorer evo(small_options(/*eval_batch=*/4));
+  const auto& space = arch::DesignSpace::table1();
+  const auto path = temp_path("mdse_journal_rotlost.journal");
+  remove_run_files(path);
+  const ex::JournalOptions jopts{.path = path,
+                                 .snapshot_period = 2,
+                                 .compact_after_records = 8};
+  const auto reference = evo.explore(space, oracle(), jopts);
+  // The compacted prefix lives only inside the snapshot; losing it leaves
+  // nothing to replay the rotated base against.
+  std::remove((path + ".snapshot").c_str());
+
+  size_t calls = 0;
+  ex::RunReport rep;
+  const auto resumed = evo.explore(space, oracle(&calls), jopts, &rep);
+  expect_bitwise_equal(reference, resumed);
+  EXPECT_TRUE(rep.journal_reset) << "the reset must be reported";
+  EXPECT_EQ(calls, evo.budget()) << "everything must be re-evaluated";
+  remove_run_files(path);
+}
+
+TEST(JournaledExplore, CrashResumeAcrossRotationBoundaries) {
+  // The rotation analogue of ResumeAfterCrashAtEveryRecordBoundary: with
+  // aggressive rotation armed, interrupt after every possible number of
+  // evaluations — including mid-window and exactly at generation handoffs —
+  // and demand a bitwise-identical archive on resume.
+  ex::EvolutionaryExplorer evo(small_options(/*eval_batch=*/4));
+  const auto& space = arch::DesignSpace::table1();
+  const auto reference = evo.explore(space, oracle());
+  const auto path = temp_path("mdse_journal_rotcrash.journal");
+  const ex::JournalOptions jopts{.path = path,
+                                 .snapshot_period = 2,
+                                 .compact_after_records = 8};
+
+  size_t rotated_resumes = 0;
+  for (size_t k = 0; k < evo.budget(); ++k) {
+    remove_run_files(path);
+    size_t calls = 0;
+    EXPECT_THROW(evo.explore(space, oracle(&calls, k), jopts),
+                 std::runtime_error)
+        << "crash at " << k;
+    ex::RunReport rep;
+    const auto resumed = evo.explore(space, oracle(), jopts, &rep);
+    expect_bitwise_equal(reference, resumed);
+    if (rep.resumed && rep.snapshot_restored) ++rotated_resumes;
+  }
+  EXPECT_GT(rotated_resumes, 0U)
+      << "no crash point ever landed after a snapshot";
+  remove_run_files(path);
+}
+
+TEST(JournaledExplore, TruncationFuzzAcrossARotatedJournal) {
+  // Every-byte fuzz across a rotation boundary: complete a run that rotated
+  // at least once, then truncate the surviving (rebased) journal at every
+  // length. Every resume — torn tail record, header-only file, even a
+  // destroyed header — must converge to a bitwise-identical archive.
+  ex::EvolutionaryExplorer evo(small_options(/*eval_batch=*/4));
+  const auto& space = arch::DesignSpace::table1();
+  const auto path = temp_path("mdse_journal_rotfuzz.journal");
+  remove_run_files(path);
+  const ex::JournalOptions jopts{.path = path,
+                                 .snapshot_period = 2,
+                                 .compact_after_records = 8};
+  ex::RunReport ref_rep;
+  const auto reference = evo.explore(space, oracle(), jopts, &ref_rep);
+  ASSERT_GE(ref_rep.journal_compactions, 1U);
+  const std::string journal_bytes = slurp(path);
+  const std::string snapshot_bytes = slurp(path + ".snapshot");
+  ASSERT_FALSE(snapshot_bytes.empty());
+
+  for (size_t len = 0; len <= journal_bytes.size(); ++len) {
+    spit(path, journal_bytes.substr(0, len));
+    spit(path + ".snapshot", snapshot_bytes);
+    ex::RunReport rep;
+    const auto resumed = evo.explore(space, oracle(), jopts, &rep);
+    expect_bitwise_equal(reference, resumed);
+  }
   remove_run_files(path);
 }

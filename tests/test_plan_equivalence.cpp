@@ -8,10 +8,13 @@
 // allocation-free (served entirely from the plan's arena).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <memory>
+#include <thread>
 #include <vector>
 
+#include "core/chaos.hpp"
 #include "core/parallel.hpp"
 #include "data/dataset.hpp"
 #include "meta/maml.hpp"
@@ -361,4 +364,129 @@ TEST(PlanEquivalence, PlannedPredictSteadyStateZeroAllocations) {
       << "planned predict still cycles pooled buffers (not a static arena)";
   EXPECT_EQ(stats.block_reused, 0U)
       << "planned predict still builds graph nodes";
+}
+
+// -- injected compile failure: negative cache + bitwise eager fallback --------
+
+TEST(PlanEquivalence, InjectedCompileFaultNegativeCachesAndFallsBackBitwise) {
+  namespace chaos = metadse::core::chaos;
+  ThreadGuard guard;
+  RegistryReset reset;
+  chaos::ChaosEngine::instance().reset();
+  metadse::set_threads(1);
+  t::Rng rng(97);
+  nn::TransformerRegressor model(small_cfg(), rng);
+  const auto rows = feature_rows(5, 24, 101);
+
+  std::vector<std::vector<float>> eager;
+  {
+    plan::PlanModeGuard off(false);
+    eager = model.predict_batch(rows);
+  }
+
+  // The first (and only) compile attempt for this shape fails by injection.
+  chaos::FaultRule rule;  // nth-hit, n = 1
+  chaos::ChaosEngine::instance().arm("plan.compile", rule);
+
+  const auto before = plan::PlanRegistry::instance().stats();
+  std::vector<std::vector<float>> first;
+  {
+    plan::PlanModeGuard on(true);
+    first = model.predict_batch(rows);
+  }
+  auto after = plan::PlanRegistry::instance().stats();
+  EXPECT_EQ(after.plans_compiled, before.plans_compiled)
+      << "a failed compile must not count as compiled";
+  EXPECT_GT(after.fallbacks, before.fallbacks);
+  for (size_t i = 0; i < eager.size(); ++i) {
+    expect_same_floats(eager[i], first[i], "faulted compile vs eager");
+  }
+
+  // The failure is negative-cached: the same shape never re-attempts the
+  // compile (the probe sees no further hits) and keeps serving eager bits.
+  const size_t hits_after_first =
+      chaos::ChaosEngine::instance().report().at("plan.compile").hits;
+  std::vector<std::vector<float>> second;
+  {
+    plan::PlanModeGuard on(true);
+    second = model.predict_batch(rows);
+  }
+  EXPECT_EQ(chaos::ChaosEngine::instance().report().at("plan.compile").hits,
+            hits_after_first)
+      << "negative cache must suppress recompile attempts";
+  for (size_t i = 0; i < eager.size(); ++i) {
+    expect_same_floats(eager[i], second[i], "negative-cached vs eager");
+  }
+  EXPECT_TRUE(chaos::ChaosEngine::instance().all_armed_fired());
+  chaos::ChaosEngine::instance().reset();
+
+  // A fresh planner (new model instance) on a healed "disk" compiles fine
+  // and still agrees bitwise.
+  t::Rng rng2(97);
+  nn::TransformerRegressor healed(small_cfg(), rng2);
+  std::vector<std::vector<float>> planned;
+  {
+    plan::PlanModeGuard on(true);
+    planned = healed.predict_batch(rows);
+  }
+  for (size_t i = 0; i < eager.size(); ++i) {
+    expect_same_floats(eager[i], planned[i], "healed planned vs eager");
+  }
+}
+
+// -- try-lock contention: concurrent predicts fall back, never block ----------
+
+TEST(PlanEquivalence, ContendedPredictsFallBackEagerWithIdenticalBits) {
+  ThreadGuard guard;
+  RegistryReset reset;
+  metadse::set_threads(1);
+  plan::PlanModeGuard on(true);
+  t::Rng rng(103);
+  nn::TransformerRegressor model(small_cfg(), rng);
+  const auto rows = feature_rows(8, 24, 107);
+
+  std::vector<std::vector<float>> eager;
+  {
+    plan::PlanModeGuard off(false);
+    eager = model.predict_batch(rows);
+  }
+  (void)model.predict_batch(rows);  // warm-up: compile the plan
+
+  // Hammer one model from many threads. The plan arena is single-occupancy
+  // behind a try-lock: a contended caller must take the eager path instead
+  // of waiting, so every thread's every result is bitwise identical either
+  // way. Rounds repeat until contention is actually observed.
+  const auto base = plan::PlanRegistry::instance().stats();
+  std::atomic<bool> mismatch{false};
+  for (int round = 0; round < 50; ++round) {
+    constexpr size_t kThreads = 8;
+    std::atomic<size_t> start_gate{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (size_t tid = 0; tid < kThreads; ++tid) {
+      threads.emplace_back([&] {
+        start_gate.fetch_add(1);
+        while (start_gate.load() < kThreads) {}
+        for (int iter = 0; iter < 20; ++iter) {
+          const auto got = model.predict_batch(rows);
+          for (size_t i = 0; i < got.size(); ++i) {
+            for (size_t j = 0; j < got[i].size(); ++j) {
+              if (got[i][j] != eager[i][j]) mismatch.store(true);
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    if (plan::PlanRegistry::instance().stats().fallbacks > base.fallbacks) {
+      break;
+    }
+  }
+  EXPECT_FALSE(mismatch.load())
+      << "a contended (or planned) predict diverged from eager bits";
+  const auto after = plan::PlanRegistry::instance().stats();
+  EXPECT_GT(after.fallbacks, base.fallbacks)
+      << "no predict ever lost the try-lock race across 50 contended rounds";
+  EXPECT_GT(after.cache_hits, base.cache_hits)
+      << "winners must keep serving from the compiled plan";
 }

@@ -13,13 +13,19 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "core/chaos.hpp"
+#include "core/io.hpp"
 #include "explore/explorer.hpp"
 #include "explore/guarded.hpp"
 #include "serve/coalesce.hpp"
@@ -95,6 +101,11 @@ serve::ServeOptions small_options() {
 void expect_invariant(const serve::ServerStats& s) {
   EXPECT_EQ(s.submitted,
             s.ok + s.rejected + s.shed + s.deadline + s.stopped + s.failed);
+  // Every condemned replica resolves into exactly one bucket (pending
+  // covers slots abandoned mid-rebuild by shutdown).
+  EXPECT_EQ(s.replicas_condemned,
+            s.replicas_rebuilt + s.replicas_quarantined +
+                s.replicas_pending_rebuild);
 }
 
 }  // namespace
@@ -118,15 +129,17 @@ TEST(ServeReplicaPool, LeasesAreExclusiveAndAbortable) {
   EXPECT_TRUE(pool.acquire().has_value());
 }
 
-TEST(ServeReplicaPool, UnhealthySlotSkippedUntilLeaseRelease) {
+TEST(ServeReplicaPool, CondemnedSlotParksForTheSupervisorOnRelease) {
   serve::ReplicaPool pool(2);
   auto wedged = pool.acquire();
   ASSERT_TRUE(wedged.has_value());
   const size_t bad = wedged->id();
 
-  EXPECT_TRUE(pool.mark_unhealthy(bad));
-  EXPECT_FALSE(pool.mark_unhealthy(bad)) << "second mark is not a transition";
+  EXPECT_TRUE(pool.condemn(bad));
+  EXPECT_FALSE(pool.condemn(bad)) << "second condemn is not a transition";
   EXPECT_FALSE(pool.healthy(bad));
+  EXPECT_EQ(pool.state(bad), serve::ReplicaPool::SlotState::kCondemnedBusy);
+  EXPECT_EQ(pool.pending_rebuilds(), 1U);
 
   // The sweep must land on the other slot, and then find nothing at all.
   auto other = pool.acquire();
@@ -134,12 +147,37 @@ TEST(ServeReplicaPool, UnhealthySlotSkippedUntilLeaseRelease) {
   EXPECT_NE(other->id(), bad);
   EXPECT_FALSE(pool.acquire([] { return true; }).has_value());
 
-  // Releasing the wedged lease re-marks the slot healthy and dispatchable.
+  // Releasing the condemned lease parks the slot for the supervisor — it
+  // does NOT rejoin dispatch on its own.
   wedged.reset();
+  EXPECT_EQ(pool.state(bad), serve::ReplicaPool::SlotState::kAwaitingRebuild);
+  EXPECT_FALSE(pool.acquire([] { return true; }).has_value());
+
+  // Supervisor intake -> rebuild -> readmit makes it dispatchable again.
+  auto take = pool.take_for_rebuild([] { return false; });
+  ASSERT_TRUE(take.has_value());
+  EXPECT_EQ(*take, bad);
+  EXPECT_EQ(pool.state(bad), serve::ReplicaPool::SlotState::kRebuilding);
+  pool.readmit(bad);
   EXPECT_TRUE(pool.healthy(bad));
+  EXPECT_EQ(pool.pending_rebuilds(), 0U);
   auto back = pool.acquire();
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->id(), bad);
+}
+
+TEST(ServeReplicaPool, AcquireFailsFastWhenEverySlotIsQuarantined) {
+  serve::ReplicaPool pool(1);
+  ASSERT_TRUE(pool.condemn(0));  // idle slot parks immediately
+  auto take = pool.take_for_rebuild([] { return false; });
+  ASSERT_TRUE(take.has_value());
+  pool.quarantine(*take);
+  EXPECT_TRUE(pool.all_quarantined());
+  EXPECT_EQ(pool.quarantined_count(), 1U);
+  // No abort hook: without the fail-fast this would block forever.
+  EXPECT_FALSE(pool.acquire().has_value());
+  // A quarantined slot cannot be condemned again.
+  EXPECT_FALSE(pool.condemn(0));
 }
 
 // -- admission ----------------------------------------------------------------
@@ -364,12 +402,16 @@ TEST(ServeWatchdog, WedgedReplicaIsCancelledAndRecovers) {
       << "a cancelled budget maps to kDeadline, detail: " << wedged.detail;
   EXPECT_EQ(server.stats().watchdog_trips, 1U);
 
-  // The lease release re-marked the replica healthy: the server still serves.
+  // The lease release parked the condemned slot; the supervisor (default
+  // no-op rebuilder) readmitted it, so the server still serves.
   gate.open.store(true);
   EXPECT_EQ(server.submit(req(1)).get().status, serve::SessionStatus::kOk);
   const auto s = server.stats();
   EXPECT_EQ(s.ok, 1U);
   EXPECT_EQ(s.deadline, 1U);
+  EXPECT_EQ(s.replicas_condemned, 1U);
+  EXPECT_EQ(s.replicas_rebuilt, 1U);
+  EXPECT_EQ(s.replicas_quarantined, 0U);
   expect_invariant(s);
 }
 
@@ -655,4 +697,306 @@ TEST(ServeSoak, CoalescedInterleavedSessionsMatchUncoalescedBitwise) {
   EXPECT_EQ(c.submitted_points,
             c.coalesced_points + c.cancelled_points + c.failed_points);
   EXPECT_EQ(c.failed_points, 0U);
+}
+
+// -- replica supervisor -------------------------------------------------------
+
+namespace {
+
+/// Polls until replica @p id reaches @p want (the supervisor runs on its own
+/// thread, so transitions are asynchronous). ~2s ceiling.
+bool wait_for_state(const serve::ServerCore& server, size_t id,
+                    serve::ReplicaPool::SlotState want) {
+  for (int i = 0; i < 2000; ++i) {
+    if (server.replica_state(id) == want) return true;
+    sleep_ms(1);
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(ServeSupervisor, CustomRebuilderRestoresACondemnedReplica) {
+  std::atomic<size_t> rebuilds{0};
+  auto options = small_options();
+  serve::ServerCore server(
+      options, [](const serve::SessionRequest& request,
+                  const serve::ExecContext& ctx) -> serve::ExecResult {
+        if (request.id == 0) {
+          throw serve::ReplicaFault("injected replica fault on replica " +
+                                    std::to_string(ctx.replica));
+        }
+        return {};
+      });
+  server.set_replica_rebuilder([&](size_t replica) {
+    EXPECT_EQ(replica, 0U);
+    rebuilds.fetch_add(1);
+    return true;
+  });
+
+  EXPECT_EQ(server.submit(req(0)).get().status, serve::SessionStatus::kFailed);
+  ASSERT_TRUE(wait_for_state(server, 0, serve::ReplicaPool::SlotState::kIdle))
+      << "the supervisor never readmitted the condemned replica";
+  EXPECT_EQ(rebuilds.load(), 1U);
+
+  // The readmitted replica serves again.
+  EXPECT_EQ(server.submit(req(1)).get().status, serve::SessionStatus::kOk);
+  server.stop(serve::ServerCore::StopMode::kDrain);
+  const auto s = server.stats();
+  EXPECT_EQ(s.replicas_condemned, 1U);
+  EXPECT_EQ(s.replicas_rebuilt, 1U);
+  EXPECT_EQ(s.replicas_quarantined, 0U);
+  expect_invariant(s);
+}
+
+TEST(ServeSupervisor, ThrowingRebuilderQuarantinesThePool) {
+  auto options = small_options();
+  serve::ServerCore server(
+      options, [](const serve::SessionRequest&,
+                  const serve::ExecContext&) -> serve::ExecResult {
+        throw serve::ReplicaFault("injected replica fault");
+      });
+  server.set_replica_rebuilder(
+      [](size_t) -> bool { throw std::runtime_error("rebuild exploded"); });
+
+  EXPECT_EQ(server.submit(req(0)).get().status, serve::SessionStatus::kFailed);
+  ASSERT_TRUE(wait_for_state(server, 0,
+                             serve::ReplicaPool::SlotState::kQuarantined));
+
+  // The single replica is quarantined: the pool cannot serve, and says so.
+  const auto r = server.submit(req(1)).get();
+  EXPECT_EQ(r.status, serve::SessionStatus::kFailed);
+  EXPECT_NE(r.detail.find("quarantined"), std::string::npos) << r.detail;
+  server.stop(serve::ServerCore::StopMode::kDrain);
+  const auto s = server.stats();
+  EXPECT_EQ(s.replicas_condemned, 1U);
+  EXPECT_EQ(s.replicas_rebuilt, 0U);
+  EXPECT_EQ(s.replicas_quarantined, 1U);
+  expect_invariant(s);
+}
+
+TEST(ServeSupervisor, RebuildLimitOpensTheCircuitBreaker) {
+  std::atomic<size_t> rebuilds{0};
+  auto options = small_options();
+  options.replica_rebuild_limit = 1;       // one rebuild per window, then
+  options.replica_rebuild_window_ms = 60'000;  // quarantine
+  serve::ServerCore server(
+      options, [](const serve::SessionRequest& request,
+                  const serve::ExecContext&) -> serve::ExecResult {
+        if (request.id < 2) throw serve::ReplicaFault("injected fault");
+        return {};
+      });
+  server.set_replica_rebuilder([&](size_t) {
+    rebuilds.fetch_add(1);
+    return true;
+  });
+
+  // First fault: rebuilt and readmitted (the window has budget).
+  EXPECT_EQ(server.submit(req(0)).get().status, serve::SessionStatus::kFailed);
+  ASSERT_TRUE(wait_for_state(server, 0, serve::ReplicaPool::SlotState::kIdle));
+  EXPECT_EQ(rebuilds.load(), 1U);
+
+  // Second fault inside the window: the breaker opens instead of rebuilding
+  // a replica that keeps dying.
+  EXPECT_EQ(server.submit(req(1)).get().status, serve::SessionStatus::kFailed);
+  ASSERT_TRUE(wait_for_state(server, 0,
+                             serve::ReplicaPool::SlotState::kQuarantined));
+  EXPECT_EQ(rebuilds.load(), 1U) << "quarantine must not rebuild";
+
+  EXPECT_EQ(server.submit(req(2)).get().status, serve::SessionStatus::kFailed);
+  server.stop(serve::ServerCore::StopMode::kDrain);
+  const auto s = server.stats();
+  EXPECT_EQ(s.replicas_condemned, 2U);
+  EXPECT_EQ(s.replicas_rebuilt, 1U);
+  EXPECT_EQ(s.replicas_quarantined, 1U);
+  expect_invariant(s);
+}
+
+// -- chaos soak ---------------------------------------------------------------
+
+namespace {
+
+namespace chaos = metadse::core::chaos;
+namespace mio = metadse::core::io;
+namespace fs = std::filesystem;
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << is.rdbuf();
+  return ss.str();
+}
+
+/// One pass of the chaos soak: every session computes a deterministic
+/// "front" from its id and publishes it atomically into @p dir under its
+/// chaos scope — the same probe layout as the real session engine
+/// (replica.fail, replica.wedge, front.publish).
+struct SoakPass {
+  serve::ServerStats stats;
+  std::map<uint64_t, serve::SessionStatus> statuses;
+  size_t rebuilds = 0;
+};
+
+SoakPass run_soak_pass(const std::string& dir, size_t sessions) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  serve::ServeOptions options;
+  options.replicas = 4;
+  options.workers = 4;
+  options.queue_capacity = 64;
+  options.admission = serve::AdmissionPolicy::kBlock;
+  options.degrade_at = 2.0;
+  options.session_deadline_ms = 20'000;
+  options.watchdog_period_ms = 5;
+  options.wedged_after_ms = 40;
+
+  std::atomic<size_t> rebuilds{0};
+  serve::ServerCore server(
+      options, [&dir](const serve::SessionRequest& request,
+                      const serve::ExecContext& ctx) -> serve::ExecResult {
+        const chaos::ChaosScope scope(request.id);
+        if (chaos::fire("replica.fail")) {
+          throw serve::ReplicaFault("chaos kill of replica " +
+                                    std::to_string(ctx.replica));
+        }
+        if (chaos::fire("replica.wedge")) {
+          // Stall like a hung simulator until the watchdog cancels us.
+          while (!ctx.budget->cancelled() && !ctx.budget->exhausted() &&
+                 !(ctx.stop_requested && ctx.stop_requested())) {
+            sleep_ms(1);
+          }
+          throw ex::ExplorationAborted("wedged session cancelled");
+        }
+        std::ostringstream front;
+        front << "front " << request.id << " " << request.id * 31 + 7 << "\n";
+        try {
+          mio::atomic_write_file(
+              dir + "/front_" + std::to_string(request.id) + ".txt",
+              front.str(), "front.publish");
+        } catch (const mio::IoError& e) {
+          return {.degraded = true,
+                  .detail = "front publication failed: " + std::string(e.what())};
+        }
+        return {};
+      });
+  server.set_replica_rebuilder([&rebuilds](size_t) {
+    rebuilds.fetch_add(1);
+    return true;
+  });
+
+  std::vector<std::future<serve::SessionResult>> futures;
+  futures.reserve(sessions);
+  for (uint64_t id = 0; id < sessions; ++id) {
+    futures.push_back(server.submit(req(id)));
+  }
+  server.stop(serve::ServerCore::StopMode::kDrain);
+
+  SoakPass pass;
+  for (auto& fut : futures) {
+    EXPECT_TRUE(ready(fut)) << "every session must reach a terminal state";
+    const auto res = fut.get();
+    pass.statuses[res.id] = res.status;
+  }
+  pass.stats = server.stats();
+  pass.rebuilds = rebuilds.load();
+  return pass;
+}
+
+}  // namespace
+
+TEST(ServeChaosSoak, ScopedPlanLeavesOutOfScopeSessionsBitwiseUntouched) {
+  // The tentpole acceptance soak: 1200 sessions through 4 replicas under an
+  // armed chaos plan that kills replicas, wedges a session, and fails front
+  // publications — all scoped to sessions with id % 7 in {3, 5, 6}. The
+  // bar: every session reaches an accounted terminal state, the replica
+  // partition invariant holds, every armed fault point actually fired, and
+  // every chaos-untouched session's published front is bitwise identical to
+  // the chaos-free control run.
+  constexpr size_t kSessions = 1200;
+  const std::string dir_control =
+      (fs::temp_directory_path() / "mdse_soak_control").string();
+  const std::string dir_chaos =
+      (fs::temp_directory_path() / "mdse_soak_chaos").string();
+
+  chaos::ChaosEngine::instance().reset();
+  const SoakPass control = run_soak_pass(dir_control, kSessions);
+  EXPECT_EQ(control.stats.ok, kSessions);
+  EXPECT_EQ(control.stats.failed, 0U);
+  expect_invariant(control.stats);
+
+  auto& eng = chaos::ChaosEngine::instance();
+  {
+    chaos::FaultRule kill;
+    kill.schedule = chaos::FaultRule::Schedule::kEveryNth;
+    kill.n = 4;
+    kill.max_fires = 20;
+    kill.scope_mod = 7;
+    kill.scope_match = 3;
+    eng.arm("replica.fail", kill);
+
+    chaos::FaultRule wedge;
+    wedge.schedule = chaos::FaultRule::Schedule::kNthHit;
+    wedge.n = 3;
+    wedge.scope_mod = 7;
+    wedge.scope_match = 6;
+    eng.arm("replica.wedge", wedge);
+
+    chaos::FaultRule enospc;
+    enospc.fault = {mio::kEnospc, 0};
+    enospc.schedule = chaos::FaultRule::Schedule::kEveryNth;
+    enospc.n = 6;
+    enospc.max_fires = 20;
+    enospc.scope_mod = 7;
+    enospc.scope_match = 5;
+    eng.arm("front.publish", enospc);
+  }
+
+  const SoakPass chaotic = run_soak_pass(dir_chaos, kSessions);
+  EXPECT_TRUE(eng.all_armed_fired()) << eng.summary();
+  const auto report = eng.report();
+  eng.reset();
+
+  const auto& s = chaotic.stats;
+  EXPECT_EQ(s.submitted, kSessions);
+  expect_invariant(s);
+  // Every chaos kill is a kFailed session (nothing else fails: the rebuilder
+  // succeeds and no quarantine limit is set).
+  EXPECT_EQ(s.failed, report.at("replica.fail").fired);
+  EXPECT_EQ(report.at("replica.fail").fired, 20U);
+  // The wedged session was detected, cancelled, and billed as kDeadline.
+  EXPECT_EQ(report.at("replica.wedge").fired, 1U);
+  EXPECT_GE(s.deadline, 1U);
+  EXPECT_GE(s.watchdog_trips, 1U);
+  // Failed publications degrade their session but never fail it.
+  EXPECT_EQ(report.at("front.publish").fired, 20U);
+  EXPECT_GE(s.degraded, report.at("front.publish").fired);
+  // Every condemned replica was rebuilt and readmitted (none pending, none
+  // quarantined), and the custom rebuilder saw each rebuild.
+  EXPECT_EQ(s.replicas_condemned, s.replicas_rebuilt);
+  EXPECT_EQ(s.replicas_quarantined, 0U);
+  EXPECT_EQ(s.replicas_pending_rebuild, 0U);
+  EXPECT_GE(s.replicas_condemned, 1U);
+  EXPECT_EQ(chaotic.rebuilds, s.replicas_rebuilt);
+
+  // Chaos-untouched sessions (id % 7 not in {3, 5, 6}) end kOk with a front
+  // bitwise identical to the control run's.
+  size_t compared = 0;
+  for (uint64_t id = 0; id < kSessions; ++id) {
+    const uint64_t lane = id % 7;
+    if (lane == 3 || lane == 5 || lane == 6) continue;
+    ASSERT_EQ(chaotic.statuses.at(id), serve::SessionStatus::kOk)
+        << "chaos leaked into out-of-scope session " << id;
+    const std::string a =
+        slurp_file(dir_control + "/front_" + std::to_string(id) + ".txt");
+    const std::string b =
+        slurp_file(dir_chaos + "/front_" + std::to_string(id) + ".txt");
+    ASSERT_FALSE(a.empty()) << "control front missing for session " << id;
+    ASSERT_EQ(a, b) << "front diverged for untouched session " << id;
+    ++compared;
+  }
+  EXPECT_GE(compared, kSessions / 2);
+
+  fs::remove_all(dir_control);
+  fs::remove_all(dir_chaos);
 }

@@ -28,6 +28,8 @@
 #include <vector>
 
 #include "baselines/trendse.hpp"
+#include "core/chaos.hpp"
+#include "core/io.hpp"
 #include "core/metadse.hpp"
 #include "core/parallel.hpp"
 #include "eval/metrics.hpp"
@@ -326,6 +328,14 @@ int cmd_adapt(const Args& args) {
   if (sleep_arg < 0) {
     throw UsageError("--eval-sleep-ms must be >= 0");
   }
+  const long compact_arg = args.num("journal-compact", 0);
+  if (compact_arg < 0) {
+    throw UsageError("--journal-compact must be >= 0 (0 = rotation off)");
+  }
+  if (compact_arg > 0 && !args.has("journal")) {
+    throw UsageError("--journal-compact requires --journal <path> (there is "
+                     "no journal to rotate)");
+  }
   if (args.has("resume") && !args.has("journal")) {
     throw UsageError("--resume requires --journal <path>");
   }
@@ -350,6 +360,7 @@ int cmd_adapt(const Args& args) {
   dse.journal_path = args.str("journal");
   dse.resume = args.has("resume");
   dse.snapshot_period = static_cast<size_t>(snap_arg);
+  dse.journal_compact_after = static_cast<size_t>(compact_arg);
   // SIGINT/SIGTERM land here: the run stops at the next generation
   // boundary with its journal + snapshot flushed, and main() exits 3.
   dse.explorer.stop_check = [] { return stop_requested(); };
@@ -420,7 +431,6 @@ int cmd_adapt(const Args& args) {
 /// finish the missing sessions bitwise-identically.
 int cmd_serve(const Args& args) {
   core::MetaDseFramework fw(options_from(args));
-  if (int rc = require_ckpt(fw, args)) return rc;
 
   const std::string journal_dir = args.str("journal-dir");
   if (journal_dir.empty()) {
@@ -439,19 +449,85 @@ int cmd_serve(const Args& args) {
   const long batch_arg = args.num("predict-batch", 16);
   const long coalesce_arg = args.num("coalesce-max-batch", 0);
   const long coalesce_ticks_arg = args.num("coalesce-wait-ticks", 2);
-  if (sessions_arg < 1 || replicas_arg < 1 || workers_arg < 1 ||
-      queue_arg < 1 || cand_arg < 4 || support_arg < 1 || batch_arg < 1) {
-    throw UsageError("serve: --sessions/--replicas/--workers/"
-                     "--queue-capacity/--support/--predict-batch must be "
-                     ">= 1 and --candidates >= 4");
+  const long compact_arg = args.num("journal-compact", 0);
+  const long rebuild_limit_arg = args.num("rebuild-limit", 0);
+  const long rebuild_window_arg = args.num("rebuild-window-ms", 60000);
+  // One precise error per degenerate knob, so a typo names its own flag
+  // instead of a lumped "something must be >= 1" guess.
+  if (sessions_arg < 1) {
+    throw UsageError("serve: --sessions must be >= 1 (got " +
+                     std::to_string(sessions_arg) + ")");
   }
-  if (coalesce_arg < 0 || coalesce_ticks_arg < 1) {
-    throw UsageError("serve: --coalesce-max-batch must be >= 0 (0 = off) "
-                     "and --coalesce-wait-ticks >= 1");
+  if (replicas_arg < 1) {
+    throw UsageError("serve: --replicas must be >= 1 — a pool with zero "
+                     "replicas can never dispatch a session (got " +
+                     std::to_string(replicas_arg) + ")");
   }
-  if (arrival_arg < 0 || deadline_arg < 0 || sleep_arg < 0) {
-    throw UsageError("serve: --arrival-ms/--session-deadline-ms/"
-                     "--eval-sleep-ms must be >= 0");
+  if (workers_arg < 1) {
+    throw UsageError("serve: --workers must be >= 1 (got " +
+                     std::to_string(workers_arg) + ")");
+  }
+  if (queue_arg < 1) {
+    throw UsageError("serve: --queue-capacity must be >= 1 (got " +
+                     std::to_string(queue_arg) + ")");
+  }
+  if (support_arg < 1) {
+    throw UsageError("serve: --support must be >= 1 (got " +
+                     std::to_string(support_arg) + ")");
+  }
+  if (cand_arg < 4) {
+    throw UsageError("serve: --candidates must be >= 4 (got " +
+                     std::to_string(cand_arg) + ")");
+  }
+  if (batch_arg < 1) {
+    throw UsageError("serve: --predict-batch must be >= 1 (1 = fully "
+                     "sequential; got " + std::to_string(batch_arg) + ")");
+  }
+  if (coalesce_arg < 0) {
+    throw UsageError("serve: --coalesce-max-batch must be >= 0 (0 = "
+                     "coalescing off; got " + std::to_string(coalesce_arg) +
+                     ")");
+  }
+  // --coalesce-wait-ticks only means anything with coalescing on; a 0-tick
+  // coalescer would flush every tick and never assemble a batch.
+  if (coalesce_arg > 0 && coalesce_ticks_arg < 1) {
+    throw UsageError("serve: --coalesce-wait-ticks must be >= 1 when "
+                     "coalescing is enabled (--coalesce-max-batch > 0); got " +
+                     std::to_string(coalesce_ticks_arg));
+  }
+  if (coalesce_arg == 0 && args.has("coalesce-wait-ticks")) {
+    throw UsageError("serve: --coalesce-wait-ticks has no effect without "
+                     "--coalesce-max-batch > 0 (coalescing is off)");
+  }
+  if (arrival_arg < 0) {
+    throw UsageError("serve: --arrival-ms must be >= 0 (got " +
+                     std::to_string(arrival_arg) + ")");
+  }
+  if (deadline_arg < 0) {
+    throw UsageError("serve: --session-deadline-ms must be >= 0 (0 = "
+                     "unlimited; got " + std::to_string(deadline_arg) + ")");
+  }
+  if (sleep_arg < 0) {
+    throw UsageError("serve: --eval-sleep-ms must be >= 0 (got " +
+                     std::to_string(sleep_arg) + ")");
+  }
+  if (compact_arg < 0) {
+    throw UsageError("serve: --journal-compact must be >= 0 (0 = rotation "
+                     "off; got " + std::to_string(compact_arg) + ")");
+  }
+  if (rebuild_limit_arg < 0) {
+    throw UsageError("serve: --rebuild-limit must be >= 0 (0 = never "
+                     "quarantine; got " + std::to_string(rebuild_limit_arg) +
+                     ")");
+  }
+  if (rebuild_window_arg < 1) {
+    throw UsageError("serve: --rebuild-window-ms must be >= 1 (got " +
+                     std::to_string(rebuild_window_arg) + ")");
+  }
+  const bool chaos_drill = args.has("chaos-drill");
+  if (chaos_drill && sessions_arg < 3) {
+    throw UsageError("serve: --chaos-drill needs --sessions >= 3 (the "
+                     "canned plan scopes faults by session id % 3)");
   }
 
   serve::ServeOptions sopts;
@@ -468,6 +544,23 @@ int cmd_serve(const Args& args) {
       static_cast<size_t>(args.num("watchdog-ms", 100));
   sopts.wedged_after_ms =
       static_cast<size_t>(args.num("wedged-after-ms", 0));
+  sopts.replica_rebuild_limit = static_cast<size_t>(rebuild_limit_arg);
+  sopts.replica_rebuild_window_ms = static_cast<size_t>(rebuild_window_arg);
+  // Wedge detection rides on the watchdog: declaring a threshold the
+  // watchdog can never scan for is a configuration bug, not a choice.
+  if (sopts.wedged_after_ms > 0 && sopts.watchdog_period_ms == 0) {
+    throw UsageError("serve: --wedged-after-ms needs a running watchdog "
+                     "(--watchdog-ms must be > 0)");
+  }
+  if (sopts.wedged_after_ms > 0 &&
+      sopts.wedged_after_ms < sopts.watchdog_period_ms) {
+    throw UsageError("serve: --wedged-after-ms (" +
+                     std::to_string(sopts.wedged_after_ms) +
+                     ") is below the watchdog scan period (--watchdog-ms " +
+                     std::to_string(sopts.watchdog_period_ms) +
+                     "); a wedge shorter than one scan cannot be detected "
+                     "on time — raise it or lower --watchdog-ms");
+  }
   const std::string admission = args.str("admission", "block");
   if (admission == "block") {
     sopts.admission = serve::AdmissionPolicy::kBlock;
@@ -480,7 +573,61 @@ int cmd_serve(const Args& args) {
                      admission + "')");
   }
 
+  // Every knob is validated; only now pay for the checkpoint load.
+  if (int rc = require_ckpt(fw, args)) return rc;
+
   std::filesystem::create_directories(journal_dir);
+  // A crash between tmp write and rename leaves "*.tmp" orphans; sweep them
+  // so the directory never accumulates dead bytes across restarts.
+  const size_t orphans = core::io::remove_orphan_tmp_files(journal_dir);
+  if (orphans > 0) {
+    std::fprintf(stderr, "[serve] swept %zu orphaned .tmp file(s) from %s\n",
+                 orphans, journal_dir.c_str());
+  }
+
+  // --chaos-drill: arm a canned, scoped chaos plan against this serve run.
+  // Sessions with id % 3 == 1 lose disk (ENOSPC journal bursts + a failed
+  // snapshot), id % 3 == 2 wedge a replica once, and one plan compile fails
+  // process-wide (value-safe: the eager fallback is bitwise identical).
+  // Sessions with id % 3 == 0 are outside every scoped rule — provably
+  // untouched. After the run the chaos report is printed and the exit code
+  // is nonzero unless every armed point actually fired.
+  if (chaos_drill) {
+    if (sopts.wedged_after_ms == 0) {
+      // The drill injects a wedge; without detection it would hang forever.
+      sopts.watchdog_period_ms = 50;
+      sopts.wedged_after_ms = 300;
+    }
+    auto& chaos = core::chaos::ChaosEngine::instance();
+    using Rule = core::chaos::FaultRule;
+    Rule enospc;
+    enospc.fault = {core::io::FaultKind::kEnospc, 0};
+    enospc.schedule = Rule::Schedule::kEveryNth;
+    enospc.n = 5;
+    enospc.max_fires = 40;
+    enospc.scope_mod = 3;
+    enospc.scope_match = 1;
+    chaos.arm("journal.write", enospc);
+    Rule snap;
+    snap.fault = {core::io::FaultKind::kEio, 0};
+    snap.schedule = Rule::Schedule::kNthHit;
+    snap.n = 1;
+    snap.scope_mod = 3;
+    snap.scope_match = 1;
+    chaos.arm("snapshot.write", snap);
+    Rule wedge;
+    wedge.schedule = Rule::Schedule::kNthHit;
+    wedge.n = 2;
+    wedge.scope_mod = 3;
+    wedge.scope_match = 2;
+    chaos.arm("replica.wedge", wedge);
+    Rule plan_fault;
+    plan_fault.schedule = Rule::Schedule::kNthHit;
+    plan_fault.n = 1;
+    chaos.arm("plan.compile", plan_fault);
+    std::fprintf(stderr, "[serve] chaos drill armed: journal.write, "
+                 "snapshot.write, replica.wedge, plan.compile\n");
+  }
 
   // Serving workloads: --workload W, or the whole test split round-robin.
   workload::SpecSuite suite;
@@ -501,6 +648,7 @@ int cmd_serve(const Args& args) {
       static_cast<size_t>(args.num("eval-deadline-ms", 0));
   eopts.dse.snapshot_period =
       static_cast<size_t>(args.num("snapshot-period", 8));
+  eopts.dse.journal_compact_after = static_cast<size_t>(compact_arg);
   if (sleep_arg > 0) {
     // Chaos-drill aid: slows each live evaluation so kills land mid-run
     // and deadlines/watchdogs have something to trip on.
@@ -546,6 +694,12 @@ int cmd_serve(const Args& args) {
     server.set_coalesce_stats([&engine] { return engine.coalesce_stats(); });
   }
   server.set_plan_stats([&engine] { return engine.plan_stats(); });
+  // Self-healing: a condemned replica is rebuilt warm (one adapt_to per
+  // workload off the shared pretrained model) before rejoining dispatch.
+  server.set_replica_rebuilder([&engine](size_t replica) {
+    engine.rebuild_replica(replica);
+    return true;
+  });
 
   // Open-loop (or --arrival-ms-paced) submission: session i targets
   // workload i mod names.size() with seed base+i — the same request stream
@@ -618,6 +772,12 @@ int cmd_serve(const Args& args) {
   std::printf("queue high water %zu/%zu, watchdog trips %zu\n",
               stats.queue_high_water, sopts.queue_capacity,
               stats.watchdog_trips);
+  if (stats.replicas_condemned > 0) {
+    std::printf("replicas: %zu condemned -> %zu rebuilt, %zu quarantined, "
+                "%zu pending\n",
+                stats.replicas_condemned, stats.replicas_rebuilt,
+                stats.replicas_quarantined, stats.replicas_pending_rebuild);
+  }
   std::printf("plans: %zu compiled, %zu cache hits, %zu fallbacks, "
               "%zu static bytes\n",
               stats.plans_compiled, stats.plan_cache_hits,
@@ -629,6 +789,16 @@ int cmd_serve(const Args& args) {
                 cs.coalesced_batches, cs.coalesced_points,
                 cs.mean_batch_points(), cs.max_batch_points,
                 cs.cancelled_points);
+  }
+  if (chaos_drill) {
+    auto& chaos = core::chaos::ChaosEngine::instance();
+    std::printf("%s", chaos.summary().c_str());
+    if (!chaos.all_armed_fired()) {
+      std::fprintf(stderr, "[serve] chaos drill FAILED: an armed fault "
+                   "point never fired (plan not exercised)\n");
+      return 1;
+    }
+    std::printf("chaos drill: every armed fault point fired\n");
   }
   if (stop_requested()) {
     std::fprintf(stderr, "[serve] interrupted by signal %d; journals "
@@ -711,7 +881,9 @@ void usage() {
       "                     --predict-batch B]  (B = surrogate queries per\n"
       "                     batched forward; 1 = fully sequential)\n"
       "           durability: --journal F.journal [--resume\n"
-      "                     --snapshot-period G --front-out F.txt]\n"
+      "                     --snapshot-period G --journal-compact N\n"
+      "                     --front-out F.txt]  (N > 0 rotates the journal\n"
+      "                     against the latest snapshot every N records)\n"
       "           containment: --eval-deadline-ms D --eval-retries R\n"
       "                     --degrade-policy ladder|skip|abort\n"
       "                     --eval-sleep-ms S (chaos drills)\n"
@@ -724,12 +896,17 @@ void usage() {
       "                     --watchdog-ms P --wedged-after-ms W\n"
       "                     --workload W --support K --candidates N\n"
       "                     --eval-sleep-ms S --resume\n"
-      "                     --coalesce-max-batch B --coalesce-wait-ticks T]\n"
+      "                     --coalesce-max-batch B --coalesce-wait-ticks T\n"
+      "                     --journal-compact N --rebuild-limit L\n"
+      "                     --rebuild-window-ms W --chaos-drill]\n"
       "           (multi-session serving; fronts publish to\n"
       "            <journal-dir>/front_<id>.txt; exit 3 = interrupted by\n"
       "            signal, journals flushed, rerun with --resume;\n"
       "            B > 0 fuses concurrent sessions' surrogate batches —\n"
-      "            fronts stay bitwise-identical to B = 0)\n"
+      "            fronts stay bitwise-identical to B = 0;\n"
+      "            L > 0 quarantines a replica rebuilt > L times in W ms;\n"
+      "            --chaos-drill arms a canned scoped fault plan and fails\n"
+      "            unless every armed fault point fired)\n"
       "  similarity [--samples N]\n"
       "common flags: --seed S, --dataset-size N, --threads N (0 = auto),\n"
       "  --verbose\n"
