@@ -18,6 +18,7 @@
 #include "nn/transformer.hpp"
 #include "tensor/guard.hpp"
 #include "tensor/ops.hpp"
+#include "tensor/quant.hpp"
 #include "workload/spec_suite.hpp"
 
 using namespace metadse;
@@ -131,6 +132,47 @@ void BM_TransformerPredictBatchNoGrad(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_TransformerPredictBatchNoGrad)->Arg(1)->Arg(16)->Arg(128);
+
+// -- reduced-precision predict tier ------------------------------------------
+//
+// The same no-grad batched forward served from the bf16 / int8 plan variants
+// (DESIGN.md §15). Calibration is captured once before timing, exactly as
+// adapt_to does in production; the timed region is the steady-state quantized
+// predict_batch. Names contain "PredictBatch" so the CI benchmark-smoke
+// filter picks these up alongside the fp32 arms they are compared against.
+
+void quant_predict_bench(benchmark::State& state,
+                         tensor::quant::Precision prec) {
+  const size_t batch = static_cast<size_t>(state.range(0));
+  tensor::Rng rng(12);
+  nn::TransformerRegressor model(predict_cfg(), rng);
+  std::vector<std::vector<float>> rows(batch);
+  std::vector<float> flat;
+  for (auto& r : rows) {
+    r.resize(24);
+    for (auto& v : r) v = rng.uniform();
+    flat.insert(flat.end(), r.begin(), r.end());
+  }
+  if (!nn::plan::capture_calibration(model, flat.data(), batch)) {
+    state.SkipWithError("calibration capture failed (plan not compilable)");
+    return;
+  }
+  tensor::quant::PrecisionModeGuard guard(prec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_batch(rows).front().front());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void BM_TransformerPredictBatchQuantInt8(benchmark::State& state) {
+  quant_predict_bench(state, tensor::quant::Precision::kInt8);
+}
+BENCHMARK(BM_TransformerPredictBatchQuantInt8)->Arg(1)->Arg(16)->Arg(128);
+
+void BM_TransformerPredictBatchQuantBf16(benchmark::State& state) {
+  quant_predict_bench(state, tensor::quant::Precision::kBf16);
+}
+BENCHMARK(BM_TransformerPredictBatchQuantBf16)->Arg(1)->Arg(16)->Arg(128);
 
 void BM_ExplorerBatchedEval(benchmark::State& state) {
   const size_t eval_batch = static_cast<size_t>(state.range(0));

@@ -12,6 +12,7 @@
 #include "core/chaos.hpp"
 #include "core/parallel.hpp"
 #include "eval/metrics.hpp"
+#include "nn/plan.hpp"
 #include "nn/serialize.hpp"
 #include "sim/fault_injection.hpp"
 #include "tensor/guard.hpp"
@@ -481,7 +482,43 @@ AdaptedPredictor MetaDseFramework::adapt_to(
   AdaptedPredictor out;
   out.model = adapt_task(x, y, options_.adapt.use_wam);
   out.scaler = scaler();
+  // Capture the int8 activation-calibration table from the support batch
+  // (the only labelled data this workload has at adapt time). One extra
+  // no-grad forward; the model's fp32 predictions are untouched. Failure
+  // (unplannable forward) just leaves the model uncalibrated, so int8
+  // requests downgrade to fp32.
+  (void)nn::plan::capture_calibration(*out.model, x.data().data(), n);
   return out;
+}
+
+QuantContract check_quant_contract(const AdaptedPredictor& predictor,
+                                   const arch::DesignSpace& space,
+                                   tensor::quant::Precision precision,
+                                   size_t n_points, uint64_t seed,
+                                   double min_rho) {
+  QuantContract qc;
+  qc.min_rho = min_rho;
+  qc.n_points = n_points;
+  if (precision == tensor::quant::Precision::kFp32 || n_points < 2) return qc;
+  tensor::Rng rng(seed);
+  const auto configs = space.sample_latin_hypercube(n_points, rng);
+  std::vector<std::vector<float>> rows;
+  rows.reserve(configs.size());
+  for (const auto& c : configs) rows.push_back(space.normalize(c));
+  std::vector<float> ref;
+  std::vector<float> quantized;
+  {
+    tensor::quant::PrecisionModeGuard fp32(
+        tensor::quant::Precision::kFp32);
+    ref = predictor.predict_batch(rows);
+  }
+  {
+    tensor::quant::PrecisionModeGuard reduced(precision);
+    quantized = predictor.predict_batch(rows);
+  }
+  qc.rho = eval::spearman_rho(ref, quantized);
+  qc.passed = qc.rho >= min_rho;
+  return qc;
 }
 
 std::vector<TaskEval> MetaDseFramework::evaluate(const std::string& workload,
@@ -525,6 +562,22 @@ explore::ParetoArchive MetaDseFramework::run_dse(
     data::DatasetGenerator& generator, explore::RunReport& report) const {
   const workload::Workload& wl = suite_.by_name(workload);
 
+  // Pre-run error contract for reduced-precision serving: measure the rank
+  // agreement between fp32 and quantized predictions and refuse to serve
+  // quantized when it is below the threshold — the run still completes,
+  // just at fp32, and the trip is visible in the report (DESIGN.md §15).
+  tensor::quant::Precision prec = dse_options.precision;
+  if (prec != tensor::quant::Precision::kFp32) {
+    const QuantContract qc =
+        check_quant_contract(predictor, *space_, prec, /*n_points=*/128,
+                             /*seed=*/0xC0117AC7,
+                             dse_options.quant_contract_min_rho);
+    if (!qc.passed) {
+      prec = tensor::quant::Precision::kFp32;
+      report.quant_contract_tripped = true;
+    }
+  }
+
   // Primary evaluator: surrogate IPC + simulated power. The power leg goes
   // through the caller's generator, so an armed fault plan (and its
   // attempt-indexed draws) exercises the retry/breaker machinery exactly as
@@ -533,24 +586,28 @@ explore::ParetoArchive MetaDseFramework::run_dse(
   // since any valid predict_rows is pointwise bitwise-equal to the local
   // predictor, the two paths produce identical archives.
   explore::AttemptEvaluator primary =
-      [this, &predictor, &wl, &dse_options, &generator](const arch::Config& c,
-                                                        size_t attempt) {
+      [this, &predictor, &wl, &dse_options, &generator,
+       prec](const arch::Config& c, size_t attempt) {
         if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
-        const float ipc =
-            dse_options.predict_rows
-                ? dse_options.predict_rows({space_->normalize(c)}).at(0)
-                : predictor.predict(space_->normalize(c));
+        float ipc;
+        {
+          tensor::quant::PrecisionModeGuard qguard(prec);
+          ipc = dse_options.predict_rows
+                    ? dse_options.predict_rows({space_->normalize(c)}).at(0)
+                    : predictor.predict(space_->normalize(c));
+        }
         const auto [sim_ipc, sim_power] = generator.evaluate(c, wl, attempt);
         (void)sim_ipc;
         return explore::Objective{static_cast<double>(ipc), sim_power};
       };
   explore::BatchEvaluator batch_primary =
-      [this, &predictor, &wl, &dse_options,
-       &generator](const std::vector<arch::Config>& batch) {
+      [this, &predictor, &wl, &dse_options, &generator,
+       prec](const std::vector<arch::Config>& batch) {
         if (dse_options.pre_eval_hook) dse_options.pre_eval_hook();
         std::vector<std::vector<float>> feats;
         feats.reserve(batch.size());
         for (const auto& c : batch) feats.push_back(space_->normalize(c));
+        tensor::quant::PrecisionModeGuard qguard(prec);
         const auto ipcs = dse_options.predict_rows
                               ? dse_options.predict_rows(feats)
                               : predictor.predict_batch(feats);

@@ -14,6 +14,7 @@
 #include "explore/guarded.hpp"
 #include "meta/maml.hpp"
 #include "meta/wam.hpp"
+#include "tensor/quant.hpp"
 
 namespace metadse::core {
 
@@ -47,6 +48,18 @@ struct TaskEval {
   double ev = 0.0;
 };
 
+/// Result of one quantization error-contract check (DESIGN.md §15): the
+/// measured Spearman rank correlation between fp32 and reduced-precision
+/// predictions over a deterministic LHS evaluation batch. DSE consumes the
+/// *ordering* of predicted IPC, so rank correlation — not bitwise equality
+/// — is the fidelity bar; a trip means the quantized tier must not serve.
+struct QuantContract {
+  double rho = 1.0;       ///< measured Spearman rank correlation
+  double min_rho = 0.99;  ///< contract threshold
+  size_t n_points = 0;    ///< evaluation batch size
+  bool passed = true;
+};
+
 /// A predictor adapted to a target workload, ready for DSE queries.
 struct AdaptedPredictor {
   std::unique_ptr<nn::TransformerRegressor> model;
@@ -60,6 +73,18 @@ struct AdaptedPredictor {
   std::vector<float> predict_batch(
       const std::vector<std::vector<float>>& rows) const;
 };
+
+/// Evaluates the quantization error contract for @p predictor at
+/// @p precision: predicts a deterministic Latin-hypercube batch of
+/// @p n_points designs from @p space under fp32 and under @p precision and
+/// compares rankings. fp32 trivially passes. The batch is seeded by
+/// @p seed only, so every replica of one workload measures the same rho.
+QuantContract check_quant_contract(const AdaptedPredictor& predictor,
+                                   const arch::DesignSpace& space,
+                                   tensor::quant::Precision precision,
+                                   size_t n_points = 128,
+                                   uint64_t seed = 0xC0117AC7,
+                                   double min_rho = 0.99);
 
 /// The MetaDSE pipeline facade.
 class MetaDseFramework {
@@ -171,6 +196,14 @@ class MetaDseFramework {
     /// guard as ordinary evaluation failures.
     std::function<std::vector<float>(const std::vector<std::vector<float>>&)>
         predict_rows;
+    /// Numeric tier of the surrogate's planned forwards (tensor/quant.hpp).
+    /// Non-fp32 runs first check the quantization error contract
+    /// (check_quant_contract): on a trip the run falls back to fp32 and
+    /// RunReport::quant_contract_tripped is set. fp32 runs are untouched.
+    tensor::quant::Precision precision = tensor::quant::Precision::kFp32;
+    /// Minimum Spearman rank correlation between fp32 and reduced-precision
+    /// predictions required to serve at reduced precision.
+    double quant_contract_min_rho = 0.99;
   };
 
   /// Runs the few-shot DSE loop with fault containment: surrogate IPC (one

@@ -105,6 +105,60 @@ double wasserstein1(std::span<const float> a, std::span<const float> b) {
   return s / static_cast<double>(grid);
 }
 
+namespace {
+
+/// Average ranks (1-based; ties share the mean of their rank range).
+std::vector<double> avg_ranks(std::span<const float> v) {
+  const size_t n = v.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t i, size_t j) { return v[i] < v[j]; });
+  std::vector<double> ranks(n);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && v[order[j + 1]] == v[order[i]]) ++j;
+    const double r = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 +
+                     1.0;  // mean of 1-based ranks i+1..j+1
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = r;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double spearman_rho(std::span<const float> a, std::span<const float> b) {
+  check_pair(a, b, "spearman_rho");
+  const size_t n = a.size();
+  if (n < 2) return 1.0;
+  const std::vector<double> ra = avg_ranks(a);
+  const std::vector<double> rb = avg_ranks(b);
+  double ma = 0.0;
+  double mb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    ma += ra[i];
+    mb += rb[i];
+  }
+  ma /= static_cast<double>(n);
+  mb /= static_cast<double>(n);
+  double cov = 0.0;
+  double va = 0.0;
+  double vb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double da = ra[i] - ma;
+    const double db = rb[i] - mb;
+    cov += da * db;
+    va += da * da;
+    vb += db * db;
+  }
+  if (va < 1e-12 || vb < 1e-12) {
+    return (va < 1e-12 && vb < 1e-12) ? 1.0 : 0.0;
+  }
+  return cov / std::sqrt(va * vb);
+}
+
 std::string format_mean_ci(const MeanCi& mc, int precision) {
   std::ostringstream os;
   os.setf(std::ios::fixed);

@@ -40,6 +40,15 @@ MeanCi mean_ci(std::span<const double> values);
 /// weights): the L1 distance between sorted samples / quantile functions.
 double wasserstein1(std::span<const float> a, std::span<const float> b);
 
+/// Spearman rank correlation with average ranks for ties. Sizes must match;
+/// returns 1 for fewer than two points or when either side is constant with
+/// the other (degenerate variance is treated as perfectly concordant only
+/// when both sides are constant, else 0). Used by the quantization error
+/// contract (DESIGN.md §15): DSE cares about the *ordering* of predicted
+/// IPC across candidate designs, so rank correlation — not bitwise equality
+/// — is the fidelity bar for reduced-precision serving.
+double spearman_rho(std::span<const float> a, std::span<const float> b);
+
 /// Formats "m±c" with the given precision (Table II style).
 std::string format_mean_ci(const MeanCi& mc, int precision = 4);
 

@@ -55,6 +55,10 @@ struct RunReport {
   std::vector<arch::Config> quarantined;
   /// Where the degradation ladder ended when the run finished.
   DegradeLevel final_level = DegradeLevel::kSurrogate;
+  /// A reduced-precision run was requested but the pre-run quantization
+  /// error contract (Spearman rank correlation vs fp32) failed, so the run
+  /// executed at fp32 instead (DESIGN.md §15).
+  bool quant_contract_tripped = false;
 
   // -- durability accounting (RunJournal) -------------------------------------
   size_t replayed = 0;         ///< points served from the journal, not evaluated
@@ -113,6 +117,9 @@ struct RunReport {
       os << ", " << journal_compactions << " journal compactions";
     }
     if (journal_reset) os << ", journal reset (snapshot lost after rotation)";
+    if (quant_contract_tripped) {
+      os << ", quant contract tripped (ran fp32)";
+    }
     if (resumed) {
       os << ", resumed" << (snapshot_restored ? " (snapshot)" : " (replay)");
     }

@@ -23,6 +23,7 @@ namespace metadse::nn::plan {
 namespace t = metadse::tensor;
 namespace tp = metadse::tensor::plan;
 namespace kern = metadse::tensor::kern;
+namespace quant = metadse::tensor::quant;
 
 // -- PlanMode ----------------------------------------------------------------
 
@@ -112,7 +113,7 @@ void PlanRegistry::reset() {
 // -- predict plans -----------------------------------------------------------
 
 std::string predict_plan_key(const TransformerRegressor& model, size_t batch,
-                             bool fuse) {
+                             bool fuse, quant::Precision prec) {
   const auto& c = model.config();
   std::string k = "predict:nt" + std::to_string(c.n_tokens) + ":dm" +
                   std::to_string(c.d_model) + ":h" +
@@ -125,6 +126,8 @@ std::string predict_plan_key(const TransformerRegressor& model, size_t batch,
     k += model.attention_layer(i).has_mask() ? '1' : '0';
   }
   k += fuse ? ":f1" : ":f0";
+  if (prec == quant::Precision::kBf16) k += ":qb";
+  if (prec == quant::Precision::kInt8) k += ":q8";
   return k;
 }
 
@@ -187,9 +190,13 @@ struct PredictPlanner::Impl {
     std::vector<const float*> bound;
     std::vector<size_t> ext_size;
     size_t n_params = 0;
+    // int8 entries: model calibration generation the executor was fed, so a
+    // re-captured table reaches an already-bound executor on the next run.
+    uint64_t calib_gen = 0;
   };
 
-  using Key = std::tuple<size_t, bool, uint64_t>;  // batch, fuse, mask bits
+  // batch, fuse, mask bits, precision
+  using Key = std::tuple<size_t, bool, uint64_t, uint8_t>;
 
   TransformerRegressor& model;
   std::vector<const t::Node*> param_nodes;
@@ -256,12 +263,21 @@ bool PredictPlanner::run(size_t batch, const float* in, float* out) {
     return false;
   }
   const bool fuse = FusedKernels::enabled();
-  const Impl::Key key{batch, fuse, im.mask_bits()};
+  // Effective precision for this run: int8 without a captured calibration
+  // table downgrades to fp32 (serving before adapt-time calibration, or a
+  // model whose calibration failed to capture).
+  quant::Precision prec = quant::PrecisionMode::mode();
+  if (prec == quant::Precision::kInt8 &&
+      !im.model.has_quant_calibration()) {
+    prec = quant::Precision::kFp32;
+  }
+  const Impl::Key key{batch, fuse, im.mask_bits(),
+                      static_cast<uint8_t>(prec)};
   auto it = im.entries.find(key);
   if (it == im.entries.end()) {
     if (im.entries.size() >= Impl::kMaxEntries) im.entries.clear();
     Impl::Entry e;
-    const std::string rkey = predict_plan_key(im.model, batch, fuse);
+    const std::string rkey = predict_plan_key(im.model, batch, fuse, prec);
     auto prog = reg.find(rkey);
     const bool from_registry = prog != nullptr;
     if (!prog) {
@@ -281,6 +297,17 @@ bool PredictPlanner::run(size_t batch, const float* in, float* out) {
           e.bound.push_back(e.ext_nodes[i]->value.data());
           e.ext_size.push_back(e.ext_nodes[i]->value.size());
           e.exec->bind_external(static_cast<uint32_t>(i), e.bound.back());
+        }
+        e.exec->set_precision(prec);
+        if (prec == quant::Precision::kInt8) {
+          // A schedule-order mismatch (e.g. a calibration captured under a
+          // different fusion setting) makes int8 unservable for this key;
+          // negative-cache it and let callers fall back to eager fp32.
+          if (e.exec->set_calibration(im.model.quant_calibration())) {
+            e.calib_gen = im.model.quant_calibration_gen();
+          } else {
+            e.exec.reset();
+          }
         }
       } else {
         e.exec.reset();  // leaf classification drifted; never plan this key
@@ -302,8 +329,50 @@ bool PredictPlanner::run(size_t batch, const float* in, float* out) {
     reg.note_fallback();
     return false;
   }
+  if (prec == quant::Precision::kInt8 &&
+      e.calib_gen != im.model.quant_calibration_gen()) {
+    if (!e.exec->set_calibration(im.model.quant_calibration())) {
+      reg.note_fallback();
+      return false;
+    }
+    e.calib_gen = im.model.quant_calibration_gen();
+  }
   e.exec->run(in, out);
   reg.note_hit();
+  return true;
+}
+
+// -- calibration capture -----------------------------------------------------
+
+bool capture_calibration(TransformerRegressor& model, const float* in,
+                         size_t batch) {
+  std::string why;
+  const bool fuse = FusedKernels::enabled();
+  const std::string rkey = predict_plan_key(model, batch, fuse);
+  auto& reg = PlanRegistry::instance();
+  auto prog = reg.find(rkey);
+  if (!prog) {
+    prog = compile_predict(model, batch, fuse, &why);
+    if (prog) prog = reg.insert(rkey, std::move(prog));
+  }
+  if (!prog) return false;
+  tp::ProgramExec exec(prog);
+  uint32_t slot = 0;
+  for (const auto& p : model.parameters()) {
+    exec.bind_external(slot++, p.node()->value.data());
+  }
+  for (size_t i = 0; i < model.layer_count(); ++i) {
+    const auto& attn = model.attention_layer(i);
+    if (attn.has_mask()) {
+      exec.bind_external(slot++, attn.mask().node()->value.data());
+    }
+  }
+  if (slot != prog->n_external) return false;
+  std::vector<float> table;
+  exec.capture_absmax(&table);
+  std::vector<float> out(batch * model.config().n_outputs);
+  exec.run(in, out.data());
+  model.set_quant_calibration(std::move(table));
   return true;
 }
 

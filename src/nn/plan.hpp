@@ -96,9 +96,21 @@ class PlanRegistry {
 };
 
 /// Structural registry key for an eval-mode predict plan of @p model at
-/// @p batch rows with plan-time fusion @p fuse.
-std::string predict_plan_key(const TransformerRegressor& model, size_t batch,
-                             bool fuse);
+/// @p batch rows with plan-time fusion @p fuse. Non-fp32 precisions append
+/// a ":q*" suffix so per-precision program variants register separately
+/// (fp32 keys are byte-identical to the pre-quantization format).
+std::string predict_plan_key(
+    const TransformerRegressor& model, size_t batch, bool fuse,
+    tensor::quant::Precision prec = tensor::quant::Precision::kFp32);
+
+/// Compiles a predict plan for @p batch rows of @p in ([batch, n_tokens]
+/// row-major), runs it once in absmax-capture mode, and installs the
+/// resulting per-gemm activation scale table in @p model
+/// (set_quant_calibration). Called at adapt time on the support batch.
+/// Returns false (leaving the model uncalibrated, so int8 requests
+/// downgrade to fp32) when the forward is unplannable.
+bool capture_calibration(TransformerRegressor& model, const float* in,
+                         size_t batch);
 
 /// Traces one eval-mode forward of @p model at batch size @p batch and
 /// compiles it (parameters and installed masks become external slots, the
@@ -108,7 +120,11 @@ std::shared_ptr<const tensor::plan::CompiledProgram> compile_predict(
     TransformerRegressor& model, size_t batch, bool fuse, std::string* why);
 
 /// Per-model cache of bound predict-plan executors, keyed by (batch, mask
-/// structure, fusion flag). Negative-caches unplannable keys; revalidates
+/// structure, fusion flag, precision). The thread-local PrecisionMode
+/// selects the variant: bf16/int8 entries run reduced-precision GEMM panels
+/// (tensor/quant.hpp); an int8 request on a model without a calibration
+/// table downgrades to the fp32 variant, and any unplannable shape still
+/// falls back to eager fp32. Negative-caches unplannable keys; revalidates
 /// external storage pointers every run and rebinds after parameter
 /// reallocation
 /// or mask replacement. Concurrent run() calls on one model serialize via

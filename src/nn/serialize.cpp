@@ -195,4 +195,55 @@ void load_parameters(Module& m, const std::string& path) {
   }
 }
 
+namespace {
+constexpr uint32_t kCalibMagic = 0x4D44'5143;  // "MDQC"
+constexpr uint32_t kCalibVersion = 1;
+// A predict plan of this model family has a handful of quantizable gemms
+// per layer; anything beyond this is a corrupt count, not a real table.
+constexpr uint64_t kCalibMaxEntries = 1U << 20;
+}  // namespace
+
+void save_calibration(const std::vector<float>& table,
+                      const std::string& path) {
+  std::string out;
+  put_pod(out, kCalibMagic);
+  put_pod(out, kCalibVersion);
+  put_pod(out, static_cast<uint64_t>(table.size()));
+  out.append(reinterpret_cast<const char*>(table.data()),
+             table.size() * sizeof(float));
+  put_pod(out, crc32(out.data(), out.size()));
+  atomic_write_file(path, out);
+}
+
+std::vector<float> load_calibration(const std::string& path) {
+  const std::string bytes = read_file(path, "load_calibration");
+  if (bytes.size() < 4 + 4 + 8 + 4) {
+    throw std::runtime_error("load_calibration: truncated file " + path);
+  }
+  uint32_t footer = 0;
+  std::memcpy(&footer, bytes.data() + bytes.size() - 4, sizeof(footer));
+  if (footer != crc32(bytes.data(), bytes.size() - 4)) {
+    throw std::runtime_error("load_calibration: checksum mismatch in " + path);
+  }
+  Reader r(bytes.data(), bytes.size(), "load_calibration");
+  if (r.pod<uint32_t>() != kCalibMagic) {
+    throw std::runtime_error("load_calibration: bad magic in " + path);
+  }
+  if (r.pod<uint32_t>() != kCalibVersion) {
+    throw std::runtime_error("load_calibration: unsupported version in " +
+                             path);
+  }
+  const auto count = r.pod<uint64_t>();
+  if (count > kCalibMaxEntries) {
+    throw std::runtime_error("load_calibration: implausible entry count in " +
+                             path);
+  }
+  std::vector<float> table(count);
+  r.bytes(table.data(), table.size() * sizeof(float));
+  if (r.remaining() != 4) {
+    throw std::runtime_error("load_calibration: trailing bytes in " + path);
+  }
+  return table;
+}
+
 }  // namespace metadse::nn

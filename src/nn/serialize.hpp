@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "nn/module.hpp"
 
@@ -35,5 +36,17 @@ void save_parameters(const Module& m, const std::string& path);
 /// checksum mismatch. Shapes are validated against @p m before any
 /// data-dependent allocation, so a corrupt file cannot trigger an OOM.
 void load_parameters(Module& m, const std::string& path);
+
+/// Writes an int8 activation-calibration table (per-gemm absmax, compiled-
+/// plan schedule order) to @p path — atomically, CRC-checksummed. The table
+/// lives in its own "<checkpoint>.calib" sidecar so the v2 checkpoint
+/// format is untouched and older builds load the checkpoint unchanged.
+void save_calibration(const std::vector<float>& table,
+                      const std::string& path);
+
+/// Loads a table written by save_calibration; throws std::runtime_error on
+/// I/O failure, bad magic/version, an implausible entry count, or checksum
+/// mismatch.
+std::vector<float> load_calibration(const std::string& path);
 
 }  // namespace metadse::nn

@@ -177,6 +177,8 @@ std::unique_ptr<TransformerRegressor> TransformerRegressor::clone() const {
       copy->layers_[i]->attention().install_mask(src_attn.mask().detach());
     }
   }
+  copy->quant_calib_ = quant_calib_;
+  if (!quant_calib_.empty()) ++copy->quant_calib_gen_;
   return copy;
 }
 

@@ -89,8 +89,23 @@ class TransformerRegressor : public Module {
   void set_capture_attention(bool on);
 
   /// Deep copy: same architecture, copied parameter values; an installed
-  /// mask on the last layer is copied by value (as a plain constant).
+  /// mask on the last layer is copied by value (as a plain constant). The
+  /// quantization calibration table (if any) is copied too.
   std::unique_ptr<TransformerRegressor> clone() const;
+
+  /// Per-gemm activation absmax table for int8 serving, in compiled-plan
+  /// schedule order (see tensor/plan.hpp quant_gemms()). Captured from the
+  /// support batch at adapt time (nn::plan::capture_calibration); empty
+  /// until then — int8 requests downgrade to fp32 while empty.
+  const std::vector<float>& quant_calibration() const { return quant_calib_; }
+  bool has_quant_calibration() const { return !quant_calib_.empty(); }
+  void set_quant_calibration(std::vector<float> table) {
+    quant_calib_ = std::move(table);
+    ++quant_calib_gen_;
+  }
+  /// Bumped on every set_quant_calibration; planner entries revalidate
+  /// against it so a re-captured table reaches already-bound executors.
+  uint64_t quant_calibration_gen() const { return quant_calib_gen_; }
 
  private:
   TransformerConfig cfg_;
@@ -101,6 +116,8 @@ class TransformerRegressor : public Module {
   Linear head1_;
   Linear head2_;
   Rng eval_rng_{0};  ///< inert rng for eval-mode forwards
+  std::vector<float> quant_calib_;  ///< int8 activation absmax (plan order)
+  uint64_t quant_calib_gen_ = 0;
   /// Lazily built cache of compiled predict plans (nn/plan.hpp). The eager
   /// forward() path never touches it; predict_one/predict_batch consult it
   /// first and fall back to eager for unplannable shapes.

@@ -163,6 +163,12 @@ struct ServerStats {
   size_t plan_cache_hits = 0;
   size_t plan_fallbacks = 0;
   size_t plan_static_bytes = 0;
+  /// Reduced-precision serving accounting: sessions that ran their DSE loop
+  /// at a quantized tier, and sessions that requested one but fell back to
+  /// fp32 because the quantization error contract tripped (DESIGN.md §15).
+  /// quant_fallbacks counts against quant_sessions' requests, not ok.
+  size_t quant_sessions = 0;
+  size_t quant_fallbacks = 0;
 };
 
 /// Snapshot of the plan registry's counters in serve-layer terms (the
@@ -198,6 +204,12 @@ struct ExecResult {
   /// (report.cancelled). The server folds this into ServerStats::
   /// cancelled_points and treats any nonzero value as a degraded serve.
   size_t cancelled_points = 0;
+  /// The session served its DSE loop at a reduced-precision tier.
+  bool quantized = false;
+  /// A reduced-precision tier was requested but the quantization error
+  /// contract tripped; the session ran at fp32 (ServerStats::
+  /// quant_fallbacks). Not a degraded serve — fp32 is full quality.
+  bool quant_fallback = false;
 };
 
 /// The session engine: runs one session to completion on the leased replica.

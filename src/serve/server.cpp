@@ -208,6 +208,10 @@ void ServerCore::serve_one(Pending item, size_t depth_after_pop) {
     result.detail = std::move(exec.detail);
     cancelled_points_.fetch_add(exec.cancelled_points,
                                 std::memory_order_relaxed);
+    if (exec.quantized) quant_sessions_.fetch_add(1, std::memory_order_relaxed);
+    if (exec.quant_fallback) {
+      quant_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
   } catch (const explore::StopRequested& e) {
     result.status = SessionStatus::kStopped;
     result.detail = e.what();
@@ -391,6 +395,8 @@ ServerStats ServerCore::stats() const {
   s.queue_high_water = queue_high_water_.load(std::memory_order_relaxed);
   s.watchdog_trips = watchdog_trips_.load(std::memory_order_relaxed);
   s.cancelled_points = cancelled_points_.load(std::memory_order_relaxed);
+  s.quant_sessions = quant_sessions_.load(std::memory_order_relaxed);
+  s.quant_fallbacks = quant_fallbacks_.load(std::memory_order_relaxed);
   s.replicas_condemned = replicas_condemned_.load(std::memory_order_relaxed);
   s.replicas_rebuilt = replicas_rebuilt_.load(std::memory_order_relaxed);
   s.replicas_quarantined =

@@ -136,6 +136,8 @@ class ServerCore {
   std::atomic<size_t> queue_high_water_{0};
   std::atomic<size_t> watchdog_trips_{0};
   std::atomic<size_t> cancelled_points_{0};
+  std::atomic<size_t> quant_sessions_{0};
+  std::atomic<size_t> quant_fallbacks_{0};
   std::atomic<size_t> replicas_condemned_{0};
   std::atomic<size_t> replicas_rebuilt_{0};
   std::atomic<size_t> replicas_quarantined_{0};

@@ -140,7 +140,12 @@ ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
           "the watchdog; journal preserves progress)");
     }
   };
-  if (it->second.coalescer) {
+  // The coalescer's fused predictor always answers at fp32 (its bitwise-
+  // equality contract with predict_batch is what makes cross-session
+  // batching safe); a reduced-precision session therefore serves its own
+  // forwards instead of riding fused batches.
+  if (it->second.coalescer &&
+      dse.precision == tensor::quant::Precision::kFp32) {
     // Route the surrogate-IPC leg through the cross-session coalescer. The
     // wait inside predict() is part of the evaluation attempt's wall-clock,
     // so the guard's ChargeOnExit bills it to the session budget exactly
@@ -176,6 +181,10 @@ ExecResult MetaDseSessionEngine::run_session(const SessionRequest& request,
   out.degraded = report.degraded() || report.cancelled > 0;
   out.detail = report.summary();
   out.cancelled_points = report.cancelled;
+  if (dse.precision != tensor::quant::Precision::kFp32) {
+    out.quant_fallback = report.quant_contract_tripped;
+    out.quantized = !report.quant_contract_tripped;
+  }
 
   // Publication is the session's commit point: the front appears atomically
   // and only after the full run (an interrupted session leaves no front, so
@@ -215,6 +224,16 @@ CoalesceStats MetaDseSessionEngine::coalesce_stats() const {
     total.flush_barrier += s.flush_barrier;
   }
   return total;
+}
+
+const std::vector<float>& MetaDseSessionEngine::workload_calibration(
+    const std::string& name) const {
+  const auto it = workloads_.find(name);
+  if (it == workloads_.end()) {
+    throw std::runtime_error("workload_calibration: workload \"" + name +
+                             "\" is not registered with the session engine");
+  }
+  return it->second.predictors.front().model->quant_calibration();
 }
 
 PlanExecStats MetaDseSessionEngine::plan_stats() const {

@@ -77,6 +77,13 @@ class MetaDseSessionEngine {
   /// (replicas share compiled programs through it). Thread-safe.
   PlanExecStats plan_stats() const;
 
+  /// The int8 activation-calibration table captured when @p name was
+  /// adapted (replica 0's — all replicas are bitwise-identical clones, so
+  /// the tables match). Empty when no calibration was captured. Not
+  /// thread-safe against add_workload; throws if @p name is unregistered.
+  const std::vector<float>& workload_calibration(const std::string& name)
+      const;
+
  private:
   struct WorkloadEntry {
     const data::Dataset* support;

@@ -939,6 +939,68 @@ std::shared_ptr<const CompiledProgram> compile(
 
 // -- executor ----------------------------------------------------------------
 
+// -- quantizable-gemm classification -----------------------------------------
+
+namespace {
+
+/// A gemm the reduced-precision tier can take over: plain (non-transposed)
+/// or fused-epilogue, single batch, with an external (parameter) weight
+/// operand. Everything else — attention cores, normalizations, transposed
+/// gemms — stays fp32 under every precision tier.
+bool quantizable_gemm(const CompiledProgram& p, const Instr& ins) {
+  switch (ins.k) {
+    case IKind::kGemm:
+      if (ins.flag) return false;
+      break;
+    case IKind::kFGemmBias:
+    case IKind::kFGemmBiasRes:
+    case IKind::kFGemmBiasGelu:
+      break;
+    default:
+      return false;
+  }
+  return p.cells[ins.b].kind == CellKind::kExternal &&
+         ins.aoff.size() == 1 && ins.boff.size() == 1;
+}
+
+}  // namespace
+
+std::vector<size_t> CompiledProgram::quant_gemms() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < instrs.size(); ++i) {
+    if (quantizable_gemm(*this, instrs[i])) out.push_back(i);
+  }
+  return out;
+}
+
+size_t CompiledProgram::static_bytes(quant::Precision p) const {
+  size_t total = static_bytes();
+  if (p == quant::Precision::kFp32) return total;
+  size_t scratch = 0;
+  for (const size_t i : quant_gemms()) {
+    const Instr& ins = instrs[i];
+    if (p == quant::Precision::kInt8) {
+      const size_t k4 = (ins.kk + 3) / 4;
+      total += k4 * 4 * ins.n;                // packed int8 weight
+      total += ins.n * sizeof(int32_t);       // per-column compensation
+      scratch = std::max(scratch, ins.m * k4 * 4);  // u8 activation rows
+    } else {
+      total += ins.kk * ins.n * sizeof(uint16_t);  // bf16 weight copy
+    }
+  }
+  return total + scratch;
+}
+
+/// Packed-weight sidecar for one quantizable gemm. Rebuilt whenever an
+/// external rebinds (weights changed) or the calibration table is replaced;
+/// in steady-state serving that is once per replica.
+struct ProgramExec::QuantGemm {
+  size_t instr = 0;
+  quant::QuantizedWeight w8;   // int8 tier
+  quant::Bf16Weight wb;        // bf16 tier
+  float act_scale = 1.0F;      // int8: calibrated activation scale
+};
+
 ProgramExec::ProgramExec(std::shared_ptr<const CompiledProgram> prog)
     : prog_(std::move(prog)) {
   arena_.resize(prog_->arena_floats);
@@ -946,9 +1008,57 @@ ProgramExec::ProgramExec(std::shared_ptr<const CompiledProgram> prog)
   ptrs_.assign(prog_->cells.size(), nullptr);
 }
 
+ProgramExec::~ProgramExec() = default;
+
 void ProgramExec::bind_external(uint32_t slot, const float* p) {
   external_[slot] = p;
   resolved_ = false;
+  qready_ = false;
+}
+
+void ProgramExec::set_precision(quant::Precision p) {
+  if (precision_ == p) return;
+  precision_ = p;
+  qready_ = false;
+}
+
+bool ProgramExec::set_calibration(std::vector<float> absmax) {
+  if (absmax.size() != prog_->quant_gemms().size()) return false;
+  calib_ = std::move(absmax);
+  calibrated_ = true;
+  qready_ = false;
+  return true;
+}
+
+void ProgramExec::capture_absmax(std::vector<float>* out) {
+  capture_ = out;
+  if (capture_ != nullptr) {
+    capture_->assign(prog_->quant_gemms().size(), 0.0F);
+  }
+}
+
+void ProgramExec::prepare_quant_() {
+  if (!resolved_) resolve_();
+  const std::vector<size_t> idxs = prog_->quant_gemms();
+  qgemms_.clear();
+  qgemms_.reserve(idxs.size());
+  size_t scratch = 0;
+  for (size_t qi = 0; qi < idxs.size(); ++qi) {
+    const Instr& ins = prog_->instrs[idxs[qi]];
+    QuantGemm qg;
+    qg.instr = idxs[qi];
+    const float* wsrc = ptrs_[ins.b] + ins.boff[0];
+    if (precision_ == quant::Precision::kInt8) {
+      quant::quantize_weight_kn(wsrc, ins.kk, ins.n, &qg.w8);
+      qg.act_scale = quant::scale_for(calib_[qi]);
+      scratch = std::max(scratch, ins.m * qg.w8.K4 * 4);
+    } else {
+      quant::bf16_pack_weight(wsrc, ins.kk, ins.n, &qg.wb);
+    }
+    qgemms_.push_back(std::move(qg));
+  }
+  qscratch_.resize(scratch);
+  qready_ = true;
 }
 
 void ProgramExec::resolve_() {
@@ -1227,6 +1337,63 @@ void run_fattn(const Instr& ins, const float* q, const float* k,
 void ProgramExec::run(const float* in, float* out) {
   if (!resolved_) resolve_();
   const CompiledProgram& p = *prog_;
+  // Reduced-precision execution only engages off the default path: never
+  // during calibration capture (which must observe fp32 activations), and
+  // int8 never without a calibration table.
+  const bool quant_run =
+      precision_ != quant::Precision::kFp32 && capture_ == nullptr &&
+      (precision_ != quant::Precision::kInt8 || calibrated_);
+  if (quant_run && !qready_) prepare_quant_();
+  size_t next_q = 0;  // cursor over quantizable gemms, schedule order
+  // int8 activation-quantization cache: the q/k/v projections read the same
+  // layer-norm output with the same calibrated scale, so the offset-u8 rows
+  // in qscratch_ can be reused across consecutive gemms.
+  const float* qact_src = nullptr;
+  float qact_scale = 0.0F;
+  size_t qact_m = 0;
+  size_t qact_k = 0;
+  // Takes over a gemm for capture or reduced-precision execution. Returns
+  // true when the caller must skip the fp32 kernel (the quant tier ran it).
+  auto maybe_quant = [&](const Instr& ins, const float* a, const float* bias,
+                         const float* res, float* o, int epi) -> bool {
+    if ((capture_ == nullptr && !quant_run) || !quantizable_gemm(p, ins)) {
+      return false;
+    }
+    if (capture_ != nullptr) {
+      (*capture_)[next_q] =
+          std::max((*capture_)[next_q],
+                   quant::absmax(a + ins.aoff[0], ins.m * ins.kk));
+      ++next_q;
+      return false;  // capture observes the fp32 execution
+    }
+    QuantGemm& qg = qgemms_[next_q++];
+    const float* pa = a + ins.aoff[0];
+    const size_t grain = kern::gemm_row_grain(ins.kk * ins.n);
+    if (precision_ == quant::Precision::kInt8) {
+      const size_t ldq = qg.w8.K4 * 4;
+      if (pa != qact_src || qg.act_scale != qact_scale || ins.m != qact_m ||
+          ins.kk != qact_k) {
+        quant::quantize_act_u8(pa, ins.m, ins.kk, qg.act_scale,
+                               qscratch_.data(), ldq);
+        qact_src = pa;
+        qact_scale = qg.act_scale;
+        qact_m = ins.m;
+        qact_k = ins.kk;
+      }
+      const float dq = qg.act_scale * qg.w8.scale;
+      core::parallel_for_blocks_static(
+          ins.m, grain, [&](size_t m0, size_t m1) {
+            quant::gemm_u8s8(qscratch_.data(), ldq, qg.w8, dq, bias, res,
+                             ins.n, epi, o, m0, m1);
+          });
+    } else {
+      core::parallel_for_blocks_static(
+          ins.m, grain, [&](size_t m0, size_t m1) {
+            quant::gemm_bf16(pa, qg.wb, bias, res, ins.n, epi, o, m0, m1);
+          });
+    }
+    return true;
+  };
   std::copy(in, in + numel(p.in_shape),
             ptrs_[p.input_cell]);
   for (const Instr& ins : p.instrs) {
@@ -1290,18 +1457,24 @@ void ProgramExec::run(const float* in, float* out) {
       case IKind::kGemm:
         if (ins.flag) {
           run_gemm_nt(ins, a, bb, o);
-        } else {
+        } else if (!maybe_quant(ins, a, nullptr, nullptr, o, 0)) {
           run_gemm(ins, a, bb, o, nullptr, nullptr, 0);
         }
         break;
       case IKind::kFGemmBias:
-        run_gemm(ins, a, bb, o, cc, nullptr, 1);
+        if (!maybe_quant(ins, a, cc, nullptr, o, 1)) {
+          run_gemm(ins, a, bb, o, cc, nullptr, 1);
+        }
         break;
       case IKind::kFGemmBiasRes:
-        run_gemm(ins, a, bb, o, cc, ptrs_[ins.d], 2);
+        if (!maybe_quant(ins, a, cc, ptrs_[ins.d], o, 2)) {
+          run_gemm(ins, a, bb, o, cc, ptrs_[ins.d], 2);
+        }
         break;
       case IKind::kFGemmBiasGelu:
-        run_gemm(ins, a, bb, o, cc, nullptr, 3);
+        if (!maybe_quant(ins, a, cc, nullptr, o, 3)) {
+          run_gemm(ins, a, bb, o, cc, nullptr, 3);
+        }
         break;
       case IKind::kSoftmax:
         for (size_t r = 0; r < ins.m; ++r) {
@@ -1324,9 +1497,14 @@ void ProgramExec::run(const float* in, float* out) {
         }
         break;
       case IKind::kLayerNormAffine:
-        for (size_t r = 0; r < ins.m; ++r) {
-          kern::layer_norm_affine_row(a + r * ins.n, bb, cc, o + r * ins.n,
-                                      nullptr, ins.n, ins.f0);
+        if (quant_run) {
+          quant::layer_norm_affine_rows_fast(a, bb, cc, o, ins.m, ins.n,
+                                             ins.f0);
+        } else {
+          for (size_t r = 0; r < ins.m; ++r) {
+            kern::layer_norm_affine_row(a + r * ins.n, bb, cc, o + r * ins.n,
+                                        nullptr, ins.n, ins.f0);
+          }
         }
         break;
       case IKind::kBiasGelu:
@@ -1396,9 +1574,25 @@ void ProgramExec::run(const float* in, float* out) {
         break;
       }
       case IKind::kFAttn:
-        run_fattn(ins, a, bb, cc, ins.flag ? ptrs_[ins.d] : nullptr, o);
+        if (quant_run) {
+          const float* mk = ins.flag ? ptrs_[ins.d] : nullptr;
+          const size_t G = ins.r0 * ins.r1;
+          const size_t grain = std::max<size_t>(
+              1, kern::kGemmGrainFlops /
+                     std::max<size_t>(1, ins.m * ins.m * ins.kk));
+          core::parallel_for_blocks_static(G, grain, [&](size_t g0,
+                                                         size_t g1) {
+            quant::fattn_rows_fast(ins.m, ins.kk, ins.n, ins.r1, ins.f0,
+                                   ins.f1, a, bb, cc, mk, o, g0, g1);
+          });
+        } else {
+          run_fattn(ins, a, bb, cc, ins.flag ? ptrs_[ins.d] : nullptr, o);
+        }
         break;
     }
+    // cells are reused across instructions: a write into the cached
+    // activation buffer invalidates its quantized image
+    if (o == qact_src) qact_src = nullptr;
   }
   const float* src = ptrs_[p.output_cell];
   std::copy(src, src + numel(p.out_shape), out);
@@ -1462,7 +1656,12 @@ void dump_cell(std::ostream& os, const CompiledProgram& p, uint32_t v) {
 
 }  // namespace
 
-void CompiledProgram::dump(std::ostream& os) const {
+void CompiledProgram::dump(std::ostream& os, quant::Precision p) const {
+  std::vector<bool> quantized(instrs.size(), false);
+  if (p != quant::Precision::kFp32) {
+    for (const size_t i : quant_gemms()) quantized[i] = true;
+  }
+  const char* qtag = p == quant::Precision::kInt8 ? "i8" : "bf16";
   os << "schedule (" << instrs.size() << " instrs, " << fused_instrs
      << " fused):\n";
   for (size_t i = 0; i < instrs.size(); ++i) {
@@ -1471,6 +1670,7 @@ void CompiledProgram::dump(std::ostream& os) const {
     if (ins.k == IKind::kBinary) os << "." << binfn_name(ins.fn);
     if (ins.k == IKind::kGemm && ins.flag) os << ".nt";
     if (ins.k == IKind::kFAttn && ins.flag) os << ".masked";
+    os << " {" << (quantized[i] ? qtag : "f32") << "}";
     os << " ";
     dump_cell(os, *this, ins.out);
     os << " <- ";
@@ -1534,6 +1734,10 @@ void CompiledProgram::dump(std::ostream& os) const {
        << "\n";
   }
   os << "static bytes: " << static_bytes() << "\n";
+  os << "static bytes (bf16): " << static_bytes(quant::Precision::kBf16)
+     << " (arena + consts + bf16 weight copies)\n";
+  os << "static bytes (int8): " << static_bytes(quant::Precision::kInt8)
+     << " (arena + consts + packed weights + compensation + u8 scratch)\n";
 }
 
 }  // namespace metadse::tensor::plan

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "tensor/quant.hpp"
 #include "tensor/tensor.hpp"
 
 namespace metadse::tensor::plan {
@@ -309,8 +310,27 @@ struct CompiledProgram {
     return (arena_floats + consts.size()) * sizeof(float);
   }
 
-  /// Human-readable schedule + buffer reuse map (plan-dump CLI).
-  void dump(std::ostream& os) const;
+  /// Instruction indices of the quantizable GEMMs — plain (non-transposed)
+  /// or fused-epilogue gemms whose weight operand is an external cell and
+  /// whose batch count is 1 — in schedule order. This ordering is the key
+  /// space of an activation calibration table (ProgramExec::set_calibration):
+  /// entry i of the table belongs to instruction quant_gemms()[i]. It
+  /// depends only on plan structure, so tables are stable across replicas
+  /// and batch sizes of one architecture.
+  std::vector<size_t> quant_gemms() const;
+
+  /// Static bytes at a reduced precision: the fp32 footprint (the arena is
+  /// planned in fp32 cells either way) plus the quant sidecar — packed
+  /// weights, per-column compensation and the quantized-activation scratch
+  /// for int8, bf16 weight copies for bf16.
+  size_t static_bytes(quant::Precision p) const;
+
+  /// Human-readable schedule + buffer reuse map (plan-dump CLI). Each
+  /// instruction is tagged with the dtype it executes at under @p p
+  /// (quantizable gemms run i8/bf16, everything else stays f32), and the
+  /// footer reports static bytes for every precision tier.
+  void dump(std::ostream& os,
+            quant::Precision p = quant::Precision::kFp32) const;
 };
 
 /// Compiles a trace into a program. @p leaves maps every leaf node the
@@ -328,25 +348,57 @@ std::shared_ptr<const CompiledProgram> compile(
 class ProgramExec {
  public:
   explicit ProgramExec(std::shared_ptr<const CompiledProgram> prog);
+  ~ProgramExec();
+  ProgramExec(const ProgramExec&) = delete;
+  ProgramExec& operator=(const ProgramExec&) = delete;
 
   const CompiledProgram& program() const { return *prog_; }
 
   /// Binds external slot @p slot to @p p (parameter / mask storage). The
   /// pointer must stay valid across run() calls; rebind after anything that
-  /// reallocates the underlying buffer.
+  /// reallocates the underlying buffer. Rebinding invalidates the packed
+  /// quantized weights (they are re-derived on the next reduced-precision
+  /// run), so weight quantization happens once per replica in steady state.
   void bind_external(uint32_t slot, const float* p);
+
+  /// Selects the precision tier for subsequent run() calls. fp32 (the
+  /// default) is bitwise-identical to the eager path. int8 additionally
+  /// requires a calibration table; without one run() executes fp32.
+  void set_precision(quant::Precision p);
+  quant::Precision precision() const { return precision_; }
+
+  /// Installs the per-quantizable-gemm activation absmax table (schedule
+  /// order, see CompiledProgram::quant_gemms). Returns false on a size
+  /// mismatch, leaving the exec in fp32-capable state.
+  bool set_calibration(std::vector<float> absmax);
+  bool has_calibration() const { return calibrated_; }
+
+  /// Calibration capture: while @p out is non-null, run() executes fp32 and
+  /// folds each quantizable gemm's activation absmax into (*out)[i]
+  /// (max-accumulate; the vector is sized and zeroed on installation).
+  /// Pass nullptr to stop capturing.
+  void capture_absmax(std::vector<float>* out);
 
   /// Runs the plan: copies numel(in_shape) floats from @p in, executes the
   /// schedule, copies numel(out_shape) floats to @p out.
   void run(const float* in, float* out);
 
  private:
+  struct QuantGemm;  // packed weight sidecar, one per quantizable gemm
   std::shared_ptr<const CompiledProgram> prog_;
   std::vector<float> arena_;
   std::vector<const float*> external_;
   std::vector<float*> ptrs_;  // per cell, resolved once (externals patched)
   void resolve_();
   bool resolved_ = false;
+  quant::Precision precision_ = quant::Precision::kFp32;
+  std::vector<float> calib_;
+  bool calibrated_ = false;
+  std::vector<float>* capture_ = nullptr;
+  std::vector<QuantGemm> qgemms_;
+  std::vector<uint8_t> qscratch_;  // quantized-activation rows
+  bool qready_ = false;
+  void prepare_quant_();
 };
 
 /// Replicates ops.cpp's batch_offsets without touching the BufferPool:

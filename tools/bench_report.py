@@ -58,13 +58,29 @@ TRAIN_BENCHES = [
 HEADLINE = "BM_TransformerPredictOneNoGrad"
 HEADLINE_TRAIN = "BM_MamlAdaptClone/1"
 
-# Thread-scaling headline: the inner step at 8 worker threads vs the serial
+# Reduced-precision serving tier: each quantized batch predict vs the planned
+# fp32 path at the same batch, within the same run (DESIGN.md §15).
+QUANT_PAIRS = {
+    "BM_TransformerPredictBatchQuantInt8/1": "BM_TransformerPredictBatchNoGrad/1",
+    "BM_TransformerPredictBatchQuantInt8/16": "BM_TransformerPredictBatchNoGrad/16",
+    "BM_TransformerPredictBatchQuantInt8/128": "BM_TransformerPredictBatchNoGrad/128",
+    "BM_TransformerPredictBatchQuantBf16/1": "BM_TransformerPredictBatchNoGrad/1",
+    "BM_TransformerPredictBatchQuantBf16/16": "BM_TransformerPredictBatchNoGrad/16",
+    "BM_TransformerPredictBatchQuantBf16/128": "BM_TransformerPredictBatchNoGrad/128",
+}
+HEADLINE_QUANT = "BM_TransformerPredictBatchQuantInt8/128"
+
+# Thread-scaling pairs: each benchmark at 8 worker threads vs its serial
 # path, within the same run. On the paper's shapes the per-step work is a few
 # hundred microseconds, so on narrow machines (CI runners pinned to one or
 # two cores) the dispatch overhead inverts the scaling — /8 comes out slower
 # than /1. The report records the ratio either way so the inversion is
-# visible instead of silently folded into an aggregate.
-THREAD_SCALING = ("BM_MamlInnerStep/1", "BM_MamlInnerStep/8")
+# visible instead of silently folded into an aggregate; the first pair stays
+# the headline.
+THREAD_SCALING = (
+    ("BM_MamlInnerStep/1", "BM_MamlInnerStep/8"),
+    ("BM_MamlAdaptClone/1", "BM_MamlAdaptClone/8"),
+)
 
 # --diff warns when a benchmark slows down by more than this factor.
 DIFF_WARN_RATIO = 1.15
@@ -137,16 +153,36 @@ def main(argv=None):
             "after_ns": round(after[HEADLINE], 1),
             "speedup": report["speedups_vs_before"][HEADLINE],
         }
-    serial, wide = THREAD_SCALING
-    if serial in after and wide in after:
+    report["quant_speedup_within_run"] = {}
+    for quant, fp32 in QUANT_PAIRS.items():
+        if quant in after and fp32 in after:
+            report["quant_speedup_within_run"][quant] = round(
+                after[fp32] / after[quant], 2)
+    if HEADLINE_QUANT in report["quant_speedup_within_run"]:
+        fp32 = QUANT_PAIRS[HEADLINE_QUANT]
+        report["headline_quant"] = {
+            "benchmark": HEADLINE_QUANT,
+            "baseline": fp32,
+            "fp32_ns": round(after[fp32], 1),
+            "quant_ns": round(after[HEADLINE_QUANT], 1),
+            "speedup": report["quant_speedup_within_run"][HEADLINE_QUANT],
+        }
+
+    report["thread_scaling"] = []
+    for serial, wide in THREAD_SCALING:
+        if serial not in after or wide not in after:
+            continue
         ratio = after[wide] / after[serial]
-        report["headline_thread_scaling"] = {
+        entry = {
             "benchmark": f"{wide} vs {serial}",
             "serial_ns": round(after[serial], 1),
             "threaded_ns": round(after[wide], 1),
             "threaded_over_serial": round(ratio, 2),
             "inverted": ratio > 1.0,
         }
+        report["thread_scaling"].append(entry)
+        if "headline_thread_scaling" not in report:
+            report["headline_thread_scaling"] = entry
     if HEADLINE_TRAIN in report["speedups_vs_before"]:
         report["headline_training"] = {
             "benchmark": HEADLINE_TRAIN,
@@ -165,13 +201,26 @@ def main(argv=None):
         if head:
             print(f"{head['benchmark']}: {head['before_ns'] / 1e3:.1f}us -> "
                   f"{head['after_ns'] / 1e3:.1f}us ({head['speedup']}x)")
-    scaling = report.get("headline_thread_scaling")
-    if scaling:
+    quant = report.get("headline_quant")
+    if quant:
+        print(f"{quant['benchmark']}: fp32 {quant['fp32_ns'] / 1e3:.1f}us -> "
+              f"{quant['quant_ns'] / 1e3:.1f}us ({quant['speedup']}x)")
+    for scaling in report["thread_scaling"]:
         verdict = ("inverted — threads hurt" if scaling["inverted"]
                    else "threads help")
         print(f"{scaling['benchmark']}: {scaling['serial_ns'] / 1e3:.1f}us -> "
               f"{scaling['threaded_ns'] / 1e3:.1f}us "
               f"(x{scaling['threaded_over_serial']}, {verdict})")
+    # Any /8 arm slower than its /1 sibling is a scaling inversion worth a
+    # visible WARN, whether or not the pair is a tracked headline.
+    for name in sorted(after):
+        if not name.endswith("/8"):
+            continue
+        sibling = name[:-2] + "/1"
+        if sibling in after and after[name] > after[sibling]:
+            print(f"WARN thread-scaling inversion: {name} "
+                  f"({after[name] / 1e3:.1f}us) exceeds {sibling} "
+                  f"({after[sibling] / 1e3:.1f}us)")
     if "headline" not in report and "headline_training" not in report:
         print(f"wrote {args.output} ({len(after)} benchmarks, no baseline)")
 

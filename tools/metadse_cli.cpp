@@ -36,7 +36,9 @@
 #include "eval/table.hpp"
 #include "explore/explorer.hpp"
 #include "nn/plan.hpp"
+#include "nn/serialize.hpp"
 #include "serve/server.hpp"
+#include "tensor/quant.hpp"
 #include "serve/session.hpp"
 
 using namespace metadse;
@@ -152,6 +154,17 @@ void apply_threads(const Args& args) {
     throw UsageError("--threads must be >= 0 (0 = hardware concurrency)");
   }
   metadse::set_threads(static_cast<size_t>(v));
+}
+
+/// Parses the shared --precision knob (adapt / serve / plan-dump).
+tensor::quant::Precision precision_from(const Args& args) {
+  const std::string s = args.str("precision", "fp32");
+  tensor::quant::Precision p = tensor::quant::Precision::kFp32;
+  if (!tensor::quant::parse_precision(s, &p)) {
+    throw UsageError("--precision must be fp32, bf16, or int8 (got '" + s +
+                     "')");
+  }
+  return p;
 }
 
 core::FrameworkOptions options_from(const Args& args) {
@@ -339,8 +352,10 @@ int cmd_adapt(const Args& args) {
   if (args.has("resume") && !args.has("journal")) {
     throw UsageError("--resume requires --journal <path>");
   }
+  const tensor::quant::Precision precision = precision_from(args);
 
   core::MetaDseFramework::DseOptions dse;
+  dse.precision = precision;
   dse.explorer = {.initial_samples = n_cand / 4, .iterations = n_cand * 3 / 4,
                   .seed = static_cast<uint64_t>(args.num("seed", 2025)),
                   .eval_batch = static_cast<size_t>(batch_arg)};
@@ -376,6 +391,16 @@ int cmd_adapt(const Args& args) {
   std::printf("adapted to %s from %zu simulations; screening %zu "
               "candidates...\n",
               wl_name.c_str(), K, n_cand);
+  if (precision == tensor::quant::Precision::kInt8 &&
+      predictor.model->has_quant_calibration()) {
+    // Persist the adapt-time activation-calibration table alongside the
+    // checkpoint so a later serving process can audit or reuse it.
+    const std::string calib_path = args.str("ckpt") + ".calib";
+    nn::save_calibration(predictor.model->quant_calibration(), calib_path);
+    std::printf("calibration table (%zu gemms) written to %s\n",
+                predictor.model->quant_calibration().size(),
+                calib_path.c_str());
+  }
 
   if (sleep_arg > 0) {
     // Chaos-drill aid: slows each live evaluation so a kill lands mid-run.
@@ -389,6 +414,12 @@ int cmd_adapt(const Args& args) {
   if (rep.degraded() || rep.retries > 0 || rep.resumed) {
     std::fprintf(stderr, "[dse] %s: %s\n", wl_name.c_str(),
                  rep.summary().c_str());
+  }
+  if (precision != tensor::quant::Precision::kFp32) {
+    std::printf("precision: %s%s\n", tensor::quant::to_string(precision),
+                rep.quant_contract_tripped
+                    ? " requested — error contract tripped, ran fp32"
+                    : " (error contract held)");
   }
 
   // Machine-readable front for bitwise comparison across interrupted and
@@ -524,6 +555,7 @@ int cmd_serve(const Args& args) {
     throw UsageError("serve: --rebuild-window-ms must be >= 1 (got " +
                      std::to_string(rebuild_window_arg) + ")");
   }
+  const tensor::quant::Precision precision = precision_from(args);
   const bool chaos_drill = args.has("chaos-drill");
   if (chaos_drill && sessions_arg < 3) {
     throw UsageError("serve: --chaos-drill needs --sessions >= 3 (the "
@@ -578,11 +610,28 @@ int cmd_serve(const Args& args) {
 
   std::filesystem::create_directories(journal_dir);
   // A crash between tmp write and rename leaves "*.tmp" orphans; sweep them
-  // so the directory never accumulates dead bytes across restarts.
+  // so the directory never accumulates dead bytes across restarts. The
+  // checkpoint's directory gets the same sweep: calibration sidecars
+  // ("<ckpt>.<workload>.calib") are published there with the same
+  // tmp+rename protocol, so a crash can orphan tmp files there too.
   const size_t orphans = core::io::remove_orphan_tmp_files(journal_dir);
   if (orphans > 0) {
     std::fprintf(stderr, "[serve] swept %zu orphaned .tmp file(s) from %s\n",
                  orphans, journal_dir.c_str());
+  }
+  {
+    std::string ckpt_dir =
+        std::filesystem::path(args.str("ckpt")).parent_path().string();
+    if (ckpt_dir.empty()) ckpt_dir = ".";
+    if (!std::filesystem::equivalent(std::filesystem::path(ckpt_dir),
+                                     std::filesystem::path(journal_dir))) {
+      const size_t ckpt_orphans = core::io::remove_orphan_tmp_files(ckpt_dir);
+      if (ckpt_orphans > 0) {
+        std::fprintf(stderr,
+                     "[serve] swept %zu orphaned .tmp file(s) from %s\n",
+                     ckpt_orphans, ckpt_dir.c_str());
+      }
+    }
   }
 
   // --chaos-drill: arm a canned, scoped chaos plan against this serve run.
@@ -640,6 +689,7 @@ int cmd_serve(const Args& args) {
 
   serve::MetaDseSessionEngine::Options eopts;
   eopts.front_dir = journal_dir;
+  eopts.dse.precision = precision;
   eopts.dse.explorer = {
       .initial_samples = static_cast<size_t>(cand_arg) / 4,
       .iterations = static_cast<size_t>(cand_arg) * 3 / 4,
@@ -683,6 +733,16 @@ int cmd_serve(const Args& args) {
   }
   for (const auto& [name, support] : supports) {
     engine.add_workload(name, support);
+    if (precision == tensor::quant::Precision::kInt8) {
+      // Persist each workload's adapt-time calibration table next to the
+      // checkpoint (atomic tmp+rename, CRC'd — same discipline as the
+      // checkpoint itself).
+      const auto& table = engine.workload_calibration(name);
+      if (!table.empty()) {
+        nn::save_calibration(table,
+                             args.str("ckpt") + "." + name + ".calib");
+      }
+    }
   }
   std::printf("serving %zu workload(s) on %zu replica(s), %zu worker(s), "
               "queue %zu (%s)\n",
@@ -782,6 +842,12 @@ int cmd_serve(const Args& args) {
               "%zu static bytes\n",
               stats.plans_compiled, stats.plan_cache_hits,
               stats.plan_fallbacks, stats.plan_static_bytes);
+  if (precision != tensor::quant::Precision::kFp32) {
+    std::printf("quant: tier %s, %zu sessions served quantized, "
+                "%zu contract fallbacks to fp32\n",
+                tensor::quant::to_string(precision), stats.quant_sessions,
+                stats.quant_fallbacks);
+  }
   if (engine.coalescing()) {
     const serve::CoalesceStats cs = engine.coalesce_stats();
     std::printf("coalesce: %zu fused batches, %zu points (mean %.1f "
@@ -819,10 +885,12 @@ int cmd_plan_dump(const Args& args) {
   if (batch_arg < 1) throw UsageError("plan-dump: --batch must be >= 1");
   const size_t batch = static_cast<size_t>(batch_arg);
   const bool fuse = !args.has("no-fuse");
+  const tensor::quant::Precision precision = precision_from(args);
   core::FrameworkOptions opts;
   tensor::Rng rng(static_cast<uint64_t>(args.num("seed", 2025)));
   nn::TransformerRegressor model(opts.predictor, rng);
-  const std::string key = nn::plan::predict_plan_key(model, batch, fuse);
+  const std::string key =
+      nn::plan::predict_plan_key(model, batch, fuse, precision);
   std::string why;
   auto prog = nn::plan::compile_predict(model, batch, fuse, &why);
   if (!prog) {
@@ -831,7 +899,7 @@ int cmd_plan_dump(const Args& args) {
   }
   std::printf("plan key: %s\n", key.c_str());
   std::ostringstream os;
-  prog->dump(os);
+  prog->dump(os, precision);
   std::fputs(os.str().c_str(), stdout);
   std::printf("fused instructions: %zu of %zu\n", prog->fused_instrs,
               prog->instrs.size());
@@ -887,8 +955,13 @@ void usage() {
       "           containment: --eval-deadline-ms D --eval-retries R\n"
       "                     --degrade-policy ladder|skip|abort\n"
       "                     --eval-sleep-ms S (chaos drills)\n"
-      "  plan-dump [--batch B --no-fuse]      compiled predict-plan schedule,\n"
-      "                     buffer reuse map and static footprint\n"
+      "           precision: --precision fp32|bf16|int8  (quantized predict\n"
+      "                     tier; int8 writes <ckpt>.calib and both tiers\n"
+      "                     fall back to fp32 if the rank-correlation error\n"
+      "                     contract trips — DESIGN.md §15)\n"
+      "  plan-dump [--batch B --no-fuse --precision P]\n"
+      "                     compiled predict-plan schedule, per-instruction\n"
+      "                     dtypes, buffer reuse map and static footprint\n"
       "  serve    --ckpt F --journal-dir D [--sessions N --replicas R\n"
       "                     --workers W --queue-capacity Q\n"
       "                     --admission block|reject|shed --arrival-ms A\n"
@@ -898,7 +971,8 @@ void usage() {
       "                     --eval-sleep-ms S --resume\n"
       "                     --coalesce-max-batch B --coalesce-wait-ticks T\n"
       "                     --journal-compact N --rebuild-limit L\n"
-      "                     --rebuild-window-ms W --chaos-drill]\n"
+      "                     --rebuild-window-ms W --chaos-drill\n"
+      "                     --precision fp32|bf16|int8]\n"
       "           (multi-session serving; fronts publish to\n"
       "            <journal-dir>/front_<id>.txt; exit 3 = interrupted by\n"
       "            signal, journals flushed, rerun with --resume;\n"
